@@ -1,0 +1,55 @@
+//! The "BERT" baseline (paper §5.1): the shared pretrained LM fine-tuned as
+//! a sequence-pair classifier — exactly [`promptem::FineTuneModel`] without
+//! self-training.
+
+use crate::common::{Matcher, MatchTask};
+use promptem::encode::EncodedPair;
+use promptem::trainer::{TrainCfg, TunableMatcher};
+use promptem::FineTuneModel;
+
+/// The vanilla fine-tuning baseline.
+pub struct BertBaseline {
+    /// Fine-tuning budget.
+    pub cfg: TrainCfg,
+    model: Option<FineTuneModel>,
+    seed: u64,
+}
+
+impl BertBaseline {
+    /// Create the baseline with a training budget.
+    pub fn new(cfg: TrainCfg, seed: u64) -> Self {
+        BertBaseline { cfg, model: None, seed }
+    }
+}
+
+impl Matcher for BertBaseline {
+    fn name(&self) -> &'static str {
+        "BERT"
+    }
+
+    fn fit(&mut self, task: &MatchTask) {
+        let mut model = FineTuneModel::new(task.backbone.clone(), self.seed);
+        model.train(&task.encoded.train, &task.encoded.valid, &self.cfg, None);
+        self.model = Some(model);
+    }
+
+    fn predict(&mut self, _task: &MatchTask, pairs: &[EncodedPair]) -> Vec<bool> {
+        self.model.as_mut().expect("fit first").predict(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::toy_task;
+
+    #[test]
+    fn bert_baseline_fits_and_predicts() {
+        let (raw, encoded, backbone) = toy_task();
+        let task = MatchTask { raw: &raw, encoded: &encoded, backbone };
+        let mut m = BertBaseline::new(TrainCfg { epochs: 2, ..Default::default() }, 1);
+        let (scores, secs) = crate::common::evaluate_matcher(&mut m, &task);
+        assert!(secs > 0.0);
+        assert!(scores.f1 >= 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! The shared interface every baseline matcher implements, and the task
+//! bundle handed to it: the raw dataset (graph methods work on records),
+//! the encoded dataset (LM methods work on token ids) and the shared
+//! pretrained backbone (all LM baselines start from the same LM, as all of
+//! the paper's LM baselines start from RoBERTa-base).
+
+use em_data::pair::GemDataset;
+use em_data::PrfScores;
+use em_lm::PretrainedLm;
+use promptem::encode::{EncodedDataset, EncodedPair};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything a matcher may consume. Gold labels of the unlabeled pool and
+/// the test split are off-limits to `fit`.
+pub struct MatchTask<'a> {
+    /// The raw dataset (records, splits).
+    pub raw: &'a GemDataset,
+    /// The tokenized dataset.
+    pub encoded: &'a EncodedDataset,
+    /// The shared pretrained LM.
+    pub backbone: Arc<PretrainedLm>,
+}
+
+/// A trainable (or unsupervised) matching system.
+pub trait Matcher {
+    /// Display name (Table 2 row label).
+    fn name(&self) -> &'static str;
+
+    /// Train on the task's labeled low-resource split (and, for
+    /// unsupervised methods, the raw tables).
+    fn fit(&mut self, task: &MatchTask);
+
+    /// Predict match/mismatch for arbitrary encoded pairs. Methods that
+    /// work on raw records receive the pair indices via `test_pairs`
+    /// instead — see [`Matcher::predict_test`].
+    fn predict(&mut self, task: &MatchTask, pairs: &[EncodedPair]) -> Vec<bool>;
+
+    /// Predict the test split. Default: encoded-pair path.
+    fn predict_test(&mut self, task: &MatchTask) -> Vec<bool> {
+        let pairs: Vec<EncodedPair> =
+            task.encoded.test.iter().map(|e| e.pair.clone()).collect();
+        self.predict(task, &pairs)
+    }
+}
+
+/// Fit + evaluate one matcher; returns scores and the fit wall-clock.
+pub fn evaluate_matcher<M: Matcher>(matcher: &mut M, task: &MatchTask) -> (PrfScores, f64) {
+    let start = Instant::now();
+    matcher.fit(task);
+    let fit_secs = start.elapsed().as_secs_f64();
+    let pred = matcher.predict_test(task);
+    let gold: Vec<bool> = task.encoded.test.iter().map(|e| e.label).collect();
+    (PrfScores::from_predictions(&pred, &gold), fit_secs)
+}

@@ -1,0 +1,148 @@
+//! Ditto baseline (Li et al.): fine-tuning with its three optimizations
+//! adapted to this pipeline — (i) domain knowledge is covered by the shared
+//! serialization's typed `[COL]/[VAL]` structure, (ii) TF-IDF summarization
+//! is already applied by the encoder (Appendix F credits Ditto for it),
+//! (iii) data augmentation: the train set is expanded with label-invariant
+//! augmented copies before fine-tuning.
+
+use crate::augment::augment_set;
+use crate::common::{Matcher, MatchTask};
+use promptem::encode::{EncodedPair, Example};
+use promptem::trainer::{TrainCfg, TunableMatcher};
+use promptem::FineTuneModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The augmentation-enhanced fine-tuning baseline.
+pub struct DittoBaseline {
+    /// Fine-tuning budget.
+    pub cfg: TrainCfg,
+    /// Augmented copies per training example.
+    pub augment_k: usize,
+    model: Option<FineTuneModel>,
+    seed: u64,
+}
+
+impl DittoBaseline {
+    /// Create the baseline (2 augmented copies per example by default).
+    pub fn new(cfg: TrainCfg, seed: u64) -> Self {
+        DittoBaseline { cfg, augment_k: 2, model: None, seed }
+    }
+}
+
+impl Matcher for DittoBaseline {
+    fn name(&self) -> &'static str {
+        "Ditto"
+    }
+
+    fn fit(&mut self, task: &MatchTask) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD1770);
+        let mut train = task.encoded.train.clone();
+        train.extend(augment_set(&task.encoded.train, self.augment_k, &mut rng));
+        let mut model = FineTuneModel::new(task.backbone.clone(), self.seed);
+        model.train(&train, &task.encoded.valid, &self.cfg, None);
+        self.model = Some(model);
+    }
+
+    fn predict(&mut self, _task: &MatchTask, pairs: &[EncodedPair]) -> Vec<bool> {
+        self.model.as_mut().expect("fit first").predict(pairs)
+    }
+}
+
+/// Rotom baseline (Miao et al.): a meta-learning framework that *selects
+/// and weights* augmented data instead of using all of it. Reproduced as
+/// its two-stage core: (1) train a seed model on clean data; (2) generate a
+/// large augmentation pool and keep only the candidates the seed model
+/// still classifies consistently (low-loss = semantically safe, the
+/// meta-filter's behaviour); (3) retrain on clean + selected data. The
+/// two-stage structure is also why Rotom is the slowest LM baseline in
+/// Table 4.
+pub struct RotomBaseline {
+    /// Per-stage fine-tuning budget.
+    pub cfg: TrainCfg,
+    /// Candidate augmentations per example (pool size before filtering).
+    pub pool_k: usize,
+    /// Fraction of the pool kept after consistency filtering.
+    pub keep: f64,
+    model: Option<FineTuneModel>,
+    seed: u64,
+}
+
+impl RotomBaseline {
+    /// Create the baseline (pool of 4, keep 50% by default).
+    pub fn new(cfg: TrainCfg, seed: u64) -> Self {
+        RotomBaseline { cfg, pool_k: 4, keep: 0.5, model: None, seed }
+    }
+}
+
+impl Matcher for RotomBaseline {
+    fn name(&self) -> &'static str {
+        "Rotom"
+    }
+
+    fn fit(&mut self, task: &MatchTask) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x2070);
+        // Stage 1: seed model on clean data.
+        let mut seed_model = FineTuneModel::new(task.backbone.clone(), self.seed);
+        seed_model.train(&task.encoded.train, &task.encoded.valid, &self.cfg, None);
+
+        // Stage 2: filter the augmentation pool by seed-model consistency.
+        let pool = augment_set(&task.encoded.train, self.pool_k, &mut rng);
+        let pairs: Vec<EncodedPair> = pool.iter().map(|e| e.pair.clone()).collect();
+        let probs = seed_model.predict_proba(&pairs);
+        let mut scored: Vec<(usize, f32)> = pool
+            .iter()
+            .enumerate()
+            .map(|(i, ex)| {
+                let y = if ex.label { 1.0 } else { 0.0 };
+                (i, (probs[i] - y).abs()) // consistency loss
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let n_keep = ((pool.len() as f64) * self.keep) as usize;
+        let selected: Vec<Example> =
+            scored.iter().take(n_keep).map(|&(i, _)| pool[i].clone()).collect();
+
+        // Stage 3: retrain on clean + selected.
+        let mut train = task.encoded.train.clone();
+        train.extend(selected);
+        let mut model = FineTuneModel::new(task.backbone.clone(), self.seed ^ 1);
+        model.train(&train, &task.encoded.valid, &self.cfg, None);
+        self.model = Some(model);
+    }
+
+    fn predict(&mut self, _task: &MatchTask, pairs: &[EncodedPair]) -> Vec<bool> {
+        self.model.as_mut().expect("fit first").predict(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::evaluate_matcher;
+    use crate::testutil::toy_task;
+
+    #[test]
+    fn ditto_fits_with_augmentation() {
+        let (raw, encoded, backbone) = toy_task();
+        let task = MatchTask { raw: &raw, encoded: &encoded, backbone };
+        let mut m = DittoBaseline::new(TrainCfg { epochs: 2, ..Default::default() }, 3);
+        let (scores, _) = evaluate_matcher(&mut m, &task);
+        assert!(scores.f1 >= 0.0);
+    }
+
+    #[test]
+    fn rotom_is_slower_than_ditto() {
+        let (raw, encoded, backbone) = toy_task();
+        let task = MatchTask { raw: &raw, encoded: &encoded, backbone };
+        let cfg = TrainCfg { epochs: 2, ..Default::default() };
+        let mut ditto = DittoBaseline::new(cfg.clone(), 4);
+        let (_, t_ditto) = evaluate_matcher(&mut ditto, &task);
+        let mut rotom = RotomBaseline::new(cfg, 4);
+        let (_, t_rotom) = evaluate_matcher(&mut rotom, &task);
+        assert!(
+            t_rotom > t_ditto,
+            "two-stage Rotom should cost more: {t_rotom:.2}s vs {t_ditto:.2}s"
+        );
+    }
+}

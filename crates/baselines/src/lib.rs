@@ -1,0 +1,36 @@
+//! # em-baselines
+//!
+//! The eight comparison systems of the PromptEM evaluation (§5.1),
+//! implemented from scratch on the shared substrates:
+//!
+//! * [`deepmatcher`] — RNN aggregate-and-compare, no pretrained LM;
+//! * [`bert_ft`] — vanilla fine-tuning of the shared backbone;
+//! * [`sbert`] — SentenceBERT-style siamese encoder;
+//! * [`ditto`] — fine-tuning + data augmentation (+ the serialization and
+//!   summarization optimizations shared by the whole pipeline), and the
+//!   Rotom meta-filtered augmentation variant;
+//! * [`dader`] — domain adaptation with adversarial feature alignment;
+//! * [`tdmatch`] — unsupervised graph + random-walk-with-restart matching,
+//!   plus the supervised TDmatch* MLP head;
+//! * [`augment`] — the label-invariant augmentation operators;
+//! * [`common`] — the [`common::Matcher`] trait and evaluation helper.
+
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod bert_ft;
+pub mod common;
+pub mod dader;
+pub mod deepmatcher;
+pub mod ditto;
+pub mod sbert;
+pub mod tdmatch;
+pub mod testutil;
+
+pub use bert_ft::BertBaseline;
+pub use common::{evaluate_matcher, Matcher, MatchTask};
+pub use dader::DaderBaseline;
+pub use deepmatcher::DeepMatcherBaseline;
+pub use ditto::{DittoBaseline, RotomBaseline};
+pub use sbert::SBertBaseline;
+pub use tdmatch::{TDmatchBaseline, TDmatchStarBaseline};

@@ -1,0 +1,26 @@
+//! Test fixtures for baseline matchers: a small benchmark dataset with a
+//! cheaply-pretrained backbone, built once per test process.
+
+use em_data::pair::GemDataset;
+use em_data::synth::{build, BenchmarkId, Scale};
+use em_lm::PretrainedLm;
+use promptem::encode::EncodedDataset;
+use promptem::pipeline::{encode_with, pretrain_backbone, PromptEmConfig};
+use std::sync::{Arc, OnceLock};
+
+/// A REL-HETER quick dataset, its encoding, and a minimally-pretrained
+/// backbone. Quality is irrelevant for API tests; speed matters.
+pub fn toy_task() -> (GemDataset, EncodedDataset, Arc<PretrainedLm>) {
+    static FIXTURE: OnceLock<(GemDataset, EncodedDataset, Arc<PretrainedLm>)> = OnceLock::new();
+    let (ds, enc, bb) = FIXTURE.get_or_init(|| {
+        let ds = build(BenchmarkId::RelHeter, Scale::Quick, 1234);
+        let mut cfg = PromptEmConfig::default();
+        cfg.pretrain.max_steps = 120;
+        cfg.corpus.max_record_sentences = 150;
+        cfg.corpus.relation_statements = 120;
+        let backbone = pretrain_backbone(&ds, &cfg);
+        let encoded = encode_with(&ds, &backbone, &cfg);
+        (ds, encoded, backbone)
+    });
+    (ds.clone(), enc.clone(), bb.clone())
+}

@@ -1,0 +1,51 @@
+//! Figure 5 / §5.5 "Effect of label words choices" — designed label words
+//! ({matched, similar, relevant} / {mismatched, different, irrelevant})
+//! versus the simple pair ({matched} / {mismatched}), under both
+//! continuous templates.
+//!
+//! Run: `cargo bench -p em-bench --bench fig5_label_words`
+
+use em_bench::methods::{run_prompt_choice, Bench};
+use em_bench::{experiment_seed, table};
+use em_data::synth::{BenchmarkId, Scale};
+use em_lm::prompt::{LabelWords, PromptMode, TemplateId};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("\nFigure 5 — label-word choices ({scale:?} scale, seed {})\n", experiment_seed());
+    let variants = [
+        ("T1 designed", TemplateId::T1, LabelWords::designed()),
+        ("T1 simple", TemplateId::T1, LabelWords::simple()),
+        ("T2 designed", TemplateId::T2, LabelWords::designed()),
+        ("T2 simple", TemplateId::T2, LabelWords::simple()),
+    ];
+    let mut header = vec!["Dataset".to_string()];
+    for (name, _, _) in &variants {
+        header.push(name.to_string());
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 4];
+    for id in BenchmarkId::ALL {
+        let bench = Bench::prepare(id, scale);
+        let mut row = vec![id.abbrev().to_string()];
+        for (k, (name, template, words)) in variants.iter().enumerate() {
+            let r = run_prompt_choice(&bench, *template, PromptMode::Continuous, words.clone());
+            row.push(table::pct(r.scores.f1));
+            sums[k] += r.scores.f1;
+            eprintln!("[fig5] {} / {}: F1 {:.1}", id.abbrev(), name, r.scores.f1);
+        }
+        rows.push(row);
+    }
+    let n = BenchmarkId::ALL.len() as f64;
+    let mut avg = vec!["average".to_string()];
+    for s in sums {
+        avg.push(table::pct(s / n));
+    }
+    rows.push(avg);
+    println!("{}", table::render(&header_refs, &rows));
+    println!("expected shape (paper §5.5/Fig. 5): designed label words beat the simple");
+    println!("pair under both templates (+5.2% / +9.4% average F1 in the paper) —");
+    println!("modeling the *general binary relationship* helps.");
+}

@@ -1,0 +1,95 @@
+//! Figure 6 / Appendix C — error analysis on SEMI-HETER: print one false
+//! positive and one false negative with their full attribute views, plus
+//! aggregate statistics on whether digit-bearing attributes disagree in
+//! errors (the appendix's diagnosis: LMs under-use digital attributes like
+//! ISBN and publication date).
+//!
+//! Run: `cargo bench -p em-bench --bench fig6_error_analysis`
+
+use em_bench::methods::{Bench, MethodId};
+use em_bench::{experiment_seed, methods::run_method};
+use em_data::record::Record;
+use em_data::synth::{BenchmarkId, Scale};
+use promptem::model::{PromptEmModel, PromptOpts};
+use promptem::trainer::TunableMatcher;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("\nFigure 6 — error analysis on SEMI-HETER ({scale:?} scale)\n", );
+    let bench = Bench::prepare(BenchmarkId::SemiHeter, scale);
+
+    // Quick sanity line so the analysis is in context.
+    let overall = run_method(MethodId::PromptEmNoLst, &bench);
+    println!("PromptEM w/o LST on SEMI-HETER: {}\n", overall.scores);
+
+    // Train a model and collect its test errors.
+    let mut model =
+        PromptEmModel::new(bench.backbone.clone(), PromptOpts::default(), experiment_seed());
+    model.train(&bench.encoded.train, &bench.encoded.valid, &bench.cfg.lst.teacher, None);
+    let pairs: Vec<_> = bench.encoded.test.iter().map(|e| e.pair.clone()).collect();
+    let pred = model.predict(&pairs);
+
+    let mut shown_fp = false;
+    let mut shown_fn = false;
+    let mut digit_disagreements_in_errors = 0usize;
+    let mut errors = 0usize;
+    for (k, (p, ex)) in pred.iter().zip(bench.encoded.test.iter()).enumerate() {
+        if *p == ex.label {
+            continue;
+        }
+        errors += 1;
+        let lp = bench.raw.test[k];
+        let (l, r) = bench.raw.records(lp.pair);
+        if digit_attrs_disagree(l, r) {
+            digit_disagreements_in_errors += 1;
+        }
+        if *p && !ex.label && !shown_fp {
+            shown_fp = true;
+            println!("--- False Positive (predicted match, gold non-match) ---");
+            print_pair(l, r);
+        } else if !*p && ex.label && !shown_fn {
+            shown_fn = true;
+            println!("--- False Negative (predicted non-match, gold match) ---");
+            print_pair(l, r);
+        }
+    }
+    if !shown_fp {
+        println!("(no false positives on this run)");
+    }
+    if !shown_fn {
+        println!("(no false negatives on this run)");
+    }
+    println!();
+    println!(
+        "errors where a digit attribute (ISBN/date/price) disagrees: {digit_disagreements_in_errors}/{errors}"
+    );
+    println!("paper's diagnosis (Appendix C): digital attributes are decisive for these");
+    println!("book pairs, and LM-based matchers under-weight them.");
+}
+
+fn print_pair(l: &Record, r: &Record) {
+    println!("left:");
+    for (k, v) in &l.attrs {
+        println!("  {k}: {v}");
+    }
+    println!("right:");
+    for (k, v) in &r.attrs {
+        println!("  {k}: {v}");
+    }
+    println!();
+}
+
+/// True when any digit-bearing attribute pair with comparable content
+/// disagrees between the two records.
+fn digit_attrs_disagree(l: &Record, r: &Record) -> bool {
+    let digits = |rec: &Record| -> Vec<String> {
+        rec.attrs
+            .iter()
+            .filter(|(_, v)| v.is_numeric())
+            .map(|(_, v)| v.to_text())
+            .collect()
+    };
+    let dl = digits(l);
+    let dr = digits(r);
+    !dl.is_empty() && !dr.is_empty() && dl.iter().all(|v| !dr.contains(v))
+}

@@ -1,0 +1,68 @@
+//! Table 2 — main results under the default low-resource setting: P/R/F1
+//! of all nine methods plus the three PromptEM ablations on all eight
+//! benchmarks.
+//!
+//! Run: `cargo bench -p em-bench --bench table2_main`
+//! Restrict via `PROMPTEM_DATASETS=REL-HETER,SEMI-HOMO` or
+//! `PROMPTEM_METHODS=PromptEM,BERT`.
+
+use em_bench::methods::{run_method, Bench, MethodId};
+use em_bench::{experiment_seed, table};
+use em_data::synth::{BenchmarkId, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let datasets = dataset_filter();
+    let methods = method_filter();
+    println!(
+        "\nTable 2 — default low-resource setting ({scale:?} scale, seed {})\n",
+        experiment_seed()
+    );
+    let mut header = vec!["Method".to_string()];
+    for id in &datasets {
+        for m in ["P", "R", "F"] {
+            header.push(format!("{} {}", id.abbrev(), m));
+        }
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+
+    let benches: Vec<Bench> = datasets.iter().map(|&id| Bench::prepare(id, scale)).collect();
+    let mut rows = Vec::new();
+    for method in methods {
+        let mut row = vec![method.name().to_string()];
+        for bench in &benches {
+            let r = run_method(method, bench);
+            row.push(table::pct(r.scores.precision));
+            row.push(table::pct(r.scores.recall));
+            row.push(table::pct(r.scores.f1));
+            eprintln!("[table2] {} / {}: {}", method.name(), bench.raw.name, r.scores);
+        }
+        rows.push(row);
+    }
+    println!("{}", table::render(&header_refs, &rows));
+    println!("expected shape (paper Table 2): PromptEM best or near-best F1 on most");
+    println!("datasets; DeepMatcher weakest; TDmatch unstable across datasets;");
+    println!("w/o PT clearly below PromptEM; w/o LST ≤ PromptEM; w/o DDP ≈ PromptEM.");
+}
+
+fn dataset_filter() -> Vec<BenchmarkId> {
+    match std::env::var("PROMPTEM_DATASETS") {
+        Ok(s) => BenchmarkId::ALL
+            .into_iter()
+            .filter(|id| s.split(',').any(|w| w.trim().eq_ignore_ascii_case(id.name())))
+            .collect(),
+        Err(_) => BenchmarkId::ALL.to_vec(),
+    }
+}
+
+fn method_filter() -> Vec<MethodId> {
+    let all: Vec<MethodId> =
+        MethodId::MAIN.into_iter().chain(MethodId::ABLATIONS).collect();
+    match std::env::var("PROMPTEM_METHODS") {
+        Ok(s) => all
+            .into_iter()
+            .filter(|m| s.split(',').any(|w| w.trim().eq_ignore_ascii_case(m.name())))
+            .collect(),
+        Err(_) => all,
+    }
+}

@@ -1,0 +1,62 @@
+//! Backbone caching and shared experiment configuration.
+
+use em_data::pair::GemDataset;
+use em_data::synth::Scale;
+use em_lm::PretrainedLm;
+use promptem::pipeline::{pretrain_backbone, LmSize, PromptEmConfig};
+use promptem::selftrain::LstCfg;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The seed every experiment derives from (override with `PROMPTEM_SEED`).
+pub fn experiment_seed() -> u64 {
+    std::env::var("PROMPTEM_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// The default PromptEM configuration at a given scale.
+pub fn default_config(scale: Scale) -> PromptEmConfig {
+    let mut cfg = PromptEmConfig::default();
+    match scale {
+        Scale::Quick => {
+            cfg.lm_size = LmSize::Tiny;
+            cfg.lst = LstCfg::quick();
+        }
+        Scale::Full => {
+            cfg.lm_size = LmSize::Base;
+            cfg.lst = LstCfg::paper();
+            cfg.pretrain.max_steps = 6000;
+        }
+    }
+    cfg
+}
+
+fn cache_dir() -> PathBuf {
+    let dir = std::env::var("PROMPTEM_CACHE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir().join("promptem-backbones"));
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Pretrain (or load from cache) the backbone LM for one dataset. The cache
+/// key covers the dataset name, scale, seed and pretraining budget, so
+/// changing any of them invalidates the entry.
+pub fn backbone_for(ds: &GemDataset, scale: Scale, cfg: &PromptEmConfig) -> Arc<PretrainedLm> {
+    let key = format!(
+        "{}-{:?}-{}-{}-{}.lm",
+        ds.name.replace('/', "_"),
+        scale,
+        experiment_seed(),
+        cfg.pretrain.max_steps,
+        ds.all_labeled(),
+    );
+    let path = cache_dir().join(key);
+    if let Ok(lm) = em_lm::io::load_model(&path) {
+        return Arc::new(lm);
+    }
+    let backbone = pretrain_backbone(ds, cfg);
+    if let Err(e) = em_lm::io::save_model(&backbone, &path) {
+        eprintln!("warning: failed to cache backbone at {}: {e}", path.display());
+    }
+    backbone
+}

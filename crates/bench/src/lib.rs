@@ -1,0 +1,12 @@
+//! Shared experiment-harness utilities: scale handling, disk-cached
+//! backbone pretraining, table formatting, and a counting allocator for the
+//! memory column of Table 4.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod harness;
+pub mod methods;
+pub mod table;
+
+pub use harness::{backbone_for, default_config, experiment_seed};

@@ -1,0 +1,72 @@
+//! Plain-text table rendering matching the layout of the paper's tables.
+
+/// Render a table with a header row; columns are padded to their widest
+/// cell. Returns the formatted string (callers print it).
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(|s| s.as_str()).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format an F1-like percentage the way the paper prints it (one decimal).
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format seconds as the paper's Table 4 does (s/m/h).
+pub fn duration(secs: f64) -> String {
+    if secs < 90.0 {
+        format!("{secs:.1}s")
+    } else if secs < 5400.0 {
+        format!("{:.1}m", secs / 60.0)
+    } else {
+        format!("{:.1}h", secs / 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = render(
+            &["method", "F1"],
+            &[vec!["PromptEM".into(), "94.2".into()], vec!["BERT".into(), "91.6".into()]],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("method"));
+        assert!(lines[2].contains("PromptEM"));
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(duration(26.6), "26.6s");
+        assert_eq!(duration(444.0), "7.4m");
+        assert_eq!(duration(120.3 * 3600.0), "120.3h");
+    }
+}

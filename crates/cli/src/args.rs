@@ -1,0 +1,94 @@
+//! Tiny flag parser: `--key value` pairs plus positional arguments. No
+//! external dependencies.
+
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+pub struct Args {
+    pub positional: Vec<String>,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse a raw argument list (without the program name).
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err("bare '--' is not supported".into());
+                }
+                // A flag followed by another flag or nothing is a switch.
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().unwrap();
+                        if out.flags.insert(name.to_string(), value).is_some() {
+                            return Err(format!("duplicate flag --{name}"));
+                        }
+                    }
+                    _ => out.switches.push(name.to_string()),
+                }
+            } else {
+                out.positional.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    pub fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: {v}")),
+            None => Ok(default),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let a = parse(&["match", "--left", "a.csv", "--seed", "7", "--verbose"]);
+        assert_eq!(a.positional, vec!["match"]);
+        assert_eq!(a.get("left"), Some("a.csv"));
+        assert_eq!(a.get_parse::<u64>("seed", 0).unwrap(), 7);
+        assert!(a.switch("verbose"));
+        assert!(!a.switch("quiet"));
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        let a = parse(&["match"]);
+        assert!(a.require("left").is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_rejected() {
+        assert!(Args::parse(["--x", "1", "--x", "2"].map(String::from)).is_err());
+    }
+
+    #[test]
+    fn default_when_absent() {
+        let a = parse(&[]);
+        assert_eq!(a.get_parse::<usize>("epochs", 10).unwrap(), 10);
+    }
+}

@@ -1,0 +1,117 @@
+//! End-to-end CLI tests over temp files with tiny training budgets.
+
+use crate::run_cli;
+use std::path::PathBuf;
+
+fn write_fixture(dir: &PathBuf) -> (String, String, String) {
+    std::fs::create_dir_all(dir).unwrap();
+    let mut csv = String::from("name,city,year\n");
+    let mut jsonl = String::new();
+    let names = ["blue cafe", "red diner", "green grill", "gold bistro"];
+    let cities = ["boston", "austin", "denver", "madison"];
+    for i in 0..24 {
+        let name = names[i % 4];
+        let city = cities[(i / 4) % 4];
+        let year = 1990 + i;
+        csv.push_str(&format!("{name} number {i},{city},{year}\n"));
+        jsonl.push_str(&format!(
+            "{{\"title\": \"{name} number {i}\", \"place\": \"{city}\", \"opened\": {year}}}\n"
+        ));
+    }
+    let mut labels = String::from("left,right,label\n");
+    for i in 0..24 {
+        labels.push_str(&format!("{i},{i},1\n"));
+        labels.push_str(&format!("{i},{},0\n", (i + 4) % 24));
+    }
+    let left = dir.join("left.csv");
+    let right = dir.join("right.jsonl");
+    let lab = dir.join("labels.csv");
+    std::fs::write(&left, csv).unwrap();
+    std::fs::write(&right, jsonl).unwrap();
+    std::fs::write(&lab, labels).unwrap();
+    (
+        left.to_string_lossy().into_owned(),
+        right.to_string_lossy().into_owned(),
+        lab.to_string_lossy().into_owned(),
+    )
+}
+
+#[test]
+fn stats_command_works_on_real_files() {
+    let dir = std::env::temp_dir().join("promptem_cli_test_stats");
+    let (left, right, _) = write_fixture(&dir);
+    run_cli(vec!["stats".into(), "--left".into(), left, "--right".into(), right]).unwrap();
+}
+
+#[test]
+fn match_command_end_to_end_with_tiny_budget() {
+    let dir = std::env::temp_dir().join("promptem_cli_test_match");
+    let (left, right, labels) = write_fixture(&dir);
+    let out = dir.join("pred.csv");
+    run_cli(vec![
+        "match".into(),
+        "--left".into(),
+        left,
+        "--right".into(),
+        right,
+        "--labels".into(),
+        labels,
+        "--output".into(),
+        out.to_string_lossy().into_owned(),
+        "--pretrain-steps".into(),
+        "60".into(),
+        "--epochs".into(),
+        "2".into(),
+        "--no-lst".into(),
+    ])
+    .unwrap();
+    let body = std::fs::read_to_string(&out).unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines[0], "left,right,gold,predicted");
+    assert!(lines.len() > 1, "no predictions written");
+    for line in &lines[1..] {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 4);
+        assert!(fields[3] == "0" || fields[3] == "1");
+    }
+}
+
+#[test]
+fn export_writes_all_files() {
+    let dir = std::env::temp_dir().join("promptem_cli_test_export");
+    std::fs::remove_dir_all(&dir).ok();
+    run_cli(vec![
+        "export".into(),
+        "--benchmark".into(),
+        "rel-heter".into(),
+        "--dir".into(),
+        dir.to_string_lossy().into_owned(),
+    ])
+    .unwrap();
+    for f in ["left.csv", "right.csv", "train.csv", "valid.csv", "test.csv"] {
+        assert!(dir.join(f).exists(), "{f} missing");
+    }
+    // The exported tables re-ingest cleanly.
+    let body = std::fs::read_to_string(dir.join("left.csv")).unwrap();
+    let t = em_data::ingest::table_from_csv("left", &body).unwrap();
+    assert!(t.len() > 50);
+}
+
+#[test]
+fn match_rejects_too_few_labels() {
+    let dir = std::env::temp_dir().join("promptem_cli_test_few");
+    let (left, right, _) = write_fixture(&dir);
+    let labels = dir.join("few.csv");
+    std::fs::write(&labels, "0,0,1\n1,1,1\n").unwrap();
+    let err = run_cli(vec![
+        "match".into(),
+        "--left".into(),
+        left,
+        "--right".into(),
+        right,
+        "--labels".into(),
+        labels.to_string_lossy().into_owned(),
+    ])
+    .unwrap_err();
+    assert!(err.contains("at least 8"), "{err}");
+}

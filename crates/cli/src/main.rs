@@ -1,0 +1,288 @@
+//! `promptem` — run low-resource generalized entity matching on your own
+//! files.
+//!
+//! ```text
+//! promptem stats --left left.csv --right right.jsonl
+//! promptem match --left left.csv --right right.jsonl \
+//!     --labels labels.csv [--output predictions.csv] [--seed 42] \
+//!     [--template t1|t2] [--mode hard|continuous] [--no-lst]
+//! ```
+//!
+//! `labels.csv` columns: `left,right,label` — 0-based row indices into the
+//! two tables and a 0/1 label. A fraction of the labels is held out for
+//! validation; the remaining candidate pairs of the blocker become the
+//! unlabeled pool for self-training.
+
+mod args;
+
+#[cfg(test)]
+mod cli_e2e;
+
+use args::Args;
+use em_data::blocking::{record_tokens, TokenIndex};
+use em_data::ingest;
+use em_data::pair::{three_way_split, GemDataset, LabeledPair, Pair};
+use em_data::record::Table;
+use em_lm::prompt::{PromptMode, TemplateId};
+use promptem::pipeline::{run, PromptEmConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  promptem stats --left <file> --right <file>
+  promptem match --left <file> --right <file> --labels <csv>
+                 [--output <csv>] [--seed <u64>] [--rate <0..1>]
+                 [--template t1|t2] [--mode hard|continuous] [--no-lst]
+                 [--pretrain-steps <n>] [--epochs <n>]
+  promptem export --benchmark <name> --dir <path> [--seed <u64>] [--full]
+
+file formats by extension: .csv (relational), .jsonl/.ndjson (semi-structured),
+anything else (one textual record per line).
+benchmark names: REL-HETER SEMI-HOMO SEMI-HETER SEMI-REL SEMI-TEXT-c
+SEMI-TEXT-w REL-TEXT GEO-HETER";
+
+fn run_cli(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    match args.positional.first().map(|s| s.as_str()) {
+        Some("stats") => cmd_stats(&args),
+        Some("match") => cmd_match(&args),
+        Some("export") => cmd_export(&args),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("no command given".into()),
+    }
+}
+
+fn load_table(path: &str, name: &str) -> Result<Table, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let ext = std::path::Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("txt");
+    ingest::table_from_extension(name, ext, &body).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let left = load_table(args.require("left")?, "left")?;
+    let right = load_table(args.require("right")?, "right")?;
+    for t in [&left, &right] {
+        println!(
+            "{}: {} records, format {}, mean arity {:.2}",
+            t.name,
+            t.len(),
+            t.format,
+            t.mean_arity()
+        );
+    }
+    // Blocking preview: how many candidate pairs a token blocker yields.
+    let index = TokenIndex::build(&right.records, right.format);
+    let mut candidates = 0usize;
+    for r in &left.records {
+        candidates += index.candidates(&record_tokens(r, left.format), 2, None).len().min(10);
+    }
+    println!("token blocker: ~{candidates} candidate pairs (top-10 per left record)");
+    Ok(())
+}
+
+fn cmd_match(args: &Args) -> Result<(), String> {
+    let left = load_table(args.require("left")?, "left")?;
+    let right = load_table(args.require("right")?, "right")?;
+    let labels_path = args.require("labels")?;
+    let labels_body =
+        std::fs::read_to_string(labels_path).map_err(|e| format!("{labels_path}: {e}"))?;
+    let labeled = parse_labels(&labels_body, left.len(), right.len())?;
+    if labeled.len() < 8 {
+        return Err(format!("need at least 8 labeled pairs, found {}", labeled.len()));
+    }
+
+    let seed: u64 = args.get_parse("seed", 42)?;
+    let rate: f64 = args.get_parse("rate", 0.6)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Splits: valid/test from the labels, train = `rate` of the remainder,
+    // leftover labeled pairs (labels hidden) + blocker candidates = D_U.
+    let (mut pool, valid, test) = three_way_split(labeled, 0.2, 0.2, &mut rng);
+    let want = (((pool.len() as f64) * rate).round() as usize).min(pool.len());
+    let (train, mut unlabeled) = em_data::pair::stratified_split(&mut pool, want, &mut rng);
+    // Augment the unlabeled pool with blocker candidates not already labeled.
+    let index = TokenIndex::build(&right.records, right.format);
+    let known: std::collections::HashSet<(usize, usize)> = train
+        .iter()
+        .chain(&valid)
+        .chain(&test)
+        .chain(&unlabeled)
+        .map(|lp| (lp.pair.left, lp.pair.right))
+        .collect();
+    for (i, r) in left.records.iter().enumerate() {
+        for (j, _) in index.candidates(&record_tokens(r, left.format), 3, None).into_iter().take(2)
+        {
+            if !known.contains(&(i, j)) {
+                // Unknown gold label: recorded as negative, but the gold is
+                // only used for audit metrics the CLI does not print.
+                unlabeled.push(LabeledPair { pair: Pair { left: i, right: j }, label: false });
+            }
+        }
+    }
+
+    let name = "cli".to_string();
+    let rate = train.len() as f64
+        / (train.len() + valid.len() + test.len() + unlabeled.len()).max(1) as f64;
+    let ds = GemDataset {
+        name: name.clone(),
+        domain: "user".into(),
+        left,
+        right,
+        train,
+        valid,
+        test,
+        unlabeled,
+        rate,
+    };
+
+    let mut cfg = PromptEmConfig::default();
+    cfg.seed = seed;
+    cfg.prompt.template = match args.get("template") {
+        Some("t1") => TemplateId::T1,
+        Some("t2") | None => TemplateId::T2,
+        Some(other) => return Err(format!("unknown template '{other}'")),
+    };
+    cfg.prompt.mode = match args.get("mode") {
+        Some("hard") => PromptMode::Hard,
+        Some("continuous") | None => PromptMode::Continuous,
+        Some(other) => return Err(format!("unknown mode '{other}'")),
+    };
+    cfg.use_lst = !args.switch("no-lst");
+    // Budget overrides (useful for quick runs and tests).
+    cfg.pretrain.max_steps = args.get_parse("pretrain-steps", cfg.pretrain.max_steps)?;
+    cfg.lst.teacher.epochs = args.get_parse("epochs", cfg.lst.teacher.epochs)?;
+    cfg.lst.student.epochs = args.get_parse("epochs", cfg.lst.student.epochs)?;
+
+    eprintln!(
+        "training on {} labels ({} valid / {} test held out, {} unlabeled)...",
+        ds.train.len(),
+        ds.valid.len(),
+        ds.test.len(),
+        ds.unlabeled.len()
+    );
+    let result = run(&ds, &cfg);
+    println!("test scores: {}", result.scores);
+    println!(
+        "pretrain {:.1}s, tune {:.1}s, pseudo-labels {:?}, pruned {}",
+        result.pretrain_secs, result.train_secs, result.lst.pseudo_selected, result.lst.pruned
+    );
+
+    if let Some(out_path) = args.get("output") {
+        let mut out = String::from("left,right,gold,predicted\n");
+        for (lp, &pred) in ds.test.iter().zip(&result.test_predictions) {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                lp.pair.left,
+                lp.pair.right,
+                u8::from(lp.label),
+                u8::from(pred)
+            ));
+        }
+        std::fs::write(out_path, out).map_err(|e| format!("{out_path}: {e}"))?;
+        eprintln!("wrote {out_path}");
+    }
+    Ok(())
+}
+
+/// Export a synthetic benchmark to files a user (or another tool) can read:
+/// the two tables in their natural formats plus labeled splits.
+fn cmd_export(args: &Args) -> Result<(), String> {
+    use em_data::ingest::{extension_for, labels_to_csv, table_to_string};
+    use em_data::synth::{build, BenchmarkId, Scale};
+    let name = args.require("benchmark")?;
+    let id = BenchmarkId::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown benchmark '{name}'"))?;
+    let dir = std::path::PathBuf::from(args.require("dir")?);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let scale = if args.switch("full") { Scale::Full } else { Scale::Quick };
+    let seed: u64 = args.get_parse("seed", 42)?;
+    let ds = build(id, scale, seed);
+
+    let write = |file: String, body: String| -> Result<(), String> {
+        let path = dir.join(file);
+        std::fs::write(&path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+        Ok(())
+    };
+    write(format!("left.{}", extension_for(ds.left.format)), table_to_string(&ds.left))?;
+    write(format!("right.{}", extension_for(ds.right.format)), table_to_string(&ds.right))?;
+    write("train.csv".into(), labels_to_csv(&ds.train))?;
+    write("valid.csv".into(), labels_to_csv(&ds.valid))?;
+    write("test.csv".into(), labels_to_csv(&ds.test))?;
+    println!(
+        "{}: {} + {} records, {} train / {} valid / {} test labels",
+        ds.name,
+        ds.left.len(),
+        ds.right.len(),
+        ds.train.len(),
+        ds.valid.len(),
+        ds.test.len()
+    );
+    Ok(())
+}
+
+/// Parse `left,right,label` rows (header optional).
+fn parse_labels(body: &str, n_left: usize, n_right: usize) -> Result<Vec<LabeledPair>, String> {
+    let rows = ingest::parse_csv(body).map_err(|e| e.to_string())?;
+    let mut out = Vec::new();
+    for (k, row) in rows.iter().enumerate() {
+        if k == 0 && row.iter().any(|f| f.parse::<usize>().is_err()) {
+            continue; // header
+        }
+        if row.len() != 3 {
+            return Err(format!("labels row {} must have 3 fields", k + 1));
+        }
+        let left: usize =
+            row[0].trim().parse().map_err(|_| format!("bad left index on row {}", k + 1))?;
+        let right: usize =
+            row[1].trim().parse().map_err(|_| format!("bad right index on row {}", k + 1))?;
+        let label = matches!(row[2].trim(), "1" | "true" | "yes");
+        if left >= n_left || right >= n_right {
+            return Err(format!("label row {} out of range", k + 1));
+        }
+        out.push(LabeledPair { pair: Pair { left, right }, label });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_labels_with_header() {
+        let l = parse_labels("left,right,label\n0,1,1\n2,0,0\n", 5, 5).unwrap();
+        assert_eq!(l.len(), 2);
+        assert!(l[0].label);
+        assert!(!l[1].label);
+    }
+
+    #[test]
+    fn parse_labels_range_check() {
+        assert!(parse_labels("0,9,1\n", 5, 5).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run_cli(vec!["bogus".into()]).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Calibration diagnostics. §4.2 motivates uncertainty-aware selection with
+//! "incorrect predictions can have high confidence scores in poorly
+//! calibrated networks" — this module measures exactly that claim.
+
+/// Expected Calibration Error over equal-width confidence bins: the
+/// weighted mean |accuracy − confidence| per bin (Guo et al.'s standard
+/// definition, binary case).
+pub fn expected_calibration_error(probs: &[f32], gold: &[bool], bins: usize) -> f64 {
+    assert_eq!(probs.len(), gold.len());
+    assert!(bins > 0);
+    if probs.is_empty() {
+        return 0.0;
+    }
+    // Per-sample confidence is max(p, 1-p); correctness is against the
+    // implied prediction p > 0.5.
+    let mut bin_conf = vec![0.0f64; bins];
+    let mut bin_correct = vec![0.0f64; bins];
+    let mut bin_count = vec![0usize; bins];
+    for (&p, &g) in probs.iter().zip(gold) {
+        let pred = p > 0.5;
+        let conf = f64::from(p.max(1.0 - p));
+        // conf is in [0.5, 1.0]; spread it over the bins.
+        let idx = (((conf - 0.5) * 2.0) * bins as f64).min(bins as f64 - 1.0).max(0.0) as usize;
+        bin_conf[idx] += conf;
+        bin_correct[idx] += f64::from(u8::from(pred == g));
+        bin_count[idx] += 1;
+    }
+    let n = probs.len() as f64;
+    let mut ece = 0.0;
+    for b in 0..bins {
+        if bin_count[b] == 0 {
+            continue;
+        }
+        let count = bin_count[b] as f64;
+        let acc = bin_correct[b] / count;
+        let conf = bin_conf[b] / count;
+        ece += (count / n) * (acc - conf).abs();
+    }
+    ece
+}
+
+/// Brier score (mean squared error of the probability against the 0/1
+/// outcome): lower is better-calibrated *and* sharper.
+pub fn brier_score(probs: &[f32], gold: &[bool]) -> f64 {
+    assert_eq!(probs.len(), gold.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    probs
+        .iter()
+        .zip(gold)
+        .map(|(&p, &g)| {
+            let y = f64::from(u8::from(g));
+            (f64::from(p) - y).powi(2)
+        })
+        .sum::<f64>()
+        / probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_and_correct_has_zero_ece() {
+        let probs = vec![0.99f32, 0.99, 0.01, 0.01];
+        let gold = vec![true, true, false, false];
+        let ece = expected_calibration_error(&probs, &gold, 10);
+        assert!(ece < 0.02, "ece {ece}");
+        assert!(brier_score(&probs, &gold) < 0.001);
+    }
+
+    #[test]
+    fn confidently_wrong_predictions_have_high_ece() {
+        // The §4.2 failure mode: high confidence, wrong answers.
+        let probs = vec![0.95f32; 10];
+        let gold = vec![false; 10];
+        let ece = expected_calibration_error(&probs, &gold, 10);
+        assert!(ece > 0.9, "confidently-wrong should give ECE near 0.95: {ece}");
+        assert!(brier_score(&probs, &gold) > 0.85);
+    }
+
+    #[test]
+    fn chance_predictions_at_half_confidence_are_calibrated() {
+        // p = 0.5 ± ε on a balanced set: confidence ~0.5, accuracy ~0.5.
+        let probs: Vec<f32> = (0..100).map(|i| if i % 2 == 0 { 0.51 } else { 0.49 }).collect();
+        let gold: Vec<bool> = (0..100).map(|i| (i / 2) % 2 == 0).collect();
+        let ece = expected_calibration_error(&probs, &gold, 10);
+        assert!(ece < 0.1, "ece {ece}");
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(expected_calibration_error(&[], &[], 5), 0.0);
+        assert_eq!(brier_score(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn ece_is_bounded() {
+        let probs = vec![0.7f32, 0.2, 0.9, 0.55];
+        let gold = vec![false, true, true, false];
+        let ece = expected_calibration_error(&probs, &gold, 4);
+        assert!((0.0..=1.0).contains(&ece));
+    }
+}

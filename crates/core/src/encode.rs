@@ -1,0 +1,190 @@
+//! Turning a [`GemDataset`] into token-level examples: serialization
+//! (§2.2), TF-IDF summarization of long entries (Appendix F), and
+//! tokenization. Every downstream model consumes [`EncodedPair`]s.
+
+use em_data::pair::GemDataset;
+use em_data::record::Format;
+use em_data::serialize::serialize;
+use em_data::summarize::TfIdf;
+use em_lm::Tokenizer;
+
+/// A tokenized candidate pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedPair {
+    /// Token ids of the left record's summary.
+    pub ids_a: Vec<usize>,
+    /// Token ids of the right record's summary.
+    pub ids_b: Vec<usize>,
+}
+
+/// A labeled tokenized pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Example {
+    /// The tokenized candidate pair.
+    pub pair: EncodedPair,
+    /// Gold (or pseudo) label.
+    pub label: bool,
+}
+
+/// A fully-encoded dataset. The unlabeled pool keeps its gold labels in a
+/// *separate* vector so pseudo-label quality can be audited (Table 5)
+/// without models ever seeing them.
+#[derive(Debug, Clone)]
+pub struct EncodedDataset {
+    /// The source dataset's name.
+    pub name: String,
+    /// Low-resource labeled training split.
+    pub train: Vec<Example>,
+    /// Validation split.
+    pub valid: Vec<Example>,
+    /// Held-out test split.
+    pub test: Vec<Example>,
+    /// Unlabeled pool for self-training.
+    pub unlabeled: Vec<EncodedPair>,
+    /// Gold labels of `unlabeled`, index-aligned; for evaluation only.
+    pub unlabeled_gold: Vec<bool>,
+}
+
+impl EncodedDataset {
+    /// Gold labels of the test split.
+    pub fn test_labels(&self) -> Vec<bool> {
+        self.test.iter().map(|e| e.label).collect()
+    }
+}
+
+/// Encoding parameters.
+#[derive(Debug, Clone)]
+pub struct EncodeCfg {
+    /// Token budget per record after summarization.
+    pub side_tokens: usize,
+    /// Apply TF-IDF summarization to any table whose serializations exceed
+    /// the budget (Appendix F, applied uniformly). When false, long entries
+    /// are head-truncated instead — the strategy the appendix argues
+    /// against; kept for the ablation.
+    pub summarize_text: bool,
+}
+
+impl Default for EncodeCfg {
+    fn default() -> Self {
+        EncodeCfg { side_tokens: 16, summarize_text: true }
+    }
+}
+
+/// Serialize and (for long textual tables) summarize every record of one
+/// table, returning per-record strings.
+fn table_texts(
+    records: &[em_data::record::Record],
+    format: Format,
+    cfg: &EncodeCfg,
+) -> Vec<String> {
+    let raw: Vec<String> = records.iter().map(|r| serialize(r, format)).collect();
+    let _ = format;
+    let needs_summary = cfg.summarize_text
+        && raw.iter().any(|s| s.split_whitespace().count() > cfg.side_tokens);
+    if needs_summary {
+        let tfidf = TfIdf::fit(raw.iter().map(|s| s.as_str()));
+        raw.iter().map(|s| tfidf.summarize(s, cfg.side_tokens)).collect()
+    } else {
+        raw
+    }
+}
+
+/// Encode the full dataset. Serialization/summarization/tokenization run
+/// once per record, not once per pair.
+pub fn encode_dataset(ds: &GemDataset, tokenizer: &Tokenizer, cfg: &EncodeCfg) -> EncodedDataset {
+    let left_texts = table_texts(&ds.left.records, ds.left.format, cfg);
+    let right_texts = table_texts(&ds.right.records, ds.right.format, cfg);
+    let clip = |ids: Vec<usize>| -> Vec<usize> {
+        let mut ids = ids;
+        ids.truncate(cfg.side_tokens);
+        ids
+    };
+    let left_ids: Vec<Vec<usize>> =
+        left_texts.iter().map(|t| clip(tokenizer.encode(t))).collect();
+    let right_ids: Vec<Vec<usize>> =
+        right_texts.iter().map(|t| clip(tokenizer.encode(t))).collect();
+
+    let enc_pair = |p: em_data::pair::Pair| EncodedPair {
+        ids_a: left_ids[p.left].clone(),
+        ids_b: right_ids[p.right].clone(),
+    };
+    let enc_labeled = |ps: &[em_data::pair::LabeledPair]| -> Vec<Example> {
+        ps.iter().map(|lp| Example { pair: enc_pair(lp.pair), label: lp.label }).collect()
+    };
+    EncodedDataset {
+        name: ds.name.clone(),
+        train: enc_labeled(&ds.train),
+        valid: enc_labeled(&ds.valid),
+        test: enc_labeled(&ds.test),
+        unlabeled: ds.unlabeled.iter().map(|lp| enc_pair(lp.pair)).collect(),
+        unlabeled_gold: ds.unlabeled.iter().map(|lp| lp.label).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::synth::{build, BenchmarkId, Scale};
+
+    fn encoded(id: BenchmarkId) -> EncodedDataset {
+        let ds = build(id, Scale::Quick, 17);
+        let corpus: Vec<String> = ds
+            .left
+            .records
+            .iter()
+            .map(|r| serialize(r, ds.left.format))
+            .chain(ds.right.records.iter().map(|r| serialize(r, ds.right.format)))
+            .collect();
+        let tok = Tokenizer::fit(corpus.iter().map(|s| s.as_str()), 1);
+        encode_dataset(&ds, &tok, &EncodeCfg::default())
+    }
+
+    #[test]
+    fn splits_carry_over() {
+        let ds = build(BenchmarkId::RelHeter, Scale::Quick, 17);
+        let e = encoded(BenchmarkId::RelHeter);
+        assert_eq!(e.train.len(), ds.train.len());
+        assert_eq!(e.valid.len(), ds.valid.len());
+        assert_eq!(e.test.len(), ds.test.len());
+        assert_eq!(e.unlabeled.len(), e.unlabeled_gold.len());
+    }
+
+    #[test]
+    fn sides_respect_token_budget() {
+        let e = encoded(BenchmarkId::SemiTextW);
+        for ex in e.train.iter().chain(&e.valid).chain(&e.test) {
+            assert!(ex.pair.ids_a.len() <= 16);
+            assert!(ex.pair.ids_b.len() <= 16);
+        }
+    }
+
+    #[test]
+    fn no_empty_sides() {
+        for id in [BenchmarkId::RelHeter, BenchmarkId::RelText, BenchmarkId::SemiHeter] {
+            let e = encoded(id);
+            for ex in e.train.iter().chain(&e.test) {
+                assert!(!ex.pair.ids_a.is_empty(), "{id:?}: empty left side");
+                assert!(!ex.pair.ids_b.is_empty(), "{id:?}: empty right side");
+            }
+        }
+    }
+
+    #[test]
+    fn summarization_only_affects_textual_tables() {
+        let ds = build(BenchmarkId::SemiTextC, Scale::Quick, 18);
+        let corpus: Vec<String> =
+            ds.right.records.iter().map(|r| serialize(r, ds.right.format)).collect();
+        let tok = Tokenizer::fit(corpus.iter().map(|s| s.as_str()), 1);
+        let with = encode_dataset(&ds, &tok, &EncodeCfg { summarize_text: true, side_tokens: 20 });
+        let without =
+            encode_dataset(&ds, &tok, &EncodeCfg { summarize_text: false, side_tokens: 20 });
+        // Both respect the budget, but summaries pick different tokens than
+        // head truncation for at least some records.
+        let differs = with
+            .test
+            .iter()
+            .zip(&without.test)
+            .any(|(a, b)| a.pair.ids_b != b.pair.ids_b);
+        assert!(differs, "summarization had no effect on the textual side");
+    }
+}

@@ -1,0 +1,375 @@
+//! The PromptEM model: GEM cast as a cloze-style task (paper §3). A clone
+//! of the pretrained backbone is tuned end-to-end together with the
+//! continuous prompt embeddings; classification happens by scoring the
+//! label words at the `[MASK]` position through the *pretrained* MLM head
+//! (Eq. 1) — no freshly-initialized task head anywhere.
+
+use crate::encode::{EncodedPair, Example};
+use crate::trainer::{PruneCfg, TrainCfg, TrainReport, TunableMatcher};
+use em_lm::prompt::{LabelWords, PromptMode, PromptTemplate, TemplateId, Verbalizer};
+use em_lm::PretrainedLm;
+use em_nn::{AdamW, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Prompt-side options (template/mode/label words — the knobs of §5.5).
+#[derive(Debug, Clone)]
+pub struct PromptOpts {
+    /// Which GEM template to use.
+    pub template: TemplateId,
+    /// Hard or continuous prompts.
+    pub mode: PromptMode,
+    /// The verbalizer's label words.
+    pub label_words: LabelWords,
+}
+
+impl Default for PromptOpts {
+    fn default() -> Self {
+        // §5.5/Appendix B: continuous T2 performs best overall.
+        PromptOpts {
+            template: TemplateId::T2,
+            mode: PromptMode::Continuous,
+            label_words: LabelWords::designed(),
+        }
+    }
+}
+
+/// A prompt-tuned GEM matcher.
+pub struct PromptEmModel {
+    backbone: Arc<PretrainedLm>,
+    /// The working copy of the backbone (prompt-tuned in place).
+    pub lm: PretrainedLm,
+    /// The instantiated prompt template.
+    pub template: PromptTemplate,
+    /// The resolved label words.
+    pub verbalizer: Verbalizer,
+    opts: PromptOpts,
+    threshold: f32,
+    rng: StdRng,
+}
+
+impl PromptEmModel {
+    /// Clone the backbone and instantiate the prompt machinery on it.
+    pub fn new(backbone: Arc<PretrainedLm>, opts: PromptOpts, seed: u64) -> Self {
+        let mut lm = (*backbone).clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Warm-start continuous prompts from the hard template's word
+        // embeddings so tuning begins at the pretrained cloze behavior.
+        let init_rows = match opts.mode {
+            PromptMode::Continuous => {
+                let ids = PromptTemplate::init_word_ids(&lm.tokenizer, opts.template);
+                Some(lm.store.value(lm.encoder.tok_emb.table).gather_rows(&ids))
+            }
+            PromptMode::Hard => None,
+        };
+        let template = PromptTemplate::with_init(
+            &mut lm.store,
+            &lm.tokenizer,
+            lm.encoder.cfg.d_model,
+            opts.template,
+            opts.mode,
+            init_rows.as_ref(),
+            &mut rng,
+        );
+        let verbalizer = Verbalizer::new(&lm.tokenizer, &opts.label_words);
+        PromptEmModel { backbone, lm, template, verbalizer, opts, threshold: 0.5, rng }
+    }
+
+    /// Class targets: 0 = match ("yes" words), 1 = mismatch ("no" words).
+    fn target(label: bool) -> usize {
+        if label {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// Match probabilities for a batch on a given tape (train or inference).
+    fn forward_probs(&mut self, tape: &mut Tape, pairs: &[&EncodedPair]) -> Vec<f32> {
+        let mut rows = Vec::with_capacity(pairs.len());
+        for p in pairs {
+            let (h, mask_row) = self.template.forward(
+                tape,
+                &self.lm.store,
+                &self.lm.encoder,
+                &p.ids_a,
+                &p.ids_b,
+                &mut self.rng,
+            );
+            rows.push(tape.slice_rows(h, mask_row, 1));
+        }
+        let stacked = tape.concat_rows(&rows);
+        let logits = self.lm.mlm.logits(tape, &self.lm.store, &self.lm.encoder, stacked);
+        let probs = self.verbalizer.class_probs(tape, logits);
+        let pm = tape.value(probs);
+        (0..pm.rows())
+            .map(|r| {
+                let yes = pm.get(r, 0);
+                let no = pm.get(r, 1);
+                yes / (yes + no).max(1e-12)
+            })
+            .collect()
+    }
+
+    fn batch_step(&mut self, batch: &[&Example], opt: &mut AdamW) -> f32 {
+        self.lm.store.zero_grads();
+        let mut tape = Tape::new();
+        let mut rows = Vec::with_capacity(batch.len());
+        let mut targets = Vec::with_capacity(batch.len());
+        for ex in batch {
+            let (h, mask_row) = self.template.forward(
+                &mut tape,
+                &self.lm.store,
+                &self.lm.encoder,
+                &ex.pair.ids_a,
+                &ex.pair.ids_b,
+                &mut self.rng,
+            );
+            rows.push(tape.slice_rows(h, mask_row, 1));
+            targets.push(Self::target(ex.label));
+        }
+        let stacked = tape.concat_rows(&rows);
+        let logits = self.lm.mlm.logits(&mut tape, &self.lm.store, &self.lm.encoder, stacked);
+        let probs = self.verbalizer.class_probs(&mut tape, logits);
+        let loss = tape.nll_probs(probs, &targets);
+        let value = tape.value(loss).item();
+        tape.backward(loss);
+        tape.accumulate_param_grads(&mut self.lm.store);
+        self.lm.store.clip_grad_norm(1.0);
+        opt.step(&mut self.lm.store);
+        value
+    }
+
+    fn snapshot(&self) -> ParamStore {
+        self.lm.store.clone()
+    }
+
+    fn restore(&mut self, store: ParamStore) {
+        self.lm.store = store;
+    }
+}
+
+/// Shared epoch loop used by both PromptEM and the fine-tuning model; kept
+/// free-standing so the two implementations cannot drift apart.
+pub fn run_training<M: TunableMatcher>(
+    model: &mut M,
+    batch_step: &mut dyn FnMut(&mut M, &[&Example], &mut AdamW) -> f32,
+    snapshot: &mut dyn FnMut(&M) -> ParamStore,
+    restore: &mut dyn FnMut(&mut M, ParamStore),
+    train: &[Example],
+    valid: &[Example],
+    cfg: &TrainCfg,
+    prune: Option<&PruneCfg>,
+) -> TrainReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5);
+    let mut working: Vec<Example> = train.to_vec();
+    let mut opt = AdamW::new(cfg.lr);
+    let mut best_f1 = -1.0f64;
+    let mut best_store: Option<(ParamStore, f32)> = None;
+    let mut report = TrainReport::default();
+    let valid_pairs: Vec<crate::encode::EncodedPair> =
+        valid.iter().map(|e| e.pair.clone()).collect();
+    let valid_gold: Vec<bool> = valid.iter().map(|e| e.label).collect();
+
+    for epoch in 0..cfg.epochs {
+        working.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        // Class-balanced epoch pool: oversample positives so the tiny model
+        // does not collapse onto the majority class (see TrainCfg::balance).
+        let mut refs: Vec<&Example> = working.iter().collect();
+        if cfg.balance {
+            let pos: Vec<&Example> = working.iter().filter(|e| e.label).collect();
+            let neg = working.len() - pos.len();
+            if !pos.is_empty() && neg > pos.len() {
+                let extra_total = neg - pos.len();
+                for k in 0..extra_total {
+                    refs.push(pos[k % pos.len()]);
+                }
+                refs.shuffle(&mut rng);
+            }
+        }
+        for batch in refs.chunks(cfg.batch_size) {
+            epoch_loss += batch_step(model, batch, &mut opt);
+            batches += 1;
+        }
+        report.final_train_loss = if batches > 0 { epoch_loss / batches as f32 } else { 0.0 };
+        report.epochs_run += 1;
+
+        if cfg.best_on_valid && !valid.is_empty() {
+            // Calibrate the decision threshold on the validation set, then
+            // track the best (weights, threshold) pair by validation F1.
+            let probs = model.predict_proba(&valid_pairs);
+            let t = crate::trainer::calibrate_threshold(&probs, &valid_gold);
+            let pred: Vec<bool> = probs.iter().map(|&p| p > t).collect();
+            let f1 = 100.0 * em_data::Confusion::from_pairs(&pred, &valid_gold).f1();
+            if f1 > best_f1 {
+                best_f1 = f1;
+                best_store = Some((snapshot(model), t));
+            }
+        }
+
+        // Dynamic data pruning (§4.3): "We prune the train set for every
+        // [frequency] epochs".
+        if let Some(p) = prune {
+            let is_prune_epoch = (epoch + 1) % p.every == 0 && epoch + 1 < cfg.epochs;
+            if is_prune_epoch && working.len() > cfg.batch_size {
+                let scores = crate::pruning::mc_el2n(model, &working, p.passes);
+                let (kept, dropped) = crate::pruning::prune_lowest(working, &scores, p.e_r);
+                working = kept;
+                report.pruned += dropped;
+            }
+        }
+    }
+    if let Some((store, t)) = best_store {
+        restore(model, store);
+        model.set_threshold(t);
+        report.best_valid_f1 = best_f1;
+    } else if !valid.is_empty() {
+        report.best_valid_f1 = crate::trainer::evaluate(model, valid).f1;
+    }
+    report
+}
+
+impl TunableMatcher for PromptEmModel {
+    fn fresh(&self, seed: u64) -> Self {
+        PromptEmModel::new(self.backbone.clone(), self.opts.clone(), seed)
+    }
+
+    fn train(
+        &mut self,
+        train: &[Example],
+        valid: &[Example],
+        cfg: &TrainCfg,
+        prune: Option<&PruneCfg>,
+    ) -> TrainReport {
+        run_training(
+            self,
+            &mut |m, b, o| m.batch_step(b, o),
+            &mut |m| m.snapshot(),
+            &mut |m, s| m.restore(s),
+            train,
+            valid,
+            cfg,
+            prune,
+        )
+    }
+
+    fn predict_proba(&mut self, pairs: &[EncodedPair]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(pairs.len());
+        for chunk in pairs.chunks(32) {
+            let refs: Vec<&EncodedPair> = chunk.iter().collect();
+            let mut tape = Tape::inference();
+            out.extend(self.forward_probs(&mut tape, &refs));
+        }
+        out
+    }
+
+    fn stochastic_proba(&mut self, pairs: &[EncodedPair], passes: usize) -> Vec<Vec<f32>> {
+        em_lm::mc_dropout::run_passes(passes, |_| {
+            let mut out = Vec::with_capacity(pairs.len());
+            for chunk in pairs.chunks(32) {
+                let refs: Vec<&EncodedPair> = chunk.iter().collect();
+                let mut tape = Tape::new(); // dropout active
+                out.extend(self.forward_probs(&mut tape, &refs));
+            }
+            out
+        })
+    }
+
+    fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    fn set_threshold(&mut self, t: f32) {
+        self.threshold = t;
+    }
+
+    fn embed(&mut self, pairs: &[EncodedPair]) -> Vec<Vec<f32>> {
+        let mut out = Vec::with_capacity(pairs.len());
+        for p in pairs {
+            let mut tape = Tape::inference();
+            let (h, mask_row) = self.template.forward(
+                &mut tape,
+                &self.lm.store,
+                &self.lm.encoder,
+                &p.ids_a,
+                &p.ids_b,
+                &mut self.rng,
+            );
+            out.push(tape.value(h).row(mask_row).to_vec());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{tiny_backbone, toy_examples};
+
+    #[test]
+    fn model_learns_toy_task() {
+        let backbone = tiny_backbone();
+        let (train, valid) = toy_examples(&backbone, 40, 1);
+        let mut model = PromptEmModel::new(backbone, PromptOpts::default(), 3);
+        let cfg = TrainCfg { epochs: 8, ..Default::default() };
+        let report = model.train(&train, &valid, &cfg, None);
+        assert!(report.epochs_run == 8);
+        let f1 = crate::trainer::evaluate(&mut model, &valid).f1;
+        assert!(f1 > 60.0, "prompt model failed to learn: F1 {f1}");
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let backbone = tiny_backbone();
+        let (train, _) = toy_examples(&backbone, 10, 2);
+        let mut model = PromptEmModel::new(backbone, PromptOpts::default(), 4);
+        let pairs: Vec<EncodedPair> = train.iter().map(|e| e.pair.clone()).collect();
+        for p in model.predict_proba(&pairs) {
+            assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        }
+    }
+
+    #[test]
+    fn stochastic_passes_vary_deterministic_do_not() {
+        let backbone = tiny_backbone();
+        let (train, _) = toy_examples(&backbone, 6, 3);
+        let mut model = PromptEmModel::new(backbone, PromptOpts::default(), 5);
+        let pairs: Vec<EncodedPair> = train.iter().map(|e| e.pair.clone()).collect();
+        let a = model.predict_proba(&pairs);
+        let b = model.predict_proba(&pairs);
+        assert_eq!(a, b, "inference must be deterministic");
+        let passes = model.stochastic_proba(&pairs, 4);
+        let any_diff = passes.iter().any(|p| p != &passes[0]);
+        assert!(any_diff, "MC-dropout passes identical — dropout inactive?");
+    }
+
+    #[test]
+    fn fresh_resets_to_backbone() {
+        let backbone = tiny_backbone();
+        let (train, valid) = toy_examples(&backbone, 20, 6);
+        let mut model = PromptEmModel::new(backbone, PromptOpts::default(), 6);
+        let cfg = TrainCfg { epochs: 2, ..Default::default() };
+        model.train(&train, &valid, &cfg, None);
+        let pairs: Vec<EncodedPair> = valid.iter().map(|e| e.pair.clone()).collect();
+        let tuned = model.predict_proba(&pairs);
+        let mut fresh = model.fresh(999);
+        let reset = fresh.predict_proba(&pairs);
+        assert_ne!(tuned, reset, "fresh() did not reset the weights");
+    }
+
+    #[test]
+    fn embeddings_have_model_width() {
+        let backbone = tiny_backbone();
+        let d = backbone.d_model();
+        let (train, _) = toy_examples(&backbone, 4, 7);
+        let mut model = PromptEmModel::new(backbone, PromptOpts::default(), 8);
+        let pairs: Vec<EncodedPair> = train.iter().map(|e| e.pair.clone()).collect();
+        for e in model.embed(&pairs) {
+            assert_eq!(e.len(), d);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Lightweight Self-Training — Algorithm 1 of the paper.
+//!
+//! A teacher is trained on the labeled set, pseudo-labels are selected from
+//! the unlabeled pool by uncertainty (§4.2), the labeled set is augmented,
+//! and a student is trained on it with dynamic data pruning (§4.3). The
+//! best student on the validation set is returned. The whole loop is
+//! generic over [`TunableMatcher`], which is what makes LST "general enough
+//! to incorporate with other approaches" (§4.1).
+
+use crate::encode::{EncodedPair, Example};
+use crate::pseudo::{apply_pseudo_labels, pseudo_label_quality, select_pseudo_labels, PseudoCfg};
+use crate::trainer::{PruneCfg, TrainCfg, TrainReport, TunableMatcher};
+
+/// Configuration of the self-training loop.
+#[derive(Debug, Clone)]
+pub struct LstCfg {
+    /// `Iter` in Algorithm 1 (the paper fixes it to 1 in experiments).
+    pub iterations: usize,
+    /// Teacher training budget.
+    pub teacher: TrainCfg,
+    /// Student training budget.
+    pub student: TrainCfg,
+    /// Pseudo-label selection settings.
+    pub pseudo: PseudoCfg,
+    /// Dynamic data pruning for the student; `None` = "PromptEM w/o DDP".
+    pub prune: Option<PruneCfg>,
+    /// Seed for teacher/student re-initialization.
+    pub seed: u64,
+}
+
+impl Default for LstCfg {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+impl LstCfg {
+    /// Single-core-friendly budget (the default experiment scale).
+    pub fn quick() -> Self {
+        LstCfg {
+            iterations: 1,
+            teacher: TrainCfg { epochs: 10, ..Default::default() },
+            student: TrainCfg { epochs: 12, ..Default::default() },
+            pseudo: PseudoCfg::default(),
+            prune: Some(PruneCfg { every: 3, e_r: 0.2, passes: 10 }),
+            seed: 0x157,
+        }
+    }
+
+    /// The paper's settings (§5.1): teacher 20 epochs, student 30, prune
+    /// every 8 epochs, 10 MC-Dropout passes.
+    pub fn paper() -> Self {
+        LstCfg {
+            iterations: 1,
+            teacher: TrainCfg { epochs: 20, ..Default::default() },
+            student: TrainCfg { epochs: 30, ..Default::default() },
+            pseudo: PseudoCfg { passes: 10, ..Default::default() },
+            prune: Some(PruneCfg { every: 8, e_r: 0.2, passes: 10 }),
+            seed: 0x157,
+        }
+    }
+}
+
+/// What happened during one LST run.
+#[derive(Debug, Clone, Default)]
+pub struct LstReport {
+    /// Last iteration's teacher training report.
+    pub teacher: TrainReport,
+    /// Last iteration's student training report.
+    pub student: TrainReport,
+    /// Pseudo-labels selected per iteration.
+    pub pseudo_selected: Vec<usize>,
+    /// (TPR, TNR) of each iteration's pseudo-labels, when gold labels were
+    /// supplied for auditing.
+    pub pseudo_quality: Vec<(f64, f64)>,
+    /// Training examples removed by dynamic data pruning.
+    pub pruned: usize,
+}
+
+/// Run Algorithm 1. `proto` supplies `fresh()` re-initializations; `gold`
+/// (optional) is used only to audit pseudo-label quality for Table 5.
+///
+/// ```no_run
+/// use promptem::model::{PromptEmModel, PromptOpts};
+/// use promptem::selftrain::{lightweight_self_train, LstCfg};
+/// use promptem::pipeline::{pretrain_backbone, encode_with, PromptEmConfig};
+/// use em_data::synth::{build, BenchmarkId, Scale};
+///
+/// let ds = build(BenchmarkId::SemiHomo, Scale::Quick, 1);
+/// let cfg = PromptEmConfig::default();
+/// let backbone = pretrain_backbone(&ds, &cfg);
+/// let enc = encode_with(&ds, &backbone, &cfg);
+/// let proto = PromptEmModel::new(backbone, PromptOpts::default(), 7);
+/// let (student, report) = lightweight_self_train(
+///     &proto, &enc.train, &enc.valid, &enc.unlabeled,
+///     Some(&enc.unlabeled_gold), &LstCfg::quick(),
+/// );
+/// println!("selected {:?} pseudo-labels", report.pseudo_selected);
+/// # let _ = student;
+/// ```
+pub fn lightweight_self_train<M: TunableMatcher>(
+    proto: &M,
+    train: &[Example],
+    valid: &[Example],
+    unlabeled: &[EncodedPair],
+    gold: Option<&[bool]>,
+    cfg: &LstCfg,
+) -> (M, LstReport) {
+    let mut d_l: Vec<Example> = train.to_vec();
+    let mut d_u: Vec<EncodedPair> = unlabeled.to_vec();
+    let mut d_u_gold: Option<Vec<bool>> = gold.map(|g| g.to_vec());
+    let mut report = LstReport::default();
+    let mut best: Option<(M, f64)> = None;
+
+    for iter in 0..cfg.iterations.max(1) {
+        // Lines 2-4: fresh teacher trained on D_L.
+        let mut teacher = proto.fresh(cfg.seed.wrapping_add(iter as u64 * 2));
+        report.teacher = teacher.train(&d_l, valid, &cfg.teacher, None);
+
+        // Lines 5-8: uncertainty-aware pseudo-label selection.
+        let selected = select_pseudo_labels(&mut teacher, &d_u, &cfg.pseudo);
+        report.pseudo_selected.push(selected.len());
+        if let Some(g) = &d_u_gold {
+            report.pseudo_quality.push(pseudo_label_quality(&selected, g));
+        }
+        let (pseudo_examples, consumed) = apply_pseudo_labels(&d_u, &selected);
+        d_l.extend(pseudo_examples);
+        remove_indices(&mut d_u, &consumed);
+        if let Some(g) = &mut d_u_gold {
+            remove_indices(g, &consumed);
+        }
+
+        // Lines 9-15: fresh student trained on the augmented D_L with
+        // dynamic data pruning.
+        let mut student = proto.fresh(cfg.seed.wrapping_add(iter as u64 * 2 + 1));
+        report.student = student.train(&d_l, valid, &cfg.student, cfg.prune.as_ref());
+        report.pruned += report.student.pruned;
+
+        // Line 16: keep the best student on the validation set.
+        let f1 = crate::trainer::evaluate(&mut student, valid).f1;
+        match &best {
+            Some((_, best_f1)) if *best_f1 >= f1 => {}
+            _ => best = Some((student, f1)),
+        }
+    }
+    (best.expect("at least one iteration").0, report)
+}
+
+/// Remove elements at `indices` (any order) from `v`, preserving the order
+/// of survivors.
+fn remove_indices<T>(v: &mut Vec<T>, indices: &[usize]) {
+    if indices.is_empty() {
+        return;
+    }
+    let mut drop = vec![false; v.len()];
+    for &i in indices {
+        drop[i] = true;
+    }
+    let mut keep_iter = drop.into_iter();
+    v.retain(|_| !keep_iter.next().unwrap());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PromptEmModel, PromptOpts};
+    use crate::testutil::{tiny_backbone, toy_examples};
+    use crate::trainer::evaluate;
+
+    #[test]
+    fn remove_indices_preserves_order() {
+        let mut v = vec![10, 11, 12, 13, 14];
+        remove_indices(&mut v, &[3, 0]);
+        assert_eq!(v, vec![11, 12, 14]);
+        remove_indices(&mut v, &[]);
+        assert_eq!(v, vec![11, 12, 14]);
+    }
+
+    #[test]
+    fn lst_runs_and_moves_pseudo_labels() {
+        let backbone = tiny_backbone();
+        let (train, valid) = toy_examples(&backbone, 24, 10);
+        // Build an unlabeled pool from more toy examples.
+        let (extra, _) = toy_examples(&backbone, 40, 11);
+        let unlabeled: Vec<_> = extra.iter().map(|e| e.pair.clone()).collect();
+        let gold: Vec<bool> = extra.iter().map(|e| e.label).collect();
+
+        let proto = PromptEmModel::new(backbone, PromptOpts::default(), 12);
+        let cfg = LstCfg {
+            teacher: TrainCfg { epochs: 3, ..Default::default() },
+            student: TrainCfg { epochs: 3, ..Default::default() },
+            pseudo: PseudoCfg { u_r: 0.2, passes: 3, ..Default::default() },
+            prune: Some(PruneCfg { every: 2, e_r: 0.1, passes: 2 }),
+            ..Default::default()
+        };
+        let (mut student, report) =
+            lightweight_self_train(&proto, &train, &valid, &unlabeled, Some(&gold), &cfg);
+        assert_eq!(report.pseudo_selected.len(), 1);
+        assert_eq!(report.pseudo_selected[0], 6); // 20% of 30... u_r * |D_U|
+        assert_eq!(report.pseudo_quality.len(), 1);
+        let f1 = evaluate(&mut student, &valid).f1;
+        assert!(f1.is_finite());
+    }
+
+    #[test]
+    fn lst_selected_count_follows_u_r() {
+        let backbone = tiny_backbone();
+        let (train, valid) = toy_examples(&backbone, 16, 13);
+        let (extra, _) = toy_examples(&backbone, 20, 14);
+        let unlabeled: Vec<_> = extra.iter().map(|e| e.pair.clone()).collect();
+        let proto = PromptEmModel::new(backbone, PromptOpts::default(), 15);
+        let cfg = LstCfg {
+            teacher: TrainCfg { epochs: 1, ..Default::default() },
+            student: TrainCfg { epochs: 1, ..Default::default() },
+            pseudo: PseudoCfg { u_r: 0.5, passes: 2, ..Default::default() },
+            prune: None,
+            ..Default::default()
+        };
+        let (_, report) = lightweight_self_train(&proto, &train, &valid, &unlabeled, None, &cfg);
+        assert_eq!(report.pseudo_selected[0], (unlabeled.len() as f64 * 0.5).round() as usize);
+        assert!(report.pseudo_quality.is_empty());
+        assert_eq!(report.pruned, 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Shared training configuration and the generic epoch loop contract used
+//! by both prompt-tuning and fine-tuning models.
+
+use crate::encode::{EncodedPair, Example};
+
+/// Hyperparameters of one supervised training run (paper §5.1: AdamW,
+/// batch size 32, lr 2e-5 at RoBERTa scale — rescaled for the mini-LM).
+#[derive(Debug, Clone)]
+pub struct TrainCfg {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Examples per optimizer step.
+    pub batch_size: usize,
+    /// AdamW learning rate.
+    pub lr: f32,
+    /// Select the epoch with the best validation F1 (paper §5.1: "We select
+    /// the epoch with the highest F1-score on the validation set").
+    pub best_on_valid: bool,
+    /// Oversample the minority (positive) class each epoch so batches are
+    /// roughly balanced. EM candidate sets are negative-heavy; at the
+    /// paper's scale large batches smooth this out, at mini scale explicit
+    /// balancing is needed to keep tiny models off the majority-class
+    /// collapse. Applied uniformly to every LM-based method.
+    pub balance: bool,
+    /// Shuffling/epoch RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrainCfg {
+    fn default() -> Self {
+        TrainCfg { epochs: 10, batch_size: 16, lr: 1e-4, best_on_valid: true, balance: true, seed: 7 }
+    }
+}
+
+/// Dynamic-data-pruning settings threaded into the student's training loop
+/// (§4.3): every `every` epochs, drop the `e_r` fraction of training
+/// examples with the lowest MC-EL2N scores.
+#[derive(Debug, Clone)]
+pub struct PruneCfg {
+    /// Prune every this many epochs.
+    pub every: usize,
+    /// Fraction of the training set dropped per pruning event (Eq. 3).
+    pub e_r: f64,
+    /// MC-Dropout passes for MC-EL2N.
+    pub passes: usize,
+}
+
+impl Default for PruneCfg {
+    fn default() -> Self {
+        PruneCfg { every: 3, e_r: 0.2, passes: 10 }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Epochs actually executed.
+    pub epochs_run: usize,
+    /// Best validation F1 observed (with calibrated threshold).
+    pub best_valid_f1: f64,
+    /// Mean loss of the final epoch.
+    pub final_train_loss: f32,
+    /// Examples pruned by dynamic data pruning across the run.
+    pub pruned: usize,
+}
+
+/// The contract every trainable matcher in this crate satisfies; the
+/// lightweight self-training loop (§4) is generic over it, which is what
+/// makes LST "general enough to incorporate with other approaches" (§4.1).
+pub trait TunableMatcher {
+    /// A fresh re-initialized model sharing the same pretrained backbone
+    /// (Algorithm 1 re-initializes the teacher and student each iteration).
+    fn fresh(&self, seed: u64) -> Self
+    where
+        Self: Sized;
+
+    /// Supervised training, optionally with dynamic data pruning.
+    fn train(
+        &mut self,
+        train: &[Example],
+        valid: &[Example],
+        cfg: &TrainCfg,
+        prune: Option<&PruneCfg>,
+    ) -> TrainReport;
+
+    /// Deterministic match probabilities in [0, 1] (dropout off).
+    fn predict_proba(&mut self, pairs: &[EncodedPair]) -> Vec<f32>;
+
+    /// `passes` stochastic forward passes with dropout on (MC-Dropout).
+    fn stochastic_proba(&mut self, pairs: &[EncodedPair], passes: usize) -> Vec<Vec<f32>>;
+
+    /// A pair embedding used by the clustering pseudo-label strategy.
+    fn embed(&mut self, pairs: &[EncodedPair]) -> Vec<Vec<f32>>;
+
+    /// The decision threshold on the match probability. Calibrated on the
+    /// validation set at the end of training (mini-scale LMs are poorly
+    /// calibrated; the validation set is in-budget — the paper likewise
+    /// model-selects on it).
+    fn threshold(&self) -> f32 {
+        0.5
+    }
+
+    /// Install a calibrated decision threshold.
+    fn set_threshold(&mut self, t: f32);
+
+    /// Binary predictions at the model's threshold.
+    fn predict(&mut self, pairs: &[EncodedPair]) -> Vec<bool> {
+        let t = self.threshold();
+        self.predict_proba(pairs).iter().map(|&p| p > t).collect()
+    }
+}
+
+/// Pick the threshold maximizing F1 of `probs` against `gold`. Candidates
+/// are midpoints between consecutive sorted probabilities (plus 0.5).
+pub fn calibrate_threshold(probs: &[f32], gold: &[bool]) -> f32 {
+    assert_eq!(probs.len(), gold.len());
+    if probs.is_empty() {
+        return 0.5;
+    }
+    let mut sorted: Vec<f32> = probs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut candidates = vec![0.5f32];
+    for w in sorted.windows(2) {
+        candidates.push((w[0] + w[1]) / 2.0);
+    }
+    candidates.push(sorted[0] - 1e-4);
+    candidates.push(sorted[sorted.len() - 1] + 1e-4);
+    let mut best = (0.5f32, -1.0f64);
+    for &t in &candidates {
+        let pred: Vec<bool> = probs.iter().map(|&p| p > t).collect();
+        let f1 = em_data::Confusion::from_pairs(&pred, gold).f1();
+        if f1 > best.1 {
+            best = (t, f1);
+        }
+    }
+    best.0
+}
+
+/// Evaluate a matcher on labeled examples.
+pub fn evaluate<M: TunableMatcher>(model: &mut M, examples: &[Example]) -> em_data::PrfScores {
+    let pairs: Vec<EncodedPair> = examples.iter().map(|e| e.pair.clone()).collect();
+    let pred = model.predict(&pairs);
+    let gold: Vec<bool> = examples.iter().map(|e| e.label).collect();
+    em_data::PrfScores::from_predictions(&pred, &gold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let t = TrainCfg::default();
+        assert!(t.epochs > 0 && t.batch_size > 0 && t.lr > 0.0);
+        let p = PruneCfg::default();
+        assert!(p.every > 0 && p.e_r > 0.0 && p.e_r < 1.0 && p.passes > 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! In-domain pretraining corpus construction.
+//!
+//! The paper starts from RoBERTa-base, whose 160 GB pretraining corpus
+//! taught it both (a) the distributional semantics of record-like text and
+//! (b) what relation words like "similar"/"different" mean. Our from-scratch
+//! mini-LM has to acquire the same two kinds of knowledge from somewhere, so
+//! the corpus builder emits:
+//!
+//! 1. the serialization of every record of both tables (plain MLM text);
+//! 2. *unsupervised* relational statements: record pairs judged by a token
+//!    overlap heuristic — NOT by gold labels — phrased through the same
+//!    surface patterns the prompt templates use ("… they are similar",
+//!    "… is different to …").
+//!
+//! (2) is distant supervision in the classic sense: noisy, label-free, and
+//! exactly the kind of signal a web-scale corpus provides a real LM. The
+//! gold train/valid/test labels are never consulted.
+
+use crate::blocking::{jaccard, record_tokens, TokenIndex};
+use crate::pair::GemDataset;
+use crate::serialize::serialize;
+use crate::summarize::TfIdf;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Relation words to teach. Defaults mirror the PromptEM label-word sets.
+#[derive(Debug, Clone)]
+pub struct RelationWords {
+    /// Words phrased for similar pairs.
+    pub positive: Vec<String>,
+    /// Words phrased for dissimilar pairs.
+    pub negative: Vec<String>,
+}
+
+impl Default for RelationWords {
+    fn default() -> Self {
+        RelationWords {
+            positive: vec!["matched".into(), "similar".into(), "relevant".into()],
+            negative: vec!["mismatched".into(), "different".into(), "irrelevant".into()],
+        }
+    }
+}
+
+/// Corpus construction parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusCfg {
+    /// Cap on plain record sentences.
+    pub max_record_sentences: usize,
+    /// Number of relational statements to attempt.
+    pub relation_statements: usize,
+    /// Jaccard similarity above which a pair is phrased positively.
+    pub sim_hi: f64,
+    /// Jaccard similarity below which a pair is phrased negatively.
+    pub sim_lo: f64,
+    /// Token cap per record inside a relational statement.
+    pub side_tokens: usize,
+}
+
+impl Default for CorpusCfg {
+    fn default() -> Self {
+        CorpusCfg {
+            max_record_sentences: 500,
+            relation_statements: 1400,
+            sim_hi: 0.35,
+            sim_lo: 0.12,
+            side_tokens: 16,
+        }
+    }
+}
+
+fn clip_tokens(s: &str, n: usize) -> String {
+    s.split_whitespace().take(n).collect::<Vec<_>>().join(" ")
+}
+
+/// Build the pretraining corpus for one dataset (gold labels unused).
+pub fn build_pretrain_corpus(
+    ds: &GemDataset,
+    words: &RelationWords,
+    cfg: &CorpusCfg,
+    rng: &mut impl Rng,
+) -> Vec<String> {
+    let mut corpus = Vec::new();
+
+    // (1) plain record sentences, alternating sides so both schemas are
+    // represented even under the cap.
+    let left_ser: Vec<String> =
+        ds.left.records.iter().map(|r| serialize(r, ds.left.format)).collect();
+    let right_ser: Vec<String> =
+        ds.right.records.iter().map(|r| serialize(r, ds.right.format)).collect();
+    // Relational statements compare TF-IDF summaries — the same record
+    // representation downstream models are tuned on (Appendix F applied
+    // uniformly), keeping pretraining and prompting in-distribution.
+    let left_tfidf = TfIdf::fit(left_ser.iter().map(|s| s.as_str()));
+    let right_tfidf = TfIdf::fit(right_ser.iter().map(|s| s.as_str()));
+    let left_sum: Vec<String> =
+        left_ser.iter().map(|s| left_tfidf.summarize(s, cfg.side_tokens)).collect();
+    let right_sum: Vec<String> =
+        right_ser.iter().map(|s| right_tfidf.summarize(s, cfg.side_tokens)).collect();
+    let mut record_sentences: Vec<&String> = left_ser.iter().chain(right_ser.iter()).collect();
+    record_sentences.shuffle(rng);
+    for s in record_sentences.iter().take(cfg.max_record_sentences) {
+        corpus.push((*s).clone());
+    }
+
+    // (2a) noised self-pair statements: a record and a *perturbed copy of
+    // itself* (typos, abbreviations, dropped tokens) are positives; this is
+    // the matching-relevant invariance — "two noisy views of the same
+    // content are the same thing" — and is label-free by construction. It
+    // also guarantees every relation word enters the vocabulary.
+    use crate::synth::noise::{noisy_text, NoiseCfg};
+    let mut pos_k = 0usize;
+    let mut neg_k = 0usize;
+    let n_self = (cfg.relation_statements / 2).max(words.positive.len().max(words.negative.len()));
+    for side in 0..2 {
+        let pool = if side == 0 { &left_sum } else { &right_sum };
+        for _ in 0..n_self / 2 {
+            let i = rng.gen_range(0..pool.len());
+            let noisy = noisy_text(&pool[i], &NoiseCfg::DIRTY, rng);
+            let w = &words.positive[pos_k % words.positive.len()];
+            pos_k += 1;
+            push_statements(&mut corpus, &pool[i], &noisy, w, cfg);
+        }
+    }
+
+    // (2b) cross-table statements via token-overlap heuristics: the top
+    // blocking candidate is phrased positively when similar enough; *hard*
+    // candidates (non-trivial overlap yet low similarity) and random pairs
+    // are phrased negatively. Distant supervision: noisy, label-free.
+    let index = TokenIndex::build(&ds.right.records, ds.right.format);
+    let n_left = ds.left.records.len();
+    for _ in 0..cfg.relation_statements {
+        let i = rng.gen_range(0..n_left);
+        let q = record_tokens(&ds.left.records[i], ds.left.format);
+        let candidates = index.candidates(&q, 2, None);
+        if let Some(&(j, _)) = candidates.first() {
+            let sim = jaccard(&q, index.tokens_of(j));
+            if sim >= cfg.sim_hi {
+                let w = &words.positive[pos_k % words.positive.len()];
+                pos_k += 1;
+                push_statements(&mut corpus, &left_sum[i], &right_sum[j], w, cfg);
+            }
+        }
+        // Hard negative: a lower-ranked candidate that still shares tokens
+        // but is clearly below the similarity bar.
+        if let Some(&(j, _)) = candidates.get(2) {
+            let sim = jaccard(&q, index.tokens_of(j));
+            if sim <= cfg.sim_lo {
+                let w = &words.negative[neg_k % words.negative.len()];
+                neg_k += 1;
+                push_statements(&mut corpus, &left_sum[i], &right_sum[j], w, cfg);
+            }
+        }
+        // Easy negative: a random record.
+        let j = rng.gen_range(0..ds.right.records.len());
+        let sim = jaccard(&q, index.tokens_of(j));
+        if sim <= cfg.sim_lo {
+            let w = &words.negative[neg_k % words.negative.len()];
+            neg_k += 1;
+            push_statements(&mut corpus, &left_sum[i], &right_sum[j], w, cfg);
+        }
+    }
+    corpus.shuffle(rng);
+    corpus
+}
+
+/// Emit both template surface forms for one pair and relation word.
+fn push_statements(corpus: &mut Vec<String>, a: &str, b: &str, word: &str, cfg: &CorpusCfg) {
+    let a = clip_tokens(a, cfg.side_tokens);
+    let b = clip_tokens(b, cfg.side_tokens);
+    corpus.push(format!("{a} {b} they are {word}"));
+    corpus.push(format!("{a} is {word} to {b}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{build, BenchmarkId, Scale};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn corpus_for(id: BenchmarkId) -> Vec<String> {
+        let ds = build(id, Scale::Quick, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        build_pretrain_corpus(&ds, &RelationWords::default(), &CorpusCfg::default(), &mut rng)
+    }
+
+    #[test]
+    fn corpus_is_nonempty_and_capped() {
+        let c = corpus_for(BenchmarkId::RelHeter);
+        let cfg = CorpusCfg::default();
+        assert!(c.len() >= 50, "corpus too small: {}", c.len());
+        // Upper bound: record sentences + 2 sentences per self-pair attempt
+        // + up to 3 statements (6 sentences) per cross-table iteration.
+        let n_self = cfg.relation_statements / 2;
+        let cap = cfg.max_record_sentences + 2 * n_self + 6 * cfg.relation_statements;
+        assert!(c.len() <= cap, "corpus exceeded cap: {} > {cap}", c.len());
+    }
+
+    #[test]
+    fn corpus_contains_all_relation_words() {
+        let c = corpus_for(BenchmarkId::SemiHomo);
+        let joined = c.join(" ");
+        for w in ["matched", "similar", "relevant", "mismatched", "different", "irrelevant"] {
+            assert!(joined.contains(w), "relation word '{w}' missing from corpus");
+        }
+        // Template glue words must be present for the hard templates.
+        for w in ["they", "are", "is", "to"] {
+            assert!(joined.split_whitespace().any(|t| t == w), "glue word '{w}' missing");
+        }
+    }
+
+    #[test]
+    fn corpus_never_reads_gold_labels() {
+        // Statements are built from table rows only: a dataset with all
+        // labels flipped yields the identical corpus.
+        let ds = build(BenchmarkId::RelHeter, Scale::Quick, 33);
+        let mut flipped = ds.clone();
+        for p in flipped.train.iter_mut().chain(flipped.unlabeled.iter_mut()) {
+            p.label = !p.label;
+        }
+        let mk = |d: &crate::pair::GemDataset| {
+            let mut rng = StdRng::seed_from_u64(9);
+            build_pretrain_corpus(d, &RelationWords::default(), &CorpusCfg::default(), &mut rng)
+        };
+        assert_eq!(mk(&ds), mk(&flipped));
+    }
+
+    #[test]
+    fn statement_sides_are_clipped() {
+        let c = corpus_for(BenchmarkId::SemiTextW);
+        let cfg = CorpusCfg::default();
+        for s in c.iter().filter(|s| s.contains(" they are ")) {
+            let n = s.split_whitespace().count();
+            assert!(n <= 2 * cfg.side_tokens + 3, "statement too long: {n} tokens");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! A small RFC-4180-style CSV reader: quoted fields, embedded commas,
+//! escaped quotes (`""`), CRLF/LF line endings. The first row is the
+//! header; each subsequent row becomes a [`Record`](crate::record::Record)
+//! with one attribute per column. Numeric-looking fields become
+//! [`Value::Number`](crate::record::Value).
+
+use crate::record::{Record, Value};
+
+/// A CSV parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line number of the failure.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CSV error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Split a CSV body into rows of fields.
+pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut rows = Vec::new();
+    let mut field = String::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(CsvError {
+                            line,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => {} // swallow; LF follows
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError { line, message: "unterminated quoted field".into() });
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    // Drop fully-empty trailing rows.
+    rows.retain(|r| !(r.len() == 1 && r[0].is_empty()));
+    Ok(rows)
+}
+
+/// Interpret a field: numeric-looking strings become numbers, empty fields
+/// become Null.
+fn field_value(s: &str) -> Value {
+    let t = s.trim();
+    if t.is_empty() {
+        return Value::Null;
+    }
+    if let Ok(n) = t.parse::<f64>() {
+        if n.is_finite() {
+            return Value::Number(n);
+        }
+    }
+    Value::Text(t.to_string())
+}
+
+/// Parse a CSV body (header + rows) into records.
+pub fn records_from_csv(input: &str) -> Result<Vec<Record>, CsvError> {
+    let rows = parse_csv(input)?;
+    let Some((header, body)) = rows.split_first() else {
+        return Ok(Vec::new());
+    };
+    let mut out = Vec::with_capacity(body.len());
+    for (k, row) in body.iter().enumerate() {
+        if row.len() != header.len() {
+            return Err(CsvError {
+                line: k + 2,
+                message: format!("expected {} fields, found {}", header.len(), row.len()),
+            });
+        }
+        let mut r = Record::new();
+        for (name, value) in header.iter().zip(row) {
+            r.push(name.clone(), field_value(value));
+        }
+        out.push(r);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_table() {
+        let rs = records_from_csv("name,city,year\nblue cafe,boston,2003\nred diner,austin,1999\n")
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].get("name"), Some(&Value::Text("blue cafe".into())));
+        assert_eq!(rs[1].get("year"), Some(&Value::Number(1999.0)));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let rs = records_from_csv("a,b\n\"x, y\",\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(rs[0].get("a"), Some(&Value::Text("x, y".into())));
+        assert_eq!(rs[0].get("b"), Some(&Value::Text("he said \"hi\"".into())));
+    }
+
+    #[test]
+    fn multiline_quoted_field() {
+        let rs = records_from_csv("a,b\n\"line1\nline2\",2\n").unwrap();
+        assert_eq!(rs[0].get("a"), Some(&Value::Text("line1\nline2".into())));
+    }
+
+    #[test]
+    fn crlf_and_missing_trailing_newline() {
+        let rs = records_from_csv("a,b\r\n1,2\r\n3,4").unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[1].get("b"), Some(&Value::Number(4.0)));
+    }
+
+    #[test]
+    fn empty_fields_become_null() {
+        let rs = records_from_csv("a,b\n,x\n").unwrap();
+        assert_eq!(rs[0].get("a"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected_with_line_number() {
+        let e = records_from_csv("a,b\n1,2\n1,2,3\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn unterminated_quote_is_rejected() {
+        assert!(records_from_csv("a\n\"open\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(records_from_csv("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,306 @@
+//! A minimal JSON parser producing [`Value`](crate::record::Value) trees —
+//! enough to ingest semi-structured records (objects, arrays, strings,
+//! numbers, booleans, null) without external dependencies.
+//!
+//! Intentionally small: no streaming, no escapes beyond the JSON standard
+//! set, numbers parsed as `f64`. Errors carry byte offsets.
+
+use crate::record::{Record, Value};
+
+/// A parse error with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError { offset: self.pos, message: message.into() })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Text(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Text("true".into())),
+            Some(b'f') => self.parse_keyword("false", Value::Text("false".into())),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => self.err(format!("unexpected character '{}'", c as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected '{word}'"))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Nested(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Nested(fields));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::List(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::List(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            // \uXXXX escape.
+                            let start = self.pos + 1;
+                            let end = start + 4;
+                            if end > self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[start..end])
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid \\u escape"),
+                            }
+                            self.pos += 4;
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| JsonError { offset: self.pos, message: "invalid UTF-8".into() })?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return self.err("unterminated string"),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        match text.parse::<f64>() {
+            Ok(n) => Ok(Value::Number(n)),
+            Err(_) => self.err(format!("invalid number '{text}'")),
+        }
+    }
+}
+
+/// Parse one JSON document into a [`Value`].
+pub fn parse_json(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing content");
+    }
+    Ok(v)
+}
+
+/// Parse a top-level JSON object into a [`Record`] (one attribute per key).
+pub fn record_from_json(input: &str) -> Result<Record, JsonError> {
+    match parse_json(input)? {
+        Value::Nested(fields) => Ok(Record { attrs: fields }),
+        _ => Err(JsonError { offset: 0, message: "top-level value is not an object".into() }),
+    }
+}
+
+/// Parse a JSON-Lines file body: one record per non-empty line.
+pub fn records_from_jsonl(input: &str) -> Result<Vec<Record>, JsonError> {
+    input
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(record_from_json)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_figure_example() {
+        let json = r#"{
+            "ID": "bn_2841",
+            "Title": "Sams Teach Yourself SQL in 10 Minutes",
+            "ISBN": 9780672336072,
+            "Pages": 288.0,
+            "price": "$22.99"
+        }"#;
+        let r = record_from_json(json).unwrap();
+        assert_eq!(r.arity(), 5);
+        assert_eq!(r.get("ISBN"), Some(&Value::Number(9780672336072.0)));
+        assert_eq!(r.get("price"), Some(&Value::Text("$22.99".into())));
+    }
+
+    #[test]
+    fn parses_nested_and_lists() {
+        let json = r#"{"authors": ["a b", "c d"], "pub": {"venue": "vldb", "vol": 16}}"#;
+        let r = record_from_json(json).unwrap();
+        match r.get("authors") {
+            Some(Value::List(items)) => assert_eq!(items.len(), 2),
+            other => panic!("authors not a list: {other:?}"),
+        }
+        match r.get("pub") {
+            Some(Value::Nested(fields)) => assert_eq!(fields.len(), 2),
+            other => panic!("pub not nested: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_scalars_and_keywords() {
+        assert_eq!(parse_json("42").unwrap(), Value::Number(42.0));
+        assert_eq!(parse_json("-3.5e2").unwrap(), Value::Number(-350.0));
+        assert_eq!(parse_json("null").unwrap(), Value::Null);
+        assert_eq!(parse_json("true").unwrap(), Value::Text("true".into()));
+        assert_eq!(parse_json("\"hi\"").unwrap(), Value::Text("hi".into()));
+    }
+
+    #[test]
+    fn handles_escapes() {
+        let v = parse_json(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v, Value::Text("a\"b\\c\ndA".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["{", "[1,", "\"open", "{\"k\" 1}", "1 2", "{]}"] {
+            assert!(parse_json(bad).is_err(), "accepted malformed: {bad}");
+        }
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let e = parse_json("[1, x]").unwrap_err();
+        assert_eq!(e.offset, 4);
+    }
+
+    #[test]
+    fn jsonl_parses_multiple_records() {
+        let body = "{\"a\": 1}\n\n{\"a\": 2}\n";
+        let rs = records_from_jsonl(body).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[1].get("a"), Some(&Value::Number(2.0)));
+    }
+}

@@ -1,0 +1,112 @@
+//! Ingestion of real user data into GEM tables: CSV (relational),
+//! JSON-Lines (semi-structured) and plain text (one record per line).
+//! No external parser dependencies — both readers live here.
+
+pub mod csv;
+pub mod export;
+pub mod json;
+
+use crate::record::{Format, Record, Table};
+
+pub use csv::{parse_csv, records_from_csv, CsvError};
+pub use export::{extension_for, labels_to_csv, record_to_json, table_to_string};
+pub use json::{parse_json, record_from_json, records_from_jsonl, JsonError};
+
+/// An ingestion error from any of the supported formats.
+#[derive(Debug)]
+pub enum IngestError {
+    /// CSV parsing failed.
+    Csv(CsvError),
+    /// JSON parsing failed.
+    Json(JsonError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Csv(e) => write!(f, "{e}"),
+            IngestError::Json(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Build a relational table from a CSV body.
+///
+/// ```
+/// let t = em_data::ingest::table_from_csv("shops", "name,city\nblue cafe,boston\n").unwrap();
+/// assert_eq!(t.len(), 1);
+/// assert_eq!(t.format, em_data::Format::Relational);
+/// ```
+pub fn table_from_csv(name: impl Into<String>, body: &str) -> Result<Table, IngestError> {
+    let records = records_from_csv(body).map_err(IngestError::Csv)?;
+    Ok(Table { name: name.into(), format: Format::Relational, records })
+}
+
+/// Build a semi-structured table from a JSON-Lines body.
+pub fn table_from_jsonl(name: impl Into<String>, body: &str) -> Result<Table, IngestError> {
+    let records = records_from_jsonl(body).map_err(IngestError::Json)?;
+    Ok(Table { name: name.into(), format: Format::SemiStructured, records })
+}
+
+/// Build a textual table: one record per non-empty line.
+pub fn table_from_text(name: impl Into<String>, body: &str) -> Table {
+    let records = body
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(Record::textual)
+        .collect();
+    Table { name: name.into(), format: Format::Textual, records }
+}
+
+/// Pick the loader from a file extension (`csv`, `jsonl`/`ndjson`,
+/// everything else = text).
+pub fn table_from_extension(
+    name: impl Into<String>,
+    extension: &str,
+    body: &str,
+) -> Result<Table, IngestError> {
+    match extension.to_ascii_lowercase().as_str() {
+        "csv" => table_from_csv(name, body),
+        "jsonl" | "ndjson" | "json" => table_from_jsonl(name, body),
+        _ => Ok(table_from_text(name, body)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_table_is_relational() {
+        let t = table_from_csv("left", "a,b\n1,x\n").unwrap();
+        assert_eq!(t.format, Format::Relational);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_table_is_semi_structured() {
+        let t = table_from_jsonl("right", "{\"a\": [1, 2]}\n").unwrap();
+        assert_eq!(t.format, Format::SemiStructured);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn text_table_is_textual() {
+        let t = table_from_text("docs", "first record\n\nsecond record\n");
+        assert_eq!(t.format, Format::Textual);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn extension_dispatch() {
+        assert_eq!(table_from_extension("x", "CSV", "a\n1\n").unwrap().format, Format::Relational);
+        assert_eq!(
+            table_from_extension("x", "jsonl", "{\"a\":1}").unwrap().format,
+            Format::SemiStructured
+        );
+        assert_eq!(table_from_extension("x", "txt", "hello").unwrap().format, Format::Textual);
+    }
+}

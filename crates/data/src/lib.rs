@@ -1,0 +1,34 @@
+//! # em-data
+//!
+//! The generalized entity matching (GEM) data substrate for the PromptEM
+//! reproduction:
+//!
+//! * [`record`] — entity records of relational / semi-structured / textual
+//!   format (paper §2.1);
+//! * [`serialize`] — the `[COL]`/`[VAL]` serialization scheme extended to
+//!   GEM (paper §2.2);
+//! * [`summarize`] — TF-IDF summarization of long entries (Appendix F);
+//! * [`pair`] — candidate pairs, splits and low-resource sampling (Table 1);
+//! * [`blocking`] — token-overlap candidate generation used by the dataset
+//!   builders to create hard negatives;
+//! * [`metrics`] — precision/recall/F1 and TPR/TNR;
+//! * [`synth`] — seeded generators replicating the structure of the eight
+//!   benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod blocking;
+pub mod corpus;
+pub mod ingest;
+pub mod metrics;
+pub mod pair;
+pub mod record;
+pub mod serialize;
+pub mod summarize;
+pub mod synth;
+
+pub use metrics::{Confusion, PrfScores};
+pub use pair::{GemDataset, LabeledPair, Pair};
+pub use record::{Format, Record, Table, Value};
+pub use serialize::serialize;
+pub use synth::{BenchmarkId, Scale};

@@ -1,0 +1,171 @@
+//! Evaluation metrics: precision / recall / F1 (paper §5.1) and
+//! TPR / TNR for pseudo-label quality (paper §5.5, Table 5).
+
+/// Binary confusion counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against gold labels (`true` = match).
+    pub fn from_pairs(pred: &[bool], gold: &[bool]) -> Self {
+        assert_eq!(pred.len(), gold.len(), "prediction/label length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &g) in pred.iter().zip(gold) {
+            match (p, g) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total tallied pairs.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Precision = TP / (TP + FP); 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall = TP / (TP + FN); 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// F1 = harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// True-positive rate of a labeling: proportion of matched pairs that
+    /// are correctly labeled, TP / (TP + FN) (paper §5.5).
+    pub fn tpr(&self) -> f64 {
+        self.recall()
+    }
+
+    /// True-negative rate: proportion of mismatched pairs correctly labeled,
+    /// TN / (TN + FP) (paper §5.5).
+    pub fn tnr(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// (TP + TN) / total.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Precision/recall/F1 triple as percentages, the unit the paper reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrfScores {
+    /// Precision, in percent.
+    pub precision: f64,
+    /// Recall, in percent.
+    pub recall: f64,
+    /// F1, in percent.
+    pub f1: f64,
+}
+
+impl PrfScores {
+    /// Percentages from confusion counts.
+    pub fn from_confusion(c: &Confusion) -> Self {
+        PrfScores {
+            precision: 100.0 * c.precision(),
+            recall: 100.0 * c.recall(),
+            f1: 100.0 * c.f1(),
+        }
+    }
+
+    /// Convenience: tally then convert.
+    pub fn from_predictions(pred: &[bool], gold: &[bool]) -> Self {
+        Self::from_confusion(&Confusion::from_pairs(pred, gold))
+    }
+}
+
+impl std::fmt::Display for PrfScores {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P={:5.1} R={:5.1} F={:5.1}", self.precision, self.recall, self.f1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let gold = [true, false, true, false];
+        let c = Confusion::from_pairs(&gold, &gold);
+        assert_eq!(c, Confusion { tp: 2, fp: 0, tn: 2, fn_: 0 });
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.tnr(), 1.0);
+    }
+
+    #[test]
+    fn known_confusion_values() {
+        // 3 TP, 1 FP, 4 TN, 2 FN
+        let pred = [true, true, true, true, false, false, false, false, false, false];
+        let gold = [true, true, true, false, false, false, false, false, true, true];
+        let c = Confusion::from_pairs(&pred, &gold);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (3, 1, 4, 2));
+        assert!((c.precision() - 0.75).abs() < 1e-12);
+        assert!((c.recall() - 0.6).abs() < 1e-12);
+        let f1 = 2.0 * 0.75 * 0.6 / 1.35;
+        assert!((c.f1() - f1).abs() < 1e-12);
+        assert!((c.tnr() - 0.8).abs() < 1e-12);
+        assert!((c.accuracy() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        let c = Confusion::from_pairs(&[false, false], &[false, false]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.tnr(), 1.0);
+        let empty = Confusion::default();
+        assert_eq!(empty.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn prf_scores_are_percentages() {
+        let s = PrfScores::from_predictions(&[true, true], &[true, false]);
+        assert!((s.precision - 50.0).abs() < 1e-9);
+        assert!((s.recall - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Confusion::from_pairs(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Candidate pairs, labeled examples, dataset splits, and the low-resource
+//! sampling used throughout the paper's evaluation (§5.1, Table 1).
+
+use crate::record::{Record, Table};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A candidate pair of row indices (left table, right table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pair {
+    /// Row index into the left table.
+    pub left: usize,
+    /// Row index into the right table.
+    pub right: usize,
+}
+
+/// A labeled candidate pair; `label == true` means the two records refer to
+/// the same real-world entity (or satisfy the general binary relationship,
+/// §3.1 "Label words set").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabeledPair {
+    /// The candidate pair.
+    pub pair: Pair,
+    /// Gold label.
+    pub label: bool,
+}
+
+/// A full GEM task: two tables plus labeled splits and an unlabeled pool.
+#[derive(Debug, Clone)]
+pub struct GemDataset {
+    /// Benchmark name (Table 1).
+    pub name: String,
+    /// Application domain (Table 1).
+    pub domain: String,
+    /// The left entity table.
+    pub left: Table,
+    /// The right entity table.
+    pub right: Table,
+    /// Low-resource training set (`rate%` of all labels, Table 1 "Train").
+    pub train: Vec<LabeledPair>,
+    /// Validation split (model selection + threshold calibration).
+    pub valid: Vec<LabeledPair>,
+    /// Held-out test split.
+    pub test: Vec<LabeledPair>,
+    /// Unlabeled candidate pairs available to self-training (D_U). Gold
+    /// labels are retained internally so pseudo-label quality (Table 5) can
+    /// be measured, but matchers must not read them.
+    pub unlabeled: Vec<LabeledPair>,
+    /// The labeled-data rate used to build `train` (e.g. 0.10).
+    pub rate: f64,
+}
+
+impl GemDataset {
+    /// The record pair behind a candidate.
+    pub fn records(&self, pair: Pair) -> (&Record, &Record) {
+        (&self.left.records[pair.left], &self.right.records[pair.right])
+    }
+
+    /// Total labeled examples across every split plus the unlabeled pool —
+    /// the "All" column of Table 1.
+    pub fn all_labeled(&self) -> usize {
+        self.train.len() + self.valid.len() + self.test.len() + self.unlabeled.len()
+    }
+
+    /// The unlabeled pool as bare pairs (what a matcher is allowed to see).
+    pub fn unlabeled_pairs(&self) -> Vec<Pair> {
+        self.unlabeled.iter().map(|lp| lp.pair).collect()
+    }
+
+    /// Fraction of positive labels in the training split.
+    pub fn train_pos_rate(&self) -> f64 {
+        if self.train.is_empty() {
+            return 0.0;
+        }
+        self.train.iter().filter(|p| p.label).count() as f64 / self.train.len() as f64
+    }
+
+    /// Re-derive a dataset at a different low-resource `rate`: the training
+    /// pool is `train ∪ unlabeled`; `rate` of it (stratified) becomes the
+    /// labeled train set and the rest returns to the unlabeled pool. Used by
+    /// Figure 3 (rate sweep) and Table 3 (fixed budget).
+    pub fn with_rate(&self, rate: f64, rng: &mut impl Rng) -> GemDataset {
+        let mut pool: Vec<LabeledPair> =
+            self.train.iter().chain(self.unlabeled.iter()).copied().collect();
+        let want = ((pool.len() + self.valid.len() + self.test.len()) as f64 * rate)
+            .round()
+            .max(2.0) as usize;
+        let want = want.min(pool.len());
+        let (train, unlabeled) = stratified_split(&mut pool, want, rng);
+        GemDataset {
+            name: self.name.clone(),
+            domain: self.domain.clone(),
+            left: self.left.clone(),
+            right: self.right.clone(),
+            train,
+            valid: self.valid.clone(),
+            test: self.test.clone(),
+            unlabeled,
+            rate,
+        }
+    }
+
+    /// A fixed labeled budget (Table 3 uses 80 for every dataset).
+    pub fn with_budget(&self, budget: usize, rng: &mut impl Rng) -> GemDataset {
+        let mut pool: Vec<LabeledPair> =
+            self.train.iter().chain(self.unlabeled.iter()).copied().collect();
+        let want = budget.min(pool.len());
+        let (train, unlabeled) = stratified_split(&mut pool, want, rng);
+        let total = self.all_labeled() as f64;
+        GemDataset {
+            name: self.name.clone(),
+            domain: self.domain.clone(),
+            left: self.left.clone(),
+            right: self.right.clone(),
+            train,
+            valid: self.valid.clone(),
+            test: self.test.clone(),
+            unlabeled,
+            rate: want as f64 / total,
+        }
+    }
+
+    /// The sufficient-resource variant (Appendix A): every pooled label is
+    /// available for training.
+    pub fn sufficient(&self) -> GemDataset {
+        let train: Vec<LabeledPair> =
+            self.train.iter().chain(self.unlabeled.iter()).copied().collect();
+        GemDataset {
+            name: self.name.clone(),
+            domain: self.domain.clone(),
+            left: self.left.clone(),
+            right: self.right.clone(),
+            train,
+            valid: self.valid.clone(),
+            test: self.test.clone(),
+            unlabeled: Vec::new(),
+            rate: 1.0,
+        }
+    }
+}
+
+/// Draw `want` examples keeping the positive rate roughly intact; returns
+/// (selected, remainder).
+pub fn stratified_split(
+    pool: &mut Vec<LabeledPair>,
+    want: usize,
+    rng: &mut impl Rng,
+) -> (Vec<LabeledPair>, Vec<LabeledPair>) {
+    pool.shuffle(rng);
+    let (pos, neg): (Vec<LabeledPair>, Vec<LabeledPair>) =
+        pool.iter().copied().partition(|p| p.label);
+    let pos_rate = if pool.is_empty() { 0.0 } else { pos.len() as f64 / pool.len() as f64 };
+    let want_pos = ((want as f64 * pos_rate).round() as usize).clamp(
+        usize::from(want > 1 && !pos.is_empty()),
+        pos.len().min(want),
+    );
+    let want_neg = (want - want_pos).min(neg.len());
+    let mut selected = Vec::with_capacity(want_pos + want_neg);
+    selected.extend(pos.iter().take(want_pos));
+    selected.extend(neg.iter().take(want_neg));
+    let mut rest = Vec::with_capacity(pool.len() - selected.len());
+    rest.extend(pos.iter().skip(want_pos));
+    rest.extend(neg.iter().skip(want_neg));
+    selected.shuffle(rng);
+    rest.shuffle(rng);
+    (selected, rest)
+}
+
+/// Split a labeled pool into train/valid/test with the given fractions.
+pub fn three_way_split(
+    mut pool: Vec<LabeledPair>,
+    valid_frac: f64,
+    test_frac: f64,
+    rng: &mut impl Rng,
+) -> (Vec<LabeledPair>, Vec<LabeledPair>, Vec<LabeledPair>) {
+    pool.shuffle(rng);
+    let n = pool.len();
+    let n_valid = (n as f64 * valid_frac).round() as usize;
+    let n_test = (n as f64 * test_frac).round() as usize;
+    let test = pool.split_off(n - n_test);
+    let valid = pool.split_off(pool.len() - n_valid);
+    (pool, valid, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Format;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_dataset() -> GemDataset {
+        let mut left = Table::new("l", Format::Relational);
+        let mut right = Table::new("r", Format::Textual);
+        for i in 0..30 {
+            left.records.push(Record::new().with("id", crate::record::Value::Number(i as f64)));
+            right.records.push(Record::textual(format!("record {i}")));
+        }
+        let mut labeled = Vec::new();
+        for i in 0..30 {
+            labeled.push(LabeledPair { pair: Pair { left: i, right: i }, label: i % 4 == 0 });
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let (rest, valid, test) = three_way_split(labeled, 0.2, 0.2, &mut rng);
+        let mut pool = rest;
+        let (train, unlabeled) = stratified_split(&mut pool, 5, &mut rng);
+        GemDataset {
+            name: "toy".into(),
+            domain: "test".into(),
+            left,
+            right,
+            train,
+            valid,
+            test,
+            unlabeled,
+            rate: 0.1,
+        }
+    }
+
+    #[test]
+    fn splits_partition_the_pool() {
+        let d = toy_dataset();
+        assert_eq!(d.all_labeled(), 30);
+        assert_eq!(d.train.len(), 5);
+        assert!(!d.valid.is_empty());
+        assert!(!d.test.is_empty());
+    }
+
+    #[test]
+    fn stratified_split_keeps_positives() {
+        let mut pool: Vec<LabeledPair> = (0..100)
+            .map(|i| LabeledPair { pair: Pair { left: i, right: i }, label: i < 25 })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (sel, rest) = stratified_split(&mut pool, 20, &mut rng);
+        assert_eq!(sel.len(), 20);
+        assert_eq!(rest.len(), 80);
+        let pos = sel.iter().filter(|p| p.label).count();
+        assert!((3..=8).contains(&pos), "positive rate drifted: {pos}/20");
+    }
+
+    #[test]
+    fn with_rate_scales_train_size() {
+        let d = toy_dataset();
+        let mut rng = StdRng::seed_from_u64(3);
+        let bigger = d.with_rate(0.5, &mut rng);
+        assert!(bigger.train.len() > d.train.len());
+        // Pool conservation: train + unlabeled is invariant.
+        assert_eq!(
+            bigger.train.len() + bigger.unlabeled.len(),
+            d.train.len() + d.unlabeled.len()
+        );
+    }
+
+    #[test]
+    fn with_budget_caps_train() {
+        let d = toy_dataset();
+        let mut rng = StdRng::seed_from_u64(4);
+        let b = d.with_budget(3, &mut rng);
+        assert_eq!(b.train.len(), 3);
+    }
+
+    #[test]
+    fn sufficient_uses_every_label() {
+        let d = toy_dataset();
+        let s = d.sufficient();
+        assert!(s.unlabeled.is_empty());
+        assert_eq!(s.train.len(), d.train.len() + d.unlabeled.len());
+    }
+
+    #[test]
+    fn unlabeled_pairs_strip_labels() {
+        let d = toy_dataset();
+        assert_eq!(d.unlabeled_pairs().len(), d.unlabeled.len());
+    }
+}

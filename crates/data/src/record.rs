@@ -1,0 +1,243 @@
+//! The generalized-entity-matching data model: entity records of
+//! relational, semi-structured or textual format (paper §2.1, Figure 1).
+
+use std::fmt;
+
+/// An attribute value. Relational tables hold flat `Text`/`Number` values;
+/// semi-structured tables may additionally contain `List` and `Nested`
+/// values; textual "tables" hold a single `Text` value per record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Free text.
+    Text(String),
+    /// A numeric value.
+    Number(f64),
+    /// A list of values (serialized by concatenation).
+    List(Vec<Value>),
+    /// A nested object (serialized recursively with tags).
+    Nested(Vec<(String, Value)>),
+    /// Missing value.
+    Null,
+}
+
+impl Value {
+    /// Render the value as the flat string used by serialization. Lists are
+    /// concatenated with single spaces (paper §2.2: "we concatenate the
+    /// elements in the list into one string").
+    pub fn to_text(&self) -> String {
+        match self {
+            Value::Text(s) => s.clone(),
+            Value::Number(n) => format_number(*n),
+            Value::List(items) => {
+                items.iter().map(Value::to_text).collect::<Vec<_>>().join(" ")
+            }
+            Value::Nested(fields) => fields
+                .iter()
+                .map(|(k, v)| format!("{} {}", k, v.to_text()))
+                .collect::<Vec<_>>()
+                .join(" "),
+            Value::Null => String::new(),
+        }
+    }
+
+    /// True when the rendered value is entirely digits/punctuation (used to
+    /// reproduce the numeric-heavy SEMI-HETER characteristics, §5.2).
+    pub fn is_numeric(&self) -> bool {
+        match self {
+            Value::Number(_) => true,
+            Value::Text(s) => {
+                !s.is_empty()
+                    && s.chars().all(|c| c.is_ascii_digit() || "./- $".contains(c))
+            }
+            _ => false,
+        }
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Format a float the way the source datasets do: integers lose the
+/// fractional part.
+pub fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_text())
+    }
+}
+
+/// The storage format of a table (paper Table 1: REL / SEMI / TEXT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Flat attribute/value rows (REL).
+    Relational,
+    /// Possibly nested or list-valued attributes (SEMI).
+    SemiStructured,
+    /// Raw text, one attribute per record (TEXT).
+    Textual,
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Format::Relational => write!(f, "REL"),
+            Format::SemiStructured => write!(f, "SEMI"),
+            Format::Textual => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// One entity record: an ordered list of (attribute, value) pairs. A textual
+/// record is a single attribute whose value is the whole text.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Record {
+    /// Ordered (attribute name, value) pairs.
+    pub attrs: Vec<(String, Value)>,
+}
+
+impl Record {
+    /// An empty record.
+    pub fn new() -> Self {
+        Record { attrs: Vec::new() }
+    }
+
+    /// Builder-style attribute append.
+    pub fn with(mut self, name: impl Into<String>, value: Value) -> Self {
+        self.attrs.push((name.into(), value));
+        self
+    }
+
+    /// Append an attribute.
+    pub fn push(&mut self, name: impl Into<String>, value: Value) {
+        self.attrs.push((name.into(), value));
+    }
+
+    /// First value under `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Number of top-level attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// A purely textual record (one unnamed content attribute).
+    pub fn textual(content: impl Into<String>) -> Self {
+        Record::new().with("content", Value::Text(content.into()))
+    }
+
+    /// Fraction of attribute values that are numeric (Table 1 commentary:
+    /// SEMI-HETER has 53% digit attribute values).
+    pub fn numeric_fraction(&self) -> f64 {
+        if self.attrs.is_empty() {
+            return 0.0;
+        }
+        let numeric = self.attrs.iter().filter(|(_, v)| v.is_numeric()).count();
+        numeric as f64 / self.attrs.len() as f64
+    }
+}
+
+/// A collection of records sharing a format (schemas may still differ per
+/// record in semi-structured tables).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name (for display and file naming).
+    pub name: String,
+    /// Storage format shared by the records.
+    pub format: Format,
+    /// The rows.
+    pub records: Vec<Record>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(name: impl Into<String>, format: Format) -> Self {
+        Table { name: name.into(), format, records: Vec::new() }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Mean number of top-level attributes — the "#attr" column of Table 1.
+    pub fn mean_arity(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.records.iter().map(Record::arity).sum();
+        total as f64 / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_values_concatenate() {
+        let v = Value::List(vec![
+            Value::Text("ronald fagin".into()),
+            Value::Text("ravi kumar".into()),
+        ]);
+        assert_eq!(v.to_text(), "ronald fagin ravi kumar");
+    }
+
+    #[test]
+    fn nested_values_flatten_with_keys() {
+        let v = Value::Nested(vec![
+            ("volume".into(), Value::Number(16.0)),
+            ("issue".into(), Value::Number(1.0)),
+        ]);
+        assert_eq!(v.to_text(), "volume 16 issue 1");
+    }
+
+    #[test]
+    fn numbers_format_like_source_data() {
+        assert_eq!(Value::Number(2003.0).to_text(), "2003");
+        assert_eq!(Value::Number(22.99).to_text(), "22.99");
+    }
+
+    #[test]
+    fn numeric_detection() {
+        assert!(Value::Number(5.0).is_numeric());
+        assert!(Value::Text("9780672336072".into()).is_numeric());
+        assert!(Value::Text("11/08/2012".into()).is_numeric());
+        assert!(!Value::Text("sams".into()).is_numeric());
+        assert!(!Value::Null.is_numeric());
+    }
+
+    #[test]
+    fn record_accessors() {
+        let r = Record::new()
+            .with("title", Value::Text("efficient similarity search".into()))
+            .with("year", Value::Number(2003.0));
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.get("year"), Some(&Value::Number(2003.0)));
+        assert_eq!(r.get("missing"), None);
+        assert!((r.numeric_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_mean_arity() {
+        let mut t = Table::new("left", Format::Relational);
+        t.records.push(Record::new().with("a", Value::Null));
+        t.records.push(Record::new().with("a", Value::Null).with("b", Value::Null));
+        assert!((t.mean_arity() - 1.5).abs() < 1e-9);
+    }
+}

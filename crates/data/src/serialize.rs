@@ -1,0 +1,164 @@
+//! Entity serialization (paper §2.2), extending Ditto's scheme to
+//! generalized entity matching:
+//!
+//! * structured:      `[COL] attr1 [VAL] val1 … [COL] attrn [VAL] valn`
+//! * semi-structured: nested attributes recursively add `[COL]`/`[VAL]` per
+//!   level; list attributes concatenate their elements into one string;
+//! * textual:         the raw text (already a sequence).
+
+use crate::record::{Format, Record, Value};
+
+/// The special tag opening an attribute name.
+pub const COL: &str = "[COL]";
+/// The special tag opening an attribute value.
+pub const VAL: &str = "[VAL]";
+
+/// Serialize one record according to its table's format.
+pub fn serialize(record: &Record, format: Format) -> String {
+    match format {
+        Format::Textual => {
+            // Unstructured entities are sequences originally (§2.2).
+            record.attrs.iter().map(|(_, v)| v.to_text()).collect::<Vec<_>>().join(" ")
+        }
+        Format::Relational => {
+            let mut out = String::new();
+            for (name, value) in &record.attrs {
+                push_pair(&mut out, name, &value.to_text());
+            }
+            out.trim_end().to_string()
+        }
+        Format::SemiStructured => {
+            let mut out = String::new();
+            for (name, value) in &record.attrs {
+                serialize_semi(&mut out, name, value);
+            }
+            out.trim_end().to_string()
+        }
+    }
+}
+
+fn push_pair(out: &mut String, name: &str, value: &str) {
+    out.push_str(COL);
+    out.push(' ');
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(VAL);
+    out.push(' ');
+    out.push_str(value);
+    out.push(' ');
+}
+
+fn serialize_semi(out: &mut String, name: &str, value: &Value) {
+    match value {
+        // "For nested attributes, we recursively add the [COL] and [VAL]
+        // tags along with attribute names and values in each level" (§2.2).
+        Value::Nested(fields) => {
+            out.push_str(COL);
+            out.push(' ');
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(VAL);
+            out.push(' ');
+            for (k, v) in fields {
+                serialize_semi(out, k, v);
+            }
+        }
+        // Lists collapse into one string to bound the sequence length.
+        other => push_pair(out, name, &other.to_text()),
+    }
+}
+
+/// Serialize a candidate pair in the vanilla fine-tuning layout (§2.3):
+/// `[CLS] serialize(e) [SEP] serialize(e') [SEP]` — the tokenizer adds the
+/// `[CLS]`/`[SEP]` markers, so this helper returns the two bodies.
+pub fn serialize_pair(
+    left: &Record,
+    left_format: Format,
+    right: &Record,
+    right_format: Format,
+) -> (String, String) {
+    (serialize(left, left_format), serialize(right, right_format))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_relational_example() -> Record {
+        Record::new()
+            .with("title", Value::Text("efficient similarity search".into()))
+            .with("authors", Value::Text("ronald fagin".into()))
+            .with("venue", Value::Text("SIGMOD".into()))
+            .with("year", Value::Number(2003.0))
+    }
+
+    #[test]
+    fn relational_matches_paper_layout() {
+        let s = serialize(&paper_relational_example(), Format::Relational);
+        assert_eq!(
+            s,
+            "[COL] title [VAL] efficient similarity search [COL] authors [VAL] ronald fagin \
+             [COL] venue [VAL] SIGMOD [COL] year [VAL] 2003"
+        );
+    }
+
+    #[test]
+    fn semi_structured_list_concatenates() {
+        let r = Record::new()
+            .with("title", Value::Text("efficient similarity search".into()))
+            .with("year", Value::Number(2003.0))
+            .with(
+                "authors",
+                Value::List(vec![
+                    Value::Text("ronald fagin".into()),
+                    Value::Text("ravi kumar".into()),
+                    Value::Text("d. sivakumar".into()),
+                ]),
+            );
+        let s = serialize(&r, Format::SemiStructured);
+        assert_eq!(
+            s,
+            "[COL] title [VAL] efficient similarity search [COL] year [VAL] 2003 \
+             [COL] authors [VAL] ronald fagin ravi kumar d. sivakumar"
+        );
+    }
+
+    #[test]
+    fn nested_attributes_recurse_with_tags() {
+        let r = Record::new().with(
+            "publication",
+            Value::Nested(vec![
+                ("venue".into(), Value::Text("VLDB".into())),
+                ("volume".into(), Value::Number(16.0)),
+            ]),
+        );
+        let s = serialize(&r, Format::SemiStructured);
+        assert_eq!(
+            s,
+            "[COL] publication [VAL] [COL] venue [VAL] VLDB [COL] volume [VAL] 16"
+        );
+    }
+
+    #[test]
+    fn textual_records_pass_through() {
+        let r = Record::textual("we study the problem of entity matching");
+        let s = serialize(&r, Format::Textual);
+        assert_eq!(s, "we study the problem of entity matching");
+        assert!(!s.contains(COL));
+    }
+
+    #[test]
+    fn empty_record_serializes_to_empty() {
+        assert_eq!(serialize(&Record::new(), Format::Relational), "");
+        assert_eq!(serialize(&Record::new(), Format::SemiStructured), "");
+    }
+
+    #[test]
+    fn serialize_pair_returns_both_sides() {
+        let left = paper_relational_example();
+        let right = Record::textual("abstract text");
+        let (l, r) = serialize_pair(&left, Format::Relational, &right, Format::Textual);
+        assert!(l.starts_with("[COL] title"));
+        assert_eq!(r, "abstract text");
+    }
+}

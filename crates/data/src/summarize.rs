@@ -1,0 +1,178 @@
+//! TF-IDF summarization of long textual entries (paper Appendix F).
+//!
+//! "A common practice is to truncate the sequences. Nevertheless, the
+//! truncation strategy is not a wise choice because the important
+//! information for matching is usually not at the beginning … we apply a
+//! TF-IDF based summarization technique … which retains non-stopword tokens
+//! with high TF-IDF scores."
+
+use std::collections::HashMap;
+
+/// A tiny English stopword list adequate for the synthetic corpora.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "have", "in", "is",
+    "it", "its", "of", "on", "or", "that", "the", "this", "to", "was", "were", "which", "with",
+    "we", "our", "their", "they",
+];
+
+fn is_stopword(tok: &str) -> bool {
+    STOPWORDS.contains(&tok)
+}
+
+/// Inverse-document-frequency table learned from a corpus of documents.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdf {
+    idf: HashMap<String, f32>,
+    num_docs: usize,
+}
+
+impl TfIdf {
+    /// Fit IDF weights over an iterator of documents (each document is
+    /// tokenized by whitespace).
+    pub fn fit<'a>(docs: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut df: HashMap<String, usize> = HashMap::new();
+        let mut num_docs = 0usize;
+        for doc in docs {
+            num_docs += 1;
+            let mut seen: Vec<&str> = doc.split_whitespace().collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for tok in seen {
+                *df.entry(tok.to_string()).or_insert(0) += 1;
+            }
+        }
+        let idf = df
+            .into_iter()
+            .map(|(tok, d)| {
+                let w = ((1.0 + num_docs as f32) / (1.0 + d as f32)).ln() + 1.0;
+                (tok, w)
+            })
+            .collect();
+        TfIdf { idf, num_docs }
+    }
+
+    /// Number of documents the IDF table was fitted on.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// IDF weight of a token; unseen tokens get the maximum weight (they are
+    /// maximally discriminative).
+    pub fn idf(&self, tok: &str) -> f32 {
+        match self.idf.get(tok) {
+            Some(&w) => w,
+            None => ((1.0 + self.num_docs as f32) / 1.0).ln() + 1.0,
+        }
+    }
+
+    /// Summarize `text` down to at most `max_tokens` tokens, keeping the
+    /// non-stopword tokens with the highest TF-IDF scores *in their original
+    /// order* (important: the LM still sees a coherent-ish sequence).
+    pub fn summarize(&self, text: &str, max_tokens: usize) -> String {
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        if tokens.len() <= max_tokens {
+            return text.to_string();
+        }
+        // Term frequencies within this document.
+        let mut tf: HashMap<&str, f32> = HashMap::new();
+        for &t in &tokens {
+            *tf.entry(t).or_insert(0.0) += 1.0;
+        }
+        // Score each position. Structural tags are pure scaffolding — they
+        // repeat once per attribute, so raw tf×idf would let them crowd out
+        // every value token under a tight budget; they score like stopwords.
+        // Attribute names occur in every record (minimal IDF) and drop out
+        // naturally. What survives is the discriminative *values* (the
+        // error analysis in Appendix C shows those, digits included, are
+        // what matching hinges on).
+        let mut scored: Vec<(usize, f32)> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let score = if is_stopword(t) || t == "[COL]" || t == "[VAL]" {
+                    f32::NEG_INFINITY
+                } else {
+                    tf[t] * self.idf(t)
+                };
+                (i, score)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut keep: Vec<usize> = scored.iter().take(max_tokens).map(|&(i, _)| i).collect();
+        keep.sort_unstable();
+        keep.iter().map(|&i| tokens[i]).collect::<Vec<_>>().join(" ")
+    }
+}
+
+/// Plain head truncation, the baseline strategy Appendix F argues against.
+pub fn truncate(text: &str, max_tokens: usize) -> String {
+    text.split_whitespace().take(max_tokens).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_text_is_untouched() {
+        let t = TfIdf::fit(["alpha beta", "beta gamma"]);
+        assert_eq!(t.summarize("alpha beta", 10), "alpha beta");
+    }
+
+    #[test]
+    fn summarize_keeps_rare_tokens() {
+        // "common" appears in every doc, "zanzibar" in one: under pressure
+        // the summary must prefer the discriminative token.
+        let docs = ["common words here", "common words there", "common zanzibar words"];
+        let t = TfIdf::fit(docs);
+        let text = "common zanzibar words here there";
+        let s = t.summarize(text, 2);
+        assert!(s.contains("zanzibar"), "summary lost the rare token: {s}");
+        assert!(!s.contains("common"), "summary kept the ubiquitous token: {s}");
+    }
+
+    #[test]
+    fn summarize_preserves_order() {
+        let t = TfIdf::fit(["q w e r t y u"]);
+        let s = t.summarize("q w e r t y u extra tokens beyond limit", 5);
+        let toks: Vec<&str> = s.split_whitespace().collect();
+        let orig = "q w e r t y u extra tokens beyond limit";
+        let mut last = 0;
+        for tok in toks {
+            let pos = orig.split_whitespace().position(|t2| t2 == tok).unwrap();
+            assert!(pos >= last, "order violated at {tok}");
+            last = pos;
+        }
+    }
+
+    #[test]
+    fn summarize_drops_stopwords_first() {
+        let t = TfIdf::fit(["the quick brown fox", "the lazy dog"]);
+        let s = t.summarize("the the the the quick brown fox jumps over", 4);
+        assert!(!s.split_whitespace().any(|w| w == "the"), "stopword survived: {s}");
+    }
+
+    #[test]
+    fn structural_tags_lose_to_values_under_pressure() {
+        // Tags appear in every document → minimal IDF → dropped first.
+        let docs: Vec<String> = (0..10)
+            .map(|i| format!("[COL] name [VAL] value{i} [COL] city [VAL] town{i}"))
+            .collect();
+        let t = TfIdf::fit(docs.iter().map(|s| s.as_str()));
+        let s = t.summarize("[COL] name [VAL] value3 [COL] city [VAL] town3", 2);
+        assert!(s.contains("value3") && s.contains("town3"), "values lost: {s}");
+        assert!(!s.contains("[COL]"), "tag survived a 2-token budget: {s}");
+    }
+
+    #[test]
+    fn truncate_takes_head() {
+        assert_eq!(truncate("a b c d e", 3), "a b c");
+        assert_eq!(truncate("a b", 5), "a b");
+    }
+
+    #[test]
+    fn unseen_tokens_get_max_idf() {
+        let t = TfIdf::fit(["x y", "x z"]);
+        assert!(t.idf("never-seen") >= t.idf("x"));
+    }
+}

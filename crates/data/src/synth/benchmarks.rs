@@ -1,0 +1,806 @@
+//! Synthetic replicas of the eight evaluation datasets (paper Table 1).
+//!
+//! Each builder derives two table views from a shared canonical universe so
+//! labels are exact, then reproduces the structural properties the paper's
+//! analysis leans on: format mixes (REL/SEMI/TEXT), schema heterogeneity,
+//! numeric-heavy attributes (SEMI-HETER), long textual entries
+//! (SEMI-TEXT-*, REL-TEXT), near-duplicate hard negatives (Appendix C), and
+//! per-dataset label rates.
+
+use super::noise::{self, NoiseCfg};
+use super::universe::{self, Domain};
+use crate::blocking::{record_tokens, TokenIndex};
+use crate::pair::{stratified_split, three_way_split, GemDataset, LabeledPair, Pair};
+use crate::record::{Format, Record, Table, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The eight benchmarks of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchmarkId {
+    /// Restaurants; relational vs relational, heterogeneous schemas.
+    RelHeter,
+    /// Citations; semi-structured both sides, homogeneous schema.
+    SemiHomo,
+    /// Books; semi-structured, heterogeneous, numeric-heavy.
+    SemiHeter,
+    /// Movies; semi-structured vs relational.
+    SemiRel,
+    /// Products (computers); semi-structured vs textual.
+    SemiTextC,
+    /// Products (watches-difficulty); semi-structured vs textual, hardest.
+    SemiTextW,
+    /// Citations; textual abstracts vs relational metadata.
+    RelText,
+    /// Points of interest; fused-position heterogeneous schema.
+    GeoHeter,
+}
+
+impl BenchmarkId {
+    /// All eight benchmarks in Table 1 order.
+    pub const ALL: [BenchmarkId; 8] = [
+        BenchmarkId::RelHeter,
+        BenchmarkId::SemiHomo,
+        BenchmarkId::SemiHeter,
+        BenchmarkId::SemiRel,
+        BenchmarkId::SemiTextC,
+        BenchmarkId::SemiTextW,
+        BenchmarkId::RelText,
+        BenchmarkId::GeoHeter,
+    ];
+
+    /// The paper's dataset name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BenchmarkId::RelHeter => "REL-HETER",
+            BenchmarkId::SemiHomo => "SEMI-HOMO",
+            BenchmarkId::SemiHeter => "SEMI-HETER",
+            BenchmarkId::SemiRel => "SEMI-REL",
+            BenchmarkId::SemiTextC => "SEMI-TEXT-c",
+            BenchmarkId::SemiTextW => "SEMI-TEXT-w",
+            BenchmarkId::RelText => "REL-TEXT",
+            BenchmarkId::GeoHeter => "GEO-HETER",
+        }
+    }
+
+    /// The abbreviation used in Table 4.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            BenchmarkId::RelHeter => "R-H",
+            BenchmarkId::SemiHomo => "S-HO",
+            BenchmarkId::SemiHeter => "S-HE",
+            BenchmarkId::SemiRel => "S-R",
+            BenchmarkId::SemiTextC => "S-T-c",
+            BenchmarkId::SemiTextW => "S-T-w",
+            BenchmarkId::RelText => "R-T",
+            BenchmarkId::GeoHeter => "G-H",
+        }
+    }
+
+    /// The generating domain.
+    pub fn domain(&self) -> Domain {
+        match self {
+            BenchmarkId::RelHeter => Domain::Restaurant,
+            BenchmarkId::SemiHomo | BenchmarkId::RelText => Domain::Citation,
+            BenchmarkId::SemiHeter => Domain::Book,
+            BenchmarkId::SemiRel => Domain::Movie,
+            BenchmarkId::SemiTextC | BenchmarkId::SemiTextW => Domain::Product,
+            BenchmarkId::GeoHeter => Domain::GeoSpatial,
+        }
+    }
+
+    /// The labeled-data rate of the default low-resource setting (Table 1).
+    pub fn rate(&self) -> f64 {
+        match self {
+            BenchmarkId::SemiHomo | BenchmarkId::SemiTextC => 0.05,
+            _ => 0.10,
+        }
+    }
+}
+
+/// Experiment scale. `Quick` keeps every benchmark runnable on one CPU core
+/// in seconds; `Full` approaches the paper's labeled-data sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-run scale for one CPU core (default).
+    Quick,
+    /// Larger datasets and budgets approaching the paper's label counts.
+    Full,
+}
+
+impl Scale {
+    /// Read the scale from `PROMPTEM_SCALE` (defaults to quick).
+    pub fn from_env() -> Scale {
+        match std::env::var("PROMPTEM_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// (entities, labeled-entity count) per benchmark at this scale. Each
+    /// labeled entity yields one positive and three negatives.
+    fn sizes(&self, id: BenchmarkId) -> (usize, usize) {
+        let (e_full, l_full) = match id {
+            BenchmarkId::RelHeter => (500, 140),
+            BenchmarkId::SemiHomo => (900, 300),
+            BenchmarkId::SemiHeter => (700, 300),
+            BenchmarkId::SemiRel => (800, 320),
+            BenchmarkId::SemiTextC => (900, 300),
+            BenchmarkId::SemiTextW => (700, 260),
+            BenchmarkId::RelText => (700, 260),
+            BenchmarkId::GeoHeter => (650, 280),
+        };
+        match self {
+            Scale::Full => (e_full, l_full),
+            Scale::Quick => ((e_full / 4).max(80), (l_full / 4).max(50)),
+        }
+    }
+}
+
+/// Build one benchmark dataset deterministically from a seed.
+///
+/// ```
+/// use em_data::synth::{build, BenchmarkId, Scale};
+/// let ds = build(BenchmarkId::RelHeter, Scale::Quick, 42);
+/// assert_eq!(ds.name, "REL-HETER");
+/// assert!(!ds.train.is_empty() && !ds.unlabeled.is_empty());
+/// // Deterministic under the seed:
+/// assert_eq!(ds.train, build(BenchmarkId::RelHeter, Scale::Quick, 42).train);
+/// ```
+pub fn build(id: BenchmarkId, scale: Scale, seed: u64) -> GemDataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ hash_id(id));
+    let (n_entities, n_labeled) = scale.sizes(id);
+    match id {
+        BenchmarkId::RelHeter => rel_heter(n_entities, n_labeled, &mut rng),
+        BenchmarkId::SemiHomo => semi_homo(n_entities, n_labeled, &mut rng),
+        BenchmarkId::SemiHeter => semi_heter(n_entities, n_labeled, &mut rng),
+        BenchmarkId::SemiRel => semi_rel(n_entities, n_labeled, &mut rng),
+        BenchmarkId::SemiTextC => semi_text(n_entities, n_labeled, false, &mut rng),
+        BenchmarkId::SemiTextW => semi_text(n_entities, n_labeled, true, &mut rng),
+        BenchmarkId::RelText => rel_text(n_entities, n_labeled, &mut rng),
+        BenchmarkId::GeoHeter => geo_heter(n_entities, n_labeled, &mut rng),
+    }
+}
+
+/// Build all eight benchmarks.
+pub fn build_all(scale: Scale, seed: u64) -> Vec<GemDataset> {
+    BenchmarkId::ALL.iter().map(|&id| build(id, scale, seed)).collect()
+}
+
+fn hash_id(id: BenchmarkId) -> u64 {
+    (BenchmarkId::ALL.iter().position(|&x| x == id).unwrap() as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+// ---------------------------------------------------------------------------
+// Shared assembly machinery
+// ---------------------------------------------------------------------------
+
+/// Copy a subset of attributes, renaming and noising them.
+fn project(
+    entity: &Record,
+    mapping: &[(&str, &str)],
+    cfg: &NoiseCfg,
+    rng: &mut StdRng,
+) -> Record {
+    let mut out = Record::new();
+    for &(src, dst) in mapping {
+        if noise::drop_attr(cfg, rng) {
+            continue;
+        }
+        let Some(value) = entity.get(src) else { continue };
+        let noisy = noisy_value(value, cfg, rng);
+        out.push(dst, noisy);
+    }
+    if out.attrs.is_empty() {
+        // Never emit a completely empty record: keep the first attribute.
+        if let Some((_, v)) = entity.attrs.first() {
+            out.push(mapping.first().map(|m| m.1).unwrap_or("value"), v.clone());
+        }
+    }
+    out
+}
+
+fn noisy_value(value: &Value, cfg: &NoiseCfg, rng: &mut StdRng) -> Value {
+    match value {
+        Value::Text(s) => Value::Text(noise::noisy_text(s, cfg, rng)),
+        Value::List(items) => {
+            Value::List(items.iter().map(|v| noisy_value(v, cfg, rng)).collect())
+        }
+        Value::Nested(fields) => Value::Nested(
+            fields.iter().map(|(k, v)| (k.clone(), noisy_value(v, cfg, rng))).collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Assemble a [`GemDataset`] from two views plus labeled pairs, splitting
+/// into train/valid/test (60/20/20 of the labels) and then taking `rate` of
+/// *all* labels as the low-resource train set (the remainder of the train
+/// pool becomes the unlabeled pool), matching Table 1's construction.
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    id: BenchmarkId,
+    left: Table,
+    right: Table,
+    positives: Vec<Pair>,
+    negatives: Vec<Pair>,
+    rng: &mut StdRng,
+) -> GemDataset {
+    let mut labeled: Vec<LabeledPair> = Vec::with_capacity(positives.len() + negatives.len());
+    labeled.extend(positives.into_iter().map(|pair| LabeledPair { pair, label: true }));
+    labeled.extend(negatives.into_iter().map(|pair| LabeledPair { pair, label: false }));
+    labeled.shuffle(rng);
+    let all = labeled.len();
+    let (mut pool, valid, test) = three_way_split(labeled, 0.2, 0.2, rng);
+    let rate = id.rate();
+    let want = ((all as f64) * rate).round().max(4.0) as usize;
+    let want = want.min(pool.len());
+    let (train, unlabeled) = stratified_split(&mut pool, want, rng);
+    GemDataset {
+        name: id.name().to_string(),
+        domain: id.domain().to_string(),
+        left,
+        right,
+        train,
+        valid,
+        test,
+        unlabeled,
+        rate,
+    }
+}
+
+/// Sample hard + random negatives for each labeled entity. `i` indexes both
+/// the labeled entity's left-table row and its right-table match.
+fn sample_negatives(
+    labeled_idx: &[usize],
+    left: &Table,
+    right: &Table,
+    per_entity: usize,
+    rng: &mut StdRng,
+) -> Vec<Pair> {
+    let index = TokenIndex::build(&right.records, right.format);
+    let mut negatives = Vec::with_capacity(labeled_idx.len() * per_entity);
+    for &i in labeled_idx {
+        let query = record_tokens(&left.records[i], left.format);
+        // All-hard negatives: the most overlapping non-matches. Real EM
+        // candidate sets come out of a blocker, so every candidate shares
+        // tokens with the query — random negatives would be unrealistically
+        // easy for overlap-based methods.
+        let hard = index.candidates(&query, 2, Some(i));
+        let mut chosen = std::collections::HashSet::new();
+        for &(j, _) in hard.iter().take(per_entity) {
+            chosen.insert(j);
+        }
+        // Random fallback when blocking yields too few candidates; the set
+        // guarantees no duplicate pairs reach the labeled splits.
+        let mut guard = 0;
+        while chosen.len() < per_entity && guard < 100 {
+            let j = rng.gen_range(0..right.records.len());
+            if j != i {
+                chosen.insert(j);
+            }
+            guard += 1;
+        }
+        let mut chosen: Vec<usize> = chosen.into_iter().collect();
+        chosen.sort_unstable();
+        negatives.extend(chosen.into_iter().map(|j| Pair { left: i, right: j }));
+    }
+    negatives
+}
+
+/// Extend a universe with near-duplicate sibling entities (one per entity
+/// for the first `frac` of the pool). Siblings become the top blocking
+/// candidates and hence the hard negatives of the labeled pairs.
+fn with_siblings(
+    mut entities: Vec<Record>,
+    domain: Domain,
+    frac: f64,
+    rng: &mut StdRng,
+) -> Vec<Record> {
+    let n = ((entities.len() as f64) * frac) as usize;
+    let mut siblings = Vec::with_capacity(n);
+    for i in 0..n {
+        siblings.push(universe::sibling(domain, &entities[i], rng));
+    }
+    entities.extend(siblings);
+    entities
+}
+
+/// Pick which entities get labels.
+fn labeled_entities(n_entities: usize, n_labeled: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n_entities).collect();
+    idx.shuffle(rng);
+    idx.truncate(n_labeled.min(n_entities));
+    idx
+}
+
+// ---------------------------------------------------------------------------
+// REL-HETER — restaurants, relational vs relational, heterogeneous schemas
+// ---------------------------------------------------------------------------
+
+fn rel_heter(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
+    let entities = with_siblings(universe::generate(Domain::Restaurant, n, rng), Domain::Restaurant, 0.5, rng);
+    let mut left = Table::new("left", Format::Relational);
+    let mut right = Table::new("right", Format::Relational);
+    for e in &entities {
+        left.records.push(project(
+            e,
+            &[
+                ("name", "name"),
+                ("address", "addr"),
+                ("city", "city"),
+                ("phone", "phone"),
+                ("cuisine", "type"),
+                ("price", "price"),
+            ],
+            &NoiseCfg::CLEAN,
+            rng,
+        ));
+        let mut r = project(
+            e,
+            &[
+                ("name", "restaurant_name"),
+                ("address", "street"),
+                ("city", "city"),
+                ("cuisine", "category"),
+                ("price", "cost"),
+                ("rating", "rating"),
+            ],
+            &NoiseCfg::DIRTY,
+            rng,
+        );
+        // Reformatted phone under a different attribute name.
+        if let Some(p) = e.get("phone") {
+            r.push("telephone", Value::Text(noise::reformat_phone(&p.to_text())));
+        }
+        right.records.push(r);
+    }
+    let idx = labeled_entities(n, n_labeled, rng);
+    let positives: Vec<Pair> = idx.iter().map(|&i| Pair { left: i, right: i }).collect();
+    let negatives = sample_negatives(&idx, &left, &right, 3, rng);
+    assemble(BenchmarkId::RelHeter, left, right, positives, negatives, rng)
+}
+
+// ---------------------------------------------------------------------------
+// SEMI-HOMO — citations, semi-structured vs semi-structured, same schema
+// ---------------------------------------------------------------------------
+
+fn citation_semi_view(e: &Record, cfg: &NoiseCfg, rng: &mut StdRng) -> Record {
+    let mut out = project(
+        e,
+        &[("title", "title"), ("authors", "authors"), ("year", "year"), ("pages", "pages")],
+        cfg,
+        rng,
+    );
+    // Nested publication block (exercises the recursive serialization).
+    let mut publication = Vec::new();
+    if let Some(v) = e.get("venue") {
+        publication.push(("venue".to_string(), noisy_value(v, cfg, rng)));
+    }
+    if let Some(v) = e.get("volume") {
+        publication.push(("volume".to_string(), v.clone()));
+    }
+    if let Some(v) = e.get("number") {
+        publication.push(("number".to_string(), v.clone()));
+    }
+    out.push("publication", Value::Nested(publication));
+    if let Some(p) = e.get("publisher") {
+        out.push("publisher", noisy_value(p, cfg, rng));
+    }
+    out
+}
+
+fn semi_homo(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
+    let entities = with_siblings(universe::generate(Domain::Citation, n, rng), Domain::Citation, 0.7, rng);
+    // The real SEMI-HOMO right table is ~25x larger; emulate with 3x
+    // distractors to keep blocking realistic.
+    let distractors = universe::generate(Domain::Citation, 3 * n, rng);
+    let mut left = Table::new("left", Format::SemiStructured);
+    let mut right = Table::new("right", Format::SemiStructured);
+    for e in &entities {
+        left.records.push(citation_semi_view(e, &NoiseCfg::CLEAN, rng));
+        right.records.push(citation_semi_view(e, &NoiseCfg::DIRTY, rng));
+    }
+    for d in &distractors {
+        right.records.push(citation_semi_view(d, &NoiseCfg::CLEAN, rng));
+    }
+    let idx = labeled_entities(n, n_labeled, rng);
+    let positives: Vec<Pair> = idx.iter().map(|&i| Pair { left: i, right: i }).collect();
+    let negatives = sample_negatives(&idx, &left, &right, 3, rng);
+    assemble(BenchmarkId::SemiHomo, left, right, positives, negatives, rng)
+}
+
+// ---------------------------------------------------------------------------
+// SEMI-HETER — books, semi-structured, heterogeneous, numeric-heavy
+// ---------------------------------------------------------------------------
+
+fn semi_heter(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
+    // Books breed near-duplicate editions — the error-analysis dataset gets
+    // the densest sibling population.
+    let entities = with_siblings(universe::generate(Domain::Book, n, rng), Domain::Book, 0.6, rng);
+
+    let mut left = Table::new("left", Format::SemiStructured);
+    let mut right = Table::new("right", Format::SemiStructured);
+    for e in &entities {
+        left.records.push(project(
+            e,
+            &[
+                ("title", "title"),
+                ("author", "author"),
+                ("isbn", "isbn"),
+                ("publisher", "publisher"),
+                ("publication_date", "pubdate"),
+                ("pages", "pages"),
+                ("price", "price"),
+                ("product_type", "binding"),
+                ("edition", "edition"),
+                ("language", "language"),
+                ("weight", "weight"),
+                ("dimensions", "dimensions"),
+            ],
+            &NoiseCfg::CLEAN,
+            rng,
+        ));
+        // Right view: heterogeneous names, reformatted date, numeric heavy.
+        let mut r = project(
+            e,
+            &[
+                ("title", "Title"),
+                ("author", "Author"),
+                ("isbn", "ISBN13"),
+                ("publisher", "Publisher"),
+                ("pages", "Pages"),
+                ("price", "price"),
+                ("product_type", "ProductType"),
+                ("edition", "Edition"),
+                ("weight", "ShippingWeight"),
+                ("dimensions", "ProductDimensions"),
+                ("language", "Language"),
+            ],
+            &NoiseCfg::DIRTY,
+            rng,
+        );
+        if let Some(d) = e.get("publication_date") {
+            r.push("PublicationDate", Value::Text(noise::reformat_date(&d.to_text())));
+        }
+        right.records.push(r);
+    }
+    let idx = labeled_entities(n, n_labeled, rng);
+    let positives: Vec<Pair> = idx.iter().map(|&i| Pair { left: i, right: i }).collect();
+    let negatives = sample_negatives(&idx, &left, &right, 3, rng);
+    assemble(BenchmarkId::SemiHeter, left, right, positives, negatives, rng)
+}
+
+// ---------------------------------------------------------------------------
+// SEMI-REL — movies, semi-structured vs relational
+// ---------------------------------------------------------------------------
+
+fn semi_rel(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
+    let entities = with_siblings(universe::generate(Domain::Movie, n, rng), Domain::Movie, 0.5, rng);
+    let mut left = Table::new("left", Format::SemiStructured);
+    let mut right = Table::new("right", Format::Relational);
+    for e in &entities {
+        left.records.push(project(
+            e,
+            &[
+                ("title", "title"),
+                ("director", "director"),
+                ("actors", "actors"),
+                ("year", "year"),
+                ("genre", "genre"),
+                ("duration", "duration"),
+                ("language", "language"),
+                ("country", "country"),
+            ],
+            &NoiseCfg::CLEAN,
+            rng,
+        ));
+        // Relational view explodes the actor list into columns and carries
+        // extra attributes (mean arity ~14 in Table 1).
+        let mut r = project(
+            e,
+            &[
+                ("title", "movie_title"),
+                ("director", "directed_by"),
+                ("year", "release_year"),
+                ("genre", "genre"),
+                ("duration", "runtime_minutes"),
+                ("language", "language"),
+                ("country", "country"),
+                ("writer", "writer"),
+                ("studio", "studio"),
+                ("awards", "awards"),
+                ("votes", "votes"),
+                ("certificate", "certificate"),
+                ("rating", "imdb_rating"),
+            ],
+            &NoiseCfg::DIRTY,
+            rng,
+        );
+        if let Some(Value::List(actors)) = e.get("actors") {
+            for (k, a) in actors.iter().enumerate() {
+                r.push(format!("star{}", k + 1), noisy_value(a, &NoiseCfg::DIRTY, rng));
+            }
+        }
+        right.records.push(r);
+    }
+    let idx = labeled_entities(n, n_labeled, rng);
+    let positives: Vec<Pair> = idx.iter().map(|&i| Pair { left: i, right: i }).collect();
+    let negatives = sample_negatives(&idx, &left, &right, 3, rng);
+    assemble(BenchmarkId::SemiRel, left, right, positives, negatives, rng)
+}
+
+// ---------------------------------------------------------------------------
+// SEMI-TEXT-c / SEMI-TEXT-w — products, semi-structured vs textual
+// ---------------------------------------------------------------------------
+
+fn semi_text(n: usize, n_labeled: usize, hard: bool, rng: &mut StdRng) -> GemDataset {
+    let frac = if hard { 0.6 } else { 0.5 };
+    let entities = with_siblings(universe::generate(Domain::Product, n, rng), Domain::Product, frac, rng);
+    let mut left = Table::new("left", Format::SemiStructured);
+    let mut right = Table::new("right", Format::Textual);
+    let cfg = if hard { NoiseCfg::VERY_DIRTY } else { NoiseCfg::DIRTY };
+    for e in &entities {
+        left.records.push(project(
+            e,
+            &[
+                ("brand", "brand"),
+                ("model", "model"),
+                ("category", "category"),
+                ("feature_a", "feature_a"),
+                ("feature_b", "feature_b"),
+                ("screen_size", "screen_size"),
+                ("storage", "storage"),
+                ("price", "price"),
+                ("sku", "sku"),
+            ],
+            &NoiseCfg::CLEAN,
+            rng,
+        ));
+        // The text side: the entity description, noised, padded with filler
+        // sentences so TF-IDF summarization has work to do. The harder "-w"
+        // variant buries the signal under more filler and heavier noise.
+        let desc = e.get("description").map(|d| d.to_text()).unwrap_or_default();
+        let mut text = noise::noisy_text(&desc, &cfg, rng);
+        let n_filler = if hard { rng.gen_range(7..13) } else { rng.gen_range(3..7) };
+        for _ in 0..n_filler {
+            text.push_str(&filler_sentence(rng));
+        }
+        right.records.push(Record::textual(text));
+    }
+    let idx = labeled_entities(n, n_labeled, rng);
+    let positives: Vec<Pair> = idx.iter().map(|&i| Pair { left: i, right: i }).collect();
+    let negatives = sample_negatives(&idx, &left, &right, 3, rng);
+    let id = if hard { BenchmarkId::SemiTextW } else { BenchmarkId::SemiTextC };
+    assemble(id, left, right, positives, negatives, rng)
+}
+
+fn filler_sentence(rng: &mut StdRng) -> String {
+    let templates = [
+        " free shipping on orders over 25 dollars and easy returns within 30 days",
+        " customers also viewed similar items in this category this week",
+        " sign up for our newsletter to receive exclusive offers and deals",
+        " this item ships from our warehouse within two business days",
+        " limited time offer while supplies last terms and conditions apply",
+        " read verified reviews from customers who purchased this product",
+    ];
+    templates[rng.gen_range(0..templates.len())].to_string()
+}
+
+// ---------------------------------------------------------------------------
+// REL-TEXT — citations: textual abstracts (1 attr) vs relational metadata
+// ---------------------------------------------------------------------------
+
+fn rel_text(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
+    let entities = with_siblings(universe::generate(Domain::Citation, n, rng), Domain::Citation, 0.5, rng);
+    let mut left = Table::new("left", Format::Textual);
+    let mut right = Table::new("right", Format::Relational);
+    for e in &entities {
+        let abs = e.get("abstract").map(|a| a.to_text()).unwrap_or_default();
+        left.records.push(Record::textual(noise::noisy_text(&abs, &NoiseCfg::DIRTY, rng)));
+        right.records.push(project(
+            e,
+            &[
+                ("title", "title"),
+                ("authors", "authors"),
+                ("venue", "venue"),
+                ("year", "year"),
+                ("pages", "pages"),
+                ("volume", "volume"),
+            ],
+            &NoiseCfg::CLEAN,
+            rng,
+        ));
+    }
+    let idx = labeled_entities(n, n_labeled, rng);
+    let positives: Vec<Pair> = idx.iter().map(|&i| Pair { left: i, right: i }).collect();
+    let negatives = sample_negatives(&idx, &left, &right, 3, rng);
+    assemble(BenchmarkId::RelText, left, right, positives, negatives, rng)
+}
+
+// ---------------------------------------------------------------------------
+// GEO-HETER — points of interest; right table fuses lat/lon into "position"
+// ---------------------------------------------------------------------------
+
+fn geo_heter(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
+    let entities = with_siblings(universe::generate(Domain::GeoSpatial, n, rng), Domain::GeoSpatial, 0.5, rng);
+    let mut left = Table::new("left", Format::Relational);
+    let mut right = Table::new("right", Format::Relational);
+    for e in &entities {
+        left.records.push(project(
+            e,
+            &[
+                ("name", "name"),
+                ("address", "address"),
+                ("category", "category"),
+                ("latitude", "latitude"),
+                ("longitude", "longitude"),
+            ],
+            &NoiseCfg::CLEAN,
+            rng,
+        ));
+        let mut r = project(
+            e,
+            &[("name", "name"), ("address", "address"), ("category", "category")],
+            &NoiseCfg::DIRTY,
+            rng,
+        );
+        // "the latitude and longitude of the right table are combined into a
+        // single position attribute" (Appendix E), with small GPS jitter.
+        let lat = num(e.get("latitude")) + rng.gen_range(-3..4) as f64 * 1e-4;
+        let lon = num(e.get("longitude")) + rng.gen_range(-3..4) as f64 * 1e-4;
+        r.push("position", Value::Text(format!("{lat:.4} {lon:.4}")));
+        right.records.push(r);
+    }
+    let idx = labeled_entities(n, n_labeled, rng);
+    let positives: Vec<Pair> = idx.iter().map(|&i| Pair { left: i, right: i }).collect();
+    let negatives = sample_negatives(&idx, &left, &right, 3, rng);
+    assemble(BenchmarkId::GeoHeter, left, right, positives, negatives, rng)
+}
+
+fn num(v: Option<&Value>) -> f64 {
+    match v {
+        Some(Value::Number(n)) => *n,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build_quickly() {
+        for d in build_all(Scale::Quick, 7) {
+            assert!(!d.train.is_empty(), "{}: empty train", d.name);
+            assert!(!d.valid.is_empty(), "{}: empty valid", d.name);
+            assert!(!d.test.is_empty(), "{}: empty test", d.name);
+            assert!(!d.unlabeled.is_empty(), "{}: empty unlabeled pool", d.name);
+            assert!(d.train_pos_rate() > 0.05 && d.train_pos_rate() < 0.6, "{}: degenerate positive rate {}", d.name, d.train_pos_rate());
+        }
+    }
+
+    #[test]
+    fn builds_are_seed_deterministic() {
+        let a = build(BenchmarkId::RelHeter, Scale::Quick, 42);
+        let b = build(BenchmarkId::RelHeter, Scale::Quick, 42);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.left.records[0], b.left.records[0]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = build(BenchmarkId::RelHeter, Scale::Quick, 1);
+        let b = build(BenchmarkId::RelHeter, Scale::Quick, 2);
+        assert_ne!(a.left.records[0], b.left.records[0]);
+    }
+
+    #[test]
+    fn formats_match_table1() {
+        use BenchmarkId::*;
+        let expect = [
+            (RelHeter, Format::Relational, Format::Relational),
+            (SemiHomo, Format::SemiStructured, Format::SemiStructured),
+            (SemiHeter, Format::SemiStructured, Format::SemiStructured),
+            (SemiRel, Format::SemiStructured, Format::Relational),
+            (SemiTextC, Format::SemiStructured, Format::Textual),
+            (SemiTextW, Format::SemiStructured, Format::Textual),
+            (RelText, Format::Textual, Format::Relational),
+            (GeoHeter, Format::Relational, Format::Relational),
+        ];
+        for (id, lf, rf) in expect {
+            let d = build(id, Scale::Quick, 3);
+            assert_eq!(d.left.format, lf, "{}", d.name);
+            assert_eq!(d.right.format, rf, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn semi_heter_is_numeric_heavy() {
+        let d = build(BenchmarkId::SemiHeter, Scale::Quick, 4);
+        let frac: f64 = d
+            .right
+            .records
+            .iter()
+            .map(|r| r.numeric_fraction())
+            .sum::<f64>()
+            / d.right.records.len() as f64;
+        assert!(frac > 0.3, "SEMI-HETER right view lost its numeric attributes: {frac}");
+    }
+
+    #[test]
+    fn positive_pairs_share_tokens() {
+        use crate::blocking::{jaccard, record_tokens};
+        let d = build(BenchmarkId::SemiHomo, Scale::Quick, 5);
+        let mut sims = Vec::new();
+        for lp in d.train.iter().filter(|p| p.label) {
+            let (l, r) = d.records(lp.pair);
+            let lt = record_tokens(l, d.left.format);
+            let rt = record_tokens(r, d.right.format);
+            sims.push(jaccard(&lt, &rt));
+        }
+        let mean = sims.iter().sum::<f64>() / sims.len() as f64;
+        assert!(mean > 0.3, "positives dissimilar: {mean}");
+    }
+
+    #[test]
+    fn hard_negatives_overlap_but_less_than_positives() {
+        use crate::blocking::{jaccard, record_tokens};
+        let d = build(BenchmarkId::SemiHeter, Scale::Quick, 6);
+        let (mut pos, mut neg) = (Vec::new(), Vec::new());
+        for lp in d.train.iter().chain(&d.unlabeled) {
+            let (l, r) = d.records(lp.pair);
+            let sim = jaccard(
+                &record_tokens(l, d.left.format),
+                &record_tokens(r, d.right.format),
+            );
+            if lp.label {
+                pos.push(sim)
+            } else {
+                neg.push(sim)
+            }
+        }
+        let pmean = pos.iter().sum::<f64>() / pos.len() as f64;
+        let nmean = neg.iter().sum::<f64>() / neg.len() as f64;
+        assert!(pmean > nmean, "positives ({pmean}) not more similar than negatives ({nmean})");
+        assert!(nmean > 0.02, "negatives are all trivial: {nmean}");
+    }
+
+    #[test]
+    fn rel_text_left_is_single_attribute_text() {
+        let d = build(BenchmarkId::RelText, Scale::Quick, 8);
+        assert!((d.left.mean_arity() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geo_heter_right_has_fused_position() {
+        let d = build(BenchmarkId::GeoHeter, Scale::Quick, 9);
+        let with_pos = d.right.records.iter().filter(|r| r.get("position").is_some()).count();
+        assert_eq!(with_pos, d.right.records.len());
+        assert!(d.right.records.iter().all(|r| r.get("latitude").is_none()));
+    }
+
+    #[test]
+    fn semi_text_w_is_longer_and_noisier_than_c() {
+        let w = build(BenchmarkId::SemiTextW, Scale::Quick, 10);
+        let c = build(BenchmarkId::SemiTextC, Scale::Quick, 10);
+        let mean_len = |t: &Table| {
+            t.records
+                .iter()
+                .map(|r| r.attrs[0].1.to_text().split_whitespace().count())
+                .sum::<usize>() as f64
+                / t.len() as f64
+        };
+        assert!(mean_len(&w.right) > mean_len(&c.right), "-w text not longer than -c");
+    }
+
+    #[test]
+    fn full_scale_is_larger() {
+        let q = build(BenchmarkId::RelHeter, Scale::Quick, 11);
+        let f = build(BenchmarkId::RelHeter, Scale::Full, 11);
+        assert!(f.all_labeled() > q.all_labeled());
+        assert!(f.train.len() > q.train.len());
+    }
+}

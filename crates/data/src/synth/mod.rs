@@ -1,0 +1,11 @@
+//! Synthetic benchmark construction: canonical entity universes, noise
+//! channels, and the eight dataset builders replicating Table 1.
+
+pub mod benchmarks;
+pub mod noise;
+pub mod universe;
+pub mod vocab;
+
+pub use benchmarks::{build, build_all, BenchmarkId, Scale};
+pub use noise::NoiseCfg;
+pub use universe::Domain;

@@ -1,0 +1,163 @@
+//! Noise channels applied when deriving table views from canonical
+//! entities. These reproduce the dirtiness that makes the real benchmarks
+//! hard: typos, abbreviations, dropped attributes/tokens, case and format
+//! changes.
+
+use rand::Rng;
+
+/// Per-view noise intensities (probabilities per applicable unit).
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseCfg {
+    /// Probability a word receives a character-level typo.
+    pub typo: f64,
+    /// Probability a word is abbreviated to its first letter + '.'.
+    pub abbrev: f64,
+    /// Probability a token is dropped from a multi-token value.
+    pub drop_token: f64,
+    /// Probability an entire attribute is omitted from the view.
+    pub drop_attr: f64,
+}
+
+impl NoiseCfg {
+    /// Clean view (no perturbation).
+    pub const CLEAN: NoiseCfg = NoiseCfg { typo: 0.0, abbrev: 0.0, drop_token: 0.0, drop_attr: 0.0 };
+
+    /// The default dirtiness of a matching view.
+    pub const DIRTY: NoiseCfg =
+        NoiseCfg { typo: 0.14, abbrev: 0.10, drop_token: 0.16, drop_attr: 0.14 };
+
+    /// Heavier noise for the hardest datasets.
+    pub const VERY_DIRTY: NoiseCfg =
+        NoiseCfg { typo: 0.22, abbrev: 0.16, drop_token: 0.25, drop_attr: 0.20 };
+}
+
+/// Apply one random character-level typo: swap, drop or duplicate.
+pub fn typo(word: &str, rng: &mut impl Rng) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 2 {
+        return word.to_string();
+    }
+    let i = rng.gen_range(0..chars.len() - 1);
+    let mut out = chars.clone();
+    match rng.gen_range(0..3) {
+        0 => out.swap(i, i + 1),
+        1 => {
+            out.remove(i);
+        }
+        _ => out.insert(i, chars[i]),
+    }
+    out.into_iter().collect()
+}
+
+/// Abbreviate a word to its first letter followed by a period.
+pub fn abbreviate(word: &str) -> String {
+    match word.chars().next() {
+        Some(c) => format!("{c}."),
+        None => String::new(),
+    }
+}
+
+/// Apply word-level noise to a multi-token string.
+pub fn noisy_text(text: &str, cfg: &NoiseCfg, rng: &mut impl Rng) -> String {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    let mut out: Vec<String> = Vec::with_capacity(words.len());
+    for (i, w) in words.iter().enumerate() {
+        // Never drop down to an empty value.
+        if words.len() > 1 && out.is_empty() == false && rng.gen_bool(cfg.drop_token) && i + 1 < words.len() {
+            continue;
+        }
+        let w = if rng.gen_bool(cfg.abbrev) && w.len() > 2 {
+            abbreviate(w)
+        } else if rng.gen_bool(cfg.typo) && w.len() > 2 {
+            typo(w, rng)
+        } else {
+            w.to_string()
+        };
+        out.push(w);
+    }
+    if out.is_empty() {
+        return text.to_string();
+    }
+    out.join(" ")
+}
+
+/// Should this attribute be dropped from the view entirely?
+pub fn drop_attr(cfg: &NoiseCfg, rng: &mut impl Rng) -> bool {
+    rng.gen_bool(cfg.drop_attr)
+}
+
+/// Reformat a "mm/dd/yyyy" date into "yyyy-mm-dd" (format heterogeneity).
+pub fn reformat_date(date: &str) -> String {
+    let parts: Vec<&str> = date.split('/').collect();
+    if parts.len() == 3 {
+        format!("{}-{}-{}", parts[2], parts[0], parts[1])
+    } else {
+        date.to_string()
+    }
+}
+
+/// Reformat a "ddd-ddd-dddd" phone into "(ddd) ddd dddd".
+pub fn reformat_phone(phone: &str) -> String {
+    let parts: Vec<&str> = phone.split('-').collect();
+    if parts.len() == 3 {
+        format!("({}) {} {}", parts[0], parts[1], parts[2])
+    } else {
+        phone.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn typo_changes_long_words() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut changed = 0;
+        for _ in 0..20 {
+            if typo("restaurant", &mut rng) != "restaurant" {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 15, "typo rarely fired: {changed}");
+    }
+
+    #[test]
+    fn typo_leaves_short_words() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(typo("a", &mut rng), "a");
+    }
+
+    #[test]
+    fn abbreviate_keeps_first_letter() {
+        assert_eq!(abbreviate("ronald"), "r.");
+        assert_eq!(abbreviate(""), "");
+    }
+
+    #[test]
+    fn clean_noise_is_identity() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let text = "efficient similarity search over tables";
+        assert_eq!(noisy_text(text, &NoiseCfg::CLEAN, &mut rng), text);
+    }
+
+    #[test]
+    fn noisy_text_never_empties() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = NoiseCfg { typo: 0.5, abbrev: 0.5, drop_token: 0.9, drop_attr: 0.0 };
+        for _ in 0..50 {
+            let out = noisy_text("alpha beta gamma", &cfg, &mut rng);
+            assert!(!out.trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn reformatters() {
+        assert_eq!(reformat_date("11/08/2012"), "2012-11-08");
+        assert_eq!(reformat_date("garbage"), "garbage");
+        assert_eq!(reformat_phone("412-555-0000"), "(412) 555 0000");
+        assert_eq!(reformat_phone("x"), "x");
+    }
+}

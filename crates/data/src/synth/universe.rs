@@ -1,0 +1,451 @@
+//! Canonical entity universes. Each benchmark derives its two table views
+//! (with different formats/schemas/noise) from one shared universe of
+//! ground-truth entities, so match labels are exact by construction.
+
+use super::vocab;
+use crate::record::{Record, Value};
+use rand::Rng;
+
+/// The application domain of a benchmark (Table 1 "Domain" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Restaurants (REL-HETER).
+    Restaurant,
+    /// Paper citations (SEMI-HOMO, REL-TEXT).
+    Citation,
+    /// Books (SEMI-HETER).
+    Book,
+    /// Movies (SEMI-REL).
+    Movie,
+    /// Electronics products (SEMI-TEXT-c/w).
+    Product,
+    /// Points of interest (GEO-HETER).
+    GeoSpatial,
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Domain::Restaurant => "restaurant",
+            Domain::Citation => "citation",
+            Domain::Book => "book",
+            Domain::Movie => "movie",
+            Domain::Product => "product",
+            Domain::GeoSpatial => "geo-spatial",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Generate `n` canonical entities for a domain. Every entity is a full
+/// [`Record`] holding all attributes any view might project.
+pub fn generate(domain: Domain, n: usize, rng: &mut impl Rng) -> Vec<Record> {
+    (0..n).map(|_| one(domain, rng)).collect()
+}
+
+fn one(domain: Domain, rng: &mut impl Rng) -> Record {
+    match domain {
+        Domain::Restaurant => restaurant(rng),
+        Domain::Citation => citation(rng),
+        Domain::Book => book(rng),
+        Domain::Movie => movie(rng),
+        Domain::Product => product(rng),
+        Domain::GeoSpatial => poi(rng),
+    }
+}
+
+fn text(s: String) -> Value {
+    Value::Text(s)
+}
+
+/// Derive a *sibling* of an entity: a different real-world entity that
+/// shares its headline attributes (name/title/brand) but differs in the
+/// discriminative details. Siblings are the near-duplicate hard negatives
+/// the paper's error analysis (Appendix C) revolves around — same book
+/// title, different ISBN/date; franchise restaurants; movie remakes;
+/// product variants; preprint-vs-published citations; chain POIs.
+pub fn sibling(domain: Domain, entity: &Record, rng: &mut impl Rng) -> Record {
+    let mut s = entity.clone();
+    let replace = |s: &mut Record, keys: &[&str], rng: &mut dyn FnMut(&str) -> Value| {
+        for (k, v) in s.attrs.iter_mut() {
+            if keys.contains(&k.as_str()) {
+                *v = rng(k);
+            }
+        }
+    };
+    match domain {
+        Domain::Restaurant => {
+            // A franchise location: same name and cuisine, new everything else.
+            replace(&mut s, &["address", "phone"], &mut |k| match k {
+                "address" => text(vocab::street_address(rng)),
+                "city" => text(vocab::pick(rng, vocab::CITIES).to_string()),
+                "phone" => text(vocab::phone(rng)),
+                "price" => text(format!("${}", rng.gen_range(8..80))),
+                _ => Value::Number((rng.gen_range(20..50) as f64) / 10.0),
+            });
+        }
+        Domain::Citation => {
+            // The "other version" of the paper: same title and authors,
+            // different venue/year/pages/volume.
+            replace(&mut s, &["year", "pages", "number"], &mut |k| match k {
+                "venue" => text(vocab::pick(rng, vocab::VENUES).to_string()),
+                "year" => Value::Number(rng.gen_range(1998..2023) as f64),
+                "pages" => {
+                    let start = rng.gen_range(1..3000);
+                    text(format!("{}-{}", start, start + rng.gen_range(8..25)))
+                }
+                "volume" => Value::Number(rng.gen_range(1..40) as f64),
+                _ => Value::Number(rng.gen_range(1..13) as f64),
+            });
+        }
+        Domain::Book => {
+            // Another edition: same title/author/publisher, new identifiers.
+            replace(&mut s, &["isbn", "publication_date", "edition"], &mut |k| {
+                match k {
+                    "isbn" => text(vocab::isbn(rng)),
+                    "publication_date" => text(vocab::date(rng)),
+                    "edition" => Value::Number(rng.gen_range(1..9) as f64),
+                    "price" => text(format!(
+                        "${}.{:02}",
+                        rng.gen_range(9..90),
+                        rng.gen_range(0..100)
+                    )),
+                    _ => Value::Number(rng.gen_range(120..900) as f64),
+                }
+            });
+        }
+        Domain::Movie => {
+            // A remake: same title and genre, different crew and year.
+            replace(&mut s, &["director", "year", "votes"], &mut |k| {
+                match k {
+                    "director" | "writer" => text(vocab::person_name(rng)),
+                    "year" => Value::Number(rng.gen_range(1970..2023) as f64),
+                    "duration" => Value::Number(rng.gen_range(80..190) as f64),
+                    "studio" => text(vocab::pseudo_word(rng, 3)),
+                    _ => Value::Number(rng.gen_range(100..200_000) as f64),
+                }
+            });
+        }
+        Domain::Product => {
+            // A model variant: same brand/model/category, different specs.
+            replace(&mut s, &["storage", "price", "sku"], &mut |k| {
+                match k {
+                    "storage" => Value::Number([64.0, 128.0, 256.0, 512.0][rng.gen_range(0..4)]),
+                    "price" => Value::Number(rng.gen_range(99..1999) as f64),
+                    "sku" => text(format!("sku{:07}", rng.gen_range(0..10_000_000))),
+                    "screen_size" => Value::Number(rng.gen_range(100..340) as f64 / 10.0),
+                    _ => text(vocab::pseudo_word(rng, 2)),
+                }
+            });
+            // Regenerate the description from the mutated fields.
+            let get = |k: &str| s.get(k).map(|v| v.to_text()).unwrap_or_default();
+            let desc = format!(
+                "the {} {} is a {} {} featuring {} and {} technology with a {} inch display \
+                 and {} gb storage available now for {} dollars",
+                get("brand"),
+                spaced_model(&get("model")),
+                vocab::pick(rng, vocab::FILLER_WORDS),
+                get("category"),
+                get("feature_a"),
+                get("feature_b"),
+                get("screen_size"),
+                get("storage"),
+                get("price"),
+            );
+            if let Some((_, v)) = s.attrs.iter_mut().find(|(k, _)| k == "description") {
+                *v = Value::Text(desc);
+            }
+        }
+        Domain::GeoSpatial => {
+            // A second location of the same chain: same name/category.
+            replace(&mut s, &["address", "latitude", "longitude"], &mut |k| match k {
+                "address" => text(vocab::street_address(rng)),
+                "latitude" => {
+                    Value::Number(((40.35 + rng.gen_range(0..2000) as f64 / 10000.0) * 10000.0).round() / 10000.0)
+                }
+                _ => Value::Number(((-80.1 + rng.gen_range(0..2000) as f64 / 10000.0) * 10000.0).round() / 10000.0),
+            });
+        }
+    }
+    s
+}
+
+/// Render a model code in "spaced" marketing form: `bu558-pro` → `bu558 pro`.
+/// Whitespace tokenizations of the two forms do not overlap, while subword
+/// tokenizers align them — the surface-form gap that separates token-level
+/// matching (TDmatch) from LM matching in the paper's text datasets.
+pub fn spaced_model(model: &str) -> String {
+    model
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|p| !p.is_empty())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn restaurant(rng: &mut impl Rng) -> Record {
+    let name = format!(
+        "{} {} {}",
+        vocab::pick(rng, vocab::FILLER_WORDS),
+        vocab::pseudo_word(rng, 2),
+        ["grill", "bistro", "kitchen", "diner", "house", "garden"][rng.gen_range(0..6)]
+    );
+    Record::new()
+        .with("name", text(name))
+        .with("address", text(vocab::street_address(rng)))
+        .with("city", text(vocab::pick(rng, vocab::CITIES).to_string()))
+        .with("phone", text(vocab::phone(rng)))
+        .with("cuisine", text(vocab::pick(rng, vocab::CUISINES).to_string()))
+        .with("price", text(format!("${}", rng.gen_range(8..80))))
+        .with("rating", Value::Number((rng.gen_range(20..50) as f64) / 10.0))
+}
+
+fn citation(rng: &mut impl Rng) -> Record {
+    let title_len = rng.gen_range(5..9);
+    let title = vocab::paper_title(rng, title_len);
+    let n_auth = rng.gen_range(2..5);
+    let authors: Vec<Value> =
+        (0..n_auth).map(|_| Value::Text(vocab::person_name(rng))).collect();
+    let venue = vocab::pick(rng, vocab::VENUES).to_string();
+    let year = rng.gen_range(1998..2023) as f64;
+    let start = rng.gen_range(1..3000);
+    let abstract_ = citation_abstract(&title, &venue, rng);
+    Record::new()
+        .with("title", text(title))
+        .with("authors", Value::List(authors))
+        .with("venue", text(venue))
+        .with("year", Value::Number(year))
+        .with("pages", text(format!("{}-{}", start, start + rng.gen_range(8..25))))
+        .with("volume", Value::Number(rng.gen_range(1..40) as f64))
+        .with("number", Value::Number(rng.gen_range(1..13) as f64))
+        .with("publisher", text(vocab::pick(rng, vocab::PUBLISHERS).to_string()))
+        .with("abstract", text(abstract_))
+}
+
+/// An abstract-like paragraph sharing discriminative tokens with the title.
+fn citation_abstract(title: &str, venue: &str, rng: &mut impl Rng) -> String {
+    let topic_words: Vec<&str> = title.split_whitespace().collect();
+    let mut s = format!("we study the problem of {}", title);
+    s.push_str(&format!(
+        ". we propose a {} approach to {} that improves {}",
+        vocab::pick(rng, vocab::ADJECTIVES),
+        topic_words.get(1).copied().unwrap_or("matching"),
+        vocab::pick(rng, vocab::RESEARCH_TOPICS),
+    ));
+    s.push_str(&format!(
+        ". extensive experiments on {} {} demonstrate the {} of our method presented at {}",
+        vocab::pick(rng, vocab::ADJECTIVES),
+        vocab::pick(rng, vocab::RESEARCH_OBJECTS),
+        ["effectiveness", "efficiency", "robustness"][rng.gen_range(0..3)],
+        venue,
+    ));
+    s
+}
+
+fn book(rng: &mut impl Rng) -> Record {
+    let topic = vocab::pick(rng, vocab::RESEARCH_TOPICS).to_string();
+    let title = format!(
+        "{} {} in {} {}",
+        ["professional", "learning", "mastering", "essential", "practical"][rng.gen_range(0..5)],
+        topic,
+        vocab::pseudo_word(rng, 2),
+        rng.gen_range(1..11),
+    );
+    let n_auth = rng.gen_range(1..4);
+    let authors: Vec<Value> =
+        (0..n_auth).map(|_| Value::Text(vocab::person_name(rng))).collect();
+    Record::new()
+        .with("title", text(title))
+        .with("author", Value::List(authors))
+        .with("isbn", text(vocab::isbn(rng)))
+        .with("publisher", text(vocab::pick(rng, vocab::PUBLISHERS).to_string()))
+        .with("publication_date", text(vocab::date(rng)))
+        .with("pages", Value::Number(rng.gen_range(120..900) as f64))
+        .with("price", text(format!("${}.{:02}", rng.gen_range(9..90), rng.gen_range(0..100))))
+        .with("product_type", text(["paperback", "hardcover", "ebook"][rng.gen_range(0..3)].into()))
+        .with("edition", Value::Number(rng.gen_range(1..6) as f64))
+        .with("language", text("english".into()))
+        .with("weight", text(format!("{:.1} ounces", rng.gen_range(40..400) as f64 / 10.0)))
+        .with("dimensions", text(format!(
+            "{:.1} x {:.1} x {:.1} inches",
+            rng.gen_range(50..90) as f64 / 10.0,
+            rng.gen_range(5..30) as f64 / 10.0,
+            rng.gen_range(80..110) as f64 / 10.0
+        )))
+}
+
+fn movie(rng: &mut impl Rng) -> Record {
+    let title = format!(
+        "the {} {}",
+        vocab::pick(rng, vocab::ADJECTIVES),
+        vocab::pseudo_word(rng, 2)
+    );
+    let actors: Vec<Value> =
+        (0..3).map(|_| Value::Text(vocab::person_name(rng))).collect();
+    Record::new()
+        .with("title", text(title))
+        .with("director", text(vocab::person_name(rng)))
+        .with("actors", Value::List(actors))
+        .with("year", Value::Number(rng.gen_range(1970..2023) as f64))
+        .with("genre", text(vocab::pick(rng, vocab::GENRES).to_string()))
+        .with("duration", Value::Number(rng.gen_range(80..190) as f64))
+        .with("language", text(["english", "french", "spanish", "japanese"][rng.gen_range(0..4)].into()))
+        .with("country", text(["usa", "uk", "france", "japan", "canada"][rng.gen_range(0..5)].into()))
+        .with("rating", Value::Number((rng.gen_range(30..95) as f64) / 10.0))
+        .with("writer", text(vocab::person_name(rng)))
+        .with("studio", text(vocab::pseudo_word(rng, 3)))
+        .with("awards", Value::Number(rng.gen_range(0..12) as f64))
+        .with("votes", Value::Number(rng.gen_range(100..200_000) as f64))
+        .with("certificate", text(["pg", "pg-13", "r", "g"][rng.gen_range(0..4)].into()))
+}
+
+fn product(rng: &mut impl Rng) -> Record {
+    let brand = vocab::pseudo_word(rng, 2);
+    let model = format!(
+        "{}{}-{}",
+        vocab::pseudo_word(rng, 1),
+        rng.gen_range(100..999),
+        ["x", "s", "pro", "max", "lite"][rng.gen_range(0..5)]
+    );
+    let category = vocab::pick(rng, vocab::PRODUCT_CATEGORIES).to_string();
+    let feature1 = vocab::pseudo_word(rng, 2);
+    let feature2 = vocab::pseudo_word(rng, 2);
+    let screen = rng.gen_range(100..340) as f64 / 10.0;
+    let spaced = spaced_model(&model);
+    let desc = format!(
+        "the {brand} {spaced} is a {} {category} featuring {feature1} and {feature2} \
+         technology with a {screen} inch display and {} gb storage available now for {} dollars",
+        vocab::pick(rng, vocab::FILLER_WORDS),
+        [64, 128, 256, 512][rng.gen_range(0..4)],
+        rng.gen_range(99..1999),
+    );
+    Record::new()
+        .with("brand", text(brand))
+        .with("model", text(model))
+        .with("category", text(category))
+        .with("feature_a", text(feature1))
+        .with("feature_b", text(feature2))
+        .with("screen_size", Value::Number(screen))
+        .with("storage", Value::Number([64.0, 128.0, 256.0, 512.0][rng.gen_range(0..4)]))
+        .with("price", Value::Number(rng.gen_range(99..1999) as f64))
+        .with("sku", text(format!("sku{:07}", rng.gen_range(0..10_000_000))))
+        .with("description", text(desc))
+}
+
+fn poi(rng: &mut impl Rng) -> Record {
+    let name = format!(
+        "{} {}",
+        vocab::pseudo_word(rng, 2),
+        vocab::pick(rng, vocab::POI_CATEGORIES)
+    );
+    // Pittsburgh-ish bounding box (the GEO-HETER source is OSM-FSQ-Pittsburgh).
+    let lat = 40.35 + rng.gen_range(0..2000) as f64 / 10000.0;
+    let lon = -80.1 + rng.gen_range(0..2000) as f64 / 10000.0;
+    Record::new()
+        .with("name", text(name))
+        .with("address", text(vocab::street_address(rng)))
+        .with("city", text("pittsburgh".into()))
+        .with("category", text(vocab::pick(rng, vocab::POI_CATEGORIES).to_string()))
+        .with("latitude", Value::Number((lat * 10000.0).round() / 10000.0))
+        .with("longitude", Value::Number((lon * 10000.0).round() / 10000.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_domains_generate() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for d in [
+            Domain::Restaurant,
+            Domain::Citation,
+            Domain::Book,
+            Domain::Movie,
+            Domain::Product,
+            Domain::GeoSpatial,
+        ] {
+            let es = generate(d, 5, &mut rng);
+            assert_eq!(es.len(), 5);
+            for e in &es {
+                assert!(e.arity() >= 6, "{d} entity too thin: {}", e.arity());
+            }
+        }
+    }
+
+    #[test]
+    fn citation_abstract_shares_title_tokens() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let e = generate(Domain::Citation, 1, &mut rng).remove(0);
+        let title = e.get("title").unwrap().to_text();
+        let abs = e.get("abstract").unwrap().to_text();
+        let shared = title.split_whitespace().filter(|t| abs.contains(*t)).count();
+        assert!(shared >= 3, "abstract shares too few tokens with title");
+    }
+
+    #[test]
+    fn product_description_mentions_brand_and_spaced_model() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let e = generate(Domain::Product, 1, &mut rng).remove(0);
+        let desc = e.get("description").unwrap().to_text();
+        assert!(desc.contains(&e.get("brand").unwrap().to_text()));
+        // The description uses the marketing (spaced) form of the model
+        // code: whitespace tokens differ from the spec table, subword
+        // pieces align.
+        let model = e.get("model").unwrap().to_text();
+        assert!(desc.contains(&spaced_model(&model)), "spaced model missing: {desc}");
+    }
+
+    #[test]
+    fn spaced_model_splits_on_punctuation() {
+        assert_eq!(spaced_model("bu558-pro"), "bu558 pro");
+        assert_eq!(spaced_model("x100"), "x100");
+    }
+
+    #[test]
+    fn siblings_share_headline_but_differ_in_details() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for d in [
+            Domain::Restaurant,
+            Domain::Citation,
+            Domain::Book,
+            Domain::Movie,
+            Domain::Product,
+            Domain::GeoSpatial,
+        ] {
+            let e = generate(d, 1, &mut rng).remove(0);
+            let s = sibling(d, &e, &mut rng);
+            // Same arity, same schema.
+            assert_eq!(e.arity(), s.arity(), "{d}");
+            // The headline attribute is preserved...
+            let headline = ["name", "title", "brand"]
+                .iter()
+                .find_map(|k| e.get(k).map(|v| (k, v.to_text())));
+            if let Some((k, v)) = headline {
+                assert_eq!(s.get(k).unwrap().to_text(), v, "{d}: headline changed");
+            }
+            // ...but at least one attribute differs.
+            assert_ne!(e, s, "{d}: sibling identical to entity");
+        }
+    }
+
+    #[test]
+    fn poi_coordinates_in_bounding_box() {
+        let mut rng = StdRng::seed_from_u64(15);
+        for e in generate(Domain::GeoSpatial, 20, &mut rng) {
+            let lat = match e.get("latitude").unwrap() {
+                Value::Number(n) => *n,
+                _ => panic!("lat not numeric"),
+            };
+            assert!((40.3..40.6).contains(&lat), "lat out of box: {lat}");
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = generate(Domain::Book, 3, &mut StdRng::seed_from_u64(16));
+        let b = generate(Domain::Book, 3, &mut StdRng::seed_from_u64(16));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,197 @@
+//! Vocabulary pools for the synthetic benchmark universes.
+//!
+//! Each domain draws names from a mixture of small curated lists (for
+//! realistic surface forms) and a deterministic syllable generator (for an
+//! open vocabulary so entities do not all collide on the same few words).
+
+use rand::Rng;
+
+/// US city names.
+pub const CITIES: &[&str] = &[
+    "pittsburgh", "boston", "chicago", "seattle", "austin", "denver", "portland", "madison",
+    "atlanta", "houston", "phoenix", "detroit", "columbus", "memphis", "oakland", "tucson",
+];
+
+/// Restaurant cuisine labels.
+pub const CUISINES: &[&str] = &[
+    "italian", "french", "thai", "mexican", "japanese", "indian", "greek", "korean",
+    "vietnamese", "spanish", "ethiopian", "lebanese", "american", "chinese", "turkish",
+];
+
+/// Publication venue acronyms.
+pub const VENUES: &[&str] = &[
+    "sigmod", "vldb", "icde", "kdd", "cikm", "edbt", "www", "acl", "emnlp", "neurips", "icml",
+    "aaai", "ijcai", "sigir", "wsdm", "tkde",
+];
+
+/// Book publishers.
+pub const PUBLISHERS: &[&str] = &[
+    "wiley", "springer", "oreilly", "pearson", "addison wesley", "mcgraw hill", "packt",
+    "manning", "apress", "sams", "cambridge press", "mit press",
+];
+
+/// Movie genres.
+pub const GENRES: &[&str] = &[
+    "drama", "comedy", "thriller", "action", "romance", "horror", "documentary", "animation",
+    "western", "mystery", "fantasy", "crime",
+];
+
+/// Electronics product categories.
+pub const PRODUCT_CATEGORIES: &[&str] = &[
+    "laptop", "monitor", "keyboard", "printer", "router", "tablet", "camera", "headphones",
+    "speaker", "smartwatch", "charger", "projector",
+];
+
+/// Point-of-interest categories.
+pub const POI_CATEGORIES: &[&str] = &[
+    "cafe", "museum", "park", "library", "pharmacy", "bakery", "cinema", "gym", "hotel",
+    "gallery", "market", "theater",
+];
+
+/// Street-name suffixes.
+pub const STREET_SUFFIXES: &[&str] = &["st", "ave", "blvd", "rd", "lane", "drive", "way", "plaza"];
+
+/// Person first names.
+pub const FIRST_NAMES: &[&str] = &[
+    "james", "maria", "wei", "fatima", "ivan", "chen", "sofia", "raj", "yuki", "omar", "elena",
+    "kofi", "ana", "lars", "priya", "dmitri", "amara", "hugo", "mei", "tariq",
+];
+
+/// Person last names.
+pub const LAST_NAMES: &[&str] = &[
+    "smith", "garcia", "wang", "mueller", "tanaka", "okafor", "silva", "patel", "kim",
+    "novak", "rossi", "haddad", "jensen", "kumar", "lopez", "petrov", "nguyen", "fischer",
+    "costa", "yamamoto",
+];
+
+/// Research topic nouns for paper titles.
+pub const RESEARCH_TOPICS: &[&str] = &[
+    "similarity", "matching", "indexing", "query", "optimization", "learning", "embedding",
+    "graph", "stream", "transaction", "privacy", "sampling", "clustering", "ranking",
+    "provenance", "caching", "sketching", "partitioning", "compression", "inference",
+];
+
+/// Research object nouns for paper titles.
+pub const RESEARCH_OBJECTS: &[&str] = &[
+    "joins", "databases", "tables", "records", "entities", "documents", "networks", "workloads",
+    "schemas", "tuples", "indexes", "caches", "queries", "models", "pipelines", "catalogs",
+];
+
+/// Title adjectives.
+pub const ADJECTIVES: &[&str] = &[
+    "efficient", "scalable", "robust", "adaptive", "incremental", "distributed", "parallel",
+    "approximate", "secure", "interpretable", "unified", "lightweight", "generalized",
+    "practical", "optimal",
+];
+
+/// Generic marketing filler words.
+pub const FILLER_WORDS: &[&str] = &[
+    "new", "great", "popular", "classic", "modern", "original", "famous", "local", "premium",
+    "special", "daily", "fresh",
+];
+
+const CONSONANTS: &[&str] =
+    &["b", "c", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "br", "st", "tr"];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ia", "ou", "ei"];
+
+/// Generate a pronounceable pseudo-word with `syllables` syllables.
+pub fn pseudo_word(rng: &mut impl Rng, syllables: usize) -> String {
+    let mut w = String::new();
+    for _ in 0..syllables.max(1) {
+        w.push_str(CONSONANTS[rng.gen_range(0..CONSONANTS.len())]);
+        w.push_str(VOWELS[rng.gen_range(0..VOWELS.len())]);
+    }
+    w
+}
+
+/// Pick a random element of a slice.
+pub fn pick<'a, T: ?Sized>(rng: &mut impl Rng, pool: &'a [&'a T]) -> &'a T {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// A person name "first last".
+pub fn person_name(rng: &mut impl Rng) -> String {
+    format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES))
+}
+
+/// A paper-like title of `len` words.
+pub fn paper_title(rng: &mut impl Rng, len: usize) -> String {
+    let mut words = Vec::with_capacity(len);
+    words.push(pick(rng, ADJECTIVES).to_string());
+    words.push(pick(rng, RESEARCH_TOPICS).to_string());
+    while words.len() + 2 < len {
+        words.push(pick(rng, RESEARCH_TOPICS).to_string());
+    }
+    words.push("for".to_string());
+    words.push(pick(rng, RESEARCH_OBJECTS).to_string());
+    words.join(" ")
+}
+
+/// A US-style phone number string.
+pub fn phone(rng: &mut impl Rng) -> String {
+    format!(
+        "{:03}-{:03}-{:04}",
+        rng.gen_range(200..999),
+        rng.gen_range(200..999),
+        rng.gen_range(0..10000)
+    )
+}
+
+/// A 13-digit ISBN-like number.
+pub fn isbn(rng: &mut impl Rng) -> String {
+    format!("978{:010}", rng.gen_range(0u64..10_000_000_000))
+}
+
+/// A street address "123 word st".
+pub fn street_address(rng: &mut impl Rng) -> String {
+    format!(
+        "{} {} {}",
+        rng.gen_range(1..9999),
+        pseudo_word(rng, 2),
+        pick(rng, STREET_SUFFIXES)
+    )
+}
+
+/// A date string "mm/dd/yyyy".
+pub fn date(rng: &mut impl Rng) -> String {
+    format!(
+        "{:02}/{:02}/{}",
+        rng.gen_range(1..13),
+        rng.gen_range(1..29),
+        rng.gen_range(1995..2023)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pseudo_words_are_nonempty_and_deterministic() {
+        let a = pseudo_word(&mut StdRng::seed_from_u64(5), 3);
+        let b = pseudo_word(&mut StdRng::seed_from_u64(5), 3);
+        assert_eq!(a, b);
+        assert!(a.len() >= 3);
+    }
+
+    #[test]
+    fn generators_produce_expected_shapes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(phone(&mut rng).len(), 12);
+        assert_eq!(isbn(&mut rng).len(), 13);
+        assert!(date(&mut rng).contains('/'));
+        assert!(person_name(&mut rng).contains(' '));
+        let t = paper_title(&mut rng, 6);
+        assert!(t.split_whitespace().count() >= 4);
+    }
+
+    #[test]
+    fn street_address_ends_with_suffix() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = street_address(&mut rng);
+        let last = a.split_whitespace().last().unwrap();
+        assert!(STREET_SUFFIXES.contains(&last));
+    }
+}

@@ -1,0 +1,103 @@
+//! Structural invariants that every synthetic benchmark must uphold, at
+//! both scales and across seeds — the contract the experiment harness
+//! relies on.
+
+use em_data::synth::{build, build_all, BenchmarkId, Scale};
+
+#[test]
+fn splits_are_disjoint_in_pairs() {
+    for ds in build_all(Scale::Quick, 3) {
+        let mut seen = std::collections::HashSet::new();
+        for lp in ds.train.iter().chain(&ds.valid).chain(&ds.test).chain(&ds.unlabeled) {
+            assert!(
+                seen.insert((lp.pair.left, lp.pair.right)),
+                "{}: duplicate pair across splits ({}, {})",
+                ds.name,
+                lp.pair.left,
+                lp.pair.right
+            );
+        }
+    }
+}
+
+#[test]
+fn all_pair_indices_are_in_range() {
+    for ds in build_all(Scale::Quick, 4) {
+        for lp in ds.train.iter().chain(&ds.valid).chain(&ds.test).chain(&ds.unlabeled) {
+            assert!(lp.pair.left < ds.left.len(), "{}: left index oob", ds.name);
+            assert!(lp.pair.right < ds.right.len(), "{}: right index oob", ds.name);
+        }
+    }
+}
+
+#[test]
+fn every_split_contains_both_classes() {
+    for ds in build_all(Scale::Quick, 5) {
+        for (name, split) in
+            [("train", &ds.train), ("valid", &ds.valid), ("test", &ds.test)]
+        {
+            let pos = split.iter().filter(|lp| lp.label).count();
+            assert!(pos > 0, "{}: {name} has no positives", ds.name);
+            assert!(pos < split.len(), "{}: {name} has no negatives", ds.name);
+        }
+    }
+}
+
+#[test]
+fn rates_match_table1_assignments() {
+    for id in BenchmarkId::ALL {
+        let ds = build(id, Scale::Quick, 6);
+        let expected = match id {
+            BenchmarkId::SemiHomo | BenchmarkId::SemiTextC => 0.05,
+            _ => 0.10,
+        };
+        assert_eq!(ds.rate, expected, "{}", ds.name);
+        // Train size ≈ rate × all labels (within rounding / minimums).
+        let want = (ds.all_labeled() as f64 * expected).round();
+        assert!(
+            (ds.train.len() as f64 - want).abs() <= want * 0.25 + 4.0,
+            "{}: train {} vs expected ≈{}",
+            ds.name,
+            ds.train.len(),
+            want
+        );
+    }
+}
+
+#[test]
+fn full_scale_upholds_the_same_invariants() {
+    for id in [BenchmarkId::RelHeter, BenchmarkId::SemiTextW] {
+        let ds = build(id, Scale::Full, 7);
+        assert!(ds.all_labeled() > build(id, Scale::Quick, 7).all_labeled());
+        let pos = ds.train.iter().filter(|lp| lp.label).count();
+        assert!(pos > 0 && pos < ds.train.len(), "{}: degenerate full-scale train", ds.name);
+    }
+}
+
+#[test]
+fn different_benchmarks_use_different_universes() {
+    // Same seed, different datasets must not share records.
+    let a = build(BenchmarkId::SemiHomo, Scale::Quick, 8);
+    let b = build(BenchmarkId::RelText, Scale::Quick, 8);
+    // Both are citation-domain; still, independently generated universes.
+    assert_ne!(
+        a.left.records.first().map(|r| format!("{r:?}")),
+        b.right.records.first().map(|r| format!("{r:?}")),
+    );
+}
+
+#[test]
+fn labeled_positive_pairs_reference_same_entity_views() {
+    // Positives are (i, i) by construction before distractors; verify the
+    // invariant the generators promise: a positive pair always has
+    // left == right index (matching views of one entity).
+    for ds in build_all(Scale::Quick, 9) {
+        for lp in ds.train.iter().chain(&ds.test).filter(|lp| lp.label) {
+            assert_eq!(
+                lp.pair.left, lp.pair.right,
+                "{}: positive pair is not an (i,i) view pair",
+                ds.name
+            );
+        }
+    }
+}

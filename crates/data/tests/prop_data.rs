@@ -1,0 +1,103 @@
+//! Property-based tests of the GEM data substrate.
+
+use em_data::metrics::Confusion;
+use em_data::pair::{stratified_split, LabeledPair, Pair};
+use em_data::record::{Format, Record, Value};
+use em_data::serialize::serialize;
+use em_data::summarize::TfIdf;
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}"
+}
+
+fn flat_record() -> impl Strategy<Value = Record> {
+    proptest::collection::vec((word(), word()), 1..6).prop_map(|attrs| {
+        let mut r = Record::new();
+        for (k, v) in attrs {
+            r.push(k, Value::Text(v));
+        }
+        r
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serialization_is_total_and_deterministic(r in flat_record()) {
+        let a = serialize(&r, Format::Relational);
+        let b = serialize(&r, Format::Relational);
+        prop_assert_eq!(&a, &b);
+        // Grammar: equal numbers of [COL] and [VAL], one per attribute.
+        let cols = a.matches("[COL]").count();
+        let vals = a.matches("[VAL]").count();
+        prop_assert_eq!(cols, r.arity());
+        prop_assert_eq!(vals, r.arity());
+    }
+
+    #[test]
+    fn serialization_value_tokens_survive(r in flat_record()) {
+        let s = serialize(&r, Format::SemiStructured);
+        for (_, v) in &r.attrs {
+            prop_assert!(s.contains(&v.to_text()), "value lost: {}", v);
+        }
+    }
+
+    #[test]
+    fn summarize_respects_budget(
+        docs in proptest::collection::vec(
+            proptest::collection::vec(word(), 1..30), 2..6),
+        budget in 1usize..20,
+    ) {
+        let texts: Vec<String> = docs.iter().map(|d| d.join(" ")).collect();
+        let tfidf = TfIdf::fit(texts.iter().map(|s| s.as_str()));
+        for t in &texts {
+            let s = tfidf.summarize(t, budget);
+            prop_assert!(s.split_whitespace().count() <= budget.max(t.split_whitespace().count().min(budget)));
+            // Summary tokens all come from the original text.
+            for tok in s.split_whitespace() {
+                prop_assert!(t.split_whitespace().any(|w| w == tok));
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_are_bounded(pred in proptest::collection::vec(any::<bool>(), 1..50),
+                           gold_bits in proptest::collection::vec(any::<bool>(), 1..50)) {
+        let n = pred.len().min(gold_bits.len());
+        let c = Confusion::from_pairs(&pred[..n], &gold_bits[..n]);
+        for v in [c.precision(), c.recall(), c.f1(), c.tnr(), c.accuracy()] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        prop_assert_eq!(c.total(), n);
+    }
+
+    #[test]
+    fn f1_is_between_precision_and_recall_extremes(
+        pred in proptest::collection::vec(any::<bool>(), 4..40),
+    ) {
+        let gold: Vec<bool> = pred.iter().map(|&b| !b).collect();
+        // Completely inverted predictions: zero TP, so F1 must be zero.
+        let c = Confusion::from_pairs(&pred, &gold);
+        prop_assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn stratified_split_partitions(want in 0usize..30, n_pos in 0usize..20, n_neg in 0usize..20) {
+        let mut pool: Vec<LabeledPair> = (0..n_pos + n_neg)
+            .map(|i| LabeledPair { pair: Pair { left: i, right: i }, label: i < n_pos })
+            .collect();
+        let total = pool.len();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        let want = want.min(total);
+        let (sel, rest) = stratified_split(&mut pool, want, &mut rng);
+        prop_assert_eq!(sel.len(), want);
+        prop_assert_eq!(sel.len() + rest.len(), total);
+        // No duplicates across the partition.
+        let mut seen: Vec<usize> = sel.iter().chain(&rest).map(|p| p.pair.left).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), total);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based round-trip tests for the ingestion parsers: anything we
+//! can format, we must parse back losslessly.
+
+use em_data::ingest::{parse_csv, parse_json, records_from_csv};
+use em_data::record::Value;
+use proptest::prelude::*;
+
+/// CSV-format a field with correct quoting.
+fn csv_quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// JSON-format a string with correct escaping.
+fn json_quote(s: &str) -> String {
+    let mut out = String::from("\"");
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn field() -> impl Strategy<Value = String> {
+    // Printable fields incl. the troublesome characters.
+    "[a-zA-Z0-9 ,\"\n.$-]{0,12}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csv_roundtrip(rows in proptest::collection::vec(
+        proptest::collection::vec(field(), 1..5), 1..6))
+    {
+        // All rows padded to the same width.
+        let width = rows.iter().map(|r| r.len()).max().unwrap();
+        let mut body = String::new();
+        let mut expect = Vec::new();
+        for row in &rows {
+            let mut padded = row.clone();
+            padded.resize(width, String::new());
+            body.push_str(
+                &padded.iter().map(|f| csv_quote(f)).collect::<Vec<_>>().join(","),
+            );
+            body.push('\n');
+            expect.push(padded);
+        }
+        let parsed = parse_csv(&body).unwrap();
+        // Fully-empty rows at the end are dropped by the parser; compare the
+        // retained prefix.
+        prop_assert_eq!(parsed.len(), expect.len());
+        for (p, e) in parsed.iter().zip(&expect) {
+            prop_assert_eq!(p, e);
+        }
+    }
+
+    #[test]
+    fn json_string_roundtrip(s in "[a-zA-Z0-9 \"\\\\\n\t]{0,20}") {
+        let v = parse_json(&json_quote(&s)).unwrap();
+        prop_assert_eq!(v, Value::Text(s));
+    }
+
+    #[test]
+    fn json_number_roundtrip(n in -1e9f64..1e9) {
+        let v = parse_json(&format!("{n}")).unwrap();
+        match v {
+            Value::Number(m) => prop_assert!((m - n).abs() <= n.abs() * 1e-12 + 1e-9),
+            other => prop_assert!(false, "not a number: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_object_roundtrip(
+        keys in proptest::collection::vec("[a-z]{1,6}", 1..5),
+        nums in proptest::collection::vec(-1000i32..1000, 1..5),
+    ) {
+        let n = keys.len().min(nums.len());
+        // Unique keys: suffix with index.
+        let body = (0..n)
+            .map(|i| format!("{}: {}", json_quote(&format!("{}{}", keys[i], i)), nums[i]))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let v = parse_json(&format!("{{{body}}}")).unwrap();
+        match v {
+            Value::Nested(fields) => {
+                prop_assert_eq!(fields.len(), n);
+                for (i, (k, val)) in fields.iter().enumerate() {
+                    prop_assert_eq!(k, &format!("{}{}", keys[i], i));
+                    prop_assert_eq!(val, &Value::Number(nums[i] as f64));
+                }
+            }
+            other => prop_assert!(false, "not an object: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_records_preserve_header_names(names in proptest::collection::vec("[a-z]{1,8}", 1..5)) {
+        let unique: Vec<String> =
+            names.iter().enumerate().map(|(i, n)| format!("{n}{i}")).collect();
+        let header = unique.join(",");
+        let row = vec!["x"; unique.len()].join(",");
+        let rs = records_from_csv(&format!("{header}\n{row}\n")).unwrap();
+        prop_assert_eq!(rs.len(), 1);
+        for name in &unique {
+            prop_assert!(rs[0].get(name).is_some(), "column {name} lost");
+        }
+    }
+}

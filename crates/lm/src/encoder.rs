@@ -1,0 +1,230 @@
+//! The transformer encoder backbone (BERT/RoBERTa-style, post-LayerNorm)
+//! with an entry point that accepts *pre-built* embedding rows so the
+//! P-tuning prompt encoder can splice trainable prompt embeddings into the
+//! input (paper §3.1, "Continuous templates").
+
+use crate::config::LmConfig;
+use crate::tokenizer::PAD;
+use em_nn::layers::{Embedding, FeedForward, LayerNorm, MultiHeadSelfAttention};
+use em_nn::{Matrix, ParamStore, Tape, Var};
+use rand::Rng;
+
+/// One transformer block: post-LN self-attention + feed-forward.
+#[derive(Clone)]
+pub struct EncoderLayer {
+    /// Self-attention sub-block.
+    pub attn: MultiHeadSelfAttention,
+    /// Post-attention LayerNorm.
+    pub ln1: LayerNorm,
+    /// Feed-forward sub-block.
+    pub ffn: FeedForward,
+    /// Post-FFN LayerNorm.
+    pub ln2: LayerNorm,
+    dropout: f32,
+}
+
+impl EncoderLayer {
+    fn new(store: &mut ParamStore, name: &str, cfg: &LmConfig, rng: &mut impl Rng) -> Self {
+        let attn = MultiHeadSelfAttention::new(
+            store,
+            &format!("{name}.attn"),
+            cfg.d_model,
+            cfg.n_heads,
+            cfg.dropout,
+            rng,
+        );
+        // Token-identity inductive bias: entity matching is, at its core,
+        // noisy-overlap detection; see seed_identity_head.
+        attn.seed_identity_head(store);
+        EncoderLayer {
+            attn,
+            ln1: LayerNorm::new(store, &format!("{name}.ln1"), cfg.d_model),
+            ffn: FeedForward::new(
+                store,
+                &format!("{name}.ffn"),
+                cfg.d_model,
+                cfg.d_ff,
+                cfg.dropout,
+                rng,
+            ),
+            ln2: LayerNorm::new(store, &format!("{name}.ln2"), cfg.d_model),
+            dropout: cfg.dropout,
+        }
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: Var,
+        mask: Option<&Matrix>,
+        rng: &mut impl Rng,
+    ) -> Var {
+        let a = self.attn.forward(tape, store, x, mask, rng);
+        let a = tape.dropout(a, self.dropout, rng);
+        let x = tape.add(x, a);
+        let x = self.ln1.forward(tape, store, x);
+        let f = self.ffn.forward(tape, store, x, rng);
+        let f = tape.dropout(f, self.dropout, rng);
+        let x = tape.add(x, f);
+        self.ln2.forward(tape, store, x)
+    }
+}
+
+/// The full encoder: token + position embeddings, an embedding LayerNorm,
+/// and a stack of [`EncoderLayer`]s.
+#[derive(Clone)]
+pub struct Encoder {
+    /// Architecture hyperparameters.
+    pub cfg: LmConfig,
+    /// Token-embedding table (tied with the MLM decoder).
+    pub tok_emb: Embedding,
+    /// Learned positional embeddings.
+    pub pos_emb: Embedding,
+    /// Embedding LayerNorm.
+    pub emb_ln: LayerNorm,
+    /// The transformer layer stack.
+    pub layers: Vec<EncoderLayer>,
+}
+
+impl Encoder {
+    /// Build a randomly-initialized encoder (identity heads seeded).
+    pub fn new(store: &mut ParamStore, cfg: LmConfig, rng: &mut impl Rng) -> Self {
+        cfg.validate();
+        let tok_emb = Embedding::new(store, "tok_emb", cfg.vocab, cfg.d_model, rng);
+        let pos_emb = Embedding::new(store, "pos_emb", cfg.max_len, cfg.d_model, rng);
+        let emb_ln = LayerNorm::new(store, "emb_ln", cfg.d_model);
+        let layers = (0..cfg.n_layers)
+            .map(|i| EncoderLayer::new(store, &format!("layer{i}"), &cfg, rng))
+            .collect();
+        Encoder { cfg, tok_emb, pos_emb, emb_ln, layers }
+    }
+
+    /// Truncate ids to the model's maximum length.
+    pub fn clip<'a>(&self, ids: &'a [usize]) -> &'a [usize] {
+        &ids[..ids.len().min(self.cfg.max_len)]
+    }
+
+    /// Embed token ids (token + position embeddings, LayerNorm, dropout).
+    pub fn embed(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        ids: &[usize],
+        rng: &mut impl Rng,
+    ) -> Var {
+        let ids = self.clip(ids);
+        let tok = self.tok_emb.forward(tape, store, ids);
+        let positions: Vec<usize> = (0..ids.len()).collect();
+        let pos = self.pos_emb.forward(tape, store, &positions);
+        let x = tape.add(tok, pos);
+        let x = self.emb_ln.forward(tape, store, x);
+        tape.dropout(x, self.cfg.dropout, rng)
+    }
+
+    /// Run the layer stack over already-embedded rows. `valid_len` marks the
+    /// prefix of non-padding positions (attention is masked past it).
+    pub fn forward_embedded(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        mut x: Var,
+        valid_len: usize,
+        rng: &mut impl Rng,
+    ) -> Var {
+        let seq = tape.value(x).rows();
+        let mask = if valid_len < seq {
+            Some(MultiHeadSelfAttention::padding_mask(seq, valid_len))
+        } else {
+            None
+        };
+        for layer in &self.layers {
+            x = layer.forward(tape, store, x, mask.as_ref(), rng);
+        }
+        x
+    }
+
+    /// Embed and encode a token id sequence; the standard entry point.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        ids: &[usize],
+        rng: &mut impl Rng,
+    ) -> Var {
+        let ids = self.clip(ids);
+        let valid = ids.iter().take_while(|&&t| t != PAD).count();
+        let x = self.embed(tape, store, ids, rng);
+        self.forward_embedded(tape, store, x, valid, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_encoder() -> (ParamStore, Encoder, StdRng) {
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut store = ParamStore::new();
+        let cfg = LmConfig { vocab: 50, d_model: 16, n_layers: 2, n_heads: 2, d_ff: 32, max_len: 12, dropout: 0.0 };
+        let enc = Encoder::new(&mut store, cfg, &mut rng);
+        (store, enc, rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (store, enc, mut rng) = small_encoder();
+        let mut tape = Tape::inference();
+        let y = enc.forward(&mut tape, &store, &[2, 10, 11, 3], &mut rng);
+        assert_eq!(tape.value(y).shape(), (4, 16));
+    }
+
+    #[test]
+    fn long_input_is_clipped() {
+        let (store, enc, mut rng) = small_encoder();
+        let ids: Vec<usize> = (0..40).map(|i| 7 + i % 20).collect();
+        let mut tape = Tape::inference();
+        let y = enc.forward(&mut tape, &store, &ids, &mut rng);
+        assert_eq!(tape.value(y).rows(), 12);
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let (store, enc, mut rng) = small_encoder();
+        let run = |rng: &mut StdRng| {
+            let mut tape = Tape::inference();
+            let y = enc.forward(&mut tape, &store, &[2, 9, 8, 3], rng);
+            tape.value(y).clone()
+        };
+        assert_eq!(run(&mut rng), run(&mut rng));
+    }
+
+    #[test]
+    fn padding_does_not_change_valid_positions() {
+        let (store, enc, mut rng) = small_encoder();
+        let run = |ids: &[usize], rng: &mut StdRng| {
+            let mut tape = Tape::inference();
+            let y = enc.forward(&mut tape, &store, ids, rng);
+            tape.value(y).slice_rows(0, 4)
+        };
+        let a = run(&[2, 9, 8, 3], &mut rng);
+        let b = run(&[2, 9, 8, 3, PAD, PAD, PAD], &mut rng);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-4, "padding leaked: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gradients_reach_embeddings() {
+        let (mut store, enc, mut rng) = small_encoder();
+        let mut tape = Tape::new();
+        let y = enc.forward(&mut tape, &store, &[2, 9, 8, 3], &mut rng);
+        let loss = tape.mean_all(y);
+        tape.backward(loss);
+        tape.accumulate_param_grads(&mut store);
+        assert!(store.grad(enc.tok_emb.table).frobenius_norm() > 0.0);
+        assert!(store.grad(enc.pos_emb.table).frobenius_norm() > 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Persistence of pretrained language models: vocabulary + configuration +
+//! parameter values in one binary file. Used by the experiment harness to
+//! cache per-dataset backbones (pretraining is the dominant cost) and
+//! usable by downstream applications to ship a tuned model.
+
+use crate::config::LmConfig;
+use crate::encoder::Encoder;
+use crate::heads::MlmHead;
+use crate::model::PretrainedLm;
+use crate::tokenizer::Tokenizer;
+use em_nn::io::{read_params, read_string, read_u64, write_params, write_string};
+use em_nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"EMLMMOD1";
+
+/// Serialize a pretrained model to a writer.
+pub fn write_model(lm: &PretrainedLm, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    // Tokenizer vocabulary.
+    let vocab = lm.tokenizer.vocab();
+    w.write_all(&(vocab.len() as u64).to_le_bytes())?;
+    for tok in vocab {
+        write_string(w, tok)?;
+    }
+    // Model configuration.
+    let c = &lm.encoder.cfg;
+    for v in [c.vocab, c.d_model, c.n_layers, c.n_heads, c.d_ff, c.max_len] {
+        w.write_all(&(v as u64).to_le_bytes())?;
+    }
+    w.write_all(&c.dropout.to_le_bytes())?;
+    w.write_all(&lm.final_mlm_loss.to_le_bytes())?;
+    // Parameters.
+    write_params(&lm.store, w)
+}
+
+/// Deserialize a pretrained model from a reader.
+pub fn read_model(r: &mut impl Read) -> io::Result<PretrainedLm> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad model magic"));
+    }
+    let vocab_len = read_u64(r)? as usize;
+    let mut vocab = Vec::with_capacity(vocab_len);
+    for _ in 0..vocab_len {
+        vocab.push(read_string(r)?);
+    }
+    let tokenizer = Tokenizer::from_vocab(vocab);
+    let mut nums = [0usize; 6];
+    for n in &mut nums {
+        *n = read_u64(r)? as usize;
+    }
+    let mut f32buf = [0u8; 4];
+    r.read_exact(&mut f32buf)?;
+    let dropout = f32::from_le_bytes(f32buf);
+    r.read_exact(&mut f32buf)?;
+    let final_mlm_loss = f32::from_le_bytes(f32buf);
+    let cfg = LmConfig {
+        vocab: nums[0],
+        d_model: nums[1],
+        n_layers: nums[2],
+        n_heads: nums[3],
+        d_ff: nums[4],
+        max_len: nums[5],
+        dropout,
+    };
+    // Rebuild the architecture (registration order must match pretraining),
+    // then overwrite the randomly-initialized values from the file.
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let encoder = Encoder::new(&mut store, cfg, &mut rng);
+    let mlm = MlmHead::new(&mut store, &encoder, &mut rng);
+    read_params(&mut store, r)?;
+    Ok(PretrainedLm { store, encoder, mlm, tokenizer, final_mlm_loss })
+}
+
+/// Save a model to a file path.
+///
+/// ```no_run
+/// use em_lm::{LmConfig, PretrainCfg, PretrainedLm};
+/// let corpus = vec!["some pretraining text".to_string()];
+/// let lm = PretrainedLm::pretrain(&corpus, LmConfig::tiny, &PretrainCfg::default(), 1);
+/// em_lm::io::save_model(&lm, "model.bin").unwrap();
+/// let loaded = em_lm::io::load_model("model.bin").unwrap();
+/// assert_eq!(loaded.encoder.cfg, lm.encoder.cfg);
+/// ```
+pub fn save_model(lm: &PretrainedLm, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_model(lm, &mut w)?;
+    w.flush()
+}
+
+/// Load a model from a file path.
+pub fn load_model(path: impl AsRef<Path>) -> io::Result<PretrainedLm> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_model(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretrain::PretrainCfg;
+    use em_nn::Tape;
+
+    fn tiny_lm() -> PretrainedLm {
+        let corpus: Vec<String> =
+            (0..12).map(|i| format!("token{} appears with token{}", i % 4, (i + 1) % 4)).collect();
+        PretrainedLm::pretrain(
+            &corpus,
+            |v| LmConfig { vocab: v, d_model: 16, n_layers: 1, n_heads: 2, d_ff: 32, max_len: 12, dropout: 0.1 },
+            &PretrainCfg { max_steps: 20, ..Default::default() },
+            4,
+        )
+    }
+
+    #[test]
+    fn model_roundtrips_bit_exactly() {
+        let lm = tiny_lm();
+        let mut buf = Vec::new();
+        write_model(&lm, &mut buf).unwrap();
+        let loaded = read_model(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(loaded.tokenizer.vocab(), lm.tokenizer.vocab());
+        assert_eq!(loaded.encoder.cfg, lm.encoder.cfg);
+        assert_eq!(loaded.final_mlm_loss, lm.final_mlm_loss);
+
+        // Same forward output on the same input.
+        let ids = lm.tokenizer.encode("token1 appears");
+        let mut rng = StdRng::seed_from_u64(1);
+        let run = |m: &PretrainedLm, rng: &mut StdRng| {
+            let mut tape = Tape::inference();
+            let framed: Vec<usize> = std::iter::once(crate::tokenizer::CLS)
+                .chain(ids.iter().copied())
+                .collect();
+            let h = m.encoder.forward(&mut tape, &m.store, &framed, rng);
+            tape.value(h).clone()
+        };
+        assert_eq!(run(&lm, &mut rng), run(&loaded, &mut rng));
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected() {
+        assert!(read_model(&mut b"garbage".as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let lm = tiny_lm();
+        let dir = std::env::temp_dir().join("em_lm_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        save_model(&lm, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.encoder.cfg, lm.encoder.cfg);
+        std::fs::remove_file(&path).ok();
+    }
+}

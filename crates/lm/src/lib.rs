@@ -1,0 +1,36 @@
+//! # em-lm
+//!
+//! The language-model substrate of the PromptEM reproduction — the role
+//! RoBERTa-base plays in the paper, built from scratch:
+//!
+//! * [`tokenizer`] — word-level vocabulary with character fallback and the
+//!   `[CLS]/[SEP]/[MASK]/[COL]/[VAL]` specials;
+//! * [`encoder`] — a BERT-style transformer encoder (post-LN);
+//! * [`heads`] — the tied MLM head (shared by pretraining and
+//!   prompt-tuning) and the fresh classification head fine-tuning bolts on;
+//! * [`pretrain`] — masked-language-model pretraining;
+//! * [`prompt`] — GEM-specific templates (hard + continuous/P-tuning),
+//!   label words and the verbalizer of Eq. 1;
+//! * [`mc_dropout`] — stochastic-forward-pass utilities for uncertainty;
+//! * [`model`] — the [`model::PretrainedLm`] bundle every downstream method
+//!   clones.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod encoder;
+pub mod heads;
+pub mod io;
+pub mod mc_dropout;
+pub mod model;
+pub mod pretrain;
+pub mod prompt;
+pub mod tokenizer;
+
+pub use config::LmConfig;
+pub use encoder::Encoder;
+pub use heads::{ClsHead, MlmHead};
+pub use model::PretrainedLm;
+pub use pretrain::PretrainCfg;
+pub use prompt::{LabelWords, PromptMode, PromptTemplate, TemplateId, Verbalizer};
+pub use tokenizer::Tokenizer;

@@ -1,0 +1,88 @@
+//! MC-Dropout (Gal & Ghahramani): run several stochastic forward passes
+//! with dropout active and read epistemic uncertainty off the spread of the
+//! predictions (paper §4.2; also the MC part of MC-EL2N, §4.3).
+
+/// Run `n_passes` stochastic passes. `pass(i)` must return one score per
+/// sample, with dropout *enabled* (a training-mode tape).
+pub fn run_passes(n_passes: usize, mut pass: impl FnMut(usize) -> Vec<f32>) -> Vec<Vec<f32>> {
+    assert!(n_passes > 0, "need at least one stochastic pass");
+    let mut out = Vec::with_capacity(n_passes);
+    for i in 0..n_passes {
+        let scores = pass(i);
+        if let Some(prev) = out.first() {
+            let prev: &Vec<f32> = prev;
+            assert_eq!(prev.len(), scores.len(), "pass {i} returned a different sample count");
+        }
+        out.push(scores);
+    }
+    out
+}
+
+/// Per-sample mean and standard deviation across passes. The std is the
+/// uncertainty measure of §4.2 ("calculating the standard deviation of a
+/// fixed number of stochastic forward passes").
+pub fn mean_std(per_pass: &[Vec<f32>]) -> (Vec<f32>, Vec<f32>) {
+    assert!(!per_pass.is_empty());
+    let n_samples = per_pass[0].len();
+    let t = per_pass.len() as f32;
+    let mut mean = vec![0.0f32; n_samples];
+    for pass in per_pass {
+        for (m, &s) in mean.iter_mut().zip(pass) {
+            *m += s;
+        }
+    }
+    for m in &mut mean {
+        *m /= t;
+    }
+    let mut std = vec![0.0f32; n_samples];
+    if per_pass.len() > 1 {
+        for pass in per_pass {
+            for ((v, &s), &m) in std.iter_mut().zip(pass).zip(&mean) {
+                *v += (s - m) * (s - m);
+            }
+        }
+        for v in &mut std {
+            *v = (*v / t).sqrt();
+        }
+    }
+    (mean, std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_passes_have_zero_std() {
+        let passes = run_passes(5, |_| vec![0.3, 0.7]);
+        let (mean, std) = mean_std(&passes);
+        assert_eq!(mean, vec![0.3, 0.7]);
+        assert!(std.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn spread_shows_up_in_std() {
+        let passes = vec![vec![0.0, 0.5], vec![1.0, 0.5]];
+        let (mean, std) = mean_std(&passes);
+        assert_eq!(mean, vec![0.5, 0.5]);
+        assert!((std[0] - 0.5).abs() < 1e-6);
+        assert_eq!(std[1], 0.0);
+    }
+
+    #[test]
+    fn single_pass_yields_zero_std() {
+        let passes = run_passes(1, |_| vec![0.9]);
+        let (_, std) = mean_std(&passes);
+        assert_eq!(std, vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different sample count")]
+    fn inconsistent_passes_rejected() {
+        let mut n = 0;
+        let _ = run_passes(2, |_| {
+            n += 1;
+            vec![0.0; n]
+        });
+    }
+}

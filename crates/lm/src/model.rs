@@ -1,0 +1,104 @@
+//! The bundled "pretrained language model" artifact: tokenizer + encoder +
+//! tied MLM head + parameter store. This plays the role RoBERTa-base plays
+//! in the paper — every downstream method (PromptEM and the LM baselines)
+//! starts from a clone of the same pretrained backbone.
+
+use crate::config::LmConfig;
+use crate::encoder::Encoder;
+use crate::heads::MlmHead;
+use crate::pretrain::{pretrain_mlm, PretrainCfg};
+use crate::tokenizer::Tokenizer;
+use em_nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A pretrained mini language model. Cloning snapshots the weights, so each
+/// downstream run fine-tunes (or prompt-tunes) its own copy.
+#[derive(Clone)]
+pub struct PretrainedLm {
+    /// All model parameters.
+    pub store: ParamStore,
+    /// The transformer encoder.
+    pub encoder: Encoder,
+    /// The tied masked-LM head.
+    pub mlm: MlmHead,
+    /// The fitted tokenizer.
+    pub tokenizer: Tokenizer,
+    /// Final-epoch MLM loss reached during pretraining (for diagnostics).
+    pub final_mlm_loss: f32,
+}
+
+impl PretrainedLm {
+    /// Fit a tokenizer on `corpus`, build the model from `cfg_for(vocab)`,
+    /// and MLM-pretrain it.
+    pub fn pretrain(
+        corpus: &[String],
+        cfg_for: impl FnOnce(usize) -> LmConfig,
+        pretrain_cfg: &PretrainCfg,
+        seed: u64,
+    ) -> Self {
+        let tokenizer = Tokenizer::fit(corpus.iter().map(|s| s.as_str()), 2);
+        let cfg = cfg_for(tokenizer.vocab_size());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let encoder = Encoder::new(&mut store, cfg, &mut rng);
+        let mlm = MlmHead::new(&mut store, &encoder, &mut rng);
+        let final_mlm_loss =
+            pretrain_mlm(&mut store, &encoder, &mlm, &tokenizer, corpus, pretrain_cfg);
+        PretrainedLm { store, encoder, mlm, tokenizer, final_mlm_loss }
+    }
+
+    /// Build an *untrained* model (random weights) — the "w/o pretraining"
+    /// control and a cheap test fixture.
+    pub fn random(corpus: &[String], cfg_for: impl FnOnce(usize) -> LmConfig, seed: u64) -> Self {
+        let tokenizer = Tokenizer::fit(corpus.iter().map(|s| s.as_str()), 2);
+        let cfg = cfg_for(tokenizer.vocab_size());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let encoder = Encoder::new(&mut store, cfg, &mut rng);
+        let mlm = MlmHead::new(&mut store, &encoder, &mut rng);
+        PretrainedLm { store, encoder, mlm, tokenizer, final_mlm_loss: f32::NAN }
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        self.encoder.cfg.d_model
+    }
+
+    /// Maximum input length.
+    pub fn max_len(&self) -> usize {
+        self.encoder.cfg.max_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_corpus() -> Vec<String> {
+        (0..20)
+            .map(|i| format!("[COL] name [VAL] cafe {} they are matched similar relevant", i % 5))
+            .collect()
+    }
+
+    #[test]
+    fn pretrain_produces_finite_loss() {
+        let lm = PretrainedLm::pretrain(
+            &toy_corpus(),
+            |v| LmConfig { vocab: v, d_model: 16, n_layers: 1, n_heads: 2, d_ff: 32, max_len: 16, dropout: 0.1 },
+            &PretrainCfg { epochs: 2, max_steps: 100, ..Default::default() },
+            1,
+        );
+        assert!(lm.final_mlm_loss.is_finite());
+        assert!(lm.tokenizer.id_of("matched").is_some());
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let lm = PretrainedLm::random(&toy_corpus(), LmConfig::tiny, 2);
+        let mut copy = lm.clone();
+        let id = lm.encoder.tok_emb.table;
+        copy.store.value_mut(id).data_mut()[0] += 100.0;
+        assert_ne!(lm.store.value(id).data()[0], copy.store.value(id).data()[0]);
+    }
+}

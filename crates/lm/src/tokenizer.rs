@@ -1,0 +1,352 @@
+//! Word-level tokenizer with character-piece fallback and the special
+//! tokens the GEM serialization and MLM objective need.
+//!
+//! The real PromptEM uses RoBERTa's BPE vocabulary; a learned subword model
+//! would be overkill for the synthetic corpora here, so we learn a word
+//! vocabulary from the pretraining corpus and decompose out-of-vocabulary
+//! words into per-character pieces (`#a`, `#b`, …) — the same
+//! open-vocabulary property, much simpler.
+
+use std::collections::HashMap;
+
+/// Reserved token ids (stable across any corpus).
+/// Padding token id.
+pub const PAD: usize = 0;
+/// Unknown-token id (character fallback failed entirely).
+pub const UNK: usize = 1;
+/// Sequence-start classification token id.
+pub const CLS: usize = 2;
+/// Separator token id.
+pub const SEP: usize = 3;
+/// Cloze mask token id.
+pub const MASK: usize = 4;
+/// Attribute-name tag id (GEM serialization).
+pub const COL: usize = 5;
+/// Attribute-value tag id (GEM serialization).
+pub const VAL: usize = 6;
+
+/// Names of the reserved tokens, in id order.
+pub const SPECIALS: [&str; 7] = ["[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]", "[COL]", "[VAL]"];
+
+/// A fitted vocabulary.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    token_to_id: HashMap<String, usize>,
+    id_to_token: Vec<String>,
+}
+
+impl Tokenizer {
+    /// Learn a vocabulary from a corpus. Words occurring fewer than
+    /// `min_freq` times are left to the character fallback. Character pieces
+    /// for all ASCII letters/digits plus common punctuation are always added
+    /// so any input remains encodable.
+    pub fn fit<'a>(corpus: impl IntoIterator<Item = &'a str>, min_freq: usize) -> Self {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for doc in corpus {
+            for tok in doc.split_whitespace() {
+                for piece in split_word(&normalize(tok)) {
+                    *counts.entry(piece).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut id_to_token: Vec<String> = SPECIALS.iter().map(|s| s.to_string()).collect();
+        // Character pieces first: stable ids regardless of corpus order.
+        for c in ('a'..='z').chain('0'..='9') {
+            id_to_token.push(format!("#{c}"));
+        }
+        for c in ['.', ',', '-', '/', '$', '(', ')', ':', '%'] {
+            id_to_token.push(format!("#{c}"));
+        }
+        // Digit trigram pieces: numbers too rare for the word vocabulary
+        // (phone numbers, ISBNs, zip codes) decompose into aligned 3-digit
+        // groups, so equal numbers share equal token sequences — the error
+        // analysis of Appendix C shows digit attributes are load-bearing.
+        for n in 0..1000 {
+            id_to_token.push(format!("#{n:03}"));
+        }
+        let mut words: Vec<(String, usize)> = counts
+            .into_iter()
+            .filter(|(w, c)| *c >= min_freq && !SPECIALS.contains(&w.as_str()))
+            .collect();
+        // Deterministic order: by frequency desc, then lexicographic.
+        words.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (w, _) in words {
+            id_to_token.push(w);
+        }
+        let token_to_id =
+            id_to_token.iter().enumerate().map(|(i, t)| (t.clone(), i)).collect();
+        Tokenizer { token_to_id, id_to_token }
+    }
+
+    /// Rebuild a tokenizer from a saved vocabulary (see [`crate::io`]).
+    /// The list must start with the reserved specials.
+    pub fn from_vocab(id_to_token: Vec<String>) -> Self {
+        assert!(id_to_token.len() >= SPECIALS.len(), "vocabulary too short");
+        for (i, s) in SPECIALS.iter().enumerate() {
+            assert_eq!(&id_to_token[i], s, "vocabulary does not start with the specials");
+        }
+        let token_to_id =
+            id_to_token.iter().enumerate().map(|(i, t)| (t.clone(), i)).collect();
+        Tokenizer { token_to_id, id_to_token }
+    }
+
+    /// The full id→token list (for persistence).
+    pub fn vocab(&self) -> &[String] {
+        &self.id_to_token
+    }
+
+    /// Number of tokens in the vocabulary.
+    pub fn vocab_size(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// Id of a token string, if in vocabulary.
+    pub fn id_of(&self, token: &str) -> Option<usize> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Token string of an id.
+    pub fn token_of(&self, id: usize) -> &str {
+        &self.id_to_token[id]
+    }
+
+    /// Encode one whitespace-separated text into token ids (no [CLS]/[SEP]
+    /// framing — see [`Tokenizer::encode_pair`]).
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        let mut ids = Vec::new();
+        for tok in text.split_whitespace() {
+            self.encode_word(tok, &mut ids);
+        }
+        ids
+    }
+
+    fn encode_word(&self, tok: &str, out: &mut Vec<usize>) {
+        // Structural tags keep their case; everything else is normalized.
+        if let Some(&id) = self.token_to_id.get(tok) {
+            out.push(id);
+            return;
+        }
+        let norm = normalize(tok);
+        for piece in split_word(&norm) {
+            self.encode_piece(&piece, out);
+        }
+    }
+
+    fn encode_piece(&self, piece: &str, out: &mut Vec<usize>) {
+        if let Some(&id) = self.token_to_id.get(piece) {
+            out.push(id);
+            return;
+        }
+        // Numeric fallback: aligned 3-digit groups.
+        if piece.len() > 1 && piece.bytes().all(|b| b.is_ascii_digit()) {
+            for chunk in piece.as_bytes().chunks(3) {
+                let key = if chunk.len() == 3 {
+                    format!("#{}", std::str::from_utf8(chunk).unwrap())
+                } else {
+                    // 1-2 trailing digits fall back to single-char pieces.
+                    for &b in chunk {
+                        if let Some(&id) = self.token_to_id.get(format!("#{}", b as char).as_str())
+                        {
+                            out.push(id);
+                        }
+                    }
+                    continue;
+                };
+                if let Some(&id) = self.token_to_id.get(key.as_str()) {
+                    out.push(id);
+                }
+            }
+            return;
+        }
+        // Character fallback.
+        let mut emitted = false;
+        for c in piece.chars() {
+            if let Some(&id) = self.token_to_id.get(format!("#{c}").as_str()) {
+                out.push(id);
+                emitted = true;
+            }
+        }
+        if !emitted {
+            out.push(UNK);
+        }
+    }
+
+    /// `[CLS] a [SEP] b [SEP]`, truncating both sides proportionally to fit
+    /// `max_len` (paper §2.3's sequence-pair layout).
+    pub fn encode_pair(&self, a: &str, b: &str, max_len: usize) -> Vec<usize> {
+        let ta = self.encode(a);
+        let tb = self.encode(b);
+        let budget = max_len.saturating_sub(3);
+        let (ka, kb) = proportional_budget(ta.len(), tb.len(), budget);
+        let mut ids = Vec::with_capacity(ka + kb + 3);
+        ids.push(CLS);
+        ids.extend_from_slice(&ta[..ka]);
+        ids.push(SEP);
+        ids.extend_from_slice(&tb[..kb]);
+        ids.push(SEP);
+        ids
+    }
+
+    /// Decode ids back to a readable string (char pieces are re-joined).
+    pub fn decode(&self, ids: &[usize]) -> String {
+        let mut out = String::new();
+        let mut in_word = false;
+        for &id in ids {
+            let tok = self.token_of(id);
+            if let Some(c) = tok.strip_prefix('#') {
+                if !in_word && !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(c);
+                in_word = true;
+            } else {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(tok);
+                in_word = false;
+            }
+        }
+        out
+    }
+
+    /// Ids of the non-special "content" vocabulary (used by MLM random
+    /// replacement).
+    pub fn content_range(&self) -> std::ops::Range<usize> {
+        SPECIALS.len()..self.vocab_size()
+    }
+}
+
+/// Split a token budget proportionally between two sequences.
+fn proportional_budget(la: usize, lb: usize, budget: usize) -> (usize, usize) {
+    if la + lb <= budget {
+        return (la, lb);
+    }
+    let ka = (budget * la + (la + lb) / 2) / (la + lb).max(1);
+    let ka = ka.min(la).min(budget);
+    let kb = (budget - ka).min(lb);
+    // Give any slack back to the left side.
+    let ka = (budget - kb).min(la);
+    (ka, kb)
+}
+
+fn normalize(tok: &str) -> String {
+    tok.to_lowercase()
+}
+
+/// Split a normalized word into alphanumeric runs, discarding punctuation:
+/// `"412-555-0123"` → `["412", "555", "0123"]`, `"d."` → `["d"]`. Keeping
+/// the runs (and dropping separators) makes equal numbers/dates equal token
+/// sequences regardless of formatting — format heterogeneity is exactly
+/// what GEM has to see through.
+fn split_word(tok: &str) -> Vec<String> {
+    let mut pieces = Vec::new();
+    let mut cur = String::new();
+    for c in tok.chars() {
+        if c.is_alphanumeric() {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            pieces.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        pieces.push(cur);
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Tokenizer {
+        Tokenizer::fit(
+            ["the cat sat on the mat", "the dog sat", "[COL] name [VAL] cat"],
+            1,
+        )
+    }
+
+    #[test]
+    fn specials_have_fixed_ids() {
+        let t = toy();
+        assert_eq!(t.id_of("[PAD]"), Some(PAD));
+        assert_eq!(t.id_of("[MASK]"), Some(MASK));
+        assert_eq!(t.id_of("[COL]"), Some(COL));
+        assert_eq!(t.id_of("[VAL]"), Some(VAL));
+    }
+
+    #[test]
+    fn known_words_round_trip() {
+        let t = toy();
+        let ids = t.encode("the cat sat");
+        assert_eq!(ids.len(), 3);
+        assert_eq!(t.decode(&ids), "the cat sat");
+    }
+
+    #[test]
+    fn oov_words_fall_back_to_chars_and_decode() {
+        let t = toy();
+        let ids = t.encode("zebra");
+        assert_eq!(ids.len(), 5);
+        assert!(ids.iter().all(|&i| t.token_of(i).starts_with('#')));
+        assert_eq!(t.decode(&ids), "zebra");
+    }
+
+    #[test]
+    fn numbers_are_encodable_via_chars() {
+        let t = toy();
+        let ids = t.encode("9780672336072");
+        assert!(!ids.contains(&UNK));
+        assert_eq!(t.decode(&ids), "9780672336072");
+    }
+
+    #[test]
+    fn case_is_normalized() {
+        let t = toy();
+        assert_eq!(t.encode("CAT"), t.encode("cat"));
+    }
+
+    #[test]
+    fn min_freq_prunes_rare_words() {
+        let t = Tokenizer::fit(["rare rare common common common", "common"], 3);
+        assert!(t.id_of("common").is_some());
+        assert!(t.id_of("rare").is_none());
+    }
+
+    #[test]
+    fn encode_pair_frames_and_respects_max_len() {
+        let t = toy();
+        let ids = t.encode_pair("the cat sat on the mat", "the dog sat", 8);
+        assert_eq!(ids.len(), 8);
+        assert_eq!(ids[0], CLS);
+        assert_eq!(*ids.last().unwrap(), SEP);
+        assert_eq!(ids.iter().filter(|&&i| i == SEP).count(), 2);
+    }
+
+    #[test]
+    fn encode_pair_no_truncation_when_short() {
+        let t = toy();
+        let ids = t.encode_pair("cat", "dog", 64);
+        assert_eq!(ids.len(), 5); // CLS cat SEP dog SEP
+    }
+
+    #[test]
+    fn proportional_budget_sums_to_budget() {
+        for (la, lb, budget) in [(100, 50, 60), (10, 200, 60), (5, 5, 60), (0, 100, 10)] {
+            let (ka, kb) = proportional_budget(la, lb, budget);
+            assert!(ka <= la && kb <= lb);
+            assert!(ka + kb <= budget.max(la + lb));
+            if la + lb > budget {
+                assert_eq!(ka + kb, budget, "({la},{lb},{budget}) -> ({ka},{kb})");
+            }
+        }
+    }
+
+    #[test]
+    fn structural_tags_survive_encoding() {
+        let t = toy();
+        let ids = t.encode("[COL] name [VAL] cat");
+        assert_eq!(ids[0], COL);
+        assert_eq!(ids[2], VAL);
+    }
+}

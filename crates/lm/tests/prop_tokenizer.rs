@@ -1,0 +1,100 @@
+//! Property-based tests of the tokenizer: totality, determinism,
+//! normalization, and the digit-trigram fallback.
+
+use em_lm::tokenizer::{Tokenizer, PAD, SPECIALS, UNK};
+use proptest::prelude::*;
+
+fn fitted() -> Tokenizer {
+    Tokenizer::fit(
+        [
+            "the quick brown fox jumps over the lazy dog",
+            "pack my box with five dozen liquor jugs 1998 2003",
+            "[COL] name [VAL] value they are matched similar",
+        ],
+        1,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encoding_is_total(text in "[a-zA-Z0-9 ./$-]{0,60}") {
+        let t = fitted();
+        let ids = t.encode(&text);
+        // Every id is in range; no panics on arbitrary input.
+        for &id in &ids {
+            prop_assert!(id < t.vocab_size());
+        }
+        // PAD never appears spontaneously.
+        prop_assert!(!ids.contains(&PAD));
+    }
+
+    #[test]
+    fn encoding_is_deterministic(text in "[a-z0-9 ]{0,40}") {
+        let t = fitted();
+        prop_assert_eq!(t.encode(&text), t.encode(&text));
+    }
+
+    #[test]
+    fn case_is_irrelevant(word in "[a-z]{1,10}") {
+        let t = fitted();
+        prop_assert_eq!(t.encode(&word), t.encode(&word.to_uppercase()));
+    }
+
+    #[test]
+    fn known_words_round_trip(count in 1usize..8) {
+        let t = fitted();
+        let words = ["quick", "brown", "fox", "dog", "matched"];
+        let text: Vec<&str> = (0..count).map(|i| words[i % words.len()]).collect();
+        let text = text.join(" ");
+        let ids = t.encode(&text);
+        prop_assert_eq!(t.decode(&ids), text);
+    }
+
+    #[test]
+    fn numbers_share_prefix_tokens(n in 0u64..1_000_000_000) {
+        // Two copies of the same number encode identically, and no UNK
+        // appears (digit pieces cover everything).
+        let t = fitted();
+        let ids1 = t.encode(&n.to_string());
+        let ids2 = t.encode(&n.to_string());
+        prop_assert_eq!(&ids1, &ids2);
+        prop_assert!(!ids1.contains(&UNK));
+    }
+
+    #[test]
+    fn punctuation_variants_encode_equally(a in 100u32..999, b in 100u32..999) {
+        // "412-555" and "412/555" and "412 555" all normalize to the same
+        // alphanumeric runs.
+        let t = fitted();
+        let dash = t.encode(&format!("{a}-{b}"));
+        let slash = t.encode(&format!("{a}/{b}"));
+        let space = t.encode(&format!("{a} {b}"));
+        prop_assert_eq!(&dash, &slash);
+        prop_assert_eq!(&dash, &space);
+    }
+
+    #[test]
+    fn encode_pair_always_fits(a in "[a-z ]{0,200}", b in "[a-z0-9 ]{0,200}", max_len in 8usize..64) {
+        let t = fitted();
+        let ids = t.encode_pair(&a, &b, max_len);
+        prop_assert!(ids.len() <= max_len);
+    }
+}
+
+#[test]
+fn specials_are_stable() {
+    let t = fitted();
+    for (i, s) in SPECIALS.iter().enumerate() {
+        assert_eq!(t.id_of(s), Some(i));
+        assert_eq!(t.token_of(i), *s);
+    }
+}
+
+#[test]
+fn vocab_roundtrip_through_from_vocab() {
+    let t = fitted();
+    let rebuilt = Tokenizer::from_vocab(t.vocab().to_vec());
+    assert_eq!(rebuilt.encode("quick brown 1998"), t.encode("quick brown 1998"));
+}

@@ -1,0 +1,67 @@
+//! Weight initialization schemes.
+
+use crate::tensor::Matrix;
+use rand::Rng;
+use rand_distr_free::normal_sample;
+
+/// Xavier/Glorot uniform: U(-a, a) with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..a))
+}
+
+/// Truncated-free normal initialization N(0, std^2), the BERT default
+/// (std = 0.02).
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| normal_sample(rng) * std)
+}
+
+/// Uniform U(-a, a).
+pub fn uniform(rows: usize, cols: usize, a: f32, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..a))
+}
+
+mod rand_distr_free {
+    //! Box–Muller standard normal sampling so we do not need `rand_distr`.
+    use rand::Rng;
+
+    pub fn normal_sample(rng: &mut impl Rng) -> f32 {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = xavier_uniform(64, 64, &mut rng);
+        let bound = (6.0 / 128.0f32).sqrt();
+        for &v in m.data() {
+            assert!(v.abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn normal_has_requested_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = normal(100, 100, 0.02, &mut rng);
+        let mean = m.sum() / m.len() as f32;
+        let var = m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        assert!(mean.abs() < 0.005, "mean {mean}");
+        assert!((var.sqrt() - 0.02).abs() < 0.005, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn initializers_are_deterministic_under_seed() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(9));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

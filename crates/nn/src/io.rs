@@ -1,0 +1,156 @@
+//! Binary (de)serialization of parameter values.
+//!
+//! The format is deliberately simple: for each parameter, its name, shape
+//! and little-endian `f32` buffer. Loading requires the destination
+//! [`ParamStore`] to have been built by the *same model constructor* (same
+//! registration order); names and shapes are verified to catch mismatches.
+
+use crate::optim::ParamStore;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"EMNNPAR1";
+
+/// Write every parameter's value to `w`.
+pub fn write_params(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(store.len() as u64).to_le_bytes())?;
+    for id in store.ids() {
+        let name = store.name(id).as_bytes();
+        w.write_all(&(name.len() as u64).to_le_bytes())?;
+        w.write_all(name)?;
+        let m = store.value(id);
+        w.write_all(&(m.rows() as u64).to_le_bytes())?;
+        w.write_all(&(m.cols() as u64).to_le_bytes())?;
+        for &v in m.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Read parameter values from `r` into an already-constructed store.
+pub fn read_params(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let count = read_u64(r)? as usize;
+    if count != store.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("parameter count mismatch: file {count}, store {}", store.len()),
+        ));
+    }
+    let ids: Vec<_> = store.ids().collect();
+    for id in ids {
+        let name_len = read_u64(r)? as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 name"))?;
+        if name != store.name(id) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("parameter name mismatch: file '{name}', store '{}'", store.name(id)),
+            ));
+        }
+        let rows = read_u64(r)? as usize;
+        let cols = read_u64(r)? as usize;
+        if (rows, cols) != store.value(id).shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("shape mismatch for '{name}'"),
+            ));
+        }
+        let buf = store.value_mut(id).data_mut();
+        let mut bytes = vec![0u8; rows * cols * 4];
+        r.read_exact(&mut bytes)?;
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            buf[i] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+    }
+    Ok(())
+}
+
+/// Read a little-endian u64 (helper shared with higher-level formats).
+pub fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Read a length-prefixed UTF-8 string.
+pub fn read_string(r: &mut impl Read) -> io::Result<String> {
+    let len = read_u64(r)? as usize;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8"))
+}
+
+/// Write a length-prefixed UTF-8 string.
+pub fn write_string(w: &mut impl Write, s: &str) -> io::Result<()> {
+    w.write_all(&(s.len() as u64).to_le_bytes())?;
+    w.write_all(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Matrix;
+
+    fn store_with(vals: &[f32]) -> ParamStore {
+        let mut s = ParamStore::new();
+        s.register("a", Matrix::from_vec(1, 2, vec![vals[0], vals[1]]));
+        s.register("b", Matrix::from_vec(2, 1, vec![vals[2], vals[3]]));
+        s
+    }
+
+    #[test]
+    fn roundtrip_restores_values() {
+        let src = store_with(&[1.5, -2.25, 3.0, 0.125]);
+        let mut buf = Vec::new();
+        write_params(&src, &mut buf).unwrap();
+        let mut dst = store_with(&[0.0; 4]);
+        read_params(&mut dst, &mut buf.as_slice()).unwrap();
+        for id in src.ids() {
+            assert_eq!(src.value(id), dst.value(id));
+        }
+    }
+
+    #[test]
+    fn mismatched_structure_is_rejected() {
+        let src = store_with(&[1.0; 4]);
+        let mut buf = Vec::new();
+        write_params(&src, &mut buf).unwrap();
+
+        let mut wrong_count = ParamStore::new();
+        wrong_count.register("a", Matrix::zeros(1, 2));
+        assert!(read_params(&mut wrong_count, &mut buf.as_slice()).is_err());
+
+        let mut wrong_name = ParamStore::new();
+        wrong_name.register("a", Matrix::zeros(1, 2));
+        wrong_name.register("x", Matrix::zeros(2, 1));
+        assert!(read_params(&mut wrong_name, &mut buf.as_slice()).is_err());
+
+        let mut wrong_shape = ParamStore::new();
+        wrong_shape.register("a", Matrix::zeros(2, 2));
+        wrong_shape.register("b", Matrix::zeros(2, 1));
+        assert!(read_params(&mut wrong_shape, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut dst = store_with(&[0.0; 4]);
+        let garbage = b"NOTMAGIC________";
+        assert!(read_params(&mut dst, &mut garbage.as_slice()).is_err());
+    }
+
+    #[test]
+    fn string_helpers_roundtrip() {
+        let mut buf = Vec::new();
+        write_string(&mut buf, "hello world").unwrap();
+        let s = read_string(&mut buf.as_slice()).unwrap();
+        assert_eq!(s, "hello world");
+    }
+}

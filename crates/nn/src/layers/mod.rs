@@ -1,0 +1,18 @@
+//! Reusable neural-network layers built on the autograd [`Tape`](crate::tape::Tape).
+//!
+//! Every layer registers its parameters in a [`ParamStore`](crate::optim::ParamStore)
+//! at construction and is itself stateless: `forward` records ops on a tape.
+
+mod attention;
+mod embedding;
+mod feedforward;
+mod linear;
+mod lstm;
+mod norm;
+
+pub use attention::MultiHeadSelfAttention;
+pub use embedding::Embedding;
+pub use feedforward::FeedForward;
+pub use linear::{Linear, Mlp};
+pub use lstm::{BiLstm, Lstm};
+pub use norm::LayerNorm;

@@ -1,0 +1,31 @@
+//! # em-nn
+//!
+//! A minimal, dependency-light neural-network substrate written for the
+//! PromptEM reproduction: a dense `f32` [`tensor::Matrix`], a tape-based
+//! reverse-mode autograd engine ([`tape::Tape`]), standard layers
+//! (linear, embedding, layer-norm, multi-head attention, feed-forward,
+//! (Bi)LSTM) and the AdamW/SGD optimizers.
+//!
+//! Design notes:
+//! * one [`tape::Tape`] per mini-batch; parameters enter the tape once via
+//!   [`tape::Tape::param`] and their gradients are folded back into the
+//!   shared [`optim::ParamStore`] with
+//!   [`tape::Tape::accumulate_param_grads`];
+//! * everything is CPU-only `f32`; the matmul kernels autovectorize under
+//!   `-C target-cpu=native`;
+//! * every op has a finite-difference gradient test (see `tape::tests`).
+
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod io;
+pub mod layers;
+pub mod optim;
+pub mod schedule;
+pub mod tape;
+pub mod tensor;
+
+pub use optim::{AdamW, ParamId, ParamStore, Sgd};
+pub use schedule::LrSchedule;
+pub use tape::{Tape, Var};
+pub use tensor::Matrix;

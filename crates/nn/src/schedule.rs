@@ -1,0 +1,136 @@
+//! Learning-rate schedules. The pipeline's recorded experiments use a
+//! constant rate (matching the paper's fixed 2e-5); these schedules are
+//! provided for larger-scale training where warmup/decay matter.
+
+/// A learning-rate schedule: maps a 0-based step index to a rate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// The same rate forever.
+    Constant {
+        /// The fixed learning rate.
+        lr: f32,
+    },
+    /// Linear warmup from 0 to `lr` over `warmup` steps, then constant.
+    WarmupConstant {
+        /// Peak learning rate.
+        lr: f32,
+        /// Warmup length in steps.
+        warmup: u64,
+    },
+    /// Linear warmup, then linear decay to zero at `total` steps.
+    WarmupLinearDecay {
+        /// Peak learning rate.
+        lr: f32,
+        /// Warmup length in steps.
+        warmup: u64,
+        /// Step at which the rate reaches zero.
+        total: u64,
+    },
+    /// Linear warmup, then cosine decay to `floor` at `total` steps.
+    WarmupCosine {
+        /// Peak learning rate.
+        lr: f32,
+        /// Warmup length in steps.
+        warmup: u64,
+        /// Step at which the floor is reached.
+        total: u64,
+        /// Terminal learning rate.
+        floor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at `step` (0-based).
+    pub fn at(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::WarmupConstant { lr, warmup } => warmup_factor(step, warmup) * lr,
+            LrSchedule::WarmupLinearDecay { lr, warmup, total } => {
+                let w = warmup_factor(step, warmup);
+                if step < warmup {
+                    return w * lr;
+                }
+                let span = total.saturating_sub(warmup).max(1) as f32;
+                let done = (step - warmup).min(total.saturating_sub(warmup)) as f32;
+                lr * (1.0 - done / span).max(0.0)
+            }
+            LrSchedule::WarmupCosine { lr, warmup, total, floor } => {
+                if step < warmup {
+                    return warmup_factor(step, warmup) * lr;
+                }
+                let span = total.saturating_sub(warmup).max(1) as f32;
+                let done = (step - warmup).min(total.saturating_sub(warmup)) as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * done / span).cos());
+                floor + (lr - floor) * cos
+            }
+        }
+    }
+
+    /// Drive an [`AdamW`](crate::optim::AdamW) optimizer: set its rate for
+    /// the *next* step from its internal step counter.
+    pub fn apply(&self, opt: &mut crate::optim::AdamW) {
+        opt.lr = self.at(opt.steps());
+    }
+}
+
+fn warmup_factor(step: u64, warmup: u64) -> f32 {
+    if warmup == 0 || step >= warmup {
+        1.0
+    } else {
+        (step + 1) as f32 / warmup as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.01 };
+        assert_eq!(s.at(0), 0.01);
+        assert_eq!(s.at(1_000_000), 0.01);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::WarmupConstant { lr: 1.0, warmup: 4 };
+        assert!((s.at(0) - 0.25).abs() < 1e-6);
+        assert!((s.at(1) - 0.5).abs() < 1e-6);
+        assert!((s.at(3) - 1.0).abs() < 1e-6);
+        assert_eq!(s.at(100), 1.0);
+    }
+
+    #[test]
+    fn linear_decay_hits_zero_at_total() {
+        let s = LrSchedule::WarmupLinearDecay { lr: 1.0, warmup: 2, total: 12 };
+        assert_eq!(s.at(2), 1.0);
+        assert!((s.at(7) - 0.5).abs() < 1e-6);
+        assert_eq!(s.at(12), 0.0);
+        assert_eq!(s.at(99), 0.0);
+    }
+
+    #[test]
+    fn cosine_decays_to_floor_smoothly() {
+        let s = LrSchedule::WarmupCosine { lr: 1.0, warmup: 0, total: 10, floor: 0.1 };
+        assert!((s.at(0) - 1.0).abs() < 1e-6);
+        let mid = s.at(5);
+        assert!((mid - 0.55).abs() < 0.01, "midpoint {mid}");
+        assert!((s.at(10) - 0.1).abs() < 1e-6);
+        // Monotone nonincreasing after warmup.
+        let mut prev = f32::INFINITY;
+        for step in 0..=10 {
+            let v = s.at(step);
+            assert!(v <= prev + 1e-6);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn apply_sets_optimizer_rate() {
+        let mut opt = crate::optim::AdamW::new(999.0);
+        let s = LrSchedule::WarmupConstant { lr: 0.5, warmup: 2 };
+        s.apply(&mut opt);
+        assert!((opt.lr - 0.25).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,881 @@
+//! Reverse-mode automatic differentiation over [`Matrix`] values.
+//!
+//! A [`Tape`] is built per forward pass (typically one per mini-batch). Ops
+//! append nodes; [`Tape::backward`] walks the node list in reverse and fills
+//! per-node gradients; [`Tape::accumulate_param_grads`] folds leaf gradients
+//! back into the shared [`ParamStore`](crate::optim::ParamStore).
+//!
+//! Model parameters enter the tape through [`Tape::param`], which caches the
+//! leaf so a parameter used by many samples in one batch is materialized only
+//! once.
+
+use crate::optim::{ParamId, ParamStore};
+use crate::tensor::Matrix;
+use std::collections::HashMap;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+enum Op {
+    /// Constant or parameter leaf. `param` is set when the leaf mirrors a
+    /// [`ParamStore`] entry and should receive gradient at the end.
+    Leaf,
+    Matmul(Var, Var),
+    Add(Var, Var),
+    /// `a (R,C) + broadcast of b (1,C)` over rows.
+    AddRowBroadcast(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    /// Adds a constant matrix (no gradient through the constant); used for
+    /// additive attention masks.
+    AddConst(Var),
+    /// Identity forward; backward multiplies the gradient by `-lambda`
+    /// (the gradient-reversal layer of DANN-style domain adaptation).
+    GradReverse(Var, f32),
+    Transpose(Var),
+    Tanh(Var),
+    Sigmoid(Var),
+    Gelu(Var),
+    Relu(Var),
+    /// Row-wise softmax; caches output for the backward pass.
+    SoftmaxRows(Var),
+    /// Layer normalization over each row with learnable gain/bias (1,C).
+    LayerNorm { x: Var, gamma: Var, beta: Var, normed: Matrix, inv_std: Vec<f32> },
+    /// Select rows of `src` by index; backward scatter-adds.
+    GatherRows { src: Var, idx: Vec<usize> },
+    /// Inverted dropout; `mask` holds 0.0 or `1/(1-p)` per element.
+    Dropout { x: Var, mask: Matrix },
+    ConcatRows(Vec<Var>),
+    ConcatCols(Vec<Var>),
+    SliceRows { x: Var, start: usize },
+    SliceCols { x: Var, start: usize },
+    /// Mean over rows, producing (1,C).
+    MeanRows(Var),
+    /// Mean of every element, producing a scalar.
+    MeanAll(Var),
+    /// Fused softmax + negative log likelihood, mean over rows. Caches probs.
+    CrossEntropy { logits: Var, targets: Vec<usize>, probs: Matrix },
+    /// Mean squared error against a constant target.
+    MseLoss { pred: Var, target: Matrix },
+    /// Mean negative log likelihood over rows of an already-normalized
+    /// probability matrix (used by verbalizer losses, where class
+    /// probabilities are averages of word probabilities — Eq. 1 of the
+    /// PromptEM paper).
+    NllProbs { probs: Var, targets: Vec<usize> },
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+}
+
+/// A single-use computation graph.
+pub struct Tape {
+    nodes: Vec<Node>,
+    param_cache: HashMap<ParamId, Var>,
+    /// When false, `dropout` is the identity (inference mode).
+    pub train: bool,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// A fresh training-mode tape (dropout active).
+    pub fn new() -> Self {
+        Tape { nodes: Vec::with_capacity(256), param_cache: HashMap::new(), train: true }
+    }
+
+    /// A tape whose dropout layers are disabled (deterministic inference).
+    pub fn inference() -> Self {
+        let mut t = Self::new();
+        t.train = false;
+        t
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node { value, grad: None, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no node has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of `v` after [`Tape::backward`]; zeros if unused.
+    pub fn grad(&self, v: Var) -> Matrix {
+        match &self.nodes[v.0].grad {
+            Some(g) => g.clone(),
+            None => {
+                let (r, c) = self.nodes[v.0].value.shape();
+                Matrix::zeros(r, c)
+            }
+        }
+    }
+
+    /// Insert a constant leaf (no gradient flows out of the tape).
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Insert (or reuse) a leaf mirroring parameter `id` from `store`.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        if let Some(&v) = self.param_cache.get(&id) {
+            return v;
+        }
+        let value = store.value(id).clone();
+        let v = self.push(value, Op::Leaf);
+        self.param_cache.insert(id, v);
+        v
+    }
+
+    /// Matrix product `a @ b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(value, Op::Matmul(a, b))
+    }
+
+    /// Elementwise sum (same shapes).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// `a + b` where `b` is a (1,C) row broadcast over the rows of `a`.
+    pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let am = &self.nodes[a.0].value;
+        let bm = &self.nodes[b.0].value;
+        assert_eq!(bm.rows(), 1, "broadcast rhs must be a row vector");
+        assert_eq!(am.cols(), bm.cols(), "broadcast width mismatch");
+        let mut value = am.clone();
+        for r in 0..value.rows() {
+            for (v, &x) in value.row_mut(r).iter_mut().zip(bm.row(0)) {
+                *v += x;
+            }
+        }
+        self.push(value, Op::AddRowBroadcast(a, b))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        self.push(value, Op::Sub(a, b))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(value, Op::Mul(a, b))
+    }
+
+    /// Multiply every element by the constant `c`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let value = self.nodes[a.0].value.scale(c);
+        self.push(value, Op::Scale(a, c))
+    }
+
+    /// Add a constant matrix elementwise (no gradient to the constant).
+    pub fn add_const(&mut self, a: Var, k: &Matrix) -> Var {
+        let value = self.nodes[a.0].value.add(k);
+        self.push(value, Op::AddConst(a))
+    }
+
+    /// Gradient-reversal layer: forward identity, backward `-lambda * g`.
+    pub fn grad_reverse(&mut self, a: Var, lambda: f32) -> Var {
+        let value = self.nodes[a.0].value.clone();
+        self.push(value, Op::GradReverse(a, lambda))
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.transpose();
+        self.push(value, Op::Transpose(a))
+    }
+
+    /// Elementwise `tanh`.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(f32::tanh);
+        self.push(value, Op::Tanh(a))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(value, Op::Sigmoid(a))
+    }
+
+    /// Elementwise GELU (tanh approximation, as in BERT).
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(gelu);
+        self.push(value, Op::Gelu(a))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(value, Op::Relu(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.softmax_rows();
+        self.push(value, Op::SoftmaxRows(a))
+    }
+
+    /// Row-wise layer normalization. `gamma` and `beta` must be (1,C).
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let xm = self.nodes[x.0].value.clone();
+        let (rows, cols) = xm.shape();
+        let gm = &self.nodes[gamma.0].value;
+        let bm = &self.nodes[beta.0].value;
+        assert_eq!(gm.shape(), (1, cols), "layer_norm gamma shape");
+        assert_eq!(bm.shape(), (1, cols), "layer_norm beta shape");
+        let mut normed = Matrix::zeros(rows, cols);
+        let mut inv_std = Vec::with_capacity(rows);
+        let mut value = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let row = xm.row(r);
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            inv_std.push(istd);
+            for c in 0..cols {
+                let n = (row[c] - mean) * istd;
+                normed.set(r, c, n);
+                value.set(r, c, n * gm.get(0, c) + bm.get(0, c));
+            }
+        }
+        self.push(value, Op::LayerNorm { x, gamma, beta, normed, inv_std })
+    }
+
+    /// Select rows of `src` by `idx` (duplicates allowed).
+    pub fn gather_rows(&mut self, src: Var, idx: &[usize]) -> Var {
+        let value = self.nodes[src.0].value.gather_rows(idx);
+        self.push(value, Op::GatherRows { src, idx: idx.to_vec() })
+    }
+
+    /// Inverted dropout with keep-probability `1-p`. Identity when the tape
+    /// is in inference mode or `p == 0`.
+    pub fn dropout(&mut self, x: Var, p: f32, rng: &mut impl rand::Rng) -> Var {
+        if !self.train || p <= 0.0 {
+            return x;
+        }
+        assert!(p < 1.0, "dropout probability must be < 1");
+        let (rows, cols) = self.nodes[x.0].value.shape();
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let mask =
+            Matrix::from_fn(rows, cols, |_, _| if rng.gen::<f32>() < keep { scale } else { 0.0 });
+        let value = self.nodes[x.0].value.hadamard(&mask);
+        self.push(value, Op::Dropout { x, mask })
+    }
+
+    /// Stack vars vertically (equal column counts).
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        let mats: Vec<&Matrix> = parts.iter().map(|v| &self.nodes[v.0].value).collect();
+        let value = Matrix::vstack(&mats);
+        self.push(value, Op::ConcatRows(parts.to_vec()))
+    }
+
+    /// Stack vars horizontally (equal row counts).
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let mats: Vec<&Matrix> = parts.iter().map(|v| &self.nodes[v.0].value).collect();
+        let value = Matrix::hstack(&mats);
+        self.push(value, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Copy of rows `[start, start+len)`.
+    pub fn slice_rows(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let value = self.nodes[x.0].value.slice_rows(start, len);
+        self.push(value, Op::SliceRows { x, start })
+    }
+
+    /// Copy of columns `[start, start+len)`.
+    pub fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let value = self.nodes[x.0].value.slice_cols(start, len);
+        self.push(value, Op::SliceCols { x, start })
+    }
+
+    /// Mean over rows, producing a `(1, C)` row.
+    pub fn mean_rows(&mut self, x: Var) -> Var {
+        let value = self.nodes[x.0].value.mean_rows();
+        self.push(value, Op::MeanRows(x))
+    }
+
+    /// Mean of every element, producing a scalar var.
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let m = &self.nodes[x.0].value;
+        let value = Matrix::scalar(m.sum() / m.len() as f32);
+        self.push(value, Op::MeanAll(x))
+    }
+
+    /// Mean cross-entropy of row-wise softmax(logits) against integer
+    /// `targets`. Returns a scalar var.
+    pub fn cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let lm = &self.nodes[logits.0].value;
+        assert_eq!(lm.rows(), targets.len(), "one target per logits row");
+        let probs = lm.softmax_rows();
+        let mut loss = 0.0f32;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < lm.cols(), "target {} out of {} classes", t, lm.cols());
+            loss -= probs.get(r, t).max(1e-12).ln();
+        }
+        loss /= targets.len() as f32;
+        self.push(
+            Matrix::scalar(loss),
+            Op::CrossEntropy { logits, targets: targets.to_vec(), probs },
+        )
+    }
+
+    /// Mean negative log likelihood of already-normalized probabilities:
+    /// `-(1/n) Σ log probs[r][targets[r]]`. Scalar var.
+    pub fn nll_probs(&mut self, probs: Var, targets: &[usize]) -> Var {
+        let pm = &self.nodes[probs.0].value;
+        assert_eq!(pm.rows(), targets.len(), "one target per probability row");
+        let mut loss = 0.0f32;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < pm.cols(), "target {} out of {} classes", t, pm.cols());
+            loss -= pm.get(r, t).max(1e-12).ln();
+        }
+        loss /= targets.len() as f32;
+        self.push(Matrix::scalar(loss), Op::NllProbs { probs, targets: targets.to_vec() })
+    }
+
+    /// Mean squared error against a constant target matrix. Scalar var.
+    pub fn mse_loss(&mut self, pred: Var, target: &Matrix) -> Var {
+        let pm = &self.nodes[pred.0].value;
+        assert_eq!(pm.shape(), target.shape(), "mse shapes");
+        let diff = pm.sub(target);
+        let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / pm.len() as f32;
+        self.push(Matrix::scalar(loss), Op::MseLoss { pred, target: target.clone() })
+    }
+
+    fn add_grad(&mut self, v: Var, g: Matrix) {
+        match &mut self.nodes[v.0].grad {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Run reverse-mode differentiation from scalar `loss`.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "backward needs a scalar loss");
+        self.nodes[loss.0].grad = Some(Matrix::scalar(1.0));
+        for i in (0..=loss.0).rev() {
+            let g = match self.nodes[i].grad.take() {
+                Some(g) => g,
+                None => continue,
+            };
+            self.backprop_node(i, &g);
+            self.nodes[i].grad = Some(g);
+        }
+    }
+
+    fn backprop_node(&mut self, i: usize, g: &Matrix) {
+        // Split borrows: read the op by pointer, mutate grads via add_grad.
+        // Ops are cheap to match; values needed for backward are cloned or
+        // recomputed locally.
+        let op = std::mem::replace(&mut self.nodes[i].op, Op::Leaf);
+        match &op {
+            Op::Leaf => {}
+            Op::Matmul(a, b) => {
+                let (a, b) = (*a, *b);
+                let da = g.matmul_nt(&self.nodes[b.0].value);
+                let db = self.nodes[a.0].value.matmul_tn(g);
+                self.add_grad(a, da);
+                self.add_grad(b, db);
+            }
+            Op::Add(a, b) => {
+                self.add_grad(*a, g.clone());
+                self.add_grad(*b, g.clone());
+            }
+            Op::AddRowBroadcast(a, b) => {
+                self.add_grad(*a, g.clone());
+                // Sum over rows into a (1,C) gradient.
+                let mut db = Matrix::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for (o, &x) in db.row_mut(0).iter_mut().zip(g.row(r)) {
+                        *o += x;
+                    }
+                }
+                self.add_grad(*b, db);
+            }
+            Op::Sub(a, b) => {
+                self.add_grad(*a, g.clone());
+                self.add_grad(*b, g.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                let (a, b) = (*a, *b);
+                let da = g.hadamard(&self.nodes[b.0].value);
+                let db = g.hadamard(&self.nodes[a.0].value);
+                self.add_grad(a, da);
+                self.add_grad(b, db);
+            }
+            Op::Scale(a, c) => self.add_grad(*a, g.scale(*c)),
+            Op::GradReverse(a, lambda) => self.add_grad(*a, g.scale(-*lambda)),
+            Op::Transpose(a) => self.add_grad(*a, g.transpose()),
+            Op::AddConst(a) => self.add_grad(*a, g.clone()),
+            Op::Tanh(a) => {
+                let y = &self.nodes[i].value;
+                let da = Matrix::from_fn(y.rows(), y.cols(), |r, c| {
+                    let t = y.get(r, c);
+                    g.get(r, c) * (1.0 - t * t)
+                });
+                self.add_grad(*a, da);
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[i].value;
+                let da = Matrix::from_fn(y.rows(), y.cols(), |r, c| {
+                    let s = y.get(r, c);
+                    g.get(r, c) * s * (1.0 - s)
+                });
+                self.add_grad(*a, da);
+            }
+            Op::Gelu(a) => {
+                let x = &self.nodes[a.0].value;
+                let da =
+                    Matrix::from_fn(x.rows(), x.cols(), |r, c| g.get(r, c) * gelu_dx(x.get(r, c)));
+                self.add_grad(*a, da);
+            }
+            Op::Relu(a) => {
+                let x = &self.nodes[a.0].value;
+                let da = Matrix::from_fn(x.rows(), x.cols(), |r, c| {
+                    if x.get(r, c) > 0.0 {
+                        g.get(r, c)
+                    } else {
+                        0.0
+                    }
+                });
+                self.add_grad(*a, da);
+            }
+            Op::SoftmaxRows(a) => {
+                let y = &self.nodes[i].value;
+                let mut da = Matrix::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let dot: f32 = y.row(r).iter().zip(g.row(r)).map(|(a, b)| a * b).sum();
+                    for c in 0..y.cols() {
+                        da.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                    }
+                }
+                self.add_grad(*a, da);
+            }
+            Op::LayerNorm { x, gamma, beta, normed, inv_std } => {
+                let gm = self.nodes[gamma.0].value.clone();
+                let (rows, cols) = normed.shape();
+                let mut dx = Matrix::zeros(rows, cols);
+                let mut dgamma = Matrix::zeros(1, cols);
+                let mut dbeta = Matrix::zeros(1, cols);
+                for r in 0..rows {
+                    // dy-hat = g * gamma; standard layernorm backward per row.
+                    let mut dyh = vec![0.0f32; cols];
+                    for c in 0..cols {
+                        let gv = g.get(r, c);
+                        dyh[c] = gv * gm.get(0, c);
+                        dgamma.row_mut(0)[c] += gv * normed.get(r, c);
+                        dbeta.row_mut(0)[c] += gv;
+                    }
+                    let mean_dyh = dyh.iter().sum::<f32>() / cols as f32;
+                    let mean_dyh_n = dyh
+                        .iter()
+                        .enumerate()
+                        .map(|(c, &d)| d * normed.get(r, c))
+                        .sum::<f32>()
+                        / cols as f32;
+                    for c in 0..cols {
+                        let n = normed.get(r, c);
+                        dx.set(r, c, inv_std[r] * (dyh[c] - mean_dyh - n * mean_dyh_n));
+                    }
+                }
+                self.add_grad(*x, dx);
+                self.add_grad(*gamma, dgamma);
+                self.add_grad(*beta, dbeta);
+            }
+            Op::GatherRows { src, idx } => {
+                let (rows, cols) = self.nodes[src.0].value.shape();
+                let mut da = Matrix::zeros(rows, cols);
+                for (out_r, &src_r) in idx.iter().enumerate() {
+                    for (o, &x) in da.row_mut(src_r).iter_mut().zip(g.row(out_r)) {
+                        *o += x;
+                    }
+                }
+                self.add_grad(*src, da);
+            }
+            Op::Dropout { x, mask } => self.add_grad(*x, g.hadamard(mask)),
+            Op::ConcatRows(parts) => {
+                let mut start = 0;
+                for &p in parts {
+                    let rows = self.nodes[p.0].value.rows();
+                    self.add_grad(p, g.slice_rows(start, rows));
+                    start += rows;
+                }
+            }
+            Op::ConcatCols(parts) => {
+                let mut start = 0;
+                for &p in parts {
+                    let cols = self.nodes[p.0].value.cols();
+                    self.add_grad(p, g.slice_cols(start, cols));
+                    start += cols;
+                }
+            }
+            Op::SliceRows { x, start } => {
+                let (rows, cols) = self.nodes[x.0].value.shape();
+                let mut da = Matrix::zeros(rows, cols);
+                for r in 0..g.rows() {
+                    da.row_mut(start + r).copy_from_slice(g.row(r));
+                }
+                self.add_grad(*x, da);
+            }
+            Op::SliceCols { x, start } => {
+                let (rows, cols) = self.nodes[x.0].value.shape();
+                let mut da = Matrix::zeros(rows, cols);
+                for r in 0..g.rows() {
+                    da.row_mut(r)[*start..start + g.cols()].copy_from_slice(g.row(r));
+                }
+                self.add_grad(*x, da);
+            }
+            Op::MeanRows(x) => {
+                let rows = self.nodes[x.0].value.rows();
+                let inv = 1.0 / rows as f32;
+                let da = Matrix::from_fn(rows, g.cols(), |_, c| g.get(0, c) * inv);
+                self.add_grad(*x, da);
+            }
+            Op::MeanAll(x) => {
+                let (rows, cols) = self.nodes[x.0].value.shape();
+                let v = g.item() / (rows * cols) as f32;
+                self.add_grad(*x, Matrix::full(rows, cols, v));
+            }
+            Op::CrossEntropy { logits, targets, probs } => {
+                let gs = g.item() / targets.len() as f32;
+                let mut da = probs.scale(gs);
+                for (r, &t) in targets.iter().enumerate() {
+                    let cur = da.get(r, t);
+                    da.set(r, t, cur - gs);
+                }
+                self.add_grad(*logits, da);
+            }
+            Op::NllProbs { probs, targets } => {
+                let pm = &self.nodes[probs.0].value;
+                let gs = g.item() / targets.len() as f32;
+                let mut da = Matrix::zeros(pm.rows(), pm.cols());
+                for (r, &t) in targets.iter().enumerate() {
+                    da.set(r, t, -gs / pm.get(r, t).max(1e-12));
+                }
+                self.add_grad(*probs, da);
+            }
+            Op::MseLoss { pred, target } => {
+                let pm = &self.nodes[pred.0].value;
+                let c = 2.0 * g.item() / pm.len() as f32;
+                let da = pm.sub(target).scale(c);
+                self.add_grad(*pred, da);
+            }
+        }
+        self.nodes[i].op = op;
+    }
+
+    /// Fold parameter-leaf gradients back into the store's grad buffers.
+    /// Call after [`Tape::backward`].
+    pub fn accumulate_param_grads(&self, store: &mut ParamStore) {
+        for (&id, &var) in &self.param_cache {
+            if let Some(g) = &self.nodes[var.0].grad {
+                store.grad_mut(id).add_assign(g);
+            }
+        }
+    }
+}
+
+/// Exact GELU via erf approximation (tanh form, as used by BERT/RoBERTa).
+#[inline]
+pub fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of the tanh-form GELU.
+#[inline]
+pub fn gelu_dx(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = C * (x + 0.044715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::ParamStore;
+
+    /// Central-difference check of `d loss / d x[r][c]` for a scalar-valued
+    /// computation `f(tape, x_var)`.
+    fn grad_check(x0: Matrix, f: impl Fn(&mut Tape, Var) -> Var) {
+        let mut tape = Tape::new();
+        let x = tape.constant(x0.clone());
+        let loss = f(&mut tape, x);
+        tape.backward(loss);
+        let analytic = tape.grad(x);
+
+        let eps = 1e-3f32;
+        for r in 0..x0.rows() {
+            for c in 0..x0.cols() {
+                let mut xp = x0.clone();
+                xp.set(r, c, x0.get(r, c) + eps);
+                let mut tp = Tape::new();
+                let vp = tp.constant(xp);
+                let lp = f(&mut tp, vp);
+                let fp = tp.value(lp).item();
+
+                let mut xm = x0.clone();
+                xm.set(r, c, x0.get(r, c) - eps);
+                let mut tm = Tape::new();
+                let vm = tm.constant(xm);
+                let lm = f(&mut tm, vm);
+                let fm = tm.value(lm).item();
+
+                let numeric = (fp - fm) / (2.0 * eps);
+                let a = analytic.get(r, c);
+                assert!(
+                    (a - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                    "grad mismatch at ({r},{c}): analytic {a}, numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    fn test_input() -> Matrix {
+        Matrix::from_vec(2, 3, vec![0.5, -1.2, 0.3, 0.9, -0.4, 1.7])
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let w = Matrix::from_vec(3, 2, vec![0.1, -0.2, 0.4, 0.3, -0.5, 0.2]);
+        grad_check(test_input(), move |t, x| {
+            let wv = t.constant(w.clone());
+            let y = t.matmul(x, wv);
+            t.mean_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_matmul_rhs() {
+        // Gradient w.r.t. the right operand of a matmul.
+        let a = Matrix::from_vec(2, 2, vec![0.3, -0.8, 1.1, 0.2]);
+        grad_check(Matrix::from_vec(2, 3, vec![0.5, -0.1, 0.2, 0.8, 0.4, -0.6]), move |t, x| {
+            let av = t.constant(a.clone());
+            let y = t.matmul(av, x);
+            t.mean_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_elementwise_chain() {
+        grad_check(test_input(), |t, x| {
+            let a = t.tanh(x);
+            let b = t.sigmoid(a);
+            let c = t.mul(b, x);
+            t.mean_all(c)
+        });
+    }
+
+    #[test]
+    fn grad_gelu_relu() {
+        grad_check(test_input(), |t, x| {
+            let a = t.gelu(x);
+            let b = t.relu(a);
+            t.mean_all(b)
+        });
+    }
+
+    #[test]
+    fn grad_softmax_rows() {
+        // Weighted sum of softmax outputs so the gradient is non-trivial.
+        let w = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.5, 2.0]);
+        grad_check(test_input(), move |t, x| {
+            let s = t.softmax_rows(x);
+            let wv = t.constant(w.clone());
+            let m = t.mul(s, wv);
+            t.mean_all(m)
+        });
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        let gamma = Matrix::from_vec(1, 3, vec![1.2, 0.8, 1.0]);
+        let beta = Matrix::from_vec(1, 3, vec![0.1, -0.1, 0.0]);
+        let w = Matrix::from_vec(2, 3, vec![1.0, -2.0, 0.5, 0.3, 1.0, -1.0]);
+        grad_check(test_input(), move |t, x| {
+            let g = t.constant(gamma.clone());
+            let b = t.constant(beta.clone());
+            let y = t.layer_norm(x, g, b, 1e-5);
+            let wv = t.constant(w.clone());
+            let m = t.mul(y, wv);
+            t.mean_all(m)
+        });
+    }
+
+    #[test]
+    fn grad_layer_norm_gamma_beta() {
+        let x0 = test_input();
+        let probe = Matrix::from_vec(2, 3, vec![1.0, -1.0, 2.0, 0.5, 0.2, -0.7]);
+        // Check gamma gradient by treating gamma as the checked input.
+        grad_check(Matrix::from_vec(1, 3, vec![1.0, 0.9, 1.1]), {
+            let x0 = x0.clone();
+            let probe = probe.clone();
+            move |t, gamma| {
+                let x = t.constant(x0.clone());
+                let beta = t.constant(Matrix::zeros(1, 3));
+                let y = t.layer_norm(x, gamma, beta, 1e-5);
+                let p = t.constant(probe.clone());
+                let m = t.mul(y, p);
+                t.mean_all(m)
+            }
+        });
+        // And the beta gradient.
+        grad_check(Matrix::from_vec(1, 3, vec![0.0, 0.1, -0.2]), move |t, beta| {
+            let x = t.constant(x0.clone());
+            let gamma = t.constant(Matrix::full(1, 3, 1.0));
+            let y = t.layer_norm(x, gamma, beta, 1e-5);
+            let p = t.constant(probe.clone());
+            let m = t.mul(y, p);
+            t.mean_all(m)
+        });
+    }
+
+    #[test]
+    fn grad_gather_and_slice() {
+        grad_check(test_input(), |t, x| {
+            let g = t.gather_rows(x, &[1, 0, 1]);
+            let s = t.slice_rows(g, 1, 2);
+            let c = t.slice_cols(s, 0, 2);
+            t.mean_all(c)
+        });
+    }
+
+    #[test]
+    fn grad_concat() {
+        grad_check(test_input(), |t, x| {
+            let a = t.tanh(x);
+            let rows = t.concat_rows(&[x, a]);
+            let cols = t.concat_cols(&[rows, rows]);
+            t.mean_all(cols)
+        });
+    }
+
+    #[test]
+    fn grad_cross_entropy() {
+        grad_check(test_input(), |t, x| t.cross_entropy(x, &[2, 0]));
+    }
+
+    #[test]
+    fn grad_reverse_flips_and_scales() {
+        let mut tape = Tape::new();
+        let x = tape.constant(test_input());
+        let y = tape.grad_reverse(x, 0.5);
+        assert_eq!(tape.value(y), tape.value(x));
+        let loss = tape.mean_all(y);
+        tape.backward(loss);
+        let g = tape.grad(x);
+        let expected = -0.5 / 6.0;
+        for &v in g.data() {
+            assert!((v - expected).abs() < 1e-6, "{v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn grad_nll_probs() {
+        // Compose softmax + constant projection + NLL, the verbalizer path.
+        let m = Matrix::from_vec(3, 2, vec![0.5, 0.0, 0.5, 0.0, 0.0, 1.0]);
+        grad_check(test_input(), move |t, x| {
+            let probs = t.softmax_rows(x);
+            let mv = t.constant(m.clone());
+            let class_probs = t.matmul(probs, mv);
+            t.nll_probs(class_probs, &[0, 1])
+        });
+    }
+
+    #[test]
+    fn grad_mse() {
+        let target = Matrix::from_vec(2, 3, vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0]);
+        grad_check(test_input(), move |t, x| t.mse_loss(x, &target));
+    }
+
+    #[test]
+    fn grad_mean_rows_broadcast() {
+        let b = Matrix::from_vec(1, 3, vec![0.3, -0.2, 0.7]);
+        grad_check(test_input(), move |t, x| {
+            let bv = t.constant(b.clone());
+            let y = t.add_row_broadcast(x, bv);
+            let m = t.mean_rows(y);
+            t.mean_all(m)
+        });
+    }
+
+    #[test]
+    fn grad_scale_sub_addconst() {
+        let k = Matrix::from_vec(2, 3, vec![0.1; 6]);
+        grad_check(test_input(), move |t, x| {
+            let a = t.scale(x, 2.5);
+            let b = t.sub(a, x);
+            let c = t.add_const(b, &k);
+            t.mean_all(c)
+        });
+    }
+
+    #[test]
+    fn param_grads_accumulate_into_store() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let mut tape = Tape::new();
+        let wv = tape.param(&store, w);
+        // Parameter fetched twice must reuse the same leaf.
+        let wv2 = tape.param(&store, w);
+        assert_eq!(wv, wv2);
+        let y = tape.mul(wv, wv2); // y = w^2 elementwise
+        let loss = tape.mean_all(y);
+        tape.backward(loss);
+        tape.accumulate_param_grads(&mut store);
+        // d mean(w^2) / dw = 2w / 4
+        let g = store.grad(w);
+        for (i, expected) in [0.5f32, 1.0, 1.5, 2.0].iter().enumerate() {
+            assert!((g.data()[i] - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dropout_identity_in_inference() {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut tape = Tape::inference();
+        let x = tape.constant(test_input());
+        let y = tape.dropout(x, 0.5, &mut rng);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn dropout_scales_kept_elements() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::full(10, 10, 1.0));
+        let y = tape.dropout(x, 0.5, &mut rng);
+        for &v in tape.value(y).data() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+    }
+}

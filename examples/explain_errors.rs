@@ -1,0 +1,65 @@
+//! Error analysis with attribute attribution (Appendix C, operationalized):
+//! train PromptEM on SEMI-HETER (books with near-duplicate editions), take
+//! misclassified test pairs, and show which attributes drove each wrong
+//! decision via leave-one-attribute-out importance.
+//!
+//! ```text
+//! cargo run --release --example explain_errors
+//! ```
+
+use promptem_repro::data::synth::{build, BenchmarkId, Scale};
+use promptem_repro::promptem::explain::attribute_importance;
+use promptem_repro::promptem::model::{PromptEmModel, PromptOpts};
+use promptem_repro::promptem::pipeline::{encode_with, pretrain_backbone, PromptEmConfig};
+use promptem_repro::promptem::trainer::{evaluate, TunableMatcher};
+
+fn main() {
+    let dataset = build(BenchmarkId::SemiHeter, Scale::Quick, 13);
+    let cfg = PromptEmConfig::default();
+    println!("pretraining backbone for {}...", dataset.name);
+    let backbone = pretrain_backbone(&dataset, &cfg);
+    let encoded = encode_with(&dataset, &backbone, &cfg);
+
+    let mut model = PromptEmModel::new(backbone.clone(), PromptOpts::default(), 17);
+    model.train(&encoded.train, &encoded.valid, &cfg.lst.teacher, None);
+    println!("test scores: {}\n", evaluate(&mut model, &encoded.test));
+
+    let pairs: Vec<_> = encoded.test.iter().map(|e| e.pair.clone()).collect();
+    let pred = model.predict(&pairs);
+    let mut shown = 0;
+    for (k, (p, ex)) in pred.iter().zip(&encoded.test).enumerate() {
+        if *p == ex.label || shown >= 2 {
+            continue;
+        }
+        shown += 1;
+        let lp = dataset.test[k];
+        let (l, r) = dataset.records(lp.pair);
+        println!(
+            "--- {} (gold {}, predicted {}) ---",
+            if *p { "FALSE POSITIVE" } else { "FALSE NEGATIVE" },
+            ex.label,
+            p
+        );
+        let imp = attribute_importance(
+            &mut model,
+            &backbone.tokenizer,
+            l,
+            dataset.left.format,
+            r,
+            dataset.right.format,
+            &cfg.encode,
+        );
+        println!("most influential attributes (Δ P(match) when removed):");
+        for a in imp.iter().take(6) {
+            println!("  {:>24}: {:+.3}", a.attribute, a.delta);
+        }
+        println!();
+    }
+    if shown == 0 {
+        println!("(no errors on this test split — lucky seed)");
+    } else {
+        println!("Appendix C's diagnosis: decisions should hinge on digit attributes");
+        println!("(ISBN, publication date); attributions that ignore them explain the");
+        println!("near-duplicate-edition errors.");
+    }
+}

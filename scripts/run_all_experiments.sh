@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure sequentially, appending to
+# bench_output.txt. Cheap targets run first so partial runs still record
+# something useful.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+OUT=${1:-bench_output.txt}
+: > "$OUT"
+for target in \
+    table1_datasets \
+    table5_pseudo \
+    fig4_templates \
+    fig5_label_words \
+    table4_efficiency \
+    fig6_error_analysis \
+    appendix_f_summarization \
+    ablation_identity_head \
+    insight_calibration \
+    table4b_scalability \
+    table4c_ddp_amortization \
+    table2_main \
+    table3_extreme \
+    fig3_low_resource_sweep \
+    table6_sufficient \
+; do
+    echo "=== $target ===" | tee -a "$OUT"
+    cargo bench -p em-bench --bench "$target" 2>/dev/null | tee -a "$OUT"
+done

@@ -1,0 +1,24 @@
+//! # promptem-repro
+//!
+//! Umbrella crate for the pure-Rust reproduction of *PromptEM: Prompt-tuning
+//! for Low-resource Generalized Entity Matching* (VLDB 2022).
+//!
+//! This crate re-exports the workspace members so examples and integration
+//! tests can use a single dependency:
+//!
+//! * [`nn`] — tape autograd + layers + optimizers,
+//! * [`lm`] — the mini masked language model (tokenizer, transformer
+//!   encoder, MLM pretraining, prompt-tuning machinery),
+//! * [`data`] — the GEM data model, serialization, and the eight synthetic
+//!   benchmark generators,
+//! * [`promptem`] — the paper's contribution (prompt-tuning for GEM plus
+//!   lightweight self-training),
+//! * [`baselines`] — the eight comparison systems from the evaluation.
+
+#![warn(missing_docs)]
+
+pub use em_baselines as baselines;
+pub use em_data as data;
+pub use em_lm as lm;
+pub use em_nn as nn;
+pub use promptem;

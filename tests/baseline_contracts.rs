@@ -1,0 +1,108 @@
+//! Integration tests over the baseline matchers: every method satisfies the
+//! Matcher contract on a shared benchmark, and structural expectations from
+//! the paper hold (e.g. TDmatch consumes no labels, Rotom is two-stage).
+
+use promptem_repro::baselines::{
+    evaluate_matcher, BertBaseline, DaderBaseline, DeepMatcherBaseline, DittoBaseline, Matcher,
+    MatchTask, RotomBaseline, SBertBaseline, TDmatchBaseline, TDmatchStarBaseline,
+};
+use promptem_repro::data::synth::{build, BenchmarkId, Scale};
+use promptem_repro::promptem::pipeline::{encode_with, pretrain_backbone, PromptEmConfig};
+use promptem_repro::promptem::trainer::TrainCfg;
+use std::sync::{Arc, OnceLock};
+
+struct Fixture {
+    ds: promptem_repro::data::GemDataset,
+    backbone: Arc<promptem_repro::lm::PretrainedLm>,
+    encoded: promptem_repro::promptem::EncodedDataset,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ds = build(BenchmarkId::GeoHeter, Scale::Quick, 555);
+        let mut cfg = PromptEmConfig::default();
+        cfg.pretrain.max_steps = 150;
+        cfg.corpus.max_record_sentences = 150;
+        cfg.corpus.relation_statements = 120;
+        let backbone = pretrain_backbone(&ds, &cfg);
+        let encoded = encode_with(&ds, &backbone, &cfg);
+        Fixture { ds, backbone, encoded }
+    })
+}
+
+fn quick_cfg() -> TrainCfg {
+    TrainCfg { epochs: 2, ..Default::default() }
+}
+
+fn check<M: Matcher>(mut m: M) {
+    let fix = fixture();
+    let task =
+        MatchTask { raw: &fix.ds, encoded: &fix.encoded, backbone: fix.backbone.clone() };
+    let (scores, secs) = evaluate_matcher(&mut m, &task);
+    assert!(scores.f1.is_finite() && (0.0..=100.0).contains(&scores.f1), "{}", m.name());
+    assert!(secs >= 0.0);
+    // Predictions must cover the whole test split.
+    let pred = m.predict_test(&task);
+    assert_eq!(pred.len(), fix.encoded.test.len(), "{}", m.name());
+}
+
+#[test]
+fn deepmatcher_contract() {
+    check(DeepMatcherBaseline::new(quick_cfg(), 1));
+}
+
+#[test]
+fn bert_contract() {
+    check(BertBaseline::new(quick_cfg(), 2));
+}
+
+#[test]
+fn sbert_contract() {
+    check(SBertBaseline::new(quick_cfg(), 3));
+}
+
+#[test]
+fn ditto_contract() {
+    check(DittoBaseline::new(quick_cfg(), 4));
+}
+
+#[test]
+fn rotom_contract() {
+    check(RotomBaseline::new(quick_cfg(), 5));
+}
+
+#[test]
+fn dader_contract() {
+    let source = build(BenchmarkId::RelHeter, Scale::Quick, 556);
+    let mut m = DaderBaseline::new(quick_cfg(), source, 6);
+    m.align_steps = 3;
+    check(m);
+}
+
+#[test]
+fn tdmatch_contract_and_label_independence() {
+    check(TDmatchBaseline::new());
+
+    // TDmatch must produce identical predictions when every train label is
+    // flipped: it is unsupervised.
+    let fix = fixture();
+    let mut flipped = fix.ds.clone();
+    for lp in flipped.train.iter_mut() {
+        lp.label = !lp.label;
+    }
+    let task1 =
+        MatchTask { raw: &fix.ds, encoded: &fix.encoded, backbone: fix.backbone.clone() };
+    let task2 =
+        MatchTask { raw: &flipped, encoded: &fix.encoded, backbone: fix.backbone.clone() };
+    let mut a = TDmatchBaseline::new();
+    a.fit(&task1);
+    let mut b = TDmatchBaseline::new();
+    b.fit(&task2);
+    assert_eq!(a.predict_test(&task1), b.predict_test(&task2));
+}
+
+#[test]
+fn tdmatch_star_contract() {
+    check(TDmatchStarBaseline::new(7));
+}

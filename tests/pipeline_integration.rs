@@ -1,0 +1,114 @@
+//! Cross-crate integration tests: the full pipeline (data → serialization →
+//! backbone → prompt-tuning → self-training → metrics) on small synthetic
+//! benchmarks, with reduced budgets so the suite stays fast.
+
+use promptem_repro::data::synth::{build, BenchmarkId, Scale};
+use promptem_repro::promptem::pipeline::{
+    encode_with, pretrain_backbone, run_encoded, PromptEmConfig,
+};
+use promptem_repro::promptem::pseudo::PseudoCfg;
+use promptem_repro::promptem::selftrain::LstCfg;
+use promptem_repro::promptem::trainer::TrainCfg;
+use std::sync::{Arc, OnceLock};
+
+/// A reduced-budget configuration: enough to exercise every code path,
+/// cheap enough for CI.
+fn ci_cfg() -> PromptEmConfig {
+    let mut cfg = PromptEmConfig::default();
+    cfg.pretrain.max_steps = 200;
+    cfg.corpus.max_record_sentences = 150;
+    cfg.corpus.relation_statements = 150;
+    cfg.lst = LstCfg {
+        teacher: TrainCfg { epochs: 2, ..Default::default() },
+        student: TrainCfg { epochs: 2, ..Default::default() },
+        pseudo: PseudoCfg { passes: 2, u_r: 0.1, ..Default::default() },
+        ..LstCfg::quick()
+    };
+    cfg
+}
+
+struct Fixture {
+    ds: promptem_repro::data::GemDataset,
+    backbone: Arc<promptem_repro::lm::PretrainedLm>,
+    encoded: promptem_repro::promptem::EncodedDataset,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ds = build(BenchmarkId::RelHeter, Scale::Quick, 2024);
+        let cfg = ci_cfg();
+        let backbone = pretrain_backbone(&ds, &cfg);
+        let encoded = encode_with(&ds, &backbone, &cfg);
+        Fixture { ds, backbone, encoded }
+    })
+}
+
+#[test]
+fn full_pipeline_produces_sane_scores() {
+    let fix = fixture();
+    let result = run_encoded(fix.backbone.clone(), &fix.encoded, &ci_cfg());
+    assert_eq!(result.dataset, "REL-HETER");
+    assert!(result.scores.f1.is_finite());
+    assert!((0.0..=100.0).contains(&result.scores.f1));
+    assert!((0.0..=100.0).contains(&result.scores.precision));
+    assert!((0.0..=100.0).contains(&result.scores.recall));
+    // LST ran: one iteration of pseudo-labeling with quality audit.
+    assert_eq!(result.lst.pseudo_selected.len(), 1);
+    assert_eq!(result.lst.pseudo_quality.len(), 1);
+    let (tpr, tnr) = result.lst.pseudo_quality[0];
+    assert!((0.0..=1.0).contains(&tpr) && (0.0..=1.0).contains(&tnr));
+}
+
+#[test]
+fn ablations_disable_their_modules() {
+    let fix = fixture();
+
+    let mut no_lst = ci_cfg();
+    no_lst.use_lst = false;
+    let r = run_encoded(fix.backbone.clone(), &fix.encoded, &no_lst);
+    assert!(r.lst.pseudo_selected.is_empty(), "w/o LST still pseudo-labeled");
+    assert_eq!(r.lst.pruned, 0);
+
+    let mut no_ddp = ci_cfg();
+    no_ddp.lst.prune = None;
+    let r = run_encoded(fix.backbone.clone(), &fix.encoded, &no_ddp);
+    assert_eq!(r.lst.pruned, 0, "w/o DDP still pruned");
+
+    let mut no_pt = ci_cfg();
+    no_pt.use_prompt = false;
+    let r = run_encoded(fix.backbone.clone(), &fix.encoded, &no_pt);
+    assert!(r.scores.f1.is_finite());
+}
+
+#[test]
+fn ddp_actually_prunes_when_enabled() {
+    let fix = fixture();
+    let mut cfg = ci_cfg();
+    cfg.lst.student.epochs = 4;
+    cfg.lst.prune = Some(promptem_repro::promptem::PruneCfg { every: 1, e_r: 0.2, passes: 2 });
+    let r = run_encoded(fix.backbone.clone(), &fix.encoded, &cfg);
+    assert!(r.lst.pruned > 0, "DDP enabled but nothing pruned");
+}
+
+#[test]
+fn dataset_variants_reuse_the_backbone() {
+    let fix = fixture();
+    // A budget-80 variant (Table 3) encodes under the same tokenizer.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    let variant = fix.ds.with_budget(30, &mut rng);
+    assert_eq!(variant.train.len(), 30);
+    let cfg = ci_cfg();
+    let encoded = encode_with(&variant, &fix.backbone, &cfg);
+    assert_eq!(encoded.train.len(), 30);
+    let r = run_encoded(fix.backbone.clone(), &encoded, &cfg);
+    assert!(r.scores.f1.is_finite());
+}
+
+#[test]
+fn deterministic_given_seed_and_backbone() {
+    let fix = fixture();
+    let r1 = run_encoded(fix.backbone.clone(), &fix.encoded, &ci_cfg());
+    let r2 = run_encoded(fix.backbone.clone(), &fix.encoded, &ci_cfg());
+    assert_eq!(r1.scores, r2.scores, "same seed, same backbone, different scores");
+}

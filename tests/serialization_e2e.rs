@@ -1,0 +1,101 @@
+//! End-to-end serialization/encoding checks across every benchmark: the
+//! pipeline from records to token ids preserves the properties each paper
+//! section relies on.
+
+use promptem_repro::data::serialize::serialize;
+use promptem_repro::data::summarize::TfIdf;
+use promptem_repro::data::synth::{build, BenchmarkId, Scale};
+use promptem_repro::lm::Tokenizer;
+use promptem_repro::promptem::encode::{encode_dataset, EncodeCfg};
+
+#[test]
+fn every_benchmark_serializes_all_records() {
+    for id in BenchmarkId::ALL {
+        let ds = build(id, Scale::Quick, 99);
+        for (table, fmt) in [(&ds.left, ds.left.format), (&ds.right, ds.right.format)] {
+            for r in &table.records {
+                let s = serialize(r, fmt);
+                assert!(!s.trim().is_empty(), "{id:?}: empty serialization");
+            }
+        }
+    }
+}
+
+#[test]
+fn summaries_keep_discriminative_content_not_tags() {
+    let ds = build(BenchmarkId::SemiHomo, Scale::Quick, 100);
+    let texts: Vec<String> =
+        ds.left.records.iter().map(|r| serialize(r, ds.left.format)).collect();
+    let tfidf = TfIdf::fit(texts.iter().map(|s| s.as_str()));
+    for t in texts.iter().take(20) {
+        let s = tfidf.summarize(t, 16);
+        let toks: Vec<&str> = s.split_whitespace().collect();
+        assert!(toks.len() <= 16);
+        let tags = toks.iter().filter(|t| **t == "[COL]" || **t == "[VAL]").count();
+        assert_eq!(tags, 0, "tags crowded the summary: {s}");
+    }
+}
+
+#[test]
+fn encoded_sides_are_nonempty_and_within_budget_everywhere() {
+    for id in BenchmarkId::ALL {
+        let ds = build(id, Scale::Quick, 101);
+        let corpus: Vec<String> = ds
+            .left
+            .records
+            .iter()
+            .map(|r| serialize(r, ds.left.format))
+            .chain(ds.right.records.iter().map(|r| serialize(r, ds.right.format)))
+            .collect();
+        let tok = Tokenizer::fit(corpus.iter().map(|s| s.as_str()), 2);
+        let cfg = EncodeCfg::default();
+        let enc = encode_dataset(&ds, &tok, &cfg);
+        for ex in enc.train.iter().chain(&enc.valid).chain(&enc.test) {
+            assert!(!ex.pair.ids_a.is_empty(), "{id:?}: empty left side");
+            assert!(!ex.pair.ids_b.is_empty(), "{id:?}: empty right side");
+            assert!(ex.pair.ids_a.len() <= cfg.side_tokens);
+            assert!(ex.pair.ids_b.len() <= cfg.side_tokens);
+        }
+    }
+}
+
+#[test]
+fn matching_signal_survives_encoding() {
+    // After summarization + tokenization, positives must still share more
+    // token ids than negatives on every benchmark — otherwise no matcher
+    // could work.
+    for id in BenchmarkId::ALL {
+        let ds = build(id, Scale::Quick, 102);
+        let corpus: Vec<String> = ds
+            .left
+            .records
+            .iter()
+            .map(|r| serialize(r, ds.left.format))
+            .chain(ds.right.records.iter().map(|r| serialize(r, ds.right.format)))
+            .collect();
+        let tok = Tokenizer::fit(corpus.iter().map(|s| s.as_str()), 2);
+        let enc = encode_dataset(&ds, &tok, &EncodeCfg::default());
+        let overlap = |a: &[usize], b: &[usize]| -> f64 {
+            let sa: std::collections::HashSet<_> = a.iter().collect();
+            let sb: std::collections::HashSet<_> = b.iter().collect();
+            let inter = sa.intersection(&sb).count();
+            inter as f64 / sa.union(&sb).count().max(1) as f64
+        };
+        let (mut pos, mut neg) = (vec![], vec![]);
+        for ex in enc.test.iter().chain(&enc.valid) {
+            let o = overlap(&ex.pair.ids_a, &ex.pair.ids_b);
+            if ex.label {
+                pos.push(o)
+            } else {
+                neg.push(o)
+            }
+        }
+        let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&pos) > mean(&neg),
+            "{id:?}: token-id overlap signal lost (pos {:.3} vs neg {:.3})",
+            mean(&pos),
+            mean(&neg)
+        );
+    }
+}
