@@ -21,8 +21,12 @@ pub enum AugmentOp {
 
 impl AugmentOp {
     /// Every operator, for uniform sampling.
-    pub const ALL: [AugmentOp; 4] =
-        [AugmentOp::TokenDelete, AugmentOp::TokenSwap, AugmentOp::SpanShuffle, AugmentOp::SideSwap];
+    pub const ALL: [AugmentOp; 4] = [
+        AugmentOp::TokenDelete,
+        AugmentOp::TokenSwap,
+        AugmentOp::SpanShuffle,
+        AugmentOp::SideSwap,
+    ];
 }
 
 fn delete_tokens(ids: &[usize], p: f64, rng: &mut impl Rng) -> Vec<usize> {
@@ -72,9 +76,10 @@ pub fn apply(op: AugmentOp, pair: &EncodedPair, rng: &mut impl Rng) -> EncodedPa
             ids_a: shuffle_span(&pair.ids_a, rng),
             ids_b: shuffle_span(&pair.ids_b, rng),
         },
-        AugmentOp::SideSwap => {
-            EncodedPair { ids_a: pair.ids_b.clone(), ids_b: pair.ids_a.clone() }
-        }
+        AugmentOp::SideSwap => EncodedPair {
+            ids_a: pair.ids_b.clone(),
+            ids_b: pair.ids_a.clone(),
+        },
     }
 }
 
@@ -84,7 +89,10 @@ pub fn augment_set(examples: &[Example], k: usize, rng: &mut impl Rng) -> Vec<Ex
     for ex in examples {
         for _ in 0..k {
             let op = AugmentOp::ALL[rng.gen_range(0..AugmentOp::ALL.len())];
-            out.push(Example { pair: apply(op, &ex.pair, rng), label: ex.label });
+            out.push(Example {
+                pair: apply(op, &ex.pair, rng),
+                label: ex.label,
+            });
         }
     }
     out
@@ -97,7 +105,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn pair() -> EncodedPair {
-        EncodedPair { ids_a: (10..22).collect(), ids_b: (30..40).collect() }
+        EncodedPair {
+            ids_a: (10..22).collect(),
+            ids_b: (30..40).collect(),
+        }
     }
 
     #[test]
@@ -135,8 +146,16 @@ mod tests {
     #[test]
     fn augment_set_scales_and_keeps_labels() {
         let mut rng = StdRng::seed_from_u64(4);
-        let exs =
-            vec![Example { pair: pair(), label: true }, Example { pair: pair(), label: false }];
+        let exs = vec![
+            Example {
+                pair: pair(),
+                label: true,
+            },
+            Example {
+                pair: pair(),
+                label: false,
+            },
+        ];
         let aug = augment_set(&exs, 3, &mut rng);
         assert_eq!(aug.len(), 6);
         assert_eq!(aug.iter().filter(|e| e.label).count(), 3);

@@ -2,7 +2,7 @@
 //! a sequence-pair classifier — exactly [`promptem::FineTuneModel`] without
 //! self-training.
 
-use crate::common::{Matcher, MatchTask};
+use crate::common::{MatchTask, Matcher};
 use promptem::encode::EncodedPair;
 use promptem::trainer::{TrainCfg, TunableMatcher};
 use promptem::FineTuneModel;
@@ -18,7 +18,11 @@ pub struct BertBaseline {
 impl BertBaseline {
     /// Create the baseline with a training budget.
     pub fn new(cfg: TrainCfg, seed: u64) -> Self {
-        BertBaseline { cfg, model: None, seed }
+        BertBaseline {
+            cfg,
+            model: None,
+            seed,
+        }
     }
 }
 
@@ -46,8 +50,18 @@ mod tests {
     #[test]
     fn bert_baseline_fits_and_predicts() {
         let (raw, encoded, backbone) = toy_task();
-        let task = MatchTask { raw: &raw, encoded: &encoded, backbone };
-        let mut m = BertBaseline::new(TrainCfg { epochs: 2, ..Default::default() }, 1);
+        let task = MatchTask {
+            raw: &raw,
+            encoded: &encoded,
+            backbone,
+        };
+        let mut m = BertBaseline::new(
+            TrainCfg {
+                epochs: 2,
+                ..Default::default()
+            },
+            1,
+        );
         let (scores, secs) = crate::common::evaluate_matcher(&mut m, &task);
         assert!(secs > 0.0);
         assert!(scores.f1 >= 0.0);

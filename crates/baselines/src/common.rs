@@ -38,18 +38,24 @@ pub trait Matcher {
 
     /// Predict the test split. Default: encoded-pair path.
     fn predict_test(&mut self, task: &MatchTask) -> Vec<bool> {
-        let pairs: Vec<EncodedPair> =
-            task.encoded.test.iter().map(|e| e.pair.clone()).collect();
+        let pairs: Vec<EncodedPair> = task.encoded.test.iter().map(|e| e.pair.clone()).collect();
         self.predict(task, &pairs)
     }
 }
 
 /// Fit + evaluate one matcher; returns scores and the fit wall-clock.
 pub fn evaluate_matcher<M: Matcher>(matcher: &mut M, task: &MatchTask) -> (PrfScores, f64) {
+    let _span = em_obs::span_with("baseline", matcher.name());
     let start = Instant::now();
-    matcher.fit(task);
-    let fit_secs = start.elapsed().as_secs_f64();
-    let pred = matcher.predict_test(task);
+    let fit_secs = {
+        let _span = em_obs::span("fit");
+        matcher.fit(task);
+        start.elapsed().as_secs_f64()
+    };
+    let pred = {
+        let _span = em_obs::span("predict");
+        matcher.predict_test(task)
+    };
     let gold: Vec<bool> = task.encoded.test.iter().map(|e| e.label).collect();
     (PrfScores::from_predictions(&pred, &gold), fit_secs)
 }

@@ -9,7 +9,7 @@
 //! training samples. For the target dataset, we use the same low-resource
 //! training samples as other supervised methods."
 
-use crate::common::{Matcher, MatchTask};
+use crate::common::{MatchTask, Matcher};
 use em_data::pair::GemDataset;
 use em_lm::tokenizer::{CLS, SEP};
 use em_nn::layers::Mlp;
@@ -37,7 +37,14 @@ impl DaderBaseline {
     /// `source` should come from a similar domain (the harness pairs each
     /// benchmark with its closest sibling).
     pub fn new(cfg: TrainCfg, source: GemDataset, seed: u64) -> Self {
-        DaderBaseline { cfg, lambda: 0.3, align_steps: 30, source, model: None, seed }
+        DaderBaseline {
+            cfg,
+            lambda: 0.3,
+            align_steps: 30,
+            source,
+            model: None,
+            seed,
+        }
     }
 
     fn cls_feature(
@@ -71,12 +78,20 @@ impl Matcher for DaderBaseline {
         // Encode the SOURCE dataset with the TARGET tokenizer (the shared
         // backbone is the target's; OOV falls back to pieces).
         let source_full = self.source.sufficient();
-        let source_encoded =
-            encode_dataset(&source_full, &task.backbone.tokenizer, &EncodeCfg::default());
+        let source_encoded = encode_dataset(
+            &source_full,
+            &task.backbone.tokenizer,
+            &EncodeCfg::default(),
+        );
 
         // Stage 1: supervised training on the full source labels.
         let mut model = FineTuneModel::new(task.backbone.clone(), self.seed);
-        model.train(&source_encoded.train, &source_encoded.valid, &self.cfg, None);
+        model.train(
+            &source_encoded.train,
+            &source_encoded.valid,
+            &self.cfg,
+            None,
+        );
 
         // Stage 2: adversarial feature alignment (DANN): a domain
         // discriminator over [CLS] features behind a gradient-reversal
@@ -138,8 +153,7 @@ impl Matcher for DaderBaseline {
         model.train(&task.encoded.train, &task.encoded.valid, &tgt_cfg, None);
 
         // Final threshold calibration on the target validation set.
-        let vpairs: Vec<EncodedPair> =
-            task.encoded.valid.iter().map(|e| e.pair.clone()).collect();
+        let vpairs: Vec<EncodedPair> = task.encoded.valid.iter().map(|e| e.pair.clone()).collect();
         let vgold: Vec<bool> = task.encoded.valid.iter().map(|e| e.label).collect();
         let probs = model.predict_proba(&vpairs);
         model.set_threshold(calibrate_threshold(&probs, &vgold));
@@ -161,10 +175,17 @@ mod tests {
     #[test]
     fn dader_adapts_from_a_source_dataset() {
         let (raw, encoded, backbone) = toy_task();
-        let task = MatchTask { raw: &raw, encoded: &encoded, backbone };
+        let task = MatchTask {
+            raw: &raw,
+            encoded: &encoded,
+            backbone,
+        };
         let source = build(BenchmarkId::GeoHeter, Scale::Quick, 77);
         let mut m = DaderBaseline::new(
-            TrainCfg { epochs: 1, ..Default::default() },
+            TrainCfg {
+                epochs: 1,
+                ..Default::default()
+            },
             source,
             9,
         );

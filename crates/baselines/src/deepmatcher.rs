@@ -5,7 +5,7 @@
 //! classic `(u, v, |u−v|, u·v)` comparator MLP (the "hybrid" model's
 //! aggregate-and-compare shape).
 
-use crate::common::{Matcher, MatchTask};
+use crate::common::{MatchTask, Matcher};
 use em_nn::layers::{BiLstm, Embedding, Mlp};
 use em_nn::{AdamW, ParamStore, Tape, Var};
 use promptem::encode::{EncodedPair, Example};
@@ -34,11 +34,24 @@ impl DeepMatcherModel {
         let emb = Embedding::new(&mut store, "dm.emb", vocab, dim, &mut rng);
         let rnn = BiLstm::new(&mut store, "dm.rnn", dim, dim / 2, &mut rng);
         let head = Mlp::new(&mut store, "dm.head", 4 * dim, 2 * dim, 2, &mut rng);
-        DeepMatcherModel { store, emb, rnn, head, vocab, dim, threshold: 0.5, seed }
+        DeepMatcherModel {
+            store,
+            emb,
+            rnn,
+            head,
+            vocab,
+            dim,
+            threshold: 0.5,
+            seed,
+        }
     }
 
     fn encode_side(&mut self, tape: &mut Tape, ids: &[usize]) -> Var {
-        let ids = if ids.is_empty() { &[em_lm::tokenizer::UNK][..] } else { ids };
+        let ids = if ids.is_empty() {
+            &[em_lm::tokenizer::UNK][..]
+        } else {
+            ids
+        };
         let x = self.emb.forward(tape, &self.store, ids);
         let h = self.rnn.forward(tape, &self.store, x);
         tape.mean_rows(h)
@@ -156,7 +169,11 @@ pub struct DeepMatcherBaseline {
 impl DeepMatcherBaseline {
     /// Create the baseline with a training budget.
     pub fn new(cfg: TrainCfg, seed: u64) -> Self {
-        DeepMatcherBaseline { cfg, model: None, seed }
+        DeepMatcherBaseline {
+            cfg,
+            model: None,
+            seed,
+        }
     }
 }
 
@@ -188,8 +205,18 @@ mod tests {
     #[test]
     fn deepmatcher_runs_end_to_end() {
         let (raw, encoded, backbone) = toy_task();
-        let task = MatchTask { raw: &raw, encoded: &encoded, backbone };
-        let mut m = DeepMatcherBaseline::new(TrainCfg { epochs: 2, ..Default::default() }, 2);
+        let task = MatchTask {
+            raw: &raw,
+            encoded: &encoded,
+            backbone,
+        };
+        let mut m = DeepMatcherBaseline::new(
+            TrainCfg {
+                epochs: 2,
+                ..Default::default()
+            },
+            2,
+        );
         let (scores, _) = crate::common::evaluate_matcher(&mut m, &task);
         assert!(scores.f1 >= 0.0);
     }
@@ -197,7 +224,10 @@ mod tests {
     #[test]
     fn empty_side_does_not_panic() {
         let mut m = DeepMatcherModel::new(50, 16, 3);
-        let p = EncodedPair { ids_a: vec![], ids_b: vec![10, 11] };
+        let p = EncodedPair {
+            ids_a: vec![],
+            ids_b: vec![10, 11],
+        };
         let probs = m.predict_proba(&[p]);
         assert!(probs[0].is_finite());
     }

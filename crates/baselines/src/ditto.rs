@@ -6,7 +6,7 @@
 //! augmented copies before fine-tuning.
 
 use crate::augment::augment_set;
-use crate::common::{Matcher, MatchTask};
+use crate::common::{MatchTask, Matcher};
 use promptem::encode::{EncodedPair, Example};
 use promptem::trainer::{TrainCfg, TunableMatcher};
 use promptem::FineTuneModel;
@@ -26,7 +26,12 @@ pub struct DittoBaseline {
 impl DittoBaseline {
     /// Create the baseline (2 augmented copies per example by default).
     pub fn new(cfg: TrainCfg, seed: u64) -> Self {
-        DittoBaseline { cfg, augment_k: 2, model: None, seed }
+        DittoBaseline {
+            cfg,
+            augment_k: 2,
+            model: None,
+            seed,
+        }
     }
 }
 
@@ -71,7 +76,13 @@ pub struct RotomBaseline {
 impl RotomBaseline {
     /// Create the baseline (pool of 4, keep 50% by default).
     pub fn new(cfg: TrainCfg, seed: u64) -> Self {
-        RotomBaseline { cfg, pool_k: 4, keep: 0.5, model: None, seed }
+        RotomBaseline {
+            cfg,
+            pool_k: 4,
+            keep: 0.5,
+            model: None,
+            seed,
+        }
     }
 }
 
@@ -100,8 +111,11 @@ impl Matcher for RotomBaseline {
             .collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         let n_keep = ((pool.len() as f64) * self.keep) as usize;
-        let selected: Vec<Example> =
-            scored.iter().take(n_keep).map(|&(i, _)| pool[i].clone()).collect();
+        let selected: Vec<Example> = scored
+            .iter()
+            .take(n_keep)
+            .map(|&(i, _)| pool[i].clone())
+            .collect();
 
         // Stage 3: retrain on clean + selected.
         let mut train = task.encoded.train.clone();
@@ -125,8 +139,18 @@ mod tests {
     #[test]
     fn ditto_fits_with_augmentation() {
         let (raw, encoded, backbone) = toy_task();
-        let task = MatchTask { raw: &raw, encoded: &encoded, backbone };
-        let mut m = DittoBaseline::new(TrainCfg { epochs: 2, ..Default::default() }, 3);
+        let task = MatchTask {
+            raw: &raw,
+            encoded: &encoded,
+            backbone,
+        };
+        let mut m = DittoBaseline::new(
+            TrainCfg {
+                epochs: 2,
+                ..Default::default()
+            },
+            3,
+        );
         let (scores, _) = evaluate_matcher(&mut m, &task);
         assert!(scores.f1 >= 0.0);
     }
@@ -134,15 +158,32 @@ mod tests {
     #[test]
     fn rotom_is_slower_than_ditto() {
         let (raw, encoded, backbone) = toy_task();
-        let task = MatchTask { raw: &raw, encoded: &encoded, backbone };
-        let cfg = TrainCfg { epochs: 2, ..Default::default() };
-        let mut ditto = DittoBaseline::new(cfg.clone(), 4);
-        let (_, t_ditto) = evaluate_matcher(&mut ditto, &task);
-        let mut rotom = RotomBaseline::new(cfg, 4);
-        let (_, t_rotom) = evaluate_matcher(&mut rotom, &task);
+        let task = MatchTask {
+            raw: &raw,
+            encoded: &encoded,
+            backbone,
+        };
+        let cfg = TrainCfg {
+            epochs: 2,
+            ..Default::default()
+        };
+        // Wall-clock comparison is flaky under a loaded test runner, so
+        // compare optimizer work instead: Rotom's two stages must take
+        // strictly more AdamW steps than Ditto's single stage. capture()
+        // enables telemetry on this thread so the step counter ticks.
+        let steps = || em_obs::metrics::counter("nn_optimizer_steps", &[("opt", "adamw")]).get();
+        let ((d_steps, r_steps), _) = em_obs::capture(|| {
+            let before = steps();
+            let mut ditto = DittoBaseline::new(cfg.clone(), 4);
+            evaluate_matcher(&mut ditto, &task);
+            let mid = steps();
+            let mut rotom = RotomBaseline::new(cfg, 4);
+            evaluate_matcher(&mut rotom, &task);
+            (mid - before, steps() - mid)
+        });
         assert!(
-            t_rotom > t_ditto,
-            "two-stage Rotom should cost more: {t_rotom:.2}s vs {t_ditto:.2}s"
+            r_steps > d_steps,
+            "two-stage Rotom should cost more: {r_steps} vs {d_steps} optimizer steps"
         );
     }
 }

@@ -28,7 +28,7 @@ pub mod tdmatch;
 pub mod testutil;
 
 pub use bert_ft::BertBaseline;
-pub use common::{evaluate_matcher, Matcher, MatchTask};
+pub use common::{evaluate_matcher, MatchTask, Matcher};
 pub use dader::DaderBaseline;
 pub use deepmatcher::DeepMatcherBaseline;
 pub use ditto::{DittoBaseline, RotomBaseline};

@@ -3,7 +3,7 @@
 //! combined as `(u, v, |u−v|, u·v)` and classified by an MLP. The encoder
 //! is fine-tuned jointly with the head.
 
-use crate::common::{Matcher, MatchTask};
+use crate::common::{MatchTask, Matcher};
 use em_lm::tokenizer::{CLS, SEP};
 use em_lm::PretrainedLm;
 use em_nn::layers::Mlp;
@@ -32,7 +32,13 @@ impl SBertModel {
         let mut rng = StdRng::seed_from_u64(seed);
         let d = lm.encoder.cfg.d_model;
         let head = Mlp::new(&mut lm.store, "sbert.head", 4 * d, 2 * d, 2, &mut rng);
-        SBertModel { backbone, lm, head, threshold: 0.5, rng }
+        SBertModel {
+            backbone,
+            lm,
+            head,
+            threshold: 0.5,
+            rng,
+        }
     }
 
     /// Mean-pooled embedding of one side: `[CLS] side [SEP]` → mean of
@@ -42,7 +48,10 @@ impl SBertModel {
         framed.push(CLS);
         framed.extend_from_slice(&ids[..ids.len().min(self.lm.max_len() - 2)]);
         framed.push(SEP);
-        let h = self.lm.encoder.forward(tape, &self.lm.store, &framed, &mut self.rng);
+        let h = self
+            .lm
+            .encoder
+            .forward(tape, &self.lm.store, &framed, &mut self.rng);
         tape.mean_rows(h)
     }
 
@@ -167,7 +176,11 @@ pub struct SBertBaseline {
 impl SBertBaseline {
     /// Create the baseline with a training budget.
     pub fn new(cfg: TrainCfg, seed: u64) -> Self {
-        SBertBaseline { cfg, model: None, seed }
+        SBertBaseline {
+            cfg,
+            model: None,
+            seed,
+        }
     }
 }
 
@@ -206,8 +219,18 @@ mod tests {
     #[test]
     fn sbert_fits_and_predicts() {
         let (raw, encoded, backbone) = toy_task();
-        let task = MatchTask { raw: &raw, encoded: &encoded, backbone };
-        let mut m = SBertBaseline::new(TrainCfg { epochs: 2, ..Default::default() }, 6);
+        let task = MatchTask {
+            raw: &raw,
+            encoded: &encoded,
+            backbone,
+        };
+        let mut m = SBertBaseline::new(
+            TrainCfg {
+                epochs: 2,
+                ..Default::default()
+            },
+            6,
+        );
         let (scores, _) = crate::common::evaluate_matcher(&mut m, &task);
         assert!(scores.f1 >= 0.0 && scores.f1 <= 100.0);
     }

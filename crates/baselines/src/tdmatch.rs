@@ -14,7 +14,7 @@
 //! `TDmatch*` is the paper's supervised variant: an MLP over walk-derived
 //! record embeddings, trained on the low-resource labels.
 
-use crate::common::{Matcher, MatchTask};
+use crate::common::{MatchTask, Matcher};
 use em_data::blocking::record_tokens;
 use em_data::pair::GemDataset;
 use em_nn::layers::Mlp;
@@ -42,14 +42,12 @@ impl WalkGraph {
         let mut token_ids: HashMap<String, u32> = HashMap::new();
         let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n_left + n_right];
         let add_record = |node: usize,
-                              tokens: std::collections::HashSet<String>,
-                              neighbors: &mut Vec<Vec<u32>>,
-                              token_ids: &mut HashMap<String, u32>| {
+                          tokens: std::collections::HashSet<String>,
+                          neighbors: &mut Vec<Vec<u32>>,
+                          token_ids: &mut HashMap<String, u32>| {
             for t in tokens {
                 let next_id = (neighbors.len()) as u32;
-                let tid = *token_ids.entry(t).or_insert_with(|| {
-                    next_id
-                });
+                let tid = *token_ids.entry(t).or_insert_with(|| next_id);
                 if tid as usize == neighbors.len() {
                     neighbors.push(Vec::new());
                 }
@@ -58,7 +56,12 @@ impl WalkGraph {
             }
         };
         for (i, r) in ds.left.records.iter().enumerate() {
-            add_record(i, record_tokens(r, ds.left.format), &mut neighbors, &mut token_ids);
+            add_record(
+                i,
+                record_tokens(r, ds.left.format),
+                &mut neighbors,
+                &mut token_ids,
+            );
         }
         for (j, r) in ds.right.records.iter().enumerate() {
             add_record(
@@ -68,7 +71,11 @@ impl WalkGraph {
                 &mut token_ids,
             );
         }
-        WalkGraph { neighbors, n_left, n_right }
+        WalkGraph {
+            neighbors,
+            n_left,
+            n_right,
+        }
     }
 
     fn n_nodes(&self) -> usize {
@@ -258,8 +265,9 @@ impl Matcher for TDmatchStarBaseline {
         // record, projected to a fixed random basis (deterministic seed).
         let n = g.n_nodes();
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7D);
-        let proj =
-            Matrix::from_fn(n, self.embed_dim, |_, _| rng.gen_range(-1.0f32..1.0) / (n as f32).sqrt());
+        let proj = Matrix::from_fn(n, self.embed_dim, |_, _| {
+            rng.gen_range(-1.0f32..1.0) / (n as f32).sqrt()
+        });
         let embed = |p: &[f32]| -> Vec<f32> {
             let mut e = vec![0.0f32; self.embed_dim];
             for (row, &mass) in p.iter().enumerate() {
@@ -293,8 +301,14 @@ impl Matcher for TDmatchStarBaseline {
         // positives so the tiny head does not collapse onto the majority
         // class (same balancing as the LM methods' trainer).
         let mut store = ParamStore::new();
-        let head =
-            Mlp::new(&mut store, "tdstar.head", self.feature_dim(), self.embed_dim, 2, &mut rng);
+        let head = Mlp::new(
+            &mut store,
+            "tdstar.head",
+            self.feature_dim(),
+            self.embed_dim,
+            2,
+            &mut rng,
+        );
         let mut opt = AdamW::new(self.lr);
         let mut train: Vec<_> = task.raw.train.to_vec();
         let pos: Vec<_> = train.iter().filter(|lp| lp.label).cloned().collect();
@@ -381,18 +395,30 @@ mod tests {
     #[test]
     fn tdmatch_finds_true_matches_better_than_chance() {
         let (raw, encoded, backbone) = toy_task();
-        let task = MatchTask { raw: &raw, encoded: &encoded, backbone };
+        let task = MatchTask {
+            raw: &raw,
+            encoded: &encoded,
+            backbone,
+        };
         let mut m = TDmatchBaseline::new();
         let (scores, _) = evaluate_matcher(&mut m, &task);
         // Unsupervised reciprocal-top-1 on a dataset whose positives share
         // most tokens should beat the trivial all-negative classifier.
-        assert!(scores.f1 > 10.0, "TDmatch F1 suspiciously low: {}", scores.f1);
+        assert!(
+            scores.f1 > 10.0,
+            "TDmatch F1 suspiciously low: {}",
+            scores.f1
+        );
     }
 
     #[test]
     fn tdmatch_star_trains_head() {
         let (raw, encoded, backbone) = toy_task();
-        let task = MatchTask { raw: &raw, encoded: &encoded, backbone };
+        let task = MatchTask {
+            raw: &raw,
+            encoded: &encoded,
+            backbone,
+        };
         let mut m = TDmatchStarBaseline::new(5);
         let (scores, _) = evaluate_matcher(&mut m, &task);
         assert!(scores.f1 >= 0.0);

@@ -22,7 +22,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(experiment_seed() ^ 0xC0FFEE);
     let corpus_cfg = CorpusCfg::default();
     let corpus = build_pretrain_corpus(&ds, &RelationWords::default(), &corpus_cfg, &mut rng);
-    let pcfg = PretrainCfg { max_steps: 2500, ..Default::default() };
+    let pcfg = PretrainCfg {
+        max_steps: 2500,
+        ..Default::default()
+    };
 
     println!("\nAblation — token-identity head initialization (REL-HETER, {scale:?})\n");
     println!("{:>22}  {:>8}  {:>8}", "variant", "MLM loss", "zs AUC");
@@ -47,7 +50,13 @@ fn main() {
         }
         let mlm = MlmHead::new(&mut store, &encoder, &mut build_rng);
         let loss = pretrain_mlm(&mut store, &encoder, &mlm, &tokenizer, &corpus, &pcfg);
-        let lm = PretrainedLm { store, encoder, mlm, tokenizer, final_mlm_loss: loss };
+        let lm = PretrainedLm {
+            store,
+            encoder,
+            mlm,
+            tokenizer,
+            final_mlm_loss: loss,
+        };
 
         // Zero-shot AUC over the test pairs via the T1 hard surface form.
         let encoded = encode_dataset(&ds, &lm.tokenizer, &EncodeCfg::default());
@@ -62,7 +71,10 @@ fn main() {
             ids.push(em_lm::tokenizer::MASK);
             ids.push(em_lm::tokenizer::SEP);
             ids.truncate(lm.encoder.cfg.max_len);
-            let mask_pos = ids.iter().position(|&t| t == em_lm::tokenizer::MASK).unwrap_or(ids.len() - 1);
+            let mask_pos = ids
+                .iter()
+                .position(|&t| t == em_lm::tokenizer::MASK)
+                .unwrap_or(ids.len() - 1);
             let mut tape = Tape::inference();
             let h = lm.encoder.forward(&mut tape, &lm.store, &ids, &mut rng2);
             let hm = tape.slice_rows(h, mask_pos, 1);
@@ -95,7 +107,11 @@ fn main() {
             }
         }
         let auc = wins / (pos.len() * neg.len()).max(1) as f64;
-        let label = if with_identity { "identity head (ours)" } else { "plain Xavier" };
+        let label = if with_identity {
+            "identity head (ours)"
+        } else {
+            "plain Xavier"
+        };
         println!("{label:>22}  {loss:>8.3}  {auc:>8.3}");
     }
     println!();

@@ -7,8 +7,8 @@
 use em_bench::methods::Bench;
 use em_bench::{experiment_seed, table};
 use em_data::synth::{BenchmarkId, Scale};
-use promptem::pipeline::{run_encoded, PromptEmConfig};
 use promptem::encode::encode_dataset;
+use promptem::pipeline::{run_encoded, PromptEmConfig};
 
 fn main() {
     let scale = Scale::from_env();
@@ -16,7 +16,11 @@ fn main() {
         "\nAppendix F — TF-IDF summarization vs head truncation ({scale:?} scale, seed {})\n",
         experiment_seed()
     );
-    let datasets = [BenchmarkId::SemiTextC, BenchmarkId::SemiTextW, BenchmarkId::RelText];
+    let datasets = [
+        BenchmarkId::SemiTextC,
+        BenchmarkId::SemiTextW,
+        BenchmarkId::RelText,
+    ];
     let header = ["Dataset", "summarize F1", "truncate F1"];
     let mut rows = Vec::new();
     for id in datasets {

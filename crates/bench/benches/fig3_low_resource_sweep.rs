@@ -14,8 +14,13 @@ const RATES: [f64; 5] = [0.05, 0.10, 0.15, 0.20, 0.25];
 
 fn main() {
     let scale = Scale::from_env();
-    let methods =
-        [MethodId::PromptEm, MethodId::Bert, MethodId::Ditto, MethodId::Dader, MethodId::TDmatch];
+    let methods = [
+        MethodId::PromptEm,
+        MethodId::Bert,
+        MethodId::Ditto,
+        MethodId::Dader,
+        MethodId::TDmatch,
+    ];
     println!(
         "\nFigure 3 — F1 vs labeled-data rate ({scale:?} scale, seed {})\n",
         experiment_seed()

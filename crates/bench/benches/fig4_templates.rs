@@ -12,7 +12,10 @@ use em_lm::prompt::{LabelWords, PromptMode, TemplateId};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("\nFigure 4 — template choices ({scale:?} scale, seed {})\n", experiment_seed());
+    println!(
+        "\nFigure 4 — template choices ({scale:?} scale, seed {})\n",
+        experiment_seed()
+    );
     let variants = [
         ("T1 (continuous)", TemplateId::T1, PromptMode::Continuous),
         ("T1* (hard)", TemplateId::T1, PromptMode::Hard),

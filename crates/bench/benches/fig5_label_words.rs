@@ -12,7 +12,10 @@ use em_lm::prompt::{LabelWords, PromptMode, TemplateId};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("\nFigure 5 — label-word choices ({scale:?} scale, seed {})\n", experiment_seed());
+    println!(
+        "\nFigure 5 — label-word choices ({scale:?} scale, seed {})\n",
+        experiment_seed()
+    );
     let variants = [
         ("T1 designed", TemplateId::T1, LabelWords::designed()),
         ("T1 simple", TemplateId::T1, LabelWords::simple()),

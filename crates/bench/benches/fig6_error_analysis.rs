@@ -15,7 +15,7 @@ use promptem::trainer::TunableMatcher;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("\nFigure 6 — error analysis on SEMI-HETER ({scale:?} scale)\n", );
+    println!("\nFigure 6 — error analysis on SEMI-HETER ({scale:?} scale)\n",);
     let bench = Bench::prepare(BenchmarkId::SemiHeter, scale);
 
     // Quick sanity line so the analysis is in context.
@@ -23,9 +23,17 @@ fn main() {
     println!("PromptEM w/o LST on SEMI-HETER: {}\n", overall.scores);
 
     // Train a model and collect its test errors.
-    let mut model =
-        PromptEmModel::new(bench.backbone.clone(), PromptOpts::default(), experiment_seed());
-    model.train(&bench.encoded.train, &bench.encoded.valid, &bench.cfg.lst.teacher, None);
+    let mut model = PromptEmModel::new(
+        bench.backbone.clone(),
+        PromptOpts::default(),
+        experiment_seed(),
+    );
+    model.train(
+        &bench.encoded.train,
+        &bench.encoded.valid,
+        &bench.cfg.lst.teacher,
+        None,
+    );
     let pairs: Vec<_> = bench.encoded.test.iter().map(|e| e.pair.clone()).collect();
     let pred = model.predict(&pairs);
 

@@ -23,8 +23,11 @@ fn main() {
     let mut rows = Vec::new();
     for id in BenchmarkId::ALL {
         let bench = Bench::prepare(id, scale);
-        let mut teacher =
-            PromptEmModel::new(bench.backbone.clone(), PromptOpts::default(), experiment_seed());
+        let mut teacher = PromptEmModel::new(
+            bench.backbone.clone(),
+            PromptOpts::default(),
+            experiment_seed(),
+        );
         teacher.train(
             &bench.encoded.train,
             &bench.encoded.valid,
@@ -48,7 +51,10 @@ fn main() {
         }
         let conf_wrong = if nw > 0 { cw / nw as f64 } else { f64::NAN };
         let conf_right = if nr > 0 { cr / nr as f64 } else { f64::NAN };
-        eprintln!("[calib] {}: ECE {ece:.3} conf(wrong) {conf_wrong:.3}", id.name());
+        eprintln!(
+            "[calib] {}: ECE {ece:.3} conf(wrong) {conf_wrong:.3}",
+            id.name()
+        );
         rows.push(vec![
             id.name().to_string(),
             format!("{ece:.3}"),

@@ -21,8 +21,12 @@ fn bench_serialize(c: &mut Criterion) {
 
 fn bench_summarize(c: &mut Criterion) {
     let ds = build(BenchmarkId::SemiTextW, Scale::Quick, 2);
-    let texts: Vec<String> =
-        ds.right.records.iter().map(|r| serialize(r, ds.right.format)).collect();
+    let texts: Vec<String> = ds
+        .right
+        .records
+        .iter()
+        .map(|r| serialize(r, ds.right.format))
+        .collect();
     let tfidf = TfIdf::fit(texts.iter().map(|s| s.as_str()));
     let long = texts.iter().max_by_key(|t| t.len()).unwrap().clone();
     c.bench_function("tfidf_summarize_long_text", |b| {
@@ -37,7 +41,10 @@ fn tiny_lm() -> PretrainedLm {
     PretrainedLm::pretrain(
         &corpus,
         LmConfig::tiny,
-        &PretrainCfg { max_steps: 30, ..Default::default() },
+        &PretrainCfg {
+            max_steps: 30,
+            ..Default::default()
+        },
         3,
     )
 }
@@ -53,7 +60,9 @@ fn bench_tokenize(c: &mut Criterion) {
 fn bench_matmul(c: &mut Criterion) {
     let a = Matrix::from_fn(48, 32, |r, cc| ((r * 31 + cc) as f32).sin());
     let bm = Matrix::from_fn(32, 32, |r, cc| ((r + cc * 7) as f32).cos());
-    c.bench_function("matmul_48x32x32", |b| b.iter(|| black_box(a.matmul(black_box(&bm)))));
+    c.bench_function("matmul_48x32x32", |b| {
+        b.iter(|| black_box(a.matmul(black_box(&bm))))
+    });
 }
 
 fn bench_encoder_forward(c: &mut Criterion) {
@@ -63,7 +72,10 @@ fn bench_encoder_forward(c: &mut Criterion) {
     c.bench_function("encoder_forward_seq40", |b| {
         b.iter(|| {
             let mut tape = Tape::inference();
-            black_box(lm.encoder.forward(&mut tape, &lm.store, black_box(&ids), &mut rng));
+            black_box(
+                lm.encoder
+                    .forward(&mut tape, &lm.store, black_box(&ids), &mut rng),
+            );
         })
     });
 }
@@ -90,7 +102,7 @@ fn bench_train_step(c: &mut Criterion) {
 }
 
 fn bench_rwr_step(c: &mut Criterion) {
-    use em_baselines::{Matcher, MatchTask, TDmatchBaseline};
+    use em_baselines::{MatchTask, Matcher, TDmatchBaseline};
     use promptem::pipeline::{encode_with, pretrain_backbone, PromptEmConfig};
     let ds = build(BenchmarkId::RelHeter, Scale::Quick, 5);
     let mut cfg = PromptEmConfig::default();
@@ -101,7 +113,11 @@ fn bench_rwr_step(c: &mut Criterion) {
     let encoded = encode_with(&ds, &backbone, &cfg);
     c.bench_function("tdmatch_full_fit", |b| {
         b.iter(|| {
-            let task = MatchTask { raw: &ds, encoded: &encoded, backbone: backbone.clone() };
+            let task = MatchTask {
+                raw: &ds,
+                encoded: &encoded,
+                backbone: backbone.clone(),
+            };
             let mut m = TDmatchBaseline::new();
             m.fit(&task);
             black_box(m.predict_test(&task))

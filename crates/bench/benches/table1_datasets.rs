@@ -10,10 +10,12 @@ use em_data::synth::{build, BenchmarkId, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("\nTable 1 — dataset statistics ({scale:?} scale, seed {})\n", experiment_seed());
+    println!(
+        "\nTable 1 — dataset statistics ({scale:?} scale, seed {})\n",
+        experiment_seed()
+    );
     let header = [
-        "Dataset", "Domain", "L#row", "L#attr", "R#row", "R#attr", "All", "rate", "Train",
-        "pos%",
+        "Dataset", "Domain", "L#row", "L#attr", "R#row", "R#attr", "All", "rate", "Train", "pos%",
     ];
     let mut rows = Vec::new();
     for id in BenchmarkId::ALL {

@@ -26,7 +26,10 @@ fn main() {
     }
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
 
-    let benches: Vec<Bench> = datasets.iter().map(|&id| Bench::prepare(id, scale)).collect();
+    let benches: Vec<Bench> = datasets
+        .iter()
+        .map(|&id| Bench::prepare(id, scale))
+        .collect();
     let mut rows = Vec::new();
     for method in methods {
         let mut row = vec![method.name().to_string()];
@@ -35,7 +38,12 @@ fn main() {
             row.push(table::pct(r.scores.precision));
             row.push(table::pct(r.scores.recall));
             row.push(table::pct(r.scores.f1));
-            eprintln!("[table2] {} / {}: {}", method.name(), bench.raw.name, r.scores);
+            eprintln!(
+                "[table2] {} / {}: {}",
+                method.name(),
+                bench.raw.name,
+                r.scores
+            );
         }
         rows.push(row);
     }
@@ -49,19 +57,27 @@ fn dataset_filter() -> Vec<BenchmarkId> {
     match std::env::var("PROMPTEM_DATASETS") {
         Ok(s) => BenchmarkId::ALL
             .into_iter()
-            .filter(|id| s.split(',').any(|w| w.trim().eq_ignore_ascii_case(id.name())))
+            .filter(|id| {
+                s.split(',')
+                    .any(|w| w.trim().eq_ignore_ascii_case(id.name()))
+            })
             .collect(),
         Err(_) => BenchmarkId::ALL.to_vec(),
     }
 }
 
 fn method_filter() -> Vec<MethodId> {
-    let all: Vec<MethodId> =
-        MethodId::MAIN.into_iter().chain(MethodId::ABLATIONS).collect();
+    let all: Vec<MethodId> = MethodId::MAIN
+        .into_iter()
+        .chain(MethodId::ABLATIONS)
+        .collect();
     match std::env::var("PROMPTEM_METHODS") {
         Ok(s) => all
             .into_iter()
-            .filter(|m| s.split(',').any(|w| w.trim().eq_ignore_ascii_case(m.name())))
+            .filter(|m| {
+                s.split(',')
+                    .any(|w| w.trim().eq_ignore_ascii_case(m.name()))
+            })
             .collect(),
         Err(_) => all,
     }

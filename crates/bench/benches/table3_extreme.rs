@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    em_bench::harness::init_obs("table3_extreme");
     let scale = Scale::from_env();
     // The paper fixes 80 labels at full benchmark sizes; keep 80 at full
     // scale and shrink proportionally for the quick harness.
@@ -49,11 +50,17 @@ fn main() {
             row.push(table::pct(r.scores.precision));
             row.push(table::pct(r.scores.recall));
             row.push(table::pct(r.scores.f1));
-            eprintln!("[table3] {} / {}: {}", method.name(), bench.raw.name, r.scores);
+            em_obs::info(format!(
+                "[table3] {} / {}: {}",
+                method.name(),
+                bench.raw.name,
+                r.scores
+            ));
         }
         rows.push(row);
     }
     println!("{}", table::render(&header_refs, &rows));
+    em_obs::shutdown();
     println!("expected shape (paper Table 3): PromptEM the most robust — best F1 on");
     println!("most datasets; supervised baselines degrade sharply; TDmatch unchanged");
     println!("(it never used labels).");

@@ -30,7 +30,11 @@ fn main() {
     ];
     let mut header = vec!["Dataset".to_string()];
     for m in methods {
-        let label = if m == MethodId::PromptEmNoDdp { "PromptEM-" } else { m.name() };
+        let label = if m == MethodId::PromptEmNoDdp {
+            "PromptEM-"
+        } else {
+            m.name()
+        };
         header.push(format!("{label} T."));
         header.push(format!("{label} M."));
     }

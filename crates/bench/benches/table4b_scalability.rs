@@ -7,10 +7,10 @@
 //!
 //! Run: `cargo bench -p em-bench --bench table4b_scalability`
 
+use em_baselines::{evaluate_matcher, TDmatchBaseline};
 use em_bench::alloc::{format_bytes, peak_bytes, reset_peak, CountingAllocator};
 use em_bench::methods::Bench;
 use em_bench::{experiment_seed, table};
-use em_baselines::{evaluate_matcher, TDmatchBaseline};
 use em_data::pair::GemDataset;
 use em_data::record::Table;
 use em_data::synth::{build, BenchmarkId, Scale};
@@ -40,7 +40,11 @@ fn grow(ds: &GemDataset, factor: usize, rng: &mut StdRng) -> GemDataset {
         extra.shuffle(rng);
         left.records.extend(extra);
     }
-    GemDataset { left, right, ..ds.clone() }
+    GemDataset {
+        left,
+        right,
+        ..ds.clone()
+    }
 }
 
 fn main() {
@@ -51,8 +55,13 @@ fn main() {
     );
     let base = build(BenchmarkId::SemiRel, scale, experiment_seed());
     let bench = Bench::prepare(BenchmarkId::SemiRel, scale);
-    let header =
-        ["rows/side", "TDmatch T.", "TDmatch M.", "PromptEM T.", "PromptEM M."];
+    let header = [
+        "rows/side",
+        "TDmatch T.",
+        "TDmatch M.",
+        "PromptEM T.",
+        "PromptEM M.",
+    ];
     let mut rows = Vec::new();
     let mut rng = StdRng::seed_from_u64(experiment_seed() ^ 0x5CA1E);
     for factor in [1usize, 2, 4, 8] {

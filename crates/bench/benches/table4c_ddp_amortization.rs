@@ -17,32 +17,44 @@ use std::time::Instant;
 
 fn main() {
     let scale = Scale::from_env();
-    println!(
-        "\nTable 4c — DDP time delta vs student epoch budget (SEMI-HOMO, {scale:?} scale)\n",
-
-    );
+    println!("\nTable 4c — DDP time delta vs student epoch budget (SEMI-HOMO, {scale:?} scale)\n",);
     let bench = Bench::prepare(BenchmarkId::SemiHomo, scale);
     // Student training set = labels + pseudo-labels; emulate the size by
     // training on train ∪ (a slice of unlabeled pseudo-labeled as negative —
     // the label content is irrelevant for timing).
     let mut train = bench.encoded.train.clone();
-    for p in bench.encoded.unlabeled.iter().take(bench.encoded.train.len()) {
-        train.push(promptem::encode::Example { pair: p.clone(), label: false });
+    for p in bench
+        .encoded
+        .unlabeled
+        .iter()
+        .take(bench.encoded.train.len())
+    {
+        train.push(promptem::encode::Example {
+            pair: p.clone(),
+            label: false,
+        });
     }
-    let prune = PruneCfg { every: 3, e_r: 0.2, passes: 5 };
+    let prune = PruneCfg {
+        every: 3,
+        e_r: 0.2,
+        passes: 5,
+    };
 
     let header = ["epochs", "no DDP", "with DDP", "Δ time", "pruned"];
     let mut rows = Vec::new();
     for epochs in [8usize, 16, 32] {
-        let cfg = TrainCfg { epochs, best_on_valid: false, ..Default::default() };
+        let cfg = TrainCfg {
+            epochs,
+            best_on_valid: false,
+            ..Default::default()
+        };
 
         let mut plain = PromptEmModel::new(bench.backbone.clone(), PromptOpts::default(), 1);
         let t0 = Instant::now();
         plain.train(&train, &bench.encoded.valid, &cfg, None);
         let t_plain = t0.elapsed().as_secs_f64();
 
-        let mut pruned_model =
-            PromptEmModel::new(bench.backbone.clone(), PromptOpts::default(), 1);
+        let mut pruned_model = PromptEmModel::new(bench.backbone.clone(), PromptOpts::default(), 1);
         let t0 = Instant::now();
         let report = pruned_model.train(&train, &bench.encoded.valid, &cfg, Some(&prune));
         let t_ddp = t0.elapsed().as_secs_f64();

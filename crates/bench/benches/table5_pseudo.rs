@@ -9,9 +9,7 @@ use em_bench::methods::Bench;
 use em_bench::{experiment_seed, table};
 use em_data::synth::{BenchmarkId, Scale};
 use promptem::model::{PromptEmModel, PromptOpts};
-use promptem::pseudo::{
-    pseudo_label_quality, select_pseudo_labels, PseudoCfg, SelectionStrategy,
-};
+use promptem::pseudo::{pseudo_label_quality, select_pseudo_labels, PseudoCfg, SelectionStrategy};
 use promptem::trainer::TunableMatcher;
 
 fn main() {
@@ -37,8 +35,11 @@ fn main() {
     for id in BenchmarkId::ALL {
         let bench = Bench::prepare(id, scale);
         // Train the teacher exactly as LST does (Algorithm 1, lines 2-4).
-        let mut teacher =
-            PromptEmModel::new(bench.backbone.clone(), PromptOpts::default(), experiment_seed());
+        let mut teacher = PromptEmModel::new(
+            bench.backbone.clone(),
+            PromptOpts::default(),
+            experiment_seed(),
+        );
         teacher.train(
             &bench.encoded.train,
             &bench.encoded.valid,

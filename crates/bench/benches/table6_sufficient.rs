@@ -14,8 +14,10 @@ fn main() {
         experiment_seed()
     );
     // The appendix reports the nine methods plus the w/o PT ablation.
-    let methods: Vec<MethodId> =
-        MethodId::MAIN.into_iter().chain([MethodId::PromptEmNoPt]).collect();
+    let methods: Vec<MethodId> = MethodId::MAIN
+        .into_iter()
+        .chain([MethodId::PromptEmNoPt])
+        .collect();
 
     let datasets: Vec<BenchmarkId> = BenchmarkId::ALL.to_vec();
     let mut header = vec!["Method".to_string()];
@@ -42,7 +44,12 @@ fn main() {
             row.push(table::pct(r.scores.precision));
             row.push(table::pct(r.scores.recall));
             row.push(table::pct(r.scores.f1));
-            eprintln!("[table6] {} / {}: {}", method.name(), bench.raw.name, r.scores);
+            eprintln!(
+                "[table6] {} / {}: {}",
+                method.name(),
+                bench.raw.name,
+                r.scores
+            );
         }
         rows.push(row);
     }

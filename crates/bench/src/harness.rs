@@ -1,4 +1,5 @@
-//! Backbone caching and shared experiment configuration.
+//! Backbone caching, shared experiment configuration, and telemetry wiring
+//! for the bench binaries.
 
 use em_data::pair::GemDataset;
 use em_data::synth::Scale;
@@ -9,8 +10,36 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 /// The seed every experiment derives from (override with `PROMPTEM_SEED`).
+/// An unparsable override falls back to 42 *loudly*, via a warn event.
 pub fn experiment_seed() -> u64 {
-    std::env::var("PROMPTEM_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+    match std::env::var("PROMPTEM_SEED") {
+        Err(_) => 42,
+        Ok(raw) => match raw.trim().parse() {
+            Ok(seed) => seed,
+            Err(_) => {
+                em_obs::warn(format!(
+                    "PROMPTEM_SEED={raw:?} is not a u64; using default seed 42"
+                ));
+                42
+            }
+        },
+    }
+}
+
+/// Wire telemetry for a bench binary: stderr sink from `PROMPTEM_LOG`
+/// (default `warn` so misconfiguration warnings surface), optional JSONL
+/// trace from `PROMPTEM_METRICS_OUT` (a `.jsonl` path; `{name}` in the
+/// value expands to the table name), and the run seed on every event.
+pub fn init_obs(name: &str) {
+    em_obs::init_stderr(Some(em_obs::Level::Warn));
+    em_obs::init_from_env();
+    em_obs::set_run_seed(experiment_seed());
+    if let Ok(raw) = std::env::var("PROMPTEM_METRICS_OUT") {
+        let path = PathBuf::from(raw.replace("{name}", name));
+        if let Err(e) = em_obs::init_jsonl(&path) {
+            em_obs::warn(format!("cannot open metrics file {}: {e}", path.display()));
+        }
+    }
 }
 
 /// The default PromptEM configuration at a given scale.
@@ -34,7 +63,12 @@ fn cache_dir() -> PathBuf {
     let dir = std::env::var("PROMPTEM_CACHE")
         .map(PathBuf::from)
         .unwrap_or_else(|_| std::env::temp_dir().join("promptem-backbones"));
-    std::fs::create_dir_all(&dir).ok();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        em_obs::warn(format!(
+            "cannot create backbone cache dir {}: {e}; caching will fail",
+            dir.display()
+        ));
+    }
     dir
 }
 
@@ -56,7 +90,38 @@ pub fn backbone_for(ds: &GemDataset, scale: Scale, cfg: &PromptEmConfig) -> Arc<
     }
     let backbone = pretrain_backbone(ds, cfg);
     if let Err(e) = em_lm::io::save_model(&backbone, &path) {
-        eprintln!("warning: failed to cache backbone at {}: {e}", path.display());
+        em_obs::warn(format!(
+            "failed to cache backbone at {}: {e}",
+            path.display()
+        ));
     }
     backbone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_obs::EventKind;
+
+    // Env vars are process-global, so the two seed tests share one #[test]
+    // to avoid racing each other under the parallel test runner.
+    #[test]
+    fn experiment_seed_parses_and_warns_on_garbage() {
+        std::env::set_var("PROMPTEM_SEED", "1234");
+        let (seed, events) = em_obs::capture(experiment_seed);
+        assert_eq!(seed, 1234);
+        assert!(events.is_empty(), "clean parse must not warn: {events:?}");
+
+        std::env::set_var("PROMPTEM_SEED", "not-a-number");
+        let (seed, events) = em_obs::capture(experiment_seed);
+        assert_eq!(seed, 42, "unparsable seed must fall back to 42");
+        assert!(
+            events.iter().any(|e| matches!(
+                &e.kind,
+                EventKind::Message { level: em_obs::Level::Warn, text } if text.contains("PROMPTEM_SEED")
+            )),
+            "fallback must emit a warning: {events:?}"
+        );
+        std::env::remove_var("PROMPTEM_SEED");
+    }
 }

@@ -9,4 +9,4 @@ pub mod harness;
 pub mod methods;
 pub mod table;
 
-pub use harness::{backbone_for, default_config, experiment_seed};
+pub use harness::{backbone_for, default_config, experiment_seed, init_obs};

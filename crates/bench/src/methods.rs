@@ -3,15 +3,15 @@
 //! prepared benchmark context.
 
 use crate::harness::{backbone_for, default_config, experiment_seed};
+use em_baselines::{
+    evaluate_matcher, BertBaseline, DaderBaseline, DeepMatcherBaseline, DittoBaseline, MatchTask,
+    RotomBaseline, SBertBaseline, TDmatchBaseline, TDmatchStarBaseline,
+};
 use em_data::pair::GemDataset;
 use em_data::synth::{build, BenchmarkId, Scale};
 use em_data::PrfScores;
 use em_lm::prompt::{LabelWords, PromptMode, TemplateId};
 use em_lm::PretrainedLm;
-use em_baselines::{
-    evaluate_matcher, BertBaseline, DaderBaseline, DeepMatcherBaseline, DittoBaseline,
-    MatchTask, RotomBaseline, SBertBaseline, TDmatchBaseline, TDmatchStarBaseline,
-};
 use promptem::encode::EncodedDataset;
 use promptem::pipeline::{encode_with, run_encoded, PromptEmConfig, RunResult};
 use promptem::trainer::TrainCfg;
@@ -62,8 +62,11 @@ impl MethodId {
     ];
 
     /// The ablation rows of Table 2.
-    pub const ABLATIONS: [MethodId; 3] =
-        [MethodId::PromptEmNoPt, MethodId::PromptEmNoLst, MethodId::PromptEmNoDdp];
+    pub const ABLATIONS: [MethodId; 3] = [
+        MethodId::PromptEmNoPt,
+        MethodId::PromptEmNoLst,
+        MethodId::PromptEmNoDdp,
+    ];
 
     /// Display name used in the tables.
     pub fn name(&self) -> &'static str {
@@ -131,11 +134,22 @@ impl Bench {
         let base = build(id, scale, experiment_seed());
         let backbone = backbone_for(&base, scale, &cfg);
         let encoded = encode_with(&raw, &backbone, &cfg);
-        Bench { id, scale, raw, encoded, backbone, cfg }
+        Bench {
+            id,
+            scale,
+            raw,
+            encoded,
+            backbone,
+            cfg,
+        }
     }
 
     fn task(&self) -> MatchTask<'_> {
-        MatchTask { raw: &self.raw, encoded: &self.encoded, backbone: self.backbone.clone() }
+        MatchTask {
+            raw: &self.raw,
+            encoded: &self.encoded,
+            backbone: self.backbone.clone(),
+        }
     }
 
     fn train_cfg(&self) -> TrainCfg {
@@ -154,6 +168,7 @@ pub struct MethodResult {
 
 /// Run one method on one prepared benchmark.
 pub fn run_method(method: MethodId, bench: &Bench) -> MethodResult {
+    let _span = em_obs::span_with("method", format!("{}/{}", method.name(), bench.raw.name));
     let seed = experiment_seed();
     match method {
         MethodId::DeepMatcher => {
@@ -177,7 +192,11 @@ pub fn run_method(method: MethodId, bench: &Bench) -> MethodResult {
             wrap(evaluate_matcher(&mut m, &bench.task()))
         }
         MethodId::Dader => {
-            let source = build(dader_source(bench.id), bench.scale, experiment_seed() ^ 0x50);
+            let source = build(
+                dader_source(bench.id),
+                bench.scale,
+                experiment_seed() ^ 0x50,
+            );
             let mut m = DaderBaseline::new(bench.train_cfg(), source, seed);
             wrap(evaluate_matcher(&mut m, &bench.task()))
         }
@@ -205,7 +224,10 @@ fn prompt_variant(bench: &Bench, tweak: impl FnOnce(&mut PromptEmConfig)) -> Met
     tweak(&mut cfg);
     let start = Instant::now();
     let result: RunResult = run_encoded(bench.backbone.clone(), &bench.encoded, &cfg);
-    MethodResult { scores: result.scores, fit_secs: start.elapsed().as_secs_f64() }
+    MethodResult {
+        scores: result.scores,
+        fit_secs: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// A PromptEM variant with explicit template/label-word choices (§5.5,

@@ -55,7 +55,10 @@ mod tests {
     fn render_aligns_columns() {
         let s = render(
             &["method", "F1"],
-            &[vec!["PromptEM".into(), "94.2".into()], vec!["BERT".into(), "91.6".into()]],
+            &[
+                vec!["PromptEM".into(), "94.2".into()],
+                vec!["BERT".into(), "91.6".into()],
+            ],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);

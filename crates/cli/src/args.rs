@@ -42,7 +42,8 @@ impl Args {
     }
 
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
     pub fn switch(&self, name: &str) -> bool {
@@ -51,7 +52,9 @@ impl Args {
 
     pub fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
-            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v}")),
             None => Ok(default),
         }
     }

@@ -2,6 +2,18 @@
 
 use crate::run_cli;
 use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// The em-obs sinks `run_cli` wires up are process-global, so CLI tests
+/// must not run concurrently — one test's trace file would swallow another
+/// test's events. Every test in this module holds this lock.
+static CLI_LOCK: Mutex<()> = Mutex::new(());
+
+pub(crate) fn lock() -> std::sync::MutexGuard<'static, ()> {
+    CLI_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 fn write_fixture(dir: &PathBuf) -> (String, String, String) {
     std::fs::create_dir_all(dir).unwrap();
@@ -38,13 +50,22 @@ fn write_fixture(dir: &PathBuf) -> (String, String, String) {
 
 #[test]
 fn stats_command_works_on_real_files() {
+    let _g = lock();
     let dir = std::env::temp_dir().join("promptem_cli_test_stats");
     let (left, right, _) = write_fixture(&dir);
-    run_cli(vec!["stats".into(), "--left".into(), left, "--right".into(), right]).unwrap();
+    run_cli(vec![
+        "stats".into(),
+        "--left".into(),
+        left,
+        "--right".into(),
+        right,
+    ])
+    .unwrap();
 }
 
 #[test]
 fn match_command_end_to_end_with_tiny_budget() {
+    let _g = lock();
     let dir = std::env::temp_dir().join("promptem_cli_test_match");
     let (left, right, labels) = write_fixture(&dir);
     let out = dir.join("pred.csv");
@@ -77,7 +98,121 @@ fn match_command_end_to_end_with_tiny_budget() {
 }
 
 #[test]
+fn match_with_metrics_out_writes_a_structured_trace() {
+    use em_obs::{Event, EventKind};
+
+    let _g = lock();
+    let dir = std::env::temp_dir().join("promptem_cli_test_trace");
+    let (left, right, labels) = write_fixture(&dir);
+    let trace = dir.join("trace.jsonl");
+    run_cli(vec![
+        "match".into(),
+        "--left".into(),
+        left,
+        "--right".into(),
+        right,
+        "--labels".into(),
+        labels,
+        "--metrics-out".into(),
+        trace.to_string_lossy().into_owned(),
+        "--trace".into(),
+        "off".into(),
+        "--seed".into(),
+        "777".into(),
+        "--pretrain-steps".into(),
+        "40".into(),
+        "--epochs".into(),
+        "2".into(),
+    ])
+    .unwrap();
+
+    let body = std::fs::read_to_string(&trace).unwrap();
+    let events: Vec<Event> = body
+        .lines()
+        .map(|l| Event::parse(l).unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    assert!(!events.is_empty(), "trace file is empty");
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "seq not monotonic");
+    }
+    assert!(
+        events.iter().all(|e| e.seed == 777),
+        "events missing the run seed"
+    );
+
+    // The nested pipeline spans, in order: the CLI's own `match` span wraps
+    // pretrain → encode → tune → lst (teacher/student inside).
+    let open = |name: &str| -> (u64, u64, Option<u64>) {
+        events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::SpanOpen {
+                    id,
+                    name: n,
+                    parent,
+                    ..
+                } if n == name => Some((*id, e.seq, *parent)),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("no span_open for '{name}'"))
+    };
+    let (match_id, match_seq, match_parent) = open("match");
+    assert_eq!(match_parent, None);
+    let (_, pretrain_seq, pretrain_parent) = open("pretrain");
+    assert_eq!(pretrain_parent, Some(match_id));
+    let (tune_id, tune_seq, tune_parent) = open("tune");
+    assert_eq!(tune_parent, Some(match_id));
+    let (_, lst_seq, lst_parent) = open("lst");
+    assert_eq!(lst_parent, Some(tune_id));
+    let (teacher_id, _, _) = open("teacher");
+    let (student_id, _, _) = open("student");
+    assert!(match_seq < pretrain_seq && pretrain_seq < tune_seq && tune_seq < lst_seq);
+
+    // LST ran: pseudo-labels were selected.
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::PseudoSelect { .. })),
+        "LST run produced no pseudo_select event"
+    );
+
+    // Per-epoch events under both teacher and student, carrying loss and
+    // validation F1.
+    for (span, label) in [(teacher_id, "teacher"), (student_id, "student")] {
+        let epochs: Vec<&Event> = events
+            .iter()
+            .filter(|e| e.span == Some(span) && matches!(e.kind, EventKind::Epoch { .. }))
+            .collect();
+        assert_eq!(epochs.len(), 2, "{label} must emit one event per epoch");
+        for e in epochs {
+            match &e.kind {
+                EventKind::Epoch {
+                    train_loss,
+                    valid_f1,
+                    ..
+                } => {
+                    assert!(train_loss.is_finite(), "{label} epoch loss not finite");
+                    let f1 = valid_f1.expect("epoch event missing valid F1");
+                    assert!((0.0..=100.0).contains(&f1), "bad F1 {f1}");
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    // Spans closed with plausible timing.
+    assert!(
+        events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::SpanClose { id, wall_us, .. } if *id == match_id && *wall_us > 0
+        )),
+        "match span never closed"
+    );
+}
+
+#[test]
 fn export_writes_all_files() {
+    let _g = lock();
     let dir = std::env::temp_dir().join("promptem_cli_test_export");
     std::fs::remove_dir_all(&dir).ok();
     run_cli(vec![
@@ -88,7 +223,13 @@ fn export_writes_all_files() {
         dir.to_string_lossy().into_owned(),
     ])
     .unwrap();
-    for f in ["left.csv", "right.csv", "train.csv", "valid.csv", "test.csv"] {
+    for f in [
+        "left.csv",
+        "right.csv",
+        "train.csv",
+        "valid.csv",
+        "test.csv",
+    ] {
         assert!(dir.join(f).exists(), "{f} missing");
     }
     // The exported tables re-ingest cleanly.
@@ -99,6 +240,7 @@ fn export_writes_all_files() {
 
 #[test]
 fn match_rejects_too_few_labels() {
+    let _g = lock();
     let dir = std::env::temp_dir().join("promptem_cli_test_few");
     let (left, right, _) = write_fixture(&dir);
     let labels = dir.join("few.csv");

@@ -50,6 +50,11 @@ const USAGE: &str = "usage:
                  [--pretrain-steps <n>] [--epochs <n>]
   promptem export --benchmark <name> --dir <path> [--seed <u64>] [--full]
 
+global flags:
+  --trace <off|error|warn|info|debug|trace>   stderr verbosity (default info;
+                                              PROMPTEM_LOG overrides default)
+  --metrics-out <path.jsonl>                  write a structured JSONL trace
+
 file formats by extension: .csv (relational), .jsonl/.ndjson (semi-structured),
 anything else (one textual record per line).
 benchmark names: REL-HETER SEMI-HOMO SEMI-HETER SEMI-REL SEMI-TEXT-c
@@ -57,13 +62,37 @@ SEMI-TEXT-w REL-TEXT GEO-HETER";
 
 fn run_cli(raw: Vec<String>) -> Result<(), String> {
     let args = Args::parse(raw)?;
-    match args.positional.first().map(|s| s.as_str()) {
+    init_telemetry(&args)?;
+    let result = match args.positional.first().map(|s| s.as_str()) {
         Some("stats") => cmd_stats(&args),
         Some("match") => cmd_match(&args),
         Some("export") => cmd_export(&args),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("no command given".into()),
+    };
+    em_obs::shutdown();
+    result
+}
+
+/// Wire the em-obs sinks: `--trace` (falling back to `PROMPTEM_LOG`, then
+/// to `info` so progress messages stay visible by default) and
+/// `--metrics-out` for the structured JSONL trace.
+fn init_telemetry(args: &Args) -> Result<(), String> {
+    let default = Some(em_obs::Level::Info);
+    let level = match args.get("trace") {
+        Some(raw) => em_obs::parse_filter(raw, default).map_err(|e| format!("--trace: {e}"))?,
+        None => match std::env::var("PROMPTEM_LOG") {
+            Ok(raw) => {
+                em_obs::parse_filter(&raw, default).map_err(|e| format!("PROMPTEM_LOG: {e}"))?
+            }
+            Err(_) => default,
+        },
+    };
+    em_obs::init_stderr(level);
+    if let Some(path) = args.get("metrics-out") {
+        em_obs::init_jsonl(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
     }
+    Ok(())
 }
 
 fn load_table(path: &str, name: &str) -> Result<Table, String> {
@@ -91,7 +120,10 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     let index = TokenIndex::build(&right.records, right.format);
     let mut candidates = 0usize;
     for r in &left.records {
-        candidates += index.candidates(&record_tokens(r, left.format), 2, None).len().min(10);
+        candidates += index
+            .candidates(&record_tokens(r, left.format), 2, None)
+            .len()
+            .min(10);
     }
     println!("token blocker: ~{candidates} candidate pairs (top-10 per left record)");
     Ok(())
@@ -105,7 +137,10 @@ fn cmd_match(args: &Args) -> Result<(), String> {
         std::fs::read_to_string(labels_path).map_err(|e| format!("{labels_path}: {e}"))?;
     let labeled = parse_labels(&labels_body, left.len(), right.len())?;
     if labeled.len() < 8 {
-        return Err(format!("need at least 8 labeled pairs, found {}", labeled.len()));
+        return Err(format!(
+            "need at least 8 labeled pairs, found {}",
+            labeled.len()
+        ));
     }
 
     let seed: u64 = args.get_parse("seed", 42)?;
@@ -127,12 +162,18 @@ fn cmd_match(args: &Args) -> Result<(), String> {
         .map(|lp| (lp.pair.left, lp.pair.right))
         .collect();
     for (i, r) in left.records.iter().enumerate() {
-        for (j, _) in index.candidates(&record_tokens(r, left.format), 3, None).into_iter().take(2)
+        for (j, _) in index
+            .candidates(&record_tokens(r, left.format), 3, None)
+            .into_iter()
+            .take(2)
         {
             if !known.contains(&(i, j)) {
                 // Unknown gold label: recorded as negative, but the gold is
                 // only used for audit metrics the CLI does not print.
-                unlabeled.push(LabeledPair { pair: Pair { left: i, right: j }, label: false });
+                unlabeled.push(LabeledPair {
+                    pair: Pair { left: i, right: j },
+                    label: false,
+                });
             }
         }
     }
@@ -152,8 +193,10 @@ fn cmd_match(args: &Args) -> Result<(), String> {
         rate,
     };
 
-    let mut cfg = PromptEmConfig::default();
-    cfg.seed = seed;
+    let mut cfg = PromptEmConfig {
+        seed,
+        ..Default::default()
+    };
     cfg.prompt.template = match args.get("template") {
         Some("t1") => TemplateId::T1,
         Some("t2") | None => TemplateId::T2,
@@ -170,14 +213,18 @@ fn cmd_match(args: &Args) -> Result<(), String> {
     cfg.lst.teacher.epochs = args.get_parse("epochs", cfg.lst.teacher.epochs)?;
     cfg.lst.student.epochs = args.get_parse("epochs", cfg.lst.student.epochs)?;
 
-    eprintln!(
+    em_obs::set_run_seed(seed);
+    em_obs::info(format!(
         "training on {} labels ({} valid / {} test held out, {} unlabeled)...",
         ds.train.len(),
         ds.valid.len(),
         ds.test.len(),
         ds.unlabeled.len()
-    );
-    let result = run(&ds, &cfg);
+    ));
+    let result = {
+        let _span = em_obs::span_with("match", name.clone());
+        run(&ds, &cfg)
+    };
     println!("test scores: {}", result.scores);
     println!(
         "pretrain {:.1}s, tune {:.1}s, pseudo-labels {:?}, pruned {}",
@@ -196,7 +243,7 @@ fn cmd_match(args: &Args) -> Result<(), String> {
             ));
         }
         std::fs::write(out_path, out).map_err(|e| format!("{out_path}: {e}"))?;
-        eprintln!("wrote {out_path}");
+        em_obs::info(format!("wrote {out_path}"));
     }
     Ok(())
 }
@@ -213,18 +260,28 @@ fn cmd_export(args: &Args) -> Result<(), String> {
         .ok_or_else(|| format!("unknown benchmark '{name}'"))?;
     let dir = std::path::PathBuf::from(args.require("dir")?);
     std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-    let scale = if args.switch("full") { Scale::Full } else { Scale::Quick };
+    let scale = if args.switch("full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
     let seed: u64 = args.get_parse("seed", 42)?;
     let ds = build(id, scale, seed);
 
     let write = |file: String, body: String| -> Result<(), String> {
         let path = dir.join(file);
         std::fs::write(&path, body).map_err(|e| format!("{}: {e}", path.display()))?;
-        eprintln!("wrote {}", path.display());
+        em_obs::info(format!("wrote {}", path.display()));
         Ok(())
     };
-    write(format!("left.{}", extension_for(ds.left.format)), table_to_string(&ds.left))?;
-    write(format!("right.{}", extension_for(ds.right.format)), table_to_string(&ds.right))?;
+    write(
+        format!("left.{}", extension_for(ds.left.format)),
+        table_to_string(&ds.left),
+    )?;
+    write(
+        format!("right.{}", extension_for(ds.right.format)),
+        table_to_string(&ds.right),
+    )?;
     write("train.csv".into(), labels_to_csv(&ds.train))?;
     write("valid.csv".into(), labels_to_csv(&ds.valid))?;
     write("test.csv".into(), labels_to_csv(&ds.test))?;
@@ -251,15 +308,22 @@ fn parse_labels(body: &str, n_left: usize, n_right: usize) -> Result<Vec<Labeled
         if row.len() != 3 {
             return Err(format!("labels row {} must have 3 fields", k + 1));
         }
-        let left: usize =
-            row[0].trim().parse().map_err(|_| format!("bad left index on row {}", k + 1))?;
-        let right: usize =
-            row[1].trim().parse().map_err(|_| format!("bad right index on row {}", k + 1))?;
+        let left: usize = row[0]
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad left index on row {}", k + 1))?;
+        let right: usize = row[1]
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad right index on row {}", k + 1))?;
         let label = matches!(row[2].trim(), "1" | "true" | "yes");
         if left >= n_left || right >= n_right {
             return Err(format!("label row {} out of range", k + 1));
         }
-        out.push(LabeledPair { pair: Pair { left, right }, label });
+        out.push(LabeledPair {
+            pair: Pair { left, right },
+            label,
+        });
     }
     Ok(out)
 }
@@ -283,6 +347,7 @@ mod tests {
 
     #[test]
     fn unknown_command_is_an_error() {
+        let _g = crate::cli_e2e::lock();
         assert!(run_cli(vec!["bogus".into()]).is_err());
     }
 }

@@ -1,0 +1,140 @@
+//! An offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the surface its microbenchmarks use: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Statistics are deliberately simple — a
+//! warmup pass followed by timed samples, reporting mean / min / max —
+//! which is enough to compare the relative cost of the repository's
+//! kernels on one machine.
+
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver handed to each target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        // Warmup (also primes lazy state inside the closure).
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        if b.samples.is_empty() {
+            eprintln!("{name:<40} (no samples recorded)");
+            return self;
+        }
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / b.samples.len() as u32;
+        let min = *b.samples.iter().min().expect("nonempty");
+        let max = *b.samples.iter().max().expect("nonempty");
+        eprintln!(
+            "{name:<40} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples)",
+            mean,
+            min,
+            max,
+            b.samples.len()
+        );
+        self
+    }
+}
+
+/// Records one timed closure invocation per [`Bencher::iter`] call.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one run of `f` (upstream runs many iterations per sample; one
+    /// suffices for the millisecond-scale routines benchmarked here).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Declare a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_sample_size_times() {
+        let mut runs = 0usize;
+        Criterion::default()
+            .sample_size(5)
+            .bench_function("count", |b| {
+                b.iter(|| {
+                    runs += 1;
+                })
+            });
+        // One warmup invocation plus five timed samples.
+        assert_eq!(runs, 6);
+    }
+
+    criterion_group! {
+        name = demo_group;
+        config = Criterion::default().sample_size(2);
+        targets = noop_target
+    }
+
+    fn noop_target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_expands_to_runner() {
+        demo_group();
+    }
+}

@@ -1,0 +1,78 @@
+//! The [`any`] entry point for canonical per-type strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (e.g. `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniform `bool` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_arbitrary_full_range_int {
+    ($($t:ty => $name:ident),*) => {$(
+        /// Full-range integer strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct $name;
+
+        impl Strategy for $name {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = $name;
+
+            fn arbitrary() -> $name {
+                $name
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_full_range_int!(u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64,
+    i8 => AnyI8, i16 => AnyI16, i32 => AnyI32, i64 => AnyI64, usize => AnyUsize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_produces_both_values() {
+        let mut rng = TestRng::for_case("arbitrary", 0);
+        let s = any::<bool>();
+        let vals: Vec<bool> = (0..64).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.contains(&true) && vals.contains(&false));
+    }
+}

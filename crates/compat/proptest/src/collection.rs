@@ -1,0 +1,75 @@
+//! Collection strategies: `vec(element, size)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A half-open range of collection sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Generate a `Vec` whose elements come from `element` and whose length is
+/// drawn from `size` (an exact `usize` or a `Range<usize>`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The result of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let n = self.size.lo
+            + if span > 0 {
+                rng.below(span) as usize
+            } else {
+                0
+            };
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_exact_and_ranged() {
+        let mut rng = TestRng::for_case("collection", 0);
+        for _ in 0..200 {
+            assert_eq!(vec(0u8..5, 3).generate(&mut rng).len(), 3);
+            let v = vec(0u8..5, 1..6).generate(&mut rng);
+            assert!((1..6).contains(&v.len()));
+            let nested = vec(vec(0u8..2, 2), 2..4).generate(&mut rng);
+            assert!(nested.iter().all(|inner| inner.len() == 2));
+        }
+    }
+}

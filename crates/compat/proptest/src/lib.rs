@@ -1,0 +1,178 @@
+//! An offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the surface its property tests use: the [`proptest!`] macro with
+//! `pat in strategy` bindings and `#![proptest_config(..)]`, range and
+//! regex-literal strategies, [`collection::vec`], tuples, `prop_map`,
+//! [`arbitrary::any`], and the `prop_assert*` macros.
+//!
+//! Shrinking is intentionally not implemented: a failing case panics with
+//! its case number and seed so it can be replayed, which has proven enough
+//! for this repository's invariant-style properties.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod string;
+pub mod test_runner;
+
+/// The glob import used by every property test.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declare property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that evaluates the body over `cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand each test function of a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(let $pat = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!(
+                        "proptest {} failed at case {case}/{}: {msg}",
+                        stringify!($name),
+                        config.cases,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fail the enclosing property (with an optional formatted message) without
+/// panicking, so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a value dump on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                va,
+                vb
+            ));
+        }
+    }};
+}
+
+/// `prop_assert!(a != b)` with a value dump on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va != vb) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                va
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(
+            x in 0usize..10,
+            v in crate::collection::vec(-1.0f32..1.0, 2..8),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((2..8).contains(&v.len()));
+            for f in &v {
+                prop_assert!((-1.0..1.0).contains(f));
+            }
+            prop_assert!(flag || !flag);
+        }
+
+        #[test]
+        fn regex_and_map(
+            s in "[a-z]{1,4}",
+            t in crate::strategy::Just(7u8),
+            (a, b) in (0u64..5, "[0-9]{2}"),
+        ) {
+            prop_assert!((1..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert_eq!(t, 7u8);
+            prop_assert!(a < 5);
+            prop_assert_eq!(b.len(), 2);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #[test]
+                fn always_fails(x in 0usize..3) {
+                    prop_assert!(x > 100, "x was {x}");
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("property unexpectedly passed");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("always_fails"), "panic lacks test name: {msg}");
+        assert!(
+            msg.contains("x was"),
+            "panic lacks formatted message: {msg}"
+        );
+    }
+}

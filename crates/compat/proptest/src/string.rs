@@ -1,0 +1,172 @@
+//! String strategies from regex-like literals.
+//!
+//! Supports the subset this repository's tests use: a sequence of atoms,
+//! each a literal character, an escape (`\n`, `\t`, `\r`, `\\`, `\"`), or a
+//! character class `[...]` (literal characters, `a-z` ranges, the same
+//! escapes, and a trailing `-` taken literally), optionally followed by a
+//! `{n}` or `{lo,hi}` repetition.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// The characters this atom may produce.
+    choices: Vec<char>,
+    /// Inclusive repetition bounds.
+    lo: usize,
+    hi: usize,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if chars[j] == '\\' && j + 1 < close {
+                        set.push(unescape(chars[j + 1]));
+                        j += 2;
+                    } else if j + 2 < close && chars[j + 1] == '-' {
+                        let (a, b) = (chars[j], chars[j + 2]);
+                        assert!(a <= b, "reversed range {a}-{b} in pattern {pattern:?}");
+                        set.extend((a..=b).filter(|c| c.is_ascii()));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                assert!(
+                    i + 1 < chars.len(),
+                    "dangling escape in pattern {pattern:?}"
+                );
+                i += 2;
+                vec![unescape(chars[i - 1])]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        assert!(
+            !choices.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
+        // Optional {n} or {lo,hi} repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("bad repetition lower bound"),
+                    b.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(lo <= hi, "reversed repetition in pattern {pattern:?}");
+        atoms.push(Atom { choices, lo, hi });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = atom.lo + rng.below((atom.hi - atom.lo + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u32) -> String {
+        let mut rng = TestRng::for_case("string", seed);
+        pattern.generate(&mut rng)
+    }
+
+    #[test]
+    fn class_with_repetition() {
+        for seed in 0..200 {
+            let s = gen("[a-z]{1,10}", seed);
+            assert!((1..=10).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_mixing_ranges_literals_and_escapes() {
+        for seed in 0..200 {
+            let s = gen("[a-zA-Z0-9 \"\\\\\n\t]{0,20}", seed);
+            assert!(s.len() <= 20);
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric()
+                    || [' ', '"', '\\', '\n', '\t'].contains(&c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut saw_dash = false;
+        for seed in 0..300 {
+            let s = gen("[a./$-]{4}", seed);
+            assert_eq!(s.len(), 4);
+            assert!(
+                s.chars().all(|c| ['a', '.', '/', '$', '-'].contains(&c)),
+                "{s:?}"
+            );
+            saw_dash |= s.contains('-');
+        }
+        assert!(saw_dash, "literal dash never generated");
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        assert_eq!(gen("abc", 0), "abc");
+        assert_eq!(gen("[x]{3}", 1), "xxx");
+    }
+}

@@ -35,12 +35,18 @@ pub fn select_for_labeling<M: TunableMatcher>(
             let (_, std) = mean_std(&per_pass);
             std
         }
-        AcquisitionStrategy::Margin => {
-            model.predict_proba(pool).iter().map(|&p| -(p - 0.5).abs()).collect()
-        }
+        AcquisitionStrategy::Margin => model
+            .predict_proba(pool)
+            .iter()
+            .map(|&p| -(p - 0.5).abs())
+            .collect(),
     };
     let mut order: Vec<usize> = (0..pool.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     order.truncate(budget.min(pool.len()));
     order
 }
@@ -48,6 +54,7 @@ pub fn select_for_labeling<M: TunableMatcher>(
 /// One round of simulated active learning: select, reveal gold labels,
 /// retrain on the grown train set. Returns the selected indices and the new
 /// validation F1 (the caller owns split bookkeeping).
+#[allow(clippy::too_many_arguments)]
 pub fn active_round<M: TunableMatcher>(
     model: &mut M,
     train: &mut Vec<Example>,
@@ -62,7 +69,10 @@ pub fn active_round<M: TunableMatcher>(
     // Reveal labels (simulated annotator) and move into the train set.
     let mut drop = vec![false; pool.len()];
     for &i in &picked {
-        train.push(Example { pair: pool[i].clone(), label: pool_gold[i] });
+        train.push(Example {
+            pair: pool[i].clone(),
+            label: pool_gold[i],
+        });
         drop[i] = true;
     }
     let mut keep = drop.iter().copied();
@@ -131,7 +141,12 @@ mod tests {
     }
 
     fn pool(n: usize) -> Vec<EncodedPair> {
-        (0..n).map(|i| EncodedPair { ids_a: vec![i], ids_b: vec![i] }).collect()
+        (0..n)
+            .map(|i| EncodedPair {
+                ids_a: vec![i],
+                ids_b: vec![i],
+            })
+            .collect()
     }
 
     #[test]
@@ -172,9 +187,18 @@ mod tests {
         let mut p = pool(10);
         let mut gold: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
         let valid: Vec<Example> = (0..4)
-            .map(|i| Example { pair: EncodedPair { ids_a: vec![i], ids_b: vec![i] }, label: true })
+            .map(|i| Example {
+                pair: EncodedPair {
+                    ids_a: vec![i],
+                    ids_b: vec![i],
+                },
+                label: true,
+            })
             .collect();
-        let cfg = TrainCfg { epochs: 1, ..Default::default() };
+        let cfg = TrainCfg {
+            epochs: 1,
+            ..Default::default()
+        };
         let (n, f1) = active_round(
             &mut stub,
             &mut train,
@@ -194,10 +218,14 @@ mod tests {
 
     #[test]
     fn zero_budget_or_empty_pool_selects_nothing() {
-        let mut stub =
-            Stub { mean: vec![0.5], noise: vec![0.1], flip: std::cell::Cell::new(false) };
-        assert!(select_for_labeling(&mut stub, &pool(1), 0, AcquisitionStrategy::Margin, 1)
-            .is_empty());
+        let mut stub = Stub {
+            mean: vec![0.5],
+            noise: vec![0.1],
+            flip: std::cell::Cell::new(false),
+        };
+        assert!(
+            select_for_labeling(&mut stub, &pool(1), 0, AcquisitionStrategy::Margin, 1).is_empty()
+        );
         assert!(select_for_labeling(&mut stub, &[], 3, AcquisitionStrategy::Margin, 1).is_empty());
     }
 }

@@ -20,7 +20,9 @@ pub fn expected_calibration_error(probs: &[f32], gold: &[bool], bins: usize) -> 
         let pred = p > 0.5;
         let conf = f64::from(p.max(1.0 - p));
         // conf is in [0.5, 1.0]; spread it over the bins.
-        let idx = (((conf - 0.5) * 2.0) * bins as f64).min(bins as f64 - 1.0).max(0.0) as usize;
+        let idx = (((conf - 0.5) * 2.0) * bins as f64)
+            .min(bins as f64 - 1.0)
+            .max(0.0) as usize;
         bin_conf[idx] += conf;
         bin_correct[idx] += f64::from(u8::from(pred == g));
         bin_count[idx] += 1;
@@ -76,14 +78,19 @@ mod tests {
         let probs = vec![0.95f32; 10];
         let gold = vec![false; 10];
         let ece = expected_calibration_error(&probs, &gold, 10);
-        assert!(ece > 0.9, "confidently-wrong should give ECE near 0.95: {ece}");
+        assert!(
+            ece > 0.9,
+            "confidently-wrong should give ECE near 0.95: {ece}"
+        );
         assert!(brier_score(&probs, &gold) > 0.85);
     }
 
     #[test]
     fn chance_predictions_at_half_confidence_are_calibrated() {
         // p = 0.5 ± ε on a balanced set: confidence ~0.5, accuracy ~0.5.
-        let probs: Vec<f32> = (0..100).map(|i| if i % 2 == 0 { 0.51 } else { 0.49 }).collect();
+        let probs: Vec<f32> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.51 } else { 0.49 })
+            .collect();
         let gold: Vec<bool> = (0..100).map(|i| (i / 2) % 2 == 0).collect();
         let ece = expected_calibration_error(&probs, &gold, 10);
         assert!(ece < 0.1, "ece {ece}");

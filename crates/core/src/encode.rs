@@ -66,7 +66,10 @@ pub struct EncodeCfg {
 
 impl Default for EncodeCfg {
     fn default() -> Self {
-        EncodeCfg { side_tokens: 16, summarize_text: true }
+        EncodeCfg {
+            side_tokens: 16,
+            summarize_text: true,
+        }
     }
 }
 
@@ -80,10 +83,14 @@ fn table_texts(
     let raw: Vec<String> = records.iter().map(|r| serialize(r, format)).collect();
     let _ = format;
     let needs_summary = cfg.summarize_text
-        && raw.iter().any(|s| s.split_whitespace().count() > cfg.side_tokens);
+        && raw
+            .iter()
+            .any(|s| s.split_whitespace().count() > cfg.side_tokens);
     if needs_summary {
         let tfidf = TfIdf::fit(raw.iter().map(|s| s.as_str()));
-        raw.iter().map(|s| tfidf.summarize(s, cfg.side_tokens)).collect()
+        raw.iter()
+            .map(|s| tfidf.summarize(s, cfg.side_tokens))
+            .collect()
     } else {
         raw
     }
@@ -99,17 +106,26 @@ pub fn encode_dataset(ds: &GemDataset, tokenizer: &Tokenizer, cfg: &EncodeCfg) -
         ids.truncate(cfg.side_tokens);
         ids
     };
-    let left_ids: Vec<Vec<usize>> =
-        left_texts.iter().map(|t| clip(tokenizer.encode(t))).collect();
-    let right_ids: Vec<Vec<usize>> =
-        right_texts.iter().map(|t| clip(tokenizer.encode(t))).collect();
+    let left_ids: Vec<Vec<usize>> = left_texts
+        .iter()
+        .map(|t| clip(tokenizer.encode(t)))
+        .collect();
+    let right_ids: Vec<Vec<usize>> = right_texts
+        .iter()
+        .map(|t| clip(tokenizer.encode(t)))
+        .collect();
 
     let enc_pair = |p: em_data::pair::Pair| EncodedPair {
         ids_a: left_ids[p.left].clone(),
         ids_b: right_ids[p.right].clone(),
     };
     let enc_labeled = |ps: &[em_data::pair::LabeledPair]| -> Vec<Example> {
-        ps.iter().map(|lp| Example { pair: enc_pair(lp.pair), label: lp.label }).collect()
+        ps.iter()
+            .map(|lp| Example {
+                pair: enc_pair(lp.pair),
+                label: lp.label,
+            })
+            .collect()
     };
     EncodedDataset {
         name: ds.name.clone(),
@@ -133,7 +149,12 @@ mod tests {
             .records
             .iter()
             .map(|r| serialize(r, ds.left.format))
-            .chain(ds.right.records.iter().map(|r| serialize(r, ds.right.format)))
+            .chain(
+                ds.right
+                    .records
+                    .iter()
+                    .map(|r| serialize(r, ds.right.format)),
+            )
             .collect();
         let tok = Tokenizer::fit(corpus.iter().map(|s| s.as_str()), 1);
         encode_dataset(&ds, &tok, &EncodeCfg::default())
@@ -160,7 +181,11 @@ mod tests {
 
     #[test]
     fn no_empty_sides() {
-        for id in [BenchmarkId::RelHeter, BenchmarkId::RelText, BenchmarkId::SemiHeter] {
+        for id in [
+            BenchmarkId::RelHeter,
+            BenchmarkId::RelText,
+            BenchmarkId::SemiHeter,
+        ] {
             let e = encoded(id);
             for ex in e.train.iter().chain(&e.test) {
                 assert!(!ex.pair.ids_a.is_empty(), "{id:?}: empty left side");
@@ -172,12 +197,29 @@ mod tests {
     #[test]
     fn summarization_only_affects_textual_tables() {
         let ds = build(BenchmarkId::SemiTextC, Scale::Quick, 18);
-        let corpus: Vec<String> =
-            ds.right.records.iter().map(|r| serialize(r, ds.right.format)).collect();
+        let corpus: Vec<String> = ds
+            .right
+            .records
+            .iter()
+            .map(|r| serialize(r, ds.right.format))
+            .collect();
         let tok = Tokenizer::fit(corpus.iter().map(|s| s.as_str()), 1);
-        let with = encode_dataset(&ds, &tok, &EncodeCfg { summarize_text: true, side_tokens: 20 });
-        let without =
-            encode_dataset(&ds, &tok, &EncodeCfg { summarize_text: false, side_tokens: 20 });
+        let with = encode_dataset(
+            &ds,
+            &tok,
+            &EncodeCfg {
+                summarize_text: true,
+                side_tokens: 20,
+            },
+        );
+        let without = encode_dataset(
+            &ds,
+            &tok,
+            &EncodeCfg {
+                summarize_text: false,
+                side_tokens: 20,
+            },
+        );
         // Both respect the budget, but summaries pick different tokens than
         // head truncation for at least some records.
         let differs = with

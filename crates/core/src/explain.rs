@@ -22,7 +22,12 @@ pub struct AttributeImportance {
 }
 
 /// Encode one record side under the pipeline's rules.
-fn encode_side(record: &Record, format: Format, tokenizer: &Tokenizer, cfg: &EncodeCfg) -> Vec<usize> {
+fn encode_side(
+    record: &Record,
+    format: Format,
+    tokenizer: &Tokenizer,
+    cfg: &EncodeCfg,
+) -> Vec<usize> {
     let raw = serialize(record, format);
     let text = if cfg.summarize_text && raw.split_whitespace().count() > cfg.side_tokens {
         // Single-document TF-IDF degenerates to TF ordering, which is still
@@ -37,7 +42,14 @@ fn encode_side(record: &Record, format: Format, tokenizer: &Tokenizer, cfg: &Enc
 }
 
 fn without_attr(record: &Record, name: &str) -> Record {
-    Record { attrs: record.attrs.iter().filter(|(k, _)| k != name).cloned().collect() }
+    Record {
+        attrs: record
+            .attrs
+            .iter()
+            .filter(|(k, _)| k != name)
+            .cloned()
+            .collect(),
+    }
 }
 
 /// Leave-one-attribute-out importances for a candidate pair, sorted by
@@ -98,10 +110,16 @@ pub fn attribute_importance<M: TunableMatcher>(
     let mut out: Vec<AttributeImportance> = names
         .into_iter()
         .zip(probs.into_iter().skip(1))
-        .map(|(attribute, p)| AttributeImportance { attribute, delta: base - p })
+        .map(|(attribute, p)| AttributeImportance {
+            attribute,
+            delta: base - p,
+        })
         .collect();
     out.sort_by(|a, b| {
-        b.delta.abs().partial_cmp(&a.delta.abs()).unwrap_or(std::cmp::Ordering::Equal)
+        b.delta
+            .abs()
+            .partial_cmp(&a.delta.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     out
 }
@@ -175,10 +193,16 @@ mod tests {
             Format::Relational,
             &right,
             Format::Relational,
-            &EncodeCfg { summarize_text: false, side_tokens: 32 },
+            &EncodeCfg {
+                summarize_text: false,
+                side_tokens: 32,
+            },
         );
         let name_imp = imp.iter().find(|i| i.attribute == "left:name").unwrap();
-        assert!(name_imp.delta > 0.0, "removing the shared name should drop P(match)");
+        assert!(
+            name_imp.delta > 0.0,
+            "removing the shared name should drop P(match)"
+        );
         // The ranking puts an informative attribute first.
         assert!(imp[0].delta.abs() >= imp.last().unwrap().delta.abs());
     }
@@ -200,7 +224,10 @@ mod tests {
             Format::Relational,
             &right,
             Format::Relational,
-            &EncodeCfg { summarize_text: false, side_tokens: 32 },
+            &EncodeCfg {
+                summarize_text: false,
+                side_tokens: 32,
+            },
         );
         // The agreeing name contributes far more to the match score than the
         // disagreeing ISBN (whose only shared token is the attribute name
@@ -218,7 +245,9 @@ mod tests {
     #[test]
     fn covers_every_attribute_of_both_sides() {
         let tok = tokenizer();
-        let left = Record::new().with("a", Value::Text("x".into())).with("b", Value::Text("y".into()));
+        let left = Record::new()
+            .with("a", Value::Text("x".into()))
+            .with("b", Value::Text("y".into()));
         let right = Record::new().with("c", Value::Text("z".into()));
         let mut model = OverlapStub;
         let imp = attribute_importance(

@@ -32,7 +32,13 @@ impl FineTuneModel {
         let mut lm = (*backbone).clone();
         let mut rng = StdRng::seed_from_u64(seed);
         let head = ClsHead::new(&mut lm.store, &lm.encoder, 2, &mut rng);
-        FineTuneModel { backbone, lm, head, threshold: 0.5, rng }
+        FineTuneModel {
+            backbone,
+            lm,
+            head,
+            threshold: 0.5,
+            rng,
+        }
     }
 
     /// Build `[CLS] a [SEP] b [SEP]` within the model's max length.
@@ -61,7 +67,10 @@ impl FineTuneModel {
         let mut pooled = Vec::with_capacity(pairs.len());
         for p in pairs {
             let ids = self.pair_ids(p);
-            let h = self.lm.encoder.forward(tape, &self.lm.store, &ids, &mut self.rng);
+            let h = self
+                .lm
+                .encoder
+                .forward(tape, &self.lm.store, &ids, &mut self.rng);
             pooled.push(tape.slice_rows(h, 0, 1)); // [CLS] row
         }
         let stacked = tape.concat_rows(&pooled);
@@ -150,7 +159,10 @@ impl TunableMatcher for FineTuneModel {
         for p in pairs {
             let mut tape = Tape::inference();
             let ids = self.pair_ids(p);
-            let h = self.lm.encoder.forward(&mut tape, &self.lm.store, &ids, &mut self.rng);
+            let h = self
+                .lm
+                .encoder
+                .forward(&mut tape, &self.lm.store, &ids, &mut self.rng);
             out.push(tape.value(h).row(0).to_vec());
         }
         out
@@ -167,7 +179,10 @@ mod tests {
     fn pair_ids_frame_correctly() {
         let backbone = tiny_backbone();
         let model = FineTuneModel::new(backbone, 1);
-        let p = EncodedPair { ids_a: vec![10, 11], ids_b: vec![12] };
+        let p = EncodedPair {
+            ids_a: vec![10, 11],
+            ids_b: vec![12],
+        };
         let ids = model.pair_ids(&p);
         assert_eq!(ids, vec![CLS, 10, 11, SEP, 12, SEP]);
     }
@@ -177,7 +192,10 @@ mod tests {
         let backbone = tiny_backbone();
         let model = FineTuneModel::new(backbone, 2);
         let long: Vec<usize> = (0..200).map(|i| 10 + i % 5).collect();
-        let p = EncodedPair { ids_a: long.clone(), ids_b: long };
+        let p = EncodedPair {
+            ids_a: long.clone(),
+            ids_b: long,
+        };
         let ids = model.pair_ids(&p);
         assert!(ids.len() <= model.lm.max_len());
         assert_eq!(ids[0], CLS);
@@ -189,7 +207,10 @@ mod tests {
         let backbone = tiny_backbone();
         let (train, valid) = toy_examples(&backbone, 40, 4);
         let mut model = FineTuneModel::new(backbone, 3);
-        let cfg = TrainCfg { epochs: 10, ..Default::default() };
+        let cfg = TrainCfg {
+            epochs: 10,
+            ..Default::default()
+        };
         model.train(&train, &valid, &cfg, None);
         let f1 = evaluate(&mut model, &valid).f1;
         assert!(f1 > 55.0, "fine-tuning failed to learn: F1 {f1}");
@@ -200,8 +221,15 @@ mod tests {
         let backbone = tiny_backbone();
         let (train, valid) = toy_examples(&backbone, 30, 5);
         let mut model = FineTuneModel::new(backbone, 4);
-        let cfg = TrainCfg { epochs: 4, ..Default::default() };
-        let prune = PruneCfg { every: 1, e_r: 0.2, passes: 2 };
+        let cfg = TrainCfg {
+            epochs: 4,
+            ..Default::default()
+        };
+        let prune = PruneCfg {
+            every: 1,
+            e_r: 0.2,
+            passes: 2,
+        };
         let report = model.train(&train, &valid, &cfg, Some(&prune));
         assert!(report.pruned > 0, "dynamic data pruning never fired");
     }

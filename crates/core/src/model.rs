@@ -74,7 +74,15 @@ impl PromptEmModel {
             &mut rng,
         );
         let verbalizer = Verbalizer::new(&lm.tokenizer, &opts.label_words);
-        PromptEmModel { backbone, lm, template, verbalizer, opts, threshold: 0.5, rng }
+        PromptEmModel {
+            backbone,
+            lm,
+            template,
+            verbalizer,
+            opts,
+            threshold: 0.5,
+            rng,
+        }
     }
 
     /// Class targets: 0 = match ("yes" words), 1 = mismatch ("no" words).
@@ -101,7 +109,10 @@ impl PromptEmModel {
             rows.push(tape.slice_rows(h, mask_row, 1));
         }
         let stacked = tape.concat_rows(&rows);
-        let logits = self.lm.mlm.logits(tape, &self.lm.store, &self.lm.encoder, stacked);
+        let logits = self
+            .lm
+            .mlm
+            .logits(tape, &self.lm.store, &self.lm.encoder, stacked);
         let probs = self.verbalizer.class_probs(tape, logits);
         let pm = tape.value(probs);
         (0..pm.rows())
@@ -131,7 +142,10 @@ impl PromptEmModel {
             targets.push(Self::target(ex.label));
         }
         let stacked = tape.concat_rows(&rows);
-        let logits = self.lm.mlm.logits(&mut tape, &self.lm.store, &self.lm.encoder, stacked);
+        let logits = self
+            .lm
+            .mlm
+            .logits(&mut tape, &self.lm.store, &self.lm.encoder, stacked);
         let probs = self.verbalizer.class_probs(&mut tape, logits);
         let loss = tape.nll_probs(probs, &targets);
         let value = tape.value(loss).item();
@@ -153,6 +167,7 @@ impl PromptEmModel {
 
 /// Shared epoch loop used by both PromptEM and the fine-tuning model; kept
 /// free-standing so the two implementations cannot drift apart.
+#[allow(clippy::too_many_arguments)]
 pub fn run_training<M: TunableMatcher>(
     model: &mut M,
     batch_step: &mut dyn FnMut(&mut M, &[&Example], &mut AdamW) -> f32,
@@ -195,9 +210,14 @@ pub fn run_training<M: TunableMatcher>(
             epoch_loss += batch_step(model, batch, &mut opt);
             batches += 1;
         }
-        report.final_train_loss = if batches > 0 { epoch_loss / batches as f32 } else { 0.0 };
+        report.final_train_loss = if batches > 0 {
+            epoch_loss / batches as f32
+        } else {
+            0.0
+        };
         report.epochs_run += 1;
 
+        let mut epoch_valid = None;
         if cfg.best_on_valid && !valid.is_empty() {
             // Calibrate the decision threshold on the validation set, then
             // track the best (weights, threshold) pair by validation F1.
@@ -205,11 +225,18 @@ pub fn run_training<M: TunableMatcher>(
             let t = crate::trainer::calibrate_threshold(&probs, &valid_gold);
             let pred: Vec<bool> = probs.iter().map(|&p| p > t).collect();
             let f1 = 100.0 * em_data::Confusion::from_pairs(&pred, &valid_gold).f1();
+            epoch_valid = Some((f1, t));
             if f1 > best_f1 {
                 best_f1 = f1;
                 best_store = Some((snapshot(model), t));
             }
         }
+        em_obs::epoch(
+            epoch as u64,
+            report.final_train_loss as f64,
+            epoch_valid.map(|(f1, _)| f1),
+            epoch_valid.map(|(_, t)| t as f64),
+        );
 
         // Dynamic data pruning (§4.3): "We prune the train set for every
         // [frequency] epochs".
@@ -220,6 +247,7 @@ pub fn run_training<M: TunableMatcher>(
                 let (kept, dropped) = crate::pruning::prune_lowest(working, &scores, p.e_r);
                 working = kept;
                 report.pruned += dropped;
+                em_obs::prune(dropped as u64, p.passes as u64);
             }
         }
     }
@@ -315,7 +343,10 @@ mod tests {
         let backbone = tiny_backbone();
         let (train, valid) = toy_examples(&backbone, 40, 1);
         let mut model = PromptEmModel::new(backbone, PromptOpts::default(), 3);
-        let cfg = TrainCfg { epochs: 8, ..Default::default() };
+        let cfg = TrainCfg {
+            epochs: 8,
+            ..Default::default()
+        };
         let report = model.train(&train, &valid, &cfg, None);
         assert!(report.epochs_run == 8);
         let f1 = crate::trainer::evaluate(&mut model, &valid).f1;
@@ -352,7 +383,10 @@ mod tests {
         let backbone = tiny_backbone();
         let (train, valid) = toy_examples(&backbone, 20, 6);
         let mut model = PromptEmModel::new(backbone, PromptOpts::default(), 6);
-        let cfg = TrainCfg { epochs: 2, ..Default::default() };
+        let cfg = TrainCfg {
+            epochs: 2,
+            ..Default::default()
+        };
         model.train(&train, &valid, &cfg, None);
         let pairs: Vec<EncodedPair> = valid.iter().map(|e| e.pair.clone()).collect();
         let tuned = model.predict_proba(&pairs);

@@ -128,6 +128,7 @@ pub struct RunResult {
 /// pre-trained LM" shares a clone of this artifact, mirroring how all the
 /// paper's LM baselines share RoBERTa-base.
 pub fn pretrain_backbone(ds: &GemDataset, cfg: &PromptEmConfig) -> Arc<PretrainedLm> {
+    let _span = em_obs::span_with("pretrain", ds.name.clone());
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC0FFEE);
     let corpus = build_pretrain_corpus(ds, &RelationWords::default(), &cfg.corpus, &mut rng);
     let size = cfg.lm_size;
@@ -145,6 +146,7 @@ pub fn encode_with(
     backbone: &PretrainedLm,
     cfg: &PromptEmConfig,
 ) -> EncodedDataset {
+    let _span = em_obs::span_with("encode", ds.name.clone());
     encode_dataset(ds, &backbone.tokenizer, &cfg.encode)
 }
 
@@ -166,8 +168,10 @@ fn tune_and_eval<M: TunableMatcher>(
     } else {
         // "PromptEM w/o LST": teacher training only.
         let mut model = proto.fresh(cfg.lst.seed);
-        let mut report = LstReport::default();
-        report.teacher = model.train(&encoded.train, &encoded.valid, &cfg.lst.teacher, None);
+        let report = LstReport {
+            teacher: model.train(&encoded.train, &encoded.valid, &cfg.lst.teacher, None),
+            ..Default::default()
+        };
         (model, report)
     };
     let secs = start.elapsed().as_secs_f64();
@@ -195,11 +199,13 @@ pub fn run_encoded(
     encoded: &EncodedDataset,
     cfg: &PromptEmConfig,
 ) -> RunResult {
+    let _span = em_obs::span_with("tune", encoded.name.clone());
     let (scores, test_predictions, lst, train_secs) = if cfg.use_prompt {
         let mut opts = cfg.prompt.clone();
         let mut probe_secs = 0.0;
         if cfg.grid_template {
             let t0 = Instant::now();
+            let _span = em_obs::span("grid_template");
             opts.template = select_template(&backbone, encoded, cfg);
             probe_secs = t0.elapsed().as_secs_f64();
         }
@@ -239,12 +245,25 @@ mod tests {
     fn fast_cfg() -> PromptEmConfig {
         PromptEmConfig {
             lst: LstCfg {
-                teacher: crate::trainer::TrainCfg { epochs: 2, ..Default::default() },
-                student: crate::trainer::TrainCfg { epochs: 2, ..Default::default() },
-                pseudo: crate::pseudo::PseudoCfg { passes: 2, ..Default::default() },
+                teacher: crate::trainer::TrainCfg {
+                    epochs: 2,
+                    ..Default::default()
+                },
+                student: crate::trainer::TrainCfg {
+                    epochs: 2,
+                    ..Default::default()
+                },
+                pseudo: crate::pseudo::PseudoCfg {
+                    passes: 2,
+                    ..Default::default()
+                },
                 ..LstCfg::quick()
             },
-            pretrain: PretrainCfg { epochs: 1, max_steps: 40, ..Default::default() },
+            pretrain: PretrainCfg {
+                epochs: 1,
+                max_steps: 40,
+                ..Default::default()
+            },
             corpus: CorpusCfg {
                 max_record_sentences: 120,
                 relation_statements: 60,
@@ -271,11 +290,20 @@ mod tests {
         let backbone = pretrain_backbone(&ds, &base);
         let encoded = encode_with(&ds, &backbone, &base);
 
-        let no_lst = PromptEmConfig { use_lst: false, ..base.clone() };
+        let no_lst = PromptEmConfig {
+            use_lst: false,
+            ..base.clone()
+        };
         let r = run_encoded(backbone.clone(), &encoded, &no_lst);
-        assert!(r.lst.pseudo_selected.is_empty(), "w/o LST must not pseudo-label");
+        assert!(
+            r.lst.pseudo_selected.is_empty(),
+            "w/o LST must not pseudo-label"
+        );
 
-        let no_pt = PromptEmConfig { use_prompt: false, ..base.clone() };
+        let no_pt = PromptEmConfig {
+            use_prompt: false,
+            ..base.clone()
+        };
         let r2 = run_encoded(backbone, &encoded, &no_pt);
         assert!(r2.scores.f1.is_finite());
     }

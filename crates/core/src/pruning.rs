@@ -39,7 +39,11 @@ pub fn prune_lowest(examples: Vec<Example>, scores: &[f32], e_r: f64) -> (Vec<Ex
     }
     // Find the threshold: the n_drop-th smallest score.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut drop = vec![false; scores.len()];
     for &i in order.iter().take(n_drop) {
         drop[i] = true;
@@ -59,7 +63,13 @@ mod tests {
     use crate::encode::EncodedPair;
 
     fn ex(label: bool, tag: usize) -> Example {
-        Example { pair: EncodedPair { ids_a: vec![tag], ids_b: vec![tag] }, label }
+        Example {
+            pair: EncodedPair {
+                ids_a: vec![tag],
+                ids_b: vec![tag],
+            },
+            label,
+        }
     }
 
     /// A stub matcher returning fixed probabilities keyed by ids_a[0].

@@ -47,7 +47,12 @@ pub struct PseudoCfg {
 
 impl Default for PseudoCfg {
     fn default() -> Self {
-        PseudoCfg { strategy: SelectionStrategy::Uncertainty, u_r: 0.15, passes: 10, seed: 11 }
+        PseudoCfg {
+            strategy: SelectionStrategy::Uncertainty,
+            u_r: 0.15,
+            passes: 10,
+            seed: 11,
+        }
     }
 }
 
@@ -71,7 +76,10 @@ pub fn select_pseudo_labels<M: TunableMatcher>(
             order
                 .into_iter()
                 .take(n_p)
-                .map(|i| PseudoLabel { index: i, label: mean[i] > 0.5 })
+                .map(|i| PseudoLabel {
+                    index: i,
+                    label: mean[i] > 0.5,
+                })
                 .collect()
         }
         SelectionStrategy::Confidence => {
@@ -82,7 +90,10 @@ pub fn select_pseudo_labels<M: TunableMatcher>(
             order
                 .into_iter()
                 .take(n_p)
-                .map(|i| PseudoLabel { index: i, label: probs[i] > 0.5 })
+                .map(|i| PseudoLabel {
+                    index: i,
+                    label: probs[i] > 0.5,
+                })
                 .collect()
         }
         SelectionStrategy::Clustering => {
@@ -99,7 +110,10 @@ pub fn select_pseudo_labels<M: TunableMatcher>(
             order
                 .into_iter()
                 .take(n_p)
-                .map(|i| PseudoLabel { index: i, label: probs[i] > 0.5 })
+                .map(|i| PseudoLabel {
+                    index: i,
+                    label: probs[i] > 0.5,
+                })
                 .collect()
         }
     }
@@ -114,7 +128,10 @@ pub fn apply_pseudo_labels(
 ) -> (Vec<Example>, Vec<usize>) {
     let examples = selected
         .iter()
-        .map(|pl| Example { pair: unlabeled[pl.index].clone(), label: pl.label })
+        .map(|pl| Example {
+            pair: unlabeled[pl.index].clone(),
+            label: pl.label,
+        })
         .collect();
     let consumed = selected.iter().map(|pl| pl.index).collect();
     (examples, consumed)
@@ -133,19 +150,35 @@ pub fn pseudo_label_quality(selected: &[PseudoLabel], gold: &[bool]) -> (f64, f6
             (false, true) => fp += 1,
         }
     }
-    let tpr = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
-    let tnr = if tn + fp == 0 { 1.0 } else { tn as f64 / (tn + fp) as f64 };
+    let tpr = if tp + fn_ == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let tnr = if tn + fp == 0 {
+        1.0
+    } else {
+        tn as f64 / (tn + fp) as f64
+    };
     (tpr, tnr)
 }
 
 fn argsort(xs: &[f32]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..xs.len()).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     order
 }
 
 fn l2(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
 }
 
 struct KmeansResult {
@@ -172,15 +205,23 @@ fn kmeans2(points: &[Vec<f32>], iters: usize, seed: u64) -> KmeansResult {
     for _ in 0..iters {
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
-            let c = if l2(p, &centroids[0]) <= l2(p, &centroids[1]) { 0 } else { 1 };
+            let c = if l2(p, &centroids[0]) <= l2(p, &centroids[1]) {
+                0
+            } else {
+                1
+            };
             if labels[i] != c {
                 labels[i] = c;
                 changed = true;
             }
         }
-        for c in 0..2 {
-            let members: Vec<&Vec<f32>> =
-                points.iter().zip(&labels).filter(|(_, &l)| l == c).map(|(p, _)| p).collect();
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<&Vec<f32>> = points
+                .iter()
+                .zip(&labels)
+                .filter(|(_, &l)| l == c)
+                .map(|(p, _)| p)
+                .collect();
             if members.is_empty() {
                 continue;
             }
@@ -193,7 +234,7 @@ fn kmeans2(points: &[Vec<f32>], iters: usize, seed: u64) -> KmeansResult {
             for o in &mut mean {
                 *o /= members.len() as f32;
             }
-            centroids[c] = mean;
+            *centroid = mean;
         }
         if !changed {
             break;
@@ -217,7 +258,11 @@ mod tests {
 
     impl Stub {
         fn new(mean: Vec<f32>, noise: Vec<f32>) -> Self {
-            Stub { mean, noise, tick: std::cell::Cell::new(0) }
+            Stub {
+                mean,
+                noise,
+                tick: std::cell::Cell::new(0),
+            }
         }
     }
 
@@ -241,7 +286,11 @@ mod tests {
             (0..passes)
                 .map(|_| {
                     self.tick.set(self.tick.get() + 1);
-                    let sign = if self.tick.get() % 2 == 0 { 1.0 } else { -1.0 };
+                    let sign = if self.tick.get().is_multiple_of(2) {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     pairs
                         .iter()
                         .map(|p| {
@@ -254,12 +303,20 @@ mod tests {
         }
         fn set_threshold(&mut self, _t: f32) {}
         fn embed(&mut self, pairs: &[EncodedPair]) -> Vec<Vec<f32>> {
-            pairs.iter().map(|p| vec![self.mean[p.ids_a[0]], 0.0]).collect()
+            pairs
+                .iter()
+                .map(|p| vec![self.mean[p.ids_a[0]], 0.0])
+                .collect()
         }
     }
 
     fn pool(n: usize) -> Vec<EncodedPair> {
-        (0..n).map(|i| EncodedPair { ids_a: vec![i], ids_b: vec![i] }).collect()
+        (0..n)
+            .map(|i| EncodedPair {
+                ids_a: vec![i],
+                ids_b: vec![i],
+            })
+            .collect()
     }
 
     #[test]
@@ -268,7 +325,10 @@ mod tests {
         let mean = vec![0.9, 0.1, 0.8, 0.2, 0.5, 0.5, 0.6, 0.4];
         let noise = vec![0.01, 0.01, 0.01, 0.01, 0.4, 0.4, 0.4, 0.4];
         let mut stub = Stub::new(mean, noise);
-        let cfg = PseudoCfg { u_r: 0.5, ..Default::default() };
+        let cfg = PseudoCfg {
+            u_r: 0.5,
+            ..Default::default()
+        };
         let sel = select_pseudo_labels(&mut stub, &pool(8), &cfg);
         assert_eq!(sel.len(), 4);
         let idx: Vec<usize> = sel.iter().map(|p| p.index).collect();
@@ -286,8 +346,11 @@ mod tests {
         let mean = vec![0.99, 0.51, 0.49, 0.01];
         let noise = vec![0.0; 4];
         let mut stub = Stub::new(mean, noise);
-        let cfg =
-            PseudoCfg { strategy: SelectionStrategy::Confidence, u_r: 0.5, ..Default::default() };
+        let cfg = PseudoCfg {
+            strategy: SelectionStrategy::Confidence,
+            u_r: 0.5,
+            ..Default::default()
+        };
         let sel = select_pseudo_labels(&mut stub, &pool(4), &cfg);
         let mut idx: Vec<usize> = sel.iter().map(|p| p.index).collect();
         idx.sort_unstable();
@@ -300,17 +363,32 @@ mod tests {
         let mean = vec![0.1, 0.12, 0.9, 0.88, 0.5, 0.52];
         let noise = vec![0.0; 6];
         let mut stub = Stub::new(mean, noise);
-        let cfg =
-            PseudoCfg { strategy: SelectionStrategy::Clustering, u_r: 0.67, ..Default::default() };
+        let cfg = PseudoCfg {
+            strategy: SelectionStrategy::Clustering,
+            u_r: 0.67,
+            ..Default::default()
+        };
         let sel = select_pseudo_labels(&mut stub, &pool(6), &cfg);
         let idx: Vec<usize> = sel.iter().map(|p| p.index).collect();
-        assert!(!idx.contains(&4) || !idx.contains(&5), "both outliers selected: {idx:?}");
+        assert!(
+            !idx.contains(&4) || !idx.contains(&5),
+            "both outliers selected: {idx:?}"
+        );
     }
 
     #[test]
     fn apply_moves_examples_with_teacher_labels() {
         let u = pool(5);
-        let sel = vec![PseudoLabel { index: 3, label: true }, PseudoLabel { index: 0, label: false }];
+        let sel = vec![
+            PseudoLabel {
+                index: 3,
+                label: true,
+            },
+            PseudoLabel {
+                index: 0,
+                label: false,
+            },
+        ];
         let (exs, consumed) = apply_pseudo_labels(&u, &sel);
         assert_eq!(exs.len(), 2);
         assert_eq!(exs[0].pair.ids_a, vec![3]);
@@ -322,10 +400,22 @@ mod tests {
     fn quality_metrics_match_definitions() {
         let gold = vec![true, true, false, false];
         let sel = vec![
-            PseudoLabel { index: 0, label: true },  // TP
-            PseudoLabel { index: 1, label: false }, // FN
-            PseudoLabel { index: 2, label: false }, // TN
-            PseudoLabel { index: 3, label: true },  // FP
+            PseudoLabel {
+                index: 0,
+                label: true,
+            }, // TP
+            PseudoLabel {
+                index: 1,
+                label: false,
+            }, // FN
+            PseudoLabel {
+                index: 2,
+                label: false,
+            }, // TN
+            PseudoLabel {
+                index: 3,
+                label: true,
+            }, // FP
         ];
         let (tpr, tnr) = pseudo_label_quality(&sel, &gold);
         assert!((tpr - 0.5).abs() < 1e-12);
@@ -336,7 +426,10 @@ mod tests {
     fn u_r_controls_selection_size() {
         let mut stub = Stub::new(vec![0.5; 20], vec![0.0; 20]);
         for (u_r, expect) in [(0.1, 2), (0.25, 5), (1.0, 20)] {
-            let cfg = PseudoCfg { u_r, ..Default::default() };
+            let cfg = PseudoCfg {
+                u_r,
+                ..Default::default()
+            };
             let sel = select_pseudo_labels(&mut stub, &pool(20), &cfg);
             assert_eq!(sel.len(), expect);
         }

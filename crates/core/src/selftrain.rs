@@ -39,10 +39,20 @@ impl LstCfg {
     pub fn quick() -> Self {
         LstCfg {
             iterations: 1,
-            teacher: TrainCfg { epochs: 10, ..Default::default() },
-            student: TrainCfg { epochs: 12, ..Default::default() },
+            teacher: TrainCfg {
+                epochs: 10,
+                ..Default::default()
+            },
+            student: TrainCfg {
+                epochs: 12,
+                ..Default::default()
+            },
             pseudo: PseudoCfg::default(),
-            prune: Some(PruneCfg { every: 3, e_r: 0.2, passes: 10 }),
+            prune: Some(PruneCfg {
+                every: 3,
+                e_r: 0.2,
+                passes: 10,
+            }),
             seed: 0x157,
         }
     }
@@ -52,10 +62,23 @@ impl LstCfg {
     pub fn paper() -> Self {
         LstCfg {
             iterations: 1,
-            teacher: TrainCfg { epochs: 20, ..Default::default() },
-            student: TrainCfg { epochs: 30, ..Default::default() },
-            pseudo: PseudoCfg { passes: 10, ..Default::default() },
-            prune: Some(PruneCfg { every: 8, e_r: 0.2, passes: 10 }),
+            teacher: TrainCfg {
+                epochs: 20,
+                ..Default::default()
+            },
+            student: TrainCfg {
+                epochs: 30,
+                ..Default::default()
+            },
+            pseudo: PseudoCfg {
+                passes: 10,
+                ..Default::default()
+            },
+            prune: Some(PruneCfg {
+                every: 8,
+                e_r: 0.2,
+                passes: 10,
+            }),
             seed: 0x157,
         }
     }
@@ -112,17 +135,33 @@ pub fn lightweight_self_train<M: TunableMatcher>(
     let mut report = LstReport::default();
     let mut best: Option<(M, f64)> = None;
 
+    let _lst_span = em_obs::span("lst");
     for iter in 0..cfg.iterations.max(1) {
+        let _iter_span = em_obs::span_with("lst_iter", format!("iter {iter}"));
         // Lines 2-4: fresh teacher trained on D_L.
         let mut teacher = proto.fresh(cfg.seed.wrapping_add(iter as u64 * 2));
-        report.teacher = teacher.train(&d_l, valid, &cfg.teacher, None);
+        {
+            let _span = em_obs::span("teacher");
+            report.teacher = teacher.train(&d_l, valid, &cfg.teacher, None);
+        }
 
         // Lines 5-8: uncertainty-aware pseudo-label selection.
-        let selected = select_pseudo_labels(&mut teacher, &d_u, &cfg.pseudo);
+        let selected = {
+            let _span = em_obs::span("pseudo_select");
+            select_pseudo_labels(&mut teacher, &d_u, &cfg.pseudo)
+        };
         report.pseudo_selected.push(selected.len());
+        let mut quality = None;
         if let Some(g) = &d_u_gold {
-            report.pseudo_quality.push(pseudo_label_quality(&selected, g));
+            let q = pseudo_label_quality(&selected, g);
+            report.pseudo_quality.push(q);
+            quality = Some(q);
         }
+        em_obs::pseudo_select(
+            selected.len() as u64,
+            quality.map(|(tpr, _)| tpr),
+            quality.map(|(_, tnr)| tnr),
+        );
         let (pseudo_examples, consumed) = apply_pseudo_labels(&d_u, &selected);
         d_l.extend(pseudo_examples);
         remove_indices(&mut d_u, &consumed);
@@ -133,7 +172,10 @@ pub fn lightweight_self_train<M: TunableMatcher>(
         // Lines 9-15: fresh student trained on the augmented D_L with
         // dynamic data pruning.
         let mut student = proto.fresh(cfg.seed.wrapping_add(iter as u64 * 2 + 1));
-        report.student = student.train(&d_l, valid, &cfg.student, cfg.prune.as_ref());
+        {
+            let _span = em_obs::span("student");
+            report.student = student.train(&d_l, valid, &cfg.student, cfg.prune.as_ref());
+        }
         report.pruned += report.student.pruned;
 
         // Line 16: keep the best student on the validation set.
@@ -187,10 +229,24 @@ mod tests {
 
         let proto = PromptEmModel::new(backbone, PromptOpts::default(), 12);
         let cfg = LstCfg {
-            teacher: TrainCfg { epochs: 3, ..Default::default() },
-            student: TrainCfg { epochs: 3, ..Default::default() },
-            pseudo: PseudoCfg { u_r: 0.2, passes: 3, ..Default::default() },
-            prune: Some(PruneCfg { every: 2, e_r: 0.1, passes: 2 }),
+            teacher: TrainCfg {
+                epochs: 3,
+                ..Default::default()
+            },
+            student: TrainCfg {
+                epochs: 3,
+                ..Default::default()
+            },
+            pseudo: PseudoCfg {
+                u_r: 0.2,
+                passes: 3,
+                ..Default::default()
+            },
+            prune: Some(PruneCfg {
+                every: 2,
+                e_r: 0.1,
+                passes: 2,
+            }),
             ..Default::default()
         };
         let (mut student, report) =
@@ -210,14 +266,27 @@ mod tests {
         let unlabeled: Vec<_> = extra.iter().map(|e| e.pair.clone()).collect();
         let proto = PromptEmModel::new(backbone, PromptOpts::default(), 15);
         let cfg = LstCfg {
-            teacher: TrainCfg { epochs: 1, ..Default::default() },
-            student: TrainCfg { epochs: 1, ..Default::default() },
-            pseudo: PseudoCfg { u_r: 0.5, passes: 2, ..Default::default() },
+            teacher: TrainCfg {
+                epochs: 1,
+                ..Default::default()
+            },
+            student: TrainCfg {
+                epochs: 1,
+                ..Default::default()
+            },
+            pseudo: PseudoCfg {
+                u_r: 0.5,
+                passes: 2,
+                ..Default::default()
+            },
             prune: None,
             ..Default::default()
         };
         let (_, report) = lightweight_self_train(&proto, &train, &valid, &unlabeled, None, &cfg);
-        assert_eq!(report.pseudo_selected[0], (unlabeled.len() as f64 * 0.5).round() as usize);
+        assert_eq!(
+            report.pseudo_selected[0],
+            (unlabeled.len() as f64 * 0.5).round() as usize
+        );
         assert!(report.pseudo_quality.is_empty());
         assert_eq!(report.pruned, 0);
     }

@@ -13,7 +13,9 @@ use std::sync::Arc;
 /// content vocabulary of paired "entities".
 pub fn toy_corpus() -> Vec<String> {
     let mut corpus = Vec::new();
-    let names = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"];
+    let names = [
+        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+    ];
     for (i, a) in names.iter().enumerate() {
         for (j, b) in names.iter().enumerate() {
             if (i + j) % 3 == 0 {
@@ -28,7 +30,11 @@ pub fn toy_corpus() -> Vec<String> {
     let neg = ["mismatched", "different", "irrelevant"];
     for (i, a) in names.iter().enumerate() {
         for (j, b) in names.iter().enumerate() {
-            let w = if i == j { pos[(i + j) % 3] } else { neg[(i + j) % 3] };
+            let w = if i == j {
+                pos[(i + j) % 3]
+            } else {
+                neg[(i + j) % 3]
+            };
             if i == j || (i + 2 * j) % 4 == 0 {
                 corpus.push(format!("{a} shop {b} shop they are {w}"));
                 corpus.push(format!("{a} shop is {w} to {b} shop"));
@@ -57,7 +63,10 @@ pub fn tiny_backbone() -> Arc<PretrainedLm> {
                     max_len: 24,
                     dropout: 0.1,
                 },
-                &PretrainCfg { max_steps: 1500, ..Default::default() },
+                &PretrainCfg {
+                    max_steps: 1500,
+                    ..Default::default()
+                },
                 0xBACB0E,
             ))
         })
@@ -67,16 +76,27 @@ pub fn tiny_backbone() -> Arc<PretrainedLm> {
 /// A toy matching task: a pair matches iff both sides mention the same
 /// entity name. Returns (train, valid).
 pub fn toy_examples(lm: &PretrainedLm, n: usize, seed: u64) -> (Vec<Example>, Vec<Example>) {
-    let names = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"];
+    let names = [
+        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+    ];
     let mut rng = StdRng::seed_from_u64(seed);
     let mut all = Vec::with_capacity(n);
     for k in 0..n {
         let i = rng.gen_range(0..names.len());
         let matched = k % 2 == 0;
-        let j = if matched { i } else { (i + 1 + rng.gen_range(0..names.len() - 1)) % names.len() };
-        let a = lm.tokenizer.encode(&format!("[COL] name [VAL] {} shop", names[i]));
+        let j = if matched {
+            i
+        } else {
+            (i + 1 + rng.gen_range(0..names.len() - 1)) % names.len()
+        };
+        let a = lm
+            .tokenizer
+            .encode(&format!("[COL] name [VAL] {} shop", names[i]));
         let b = lm.tokenizer.encode(&format!("{} shop", names[j]));
-        all.push(Example { pair: EncodedPair { ids_a: a, ids_b: b }, label: i == j });
+        all.push(Example {
+            pair: EncodedPair { ids_a: a, ids_b: b },
+            label: i == j,
+        });
     }
     let split = (n * 3) / 4;
     let valid = all.split_off(split);
@@ -93,13 +113,23 @@ mod tests {
         let (train, valid) = toy_examples(&lm, 40, 9);
         assert_eq!(train.len() + valid.len(), 40);
         let pos = train.iter().filter(|e| e.label).count();
-        assert!(pos > 5 && pos < train.len() - 5, "degenerate balance: {pos}");
+        assert!(
+            pos > 5 && pos < train.len() - 5,
+            "degenerate balance: {pos}"
+        );
     }
 
     #[test]
     fn backbone_vocabulary_covers_label_words() {
         let lm = tiny_backbone();
-        for w in ["matched", "similar", "relevant", "mismatched", "different", "irrelevant"] {
+        for w in [
+            "matched",
+            "similar",
+            "relevant",
+            "mismatched",
+            "different",
+            "irrelevant",
+        ] {
             assert!(lm.tokenizer.id_of(w).is_some(), "{w} missing");
         }
     }

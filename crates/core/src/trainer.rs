@@ -28,7 +28,14 @@ pub struct TrainCfg {
 
 impl Default for TrainCfg {
     fn default() -> Self {
-        TrainCfg { epochs: 10, batch_size: 16, lr: 1e-4, best_on_valid: true, balance: true, seed: 7 }
+        TrainCfg {
+            epochs: 10,
+            batch_size: 16,
+            lr: 1e-4,
+            best_on_valid: true,
+            balance: true,
+            seed: 7,
+        }
     }
 }
 
@@ -47,7 +54,11 @@ pub struct PruneCfg {
 
 impl Default for PruneCfg {
     fn default() -> Self {
-        PruneCfg { every: 3, e_r: 0.2, passes: 10 }
+        PruneCfg {
+            every: 3,
+            e_r: 0.2,
+            passes: 10,
+        }
     }
 }
 

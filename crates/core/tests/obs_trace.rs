@@ -1,0 +1,222 @@
+//! Integration test: a Scale::Quick LST run must emit the expected span
+//! tree and telemetry events — pretrain steps, teacher/student epochs,
+//! pseudo-label selection and pruning — in pipeline order.
+
+use em_data::synth::{build, BenchmarkId, Scale};
+use em_obs::{Event, EventKind};
+use promptem::pipeline::{run, PromptEmConfig};
+use promptem::pseudo::PseudoCfg;
+use promptem::selftrain::LstCfg;
+use promptem::trainer::{PruneCfg, TrainCfg};
+
+/// A tiny budget that still walks the full LST path: teacher, pseudo-label
+/// selection, student with a mid-training pruning event.
+fn traced_cfg() -> PromptEmConfig {
+    PromptEmConfig {
+        lst: LstCfg {
+            teacher: TrainCfg {
+                epochs: 2,
+                ..Default::default()
+            },
+            // Three epochs with pruning every 2 fires exactly one prune
+            // event (epoch 2 of 3); batch_size 4 keeps the working set
+            // above the prune-eligibility floor.
+            student: TrainCfg {
+                epochs: 3,
+                batch_size: 4,
+                ..Default::default()
+            },
+            pseudo: PseudoCfg {
+                passes: 2,
+                ..Default::default()
+            },
+            prune: Some(PruneCfg {
+                every: 2,
+                e_r: 0.1,
+                passes: 2,
+            }),
+            ..LstCfg::quick()
+        },
+        pretrain: em_lm::PretrainCfg {
+            epochs: 1,
+            max_steps: 30,
+            ..Default::default()
+        },
+        corpus: em_data::corpus::CorpusCfg {
+            max_record_sentences: 100,
+            relation_statements: 50,
+            ..Default::default()
+        },
+        grid_template: false,
+        ..Default::default()
+    }
+}
+
+fn open_id(events: &[Event], name: &str) -> u64 {
+    events
+        .iter()
+        .find_map(|e| match &e.kind {
+            EventKind::SpanOpen { id, name: n, .. } if n == name => Some(*id),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no span_open for '{name}'"))
+}
+
+fn open_seq(events: &[Event], name: &str) -> u64 {
+    let id = open_id(events, name);
+    events
+        .iter()
+        .find(|e| matches!(&e.kind, EventKind::SpanOpen { id: i, .. } if *i == id))
+        .unwrap()
+        .seq
+}
+
+#[test]
+fn quick_lst_run_emits_expected_span_tree() {
+    let ds = build(BenchmarkId::RelHeter, Scale::Quick, 41);
+    let ((), events) = em_obs::capture(|| {
+        em_obs::set_run_seed(41);
+        let result = run(&ds, &traced_cfg());
+        assert!(result.scores.f1.is_finite());
+    });
+    assert!(!events.is_empty(), "telemetry produced no events");
+
+    // Sequence numbers strictly increase in emission order.
+    for pair in events.windows(2) {
+        assert!(
+            pair[0].seq < pair[1].seq,
+            "seq not monotonic: {} then {}",
+            pair[0].seq,
+            pair[1].seq
+        );
+    }
+    // Every event carries the run seed set before the pipeline ran.
+    assert!(
+        events.iter().all(|e| e.seed == 41),
+        "run seed missing from events"
+    );
+
+    // Every span that opened also closed, with matching names.
+    let opens: Vec<(u64, String)> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::SpanOpen { id, name, .. } => Some((*id, name.clone())),
+            _ => None,
+        })
+        .collect();
+    for (id, name) in &opens {
+        assert!(
+            events.iter().any(|e| matches!(
+                &e.kind,
+                EventKind::SpanClose { id: i, name: n, .. } if i == id && n == name
+            )),
+            "span {name}#{id} never closed"
+        );
+    }
+
+    // Pipeline phases appear in order: pretrain → encode → tune → lst →
+    // teacher → pseudo_select → student.
+    let order: Vec<u64> = [
+        "pretrain",
+        "encode",
+        "tune",
+        "lst",
+        "teacher",
+        "pseudo_select",
+        "student",
+    ]
+    .iter()
+    .map(|n| open_seq(&events, n))
+    .collect();
+    for pair in order.windows(2) {
+        assert!(pair[0] < pair[1], "pipeline spans out of order: {order:?}");
+    }
+
+    // Span nesting: lst under tune, teacher/student under their iteration.
+    let tune = open_id(&events, "tune");
+    let lst = open_id(&events, "lst");
+    let iter = open_id(&events, "lst_iter");
+    for (child, parent) in [
+        ("lst", tune),
+        ("lst_iter", lst),
+        ("teacher", iter),
+        ("student", iter),
+    ] {
+        let child_id = open_id(&events, child);
+        let got = events.iter().find_map(|e| match &e.kind {
+            EventKind::SpanOpen { id, parent, .. } if *id == child_id => Some(*parent),
+            _ => None,
+        });
+        assert_eq!(
+            got,
+            Some(Some(parent)),
+            "span '{child}' has the wrong parent"
+        );
+    }
+
+    // Pretraining stepped at least once, tagged with the pretrain span.
+    let pretrain = open_id(&events, "pretrain");
+    let steps: Vec<&Event> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::PretrainStep { .. }))
+        .collect();
+    assert!(!steps.is_empty(), "no pretrain_step events");
+    assert!(
+        steps.iter().all(|e| e.span == Some(pretrain)),
+        "pretrain steps outside their span"
+    );
+
+    // Teacher and student epochs: counts match the configured budgets, and
+    // each carries a finite loss plus validation F1/threshold.
+    let teacher = open_id(&events, "teacher");
+    let student = open_id(&events, "student");
+    let epochs_in = |span: u64| -> Vec<&Event> {
+        events
+            .iter()
+            .filter(|e| e.span == Some(span) && matches!(e.kind, EventKind::Epoch { .. }))
+            .collect()
+    };
+    assert_eq!(epochs_in(teacher).len(), 2, "teacher epoch events");
+    let student_epochs = epochs_in(student);
+    assert_eq!(student_epochs.len(), 3, "student epoch events");
+    for e in &student_epochs {
+        match &e.kind {
+            EventKind::Epoch {
+                train_loss,
+                valid_f1,
+                threshold,
+                ..
+            } => {
+                assert!(train_loss.is_finite());
+                assert!(valid_f1.is_some(), "student epoch missing valid F1");
+                assert!(threshold.is_some(), "student epoch missing threshold");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // Pseudo-label selection happened inside the LST iteration, with audit
+    // quality attached (the pipeline passes gold labels).
+    let select = events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::PseudoSelect { .. }))
+        .expect("no pseudo_select event");
+    assert_eq!(select.span, Some(iter));
+    match select.kind {
+        EventKind::PseudoSelect { count, tpr, tnr } => {
+            assert!(count > 0, "no pseudo-labels selected");
+            assert!(tpr.is_some() && tnr.is_some(), "audit quality missing");
+        }
+        _ => unreachable!(),
+    }
+
+    // Exactly one prune event (student: 3 epochs, prune every 2), inside
+    // the student span, dropping at least one example.
+    let prunes: Vec<&Event> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Prune { .. }))
+        .collect();
+    assert_eq!(prunes.len(), 1, "expected one prune event");
+    assert_eq!(prunes[0].span, Some(student));
+    assert!(matches!(prunes[0].kind, EventKind::Prune { dropped, passes: 2 } if dropped > 0));
+}

@@ -72,8 +72,10 @@ impl TokenIndex {
                 }
             }
         }
-        let mut out: Vec<(usize, usize)> =
-            counts.into_iter().filter(|&(_, c)| c >= min_overlap).collect();
+        let mut out: Vec<(usize, usize)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= min_overlap)
+            .collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -110,7 +112,12 @@ pub struct BlockingReport {
 
 /// Evaluate top-`k` token-overlap blocking on a dataset: how many of the
 /// gold matches (across every split) survive, and at what candidate cost.
-pub fn evaluate_blocking(ds: &crate::pair::GemDataset, k: usize, min_overlap: usize) -> BlockingReport {
+pub fn evaluate_blocking(
+    ds: &crate::pair::GemDataset,
+    k: usize,
+    min_overlap: usize,
+) -> BlockingReport {
+    let _span = em_obs::span_with("block", ds.name.clone());
     let index = TokenIndex::build(&ds.right.records, ds.right.format);
     let mut survivors: HashSet<(usize, usize)> = HashSet::new();
     let mut candidates = 0usize;
@@ -121,6 +128,7 @@ pub fn evaluate_blocking(ds: &crate::pair::GemDataset, k: usize, min_overlap: us
             candidates += 1;
         }
     }
+    em_obs::block(candidates as u64);
     let gold: Vec<(usize, usize)> = ds
         .train
         .iter()
@@ -131,7 +139,11 @@ pub fn evaluate_blocking(ds: &crate::pair::GemDataset, k: usize, min_overlap: us
         .map(|lp| (lp.pair.left, lp.pair.right))
         .collect();
     let hit = gold.iter().filter(|p| survivors.contains(p)).count();
-    let recall = if gold.is_empty() { 1.0 } else { hit as f64 / gold.len() as f64 };
+    let recall = if gold.is_empty() {
+        1.0
+    } else {
+        hit as f64 / gold.len() as f64
+    };
     let total = (ds.left.records.len() * ds.right.records.len()).max(1);
     BlockingReport {
         recall,
@@ -200,7 +212,11 @@ mod tests {
         // Positives share many tokens by construction: a top-10 blocker
         // must keep most of them while pruning most of the space.
         assert!(r.recall > 0.8, "blocking recall too low: {}", r.recall);
-        assert!(r.reduction_ratio > 0.8, "no reduction: {}", r.reduction_ratio);
+        assert!(
+            r.reduction_ratio > 0.8,
+            "no reduction: {}",
+            r.reduction_ratio
+        );
         assert!(r.candidates > 0);
     }
 

@@ -83,19 +83,31 @@ pub fn build_pretrain_corpus(
 
     // (1) plain record sentences, alternating sides so both schemas are
     // represented even under the cap.
-    let left_ser: Vec<String> =
-        ds.left.records.iter().map(|r| serialize(r, ds.left.format)).collect();
-    let right_ser: Vec<String> =
-        ds.right.records.iter().map(|r| serialize(r, ds.right.format)).collect();
+    let left_ser: Vec<String> = ds
+        .left
+        .records
+        .iter()
+        .map(|r| serialize(r, ds.left.format))
+        .collect();
+    let right_ser: Vec<String> = ds
+        .right
+        .records
+        .iter()
+        .map(|r| serialize(r, ds.right.format))
+        .collect();
     // Relational statements compare TF-IDF summaries — the same record
     // representation downstream models are tuned on (Appendix F applied
     // uniformly), keeping pretraining and prompting in-distribution.
     let left_tfidf = TfIdf::fit(left_ser.iter().map(|s| s.as_str()));
     let right_tfidf = TfIdf::fit(right_ser.iter().map(|s| s.as_str()));
-    let left_sum: Vec<String> =
-        left_ser.iter().map(|s| left_tfidf.summarize(s, cfg.side_tokens)).collect();
-    let right_sum: Vec<String> =
-        right_ser.iter().map(|s| right_tfidf.summarize(s, cfg.side_tokens)).collect();
+    let left_sum: Vec<String> = left_ser
+        .iter()
+        .map(|s| left_tfidf.summarize(s, cfg.side_tokens))
+        .collect();
+    let right_sum: Vec<String> = right_ser
+        .iter()
+        .map(|s| right_tfidf.summarize(s, cfg.side_tokens))
+        .collect();
     let mut record_sentences: Vec<&String> = left_ser.iter().chain(right_ser.iter()).collect();
     record_sentences.shuffle(rng);
     for s in record_sentences.iter().take(cfg.max_record_sentences) {
@@ -181,7 +193,12 @@ mod tests {
     fn corpus_for(id: BenchmarkId) -> Vec<String> {
         let ds = build(id, Scale::Quick, 21);
         let mut rng = StdRng::seed_from_u64(22);
-        build_pretrain_corpus(&ds, &RelationWords::default(), &CorpusCfg::default(), &mut rng)
+        build_pretrain_corpus(
+            &ds,
+            &RelationWords::default(),
+            &CorpusCfg::default(),
+            &mut rng,
+        )
     }
 
     #[test]
@@ -200,12 +217,25 @@ mod tests {
     fn corpus_contains_all_relation_words() {
         let c = corpus_for(BenchmarkId::SemiHomo);
         let joined = c.join(" ");
-        for w in ["matched", "similar", "relevant", "mismatched", "different", "irrelevant"] {
-            assert!(joined.contains(w), "relation word '{w}' missing from corpus");
+        for w in [
+            "matched",
+            "similar",
+            "relevant",
+            "mismatched",
+            "different",
+            "irrelevant",
+        ] {
+            assert!(
+                joined.contains(w),
+                "relation word '{w}' missing from corpus"
+            );
         }
         // Template glue words must be present for the hard templates.
         for w in ["they", "are", "is", "to"] {
-            assert!(joined.split_whitespace().any(|t| t == w), "glue word '{w}' missing");
+            assert!(
+                joined.split_whitespace().any(|t| t == w),
+                "glue word '{w}' missing"
+            );
         }
     }
 
@@ -220,7 +250,12 @@ mod tests {
         }
         let mk = |d: &crate::pair::GemDataset| {
             let mut rng = StdRng::seed_from_u64(9);
-            build_pretrain_corpus(d, &RelationWords::default(), &CorpusCfg::default(), &mut rng)
+            build_pretrain_corpus(
+                d,
+                &RelationWords::default(),
+                &CorpusCfg::default(),
+                &mut rng,
+            )
         };
         assert_eq!(mk(&ds), mk(&flipped));
     }
@@ -231,7 +266,10 @@ mod tests {
         let cfg = CorpusCfg::default();
         for s in c.iter().filter(|s| s.contains(" they are ")) {
             let n = s.split_whitespace().count();
-            assert!(n <= 2 * cfg.side_tokens + 3, "statement too long: {n} tokens");
+            assert!(
+                n <= 2 * cfg.side_tokens + 3,
+                "statement too long: {n} tokens"
+            );
         }
     }
 }

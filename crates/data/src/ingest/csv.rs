@@ -73,7 +73,10 @@ pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
         }
     }
     if in_quotes {
-        return Err(CsvError { line, message: "unterminated quoted field".into() });
+        return Err(CsvError {
+            line,
+            message: "unterminated quoted field".into(),
+        });
     }
     if !field.is_empty() || !row.is_empty() {
         row.push(field);

@@ -82,12 +82,20 @@ pub fn table_to_string(t: &Table) -> String {
                     }
                 }
             }
-            let mut out = header.iter().map(|h| csv_quote(h)).collect::<Vec<_>>().join(",");
+            let mut out = header
+                .iter()
+                .map(|h| csv_quote(h))
+                .collect::<Vec<_>>()
+                .join(",");
             out.push('\n');
             for r in &t.records {
                 let row: Vec<String> = header
                     .iter()
-                    .map(|h| r.get(h).map(|v| csv_quote(&v.to_text())).unwrap_or_default())
+                    .map(|h| {
+                        r.get(h)
+                            .map(|v| csv_quote(&v.to_text()))
+                            .unwrap_or_default()
+                    })
                     .collect();
                 out.push_str(&row.join(","));
                 out.push('\n');
@@ -105,7 +113,13 @@ pub fn table_to_string(t: &Table) -> String {
         Format::Textual => {
             let mut out = String::new();
             for r in &t.records {
-                out.push_str(&r.attrs.iter().map(|(_, v)| v.to_text()).collect::<Vec<_>>().join(" "));
+                out.push_str(
+                    &r.attrs
+                        .iter()
+                        .map(|(_, v)| v.to_text())
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                );
                 out.push('\n');
             }
             out
@@ -117,7 +131,12 @@ pub fn table_to_string(t: &Table) -> String {
 pub fn labels_to_csv(pairs: &[LabeledPair]) -> String {
     let mut out = String::from("left,right,label\n");
     for lp in pairs {
-        out.push_str(&format!("{},{},{}\n", lp.pair.left, lp.pair.right, u8::from(lp.label)));
+        out.push_str(&format!(
+            "{},{},{}\n",
+            lp.pair.left,
+            lp.pair.right,
+            u8::from(lp.label)
+        ));
     }
     out
 }
@@ -153,7 +172,10 @@ mod tests {
         let body = table_to_string(&t);
         let parsed = records_from_csv(&body).unwrap();
         assert_eq!(parsed.len(), 2);
-        assert_eq!(parsed[0].get("name"), Some(&Value::Text("blue, cafe".into())));
+        assert_eq!(
+            parsed[0].get("name"),
+            Some(&Value::Text("blue, cafe".into()))
+        );
         assert_eq!(parsed[1].get("year"), Some(&Value::Number(1999.0)));
     }
 
@@ -172,7 +194,10 @@ mod tests {
         let body = table_to_string(&t);
         let parsed = records_from_jsonl(&body).unwrap();
         assert_eq!(parsed.len(), 1);
-        assert_eq!(parsed[0].get("title"), Some(&Value::Text("a \"quoted\" title".into())));
+        assert_eq!(
+            parsed[0].get("title"),
+            Some(&Value::Text("a \"quoted\" title".into()))
+        );
         match parsed[0].get("pub") {
             Some(Value::Nested(f)) => assert_eq!(f[0].0, "venue"),
             other => panic!("nested lost: {other:?}"),
@@ -190,8 +215,14 @@ mod tests {
     #[test]
     fn labels_csv_shape() {
         let pairs = vec![
-            LabeledPair { pair: Pair { left: 0, right: 3 }, label: true },
-            LabeledPair { pair: Pair { left: 1, right: 2 }, label: false },
+            LabeledPair {
+                pair: Pair { left: 0, right: 3 },
+                label: true,
+            },
+            LabeledPair {
+                pair: Pair { left: 1, right: 2 },
+                label: false,
+            },
         ];
         assert_eq!(labels_to_csv(&pairs), "left,right,label\n0,3,1\n1,2,0\n");
     }

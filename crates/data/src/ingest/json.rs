@@ -31,7 +31,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
-        Err(JsonError { offset: self.pos, message: message.into() })
+        Err(JsonError {
+            offset: self.pos,
+            message: message.into(),
+        })
     }
 
     fn skip_ws(&mut self) {
@@ -178,8 +181,10 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Consume one UTF-8 scalar.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| JsonError { offset: self.pos, message: "invalid UTF-8".into() })?;
+                    let s = std::str::from_utf8(rest).map_err(|_| JsonError {
+                        offset: self.pos,
+                        message: "invalid UTF-8".into(),
+                    })?;
                     let c = s.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -208,7 +213,10 @@ impl<'a> Parser<'a> {
 
 /// Parse one JSON document into a [`Value`].
 pub fn parse_json(input: &str) -> Result<Value, JsonError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -221,7 +229,10 @@ pub fn parse_json(input: &str) -> Result<Value, JsonError> {
 pub fn record_from_json(input: &str) -> Result<Record, JsonError> {
     match parse_json(input)? {
         Value::Nested(fields) => Ok(Record { attrs: fields }),
-        _ => Err(JsonError { offset: 0, message: "top-level value is not an object".into() }),
+        _ => Err(JsonError {
+            offset: 0,
+            message: "top-level value is not an object".into(),
+        }),
     }
 }
 

@@ -41,13 +41,21 @@ impl std::error::Error for IngestError {}
 /// ```
 pub fn table_from_csv(name: impl Into<String>, body: &str) -> Result<Table, IngestError> {
     let records = records_from_csv(body).map_err(IngestError::Csv)?;
-    Ok(Table { name: name.into(), format: Format::Relational, records })
+    Ok(Table {
+        name: name.into(),
+        format: Format::Relational,
+        records,
+    })
 }
 
 /// Build a semi-structured table from a JSON-Lines body.
 pub fn table_from_jsonl(name: impl Into<String>, body: &str) -> Result<Table, IngestError> {
     let records = records_from_jsonl(body).map_err(IngestError::Json)?;
-    Ok(Table { name: name.into(), format: Format::SemiStructured, records })
+    Ok(Table {
+        name: name.into(),
+        format: Format::SemiStructured,
+        records,
+    })
 }
 
 /// Build a textual table: one record per non-empty line.
@@ -58,7 +66,11 @@ pub fn table_from_text(name: impl Into<String>, body: &str) -> Table {
         .filter(|l| !l.is_empty())
         .map(Record::textual)
         .collect();
-    Table { name: name.into(), format: Format::Textual, records }
+    Table {
+        name: name.into(),
+        format: Format::Textual,
+        records,
+    }
 }
 
 /// Pick the loader from a file extension (`csv`, `jsonl`/`ndjson`,
@@ -102,11 +114,19 @@ mod tests {
 
     #[test]
     fn extension_dispatch() {
-        assert_eq!(table_from_extension("x", "CSV", "a\n1\n").unwrap().format, Format::Relational);
         assert_eq!(
-            table_from_extension("x", "jsonl", "{\"a\":1}").unwrap().format,
+            table_from_extension("x", "CSV", "a\n1\n").unwrap().format,
+            Format::Relational
+        );
+        assert_eq!(
+            table_from_extension("x", "jsonl", "{\"a\":1}")
+                .unwrap()
+                .format,
             Format::SemiStructured
         );
-        assert_eq!(table_from_extension("x", "txt", "hello").unwrap().format, Format::Textual);
+        assert_eq!(
+            table_from_extension("x", "txt", "hello").unwrap().format,
+            Format::Textual
+        );
     }
 }

@@ -111,7 +111,11 @@ impl PrfScores {
 
 impl std::fmt::Display for PrfScores {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "P={:5.1} R={:5.1} F={:5.1}", self.precision, self.recall, self.f1)
+        write!(
+            f,
+            "P={:5.1} R={:5.1} F={:5.1}",
+            self.precision, self.recall, self.f1
+        )
     }
 }
 
@@ -123,7 +127,15 @@ mod tests {
     fn perfect_predictions() {
         let gold = [true, false, true, false];
         let c = Confusion::from_pairs(&gold, &gold);
-        assert_eq!(c, Confusion { tp: 2, fp: 0, tn: 2, fn_: 0 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 0,
+                tn: 2,
+                fn_: 0
+            }
+        );
         assert_eq!(c.precision(), 1.0);
         assert_eq!(c.recall(), 1.0);
         assert_eq!(c.f1(), 1.0);
@@ -133,8 +145,12 @@ mod tests {
     #[test]
     fn known_confusion_values() {
         // 3 TP, 1 FP, 4 TN, 2 FN
-        let pred = [true, true, true, true, false, false, false, false, false, false];
-        let gold = [true, true, true, false, false, false, false, false, true, true];
+        let pred = [
+            true, true, true, true, false, false, false, false, false, false,
+        ];
+        let gold = [
+            true, true, true, false, false, false, false, false, true, true,
+        ];
         let c = Confusion::from_pairs(&pred, &gold);
         assert_eq!((c.tp, c.fp, c.tn, c.fn_), (3, 1, 4, 2));
         assert!((c.precision() - 0.75).abs() < 1e-12);

@@ -53,7 +53,10 @@ pub struct GemDataset {
 impl GemDataset {
     /// The record pair behind a candidate.
     pub fn records(&self, pair: Pair) -> (&Record, &Record) {
-        (&self.left.records[pair.left], &self.right.records[pair.right])
+        (
+            &self.left.records[pair.left],
+            &self.right.records[pair.right],
+        )
     }
 
     /// Total labeled examples across every split plus the unlabeled pool —
@@ -80,8 +83,12 @@ impl GemDataset {
     /// labeled train set and the rest returns to the unlabeled pool. Used by
     /// Figure 3 (rate sweep) and Table 3 (fixed budget).
     pub fn with_rate(&self, rate: f64, rng: &mut impl Rng) -> GemDataset {
-        let mut pool: Vec<LabeledPair> =
-            self.train.iter().chain(self.unlabeled.iter()).copied().collect();
+        let mut pool: Vec<LabeledPair> = self
+            .train
+            .iter()
+            .chain(self.unlabeled.iter())
+            .copied()
+            .collect();
         let want = ((pool.len() + self.valid.len() + self.test.len()) as f64 * rate)
             .round()
             .max(2.0) as usize;
@@ -102,8 +109,12 @@ impl GemDataset {
 
     /// A fixed labeled budget (Table 3 uses 80 for every dataset).
     pub fn with_budget(&self, budget: usize, rng: &mut impl Rng) -> GemDataset {
-        let mut pool: Vec<LabeledPair> =
-            self.train.iter().chain(self.unlabeled.iter()).copied().collect();
+        let mut pool: Vec<LabeledPair> = self
+            .train
+            .iter()
+            .chain(self.unlabeled.iter())
+            .copied()
+            .collect();
         let want = budget.min(pool.len());
         let (train, unlabeled) = stratified_split(&mut pool, want, rng);
         let total = self.all_labeled() as f64;
@@ -123,8 +134,12 @@ impl GemDataset {
     /// The sufficient-resource variant (Appendix A): every pooled label is
     /// available for training.
     pub fn sufficient(&self) -> GemDataset {
-        let train: Vec<LabeledPair> =
-            self.train.iter().chain(self.unlabeled.iter()).copied().collect();
+        let train: Vec<LabeledPair> = self
+            .train
+            .iter()
+            .chain(self.unlabeled.iter())
+            .copied()
+            .collect();
         GemDataset {
             name: self.name.clone(),
             domain: self.domain.clone(),
@@ -142,14 +157,18 @@ impl GemDataset {
 /// Draw `want` examples keeping the positive rate roughly intact; returns
 /// (selected, remainder).
 pub fn stratified_split(
-    pool: &mut Vec<LabeledPair>,
+    pool: &mut [LabeledPair],
     want: usize,
     rng: &mut impl Rng,
 ) -> (Vec<LabeledPair>, Vec<LabeledPair>) {
     pool.shuffle(rng);
     let (pos, neg): (Vec<LabeledPair>, Vec<LabeledPair>) =
         pool.iter().copied().partition(|p| p.label);
-    let pos_rate = if pool.is_empty() { 0.0 } else { pos.len() as f64 / pool.len() as f64 };
+    let pos_rate = if pool.is_empty() {
+        0.0
+    } else {
+        pos.len() as f64 / pool.len() as f64
+    };
     let want_pos = ((want as f64 * pos_rate).round() as usize).clamp(
         usize::from(want > 1 && !pos.is_empty()),
         pos.len().min(want),
@@ -193,12 +212,16 @@ mod tests {
         let mut left = Table::new("l", Format::Relational);
         let mut right = Table::new("r", Format::Textual);
         for i in 0..30 {
-            left.records.push(Record::new().with("id", crate::record::Value::Number(i as f64)));
+            left.records
+                .push(Record::new().with("id", crate::record::Value::Number(i as f64)));
             right.records.push(Record::textual(format!("record {i}")));
         }
         let mut labeled = Vec::new();
         for i in 0..30 {
-            labeled.push(LabeledPair { pair: Pair { left: i, right: i }, label: i % 4 == 0 });
+            labeled.push(LabeledPair {
+                pair: Pair { left: i, right: i },
+                label: i % 4 == 0,
+            });
         }
         let mut rng = StdRng::seed_from_u64(1);
         let (rest, valid, test) = three_way_split(labeled, 0.2, 0.2, &mut rng);
@@ -229,7 +252,10 @@ mod tests {
     #[test]
     fn stratified_split_keeps_positives() {
         let mut pool: Vec<LabeledPair> = (0..100)
-            .map(|i| LabeledPair { pair: Pair { left: i, right: i }, label: i < 25 })
+            .map(|i| LabeledPair {
+                pair: Pair { left: i, right: i },
+                label: i < 25,
+            })
             .collect();
         let mut rng = StdRng::seed_from_u64(2);
         let (sel, rest) = stratified_split(&mut pool, 20, &mut rng);

@@ -28,9 +28,11 @@ impl Value {
         match self {
             Value::Text(s) => s.clone(),
             Value::Number(n) => format_number(*n),
-            Value::List(items) => {
-                items.iter().map(Value::to_text).collect::<Vec<_>>().join(" ")
-            }
+            Value::List(items) => items
+                .iter()
+                .map(Value::to_text)
+                .collect::<Vec<_>>()
+                .join(" "),
             Value::Nested(fields) => fields
                 .iter()
                 .map(|(k, v)| format!("{} {}", k, v.to_text()))
@@ -46,8 +48,7 @@ impl Value {
         match self {
             Value::Number(_) => true,
             Value::Text(s) => {
-                !s.is_empty()
-                    && s.chars().all(|c| c.is_ascii_digit() || "./- $".contains(c))
+                !s.is_empty() && s.chars().all(|c| c.is_ascii_digit() || "./- $".contains(c))
             }
             _ => false,
         }
@@ -162,7 +163,11 @@ pub struct Table {
 impl Table {
     /// An empty table.
     pub fn new(name: impl Into<String>, format: Format) -> Self {
-        Table { name: name.into(), format, records: Vec::new() }
+        Table {
+            name: name.into(),
+            format,
+            records: Vec::new(),
+        }
     }
 
     /// Number of records.
@@ -237,7 +242,8 @@ mod tests {
     fn table_mean_arity() {
         let mut t = Table::new("left", Format::Relational);
         t.records.push(Record::new().with("a", Value::Null));
-        t.records.push(Record::new().with("a", Value::Null).with("b", Value::Null));
+        t.records
+            .push(Record::new().with("a", Value::Null).with("b", Value::Null));
         assert!((t.mean_arity() - 1.5).abs() < 1e-9);
     }
 }

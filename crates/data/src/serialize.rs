@@ -18,7 +18,12 @@ pub fn serialize(record: &Record, format: Format) -> String {
     match format {
         Format::Textual => {
             // Unstructured entities are sequences originally (§2.2).
-            record.attrs.iter().map(|(_, v)| v.to_text()).collect::<Vec<_>>().join(" ")
+            record
+                .attrs
+                .iter()
+                .map(|(_, v)| v.to_text())
+                .collect::<Vec<_>>()
+                .join(" ")
         }
         Format::Relational => {
             let mut out = String::new();

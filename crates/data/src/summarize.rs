@@ -100,13 +100,19 @@ impl TfIdf {
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         let mut keep: Vec<usize> = scored.iter().take(max_tokens).map(|&(i, _)| i).collect();
         keep.sort_unstable();
-        keep.iter().map(|&i| tokens[i]).collect::<Vec<_>>().join(" ")
+        keep.iter()
+            .map(|&i| tokens[i])
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 }
 
 /// Plain head truncation, the baseline strategy Appendix F argues against.
 pub fn truncate(text: &str, max_tokens: usize) -> String {
-    text.split_whitespace().take(max_tokens).collect::<Vec<_>>().join(" ")
+    text.split_whitespace()
+        .take(max_tokens)
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 #[cfg(test)]
@@ -123,12 +129,19 @@ mod tests {
     fn summarize_keeps_rare_tokens() {
         // "common" appears in every doc, "zanzibar" in one: under pressure
         // the summary must prefer the discriminative token.
-        let docs = ["common words here", "common words there", "common zanzibar words"];
+        let docs = [
+            "common words here",
+            "common words there",
+            "common zanzibar words",
+        ];
         let t = TfIdf::fit(docs);
         let text = "common zanzibar words here there";
         let s = t.summarize(text, 2);
         assert!(s.contains("zanzibar"), "summary lost the rare token: {s}");
-        assert!(!s.contains("common"), "summary kept the ubiquitous token: {s}");
+        assert!(
+            !s.contains("common"),
+            "summary kept the ubiquitous token: {s}"
+        );
     }
 
     #[test]
@@ -149,7 +162,10 @@ mod tests {
     fn summarize_drops_stopwords_first() {
         let t = TfIdf::fit(["the quick brown fox", "the lazy dog"]);
         let s = t.summarize("the the the the quick brown fox jumps over", 4);
-        assert!(!s.split_whitespace().any(|w| w == "the"), "stopword survived: {s}");
+        assert!(
+            !s.split_whitespace().any(|w| w == "the"),
+            "stopword survived: {s}"
+        );
     }
 
     #[test]
@@ -160,7 +176,10 @@ mod tests {
             .collect();
         let t = TfIdf::fit(docs.iter().map(|s| s.as_str()));
         let s = t.summarize("[COL] name [VAL] value3 [COL] city [VAL] town3", 2);
-        assert!(s.contains("value3") && s.contains("town3"), "values lost: {s}");
+        assert!(
+            s.contains("value3") && s.contains("town3"),
+            "values lost: {s}"
+        );
         assert!(!s.contains("[COL]"), "tag survived a 2-token budget: {s}");
     }
 

@@ -165,7 +165,10 @@ pub fn build(id: BenchmarkId, scale: Scale, seed: u64) -> GemDataset {
 
 /// Build all eight benchmarks.
 pub fn build_all(scale: Scale, seed: u64) -> Vec<GemDataset> {
-    BenchmarkId::ALL.iter().map(|&id| build(id, scale, seed)).collect()
+    BenchmarkId::ALL
+        .iter()
+        .map(|&id| build(id, scale, seed))
+        .collect()
 }
 
 fn hash_id(id: BenchmarkId) -> u64 {
@@ -178,18 +181,15 @@ fn hash_id(id: BenchmarkId) -> u64 {
 // ---------------------------------------------------------------------------
 
 /// Copy a subset of attributes, renaming and noising them.
-fn project(
-    entity: &Record,
-    mapping: &[(&str, &str)],
-    cfg: &NoiseCfg,
-    rng: &mut StdRng,
-) -> Record {
+fn project(entity: &Record, mapping: &[(&str, &str)], cfg: &NoiseCfg, rng: &mut StdRng) -> Record {
     let mut out = Record::new();
     for &(src, dst) in mapping {
         if noise::drop_attr(cfg, rng) {
             continue;
         }
-        let Some(value) = entity.get(src) else { continue };
+        let Some(value) = entity.get(src) else {
+            continue;
+        };
         let noisy = noisy_value(value, cfg, rng);
         out.push(dst, noisy);
     }
@@ -205,11 +205,12 @@ fn project(
 fn noisy_value(value: &Value, cfg: &NoiseCfg, rng: &mut StdRng) -> Value {
     match value {
         Value::Text(s) => Value::Text(noise::noisy_text(s, cfg, rng)),
-        Value::List(items) => {
-            Value::List(items.iter().map(|v| noisy_value(v, cfg, rng)).collect())
-        }
+        Value::List(items) => Value::List(items.iter().map(|v| noisy_value(v, cfg, rng)).collect()),
         Value::Nested(fields) => Value::Nested(
-            fields.iter().map(|(k, v)| (k.clone(), noisy_value(v, cfg, rng))).collect(),
+            fields
+                .iter()
+                .map(|(k, v)| (k.clone(), noisy_value(v, cfg, rng)))
+                .collect(),
         ),
         other => other.clone(),
     }
@@ -229,8 +230,16 @@ fn assemble(
     rng: &mut StdRng,
 ) -> GemDataset {
     let mut labeled: Vec<LabeledPair> = Vec::with_capacity(positives.len() + negatives.len());
-    labeled.extend(positives.into_iter().map(|pair| LabeledPair { pair, label: true }));
-    labeled.extend(negatives.into_iter().map(|pair| LabeledPair { pair, label: false }));
+    labeled.extend(
+        positives
+            .into_iter()
+            .map(|pair| LabeledPair { pair, label: true }),
+    );
+    labeled.extend(
+        negatives
+            .into_iter()
+            .map(|pair| LabeledPair { pair, label: false }),
+    );
     labeled.shuffle(rng);
     let all = labeled.len();
     let (mut pool, valid, test) = three_way_split(labeled, 0.2, 0.2, rng);
@@ -301,8 +310,8 @@ fn with_siblings(
 ) -> Vec<Record> {
     let n = ((entities.len() as f64) * frac) as usize;
     let mut siblings = Vec::with_capacity(n);
-    for i in 0..n {
-        siblings.push(universe::sibling(domain, &entities[i], rng));
+    for e in entities.iter().take(n) {
+        siblings.push(universe::sibling(domain, e, rng));
     }
     entities.extend(siblings);
     entities
@@ -321,7 +330,12 @@ fn labeled_entities(n_entities: usize, n_labeled: usize, rng: &mut StdRng) -> Ve
 // ---------------------------------------------------------------------------
 
 fn rel_heter(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
-    let entities = with_siblings(universe::generate(Domain::Restaurant, n, rng), Domain::Restaurant, 0.5, rng);
+    let entities = with_siblings(
+        universe::generate(Domain::Restaurant, n, rng),
+        Domain::Restaurant,
+        0.5,
+        rng,
+    );
     let mut left = Table::new("left", Format::Relational);
     let mut right = Table::new("right", Format::Relational);
     for e in &entities {
@@ -353,14 +367,24 @@ fn rel_heter(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
         );
         // Reformatted phone under a different attribute name.
         if let Some(p) = e.get("phone") {
-            r.push("telephone", Value::Text(noise::reformat_phone(&p.to_text())));
+            r.push(
+                "telephone",
+                Value::Text(noise::reformat_phone(&p.to_text())),
+            );
         }
         right.records.push(r);
     }
     let idx = labeled_entities(n, n_labeled, rng);
     let positives: Vec<Pair> = idx.iter().map(|&i| Pair { left: i, right: i }).collect();
     let negatives = sample_negatives(&idx, &left, &right, 3, rng);
-    assemble(BenchmarkId::RelHeter, left, right, positives, negatives, rng)
+    assemble(
+        BenchmarkId::RelHeter,
+        left,
+        right,
+        positives,
+        negatives,
+        rng,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -370,7 +394,12 @@ fn rel_heter(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
 fn citation_semi_view(e: &Record, cfg: &NoiseCfg, rng: &mut StdRng) -> Record {
     let mut out = project(
         e,
-        &[("title", "title"), ("authors", "authors"), ("year", "year"), ("pages", "pages")],
+        &[
+            ("title", "title"),
+            ("authors", "authors"),
+            ("year", "year"),
+            ("pages", "pages"),
+        ],
         cfg,
         rng,
     );
@@ -393,23 +422,40 @@ fn citation_semi_view(e: &Record, cfg: &NoiseCfg, rng: &mut StdRng) -> Record {
 }
 
 fn semi_homo(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
-    let entities = with_siblings(universe::generate(Domain::Citation, n, rng), Domain::Citation, 0.7, rng);
+    let entities = with_siblings(
+        universe::generate(Domain::Citation, n, rng),
+        Domain::Citation,
+        0.7,
+        rng,
+    );
     // The real SEMI-HOMO right table is ~25x larger; emulate with 3x
     // distractors to keep blocking realistic.
     let distractors = universe::generate(Domain::Citation, 3 * n, rng);
     let mut left = Table::new("left", Format::SemiStructured);
     let mut right = Table::new("right", Format::SemiStructured);
     for e in &entities {
-        left.records.push(citation_semi_view(e, &NoiseCfg::CLEAN, rng));
-        right.records.push(citation_semi_view(e, &NoiseCfg::DIRTY, rng));
+        left.records
+            .push(citation_semi_view(e, &NoiseCfg::CLEAN, rng));
+        right
+            .records
+            .push(citation_semi_view(e, &NoiseCfg::DIRTY, rng));
     }
     for d in &distractors {
-        right.records.push(citation_semi_view(d, &NoiseCfg::CLEAN, rng));
+        right
+            .records
+            .push(citation_semi_view(d, &NoiseCfg::CLEAN, rng));
     }
     let idx = labeled_entities(n, n_labeled, rng);
     let positives: Vec<Pair> = idx.iter().map(|&i| Pair { left: i, right: i }).collect();
     let negatives = sample_negatives(&idx, &left, &right, 3, rng);
-    assemble(BenchmarkId::SemiHomo, left, right, positives, negatives, rng)
+    assemble(
+        BenchmarkId::SemiHomo,
+        left,
+        right,
+        positives,
+        negatives,
+        rng,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -419,7 +465,12 @@ fn semi_homo(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
 fn semi_heter(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
     // Books breed near-duplicate editions — the error-analysis dataset gets
     // the densest sibling population.
-    let entities = with_siblings(universe::generate(Domain::Book, n, rng), Domain::Book, 0.6, rng);
+    let entities = with_siblings(
+        universe::generate(Domain::Book, n, rng),
+        Domain::Book,
+        0.6,
+        rng,
+    );
 
     let mut left = Table::new("left", Format::SemiStructured);
     let mut right = Table::new("right", Format::SemiStructured);
@@ -463,14 +514,24 @@ fn semi_heter(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
             rng,
         );
         if let Some(d) = e.get("publication_date") {
-            r.push("PublicationDate", Value::Text(noise::reformat_date(&d.to_text())));
+            r.push(
+                "PublicationDate",
+                Value::Text(noise::reformat_date(&d.to_text())),
+            );
         }
         right.records.push(r);
     }
     let idx = labeled_entities(n, n_labeled, rng);
     let positives: Vec<Pair> = idx.iter().map(|&i| Pair { left: i, right: i }).collect();
     let negatives = sample_negatives(&idx, &left, &right, 3, rng);
-    assemble(BenchmarkId::SemiHeter, left, right, positives, negatives, rng)
+    assemble(
+        BenchmarkId::SemiHeter,
+        left,
+        right,
+        positives,
+        negatives,
+        rng,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -478,7 +539,12 @@ fn semi_heter(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
 // ---------------------------------------------------------------------------
 
 fn semi_rel(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
-    let entities = with_siblings(universe::generate(Domain::Movie, n, rng), Domain::Movie, 0.5, rng);
+    let entities = with_siblings(
+        universe::generate(Domain::Movie, n, rng),
+        Domain::Movie,
+        0.5,
+        rng,
+    );
     let mut left = Table::new("left", Format::SemiStructured);
     let mut right = Table::new("right", Format::Relational);
     for e in &entities {
@@ -521,7 +587,10 @@ fn semi_rel(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
         );
         if let Some(Value::List(actors)) = e.get("actors") {
             for (k, a) in actors.iter().enumerate() {
-                r.push(format!("star{}", k + 1), noisy_value(a, &NoiseCfg::DIRTY, rng));
+                r.push(
+                    format!("star{}", k + 1),
+                    noisy_value(a, &NoiseCfg::DIRTY, rng),
+                );
             }
         }
         right.records.push(r);
@@ -538,10 +607,19 @@ fn semi_rel(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
 
 fn semi_text(n: usize, n_labeled: usize, hard: bool, rng: &mut StdRng) -> GemDataset {
     let frac = if hard { 0.6 } else { 0.5 };
-    let entities = with_siblings(universe::generate(Domain::Product, n, rng), Domain::Product, frac, rng);
+    let entities = with_siblings(
+        universe::generate(Domain::Product, n, rng),
+        Domain::Product,
+        frac,
+        rng,
+    );
     let mut left = Table::new("left", Format::SemiStructured);
     let mut right = Table::new("right", Format::Textual);
-    let cfg = if hard { NoiseCfg::VERY_DIRTY } else { NoiseCfg::DIRTY };
+    let cfg = if hard {
+        NoiseCfg::VERY_DIRTY
+    } else {
+        NoiseCfg::DIRTY
+    };
     for e in &entities {
         left.records.push(project(
             e,
@@ -562,9 +640,16 @@ fn semi_text(n: usize, n_labeled: usize, hard: bool, rng: &mut StdRng) -> GemDat
         // The text side: the entity description, noised, padded with filler
         // sentences so TF-IDF summarization has work to do. The harder "-w"
         // variant buries the signal under more filler and heavier noise.
-        let desc = e.get("description").map(|d| d.to_text()).unwrap_or_default();
+        let desc = e
+            .get("description")
+            .map(|d| d.to_text())
+            .unwrap_or_default();
         let mut text = noise::noisy_text(&desc, &cfg, rng);
-        let n_filler = if hard { rng.gen_range(7..13) } else { rng.gen_range(3..7) };
+        let n_filler = if hard {
+            rng.gen_range(7..13)
+        } else {
+            rng.gen_range(3..7)
+        };
         for _ in 0..n_filler {
             text.push_str(&filler_sentence(rng));
         }
@@ -573,7 +658,11 @@ fn semi_text(n: usize, n_labeled: usize, hard: bool, rng: &mut StdRng) -> GemDat
     let idx = labeled_entities(n, n_labeled, rng);
     let positives: Vec<Pair> = idx.iter().map(|&i| Pair { left: i, right: i }).collect();
     let negatives = sample_negatives(&idx, &left, &right, 3, rng);
-    let id = if hard { BenchmarkId::SemiTextW } else { BenchmarkId::SemiTextC };
+    let id = if hard {
+        BenchmarkId::SemiTextW
+    } else {
+        BenchmarkId::SemiTextC
+    };
     assemble(id, left, right, positives, negatives, rng)
 }
 
@@ -594,12 +683,21 @@ fn filler_sentence(rng: &mut StdRng) -> String {
 // ---------------------------------------------------------------------------
 
 fn rel_text(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
-    let entities = with_siblings(universe::generate(Domain::Citation, n, rng), Domain::Citation, 0.5, rng);
+    let entities = with_siblings(
+        universe::generate(Domain::Citation, n, rng),
+        Domain::Citation,
+        0.5,
+        rng,
+    );
     let mut left = Table::new("left", Format::Textual);
     let mut right = Table::new("right", Format::Relational);
     for e in &entities {
         let abs = e.get("abstract").map(|a| a.to_text()).unwrap_or_default();
-        left.records.push(Record::textual(noise::noisy_text(&abs, &NoiseCfg::DIRTY, rng)));
+        left.records.push(Record::textual(noise::noisy_text(
+            &abs,
+            &NoiseCfg::DIRTY,
+            rng,
+        )));
         right.records.push(project(
             e,
             &[
@@ -625,7 +723,12 @@ fn rel_text(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
 // ---------------------------------------------------------------------------
 
 fn geo_heter(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
-    let entities = with_siblings(universe::generate(Domain::GeoSpatial, n, rng), Domain::GeoSpatial, 0.5, rng);
+    let entities = with_siblings(
+        universe::generate(Domain::GeoSpatial, n, rng),
+        Domain::GeoSpatial,
+        0.5,
+        rng,
+    );
     let mut left = Table::new("left", Format::Relational);
     let mut right = Table::new("right", Format::Relational);
     for e in &entities {
@@ -643,7 +746,11 @@ fn geo_heter(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
         ));
         let mut r = project(
             e,
-            &[("name", "name"), ("address", "address"), ("category", "category")],
+            &[
+                ("name", "name"),
+                ("address", "address"),
+                ("category", "category"),
+            ],
             &NoiseCfg::DIRTY,
             rng,
         );
@@ -657,7 +764,14 @@ fn geo_heter(n: usize, n_labeled: usize, rng: &mut StdRng) -> GemDataset {
     let idx = labeled_entities(n, n_labeled, rng);
     let positives: Vec<Pair> = idx.iter().map(|&i| Pair { left: i, right: i }).collect();
     let negatives = sample_negatives(&idx, &left, &right, 3, rng);
-    assemble(BenchmarkId::GeoHeter, left, right, positives, negatives, rng)
+    assemble(
+        BenchmarkId::GeoHeter,
+        left,
+        right,
+        positives,
+        negatives,
+        rng,
+    )
 }
 
 fn num(v: Option<&Value>) -> f64 {
@@ -678,7 +792,12 @@ mod tests {
             assert!(!d.valid.is_empty(), "{}: empty valid", d.name);
             assert!(!d.test.is_empty(), "{}: empty test", d.name);
             assert!(!d.unlabeled.is_empty(), "{}: empty unlabeled pool", d.name);
-            assert!(d.train_pos_rate() > 0.05 && d.train_pos_rate() < 0.6, "{}: degenerate positive rate {}", d.name, d.train_pos_rate());
+            assert!(
+                d.train_pos_rate() > 0.05 && d.train_pos_rate() < 0.6,
+                "{}: degenerate positive rate {}",
+                d.name,
+                d.train_pos_rate()
+            );
         }
     }
 
@@ -727,7 +846,10 @@ mod tests {
             .map(|r| r.numeric_fraction())
             .sum::<f64>()
             / d.right.records.len() as f64;
-        assert!(frac > 0.3, "SEMI-HETER right view lost its numeric attributes: {frac}");
+        assert!(
+            frac > 0.3,
+            "SEMI-HETER right view lost its numeric attributes: {frac}"
+        );
     }
 
     #[test]
@@ -764,7 +886,10 @@ mod tests {
         }
         let pmean = pos.iter().sum::<f64>() / pos.len() as f64;
         let nmean = neg.iter().sum::<f64>() / neg.len() as f64;
-        assert!(pmean > nmean, "positives ({pmean}) not more similar than negatives ({nmean})");
+        assert!(
+            pmean > nmean,
+            "positives ({pmean}) not more similar than negatives ({nmean})"
+        );
         assert!(nmean > 0.02, "negatives are all trivial: {nmean}");
     }
 
@@ -777,7 +902,12 @@ mod tests {
     #[test]
     fn geo_heter_right_has_fused_position() {
         let d = build(BenchmarkId::GeoHeter, Scale::Quick, 9);
-        let with_pos = d.right.records.iter().filter(|r| r.get("position").is_some()).count();
+        let with_pos = d
+            .right
+            .records
+            .iter()
+            .filter(|r| r.get("position").is_some())
+            .count();
         assert_eq!(with_pos, d.right.records.len());
         assert!(d.right.records.iter().all(|r| r.get("latitude").is_none()));
     }
@@ -793,7 +923,10 @@ mod tests {
                 .sum::<usize>() as f64
                 / t.len() as f64
         };
-        assert!(mean_len(&w.right) > mean_len(&c.right), "-w text not longer than -c");
+        assert!(
+            mean_len(&w.right) > mean_len(&c.right),
+            "-w text not longer than -c"
+        );
     }
 
     #[test]

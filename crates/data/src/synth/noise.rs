@@ -20,15 +20,28 @@ pub struct NoiseCfg {
 
 impl NoiseCfg {
     /// Clean view (no perturbation).
-    pub const CLEAN: NoiseCfg = NoiseCfg { typo: 0.0, abbrev: 0.0, drop_token: 0.0, drop_attr: 0.0 };
+    pub const CLEAN: NoiseCfg = NoiseCfg {
+        typo: 0.0,
+        abbrev: 0.0,
+        drop_token: 0.0,
+        drop_attr: 0.0,
+    };
 
     /// The default dirtiness of a matching view.
-    pub const DIRTY: NoiseCfg =
-        NoiseCfg { typo: 0.14, abbrev: 0.10, drop_token: 0.16, drop_attr: 0.14 };
+    pub const DIRTY: NoiseCfg = NoiseCfg {
+        typo: 0.14,
+        abbrev: 0.10,
+        drop_token: 0.16,
+        drop_attr: 0.14,
+    };
 
     /// Heavier noise for the hardest datasets.
-    pub const VERY_DIRTY: NoiseCfg =
-        NoiseCfg { typo: 0.22, abbrev: 0.16, drop_token: 0.25, drop_attr: 0.20 };
+    pub const VERY_DIRTY: NoiseCfg = NoiseCfg {
+        typo: 0.22,
+        abbrev: 0.16,
+        drop_token: 0.25,
+        drop_attr: 0.20,
+    };
 }
 
 /// Apply one random character-level typo: swap, drop or duplicate.
@@ -63,7 +76,8 @@ pub fn noisy_text(text: &str, cfg: &NoiseCfg, rng: &mut impl Rng) -> String {
     let mut out: Vec<String> = Vec::with_capacity(words.len());
     for (i, w) in words.iter().enumerate() {
         // Never drop down to an empty value.
-        if words.len() > 1 && out.is_empty() == false && rng.gen_bool(cfg.drop_token) && i + 1 < words.len() {
+        if words.len() > 1 && !out.is_empty() && rng.gen_bool(cfg.drop_token) && i + 1 < words.len()
+        {
             continue;
         }
         let w = if rng.gen_bool(cfg.abbrev) && w.len() > 2 {
@@ -146,7 +160,12 @@ mod tests {
     #[test]
     fn noisy_text_never_empties() {
         let mut rng = StdRng::seed_from_u64(11);
-        let cfg = NoiseCfg { typo: 0.5, abbrev: 0.5, drop_token: 0.9, drop_attr: 0.0 };
+        let cfg = NoiseCfg {
+            typo: 0.5,
+            abbrev: 0.5,
+            drop_token: 0.9,
+            drop_attr: 0.0,
+        };
         for _ in 0..50 {
             let out = noisy_text("alpha beta gamma", &cfg, &mut rng);
             assert!(!out.trim().is_empty());

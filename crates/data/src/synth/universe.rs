@@ -100,8 +100,10 @@ pub fn sibling(domain: Domain, entity: &Record, rng: &mut impl Rng) -> Record {
         }
         Domain::Book => {
             // Another edition: same title/author/publisher, new identifiers.
-            replace(&mut s, &["isbn", "publication_date", "edition"], &mut |k| {
-                match k {
+            replace(
+                &mut s,
+                &["isbn", "publication_date", "edition"],
+                &mut |k| match k {
                     "isbn" => text(vocab::isbn(rng)),
                     "publication_date" => text(vocab::date(rng)),
                     "edition" => Value::Number(rng.gen_range(1..9) as f64),
@@ -111,31 +113,27 @@ pub fn sibling(domain: Domain, entity: &Record, rng: &mut impl Rng) -> Record {
                         rng.gen_range(0..100)
                     )),
                     _ => Value::Number(rng.gen_range(120..900) as f64),
-                }
-            });
+                },
+            );
         }
         Domain::Movie => {
             // A remake: same title and genre, different crew and year.
-            replace(&mut s, &["director", "year", "votes"], &mut |k| {
-                match k {
-                    "director" | "writer" => text(vocab::person_name(rng)),
-                    "year" => Value::Number(rng.gen_range(1970..2023) as f64),
-                    "duration" => Value::Number(rng.gen_range(80..190) as f64),
-                    "studio" => text(vocab::pseudo_word(rng, 3)),
-                    _ => Value::Number(rng.gen_range(100..200_000) as f64),
-                }
+            replace(&mut s, &["director", "year", "votes"], &mut |k| match k {
+                "director" | "writer" => text(vocab::person_name(rng)),
+                "year" => Value::Number(rng.gen_range(1970..2023) as f64),
+                "duration" => Value::Number(rng.gen_range(80..190) as f64),
+                "studio" => text(vocab::pseudo_word(rng, 3)),
+                _ => Value::Number(rng.gen_range(100..200_000) as f64),
             });
         }
         Domain::Product => {
             // A model variant: same brand/model/category, different specs.
-            replace(&mut s, &["storage", "price", "sku"], &mut |k| {
-                match k {
-                    "storage" => Value::Number([64.0, 128.0, 256.0, 512.0][rng.gen_range(0..4)]),
-                    "price" => Value::Number(rng.gen_range(99..1999) as f64),
-                    "sku" => text(format!("sku{:07}", rng.gen_range(0..10_000_000))),
-                    "screen_size" => Value::Number(rng.gen_range(100..340) as f64 / 10.0),
-                    _ => text(vocab::pseudo_word(rng, 2)),
-                }
+            replace(&mut s, &["storage", "price", "sku"], &mut |k| match k {
+                "storage" => Value::Number([64.0, 128.0, 256.0, 512.0][rng.gen_range(0..4)]),
+                "price" => Value::Number(rng.gen_range(99..1999) as f64),
+                "sku" => text(format!("sku{:07}", rng.gen_range(0..10_000_000))),
+                "screen_size" => Value::Number(rng.gen_range(100..340) as f64 / 10.0),
+                _ => text(vocab::pseudo_word(rng, 2)),
             });
             // Regenerate the description from the mutated fields.
             let get = |k: &str| s.get(k).map(|v| v.to_text()).unwrap_or_default();
@@ -158,13 +156,21 @@ pub fn sibling(domain: Domain, entity: &Record, rng: &mut impl Rng) -> Record {
         }
         Domain::GeoSpatial => {
             // A second location of the same chain: same name/category.
-            replace(&mut s, &["address", "latitude", "longitude"], &mut |k| match k {
-                "address" => text(vocab::street_address(rng)),
-                "latitude" => {
-                    Value::Number(((40.35 + rng.gen_range(0..2000) as f64 / 10000.0) * 10000.0).round() / 10000.0)
-                }
-                _ => Value::Number(((-80.1 + rng.gen_range(0..2000) as f64 / 10000.0) * 10000.0).round() / 10000.0),
-            });
+            replace(
+                &mut s,
+                &["address", "latitude", "longitude"],
+                &mut |k| match k {
+                    "address" => text(vocab::street_address(rng)),
+                    "latitude" => Value::Number(
+                        ((40.35 + rng.gen_range(0..2000) as f64 / 10000.0) * 10000.0).round()
+                            / 10000.0,
+                    ),
+                    _ => Value::Number(
+                        ((-80.1 + rng.gen_range(0..2000) as f64 / 10000.0) * 10000.0).round()
+                            / 10000.0,
+                    ),
+                },
+            );
         }
     }
     s
@@ -194,17 +200,24 @@ fn restaurant(rng: &mut impl Rng) -> Record {
         .with("address", text(vocab::street_address(rng)))
         .with("city", text(vocab::pick(rng, vocab::CITIES).to_string()))
         .with("phone", text(vocab::phone(rng)))
-        .with("cuisine", text(vocab::pick(rng, vocab::CUISINES).to_string()))
+        .with(
+            "cuisine",
+            text(vocab::pick(rng, vocab::CUISINES).to_string()),
+        )
         .with("price", text(format!("${}", rng.gen_range(8..80))))
-        .with("rating", Value::Number((rng.gen_range(20..50) as f64) / 10.0))
+        .with(
+            "rating",
+            Value::Number((rng.gen_range(20..50) as f64) / 10.0),
+        )
 }
 
 fn citation(rng: &mut impl Rng) -> Record {
     let title_len = rng.gen_range(5..9);
     let title = vocab::paper_title(rng, title_len);
     let n_auth = rng.gen_range(2..5);
-    let authors: Vec<Value> =
-        (0..n_auth).map(|_| Value::Text(vocab::person_name(rng))).collect();
+    let authors: Vec<Value> = (0..n_auth)
+        .map(|_| Value::Text(vocab::person_name(rng)))
+        .collect();
     let venue = vocab::pick(rng, vocab::VENUES).to_string();
     let year = rng.gen_range(1998..2023) as f64;
     let start = rng.gen_range(1..3000);
@@ -214,10 +227,16 @@ fn citation(rng: &mut impl Rng) -> Record {
         .with("authors", Value::List(authors))
         .with("venue", text(venue))
         .with("year", Value::Number(year))
-        .with("pages", text(format!("{}-{}", start, start + rng.gen_range(8..25))))
+        .with(
+            "pages",
+            text(format!("{}-{}", start, start + rng.gen_range(8..25))),
+        )
         .with("volume", Value::Number(rng.gen_range(1..40) as f64))
         .with("number", Value::Number(rng.gen_range(1..13) as f64))
-        .with("publisher", text(vocab::pick(rng, vocab::PUBLISHERS).to_string()))
+        .with(
+            "publisher",
+            text(vocab::pick(rng, vocab::PUBLISHERS).to_string()),
+        )
         .with("abstract", text(abstract_))
 }
 
@@ -245,32 +264,61 @@ fn book(rng: &mut impl Rng) -> Record {
     let topic = vocab::pick(rng, vocab::RESEARCH_TOPICS).to_string();
     let title = format!(
         "{} {} in {} {}",
-        ["professional", "learning", "mastering", "essential", "practical"][rng.gen_range(0..5)],
+        [
+            "professional",
+            "learning",
+            "mastering",
+            "essential",
+            "practical"
+        ][rng.gen_range(0..5)],
         topic,
         vocab::pseudo_word(rng, 2),
         rng.gen_range(1..11),
     );
     let n_auth = rng.gen_range(1..4);
-    let authors: Vec<Value> =
-        (0..n_auth).map(|_| Value::Text(vocab::person_name(rng))).collect();
+    let authors: Vec<Value> = (0..n_auth)
+        .map(|_| Value::Text(vocab::person_name(rng)))
+        .collect();
     Record::new()
         .with("title", text(title))
         .with("author", Value::List(authors))
         .with("isbn", text(vocab::isbn(rng)))
-        .with("publisher", text(vocab::pick(rng, vocab::PUBLISHERS).to_string()))
+        .with(
+            "publisher",
+            text(vocab::pick(rng, vocab::PUBLISHERS).to_string()),
+        )
         .with("publication_date", text(vocab::date(rng)))
         .with("pages", Value::Number(rng.gen_range(120..900) as f64))
-        .with("price", text(format!("${}.{:02}", rng.gen_range(9..90), rng.gen_range(0..100))))
-        .with("product_type", text(["paperback", "hardcover", "ebook"][rng.gen_range(0..3)].into()))
+        .with(
+            "price",
+            text(format!(
+                "${}.{:02}",
+                rng.gen_range(9..90),
+                rng.gen_range(0..100)
+            )),
+        )
+        .with(
+            "product_type",
+            text(["paperback", "hardcover", "ebook"][rng.gen_range(0..3)].into()),
+        )
         .with("edition", Value::Number(rng.gen_range(1..6) as f64))
         .with("language", text("english".into()))
-        .with("weight", text(format!("{:.1} ounces", rng.gen_range(40..400) as f64 / 10.0)))
-        .with("dimensions", text(format!(
-            "{:.1} x {:.1} x {:.1} inches",
-            rng.gen_range(50..90) as f64 / 10.0,
-            rng.gen_range(5..30) as f64 / 10.0,
-            rng.gen_range(80..110) as f64 / 10.0
-        )))
+        .with(
+            "weight",
+            text(format!(
+                "{:.1} ounces",
+                rng.gen_range(40..400) as f64 / 10.0
+            )),
+        )
+        .with(
+            "dimensions",
+            text(format!(
+                "{:.1} x {:.1} x {:.1} inches",
+                rng.gen_range(50..90) as f64 / 10.0,
+                rng.gen_range(5..30) as f64 / 10.0,
+                rng.gen_range(80..110) as f64 / 10.0
+            )),
+        )
 }
 
 fn movie(rng: &mut impl Rng) -> Record {
@@ -279,8 +327,9 @@ fn movie(rng: &mut impl Rng) -> Record {
         vocab::pick(rng, vocab::ADJECTIVES),
         vocab::pseudo_word(rng, 2)
     );
-    let actors: Vec<Value> =
-        (0..3).map(|_| Value::Text(vocab::person_name(rng))).collect();
+    let actors: Vec<Value> = (0..3)
+        .map(|_| Value::Text(vocab::person_name(rng)))
+        .collect();
     Record::new()
         .with("title", text(title))
         .with("director", text(vocab::person_name(rng)))
@@ -288,14 +337,26 @@ fn movie(rng: &mut impl Rng) -> Record {
         .with("year", Value::Number(rng.gen_range(1970..2023) as f64))
         .with("genre", text(vocab::pick(rng, vocab::GENRES).to_string()))
         .with("duration", Value::Number(rng.gen_range(80..190) as f64))
-        .with("language", text(["english", "french", "spanish", "japanese"][rng.gen_range(0..4)].into()))
-        .with("country", text(["usa", "uk", "france", "japan", "canada"][rng.gen_range(0..5)].into()))
-        .with("rating", Value::Number((rng.gen_range(30..95) as f64) / 10.0))
+        .with(
+            "language",
+            text(["english", "french", "spanish", "japanese"][rng.gen_range(0..4)].into()),
+        )
+        .with(
+            "country",
+            text(["usa", "uk", "france", "japan", "canada"][rng.gen_range(0..5)].into()),
+        )
+        .with(
+            "rating",
+            Value::Number((rng.gen_range(30..95) as f64) / 10.0),
+        )
         .with("writer", text(vocab::person_name(rng)))
         .with("studio", text(vocab::pseudo_word(rng, 3)))
         .with("awards", Value::Number(rng.gen_range(0..12) as f64))
         .with("votes", Value::Number(rng.gen_range(100..200_000) as f64))
-        .with("certificate", text(["pg", "pg-13", "r", "g"][rng.gen_range(0..4)].into()))
+        .with(
+            "certificate",
+            text(["pg", "pg-13", "r", "g"][rng.gen_range(0..4)].into()),
+        )
 }
 
 fn product(rng: &mut impl Rng) -> Record {
@@ -325,9 +386,15 @@ fn product(rng: &mut impl Rng) -> Record {
         .with("feature_a", text(feature1))
         .with("feature_b", text(feature2))
         .with("screen_size", Value::Number(screen))
-        .with("storage", Value::Number([64.0, 128.0, 256.0, 512.0][rng.gen_range(0..4)]))
+        .with(
+            "storage",
+            Value::Number([64.0, 128.0, 256.0, 512.0][rng.gen_range(0..4)]),
+        )
         .with("price", Value::Number(rng.gen_range(99..1999) as f64))
-        .with("sku", text(format!("sku{:07}", rng.gen_range(0..10_000_000))))
+        .with(
+            "sku",
+            text(format!("sku{:07}", rng.gen_range(0..10_000_000))),
+        )
         .with("description", text(desc))
 }
 
@@ -344,9 +411,15 @@ fn poi(rng: &mut impl Rng) -> Record {
         .with("name", text(name))
         .with("address", text(vocab::street_address(rng)))
         .with("city", text("pittsburgh".into()))
-        .with("category", text(vocab::pick(rng, vocab::POI_CATEGORIES).to_string()))
+        .with(
+            "category",
+            text(vocab::pick(rng, vocab::POI_CATEGORIES).to_string()),
+        )
         .with("latitude", Value::Number((lat * 10000.0).round() / 10000.0))
-        .with("longitude", Value::Number((lon * 10000.0).round() / 10000.0))
+        .with(
+            "longitude",
+            Value::Number((lon * 10000.0).round() / 10000.0),
+        )
 }
 
 #[cfg(test)]
@@ -380,7 +453,10 @@ mod tests {
         let e = generate(Domain::Citation, 1, &mut rng).remove(0);
         let title = e.get("title").unwrap().to_text();
         let abs = e.get("abstract").unwrap().to_text();
-        let shared = title.split_whitespace().filter(|t| abs.contains(*t)).count();
+        let shared = title
+            .split_whitespace()
+            .filter(|t| abs.contains(*t))
+            .count();
         assert!(shared >= 3, "abstract shares too few tokens with title");
     }
 
@@ -394,7 +470,10 @@ mod tests {
         // code: whitespace tokens differ from the spec table, subword
         // pieces align.
         let model = e.get("model").unwrap().to_text();
-        assert!(desc.contains(&spaced_model(&model)), "spaced model missing: {desc}");
+        assert!(
+            desc.contains(&spaced_model(&model)),
+            "spaced model missing: {desc}"
+        );
     }
 
     #[test]

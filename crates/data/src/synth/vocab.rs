@@ -8,14 +8,41 @@ use rand::Rng;
 
 /// US city names.
 pub const CITIES: &[&str] = &[
-    "pittsburgh", "boston", "chicago", "seattle", "austin", "denver", "portland", "madison",
-    "atlanta", "houston", "phoenix", "detroit", "columbus", "memphis", "oakland", "tucson",
+    "pittsburgh",
+    "boston",
+    "chicago",
+    "seattle",
+    "austin",
+    "denver",
+    "portland",
+    "madison",
+    "atlanta",
+    "houston",
+    "phoenix",
+    "detroit",
+    "columbus",
+    "memphis",
+    "oakland",
+    "tucson",
 ];
 
 /// Restaurant cuisine labels.
 pub const CUISINES: &[&str] = &[
-    "italian", "french", "thai", "mexican", "japanese", "indian", "greek", "korean",
-    "vietnamese", "spanish", "ethiopian", "lebanese", "american", "chinese", "turkish",
+    "italian",
+    "french",
+    "thai",
+    "mexican",
+    "japanese",
+    "indian",
+    "greek",
+    "korean",
+    "vietnamese",
+    "spanish",
+    "ethiopian",
+    "lebanese",
+    "american",
+    "chinese",
+    "turkish",
 ];
 
 /// Publication venue acronyms.
@@ -26,26 +53,56 @@ pub const VENUES: &[&str] = &[
 
 /// Book publishers.
 pub const PUBLISHERS: &[&str] = &[
-    "wiley", "springer", "oreilly", "pearson", "addison wesley", "mcgraw hill", "packt",
-    "manning", "apress", "sams", "cambridge press", "mit press",
+    "wiley",
+    "springer",
+    "oreilly",
+    "pearson",
+    "addison wesley",
+    "mcgraw hill",
+    "packt",
+    "manning",
+    "apress",
+    "sams",
+    "cambridge press",
+    "mit press",
 ];
 
 /// Movie genres.
 pub const GENRES: &[&str] = &[
-    "drama", "comedy", "thriller", "action", "romance", "horror", "documentary", "animation",
-    "western", "mystery", "fantasy", "crime",
+    "drama",
+    "comedy",
+    "thriller",
+    "action",
+    "romance",
+    "horror",
+    "documentary",
+    "animation",
+    "western",
+    "mystery",
+    "fantasy",
+    "crime",
 ];
 
 /// Electronics product categories.
 pub const PRODUCT_CATEGORIES: &[&str] = &[
-    "laptop", "monitor", "keyboard", "printer", "router", "tablet", "camera", "headphones",
-    "speaker", "smartwatch", "charger", "projector",
+    "laptop",
+    "monitor",
+    "keyboard",
+    "printer",
+    "router",
+    "tablet",
+    "camera",
+    "headphones",
+    "speaker",
+    "smartwatch",
+    "charger",
+    "projector",
 ];
 
 /// Point-of-interest categories.
 pub const POI_CATEGORIES: &[&str] = &[
-    "cafe", "museum", "park", "library", "pharmacy", "bakery", "cinema", "gym", "hotel",
-    "gallery", "market", "theater",
+    "cafe", "museum", "park", "library", "pharmacy", "bakery", "cinema", "gym", "hotel", "gallery",
+    "market", "theater",
 ];
 
 /// Street-name suffixes.
@@ -59,29 +116,72 @@ pub const FIRST_NAMES: &[&str] = &[
 
 /// Person last names.
 pub const LAST_NAMES: &[&str] = &[
-    "smith", "garcia", "wang", "mueller", "tanaka", "okafor", "silva", "patel", "kim",
-    "novak", "rossi", "haddad", "jensen", "kumar", "lopez", "petrov", "nguyen", "fischer",
-    "costa", "yamamoto",
+    "smith", "garcia", "wang", "mueller", "tanaka", "okafor", "silva", "patel", "kim", "novak",
+    "rossi", "haddad", "jensen", "kumar", "lopez", "petrov", "nguyen", "fischer", "costa",
+    "yamamoto",
 ];
 
 /// Research topic nouns for paper titles.
 pub const RESEARCH_TOPICS: &[&str] = &[
-    "similarity", "matching", "indexing", "query", "optimization", "learning", "embedding",
-    "graph", "stream", "transaction", "privacy", "sampling", "clustering", "ranking",
-    "provenance", "caching", "sketching", "partitioning", "compression", "inference",
+    "similarity",
+    "matching",
+    "indexing",
+    "query",
+    "optimization",
+    "learning",
+    "embedding",
+    "graph",
+    "stream",
+    "transaction",
+    "privacy",
+    "sampling",
+    "clustering",
+    "ranking",
+    "provenance",
+    "caching",
+    "sketching",
+    "partitioning",
+    "compression",
+    "inference",
 ];
 
 /// Research object nouns for paper titles.
 pub const RESEARCH_OBJECTS: &[&str] = &[
-    "joins", "databases", "tables", "records", "entities", "documents", "networks", "workloads",
-    "schemas", "tuples", "indexes", "caches", "queries", "models", "pipelines", "catalogs",
+    "joins",
+    "databases",
+    "tables",
+    "records",
+    "entities",
+    "documents",
+    "networks",
+    "workloads",
+    "schemas",
+    "tuples",
+    "indexes",
+    "caches",
+    "queries",
+    "models",
+    "pipelines",
+    "catalogs",
 ];
 
 /// Title adjectives.
 pub const ADJECTIVES: &[&str] = &[
-    "efficient", "scalable", "robust", "adaptive", "incremental", "distributed", "parallel",
-    "approximate", "secure", "interpretable", "unified", "lightweight", "generalized",
-    "practical", "optimal",
+    "efficient",
+    "scalable",
+    "robust",
+    "adaptive",
+    "incremental",
+    "distributed",
+    "parallel",
+    "approximate",
+    "secure",
+    "interpretable",
+    "unified",
+    "lightweight",
+    "generalized",
+    "practical",
+    "optimal",
 ];
 
 /// Generic marketing filler words.
@@ -90,8 +190,10 @@ pub const FILLER_WORDS: &[&str] = &[
     "special", "daily", "fresh",
 ];
 
-const CONSONANTS: &[&str] =
-    &["b", "c", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "br", "st", "tr"];
+const CONSONANTS: &[&str] = &[
+    "b", "c", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "br", "st",
+    "tr",
+];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ia", "ou", "ei"];
 
 /// Generate a pronounceable pseudo-word with `syllables` syllables.

@@ -8,7 +8,13 @@ use em_data::synth::{build, build_all, BenchmarkId, Scale};
 fn splits_are_disjoint_in_pairs() {
     for ds in build_all(Scale::Quick, 3) {
         let mut seen = std::collections::HashSet::new();
-        for lp in ds.train.iter().chain(&ds.valid).chain(&ds.test).chain(&ds.unlabeled) {
+        for lp in ds
+            .train
+            .iter()
+            .chain(&ds.valid)
+            .chain(&ds.test)
+            .chain(&ds.unlabeled)
+        {
             assert!(
                 seen.insert((lp.pair.left, lp.pair.right)),
                 "{}: duplicate pair across splits ({}, {})",
@@ -23,9 +29,19 @@ fn splits_are_disjoint_in_pairs() {
 #[test]
 fn all_pair_indices_are_in_range() {
     for ds in build_all(Scale::Quick, 4) {
-        for lp in ds.train.iter().chain(&ds.valid).chain(&ds.test).chain(&ds.unlabeled) {
+        for lp in ds
+            .train
+            .iter()
+            .chain(&ds.valid)
+            .chain(&ds.test)
+            .chain(&ds.unlabeled)
+        {
             assert!(lp.pair.left < ds.left.len(), "{}: left index oob", ds.name);
-            assert!(lp.pair.right < ds.right.len(), "{}: right index oob", ds.name);
+            assert!(
+                lp.pair.right < ds.right.len(),
+                "{}: right index oob",
+                ds.name
+            );
         }
     }
 }
@@ -33,9 +49,11 @@ fn all_pair_indices_are_in_range() {
 #[test]
 fn every_split_contains_both_classes() {
     for ds in build_all(Scale::Quick, 5) {
-        for (name, split) in
-            [("train", &ds.train), ("valid", &ds.valid), ("test", &ds.test)]
-        {
+        for (name, split) in [
+            ("train", &ds.train),
+            ("valid", &ds.valid),
+            ("test", &ds.test),
+        ] {
             let pos = split.iter().filter(|lp| lp.label).count();
             assert!(pos > 0, "{}: {name} has no positives", ds.name);
             assert!(pos < split.len(), "{}: {name} has no negatives", ds.name);
@@ -70,7 +88,11 @@ fn full_scale_upholds_the_same_invariants() {
         let ds = build(id, Scale::Full, 7);
         assert!(ds.all_labeled() > build(id, Scale::Quick, 7).all_labeled());
         let pos = ds.train.iter().filter(|lp| lp.label).count();
-        assert!(pos > 0 && pos < ds.train.len(), "{}: degenerate full-scale train", ds.name);
+        assert!(
+            pos > 0 && pos < ds.train.len(),
+            "{}: degenerate full-scale train",
+            ds.name
+        );
     }
 }
 

@@ -62,8 +62,14 @@ impl LmConfig {
 
     /// Sanity-check invariants; panics with a clear message when violated.
     pub fn validate(&self) {
-        assert!(self.vocab > super::tokenizer::SPECIALS.len(), "vocab too small");
-        assert!(self.d_model % self.n_heads == 0, "d_model must divide into heads");
+        assert!(
+            self.vocab > super::tokenizer::SPECIALS.len(),
+            "vocab too small"
+        );
+        assert!(
+            self.d_model.is_multiple_of(self.n_heads),
+            "d_model must divide into heads"
+        );
         assert!(self.max_len >= 8, "max_len too small");
         assert!((0.0..1.0).contains(&self.dropout), "dropout out of range");
     }

@@ -97,7 +97,13 @@ impl Encoder {
         let layers = (0..cfg.n_layers)
             .map(|i| EncoderLayer::new(store, &format!("layer{i}"), &cfg, rng))
             .collect();
-        Encoder { cfg, tok_emb, pos_emb, emb_ln, layers }
+        Encoder {
+            cfg,
+            tok_emb,
+            pos_emb,
+            emb_ln,
+            layers,
+        }
     }
 
     /// Truncate ids to the model's maximum length.
@@ -152,10 +158,19 @@ impl Encoder {
         ids: &[usize],
         rng: &mut impl Rng,
     ) -> Var {
+        let timed = em_obs::enabled().then(std::time::Instant::now);
         let ids = self.clip(ids);
         let valid = ids.iter().take_while(|&&t| t != PAD).count();
         let x = self.embed(tape, store, ids, rng);
-        self.forward_embedded(tape, store, x, valid, rng)
+        let out = self.forward_embedded(tape, store, x, valid, rng);
+        if let Some(start) = timed {
+            use std::sync::OnceLock;
+            static FORWARD_SECS: OnceLock<em_obs::metrics::Histogram> = OnceLock::new();
+            FORWARD_SECS
+                .get_or_init(|| em_obs::metrics::histogram("lm_encoder_forward_secs", &[]))
+                .record(start.elapsed().as_secs_f64());
+        }
+        out
     }
 }
 
@@ -168,7 +183,15 @@ mod tests {
     fn small_encoder() -> (ParamStore, Encoder, StdRng) {
         let mut rng = StdRng::seed_from_u64(40);
         let mut store = ParamStore::new();
-        let cfg = LmConfig { vocab: 50, d_model: 16, n_layers: 2, n_heads: 2, d_ff: 32, max_len: 12, dropout: 0.0 };
+        let cfg = LmConfig {
+            vocab: 50,
+            d_model: 16,
+            n_layers: 2,
+            n_heads: 2,
+            d_ff: 32,
+            max_len: 12,
+            dropout: 0.0,
+        };
         let enc = Encoder::new(&mut store, cfg, &mut rng);
         (store, enc, rng)
     }

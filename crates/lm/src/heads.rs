@@ -61,8 +61,15 @@ pub struct ClsHead {
 
 impl ClsHead {
     /// A fresh randomly-initialized classification head.
-    pub fn new(store: &mut ParamStore, encoder: &Encoder, classes: usize, rng: &mut impl Rng) -> Self {
-        ClsHead { proj: Linear::new(store, "cls_head", encoder.cfg.d_model, classes, rng) }
+    pub fn new(
+        store: &mut ParamStore,
+        encoder: &Encoder,
+        classes: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        ClsHead {
+            proj: Linear::new(store, "cls_head", encoder.cfg.d_model, classes, rng),
+        }
     }
 
     /// Class logits for a matrix of pooled rows `(n, d)` → `(n, classes)`.
@@ -81,7 +88,15 @@ mod tests {
     fn setup() -> (ParamStore, Encoder, MlmHead, StdRng) {
         let mut rng = StdRng::seed_from_u64(50);
         let mut store = ParamStore::new();
-        let cfg = LmConfig { vocab: 40, d_model: 16, n_layers: 1, n_heads: 2, d_ff: 32, max_len: 10, dropout: 0.0 };
+        let cfg = LmConfig {
+            vocab: 40,
+            d_model: 16,
+            n_layers: 1,
+            n_heads: 2,
+            d_ff: 32,
+            max_len: 10,
+            dropout: 0.0,
+        };
         let enc = Encoder::new(&mut store, cfg, &mut rng);
         let head = MlmHead::new(&mut store, &enc, &mut rng);
         (store, enc, head, rng)

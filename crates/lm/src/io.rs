@@ -43,7 +43,10 @@ pub fn read_model(r: &mut impl Read) -> io::Result<PretrainedLm> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad model magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad model magic",
+        ));
     }
     let vocab_len = read_u64(r)? as usize;
     let mut vocab = Vec::with_capacity(vocab_len);
@@ -76,7 +79,13 @@ pub fn read_model(r: &mut impl Read) -> io::Result<PretrainedLm> {
     let encoder = Encoder::new(&mut store, cfg, &mut rng);
     let mlm = MlmHead::new(&mut store, &encoder, &mut rng);
     read_params(&mut store, r)?;
-    Ok(PretrainedLm { store, encoder, mlm, tokenizer, final_mlm_loss })
+    Ok(PretrainedLm {
+        store,
+        encoder,
+        mlm,
+        tokenizer,
+        final_mlm_loss,
+    })
 }
 
 /// Save a model to a file path.
@@ -108,12 +117,24 @@ mod tests {
     use em_nn::Tape;
 
     fn tiny_lm() -> PretrainedLm {
-        let corpus: Vec<String> =
-            (0..12).map(|i| format!("token{} appears with token{}", i % 4, (i + 1) % 4)).collect();
+        let corpus: Vec<String> = (0..12)
+            .map(|i| format!("token{} appears with token{}", i % 4, (i + 1) % 4))
+            .collect();
         PretrainedLm::pretrain(
             &corpus,
-            |v| LmConfig { vocab: v, d_model: 16, n_layers: 1, n_heads: 2, d_ff: 32, max_len: 12, dropout: 0.1 },
-            &PretrainCfg { max_steps: 20, ..Default::default() },
+            |v| LmConfig {
+                vocab: v,
+                d_model: 16,
+                n_layers: 1,
+                n_heads: 2,
+                d_ff: 32,
+                max_len: 12,
+                dropout: 0.1,
+            },
+            &PretrainCfg {
+                max_steps: 20,
+                ..Default::default()
+            },
             4,
         )
     }

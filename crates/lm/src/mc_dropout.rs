@@ -11,7 +11,11 @@ pub fn run_passes(n_passes: usize, mut pass: impl FnMut(usize) -> Vec<f32>) -> V
         let scores = pass(i);
         if let Some(prev) = out.first() {
             let prev: &Vec<f32> = prev;
-            assert_eq!(prev.len(), scores.len(), "pass {i} returned a different sample count");
+            assert_eq!(
+                prev.len(),
+                scores.len(),
+                "pass {i} returned a different sample count"
+            );
         }
         out.push(scores);
     }

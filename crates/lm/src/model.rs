@@ -45,7 +45,13 @@ impl PretrainedLm {
         let mlm = MlmHead::new(&mut store, &encoder, &mut rng);
         let final_mlm_loss =
             pretrain_mlm(&mut store, &encoder, &mlm, &tokenizer, corpus, pretrain_cfg);
-        PretrainedLm { store, encoder, mlm, tokenizer, final_mlm_loss }
+        PretrainedLm {
+            store,
+            encoder,
+            mlm,
+            tokenizer,
+            final_mlm_loss,
+        }
     }
 
     /// Build an *untrained* model (random weights) — the "w/o pretraining"
@@ -57,7 +63,13 @@ impl PretrainedLm {
         let mut store = ParamStore::new();
         let encoder = Encoder::new(&mut store, cfg, &mut rng);
         let mlm = MlmHead::new(&mut store, &encoder, &mut rng);
-        PretrainedLm { store, encoder, mlm, tokenizer, final_mlm_loss: f32::NAN }
+        PretrainedLm {
+            store,
+            encoder,
+            mlm,
+            tokenizer,
+            final_mlm_loss: f32::NAN,
+        }
     }
 
     /// Model width.
@@ -77,7 +89,12 @@ mod tests {
 
     fn toy_corpus() -> Vec<String> {
         (0..20)
-            .map(|i| format!("[COL] name [VAL] cafe {} they are matched similar relevant", i % 5))
+            .map(|i| {
+                format!(
+                    "[COL] name [VAL] cafe {} they are matched similar relevant",
+                    i % 5
+                )
+            })
             .collect()
     }
 
@@ -85,8 +102,20 @@ mod tests {
     fn pretrain_produces_finite_loss() {
         let lm = PretrainedLm::pretrain(
             &toy_corpus(),
-            |v| LmConfig { vocab: v, d_model: 16, n_layers: 1, n_heads: 2, d_ff: 32, max_len: 16, dropout: 0.1 },
-            &PretrainCfg { epochs: 2, max_steps: 100, ..Default::default() },
+            |v| LmConfig {
+                vocab: v,
+                d_model: 16,
+                n_layers: 1,
+                n_heads: 2,
+                d_ff: 32,
+                max_len: 16,
+                dropout: 0.1,
+            },
+            &PretrainCfg {
+                epochs: 2,
+                max_steps: 100,
+                ..Default::default()
+            },
             1,
         );
         assert!(lm.final_mlm_loss.is_finite());

@@ -45,7 +45,12 @@ impl Default for PretrainCfg {
             mask_prob: 0.15,
             max_steps: 5000,
             boost_tokens: [
-                "matched", "similar", "relevant", "mismatched", "different", "irrelevant",
+                "matched",
+                "similar",
+                "relevant",
+                "mismatched",
+                "different",
+                "irrelevant",
             ]
             .iter()
             .map(|s| s.to_string())
@@ -125,8 +130,11 @@ pub fn pretrain_mlm(
     let content_lo = tokenizer.content_range().start;
     let vocab = tokenizer.vocab_size();
     let max_body = encoder.cfg.max_len - 2;
-    let boost_ids: Vec<usize> =
-        cfg.boost_tokens.iter().filter_map(|w| tokenizer.id_of(w)).collect();
+    let boost_ids: Vec<usize> = cfg
+        .boost_tokens
+        .iter()
+        .filter_map(|w| tokenizer.id_of(w))
+        .collect();
 
     // Tokenize once.
     let encoded: Vec<Vec<usize>> = corpus
@@ -180,12 +188,14 @@ pub fn pretrain_mlm(
             let stacked = tape.concat_rows(&hidden_rows);
             let logits = head.logits(&mut tape, store, encoder, stacked);
             let loss = tape.cross_entropy(logits, &targets);
-            epoch_loss += tape.value(loss).item();
+            let loss_value = tape.value(loss).item();
+            epoch_loss += loss_value;
             epoch_batches += 1;
             tape.backward(loss);
             tape.accumulate_param_grads(store);
             store.clip_grad_norm(1.0);
             opt.step(store);
+            em_obs::pretrain_step(steps as u64, loss_value as f64);
             steps += 1;
         }
         if epoch_batches > 0 {
@@ -256,7 +266,11 @@ mod tests {
             &head,
             &tokenizer,
             &corpus,
-            &PretrainCfg { epochs: 1, max_steps: 10_000, ..Default::default() },
+            &PretrainCfg {
+                epochs: 1,
+                max_steps: 10_000,
+                ..Default::default()
+            },
         );
         let later = pretrain_mlm(
             &mut store,
@@ -264,7 +278,11 @@ mod tests {
             &head,
             &tokenizer,
             &corpus,
-            &PretrainCfg { epochs: 8, max_steps: 10_000, ..Default::default() },
+            &PretrainCfg {
+                epochs: 8,
+                max_steps: 10_000,
+                ..Default::default()
+            },
         );
         assert!(
             later < first,

@@ -52,7 +52,10 @@ impl LabelWords {
 
     /// The simple ablation: {matched} / {mismatched}.
     pub fn simple() -> Self {
-        LabelWords { yes: vec!["matched".into()], no: vec!["mismatched".into()] }
+        LabelWords {
+            yes: vec!["matched".into()],
+            no: vec!["mismatched".into()],
+        }
     }
 }
 
@@ -77,9 +80,19 @@ impl Verbalizer {
         };
         let yes_ids = resolve(&words.yes);
         let no_ids = resolve(&words.no);
-        assert!(!yes_ids.is_empty(), "no 'yes' label word is in the vocabulary");
-        assert!(!no_ids.is_empty(), "no 'no' label word is in the vocabulary");
-        Verbalizer { yes_ids, no_ids, vocab: tokenizer.vocab_size() }
+        assert!(
+            !yes_ids.is_empty(),
+            "no 'yes' label word is in the vocabulary"
+        );
+        assert!(
+            !no_ids.is_empty(),
+            "no 'no' label word is in the vocabulary"
+        );
+        Verbalizer {
+            yes_ids,
+            no_ids,
+            vocab: tokenizer.vocab_size(),
+        }
     }
 
     /// Eq. 1: class probability = mean probability of the class's label
@@ -126,7 +139,10 @@ impl PromptEncoder {
         init_rows: Option<&Matrix>,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(d_model % 2 == 0, "d_model must be even for the BiLSTM prompt encoder");
+        assert!(
+            d_model.is_multiple_of(2),
+            "d_model must be even for the BiLSTM prompt encoder"
+        );
         let table_init = match init_rows {
             Some(m) => {
                 assert_eq!(m.shape(), (n_tokens, d_model), "prompt init shape");
@@ -143,7 +159,12 @@ impl PromptEncoder {
             *v *= 0.1;
         }
         proj.in_dim = d_model;
-        PromptEncoder { table, lstm, proj, n_tokens }
+        PromptEncoder {
+            table,
+            lstm,
+            proj,
+            n_tokens,
+        }
     }
 
     /// Compute the `(n_tokens, d)` prompt embedding rows.
@@ -444,12 +465,21 @@ mod tests {
         let b = tok.encode("red diner");
         for template in [TemplateId::T1, TemplateId::T2] {
             for mode in [PromptMode::Hard, PromptMode::Continuous] {
-                let tmpl =
-                    PromptTemplate::new(&mut store, &tok, enc.cfg.d_model, template, mode, &mut rng);
+                let tmpl = PromptTemplate::new(
+                    &mut store,
+                    &tok,
+                    enc.cfg.d_model,
+                    template,
+                    mode,
+                    &mut rng,
+                );
                 let mut tape = Tape::inference();
                 let (h, mask_row) = tmpl.forward(&mut tape, &store, &enc, &a, &b, &mut rng);
                 let hm = tape.value(h);
-                assert!(mask_row < hm.rows(), "{template:?}/{mode:?}: mask row out of range");
+                assert!(
+                    mask_row < hm.rows(),
+                    "{template:?}/{mode:?}: mask row out of range"
+                );
                 assert_eq!(hm.cols(), 16);
             }
         }
@@ -516,7 +546,10 @@ mod tests {
         tape.backward(loss);
         tape.accumulate_param_grads(&mut store);
         let pe = tmpl.encoder.as_ref().unwrap();
-        assert!(store.grad(pe.table).frobenius_norm() > 0.0, "prompt table got no gradient");
+        assert!(
+            store.grad(pe.table).frobenius_norm() > 0.0,
+            "prompt table got no gradient"
+        );
     }
 
     #[test]

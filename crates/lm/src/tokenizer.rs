@@ -26,7 +26,9 @@ pub const COL: usize = 5;
 pub const VAL: usize = 6;
 
 /// Names of the reserved tokens, in id order.
-pub const SPECIALS: [&str; 7] = ["[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]", "[COL]", "[VAL]"];
+pub const SPECIALS: [&str; 7] = [
+    "[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]", "[COL]", "[VAL]",
+];
 
 /// A fitted vocabulary.
 #[derive(Debug, Clone)]
@@ -73,9 +75,15 @@ impl Tokenizer {
         for (w, _) in words {
             id_to_token.push(w);
         }
-        let token_to_id =
-            id_to_token.iter().enumerate().map(|(i, t)| (t.clone(), i)).collect();
-        Tokenizer { token_to_id, id_to_token }
+        let token_to_id = id_to_token
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        Tokenizer {
+            token_to_id,
+            id_to_token,
+        }
     }
 
     /// Rebuild a tokenizer from a saved vocabulary (see [`crate::io`]).
@@ -83,11 +91,20 @@ impl Tokenizer {
     pub fn from_vocab(id_to_token: Vec<String>) -> Self {
         assert!(id_to_token.len() >= SPECIALS.len(), "vocabulary too short");
         for (i, s) in SPECIALS.iter().enumerate() {
-            assert_eq!(&id_to_token[i], s, "vocabulary does not start with the specials");
+            assert_eq!(
+                &id_to_token[i], s,
+                "vocabulary does not start with the specials"
+            );
         }
-        let token_to_id =
-            id_to_token.iter().enumerate().map(|(i, t)| (t.clone(), i)).collect();
-        Tokenizer { token_to_id, id_to_token }
+        let token_to_id = id_to_token
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        Tokenizer {
+            token_to_id,
+            id_to_token,
+        }
     }
 
     /// The full id→token list (for persistence).
@@ -261,7 +278,11 @@ mod tests {
 
     fn toy() -> Tokenizer {
         Tokenizer::fit(
-            ["the cat sat on the mat", "the dog sat", "[COL] name [VAL] cat"],
+            [
+                "the cat sat on the mat",
+                "the dog sat",
+                "[COL] name [VAL] cat",
+            ],
             1,
         )
     }

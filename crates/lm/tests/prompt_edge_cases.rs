@@ -106,5 +106,8 @@ fn continuous_templates_add_params_hard_do_not() {
         PromptMode::Continuous,
         &mut rng,
     );
-    assert!(store.len() > before, "continuous template must add prompt parameters");
+    assert!(
+        store.len() > before,
+        "continuous template must add prompt parameters"
+    );
 }

@@ -96,5 +96,8 @@ fn specials_are_stable() {
 fn vocab_roundtrip_through_from_vocab() {
     let t = fitted();
     let rebuilt = Tokenizer::from_vocab(t.vocab().to_vec());
-    assert_eq!(rebuilt.encode("quick brown 1998"), t.encode("quick brown 1998"));
+    assert_eq!(
+        rebuilt.encode("quick brown 1998"),
+        t.encode("quick brown 1998")
+    );
 }

@@ -53,7 +53,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let m = normal(100, 100, 0.02, &mut rng);
         let mean = m.sum() / m.len() as f32;
-        let var = m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        let var = m
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / m.len() as f32;
         assert!(mean.abs() < 0.005, "mean {mean}");
         assert!((var.sqrt() - 0.02).abs() < 0.005, "std {}", var.sqrt());
     }

@@ -39,7 +39,10 @@ pub fn read_params(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> 
     if count != store.len() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("parameter count mismatch: file {count}, store {}", store.len()),
+            format!(
+                "parameter count mismatch: file {count}, store {}",
+                store.len()
+            ),
         ));
     }
     let ids: Vec<_> = store.ids().collect();
@@ -52,7 +55,10 @@ pub fn read_params(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> 
         if name != store.name(id) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("parameter name mismatch: file '{name}', store '{}'", store.name(id)),
+                format!(
+                    "parameter name mismatch: file '{name}', store '{}'",
+                    store.name(id)
+                ),
             ));
         }
         let rows = read_u64(r)? as usize;

@@ -202,7 +202,9 @@ mod tests {
         let mut store = ParamStore::new();
         let attn = MultiHeadSelfAttention::new(&mut store, "a", 8, 2, 0.0, &mut rng);
         let mut tape = Tape::new();
-        let x = tape.constant(Matrix::from_fn(3, 8, |r, c| ((r * 8 + c) as f32 * 0.1).sin()));
+        let x = tape.constant(Matrix::from_fn(3, 8, |r, c| {
+            ((r * 8 + c) as f32 * 0.1).sin()
+        }));
         let y = attn.forward(&mut tape, &store, x, None, &mut rng);
         let loss = tape.mean_all(y);
         tape.backward(loss);

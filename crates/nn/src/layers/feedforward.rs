@@ -34,13 +34,7 @@ impl FeedForward {
     }
 
     /// Apply the block to `(rows, d_model)` input.
-    pub fn forward(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        x: Var,
-        rng: &mut impl Rng,
-    ) -> Var {
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var, rng: &mut impl Rng) -> Var {
         let h = self.fc1.forward(tape, store, x);
         let h = tape.gelu(h);
         let h = tape.dropout(h, self.dropout, rng);

@@ -28,9 +28,17 @@ impl Linear {
         out_dim: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let w = store.register(format!("{name}.w"), init::xavier_uniform(in_dim, out_dim, rng));
+        let w = store.register(
+            format!("{name}.w"),
+            init::xavier_uniform(in_dim, out_dim, rng),
+        );
         let b = store.register(format!("{name}.b"), Matrix::zeros(1, out_dim));
-        Linear { w, b: Some(b), in_dim, out_dim }
+        Linear {
+            w,
+            b: Some(b),
+            in_dim,
+            out_dim,
+        }
     }
 
     /// A linear layer without bias (used for tied heads).
@@ -41,8 +49,16 @@ impl Linear {
         out_dim: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let w = store.register(format!("{name}.w"), init::xavier_uniform(in_dim, out_dim, rng));
-        Linear { w, b: None, in_dim, out_dim }
+        let w = store.register(
+            format!("{name}.w"),
+            init::xavier_uniform(in_dim, out_dim, rng),
+        );
+        Linear {
+            w,
+            b: None,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Apply the affine map to `(rows, in_dim)` input.

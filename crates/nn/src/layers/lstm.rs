@@ -33,17 +33,27 @@ impl Lstm {
         hidden: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let w_ih =
-            store.register(format!("{name}.w_ih"), init::xavier_uniform(in_dim, 4 * hidden, rng));
-        let w_hh =
-            store.register(format!("{name}.w_hh"), init::xavier_uniform(hidden, 4 * hidden, rng));
+        let w_ih = store.register(
+            format!("{name}.w_ih"),
+            init::xavier_uniform(in_dim, 4 * hidden, rng),
+        );
+        let w_hh = store.register(
+            format!("{name}.w_hh"),
+            init::xavier_uniform(hidden, 4 * hidden, rng),
+        );
         // Forget-gate bias starts at 1.0 (standard trick for gradient flow).
         let mut b = Matrix::zeros(1, 4 * hidden);
         for c in hidden..2 * hidden {
             b.set(0, c, 1.0);
         }
         let bias = store.register(format!("{name}.bias"), b);
-        Lstm { w_ih, w_hh, bias, in_dim, hidden }
+        Lstm {
+            w_ih,
+            w_hh,
+            bias,
+            in_dim,
+            hidden,
+        }
     }
 
     /// Returns the sequence of hidden states `(seq, hidden)`.
@@ -155,8 +165,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(33);
         let mut store = ParamStore::new();
         let lstm = Lstm::new(&mut store, "l", 1, 8, &mut rng);
-        let head =
-            crate::layers::Linear::new(&mut store, "head", 8, 2, &mut rng);
+        let head = crate::layers::Linear::new(&mut store, "head", 8, 2, &mut rng);
         let mut opt = AdamW::new(0.02).with_weight_decay(0.0);
         let seqs: Vec<(Vec<f32>, usize)> = (0..16)
             .map(|i| {

@@ -20,7 +20,11 @@ impl LayerNorm {
     pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
         let gamma = store.register(format!("{name}.gamma"), Matrix::full(1, dim, 1.0));
         let beta = store.register(format!("{name}.beta"), Matrix::zeros(1, dim));
-        LayerNorm { gamma, beta, eps: 1e-5 }
+        LayerNorm {
+            gamma,
+            beta,
+            eps: 1e-5,
+        }
     }
 
     /// Normalize each row and apply gain/bias.
@@ -40,12 +44,19 @@ mod tests {
         let mut store = ParamStore::new();
         let ln = LayerNorm::new(&mut store, "ln", 8);
         let mut tape = Tape::new();
-        let x = tape.constant(Matrix::from_fn(3, 8, |r, c| (r * 8 + c) as f32 * 0.37 - 2.0));
+        let x = tape.constant(Matrix::from_fn(3, 8, |r, c| {
+            (r * 8 + c) as f32 * 0.37 - 2.0
+        }));
         let y = ln.forward(&mut tape, &store, x);
         let ym = tape.value(y);
         for r in 0..3 {
             let mean: f32 = ym.row(r).iter().sum::<f32>() / 8.0;
-            let var: f32 = ym.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            let var: f32 = ym
+                .row(r)
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 8.0;
             assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
         }

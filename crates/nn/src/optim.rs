@@ -174,7 +174,14 @@ pub struct AdamW {
 impl AdamW {
     /// Default AdamW (β₁ 0.9, β₂ 0.999, ε 1e-8, weight decay 0.01).
     pub fn new(lr: f32) -> Self {
-        AdamW { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.01, step: 0 }
+        AdamW {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+            step: 0,
+        }
     }
 
     /// Override the weight-decay coefficient.
@@ -191,6 +198,13 @@ impl AdamW {
     /// Apply one update using the gradients accumulated in `store`.
     pub fn step(&mut self, store: &mut ParamStore) {
         self.step += 1;
+        if em_obs::enabled() {
+            use std::sync::OnceLock;
+            static STEPS: OnceLock<em_obs::metrics::Counter> = OnceLock::new();
+            STEPS
+                .get_or_init(|| em_obs::metrics::counter("nn_optimizer_steps", &[("opt", "adamw")]))
+                .inc();
+        }
         let bc1 = 1.0 - self.beta1.powi(self.step as i32);
         let bc2 = 1.0 - self.beta2.powi(self.step as i32);
         for p in &mut store.params {
@@ -231,6 +245,13 @@ impl Sgd {
 
     /// Apply `w -= lr * grad` to every unfrozen parameter.
     pub fn step(&mut self, store: &mut ParamStore) {
+        if em_obs::enabled() {
+            use std::sync::OnceLock;
+            static STEPS: OnceLock<em_obs::metrics::Counter> = OnceLock::new();
+            STEPS
+                .get_or_init(|| em_obs::metrics::counter("nn_optimizer_steps", &[("opt", "sgd")]))
+                .inc();
+        }
         for p in &mut store.params {
             if p.frozen {
                 continue;
@@ -291,7 +312,10 @@ mod tests {
             opt.step(&mut store);
         }
         for &v in store.value(w).data() {
-            assert!(v.abs() < 10.0 * 0.95f32.powi(40), "decay had no effect: {v}");
+            assert!(
+                v.abs() < 10.0 * 0.95f32.powi(40),
+                "decay had no effect: {v}"
+            );
         }
     }
 
@@ -310,10 +334,19 @@ mod tests {
     fn clip_grad_norm_caps_norm() {
         let mut store = ParamStore::new();
         let w = store.register("w", Matrix::zeros(1, 3));
-        store.grad_mut(w).data_mut().copy_from_slice(&[3.0, 4.0, 0.0]);
+        store
+            .grad_mut(w)
+            .data_mut()
+            .copy_from_slice(&[3.0, 4.0, 0.0]);
         let pre = store.clip_grad_norm(1.0);
         assert!((pre - 5.0).abs() < 1e-6);
-        let post: f32 = store.grad(w).data().iter().map(|g| g * g).sum::<f32>().sqrt();
+        let post: f32 = store
+            .grad(w)
+            .data()
+            .iter()
+            .map(|g| g * g)
+            .sum::<f32>()
+            .sqrt();
         assert!((post - 1.0).abs() < 1e-5);
     }
 

@@ -54,7 +54,12 @@ impl LrSchedule {
                 let done = (step - warmup).min(total.saturating_sub(warmup)) as f32;
                 lr * (1.0 - done / span).max(0.0)
             }
-            LrSchedule::WarmupCosine { lr, warmup, total, floor } => {
+            LrSchedule::WarmupCosine {
+                lr,
+                warmup,
+                total,
+                floor,
+            } => {
                 if step < warmup {
                     return warmup_factor(step, warmup) * lr;
                 }
@@ -103,7 +108,11 @@ mod tests {
 
     #[test]
     fn linear_decay_hits_zero_at_total() {
-        let s = LrSchedule::WarmupLinearDecay { lr: 1.0, warmup: 2, total: 12 };
+        let s = LrSchedule::WarmupLinearDecay {
+            lr: 1.0,
+            warmup: 2,
+            total: 12,
+        };
         assert_eq!(s.at(2), 1.0);
         assert!((s.at(7) - 0.5).abs() < 1e-6);
         assert_eq!(s.at(12), 0.0);
@@ -112,7 +121,12 @@ mod tests {
 
     #[test]
     fn cosine_decays_to_floor_smoothly() {
-        let s = LrSchedule::WarmupCosine { lr: 1.0, warmup: 0, total: 10, floor: 0.1 };
+        let s = LrSchedule::WarmupCosine {
+            lr: 1.0,
+            warmup: 0,
+            total: 10,
+            floor: 0.1,
+        };
         assert!((s.at(0) - 1.0).abs() < 1e-6);
         let mid = s.at(5);
         assert!((mid - 0.55).abs() < 0.01, "midpoint {mid}");

@@ -42,28 +42,56 @@ enum Op {
     /// Row-wise softmax; caches output for the backward pass.
     SoftmaxRows(Var),
     /// Layer normalization over each row with learnable gain/bias (1,C).
-    LayerNorm { x: Var, gamma: Var, beta: Var, normed: Matrix, inv_std: Vec<f32> },
+    LayerNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        normed: Matrix,
+        inv_std: Vec<f32>,
+    },
     /// Select rows of `src` by index; backward scatter-adds.
-    GatherRows { src: Var, idx: Vec<usize> },
+    GatherRows {
+        src: Var,
+        idx: Vec<usize>,
+    },
     /// Inverted dropout; `mask` holds 0.0 or `1/(1-p)` per element.
-    Dropout { x: Var, mask: Matrix },
+    Dropout {
+        x: Var,
+        mask: Matrix,
+    },
     ConcatRows(Vec<Var>),
     ConcatCols(Vec<Var>),
-    SliceRows { x: Var, start: usize },
-    SliceCols { x: Var, start: usize },
+    SliceRows {
+        x: Var,
+        start: usize,
+    },
+    SliceCols {
+        x: Var,
+        start: usize,
+    },
     /// Mean over rows, producing (1,C).
     MeanRows(Var),
     /// Mean of every element, producing a scalar.
     MeanAll(Var),
     /// Fused softmax + negative log likelihood, mean over rows. Caches probs.
-    CrossEntropy { logits: Var, targets: Vec<usize>, probs: Matrix },
+    CrossEntropy {
+        logits: Var,
+        targets: Vec<usize>,
+        probs: Matrix,
+    },
     /// Mean squared error against a constant target.
-    MseLoss { pred: Var, target: Matrix },
+    MseLoss {
+        pred: Var,
+        target: Matrix,
+    },
     /// Mean negative log likelihood over rows of an already-normalized
     /// probability matrix (used by verbalizer losses, where class
     /// probabilities are averages of word probabilities — Eq. 1 of the
     /// PromptEM paper).
-    NllProbs { probs: Var, targets: Vec<usize> },
+    NllProbs {
+        probs: Var,
+        targets: Vec<usize>,
+    },
 }
 
 struct Node {
@@ -89,7 +117,11 @@ impl Default for Tape {
 impl Tape {
     /// A fresh training-mode tape (dropout active).
     pub fn new() -> Self {
-        Tape { nodes: Vec::with_capacity(256), param_cache: HashMap::new(), train: true }
+        Tape {
+            nodes: Vec::with_capacity(256),
+            param_cache: HashMap::new(),
+            train: true,
+        }
     }
 
     /// A tape whose dropout layers are disabled (deterministic inference).
@@ -100,7 +132,11 @@ impl Tape {
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> Var {
-        self.nodes.push(Node { value, grad: None, op });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -256,19 +292,34 @@ impl Tape {
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
             let istd = 1.0 / (var + eps).sqrt();
             inv_std.push(istd);
-            for c in 0..cols {
-                let n = (row[c] - mean) * istd;
+            for (c, &xv) in row.iter().enumerate() {
+                let n = (xv - mean) * istd;
                 normed.set(r, c, n);
                 value.set(r, c, n * gm.get(0, c) + bm.get(0, c));
             }
         }
-        self.push(value, Op::LayerNorm { x, gamma, beta, normed, inv_std })
+        self.push(
+            value,
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                normed,
+                inv_std,
+            },
+        )
     }
 
     /// Select rows of `src` by `idx` (duplicates allowed).
     pub fn gather_rows(&mut self, src: Var, idx: &[usize]) -> Var {
         let value = self.nodes[src.0].value.gather_rows(idx);
-        self.push(value, Op::GatherRows { src, idx: idx.to_vec() })
+        self.push(
+            value,
+            Op::GatherRows {
+                src,
+                idx: idx.to_vec(),
+            },
+        )
     }
 
     /// Inverted dropout with keep-probability `1-p`. Identity when the tape
@@ -281,8 +332,13 @@ impl Tape {
         let (rows, cols) = self.nodes[x.0].value.shape();
         let keep = 1.0 - p;
         let scale = 1.0 / keep;
-        let mask =
-            Matrix::from_fn(rows, cols, |_, _| if rng.gen::<f32>() < keep { scale } else { 0.0 });
+        let mask = Matrix::from_fn(rows, cols, |_, _| {
+            if rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            }
+        });
         let value = self.nodes[x.0].value.hadamard(&mask);
         self.push(value, Op::Dropout { x, mask })
     }
@@ -340,7 +396,11 @@ impl Tape {
         loss /= targets.len() as f32;
         self.push(
             Matrix::scalar(loss),
-            Op::CrossEntropy { logits, targets: targets.to_vec(), probs },
+            Op::CrossEntropy {
+                logits,
+                targets: targets.to_vec(),
+                probs,
+            },
         )
     }
 
@@ -355,7 +415,13 @@ impl Tape {
             loss -= pm.get(r, t).max(1e-12).ln();
         }
         loss /= targets.len() as f32;
-        self.push(Matrix::scalar(loss), Op::NllProbs { probs, targets: targets.to_vec() })
+        self.push(
+            Matrix::scalar(loss),
+            Op::NllProbs {
+                probs,
+                targets: targets.to_vec(),
+            },
+        )
     }
 
     /// Mean squared error against a constant target matrix. Scalar var.
@@ -364,7 +430,13 @@ impl Tape {
         assert_eq!(pm.shape(), target.shape(), "mse shapes");
         let diff = pm.sub(target);
         let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / pm.len() as f32;
-        self.push(Matrix::scalar(loss), Op::MseLoss { pred, target: target.clone() })
+        self.push(
+            Matrix::scalar(loss),
+            Op::MseLoss {
+                pred,
+                target: target.clone(),
+            },
+        )
     }
 
     fn add_grad(&mut self, v: Var, g: Matrix) {
@@ -376,7 +448,14 @@ impl Tape {
 
     /// Run reverse-mode differentiation from scalar `loss`.
     pub fn backward(&mut self, loss: Var) {
-        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "backward needs a scalar loss");
+        // Timing is telemetry-gated so the hot path stays free of clock
+        // reads when no sink is active.
+        let timed = em_obs::enabled().then(std::time::Instant::now);
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward needs a scalar loss"
+        );
         self.nodes[loss.0].grad = Some(Matrix::scalar(1.0));
         for i in (0..=loss.0).rev() {
             let g = match self.nodes[i].grad.take() {
@@ -385,6 +464,13 @@ impl Tape {
             };
             self.backprop_node(i, &g);
             self.nodes[i].grad = Some(g);
+        }
+        if let Some(start) = timed {
+            use std::sync::OnceLock;
+            static BACKWARD_SECS: OnceLock<em_obs::metrics::Histogram> = OnceLock::new();
+            BACKWARD_SECS
+                .get_or_init(|| em_obs::metrics::histogram("nn_tape_backward_secs", &[]))
+                .record(start.elapsed().as_secs_f64());
         }
     }
 
@@ -450,8 +536,9 @@ impl Tape {
             }
             Op::Gelu(a) => {
                 let x = &self.nodes[a.0].value;
-                let da =
-                    Matrix::from_fn(x.rows(), x.cols(), |r, c| g.get(r, c) * gelu_dx(x.get(r, c)));
+                let da = Matrix::from_fn(x.rows(), x.cols(), |r, c| {
+                    g.get(r, c) * gelu_dx(x.get(r, c))
+                });
                 self.add_grad(*a, da);
             }
             Op::Relu(a) => {
@@ -476,18 +563,24 @@ impl Tape {
                 }
                 self.add_grad(*a, da);
             }
-            Op::LayerNorm { x, gamma, beta, normed, inv_std } => {
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                normed,
+                inv_std,
+            } => {
                 let gm = self.nodes[gamma.0].value.clone();
                 let (rows, cols) = normed.shape();
                 let mut dx = Matrix::zeros(rows, cols);
                 let mut dgamma = Matrix::zeros(1, cols);
                 let mut dbeta = Matrix::zeros(1, cols);
-                for r in 0..rows {
+                for (r, &istd) in inv_std.iter().enumerate() {
                     // dy-hat = g * gamma; standard layernorm backward per row.
                     let mut dyh = vec![0.0f32; cols];
-                    for c in 0..cols {
+                    for (c, d) in dyh.iter_mut().enumerate() {
                         let gv = g.get(r, c);
-                        dyh[c] = gv * gm.get(0, c);
+                        *d = gv * gm.get(0, c);
                         dgamma.row_mut(0)[c] += gv * normed.get(r, c);
                         dbeta.row_mut(0)[c] += gv;
                     }
@@ -498,9 +591,9 @@ impl Tape {
                         .map(|(c, &d)| d * normed.get(r, c))
                         .sum::<f32>()
                         / cols as f32;
-                    for c in 0..cols {
+                    for (c, &d) in dyh.iter().enumerate() {
                         let n = normed.get(r, c);
-                        dx.set(r, c, inv_std[r] * (dyh[c] - mean_dyh - n * mean_dyh_n));
+                        dx.set(r, c, istd * (d - mean_dyh - n * mean_dyh_n));
                     }
                 }
                 self.add_grad(*x, dx);
@@ -561,7 +654,11 @@ impl Tape {
                 let v = g.item() / (rows * cols) as f32;
                 self.add_grad(*x, Matrix::full(rows, cols, v));
             }
-            Op::CrossEntropy { logits, targets, probs } => {
+            Op::CrossEntropy {
+                logits,
+                targets,
+                probs,
+            } => {
                 let gs = g.item() / targets.len() as f32;
                 let mut da = probs.scale(gs);
                 for (r, &t) in targets.iter().enumerate() {
@@ -677,11 +774,14 @@ mod tests {
     fn grad_matmul_rhs() {
         // Gradient w.r.t. the right operand of a matmul.
         let a = Matrix::from_vec(2, 2, vec![0.3, -0.8, 1.1, 0.2]);
-        grad_check(Matrix::from_vec(2, 3, vec![0.5, -0.1, 0.2, 0.8, 0.4, -0.6]), move |t, x| {
-            let av = t.constant(a.clone());
-            let y = t.matmul(av, x);
-            t.mean_all(y)
-        });
+        grad_check(
+            Matrix::from_vec(2, 3, vec![0.5, -0.1, 0.2, 0.8, 0.4, -0.6]),
+            move |t, x| {
+                let av = t.constant(a.clone());
+                let y = t.matmul(av, x);
+                t.mean_all(y)
+            },
+        );
     }
 
     #[test]
@@ -748,14 +848,17 @@ mod tests {
             }
         });
         // And the beta gradient.
-        grad_check(Matrix::from_vec(1, 3, vec![0.0, 0.1, -0.2]), move |t, beta| {
-            let x = t.constant(x0.clone());
-            let gamma = t.constant(Matrix::full(1, 3, 1.0));
-            let y = t.layer_norm(x, gamma, beta, 1e-5);
-            let p = t.constant(probe.clone());
-            let m = t.mul(y, p);
-            t.mean_all(m)
-        });
+        grad_check(
+            Matrix::from_vec(1, 3, vec![0.0, 0.1, -0.2]),
+            move |t, beta| {
+                let x = t.constant(x0.clone());
+                let gamma = t.constant(Matrix::full(1, 3, 1.0));
+                let y = t.layer_norm(x, gamma, beta, 1e-5);
+                let p = t.constant(probe.clone());
+                let m = t.mul(y, p);
+                t.mean_all(m)
+            },
+        );
     }
 
     #[test]

@@ -25,17 +25,32 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix filled with `v`.
     pub fn full(rows: usize, cols: usize, v: f32) -> Self {
-        Matrix { rows, cols, data: vec![v; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Build from an explicit row-major buffer. Panics if sizes disagree.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(rows * cols, data.len(), "buffer length {} != {}x{}", data.len(), rows, cols);
+        assert_eq!(
+            rows * cols,
+            data.len(),
+            "buffer length {} != {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
         Matrix { rows, cols, data }
     }
 
@@ -58,7 +73,11 @@ impl Matrix {
     /// A 1xN row vector.
     pub fn row_vector(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Matrix { rows: 1, cols, data }
+        Matrix {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// Row count.
@@ -130,7 +149,12 @@ impl Matrix {
 
     /// The value of a 1x1 matrix.
     pub fn item(&self) -> f32 {
-        assert_eq!((self.rows, self.cols), (1, 1), "item() on non-scalar {:?}", self.shape());
+        assert_eq!(
+            (self.rows, self.cols),
+            (1, 1),
+            "item() on non-scalar {:?}",
+            self.shape()
+        );
         self.data[0]
     }
 
@@ -138,7 +162,8 @@ impl Matrix {
     /// contiguous axpy which LLVM turns into SIMD with `target-cpu=native`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} @ {:?}",
             self.shape(),
             other.shape()
@@ -158,13 +183,18 @@ impl Matrix {
                 }
             }
         }
-        Matrix { rows: m, cols: n, data: out }
+        Matrix {
+            rows: m,
+            cols: n,
+            data: out,
+        }
     }
 
     /// `self^T @ other` without materializing the transpose.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "matmul_tn shape mismatch: {:?}^T @ {:?}",
             self.shape(),
             other.shape()
@@ -185,13 +215,18 @@ impl Matrix {
                 }
             }
         }
-        Matrix { rows: m, cols: n, data: out }
+        Matrix {
+            rows: m,
+            cols: n,
+            data: out,
+        }
     }
 
     /// `self @ other^T` without materializing the transpose.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_nt shape mismatch: {:?} @ {:?}^T",
             self.shape(),
             other.shape()
@@ -209,7 +244,11 @@ impl Matrix {
                 out[i * n + j] = acc;
             }
         }
-        Matrix { rows: m, cols: n, data: out }
+        Matrix {
+            rows: m,
+            cols: n,
+            data: out,
+        }
     }
 
     /// Materialized transpose.
@@ -226,8 +265,17 @@ impl Matrix {
     /// Elementwise `self + other`.
     pub fn add(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "add shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place `self += other`.
@@ -240,7 +288,11 @@ impl Matrix {
 
     /// In-place `self += c * other`.
     pub fn add_scaled_assign(&mut self, other: &Matrix, c: f32) {
-        assert_eq!(self.shape(), other.shape(), "add_scaled_assign shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_scaled_assign shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += c * b;
         }
@@ -249,27 +301,53 @@ impl Matrix {
     /// Elementwise `self - other`.
     pub fn sub(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Elementwise (Hadamard) product.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scalar multiple.
     pub fn scale(&self, c: f32) -> Matrix {
         let data = self.data.iter().map(|a| a * c).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Apply `f` to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
         let data = self.data.iter().map(|&a| f(a)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Sum of all elements.
@@ -323,7 +401,11 @@ impl Matrix {
     pub fn slice_rows(&self, start: usize, len: usize) -> Matrix {
         assert!(start + len <= self.rows, "slice_rows out of range");
         let data = self.data[start * self.cols..(start + len) * self.cols].to_vec();
-        Matrix { rows: len, cols: self.cols, data }
+        Matrix {
+            rows: len,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Copy of columns `[start, start+len)`.
@@ -333,17 +415,30 @@ impl Matrix {
         for r in 0..self.rows {
             data.extend_from_slice(&self.row(r)[start..start + len]);
         }
-        Matrix { rows: self.rows, cols: len, data }
+        Matrix {
+            rows: self.rows,
+            cols: len,
+            data,
+        }
     }
 
     /// Gather rows by index (duplicates allowed).
     pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
         let mut data = Vec::with_capacity(idx.len() * self.cols);
         for &i in idx {
-            assert!(i < self.rows, "gather_rows index {} out of {}", i, self.rows);
+            assert!(
+                i < self.rows,
+                "gather_rows index {} out of {}",
+                i,
+                self.rows
+            );
             data.extend_from_slice(self.row(i));
         }
-        Matrix { rows: idx.len(), cols: self.cols, data }
+        Matrix {
+            rows: idx.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Mean over rows, producing a 1xC row vector.
@@ -358,7 +453,11 @@ impl Matrix {
         for o in &mut out {
             *o *= inv;
         }
-        Matrix { rows: 1, cols: self.cols, data: out }
+        Matrix {
+            rows: 1,
+            cols: self.cols,
+            data: out,
+        }
     }
 
     /// True when any element is NaN or infinite.

@@ -9,10 +9,18 @@ fn adamw_first_step_magnitude_is_lr() {
     // almost exactly lr * sign(grad) (for eps << |grad|, wd = 0).
     let mut store = ParamStore::new();
     let w = store.register("w", Matrix::zeros(1, 3));
-    store.grad_mut(w).data_mut().copy_from_slice(&[0.5, -2.0, 10.0]);
+    store
+        .grad_mut(w)
+        .data_mut()
+        .copy_from_slice(&[0.5, -2.0, 10.0]);
     let mut opt = AdamW::new(0.01).with_weight_decay(0.0);
     opt.step(&mut store);
-    for (&v, &g) in store.value(w).data().iter().zip([0.5f32, -2.0, 10.0].iter()) {
+    for (&v, &g) in store
+        .value(w)
+        .data()
+        .iter()
+        .zip([0.5f32, -2.0, 10.0].iter())
+    {
         let expected = -0.01 * g.signum();
         assert!((v - expected).abs() < 1e-4, "step {v} vs {expected}");
     }
@@ -42,7 +50,10 @@ fn zero_grads_resets_accumulation() {
         tape.accumulate_param_grads(&mut store);
     }
     let sum1: f32 = store.grad(w).data().iter().sum();
-    assert!((sum1 - 2.0).abs() < 1e-6, "expected accumulation, got {sum1}");
+    assert!(
+        (sum1 - 2.0).abs() < 1e-6,
+        "expected accumulation, got {sum1}"
+    );
     store.zero_grads();
     assert_eq!(store.grad(w).data().iter().sum::<f32>(), 0.0);
 }
@@ -51,11 +62,20 @@ fn zero_grads_resets_accumulation() {
 fn clip_then_step_bounds_update_norm() {
     let mut store = ParamStore::new();
     let w = store.register("w", Matrix::zeros(1, 4));
-    store.grad_mut(w).data_mut().copy_from_slice(&[100.0, -100.0, 100.0, -100.0]);
+    store
+        .grad_mut(w)
+        .data_mut()
+        .copy_from_slice(&[100.0, -100.0, 100.0, -100.0]);
     store.clip_grad_norm(1.0);
     let mut opt = Sgd::new(1.0);
     opt.step(&mut store);
-    let norm: f32 = store.value(w).data().iter().map(|v| v * v).sum::<f32>().sqrt();
+    let norm: f32 = store
+        .value(w)
+        .data()
+        .iter()
+        .map(|v| v * v)
+        .sum::<f32>()
+        .sqrt();
     assert!(norm <= 1.0 + 1e-5, "clipped update too large: {norm}");
 }
 

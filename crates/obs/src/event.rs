@@ -1,0 +1,667 @@
+//! The typed event schema and its JSONL encoding.
+//!
+//! Every event is one JSON object per line. Common fields:
+//!
+//! | field  | type   | meaning                                             |
+//! |--------|--------|-----------------------------------------------------|
+//! | `seq`  | u64    | process-wide monotonic sequence number              |
+//! | `seed` | u64    | the run seed (set via [`crate::set_run_seed`])      |
+//! | `t_us` | u64    | microseconds since telemetry start                  |
+//! | `span` | u64?   | id of the enclosing span, if any                    |
+//! | `type` | string | the variant tag (see [`EventKind`])                 |
+//!
+//! Variant fields are documented on each [`EventKind`] variant. Optional
+//! numeric fields encode as `null` when absent. The encoding is stable and
+//! round-trips through [`Event::parse`], which the sink tests assert.
+
+use crate::level::Level;
+use std::fmt::Write as _;
+
+/// One telemetry event, ready for a sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Process-wide monotonic sequence number (1-based).
+    pub seq: u64,
+    /// The run seed, so traces from two runs are diffable.
+    pub seed: u64,
+    /// Microseconds since telemetry start.
+    pub t_us: u64,
+    /// Enclosing span id, when the event fired inside a span.
+    pub span: Option<u64>,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+/// The event payload variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span began. Fields: `id`, `parent` (nullable), `name`, `detail`
+    /// (nullable free-form label, e.g. `"PromptEM/REL-HETER"`).
+    SpanOpen {
+        /// Span id (process-wide unique).
+        id: u64,
+        /// Parent span id, if nested.
+        parent: Option<u64>,
+        /// Static span name (`"pretrain"`, `"teacher"`, ...).
+        name: String,
+        /// Optional dynamic label.
+        detail: Option<String>,
+    },
+    /// A span ended. Fields: `id`, `name`, `wall_us`, `heap_delta` (bytes,
+    /// signed; 0 unless the counting allocator is installed), `heap_peak`
+    /// (process peak bytes at close).
+    SpanClose {
+        /// Span id matching the open event.
+        id: u64,
+        /// Static span name (repeated for grep-ability).
+        name: String,
+        /// Wall-clock duration in microseconds.
+        wall_us: u64,
+        /// Live-heap delta across the span, in bytes.
+        heap_delta: i64,
+        /// Process peak heap at close, in bytes.
+        heap_peak: u64,
+    },
+    /// One training epoch finished. Fields: `epoch`, `train_loss`,
+    /// `valid_f1` (nullable, percent), `threshold` (nullable).
+    Epoch {
+        /// 0-based epoch index.
+        epoch: u64,
+        /// Mean batch loss of the epoch.
+        train_loss: f64,
+        /// Validation F1 (percent) at the calibrated threshold, when
+        /// validation ran this epoch.
+        valid_f1: Option<f64>,
+        /// The calibrated decision threshold, when validation ran.
+        threshold: Option<f64>,
+    },
+    /// Pseudo-labels were selected (paper §4.2). Fields: `count`, `tpr`
+    /// (nullable), `tnr` (nullable) — quality is only known when gold
+    /// labels were supplied for auditing (Table 5).
+    PseudoSelect {
+        /// Pseudo-labels moved from D_U into D_L.
+        count: u64,
+        /// True-positive rate against audit labels.
+        tpr: Option<f64>,
+        /// True-negative rate against audit labels.
+        tnr: Option<f64>,
+    },
+    /// Dynamic data pruning fired (paper §4.3). Fields: `dropped`,
+    /// `passes` (MC-Dropout passes used for MC-EL2N).
+    Prune {
+        /// Training examples removed by this pruning event.
+        dropped: u64,
+        /// MC-Dropout passes used to score them.
+        passes: u64,
+    },
+    /// One MLM pretraining optimizer step. Fields: `step`, `mlm_loss`.
+    PretrainStep {
+        /// 0-based optimizer step.
+        step: u64,
+        /// The step's masked-LM loss.
+        mlm_loss: f64,
+    },
+    /// A blocking query batch completed. Fields: `candidates`.
+    Block {
+        /// Candidate pairs produced.
+        candidates: u64,
+    },
+    /// Free-form log line. Fields: `level`, `text`.
+    Message {
+        /// Severity.
+        level: Level,
+        /// The message.
+        text: String,
+    },
+}
+
+impl EventKind {
+    /// The `type` tag used in the JSONL encoding.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            EventKind::SpanOpen { .. } => "span_open",
+            EventKind::SpanClose { .. } => "span_close",
+            EventKind::Epoch { .. } => "epoch",
+            EventKind::PseudoSelect { .. } => "pseudo_select",
+            EventKind::Prune { .. } => "prune",
+            EventKind::PretrainStep { .. } => "pretrain_step",
+            EventKind::Block { .. } => "block",
+            EventKind::Message { .. } => "message",
+        }
+    }
+
+    /// The severity a stderr filter applies to this event.
+    pub fn level(&self) -> Level {
+        match self {
+            EventKind::Message { level, .. } => *level,
+            EventKind::Epoch { .. } | EventKind::PseudoSelect { .. } | EventKind::Prune { .. } => {
+                Level::Info
+            }
+            EventKind::SpanOpen { .. }
+            | EventKind::SpanClose { .. }
+            | EventKind::PretrainStep { .. }
+            | EventKind::Block { .. } => Level::Debug,
+        }
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_opt_u64(out: &mut String, key: &str, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            let _ = write!(out, ",\"{key}\":{v}");
+        }
+        None => {
+            let _ = write!(out, ",\"{key}\":null");
+        }
+    }
+}
+
+fn push_opt_f64(out: &mut String, key: &str, v: Option<f64>) {
+    match v {
+        Some(v) => {
+            let _ = write!(out, ",\"{key}\":{v}");
+        }
+        None => {
+            let _ = write!(out, ",\"{key}\":null");
+        }
+    }
+}
+
+impl Event {
+    /// Encode as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"seq\":{},\"seed\":{},\"t_us\":{}",
+            self.seq, self.seed, self.t_us
+        );
+        push_opt_u64(&mut s, "span", self.span);
+        let _ = write!(s, ",\"type\":\"{}\"", self.kind.type_tag());
+        match &self.kind {
+            EventKind::SpanOpen {
+                id,
+                parent,
+                name,
+                detail,
+            } => {
+                let _ = write!(s, ",\"id\":{id}");
+                push_opt_u64(&mut s, "parent", *parent);
+                s.push_str(",\"name\":");
+                push_json_str(&mut s, name);
+                s.push_str(",\"detail\":");
+                match detail {
+                    Some(d) => push_json_str(&mut s, d),
+                    None => s.push_str("null"),
+                }
+            }
+            EventKind::SpanClose {
+                id,
+                name,
+                wall_us,
+                heap_delta,
+                heap_peak,
+            } => {
+                let _ = write!(s, ",\"id\":{id}");
+                s.push_str(",\"name\":");
+                push_json_str(&mut s, name);
+                let _ = write!(
+                    s,
+                    ",\"wall_us\":{wall_us},\"heap_delta\":{heap_delta},\"heap_peak\":{heap_peak}"
+                );
+            }
+            EventKind::Epoch {
+                epoch,
+                train_loss,
+                valid_f1,
+                threshold,
+            } => {
+                let _ = write!(s, ",\"epoch\":{epoch},\"train_loss\":{train_loss}");
+                push_opt_f64(&mut s, "valid_f1", *valid_f1);
+                push_opt_f64(&mut s, "threshold", *threshold);
+            }
+            EventKind::PseudoSelect { count, tpr, tnr } => {
+                let _ = write!(s, ",\"count\":{count}");
+                push_opt_f64(&mut s, "tpr", *tpr);
+                push_opt_f64(&mut s, "tnr", *tnr);
+            }
+            EventKind::Prune { dropped, passes } => {
+                let _ = write!(s, ",\"dropped\":{dropped},\"passes\":{passes}");
+            }
+            EventKind::PretrainStep { step, mlm_loss } => {
+                let _ = write!(s, ",\"step\":{step},\"mlm_loss\":{mlm_loss}");
+            }
+            EventKind::Block { candidates } => {
+                let _ = write!(s, ",\"candidates\":{candidates}");
+            }
+            EventKind::Message { level, text } => {
+                let _ = write!(s, ",\"level\":\"{}\"", level.name());
+                s.push_str(",\"text\":");
+                push_json_str(&mut s, text);
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse one JSONL line produced by [`Event::to_json`].
+    pub fn parse(line: &str) -> Result<Event, String> {
+        let fields = parse_json_object(line)?;
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field '{key}' in {line}"))
+        };
+        let num = |key: &str| -> Result<f64, String> {
+            match get(key)? {
+                JsonVal::Num(n) => Ok(*n),
+                other => Err(format!("field '{key}' is not a number: {other:?}")),
+            }
+        };
+        let opt_num = |key: &str| -> Result<Option<f64>, String> {
+            match get(key)? {
+                JsonVal::Num(n) => Ok(Some(*n)),
+                JsonVal::Null => Ok(None),
+                other => Err(format!("field '{key}' is not a number or null: {other:?}")),
+            }
+        };
+        let text = |key: &str| -> Result<String, String> {
+            match get(key)? {
+                JsonVal::Str(s) => Ok(s.clone()),
+                other => Err(format!("field '{key}' is not a string: {other:?}")),
+            }
+        };
+        let opt_text = |key: &str| -> Result<Option<String>, String> {
+            match get(key)? {
+                JsonVal::Str(s) => Ok(Some(s.clone())),
+                JsonVal::Null => Ok(None),
+                other => Err(format!("field '{key}' is not a string or null: {other:?}")),
+            }
+        };
+        let tag = text("type")?;
+        let kind = match tag.as_str() {
+            "span_open" => EventKind::SpanOpen {
+                id: num("id")? as u64,
+                parent: opt_num("parent")?.map(|v| v as u64),
+                name: text("name")?,
+                detail: opt_text("detail")?,
+            },
+            "span_close" => EventKind::SpanClose {
+                id: num("id")? as u64,
+                name: text("name")?,
+                wall_us: num("wall_us")? as u64,
+                heap_delta: num("heap_delta")? as i64,
+                heap_peak: num("heap_peak")? as u64,
+            },
+            "epoch" => EventKind::Epoch {
+                epoch: num("epoch")? as u64,
+                train_loss: num("train_loss")?,
+                valid_f1: opt_num("valid_f1")?,
+                threshold: opt_num("threshold")?,
+            },
+            "pseudo_select" => EventKind::PseudoSelect {
+                count: num("count")? as u64,
+                tpr: opt_num("tpr")?,
+                tnr: opt_num("tnr")?,
+            },
+            "prune" => EventKind::Prune {
+                dropped: num("dropped")? as u64,
+                passes: num("passes")? as u64,
+            },
+            "pretrain_step" => EventKind::PretrainStep {
+                step: num("step")? as u64,
+                mlm_loss: num("mlm_loss")?,
+            },
+            "block" => EventKind::Block {
+                candidates: num("candidates")? as u64,
+            },
+            "message" => EventKind::Message {
+                level: Level::from_name(&text("level")?)
+                    .ok_or_else(|| format!("bad level in {line}"))?,
+                text: text("text")?,
+            },
+            other => return Err(format!("unknown event type '{other}'")),
+        };
+        Ok(Event {
+            seq: num("seq")? as u64,
+            seed: num("seed")? as u64,
+            t_us: num("t_us")? as u64,
+            span: opt_num("span")?.map(|v| v as u64),
+            kind,
+        })
+    }
+
+    /// A one-line human rendering for the stderr sink.
+    pub fn render_human(&self) -> String {
+        let prefix = format!(
+            "[{:>5} {:>9.3}s]",
+            self.kind.level(),
+            self.t_us as f64 / 1e6
+        );
+        let body = match &self.kind {
+            EventKind::SpanOpen {
+                id,
+                parent,
+                name,
+                detail,
+            } => {
+                let detail = detail
+                    .as_deref()
+                    .map(|d| format!(" ({d})"))
+                    .unwrap_or_default();
+                match parent {
+                    Some(p) => format!("span {name}#{id} open{detail} (parent #{p})"),
+                    None => format!("span {name}#{id} open{detail}"),
+                }
+            }
+            EventKind::SpanClose {
+                id,
+                name,
+                wall_us,
+                heap_delta,
+                ..
+            } => format!(
+                "span {name}#{id} close: {:.1}ms, heap {:+}B",
+                *wall_us as f64 / 1e3,
+                heap_delta
+            ),
+            EventKind::Epoch {
+                epoch,
+                train_loss,
+                valid_f1,
+                threshold,
+            } => {
+                let mut s = format!("epoch {epoch}: loss {train_loss:.4}");
+                if let Some(f1) = valid_f1 {
+                    let _ = write!(s, ", valid F1 {f1:.1}");
+                }
+                if let Some(t) = threshold {
+                    let _ = write!(s, ", threshold {t:.3}");
+                }
+                s
+            }
+            EventKind::PseudoSelect { count, tpr, tnr } => match (tpr, tnr) {
+                (Some(tpr), Some(tnr)) => {
+                    format!("pseudo-select: {count} labels (TPR {tpr:.2}, TNR {tnr:.2})")
+                }
+                _ => format!("pseudo-select: {count} labels"),
+            },
+            EventKind::Prune { dropped, passes } => {
+                format!("prune: dropped {dropped} examples ({passes} MC passes)")
+            }
+            EventKind::PretrainStep { step, mlm_loss } => {
+                format!("pretrain step {step}: mlm loss {mlm_loss:.4}")
+            }
+            EventKind::Block { candidates } => format!("blocking: {candidates} candidate pairs"),
+            EventKind::Message { text, .. } => text.clone(),
+        };
+        format!("{prefix} {body}")
+    }
+}
+
+/// A parsed JSON scalar (the schema is flat, so objects/arrays never nest).
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    /// A number (integers included; the schema stays under 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// Parse a flat JSON object (string/number/bool/null values only).
+fn parse_json_object(s: &str) -> Result<Vec<(String, JsonVal)>, String> {
+    let mut chars = s.trim().chars().peekable();
+    let mut out = Vec::new();
+    if chars.next() != Some('{') {
+        return Err(format!("expected '{{' in {s}"));
+    }
+    loop {
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some(',') => {
+                chars.next();
+            }
+            Some(_) => {}
+            None => return Err(format!("unterminated object in {s}")),
+        }
+        skip_ws(&mut chars);
+        if chars.peek() == Some(&'}') {
+            chars.next();
+            break;
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key '{key}' in {s}"));
+        }
+        skip_ws(&mut chars);
+        let val = match chars.peek() {
+            Some('"') => JsonVal::Str(parse_string(&mut chars)?),
+            Some('t') => {
+                expect_word(&mut chars, "true")?;
+                JsonVal::Bool(true)
+            }
+            Some('f') => {
+                expect_word(&mut chars, "false")?;
+                JsonVal::Bool(false)
+            }
+            Some('n') => {
+                expect_word(&mut chars, "null")?;
+                JsonVal::Null
+            }
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                let mut num = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || "+-.eE".contains(c) {
+                        num.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                JsonVal::Num(
+                    num.parse()
+                        .map_err(|_| format!("bad number '{num}' in {s}"))?,
+                )
+            }
+            other => return Err(format!("unexpected value start {other:?} in {s}")),
+        };
+        out.push((key, val));
+        skip_ws(&mut chars);
+    }
+    Ok(out)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect_word(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    word: &str,
+) -> Result<(), String> {
+    for expected in word.chars() {
+        if chars.next() != Some(expected) {
+            return Err(format!("expected literal '{word}'"));
+        }
+    }
+    Ok(())
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".into());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code =
+                        u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u{hex}"))?;
+                    out.push(char::from_u32(code).ok_or_else(|| format!("bad codepoint {code}"))?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(kind: EventKind) {
+        let e = Event {
+            seq: 17,
+            seed: 42,
+            t_us: 123_456,
+            span: Some(3),
+            kind,
+        };
+        let line = e.to_json();
+        let parsed = Event::parse(&line).unwrap_or_else(|err| panic!("{err}\nline: {line}"));
+        assert_eq!(parsed, e, "round trip changed the event; line: {line}");
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        round_trip(EventKind::SpanOpen {
+            id: 9,
+            parent: Some(2),
+            name: "teacher".into(),
+            detail: Some("PromptEM/REL-HETER \"quoted\"\n".into()),
+        });
+        round_trip(EventKind::SpanOpen {
+            id: 1,
+            parent: None,
+            name: "pretrain".into(),
+            detail: None,
+        });
+        round_trip(EventKind::SpanClose {
+            id: 9,
+            name: "teacher".into(),
+            wall_us: 88_123,
+            heap_delta: -4096,
+            heap_peak: 1 << 30,
+        });
+        round_trip(EventKind::Epoch {
+            epoch: 7,
+            train_loss: 0.6931471824645996,
+            valid_f1: Some(81.25),
+            threshold: Some(0.4375),
+        });
+        round_trip(EventKind::Epoch {
+            epoch: 0,
+            train_loss: 1.5,
+            valid_f1: None,
+            threshold: None,
+        });
+        round_trip(EventKind::PseudoSelect {
+            count: 6,
+            tpr: Some(1.0),
+            tnr: Some(0.875),
+        });
+        round_trip(EventKind::PseudoSelect {
+            count: 0,
+            tpr: None,
+            tnr: None,
+        });
+        round_trip(EventKind::Prune {
+            dropped: 12,
+            passes: 10,
+        });
+        round_trip(EventKind::PretrainStep {
+            step: 4999,
+            mlm_loss: 2.25,
+        });
+        round_trip(EventKind::Block { candidates: 480 });
+        round_trip(EventKind::Message {
+            level: Level::Warn,
+            text: "tab\there \\ \"q\"".into(),
+        });
+    }
+
+    #[test]
+    fn no_span_encodes_as_null() {
+        let e = Event {
+            seq: 1,
+            seed: 0,
+            t_us: 0,
+            span: None,
+            kind: EventKind::Block { candidates: 3 },
+        };
+        let line = e.to_json();
+        assert!(line.contains("\"span\":null"), "{line}");
+        assert_eq!(Event::parse(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Event::parse("not json").is_err());
+        assert!(Event::parse("{\"seq\":1}").is_err());
+        assert!(
+            Event::parse("{\"seq\":1,\"seed\":0,\"t_us\":0,\"span\":null,\"type\":\"nope\"}")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let e = Event {
+            seq: 1,
+            seed: 2,
+            t_us: 3,
+            span: None,
+            kind: EventKind::PretrainStep {
+                step: 0,
+                mlm_loss: 0.1 + 0.2,
+            },
+        };
+        match Event::parse(&e.to_json()).unwrap().kind {
+            EventKind::PretrainStep { mlm_loss, .. } => {
+                assert_eq!(mlm_loss.to_bits(), (0.1f64 + 0.2).to_bits());
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Severity levels and the `PROMPTEM_LOG` filter grammar.
+
+use std::fmt;
+
+/// Event severity, ordered from most to least severe. A stderr filter at
+/// level `L` shows every event whose level is `<= L` (so `Trace` shows
+/// everything).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Unrecoverable problems.
+    Error,
+    /// Swallowed-but-suspicious conditions (bad env vars, cache failures).
+    Warn,
+    /// Pipeline progress: phases, epochs, pseudo-label selections.
+    Info,
+    /// High-volume diagnostics: spans, pretraining steps, blocking stats.
+    Debug,
+    /// Everything.
+    Trace,
+}
+
+impl Level {
+    /// The level's lowercase name (the JSONL encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parse one level name (without the `off` filter value).
+    pub fn from_name(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parse a `PROMPTEM_LOG`-style filter: a level name, `off`/`none`/`0` for
+/// no output, or the empty string for the given default. Unknown values are
+/// an error so typos do not silently disable telemetry.
+pub fn parse_filter(raw: &str, default: Option<Level>) -> Result<Option<Level>, String> {
+    let s = raw.trim();
+    if s.is_empty() {
+        return Ok(default);
+    }
+    match s.to_ascii_lowercase().as_str() {
+        "off" | "none" | "0" => Ok(None),
+        other => Level::from_name(other).map(Some).ok_or_else(|| {
+            format!("unknown log level '{other}' (expected off|error|warn|info|debug|trace)")
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn filter_parses_names_aliases_and_off() {
+        assert_eq!(parse_filter("info", None), Ok(Some(Level::Info)));
+        assert_eq!(parse_filter(" WARN ", None), Ok(Some(Level::Warn)));
+        assert_eq!(parse_filter("warning", None), Ok(Some(Level::Warn)));
+        assert_eq!(parse_filter("off", Some(Level::Info)), Ok(None));
+        assert_eq!(parse_filter("none", Some(Level::Info)), Ok(None));
+        assert_eq!(parse_filter("0", Some(Level::Info)), Ok(None));
+        assert_eq!(parse_filter("", Some(Level::Debug)), Ok(Some(Level::Debug)));
+        assert_eq!(parse_filter("", None), Ok(None));
+    }
+
+    #[test]
+    fn filter_rejects_typos() {
+        assert!(parse_filter("vebrose", None).is_err());
+        assert!(parse_filter("2", None).is_err());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for l in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(Level::from_name(l.name()), Some(l));
+        }
+    }
+}

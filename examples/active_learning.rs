@@ -20,7 +20,10 @@ fn main() {
     let backbone = pretrain_backbone(&dataset, &cfg);
     let encoded = encode_with(&dataset, &backbone, &cfg);
 
-    let train_cfg = TrainCfg { epochs: 6, ..Default::default() };
+    let train_cfg = TrainCfg {
+        epochs: 6,
+        ..Default::default()
+    };
     let mut model = PromptEmModel::new(backbone, PromptOpts::default(), 5);
     let mut train = encoded.train.clone();
     let mut pool = encoded.unlabeled.clone();

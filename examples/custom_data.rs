@@ -16,7 +16,12 @@ fn main() {
     let mut csv = String::from("title,venue,year\n");
     // ...and a semi-structured table of the same universe.
     let mut jsonl = String::new();
-    let topics = ["similarity search", "entity matching", "query optimization", "graph mining"];
+    let topics = [
+        "similarity search",
+        "entity matching",
+        "query optimization",
+        "graph mining",
+    ];
     let venues = ["sigmod", "vldb", "icde", "kdd"];
     for i in 0..48 {
         let topic = topics[i % topics.len()];
@@ -29,14 +34,26 @@ fn main() {
     }
     let left = table_from_csv("papers_csv", &csv).expect("valid csv");
     let right = table_from_jsonl("papers_jsonl", &jsonl).expect("valid jsonl");
-    println!("left: {} records ({}), right: {} records ({})", left.len(), left.format, right.len(), right.format);
+    println!(
+        "left: {} records ({}), right: {} records ({})",
+        left.len(),
+        left.format,
+        right.len(),
+        right.format
+    );
 
     // Label a few pairs: (i, i) match, (i, i+1) non-match.
     let mut labeled = Vec::new();
     for i in 0..left.len() {
-        labeled.push(LabeledPair { pair: Pair { left: i, right: i }, label: true });
         labeled.push(LabeledPair {
-            pair: Pair { left: i, right: (i + 1) % right.len() },
+            pair: Pair { left: i, right: i },
+            label: true,
+        });
+        labeled.push(LabeledPair {
+            pair: Pair {
+                left: i,
+                right: (i + 1) % right.len(),
+            },
             label: false,
         });
     }
@@ -59,9 +76,18 @@ fn main() {
     let mut cfg = PromptEmConfig::default();
     cfg.pretrain.max_steps = 800;
     cfg.lst = LstCfg {
-        teacher: TrainCfg { epochs: 6, ..Default::default() },
-        student: TrainCfg { epochs: 6, ..Default::default() },
-        pseudo: PseudoCfg { passes: 5, ..Default::default() },
+        teacher: TrainCfg {
+            epochs: 6,
+            ..Default::default()
+        },
+        student: TrainCfg {
+            epochs: 6,
+            ..Default::default()
+        },
+        pseudo: PseudoCfg {
+            passes: 5,
+            ..Default::default()
+        },
         ..LstCfg::quick()
     };
 

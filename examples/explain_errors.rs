@@ -36,7 +36,11 @@ fn main() {
         let (l, r) = dataset.records(lp.pair);
         println!(
             "--- {} (gold {}, predicted {}) ---",
-            if *p { "FALSE POSITIVE" } else { "FALSE NEGATIVE" },
+            if *p {
+                "FALSE POSITIVE"
+            } else {
+                "FALSE NEGATIVE"
+            },
             ex.label,
             p
         );

@@ -11,7 +11,7 @@
 //! cargo run --release --example geo_matching
 //! ```
 
-use promptem_repro::baselines::{evaluate_matcher, Matcher, MatchTask, TDmatchBaseline};
+use promptem_repro::baselines::{evaluate_matcher, MatchTask, Matcher, TDmatchBaseline};
 use promptem_repro::data::synth::{build, BenchmarkId, Scale};
 use promptem_repro::promptem::pipeline::{
     encode_with, pretrain_backbone, run_with_backbone, PromptEmConfig,
@@ -33,9 +33,17 @@ fn main() {
 
     // Unsupervised TDmatch: graph + random walks, zero labels.
     let mut tdmatch = TDmatchBaseline::new();
-    let task = MatchTask { raw: &dataset, encoded: &encoded, backbone: backbone.clone() };
+    let task = MatchTask {
+        raw: &dataset,
+        encoded: &encoded,
+        backbone: backbone.clone(),
+    };
     let (td_scores, td_secs) = evaluate_matcher(&mut tdmatch, &task);
-    println!("{:12} {} ({td_secs:.1}s, no labels)", tdmatch.name(), td_scores);
+    println!(
+        "{:12} {} ({td_secs:.1}s, no labels)",
+        tdmatch.name(),
+        td_scores
+    );
 
     // PromptEM with the default configuration.
     let result = run_with_backbone(backbone, &dataset, &cfg);

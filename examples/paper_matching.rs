@@ -25,18 +25,29 @@ fn main() {
     // Show what serialization does to each side (paper §2.2).
     let sample = dataset.test[0];
     let (left, right) = dataset.records(sample.pair);
-    println!("textual side   : {}", clip(&serialize(left, dataset.left.format), 18));
-    println!("relational side: {}", clip(&serialize(right, dataset.right.format), 18));
-    println!("gold label     : {}", if sample.label { "match" } else { "non-match" });
+    println!(
+        "textual side   : {}",
+        clip(&serialize(left, dataset.left.format), 18)
+    );
+    println!(
+        "relational side: {}",
+        clip(&serialize(right, dataset.right.format), 18)
+    );
+    println!(
+        "gold label     : {}",
+        if sample.label { "match" } else { "non-match" }
+    );
     println!();
 
     // Configure PromptEM with the hard T1 template — "serialize(e)
     // serialize(e') They are [MASK]" — instead of the default continuous T2.
-    let mut cfg = PromptEmConfig::default();
-    cfg.prompt = PromptOpts {
-        template: TemplateId::T1,
-        mode: PromptMode::Hard,
-        label_words: LabelWords::designed(),
+    let cfg = PromptEmConfig {
+        prompt: PromptOpts {
+            template: TemplateId::T1,
+            mode: PromptMode::Hard,
+            label_words: LabelWords::designed(),
+        },
+        ..Default::default()
     };
 
     println!("pretraining backbone on the dataset's own tables...");

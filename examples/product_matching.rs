@@ -28,12 +28,21 @@ fn main() {
     // Train a teacher and compare pseudo-label selection strategies.
     let mut teacher = PromptEmModel::new(backbone.clone(), PromptOpts::default(), 3);
     teacher.train(&encoded.train, &encoded.valid, &cfg.lst.teacher, None);
-    println!("teacher valid scores: {}", evaluate(&mut teacher, &encoded.valid));
+    println!(
+        "teacher valid scores: {}",
+        evaluate(&mut teacher, &encoded.valid)
+    );
 
-    for strategy in
-        [SelectionStrategy::Uncertainty, SelectionStrategy::Confidence, SelectionStrategy::Clustering]
-    {
-        let pcfg = PseudoCfg { strategy, u_r: 0.15, ..Default::default() };
+    for strategy in [
+        SelectionStrategy::Uncertainty,
+        SelectionStrategy::Confidence,
+        SelectionStrategy::Clustering,
+    ] {
+        let pcfg = PseudoCfg {
+            strategy,
+            u_r: 0.15,
+            ..Default::default()
+        };
         let selected = select_pseudo_labels(&mut teacher, &encoded.unlabeled, &pcfg);
         let (tpr, tnr) = pseudo_label_quality(&selected, &encoded.unlabeled_gold);
         println!(
@@ -54,6 +63,9 @@ fn main() {
         &lst,
     );
     println!();
-    println!("student test scores: {}", evaluate(&mut student, &encoded.test));
+    println!(
+        "student test scores: {}",
+        evaluate(&mut student, &encoded.test)
+    );
     println!("DDP pruned {} training examples", report.pruned);
 }

@@ -3,8 +3,8 @@
 //! the paper hold (e.g. TDmatch consumes no labels, Rotom is two-stage).
 
 use promptem_repro::baselines::{
-    evaluate_matcher, BertBaseline, DaderBaseline, DeepMatcherBaseline, DittoBaseline, Matcher,
-    MatchTask, RotomBaseline, SBertBaseline, TDmatchBaseline, TDmatchStarBaseline,
+    evaluate_matcher, BertBaseline, DaderBaseline, DeepMatcherBaseline, DittoBaseline, MatchTask,
+    Matcher, RotomBaseline, SBertBaseline, TDmatchBaseline, TDmatchStarBaseline,
 };
 use promptem_repro::data::synth::{build, BenchmarkId, Scale};
 use promptem_repro::promptem::pipeline::{encode_with, pretrain_backbone, PromptEmConfig};
@@ -27,20 +27,34 @@ fn fixture() -> &'static Fixture {
         cfg.corpus.relation_statements = 120;
         let backbone = pretrain_backbone(&ds, &cfg);
         let encoded = encode_with(&ds, &backbone, &cfg);
-        Fixture { ds, backbone, encoded }
+        Fixture {
+            ds,
+            backbone,
+            encoded,
+        }
     })
 }
 
 fn quick_cfg() -> TrainCfg {
-    TrainCfg { epochs: 2, ..Default::default() }
+    TrainCfg {
+        epochs: 2,
+        ..Default::default()
+    }
 }
 
 fn check<M: Matcher>(mut m: M) {
     let fix = fixture();
-    let task =
-        MatchTask { raw: &fix.ds, encoded: &fix.encoded, backbone: fix.backbone.clone() };
+    let task = MatchTask {
+        raw: &fix.ds,
+        encoded: &fix.encoded,
+        backbone: fix.backbone.clone(),
+    };
     let (scores, secs) = evaluate_matcher(&mut m, &task);
-    assert!(scores.f1.is_finite() && (0.0..=100.0).contains(&scores.f1), "{}", m.name());
+    assert!(
+        scores.f1.is_finite() && (0.0..=100.0).contains(&scores.f1),
+        "{}",
+        m.name()
+    );
     assert!(secs >= 0.0);
     // Predictions must cover the whole test split.
     let pred = m.predict_test(&task);
@@ -91,10 +105,16 @@ fn tdmatch_contract_and_label_independence() {
     for lp in flipped.train.iter_mut() {
         lp.label = !lp.label;
     }
-    let task1 =
-        MatchTask { raw: &fix.ds, encoded: &fix.encoded, backbone: fix.backbone.clone() };
-    let task2 =
-        MatchTask { raw: &flipped, encoded: &fix.encoded, backbone: fix.backbone.clone() };
+    let task1 = MatchTask {
+        raw: &fix.ds,
+        encoded: &fix.encoded,
+        backbone: fix.backbone.clone(),
+    };
+    let task2 = MatchTask {
+        raw: &flipped,
+        encoded: &fix.encoded,
+        backbone: fix.backbone.clone(),
+    };
     let mut a = TDmatchBaseline::new();
     a.fit(&task1);
     let mut b = TDmatchBaseline::new();

@@ -6,16 +6,30 @@
 use promptem_repro::promptem::encode::{EncodedPair, Example};
 use promptem_repro::promptem::model::{PromptEmModel, PromptOpts};
 use promptem_repro::promptem::selftrain::{lightweight_self_train, LstCfg};
+use promptem_repro::promptem::testutil::{tiny_backbone, toy_examples};
 use promptem_repro::promptem::trainer::{PruneCfg, TrainCfg, TrainReport, TunableMatcher};
 use promptem_repro::promptem::{FineTuneModel, PseudoCfg};
-use promptem_repro::promptem::testutil::{tiny_backbone, toy_examples};
 
 fn tiny_lst() -> LstCfg {
     LstCfg {
-        teacher: TrainCfg { epochs: 2, ..Default::default() },
-        student: TrainCfg { epochs: 2, ..Default::default() },
-        pseudo: PseudoCfg { passes: 2, u_r: 0.2, ..Default::default() },
-        prune: Some(PruneCfg { every: 1, e_r: 0.1, passes: 2 }),
+        teacher: TrainCfg {
+            epochs: 2,
+            ..Default::default()
+        },
+        student: TrainCfg {
+            epochs: 2,
+            ..Default::default()
+        },
+        pseudo: PseudoCfg {
+            passes: 2,
+            u_r: 0.2,
+            ..Default::default()
+        },
+        prune: Some(PruneCfg {
+            every: 1,
+            e_r: 0.1,
+            passes: 2,
+        }),
         ..LstCfg::quick()
     }
 }
@@ -52,7 +66,10 @@ struct StubMatcher {
 
 impl TunableMatcher for StubMatcher {
     fn fresh(&self, _seed: u64) -> Self {
-        StubMatcher { trained_on: 0, threshold: 0.5 }
+        StubMatcher {
+            trained_on: 0,
+            threshold: 0.5,
+        }
     }
     fn train(
         &mut self,
@@ -62,13 +79,20 @@ impl TunableMatcher for StubMatcher {
         _prune: Option<&PruneCfg>,
     ) -> TrainReport {
         self.trained_on = train.len();
-        TrainReport { epochs_run: 1, ..Default::default() }
+        TrainReport {
+            epochs_run: 1,
+            ..Default::default()
+        }
     }
     fn predict_proba(&mut self, pairs: &[EncodedPair]) -> Vec<f32> {
         pairs
             .iter()
             .map(|p| {
-                let h = p.ids_a.iter().chain(&p.ids_b).fold(7usize, |a, &b| a.wrapping_mul(31) ^ b);
+                let h = p
+                    .ids_a
+                    .iter()
+                    .chain(&p.ids_b)
+                    .fold(7usize, |a, &b| a.wrapping_mul(31) ^ b);
                 (h % 100) as f32 / 100.0
             })
             .collect()
@@ -80,7 +104,10 @@ impl TunableMatcher for StubMatcher {
         self.threshold = t;
     }
     fn embed(&mut self, pairs: &[EncodedPair]) -> Vec<Vec<f32>> {
-        self.predict_proba(pairs).into_iter().map(|p| vec![p]).collect()
+        self.predict_proba(pairs)
+            .into_iter()
+            .map(|p| vec![p])
+            .collect()
     }
 }
 
@@ -88,14 +115,24 @@ impl TunableMatcher for StubMatcher {
 fn lst_is_trait_generic() {
     let train: Vec<Example> = (0..10)
         .map(|i| Example {
-            pair: EncodedPair { ids_a: vec![i], ids_b: vec![i * 2] },
+            pair: EncodedPair {
+                ids_a: vec![i],
+                ids_b: vec![i * 2],
+            },
             label: i % 2 == 0,
         })
         .collect();
     let valid = train.clone();
-    let unlabeled: Vec<EncodedPair> =
-        (10..30).map(|i| EncodedPair { ids_a: vec![i], ids_b: vec![i + 1] }).collect();
-    let proto = StubMatcher { trained_on: 0, threshold: 0.5 };
+    let unlabeled: Vec<EncodedPair> = (10..30)
+        .map(|i| EncodedPair {
+            ids_a: vec![i],
+            ids_b: vec![i + 1],
+        })
+        .collect();
+    let proto = StubMatcher {
+        trained_on: 0,
+        threshold: 0.5,
+    };
     let (student, report) =
         lightweight_self_train(&proto, &train, &valid, &unlabeled, None, &tiny_lst());
     // The student was trained on the original labels plus the selected
@@ -108,15 +145,25 @@ fn lst_is_trait_generic() {
 fn multi_iteration_lst_consumes_more_of_the_pool() {
     let train: Vec<Example> = (0..10)
         .map(|i| Example {
-            pair: EncodedPair { ids_a: vec![i], ids_b: vec![i] },
+            pair: EncodedPair {
+                ids_a: vec![i],
+                ids_b: vec![i],
+            },
             label: i % 2 == 0,
         })
         .collect();
-    let unlabeled: Vec<EncodedPair> =
-        (10..50).map(|i| EncodedPair { ids_a: vec![i], ids_b: vec![i] }).collect();
+    let unlabeled: Vec<EncodedPair> = (10..50)
+        .map(|i| EncodedPair {
+            ids_a: vec![i],
+            ids_b: vec![i],
+        })
+        .collect();
     let mut cfg = tiny_lst();
     cfg.iterations = 3;
-    let proto = StubMatcher { trained_on: 0, threshold: 0.5 };
+    let proto = StubMatcher {
+        trained_on: 0,
+        threshold: 0.5,
+    };
     let (_, report) =
         lightweight_self_train(&proto, &train, &train.clone(), &unlabeled, None, &cfg);
     assert_eq!(report.pseudo_selected.len(), 3);

@@ -19,9 +19,19 @@ fn ci_cfg() -> PromptEmConfig {
     cfg.corpus.max_record_sentences = 150;
     cfg.corpus.relation_statements = 150;
     cfg.lst = LstCfg {
-        teacher: TrainCfg { epochs: 2, ..Default::default() },
-        student: TrainCfg { epochs: 2, ..Default::default() },
-        pseudo: PseudoCfg { passes: 2, u_r: 0.1, ..Default::default() },
+        teacher: TrainCfg {
+            epochs: 2,
+            ..Default::default()
+        },
+        student: TrainCfg {
+            epochs: 2,
+            ..Default::default()
+        },
+        pseudo: PseudoCfg {
+            passes: 2,
+            u_r: 0.1,
+            ..Default::default()
+        },
         ..LstCfg::quick()
     };
     cfg
@@ -40,7 +50,11 @@ fn fixture() -> &'static Fixture {
         let cfg = ci_cfg();
         let backbone = pretrain_backbone(&ds, &cfg);
         let encoded = encode_with(&ds, &backbone, &cfg);
-        Fixture { ds, backbone, encoded }
+        Fixture {
+            ds,
+            backbone,
+            encoded,
+        }
     })
 }
 
@@ -67,7 +81,10 @@ fn ablations_disable_their_modules() {
     let mut no_lst = ci_cfg();
     no_lst.use_lst = false;
     let r = run_encoded(fix.backbone.clone(), &fix.encoded, &no_lst);
-    assert!(r.lst.pseudo_selected.is_empty(), "w/o LST still pseudo-labeled");
+    assert!(
+        r.lst.pseudo_selected.is_empty(),
+        "w/o LST still pseudo-labeled"
+    );
     assert_eq!(r.lst.pruned, 0);
 
     let mut no_ddp = ci_cfg();
@@ -86,7 +103,11 @@ fn ddp_actually_prunes_when_enabled() {
     let fix = fixture();
     let mut cfg = ci_cfg();
     cfg.lst.student.epochs = 4;
-    cfg.lst.prune = Some(promptem_repro::promptem::PruneCfg { every: 1, e_r: 0.2, passes: 2 });
+    cfg.lst.prune = Some(promptem_repro::promptem::PruneCfg {
+        every: 1,
+        e_r: 0.2,
+        passes: 2,
+    });
     let r = run_encoded(fix.backbone.clone(), &fix.encoded, &cfg);
     assert!(r.lst.pruned > 0, "DDP enabled but nothing pruned");
 }
@@ -110,5 +131,8 @@ fn deterministic_given_seed_and_backbone() {
     let fix = fixture();
     let r1 = run_encoded(fix.backbone.clone(), &fix.encoded, &ci_cfg());
     let r2 = run_encoded(fix.backbone.clone(), &fix.encoded, &ci_cfg());
-    assert_eq!(r1.scores, r2.scores, "same seed, same backbone, different scores");
+    assert_eq!(
+        r1.scores, r2.scores,
+        "same seed, same backbone, different scores"
+    );
 }

@@ -24,14 +24,21 @@ fn every_benchmark_serializes_all_records() {
 #[test]
 fn summaries_keep_discriminative_content_not_tags() {
     let ds = build(BenchmarkId::SemiHomo, Scale::Quick, 100);
-    let texts: Vec<String> =
-        ds.left.records.iter().map(|r| serialize(r, ds.left.format)).collect();
+    let texts: Vec<String> = ds
+        .left
+        .records
+        .iter()
+        .map(|r| serialize(r, ds.left.format))
+        .collect();
     let tfidf = TfIdf::fit(texts.iter().map(|s| s.as_str()));
     for t in texts.iter().take(20) {
         let s = tfidf.summarize(t, 16);
         let toks: Vec<&str> = s.split_whitespace().collect();
         assert!(toks.len() <= 16);
-        let tags = toks.iter().filter(|t| **t == "[COL]" || **t == "[VAL]").count();
+        let tags = toks
+            .iter()
+            .filter(|t| **t == "[COL]" || **t == "[VAL]")
+            .count();
         assert_eq!(tags, 0, "tags crowded the summary: {s}");
     }
 }
@@ -45,7 +52,12 @@ fn encoded_sides_are_nonempty_and_within_budget_everywhere() {
             .records
             .iter()
             .map(|r| serialize(r, ds.left.format))
-            .chain(ds.right.records.iter().map(|r| serialize(r, ds.right.format)))
+            .chain(
+                ds.right
+                    .records
+                    .iter()
+                    .map(|r| serialize(r, ds.right.format)),
+            )
             .collect();
         let tok = Tokenizer::fit(corpus.iter().map(|s| s.as_str()), 2);
         let cfg = EncodeCfg::default();
@@ -71,7 +83,12 @@ fn matching_signal_survives_encoding() {
             .records
             .iter()
             .map(|r| serialize(r, ds.left.format))
-            .chain(ds.right.records.iter().map(|r| serialize(r, ds.right.format)))
+            .chain(
+                ds.right
+                    .records
+                    .iter()
+                    .map(|r| serialize(r, ds.right.format)),
+            )
             .collect();
         let tok = Tokenizer::fit(corpus.iter().map(|s| s.as_str()), 2);
         let enc = encode_dataset(&ds, &tok, &EncodeCfg::default());
