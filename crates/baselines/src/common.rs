@@ -9,7 +9,6 @@ use em_data::PrfScores;
 use em_lm::PretrainedLm;
 use promptem::encode::{EncodedDataset, EncodedPair};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Everything a matcher may consume. Gold labels of the unlabeled pool and
 /// the test split are off-limits to `fit`.
@@ -46,11 +45,11 @@ pub trait Matcher {
 /// Fit + evaluate one matcher; returns scores and the fit wall-clock.
 pub fn evaluate_matcher<M: Matcher>(matcher: &mut M, task: &MatchTask) -> (PrfScores, f64) {
     let _span = em_obs::span_with("baseline", matcher.name());
-    let start = Instant::now();
+    let start = em_obs::Stopwatch::new();
     let fit_secs = {
         let _span = em_obs::span("fit");
         matcher.fit(task);
-        start.elapsed().as_secs_f64()
+        start.secs()
     };
     let pred = {
         let _span = em_obs::span("predict");

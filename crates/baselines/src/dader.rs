@@ -161,6 +161,7 @@ impl Matcher for DaderBaseline {
     }
 
     fn predict(&mut self, _task: &MatchTask, pairs: &[EncodedPair]) -> Vec<bool> {
+        // lint:allow(unwrap) — the Matcher contract is fit-then-predict
         self.model.as_mut().expect("fit first").predict(pairs)
     }
 }

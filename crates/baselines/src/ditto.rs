@@ -50,6 +50,7 @@ impl Matcher for DittoBaseline {
     }
 
     fn predict(&mut self, _task: &MatchTask, pairs: &[EncodedPair]) -> Vec<bool> {
+        // lint:allow(unwrap) — the Matcher contract is fit-then-predict
         self.model.as_mut().expect("fit first").predict(pairs)
     }
 }
@@ -126,6 +127,7 @@ impl Matcher for RotomBaseline {
     }
 
     fn predict(&mut self, _task: &MatchTask, pairs: &[EncodedPair]) -> Vec<bool> {
+        // lint:allow(unwrap) — the Matcher contract is fit-then-predict
         self.model.as_mut().expect("fit first").predict(pairs)
     }
 }

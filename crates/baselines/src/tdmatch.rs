@@ -342,6 +342,7 @@ impl Matcher for TDmatchStarBaseline {
     }
 
     fn predict_test(&mut self, task: &MatchTask) -> Vec<bool> {
+        // lint:allow(unwrap) — the Matcher contract is fit-then-predict
         let head = self.head.as_ref().expect("fit first");
         task.raw
             .test

@@ -1,0 +1,177 @@
+//! Structural audit of a recorded autograd tape.
+//!
+//! The auditor walks the graph *backwards* from the loss along
+//! [`em_nn::Tape::inputs`] and classifies everything the walk does not
+//! reach. It is cheap (one DFS over an index vector) and runs at loss
+//! construction — by the time `backward` fires, a silently detached
+//! subgraph has already corrupted the training signal.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use em_nn::{ParamId, ParamStore, Tape, Var};
+
+/// One audit finding. All variants are warnings, not errors: a dead node
+/// wastes compute, a detached parameter silently never trains, an unused
+/// parameter is registered trainable but never entered the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Diag {
+    /// A non-leaf node whose value was computed but is unreachable from
+    /// the loss — gradient never flows through it.
+    DeadNode {
+        /// Tape index of the node.
+        var: usize,
+        /// Op that produced it.
+        op: &'static str,
+        /// Forward shape.
+        shape: (usize, usize),
+    },
+    /// A parameter that was mirrored onto the tape but has no path to
+    /// the loss: `backward` will leave its gradient at zero every step.
+    DetachedParam {
+        /// Store id of the parameter.
+        id: ParamId,
+        /// Registered name of the parameter.
+        name: String,
+        /// Tape index of its leaf.
+        var: usize,
+    },
+    /// A trainable (unfrozen) parameter in the store that never entered
+    /// this tape at all.
+    UnusedParam {
+        /// Store id of the parameter.
+        id: ParamId,
+        /// Registered name of the parameter.
+        name: String,
+    },
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diag::DeadNode { var, op, shape } => write!(
+                f,
+                "dead node #{var} (`{op}`, {}x{}): computed but unreachable from the loss",
+                shape.0, shape.1
+            ),
+            Diag::DetachedParam { name, var, .. } => write!(
+                f,
+                "detached parameter `{name}` (node #{var}): on the tape with no gradient path to the loss"
+            ),
+            Diag::UnusedParam { name, .. } => write!(
+                f,
+                "unused parameter `{name}`: trainable but never recorded on this tape"
+            ),
+        }
+    }
+}
+
+/// Summary of one [`audit`] pass.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Total nodes on the tape.
+    pub nodes: usize,
+    /// Nodes reachable from the loss.
+    pub live: usize,
+    /// Findings, in tape order (dead nodes, then detached, then unused).
+    pub diags: Vec<Diag>,
+}
+
+impl AuditReport {
+    /// Number of [`Diag::DeadNode`] findings.
+    pub fn dead_nodes(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| matches!(d, Diag::DeadNode { .. }))
+            .count()
+    }
+
+    /// Number of [`Diag::DetachedParam`] findings.
+    pub fn detached_params(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| matches!(d, Diag::DetachedParam { .. }))
+            .count()
+    }
+
+    /// Number of [`Diag::UnusedParam`] findings.
+    pub fn unused_params(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| matches!(d, Diag::UnusedParam { .. }))
+            .count()
+    }
+
+    /// True when the graph has no findings.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+}
+
+/// Audit the graph rooted at `loss`. `store` supplies parameter names and
+/// frozen flags; pass the same store the tape's `param` leaves came from.
+pub fn audit(tape: &Tape, loss: Var, store: &ParamStore) -> AuditReport {
+    let mut reachable = vec![false; tape.len()];
+    let mut stack = vec![loss];
+    while let Some(v) = stack.pop() {
+        if std::mem::replace(&mut reachable[v.index()], true) {
+            continue;
+        }
+        stack.extend(tape.inputs(v));
+    }
+
+    let mut diags = Vec::new();
+    for v in tape.vars() {
+        if !reachable[v.index()] && !tape.is_leaf(v) {
+            diags.push(Diag::DeadNode {
+                var: v.index(),
+                op: tape.op_name(v),
+                shape: tape.shape(v),
+            });
+        }
+    }
+
+    let mut on_tape = HashSet::new();
+    for (id, v) in tape.param_leaves() {
+        on_tape.insert(id);
+        if !reachable[v.index()] {
+            diags.push(Diag::DetachedParam {
+                id,
+                name: store.name(id).to_string(),
+                var: v.index(),
+            });
+        }
+    }
+
+    for id in store.ids() {
+        if !store.is_frozen(id) && !on_tape.contains(&id) {
+            diags.push(Diag::UnusedParam {
+                id,
+                name: store.name(id).to_string(),
+            });
+        }
+    }
+
+    AuditReport {
+        nodes: tape.len(),
+        live: reachable.iter().filter(|&&r| r).count(),
+        diags,
+    }
+}
+
+/// [`audit`], then mirror the result into `em-obs`: one `audit` summary
+/// event always, plus a warn-level message per finding so traces pinpoint
+/// the exact node/parameter.
+pub fn audit_and_report(tape: &Tape, loss: Var, store: &ParamStore) -> AuditReport {
+    let report = audit(tape, loss, store);
+    em_obs::audit(
+        report.nodes as u64,
+        report.dead_nodes() as u64,
+        report.detached_params() as u64,
+        report.unused_params() as u64,
+    );
+    for diag in &report.diags {
+        em_obs::warn(format!("graph audit: {diag}"));
+    }
+    report
+}

@@ -1,0 +1,45 @@
+//! `em-lint`: run the repo-invariant lint over a source tree.
+//!
+//! ```text
+//! cargo run -p em-check --bin em-lint [ROOT]
+//! ```
+//!
+//! ROOT defaults to the current directory (CI runs it from the repo
+//! root). Exits nonzero when any rule fires; each violation prints as
+//! `path:line: [rule] snippet`, followed by the fired rules' rationales.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use em_check::lint::{lint_repo, Rule};
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let violations = match lint_repo(&root) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("em-lint: cannot scan {}: {err}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if violations.is_empty() {
+        println!("em-lint: clean ({} rules)", Rule::ALL.len());
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    let fired: BTreeSet<&str> = violations.iter().map(|v| v.rule.name()).collect();
+    println!("\nem-lint: {} violation(s)", violations.len());
+    for rule in Rule::ALL {
+        if fired.contains(rule.name()) {
+            println!("  [{}] {}", rule.name(), rule.rationale());
+        }
+    }
+    println!("  (suppress a line with `// lint:allow(<rule>)` if the use is deliberate)");
+    ExitCode::FAILURE
+}

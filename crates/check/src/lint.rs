@@ -1,0 +1,394 @@
+//! Repo-invariant source lint.
+//!
+//! A dependency-free line scanner (no rustc, no syn) that strips
+//! comments and string literals, tracks `#[cfg(test)]` regions by brace
+//! depth, and then pattern-matches each rule. Inline escapes:
+//! `// lint:allow(<rule>)` on the offending line suppresses that rule
+//! there. Whole paths are allowlisted per rule where the invariant is
+//! *about* the location (clocks belong in `em-obs`/`em-bench`,
+//! `process::exit` in the CLI binary).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint rule. Every rule is an invariant the ROADMAP's determinism
+/// and production goals depend on; see [`Rule::rationale`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// No `.unwrap()` / `.expect(` in library (non-test) code.
+    Unwrap,
+    /// No `Instant::now` / `SystemTime` outside `em-obs` and `em-bench`.
+    Clock,
+    /// No unseeded RNG construction anywhere.
+    Rng,
+    /// No `process::exit` outside the CLI crate.
+    Exit,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 4] = [Rule::Unwrap, Rule::Clock, Rule::Rng, Rule::Exit];
+
+    /// The rule's name — the token accepted by `lint:allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Unwrap => "unwrap",
+            Rule::Clock => "clock",
+            Rule::Rng => "rng",
+            Rule::Exit => "exit",
+        }
+    }
+
+    /// Why the rule exists (printed by `em-lint` on failure).
+    pub fn rationale(self) -> &'static str {
+        match self {
+            Rule::Unwrap => {
+                "library code must surface failures as Result/TapeError, not abort the process"
+            }
+            Rule::Clock => {
+                "wall-clock reads belong behind em_obs::Stopwatch so timing stays greppable \
+                 and training logic stays deterministic"
+            }
+            Rule::Rng => {
+                "unseeded RNG breaks run reproducibility; construct RNGs from an explicit seed"
+            }
+            Rule::Exit => "only the CLI may terminate the process; libraries return errors",
+        }
+    }
+
+    /// Substrings that constitute a violation (matched on sanitized code).
+    fn patterns(self) -> &'static [&'static str] {
+        match self {
+            Rule::Unwrap => &[".unwrap()", ".expect("],
+            Rule::Clock => &["Instant::now", "SystemTime"],
+            Rule::Rng => &["thread_rng", "from_entropy", "rand::random"],
+            Rule::Exit => &["process::exit"],
+        }
+    }
+
+    /// Whether the rule still applies inside test code (`#[cfg(test)]`
+    /// modules, `tests/`, `benches/`). Unwrapping in tests is idiomatic;
+    /// clocks and unseeded RNG in tests are exactly how flaky tests and
+    /// irreproducible failures get written, so those rules stay on.
+    fn applies_to_test_code(self) -> bool {
+        matches!(self, Rule::Clock | Rule::Rng | Rule::Exit)
+    }
+
+    /// Path-level allowlist: crates whose job is the forbidden thing,
+    /// plus individual files with a documented reason.
+    fn path_allowed(self, unix_rel: &str) -> bool {
+        let allowed: &[&str] = match self {
+            Rule::Clock => &["crates/obs/", "crates/bench/"],
+            Rule::Exit => &["crates/cli/"],
+            // cli_e2e.rs is a test-only module (`#[cfg(test)] mod cli_e2e;`
+            // in main.rs) that lives in src/, so region tracking can't see
+            // its test-ness from inside the file.
+            Rule::Unwrap => &["crates/cli/src/cli_e2e.rs"],
+            Rule::Rng => &[],
+        };
+        allowed.iter().any(|prefix| unix_rel.starts_with(prefix))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One flagged line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Path relative to the linted root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// The offending line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.snippet
+        )
+    }
+}
+
+/// Lexer state that survives across lines.
+#[derive(Default)]
+struct ScanState {
+    /// Nesting depth of `/* */` block comments (Rust block comments nest).
+    block_comment: usize,
+    /// Inside a `"..."` string literal.
+    in_string: bool,
+    /// Inside a raw string literal; holds the number of `#`s to close it.
+    raw_string: Option<usize>,
+    /// Current brace depth.
+    depth: i64,
+    /// A `#[cfg(test)]` attribute was seen; latch onto the next `{`.
+    pending_cfg_test: bool,
+    /// Depth *outside* the active `#[cfg(test)]` region, if any.
+    test_region: Option<i64>,
+}
+
+/// Replace comments and string/char-literal contents with spaces, while
+/// updating brace depth and `#[cfg(test)]` region tracking.
+fn sanitize_line(raw: &str, st: &mut ScanState) -> String {
+    // The attribute itself arrives before any brace; detect it on the raw
+    // line (it never hides in a string in practice, and a false latch
+    // only widens the test region, never narrows it).
+    if raw.contains("#[cfg(test)]") && st.block_comment == 0 && !st.in_string {
+        st.pending_cfg_test = true;
+    }
+
+    let bytes = raw.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    let mut i = 0;
+    while i < bytes.len() {
+        if st.block_comment > 0 {
+            if bytes[i..].starts_with(b"*/") {
+                st.block_comment -= 1;
+                i += 2;
+            } else if bytes[i..].starts_with(b"/*") {
+                st.block_comment += 1;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if let Some(hashes) = st.raw_string {
+            let mut closer = vec![b'"'];
+            closer.resize(1 + hashes, b'#');
+            if bytes[i..].starts_with(&closer) {
+                st.raw_string = None;
+                i += closer.len();
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if st.in_string {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    st.in_string = false;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => break, // line comment
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                st.block_comment = 1;
+                i += 2;
+            }
+            b'"' => {
+                st.in_string = true;
+                i += 1;
+            }
+            b'r' => {
+                // Possible raw string: r"..." or r#"..."#.
+                let mut j = i + 1;
+                while bytes.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    st.raw_string = Some(j - i - 1);
+                    i = j + 1;
+                } else {
+                    out[i] = b'r';
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a char literal closes within a
+                // few bytes ('x' or '\n'); a lifetime has no closing quote.
+                let close = if bytes.get(i + 1) == Some(&b'\\') {
+                    bytes[i + 2..]
+                        .iter()
+                        .position(|&b| b == b'\'')
+                        .map(|p| i + 3 + p)
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                match close {
+                    Some(end) => i = end + 1,
+                    None => {
+                        out[i] = b'\'';
+                        i += 1;
+                    }
+                }
+            }
+            b'{' => {
+                st.depth += 1;
+                if st.pending_cfg_test && st.test_region.is_none() {
+                    st.test_region = Some(st.depth - 1);
+                    st.pending_cfg_test = false;
+                }
+                out[i] = b'{';
+                i += 1;
+            }
+            b'}' => {
+                st.depth -= 1;
+                if let Some(outside) = st.test_region {
+                    if st.depth <= outside {
+                        st.test_region = None;
+                    }
+                }
+                out[i] = b'}';
+                i += 1;
+            }
+            b => {
+                out[i] = b;
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Extract `lint:allow(a, b)` rule names from the raw line, if any.
+fn allowed_on_line(raw: &str) -> Vec<&str> {
+    let Some(start) = raw.find("lint:allow(") else {
+        return Vec::new();
+    };
+    let rest = &raw[start + "lint:allow(".len()..];
+    let Some(end) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..end].split(',').map(str::trim).collect()
+}
+
+/// Lint one file's source. `rel_path` is the path relative to the repo
+/// root (it drives the per-rule allowlists and test-code detection).
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let unix_rel = rel_path.replace('\\', "/");
+    let path_is_test = ["tests/", "benches/", "examples/"]
+        .iter()
+        .any(|d| unix_rel.starts_with(d) || unix_rel.contains(&format!("/{d}")));
+
+    let mut st = ScanState::default();
+    let mut out = Vec::new();
+    // Escapes on a comment-only line carry over to the next code line,
+    // so long lines can keep their `lint:allow` above them.
+    let mut carried: Vec<String> = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        // Read the region state *before* this line mutates it, so an
+        // attribute/opening-brace line is classified with its body.
+        let was_in_test_region = st.test_region.is_some() || st.pending_cfg_test;
+        let code = sanitize_line(raw, &mut st);
+        let in_test = path_is_test || was_in_test_region || st.test_region.is_some();
+        let mut escapes: Vec<String> = allowed_on_line(raw).into_iter().map(String::from).collect();
+        let comment_only = code.trim().is_empty() && !raw.trim().is_empty();
+        if comment_only {
+            carried.extend(escapes.iter().cloned());
+        } else {
+            escapes.append(&mut carried);
+        }
+        for rule in Rule::ALL {
+            if in_test && !rule.applies_to_test_code() {
+                continue;
+            }
+            if rule.path_allowed(&unix_rel) || escapes.iter().any(|e| e == rule.name()) {
+                continue;
+            }
+            if rule.patterns().iter().any(|p| code.contains(p)) {
+                out.push(Violation {
+                    file: PathBuf::from(rel_path),
+                    line: idx + 1,
+                    rule,
+                    snippet: raw.trim().to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Directories never scanned: build output, VCS, vendored third-party
+/// code, and test fixtures (which seed violations on purpose).
+fn skip_dir(name: &str) -> bool {
+    matches!(name, "target" | ".git" | "compat" | "fixtures") || name.starts_with('.')
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                collect_rs(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `.rs` file under `root` (skipping `target/`, `.git/`,
+/// vendored `compat/`, and `fixtures/`). Files are visited in sorted
+/// order so output is deterministic.
+pub fn lint_repo(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        out.extend(lint_source(&rel.to_string_lossy(), &source));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let src = r##"
+fn f() {
+    let s = "call .unwrap() later";
+    // .unwrap() in a comment
+    /* Instant::now in a block comment */
+    let r = "thread_rng";
+}
+"##;
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_tracking() {
+        let src = "
+fn lib_code() {
+    x.unwrap();
+}
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+fn more_lib() { z.unwrap(); }
+";
+        let v = lint_source("crates/core/src/x.rs", src);
+        let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+        assert_eq!(lines, [3, 9], "test-module unwrap must be exempt: {v:?}");
+    }
+}

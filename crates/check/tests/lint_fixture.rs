@@ -1,0 +1,110 @@
+//! Negative fixtures for the repo lint: every rule must fire on a
+//! seeded violation, respect its escapes, and stay quiet on clean code.
+
+use em_check::lint::{lint_repo, lint_source, Rule};
+
+#[test]
+fn every_rule_fires_on_a_seeded_violation() {
+    let bad = r#"
+use std::time::Instant;
+pub fn lib_code(v: Option<u32>) -> u32 {
+    let t = Instant::now();
+    let mut rng = rand::thread_rng();
+    if v.is_none() { std::process::exit(1); }
+    let _ = (t, rng.gen::<u8>());
+    v.unwrap()
+}
+"#;
+    let violations = lint_source("crates/core/src/bad.rs", bad);
+    for rule in Rule::ALL {
+        assert!(
+            violations.iter().any(|v| v.rule == rule),
+            "rule `{rule}` must fire on the fixture; got {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn lint_allow_suppresses_a_single_rule_on_its_line() {
+    let src = "
+pub fn f(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(unwrap)
+}
+pub fn g(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(clock)
+}
+";
+    let violations = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].line, 6, "only the mismatched escape fires");
+}
+
+#[test]
+fn unwrap_is_fine_in_test_code_but_clocks_are_not() {
+    let src = "
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x = Some(1).unwrap();
+        let t = std::time::Instant::now();
+    }
+}
+";
+    let violations = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule, Rule::Clock);
+
+    let in_tests_dir = lint_source("crates/core/tests/t.rs", "fn f() { x.unwrap(); }");
+    assert!(in_tests_dir.is_empty(), "{in_tests_dir:?}");
+}
+
+#[test]
+fn allowlisted_crates_may_use_their_own_forbidden_thing() {
+    let clock = "pub fn now() -> std::time::Instant { std::time::Instant::now() }";
+    assert!(lint_source("crates/obs/src/lib.rs", clock).is_empty());
+    assert!(lint_source("crates/bench/src/harness.rs", clock).is_empty());
+    assert_eq!(lint_source("crates/core/src/pipeline.rs", clock).len(), 1);
+
+    let exit = "pub fn die() { std::process::exit(2); }";
+    assert!(lint_source("crates/cli/src/main.rs", exit).is_empty());
+    assert_eq!(lint_source("crates/lm/src/encoder.rs", exit).len(), 1);
+}
+
+#[test]
+fn strings_comments_and_macros_do_not_false_positive() {
+    let src = r##"
+//! Docs may say .unwrap() and Instant::now freely.
+pub fn f() -> String {
+    let msg = "please don't .unwrap() here";
+    let raw = r#"SystemTime inside a raw string"#;
+    /* thread_rng() in a block
+       comment, spanning lines: process::exit(1) */
+    format!("{msg}{raw}")
+}
+"##;
+    assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn repo_scan_flags_a_seeded_bad_file_end_to_end() {
+    // Build a throwaway mini-repo under the cargo-provided tmpdir with
+    // one seeded violation, and check the same entry point ci.sh uses.
+    let root = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-fixture");
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(
+        src_dir.join("bad.rs"),
+        "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    )
+    .unwrap();
+    std::fs::write(
+        src_dir.join("good.rs"),
+        "pub fn g(v: Option<u32>) -> u32 { v.unwrap_or(0) }\n",
+    )
+    .unwrap();
+    let violations = lint_repo(&root).unwrap();
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule, Rule::Unwrap);
+    assert!(violations[0].file.ends_with("crates/core/src/bad.rs"));
+}

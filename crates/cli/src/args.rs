@@ -21,14 +21,13 @@ impl Args {
                     return Err("bare '--' is not supported".into());
                 }
                 // A flag followed by another flag or nothing is a switch.
-                match iter.peek() {
-                    Some(next) if !next.starts_with("--") => {
-                        let value = iter.next().unwrap();
+                match iter.next_if(|next| !next.starts_with("--")) {
+                    Some(value) => {
                         if out.flags.insert(name.to_string(), value).is_some() {
                             return Err(format!("duplicate flag --{name}"));
                         }
                     }
-                    _ => out.switches.push(name.to_string()),
+                    None => out.switches.push(name.to_string()),
                 }
             } else {
                 out.positional.push(a);

@@ -54,6 +54,9 @@ global flags:
   --trace <off|error|warn|info|debug|trace>   stderr verbosity (default info;
                                               PROMPTEM_LOG overrides default)
   --metrics-out <path.jsonl>                  write a structured JSONL trace
+  --sanitize                                  audit the autograd graph and check
+                                              every value/gradient for NaN/Inf
+                                              each step (PROMPTEM_SANITIZE=1)
 
 file formats by extension: .csv (relational), .jsonl/.ndjson (semi-structured),
 anything else (one textual record per line).
@@ -91,6 +94,9 @@ fn init_telemetry(args: &Args) -> Result<(), String> {
     em_obs::init_stderr(level);
     if let Some(path) = args.get("metrics-out") {
         em_obs::init_jsonl(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if args.switch("sanitize") {
+        em_nn::tape::set_sanitize(true);
     }
     Ok(())
 }

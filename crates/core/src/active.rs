@@ -76,8 +76,10 @@ pub fn active_round<M: TunableMatcher>(
         drop[i] = true;
     }
     let mut keep = drop.iter().copied();
+    // lint:allow(unwrap) — the mask was built to pool.len()
     pool.retain(|_| !keep.next().unwrap());
     let mut keep = drop.iter().copied();
+    // lint:allow(unwrap) — the mask was built to pool.len()
     pool_gold.retain(|_| !keep.next().unwrap());
 
     let mut fresh = model.fresh(cfg.seed ^ 0xAC71);

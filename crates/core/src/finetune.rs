@@ -24,6 +24,10 @@ pub struct FineTuneModel {
     pub head: ClsHead,
     threshold: f32,
     rng: StdRng,
+    /// One-shot graph audit on the first training step (every step when
+    /// the sanitizer is on): the fresh head is exactly the "bolted on
+    /// but never wired to the loss" risk the auditor exists for.
+    audit_pending: bool,
 }
 
 impl FineTuneModel {
@@ -38,6 +42,7 @@ impl FineTuneModel {
             head,
             threshold: 0.5,
             rng,
+            audit_pending: true,
         }
     }
 
@@ -91,6 +96,9 @@ impl FineTuneModel {
         let logits = self.forward_logits(&mut tape, &pairs);
         let targets: Vec<usize> = batch.iter().map(|e| usize::from(!e.label)).collect();
         let loss = tape.cross_entropy(logits, &targets);
+        if std::mem::take(&mut self.audit_pending) || em_nn::tape::sanitize_enabled() {
+            em_check::audit_and_report(&tape, loss, &self.lm.store);
+        }
         let value = tape.value(loss).item();
         tape.backward(loss);
         tape.accumulate_param_grads(&mut self.lm.store);

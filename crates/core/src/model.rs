@@ -48,6 +48,10 @@ pub struct PromptEmModel {
     opts: PromptOpts,
     threshold: f32,
     rng: StdRng,
+    /// One-shot graph audit on the first training step (every step when
+    /// the sanitizer is on): catches detached prompt/head parameters
+    /// before a whole run trains on a broken graph.
+    audit_pending: bool,
 }
 
 impl PromptEmModel {
@@ -82,6 +86,7 @@ impl PromptEmModel {
             opts,
             threshold: 0.5,
             rng,
+            audit_pending: true,
         }
     }
 
@@ -148,6 +153,9 @@ impl PromptEmModel {
             .logits(&mut tape, &self.lm.store, &self.lm.encoder, stacked);
         let probs = self.verbalizer.class_probs(&mut tape, logits);
         let loss = tape.nll_probs(probs, &targets);
+        if std::mem::take(&mut self.audit_pending) || em_nn::tape::sanitize_enabled() {
+            em_check::audit_and_report(&tape, loss, &self.lm.store);
+        }
         let value = tape.value(loss).item();
         tape.backward(loss);
         tape.accumulate_param_grads(&mut self.lm.store);

@@ -15,7 +15,6 @@ use em_lm::{LmConfig, PretrainCfg, PretrainedLm};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Which model size the backbone uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,7 +154,7 @@ fn tune_and_eval<M: TunableMatcher>(
     encoded: &EncodedDataset,
     cfg: &PromptEmConfig,
 ) -> (PrfScores, Vec<bool>, LstReport, f64) {
-    let start = Instant::now();
+    let start = em_obs::Stopwatch::new();
     let (mut model, report) = if cfg.use_lst {
         lightweight_self_train(
             &proto,
@@ -174,7 +173,7 @@ fn tune_and_eval<M: TunableMatcher>(
         };
         (model, report)
     };
-    let secs = start.elapsed().as_secs_f64();
+    let secs = start.secs();
     let scores = evaluate(&mut model, &encoded.test);
     let pairs: Vec<crate::encode::EncodedPair> =
         encoded.test.iter().map(|e| e.pair.clone()).collect();
@@ -204,10 +203,10 @@ pub fn run_encoded(
         let mut opts = cfg.prompt.clone();
         let mut probe_secs = 0.0;
         if cfg.grid_template {
-            let t0 = Instant::now();
+            let t0 = em_obs::Stopwatch::new();
             let _span = em_obs::span("grid_template");
             opts.template = select_template(&backbone, encoded, cfg);
-            probe_secs = t0.elapsed().as_secs_f64();
+            probe_secs = t0.secs();
         }
         let proto = PromptEmModel::new(backbone, opts, cfg.seed);
         let (scores, preds, lst, secs) = tune_and_eval(proto, encoded, cfg);
@@ -229,9 +228,9 @@ pub fn run_encoded(
 
 /// The one-call entry point: pretrain a backbone and run PromptEM.
 pub fn run(ds: &GemDataset, cfg: &PromptEmConfig) -> RunResult {
-    let start = Instant::now();
+    let start = em_obs::Stopwatch::new();
     let backbone = pretrain_backbone(ds, cfg);
-    let pretrain_secs = start.elapsed().as_secs_f64();
+    let pretrain_secs = start.secs();
     let mut result = run_with_backbone(backbone, ds, cfg);
     result.pretrain_secs = pretrain_secs;
     result

@@ -185,6 +185,7 @@ pub fn lightweight_self_train<M: TunableMatcher>(
             _ => best = Some((student, f1)),
         }
     }
+    // lint:allow(unwrap) — the loop body runs at least once
     (best.expect("at least one iteration").0, report)
 }
 
@@ -199,6 +200,7 @@ fn remove_indices<T>(v: &mut Vec<T>, indices: &[usize]) {
         drop[i] = true;
     }
     let mut keep_iter = drop.into_iter();
+    // lint:allow(unwrap) — the mask was built to v.len()
     v.retain(|_| !keep_iter.next().unwrap());
 }
 

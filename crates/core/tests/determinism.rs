@@ -1,0 +1,128 @@
+//! Determinism regression: two pipeline runs with the same seed must
+//! produce byte-identical JSONL metrics output once wall-clock and
+//! process-global counters are normalized away.
+//!
+//! This guards the invariant the `em-lint` `clock`/`rng` rules exist to
+//! protect: every quantity a run reports — losses, F1s, thresholds,
+//! pseudo-label selections, prune decisions, span structure — is a pure
+//! function of (dataset, config, seed). Timing fields and process-wide
+//! id counters are the only sanctioned nondeterminism, so those are
+//! zeroed/rebased before comparison; a mismatch anywhere else means a
+//! hidden clock read, an unseeded RNG, or iteration-order leakage.
+
+use std::collections::HashMap;
+
+use em_data::synth::{build, BenchmarkId, Scale};
+use em_obs::{Event, EventKind};
+use promptem::pipeline::{run, PromptEmConfig};
+use promptem::selftrain::LstCfg;
+use promptem::trainer::TrainCfg;
+
+/// A tiny budget that still exercises pretrain + teacher/student LST.
+fn quick_cfg() -> PromptEmConfig {
+    PromptEmConfig {
+        lst: LstCfg {
+            teacher: TrainCfg {
+                epochs: 1,
+                ..Default::default()
+            },
+            student: TrainCfg {
+                epochs: 1,
+                ..Default::default()
+            },
+            ..LstCfg::quick()
+        },
+        pretrain: em_lm::PretrainCfg {
+            epochs: 1,
+            max_steps: 20,
+            ..Default::default()
+        },
+        corpus: em_data::corpus::CorpusCfg {
+            max_record_sentences: 60,
+            relation_statements: 30,
+            ..Default::default()
+        },
+        grid_template: false,
+        ..Default::default()
+    }
+}
+
+/// Render captured events as canonical JSONL: zero every timing/heap
+/// field, rebase `seq`, and remap process-global span ids to dense
+/// first-appearance order.
+fn canonical_jsonl(events: &[Event]) -> String {
+    let mut span_ids: HashMap<u64, u64> = HashMap::new();
+    let dense = |raw: u64, map: &mut HashMap<u64, u64>| -> u64 {
+        let next = map.len() as u64 + 1;
+        *map.entry(raw).or_insert(next)
+    };
+    let mut out = String::new();
+    for (i, event) in events.iter().enumerate() {
+        let mut e = event.clone();
+        e.seq = i as u64 + 1;
+        e.t_us = 0;
+        e.span = e.span.map(|s| dense(s, &mut span_ids));
+        e.kind = match e.kind {
+            EventKind::SpanOpen {
+                id,
+                parent,
+                name,
+                detail,
+            } => EventKind::SpanOpen {
+                id: dense(id, &mut span_ids),
+                parent: parent.map(|p| dense(p, &mut span_ids)),
+                name,
+                detail,
+            },
+            EventKind::SpanClose { id, name, .. } => EventKind::SpanClose {
+                id: dense(id, &mut span_ids),
+                name,
+                wall_us: 0,
+                heap_delta: 0,
+                heap_peak: 0,
+            },
+            other => other,
+        };
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn same_seed_runs_emit_identical_metrics_jsonl() {
+    let ds = build(BenchmarkId::RelHeter, Scale::Quick, 17);
+    let cfg = quick_cfg();
+    let one_run = || {
+        em_obs::capture(|| {
+            em_obs::set_run_seed(17);
+            run(&ds, &cfg)
+        })
+    };
+    let (result_a, events_a) = one_run();
+    let (result_b, events_b) = one_run();
+
+    assert_eq!(
+        result_a.scores.f1, result_b.scores.f1,
+        "test F1 differs between identical runs"
+    );
+    assert_eq!(
+        result_a.test_predictions, result_b.test_predictions,
+        "predictions differ between identical runs"
+    );
+
+    let (jsonl_a, jsonl_b) = (canonical_jsonl(&events_a), canonical_jsonl(&events_b));
+    assert!(!jsonl_a.is_empty(), "runs emitted no events");
+    if jsonl_a != jsonl_b {
+        // Byte-compare already failed; find the first divergent line so
+        // the failure names the event instead of dumping two blobs.
+        for (i, (a, b)) in jsonl_a.lines().zip(jsonl_b.lines()).enumerate() {
+            assert_eq!(a, b, "runs diverge at event {}", i + 1);
+        }
+        panic!(
+            "runs emitted different event counts: {} vs {}",
+            jsonl_a.lines().count(),
+            jsonl_b.lines().count()
+        );
+    }
+}

@@ -172,6 +172,7 @@ pub fn build_all(scale: Scale, seed: u64) -> Vec<GemDataset> {
 }
 
 fn hash_id(id: BenchmarkId) -> u64 {
+    // lint:allow(unwrap) — ALL by definition contains every id
     (BenchmarkId::ALL.iter().position(|&x| x == id).unwrap() as u64)
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }

@@ -158,17 +158,17 @@ impl Encoder {
         ids: &[usize],
         rng: &mut impl Rng,
     ) -> Var {
-        let timed = em_obs::enabled().then(std::time::Instant::now);
+        let timed = em_obs::Stopwatch::if_enabled();
         let ids = self.clip(ids);
         let valid = ids.iter().take_while(|&&t| t != PAD).count();
         let x = self.embed(tape, store, ids, rng);
         let out = self.forward_embedded(tape, store, x, valid, rng);
-        if let Some(start) = timed {
+        if let Some(sw) = timed {
             use std::sync::OnceLock;
             static FORWARD_SECS: OnceLock<em_obs::metrics::Histogram> = OnceLock::new();
             FORWARD_SECS
                 .get_or_init(|| em_obs::metrics::histogram("lm_encoder_forward_secs", &[]))
-                .record(start.elapsed().as_secs_f64());
+                .record(sw.secs());
         }
         out
     }

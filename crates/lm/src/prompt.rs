@@ -360,6 +360,7 @@ impl PromptTemplate {
                     pos += ids.len();
                 }
                 Seg::Prompt(start, len) => {
+                    // lint:allow(unwrap) — Continuous mode always builds the encoder
                     let rows = prompt_rows.expect("continuous template without prompt encoder");
                     parts.push(tape.slice_rows(rows, *start, *len));
                     pos += len;

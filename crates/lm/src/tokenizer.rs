@@ -158,7 +158,7 @@ impl Tokenizer {
         if piece.len() > 1 && piece.bytes().all(|b| b.is_ascii_digit()) {
             for chunk in piece.as_bytes().chunks(3) {
                 let key = if chunk.len() == 3 {
-                    format!("#{}", std::str::from_utf8(chunk).unwrap())
+                    format!("#{}", String::from_utf8_lossy(chunk))
                 } else {
                     // 1-2 trailing digits fall back to single-char pieces.
                     for &b in chunk {

@@ -12,10 +12,120 @@
 use crate::optim::{ParamId, ParamStore};
 use crate::tensor::Matrix;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Var(usize);
+
+impl Var {
+    /// The node index on its tape (stable; nodes are append-only).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A structural defect caught while recording (or differentiating) a tape.
+///
+/// Every shape constraint an op imposes is validated at record time and
+/// reported through this type, carrying the op name and the offending
+/// shapes, so callers and the `em-check` graph auditor get an actionable
+/// diagnostic instead of a bare `assert_eq!` abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TapeError {
+    /// Two operand shapes are incompatible for `op`.
+    ShapeMismatch {
+        /// Op being recorded.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand.
+        rhs: (usize, usize),
+    },
+    /// A single operand violated an op's shape constraint.
+    BadShape {
+        /// Op being recorded.
+        op: &'static str,
+        /// The shape that was supplied.
+        got: (usize, usize),
+        /// What the op required, in words.
+        want: &'static str,
+    },
+    /// A class target index is out of range for the class dimension.
+    TargetOutOfRange {
+        /// Op being recorded.
+        op: &'static str,
+        /// The offending target.
+        target: usize,
+        /// Number of classes (columns) available.
+        classes: usize,
+    },
+    /// A row/column index reaches past the end of the operand.
+    IndexOutOfRange {
+        /// Op being recorded.
+        op: &'static str,
+        /// First out-of-range index.
+        index: usize,
+        /// Extent of the indexed dimension.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for TapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TapeError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "tape op `{op}`: incompatible shapes {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TapeError::BadShape { op, got, want } => write!(
+                f,
+                "tape op `{op}`: operand is {}x{}, need {want}",
+                got.0, got.1
+            ),
+            TapeError::TargetOutOfRange {
+                op,
+                target,
+                classes,
+            } => write!(
+                f,
+                "tape op `{op}`: target {target} out of {classes} classes"
+            ),
+            TapeError::IndexOutOfRange { op, index, len } => {
+                write!(f, "tape op `{op}`: index {index} out of range 0..{len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TapeError {}
+
+/// Runtime switch for the NaN/Inf sanitizer (see [`sanitize_enabled`]).
+static SANITIZE_FORCE: AtomicBool = AtomicBool::new(false);
+
+fn sanitize_env() -> bool {
+    static FROM_ENV: OnceLock<bool> = OnceLock::new();
+    *FROM_ENV
+        .get_or_init(|| std::env::var("PROMPTEM_SANITIZE").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
+/// True when the backward-pass NaN/Inf sanitizer is on: either
+/// `PROMPTEM_SANITIZE=1` was set in the environment or [`set_sanitize`]
+/// was called (the CLI `--sanitize` flag does the latter). The `em-check`
+/// auditor hooks also audit every batch instead of just the first one
+/// while this is on.
+pub fn sanitize_enabled() -> bool {
+    SANITIZE_FORCE.load(Ordering::Relaxed) || sanitize_env()
+}
+
+/// Programmatically enable the sanitizer (cannot un-set the environment
+/// variable; `set_sanitize(false)` only clears a previous programmatic
+/// enable).
+pub fn set_sanitize(on: bool) {
+    SANITIZE_FORCE.store(on, Ordering::Relaxed);
+}
 
 enum Op {
     /// Constant or parameter leaf. `param` is set when the leaf mirrors a
@@ -94,6 +204,72 @@ enum Op {
     },
 }
 
+impl Op {
+    /// Static name of the op, used by diagnostics and telemetry.
+    fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::Matmul(..) => "matmul",
+            Op::Add(..) => "add",
+            Op::AddRowBroadcast(..) => "add_row_broadcast",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::Scale(..) => "scale",
+            Op::AddConst(..) => "add_const",
+            Op::GradReverse(..) => "grad_reverse",
+            Op::Transpose(..) => "transpose",
+            Op::Tanh(..) => "tanh",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Gelu(..) => "gelu",
+            Op::Relu(..) => "relu",
+            Op::SoftmaxRows(..) => "softmax_rows",
+            Op::LayerNorm { .. } => "layer_norm",
+            Op::GatherRows { .. } => "gather_rows",
+            Op::Dropout { .. } => "dropout",
+            Op::ConcatRows(..) => "concat_rows",
+            Op::ConcatCols(..) => "concat_cols",
+            Op::SliceRows { .. } => "slice_rows",
+            Op::SliceCols { .. } => "slice_cols",
+            Op::MeanRows(..) => "mean_rows",
+            Op::MeanAll(..) => "mean_all",
+            Op::CrossEntropy { .. } => "cross_entropy",
+            Op::MseLoss { .. } => "mse_loss",
+            Op::NllProbs { .. } => "nll_probs",
+        }
+    }
+
+    /// The vars this op reads (its graph predecessors).
+    fn inputs(&self) -> Vec<Var> {
+        match self {
+            Op::Leaf => Vec::new(),
+            Op::Matmul(a, b)
+            | Op::Add(a, b)
+            | Op::AddRowBroadcast(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b) => vec![*a, *b],
+            Op::Scale(a, _)
+            | Op::AddConst(a)
+            | Op::GradReverse(a, _)
+            | Op::Transpose(a)
+            | Op::Tanh(a)
+            | Op::Sigmoid(a)
+            | Op::Gelu(a)
+            | Op::Relu(a)
+            | Op::SoftmaxRows(a)
+            | Op::MeanRows(a)
+            | Op::MeanAll(a) => vec![*a],
+            Op::LayerNorm { x, gamma, beta, .. } => vec![*x, *gamma, *beta],
+            Op::GatherRows { src, .. } => vec![*src],
+            Op::Dropout { x, .. } => vec![*x],
+            Op::ConcatRows(parts) | Op::ConcatCols(parts) => parts.clone(),
+            Op::SliceRows { x, .. } | Op::SliceCols { x, .. } => vec![*x],
+            Op::CrossEntropy { logits, .. } => vec![*logits],
+            Op::MseLoss { pred, .. } => vec![*pred],
+            Op::NllProbs { probs, .. } => vec![*probs],
+        }
+    }
+}
+
 struct Node {
     value: Matrix,
     grad: Option<Matrix>,
@@ -166,6 +342,43 @@ impl Tape {
         }
     }
 
+    // ---- graph topology (read-only; consumed by the em-check auditor) ----
+
+    /// Static name of the op that produced `v`.
+    pub fn op_name(&self, v: Var) -> &'static str {
+        self.nodes[v.0].op.name()
+    }
+
+    /// The vars `v` was computed from (empty for leaves).
+    pub fn inputs(&self, v: Var) -> Vec<Var> {
+        self.nodes[v.0].op.inputs()
+    }
+
+    /// Forward shape of `v`.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].value.shape()
+    }
+
+    /// All recorded vars, in record order.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.nodes.len()).map(Var)
+    }
+
+    /// True when `v` is a leaf (constant or parameter mirror).
+    pub fn is_leaf(&self, v: Var) -> bool {
+        matches!(self.nodes[v.0].op, Op::Leaf)
+    }
+
+    /// Every parameter leaf on the tape, sorted by [`ParamId`] so walks are
+    /// deterministic.
+    pub fn param_leaves(&self) -> Vec<(ParamId, Var)> {
+        let mut out: Vec<(ParamId, Var)> = self.param_cache.iter().map(|(&k, &v)| (k, v)).collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    // ---- op recording ----
+
     /// Insert a constant leaf (no gradient flows out of the tape).
     pub fn constant(&mut self, value: Matrix) -> Var {
         self.push(value, Op::Leaf)
@@ -182,43 +395,123 @@ impl Tape {
         v
     }
 
+    /// Unwrap a record-time result; the panic message is the structured
+    /// [`TapeError`] rendering, so even the infallible entry points abort
+    /// with the op name and both shapes.
+    #[track_caller]
+    fn recorded(r: Result<Var, TapeError>) -> Var {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Tape::recorded`] for unit-returning entry points.
+    #[track_caller]
+    fn recorded_unit(r: Result<(), TapeError>) {
+        if let Err(e) = r {
+            panic!("{e}")
+        }
+    }
+
+    fn same_shape(&self, op: &'static str, a: Var, b: Var) -> Result<(), TapeError> {
+        let (la, lb) = (self.nodes[a.0].value.shape(), self.nodes[b.0].value.shape());
+        if la != lb {
+            return Err(TapeError::ShapeMismatch {
+                op,
+                lhs: la,
+                rhs: lb,
+            });
+        }
+        Ok(())
+    }
+
     /// Matrix product `a @ b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        Self::recorded(self.try_matmul(a, b))
+    }
+
+    /// Shape-checked [`Tape::matmul`].
+    pub fn try_matmul(&mut self, a: Var, b: Var) -> Result<Var, TapeError> {
+        let (la, lb) = (self.nodes[a.0].value.shape(), self.nodes[b.0].value.shape());
+        if la.1 != lb.0 {
+            return Err(TapeError::ShapeMismatch {
+                op: "matmul",
+                lhs: la,
+                rhs: lb,
+            });
+        }
         let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
-        self.push(value, Op::Matmul(a, b))
+        Ok(self.push(value, Op::Matmul(a, b)))
     }
 
     /// Elementwise sum (same shapes).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        Self::recorded(self.try_add(a, b))
+    }
+
+    /// Shape-checked [`Tape::add`].
+    pub fn try_add(&mut self, a: Var, b: Var) -> Result<Var, TapeError> {
+        self.same_shape("add", a, b)?;
         let value = self.nodes[a.0].value.add(&self.nodes[b.0].value);
-        self.push(value, Op::Add(a, b))
+        Ok(self.push(value, Op::Add(a, b)))
     }
 
     /// `a + b` where `b` is a (1,C) row broadcast over the rows of `a`.
     pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        Self::recorded(self.try_add_row_broadcast(a, b))
+    }
+
+    /// Shape-checked [`Tape::add_row_broadcast`].
+    pub fn try_add_row_broadcast(&mut self, a: Var, b: Var) -> Result<Var, TapeError> {
+        let (la, lb) = (self.nodes[a.0].value.shape(), self.nodes[b.0].value.shape());
+        if lb.0 != 1 {
+            return Err(TapeError::BadShape {
+                op: "add_row_broadcast",
+                got: lb,
+                want: "a (1,C) row vector",
+            });
+        }
+        if la.1 != lb.1 {
+            return Err(TapeError::ShapeMismatch {
+                op: "add_row_broadcast",
+                lhs: la,
+                rhs: lb,
+            });
+        }
         let am = &self.nodes[a.0].value;
         let bm = &self.nodes[b.0].value;
-        assert_eq!(bm.rows(), 1, "broadcast rhs must be a row vector");
-        assert_eq!(am.cols(), bm.cols(), "broadcast width mismatch");
         let mut value = am.clone();
         for r in 0..value.rows() {
             for (v, &x) in value.row_mut(r).iter_mut().zip(bm.row(0)) {
                 *v += x;
             }
         }
-        self.push(value, Op::AddRowBroadcast(a, b))
+        Ok(self.push(value, Op::AddRowBroadcast(a, b)))
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        Self::recorded(self.try_sub(a, b))
+    }
+
+    /// Shape-checked [`Tape::sub`].
+    pub fn try_sub(&mut self, a: Var, b: Var) -> Result<Var, TapeError> {
+        self.same_shape("sub", a, b)?;
         let value = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
-        self.push(value, Op::Sub(a, b))
+        Ok(self.push(value, Op::Sub(a, b)))
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        Self::recorded(self.try_mul(a, b))
+    }
+
+    /// Shape-checked [`Tape::mul`].
+    pub fn try_mul(&mut self, a: Var, b: Var) -> Result<Var, TapeError> {
+        self.same_shape("mul", a, b)?;
         let value = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
-        self.push(value, Op::Mul(a, b))
+        Ok(self.push(value, Op::Mul(a, b)))
     }
 
     /// Multiply every element by the constant `c`.
@@ -229,8 +522,21 @@ impl Tape {
 
     /// Add a constant matrix elementwise (no gradient to the constant).
     pub fn add_const(&mut self, a: Var, k: &Matrix) -> Var {
+        Self::recorded(self.try_add_const(a, k))
+    }
+
+    /// Shape-checked [`Tape::add_const`].
+    pub fn try_add_const(&mut self, a: Var, k: &Matrix) -> Result<Var, TapeError> {
+        let la = self.nodes[a.0].value.shape();
+        if la != k.shape() {
+            return Err(TapeError::ShapeMismatch {
+                op: "add_const",
+                lhs: la,
+                rhs: k.shape(),
+            });
+        }
         let value = self.nodes[a.0].value.add(k);
-        self.push(value, Op::AddConst(a))
+        Ok(self.push(value, Op::AddConst(a)))
     }
 
     /// Gradient-reversal layer: forward identity, backward `-lambda * g`.
@@ -277,12 +583,31 @@ impl Tape {
 
     /// Row-wise layer normalization. `gamma` and `beta` must be (1,C).
     pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        Self::recorded(self.try_layer_norm(x, gamma, beta, eps))
+    }
+
+    /// Shape-checked [`Tape::layer_norm`].
+    pub fn try_layer_norm(
+        &mut self,
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+    ) -> Result<Var, TapeError> {
         let xm = self.nodes[x.0].value.clone();
         let (rows, cols) = xm.shape();
+        for v in [gamma, beta] {
+            let shape = self.nodes[v.0].value.shape();
+            if shape != (1, cols) {
+                return Err(TapeError::ShapeMismatch {
+                    op: "layer_norm",
+                    lhs: (rows, cols),
+                    rhs: shape,
+                });
+            }
+        }
         let gm = &self.nodes[gamma.0].value;
         let bm = &self.nodes[beta.0].value;
-        assert_eq!(gm.shape(), (1, cols), "layer_norm gamma shape");
-        assert_eq!(bm.shape(), (1, cols), "layer_norm beta shape");
         let mut normed = Matrix::zeros(rows, cols);
         let mut inv_std = Vec::with_capacity(rows);
         let mut value = Matrix::zeros(rows, cols);
@@ -298,7 +623,7 @@ impl Tape {
                 value.set(r, c, n * gm.get(0, c) + bm.get(0, c));
             }
         }
-        self.push(
+        Ok(self.push(
             value,
             Op::LayerNorm {
                 x,
@@ -307,19 +632,32 @@ impl Tape {
                 normed,
                 inv_std,
             },
-        )
+        ))
     }
 
     /// Select rows of `src` by `idx` (duplicates allowed).
     pub fn gather_rows(&mut self, src: Var, idx: &[usize]) -> Var {
+        Self::recorded(self.try_gather_rows(src, idx))
+    }
+
+    /// Shape-checked [`Tape::gather_rows`].
+    pub fn try_gather_rows(&mut self, src: Var, idx: &[usize]) -> Result<Var, TapeError> {
+        let rows = self.nodes[src.0].value.rows();
+        if let Some(&bad) = idx.iter().find(|&&i| i >= rows) {
+            return Err(TapeError::IndexOutOfRange {
+                op: "gather_rows",
+                index: bad,
+                len: rows,
+            });
+        }
         let value = self.nodes[src.0].value.gather_rows(idx);
-        self.push(
+        Ok(self.push(
             value,
             Op::GatherRows {
                 src,
                 idx: idx.to_vec(),
             },
-        )
+        ))
     }
 
     /// Inverted dropout with keep-probability `1-p`. Identity when the tape
@@ -345,28 +683,90 @@ impl Tape {
 
     /// Stack vars vertically (equal column counts).
     pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        Self::recorded(self.try_concat_rows(parts))
+    }
+
+    /// Shape-checked [`Tape::concat_rows`].
+    pub fn try_concat_rows(&mut self, parts: &[Var]) -> Result<Var, TapeError> {
+        if let [first, rest @ ..] = parts {
+            let want = self.nodes[first.0].value.cols();
+            for p in rest {
+                let shape = self.nodes[p.0].value.shape();
+                if shape.1 != want {
+                    return Err(TapeError::ShapeMismatch {
+                        op: "concat_rows",
+                        lhs: self.nodes[first.0].value.shape(),
+                        rhs: shape,
+                    });
+                }
+            }
+        }
         let mats: Vec<&Matrix> = parts.iter().map(|v| &self.nodes[v.0].value).collect();
         let value = Matrix::vstack(&mats);
-        self.push(value, Op::ConcatRows(parts.to_vec()))
+        Ok(self.push(value, Op::ConcatRows(parts.to_vec())))
     }
 
     /// Stack vars horizontally (equal row counts).
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        Self::recorded(self.try_concat_cols(parts))
+    }
+
+    /// Shape-checked [`Tape::concat_cols`].
+    pub fn try_concat_cols(&mut self, parts: &[Var]) -> Result<Var, TapeError> {
+        if let [first, rest @ ..] = parts {
+            let want = self.nodes[first.0].value.rows();
+            for p in rest {
+                let shape = self.nodes[p.0].value.shape();
+                if shape.0 != want {
+                    return Err(TapeError::ShapeMismatch {
+                        op: "concat_cols",
+                        lhs: self.nodes[first.0].value.shape(),
+                        rhs: shape,
+                    });
+                }
+            }
+        }
         let mats: Vec<&Matrix> = parts.iter().map(|v| &self.nodes[v.0].value).collect();
         let value = Matrix::hstack(&mats);
-        self.push(value, Op::ConcatCols(parts.to_vec()))
+        Ok(self.push(value, Op::ConcatCols(parts.to_vec())))
     }
 
     /// Copy of rows `[start, start+len)`.
     pub fn slice_rows(&mut self, x: Var, start: usize, len: usize) -> Var {
+        Self::recorded(self.try_slice_rows(x, start, len))
+    }
+
+    /// Shape-checked [`Tape::slice_rows`].
+    pub fn try_slice_rows(&mut self, x: Var, start: usize, len: usize) -> Result<Var, TapeError> {
+        let rows = self.nodes[x.0].value.rows();
+        if start + len > rows {
+            return Err(TapeError::IndexOutOfRange {
+                op: "slice_rows",
+                index: start + len,
+                len: rows,
+            });
+        }
         let value = self.nodes[x.0].value.slice_rows(start, len);
-        self.push(value, Op::SliceRows { x, start })
+        Ok(self.push(value, Op::SliceRows { x, start }))
     }
 
     /// Copy of columns `[start, start+len)`.
     pub fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
+        Self::recorded(self.try_slice_cols(x, start, len))
+    }
+
+    /// Shape-checked [`Tape::slice_cols`].
+    pub fn try_slice_cols(&mut self, x: Var, start: usize, len: usize) -> Result<Var, TapeError> {
+        let cols = self.nodes[x.0].value.cols();
+        if start + len > cols {
+            return Err(TapeError::IndexOutOfRange {
+                op: "slice_cols",
+                index: start + len,
+                len: cols,
+            });
+        }
         let value = self.nodes[x.0].value.slice_cols(start, len);
-        self.push(value, Op::SliceCols { x, start })
+        Ok(self.push(value, Op::SliceCols { x, start }))
     }
 
     /// Mean over rows, producing a `(1, C)` row.
@@ -382,61 +782,100 @@ impl Tape {
         self.push(value, Op::MeanAll(x))
     }
 
+    /// Validate a (matrix, class-target list) pairing for a loss op.
+    fn check_targets(&self, op: &'static str, m: Var, targets: &[usize]) -> Result<(), TapeError> {
+        let shape = self.nodes[m.0].value.shape();
+        if shape.0 != targets.len() {
+            return Err(TapeError::BadShape {
+                op,
+                got: shape,
+                want: "one row per target",
+            });
+        }
+        if let Some(&bad) = targets.iter().find(|&&t| t >= shape.1) {
+            return Err(TapeError::TargetOutOfRange {
+                op,
+                target: bad,
+                classes: shape.1,
+            });
+        }
+        Ok(())
+    }
+
     /// Mean cross-entropy of row-wise softmax(logits) against integer
     /// `targets`. Returns a scalar var.
     pub fn cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
+        Self::recorded(self.try_cross_entropy(logits, targets))
+    }
+
+    /// Shape-checked [`Tape::cross_entropy`].
+    pub fn try_cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Result<Var, TapeError> {
+        self.check_targets("cross_entropy", logits, targets)?;
         let lm = &self.nodes[logits.0].value;
-        assert_eq!(lm.rows(), targets.len(), "one target per logits row");
         let probs = lm.softmax_rows();
         let mut loss = 0.0f32;
         for (r, &t) in targets.iter().enumerate() {
-            assert!(t < lm.cols(), "target {} out of {} classes", t, lm.cols());
             loss -= probs.get(r, t).max(1e-12).ln();
         }
         loss /= targets.len() as f32;
-        self.push(
+        Ok(self.push(
             Matrix::scalar(loss),
             Op::CrossEntropy {
                 logits,
                 targets: targets.to_vec(),
                 probs,
             },
-        )
+        ))
     }
 
     /// Mean negative log likelihood of already-normalized probabilities:
     /// `-(1/n) Σ log probs[r][targets[r]]`. Scalar var.
     pub fn nll_probs(&mut self, probs: Var, targets: &[usize]) -> Var {
+        Self::recorded(self.try_nll_probs(probs, targets))
+    }
+
+    /// Shape-checked [`Tape::nll_probs`].
+    pub fn try_nll_probs(&mut self, probs: Var, targets: &[usize]) -> Result<Var, TapeError> {
+        self.check_targets("nll_probs", probs, targets)?;
         let pm = &self.nodes[probs.0].value;
-        assert_eq!(pm.rows(), targets.len(), "one target per probability row");
         let mut loss = 0.0f32;
         for (r, &t) in targets.iter().enumerate() {
-            assert!(t < pm.cols(), "target {} out of {} classes", t, pm.cols());
             loss -= pm.get(r, t).max(1e-12).ln();
         }
         loss /= targets.len() as f32;
-        self.push(
+        Ok(self.push(
             Matrix::scalar(loss),
             Op::NllProbs {
                 probs,
                 targets: targets.to_vec(),
             },
-        )
+        ))
     }
 
     /// Mean squared error against a constant target matrix. Scalar var.
     pub fn mse_loss(&mut self, pred: Var, target: &Matrix) -> Var {
+        Self::recorded(self.try_mse_loss(pred, target))
+    }
+
+    /// Shape-checked [`Tape::mse_loss`].
+    pub fn try_mse_loss(&mut self, pred: Var, target: &Matrix) -> Result<Var, TapeError> {
         let pm = &self.nodes[pred.0].value;
-        assert_eq!(pm.shape(), target.shape(), "mse shapes");
+        if pm.shape() != target.shape() {
+            return Err(TapeError::ShapeMismatch {
+                op: "mse_loss",
+                lhs: pm.shape(),
+                rhs: target.shape(),
+            });
+        }
         let diff = pm.sub(target);
         let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / pm.len() as f32;
-        self.push(
+        Ok(self.push(
             Matrix::scalar(loss),
             Op::MseLoss {
                 pred,
                 target: target.clone(),
             },
-        )
+        ))
     }
 
     fn add_grad(&mut self, v: Var, g: Matrix) {
@@ -448,30 +887,82 @@ impl Tape {
 
     /// Run reverse-mode differentiation from scalar `loss`.
     pub fn backward(&mut self, loss: Var) {
+        Self::recorded_unit(self.try_backward(loss))
+    }
+
+    /// Shape-checked [`Tape::backward`]: fails if `loss` is not scalar.
+    pub fn try_backward(&mut self, loss: Var) -> Result<(), TapeError> {
         // Timing is telemetry-gated so the hot path stays free of clock
         // reads when no sink is active.
-        let timed = em_obs::enabled().then(std::time::Instant::now);
-        assert_eq!(
-            self.nodes[loss.0].value.shape(),
-            (1, 1),
-            "backward needs a scalar loss"
-        );
+        let timed = em_obs::Stopwatch::if_enabled();
+        let shape = self.nodes[loss.0].value.shape();
+        if shape != (1, 1) {
+            return Err(TapeError::BadShape {
+                op: "backward",
+                got: shape,
+                want: "a scalar (1x1) loss",
+            });
+        }
+        let sanitize = sanitize_enabled();
         self.nodes[loss.0].grad = Some(Matrix::scalar(1.0));
         for i in (0..=loss.0).rev() {
             let g = match self.nodes[i].grad.take() {
                 Some(g) => g,
                 None => continue,
             };
+            if sanitize {
+                self.sanitize_node(i, Some(&g));
+            }
             self.backprop_node(i, &g);
             self.nodes[i].grad = Some(g);
         }
-        if let Some(start) = timed {
+        if let Some(sw) = timed {
             use std::sync::OnceLock;
             static BACKWARD_SECS: OnceLock<em_obs::metrics::Histogram> = OnceLock::new();
             BACKWARD_SECS
                 .get_or_init(|| em_obs::metrics::histogram("nn_tape_backward_secs", &[]))
-                .record(start.elapsed().as_secs_f64());
+                .record(sw.secs());
         }
+        Ok(())
+    }
+
+    /// Check one node's value (and, if present, gradient) buffers for
+    /// NaN/Inf and emit a `non_finite` event per bad buffer. Returns true
+    /// when everything is finite.
+    fn sanitize_node(&self, i: usize, grad: Option<&Matrix>) -> bool {
+        fn count_bad(m: &Matrix) -> u64 {
+            m.data().iter().filter(|x| !x.is_finite()).count() as u64
+        }
+        let node = &self.nodes[i];
+        let mut clean = true;
+        let bad = count_bad(&node.value);
+        if bad > 0 {
+            clean = false;
+            em_obs::non_finite(
+                node.op.name(),
+                i as u64,
+                "value",
+                bad,
+                node.value.len() as u64,
+            );
+        }
+        if let Some(g) = grad {
+            let bad = count_bad(g);
+            if bad > 0 {
+                clean = false;
+                em_obs::non_finite(node.op.name(), i as u64, "grad", bad, g.len() as u64);
+            }
+        }
+        clean
+    }
+
+    /// Sanitizer sweep over every recorded value buffer (no gradients
+    /// required) — the forward-pass half of `PROMPTEM_SANITIZE=1`. Returns
+    /// the number of nodes with at least one non-finite element.
+    pub fn sanitize_values(&self) -> usize {
+        (0..self.nodes.len())
+            .filter(|&i| !self.sanitize_node(i, None))
+            .count()
     }
 
     fn backprop_node(&mut self, i: usize, g: &Matrix) {

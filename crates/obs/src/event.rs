@@ -106,6 +106,36 @@ pub enum EventKind {
         /// Candidate pairs produced.
         candidates: u64,
     },
+    /// The tape sanitizer found a non-finite value or gradient during
+    /// backward (`PROMPTEM_SANITIZE=1`). Fields: `op` (tape op name),
+    /// `node` (tape node index), `stage` (`"value"` or `"grad"`), `bad`
+    /// (non-finite element count), `total` (element count).
+    NonFinite {
+        /// Name of the tape op that produced the poisoned buffer.
+        op: String,
+        /// Tape node index (stable within one tape).
+        node: u64,
+        /// Which buffer is poisoned: `"value"` or `"grad"`.
+        stage: String,
+        /// Number of NaN/Inf elements.
+        bad: u64,
+        /// Total elements in the buffer.
+        total: u64,
+    },
+    /// A graph audit ran over a recorded tape at loss construction.
+    /// Fields: `nodes` (tape size), `dead` (nodes unreachable from the
+    /// loss), `detached` (parameter leaves with no gradient path to the
+    /// loss), `unused` (unfrozen store parameters never placed on the tape).
+    Audit {
+        /// Total recorded tape nodes.
+        nodes: u64,
+        /// Nodes computed but unreachable from the loss.
+        dead: u64,
+        /// On-tape parameter leaves with no gradient path from the loss.
+        detached: u64,
+        /// Unfrozen store parameters that never entered the tape.
+        unused: u64,
+    },
     /// Free-form log line. Fields: `level`, `text`.
     Message {
         /// Severity.
@@ -126,6 +156,8 @@ impl EventKind {
             EventKind::Prune { .. } => "prune",
             EventKind::PretrainStep { .. } => "pretrain_step",
             EventKind::Block { .. } => "block",
+            EventKind::NonFinite { .. } => "non_finite",
+            EventKind::Audit { .. } => "audit",
             EventKind::Message { .. } => "message",
         }
     }
@@ -134,6 +166,16 @@ impl EventKind {
     pub fn level(&self) -> Level {
         match self {
             EventKind::Message { level, .. } => *level,
+            EventKind::NonFinite { .. } => Level::Error,
+            // An audit that found nothing is routine; one with findings is
+            // actionable.
+            EventKind::Audit { dead, detached, .. } => {
+                if *dead > 0 || *detached > 0 {
+                    Level::Warn
+                } else {
+                    Level::Debug
+                }
+            }
             EventKind::Epoch { .. } | EventKind::PseudoSelect { .. } | EventKind::Prune { .. } => {
                 Level::Info
             }
@@ -252,6 +294,31 @@ impl Event {
             EventKind::Block { candidates } => {
                 let _ = write!(s, ",\"candidates\":{candidates}");
             }
+            EventKind::NonFinite {
+                op,
+                node,
+                stage,
+                bad,
+                total,
+            } => {
+                s.push_str(",\"op\":");
+                push_json_str(&mut s, op);
+                let _ = write!(s, ",\"node\":{node}");
+                s.push_str(",\"stage\":");
+                push_json_str(&mut s, stage);
+                let _ = write!(s, ",\"bad\":{bad},\"total\":{total}");
+            }
+            EventKind::Audit {
+                nodes,
+                dead,
+                detached,
+                unused,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"nodes\":{nodes},\"dead\":{dead},\"detached\":{detached},\"unused\":{unused}"
+                );
+            }
             EventKind::Message { level, text } => {
                 let _ = write!(s, ",\"level\":\"{}\"", level.name());
                 s.push_str(",\"text\":");
@@ -335,6 +402,19 @@ impl Event {
             "block" => EventKind::Block {
                 candidates: num("candidates")? as u64,
             },
+            "non_finite" => EventKind::NonFinite {
+                op: text("op")?,
+                node: num("node")? as u64,
+                stage: text("stage")?,
+                bad: num("bad")? as u64,
+                total: num("total")? as u64,
+            },
+            "audit" => EventKind::Audit {
+                nodes: num("nodes")? as u64,
+                dead: num("dead")? as u64,
+                detached: num("detached")? as u64,
+                unused: num("unused")? as u64,
+            },
             "message" => EventKind::Message {
                 level: Level::from_name(&text("level")?)
                     .ok_or_else(|| format!("bad level in {line}"))?,
@@ -413,6 +493,21 @@ impl Event {
                 format!("pretrain step {step}: mlm loss {mlm_loss:.4}")
             }
             EventKind::Block { candidates } => format!("blocking: {candidates} candidate pairs"),
+            EventKind::NonFinite {
+                op,
+                node,
+                stage,
+                bad,
+                total,
+            } => format!("sanitizer: {bad}/{total} non-finite {stage} elements in {op}#{node}"),
+            EventKind::Audit {
+                nodes,
+                dead,
+                detached,
+                unused,
+            } => format!(
+                "graph audit: {nodes} nodes, {dead} dead, {detached} detached params, {unused} unused params"
+            ),
             EventKind::Message { text, .. } => text.clone(),
         };
         format!("{prefix} {body}")
@@ -615,6 +710,19 @@ mod tests {
             mlm_loss: 2.25,
         });
         round_trip(EventKind::Block { candidates: 480 });
+        round_trip(EventKind::NonFinite {
+            op: "layer_norm".into(),
+            node: 37,
+            stage: "grad".into(),
+            bad: 3,
+            total: 96,
+        });
+        round_trip(EventKind::Audit {
+            nodes: 512,
+            dead: 2,
+            detached: 1,
+            unused: 0,
+        });
         round_trip(EventKind::Message {
             level: Level::Warn,
             text: "tab\there \\ \"q\"".into(),

@@ -158,6 +158,60 @@ pub fn block(candidates: u64) {
     emit(EventKind::Block { candidates });
 }
 
+/// Emit a `non_finite` event (the tape sanitizer caught a NaN/Inf buffer).
+pub fn non_finite(op: impl Into<String>, node: u64, stage: &'static str, bad: u64, total: u64) {
+    emit(EventKind::NonFinite {
+        op: op.into(),
+        node,
+        stage: stage.into(),
+        bad,
+        total,
+    });
+}
+
+/// Emit an `audit` event (graph-audit summary at loss construction).
+pub fn audit(nodes: u64, dead: u64, detached: u64, unused: u64) {
+    emit(EventKind::Audit {
+        nodes,
+        dead,
+        detached,
+        unused,
+    });
+}
+
+/// A monotonic stopwatch — the sanctioned clock for the whole workspace.
+///
+/// The `em-lint` `clock` rule forbids raw `Instant::now`/`SystemTime`
+/// outside `em-obs` and `em-bench` so every time source stays greppable in
+/// one place (wall-clock reads sneaking into training logic are how
+/// nondeterministic behavior and flaky wall-clock tests get in).
+/// Code that needs a duration takes a `Stopwatch` instead.
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start a stopwatch now.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// A stopwatch only when telemetry is active — hot paths use this so
+    /// the disabled path stays free of clock reads.
+    pub fn if_enabled() -> Option<Self> {
+        enabled().then(Self::new)
+    }
+
+    /// Elapsed seconds.
+    pub fn secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+
+    /// Elapsed microseconds.
+    pub fn micros(&self) -> u64 {
+        self.0.elapsed().as_micros() as u64
+    }
+}
+
 /// Emit a free-form message at the given level.
 pub fn message(level: Level, text: impl Into<String>) {
     emit(EventKind::Message {

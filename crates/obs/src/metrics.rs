@@ -66,7 +66,7 @@ fn get_or_insert<T>(
     extract: impl Fn(&Metric) -> Option<T>,
 ) -> T {
     let key = key(name, labels);
-    let mut map = registry().lock().expect("metrics registry poisoned");
+    let mut map = registry().lock().expect("metrics registry poisoned"); // lint:allow(unwrap)
     let metric = map.entry(key).or_insert_with(make);
     extract(metric).unwrap_or_else(|| {
         panic!(
@@ -261,7 +261,7 @@ pub fn histogram(name: &str, labels: &[(&str, &str)]) -> Histogram {
 /// Render every registered metric as sorted human-readable lines (for a
 /// shutdown dump or debugging).
 pub fn render_text() -> String {
-    let map = registry().lock().expect("metrics registry poisoned");
+    let map = registry().lock().expect("metrics registry poisoned"); // lint:allow(unwrap)
     let mut lines: Vec<String> = map
         .iter()
         .map(|(key, metric)| {
@@ -294,7 +294,7 @@ pub fn render_text() -> String {
 pub fn reset() {
     registry()
         .lock()
-        .expect("metrics registry poisoned")
+        .expect("metrics registry poisoned") // lint:allow(unwrap)
         .clear();
 }
 

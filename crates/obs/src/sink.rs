@@ -59,7 +59,7 @@ pub fn stderr_level() -> Option<Level> {
 /// JSON object per line in the schema documented in [`crate::event`].
 pub fn open_jsonl(path: &Path) -> std::io::Result<()> {
     let file = File::create(path)?;
-    *JSONL.lock().expect("jsonl sink poisoned") = Some(BufWriter::new(file));
+    *JSONL.lock().expect("jsonl sink poisoned") = Some(BufWriter::new(file)); // lint:allow(unwrap)
     JSONL_ACTIVE.store(1, Ordering::Relaxed);
     Ok(())
 }
@@ -67,6 +67,7 @@ pub fn open_jsonl(path: &Path) -> std::io::Result<()> {
 /// Flush and close the JSONL sink (idempotent; no-op when none is open).
 pub fn close_jsonl() {
     JSONL_ACTIVE.store(0, Ordering::Relaxed);
+    // lint:allow(unwrap) — a poisoned sink mutex means telemetry is already lost
     if let Some(mut w) = JSONL.lock().expect("jsonl sink poisoned").take() {
         let _ = w.flush();
     }
@@ -83,6 +84,7 @@ pub(crate) fn dispatch(event: &Event) {
         }
     }
     if JSONL_ACTIVE.load(Ordering::Relaxed) != 0 {
+        // lint:allow(unwrap) — a poisoned sink mutex means telemetry is already lost
         if let Some(w) = JSONL.lock().expect("jsonl sink poisoned").as_mut() {
             // Write-and-flush per event keeps the trace intact on panic;
             // event volume is modest (hundreds per run), so this is cheap.

@@ -16,4 +16,17 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> em-lint (repo invariants)"
+cargo run --release -q -p em-check --bin em-lint
+
+echo "==> sanitizer smoke (PROMPTEM_SANITIZE=1 tiny pipeline)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release -q -p promptem-cli --bin promptem -- \
+    export --benchmark REL-HETER --dir "$smoke_dir" --seed 7 >/dev/null
+PROMPTEM_SANITIZE=1 cargo run --release -q -p promptem-cli --bin promptem -- \
+    match --left "$smoke_dir/left.csv" --right "$smoke_dir/right.csv" \
+    --labels "$smoke_dir/train.csv" --seed 7 --trace warn \
+    --pretrain-steps 20 --epochs 1 >/dev/null
+
 echo "ci: all checks passed"
