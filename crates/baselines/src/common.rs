@@ -44,15 +44,15 @@ pub trait Matcher {
 
 /// Fit + evaluate one matcher; returns scores and the fit wall-clock.
 pub fn evaluate_matcher<M: Matcher>(matcher: &mut M, task: &MatchTask) -> (PrfScores, f64) {
-    let _span = em_obs::span_with("baseline", matcher.name());
+    let _span = em_obs::span_with(em_obs::names::SPAN_BASELINE, matcher.name());
     let start = em_obs::Stopwatch::new();
     let fit_secs = {
-        let _span = em_obs::span("fit");
+        let _span = em_obs::span(em_obs::names::SPAN_FIT);
         matcher.fit(task);
         start.secs()
     };
     let pred = {
-        let _span = em_obs::span("predict");
+        let _span = em_obs::span(em_obs::names::SPAN_PREDICT);
         matcher.predict_test(task)
     };
     let gold: Vec<bool> = task.encoded.test.iter().map(|e| e.label).collect();

@@ -168,7 +168,10 @@ pub struct MethodResult {
 
 /// Run one method on one prepared benchmark.
 pub fn run_method(method: MethodId, bench: &Bench) -> MethodResult {
-    let _span = em_obs::span_with("method", format!("{}/{}", method.name(), bench.raw.name));
+    let _span = em_obs::span_with(
+        em_obs::names::SPAN_METHOD,
+        format!("{}/{}", method.name(), bench.raw.name),
+    );
     let seed = experiment_seed();
     match method {
         MethodId::DeepMatcher => {

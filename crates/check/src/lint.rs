@@ -23,11 +23,20 @@ pub enum Rule {
     Rng,
     /// No `process::exit` outside the CLI crate.
     Exit,
+    /// No ad-hoc JSONL event-tag string literals outside the em-obs
+    /// registry (`crates/obs/src/names.rs`).
+    EventName,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 4] = [Rule::Unwrap, Rule::Clock, Rule::Rng, Rule::Exit];
+    pub const ALL: [Rule; 5] = [
+        Rule::Unwrap,
+        Rule::Clock,
+        Rule::Rng,
+        Rule::Exit,
+        Rule::EventName,
+    ];
 
     /// The rule's name — the token accepted by `lint:allow(...)`.
     pub fn name(self) -> &'static str {
@@ -36,6 +45,7 @@ impl Rule {
             Rule::Clock => "clock",
             Rule::Rng => "rng",
             Rule::Exit => "exit",
+            Rule::EventName => "event-name",
         }
     }
 
@@ -53,17 +63,47 @@ impl Rule {
                 "unseeded RNG breaks run reproducibility; construct RNGs from an explicit seed"
             }
             Rule::Exit => "only the CLI may terminate the process; libraries return errors",
+            Rule::EventName => {
+                "JSONL event tags live in em_obs::names so producers, parsers, and \
+                 analysis tools can never drift; use the EV_* consts"
+            }
         }
     }
 
-    /// Substrings that constitute a violation (matched on sanitized code).
+    /// Substrings that constitute a violation. Most rules match on
+    /// sanitized code (strings blanked); [`Rule::matches_in_strings`]
+    /// rules match with string contents kept, since the forbidden thing
+    /// *is* a string literal.
     fn patterns(self) -> &'static [&'static str] {
         match self {
             Rule::Unwrap => &[".unwrap()", ".expect("],
             Rule::Clock => &["Instant::now", "SystemTime"],
             Rule::Rng => &["thread_rng", "from_entropy", "rand::random"],
             Rule::Exit => &["process::exit"],
+            // The quoted forms of em_obs::names::ALL_EVENT_TAGS; the
+            // `event_name_patterns_track_the_registry` test pins the two
+            // lists together.
+            Rule::EventName => &[
+                "\"span_open\"",
+                "\"span_close\"",
+                "\"epoch_summary\"",
+                "\"pseudo_select\"",
+                "\"prune\"",
+                "\"pretrain_step\"",
+                "\"block\"",
+                "\"non_finite\"",
+                "\"audit\"",
+                "\"message\"",
+                "\"unc_hist\"",
+                "\"metric\"",
+            ],
         }
+    }
+
+    /// Whether this rule's patterns target string-literal *contents* and
+    /// therefore match on the strings-kept sanitized form.
+    fn matches_in_strings(self) -> bool {
+        matches!(self, Rule::EventName)
     }
 
     /// Whether the rule still applies inside test code (`#[cfg(test)]`
@@ -85,6 +125,9 @@ impl Rule {
             // its test-ness from inside the file.
             Rule::Unwrap => &["crates/cli/src/cli_e2e.rs"],
             Rule::Rng => &[],
+            // Tag literals are legitimate in exactly one place: the
+            // registry that defines them.
+            Rule::EventName => &["crates/obs/src/names.rs"],
         };
         allowed.iter().any(|prefix| unix_rel.starts_with(prefix))
     }
@@ -139,9 +182,12 @@ struct ScanState {
     test_region: Option<i64>,
 }
 
-/// Replace comments and string/char-literal contents with spaces, while
-/// updating brace depth and `#[cfg(test)]` region tracking.
-fn sanitize_line(raw: &str, st: &mut ScanState) -> String {
+/// Sanitize one line two ways, while updating brace depth and
+/// `#[cfg(test)]` region tracking. Returns `(code, code_with_strings)`:
+/// the first has comments *and* string/char-literal contents blanked
+/// (what most rules match on); the second blanks only comments, keeping
+/// string contents for rules whose target is a string literal.
+fn sanitize_line(raw: &str, st: &mut ScanState) -> (String, String) {
     // The attribute itself arrives before any brace; detect it on the raw
     // line (it never hides in a string in practice, and a false latch
     // only widens the test region, never narrows it).
@@ -151,16 +197,24 @@ fn sanitize_line(raw: &str, st: &mut ScanState) -> String {
 
     let bytes = raw.as_bytes();
     let mut out = vec![b' '; bytes.len()];
+    // The strings-kept form starts as the raw line; only comment regions
+    // get blanked out of it below.
+    let mut kept = bytes.to_vec();
     let mut i = 0;
     while i < bytes.len() {
         if st.block_comment > 0 {
             if bytes[i..].starts_with(b"*/") {
                 st.block_comment -= 1;
+                kept[i] = b' ';
+                kept[i + 1] = b' ';
                 i += 2;
             } else if bytes[i..].starts_with(b"/*") {
                 st.block_comment += 1;
+                kept[i] = b' ';
+                kept[i + 1] = b' ';
                 i += 2;
             } else {
+                kept[i] = b' ';
                 i += 1;
             }
             continue;
@@ -188,9 +242,17 @@ fn sanitize_line(raw: &str, st: &mut ScanState) -> String {
             continue;
         }
         match bytes[i] {
-            b'/' if bytes.get(i + 1) == Some(&b'/') => break, // line comment
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment: blank the tail of the kept form too.
+                for k in kept.iter_mut().skip(i) {
+                    *k = b' ';
+                }
+                break;
+            }
             b'/' if bytes.get(i + 1) == Some(&b'*') => {
                 st.block_comment = 1;
+                kept[i] = b' ';
+                kept[i + 1] = b' ';
                 i += 2;
             }
             b'"' => {
@@ -257,7 +319,10 @@ fn sanitize_line(raw: &str, st: &mut ScanState) -> String {
             }
         }
     }
-    String::from_utf8_lossy(&out).into_owned()
+    (
+        String::from_utf8_lossy(&out).into_owned(),
+        String::from_utf8_lossy(&kept).into_owned(),
+    )
 }
 
 /// Extract `lint:allow(a, b)` rule names from the raw line, if any.
@@ -289,7 +354,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
         // Read the region state *before* this line mutates it, so an
         // attribute/opening-brace line is classified with its body.
         let was_in_test_region = st.test_region.is_some() || st.pending_cfg_test;
-        let code = sanitize_line(raw, &mut st);
+        let (code, code_with_strings) = sanitize_line(raw, &mut st);
         let in_test = path_is_test || was_in_test_region || st.test_region.is_some();
         let mut escapes: Vec<String> = allowed_on_line(raw).into_iter().map(String::from).collect();
         let comment_only = code.trim().is_empty() && !raw.trim().is_empty();
@@ -305,7 +370,12 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
             if rule.path_allowed(&unix_rel) || escapes.iter().any(|e| e == rule.name()) {
                 continue;
             }
-            if rule.patterns().iter().any(|p| code.contains(p)) {
+            let haystack = if rule.matches_in_strings() {
+                &code_with_strings
+            } else {
+                &code
+            };
+            if rule.patterns().iter().any(|p| haystack.contains(p)) {
                 out.push(Violation {
                     file: PathBuf::from(rel_path),
                     line: idx + 1,
@@ -373,6 +443,39 @@ fn f() {
 }
 "##;
         assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn event_name_patterns_track_the_registry() {
+        let expected: Vec<String> = em_obs::names::ALL_EVENT_TAGS
+            .iter()
+            .map(|tag| format!("\"{tag}\""))
+            .collect();
+        let got: Vec<String> = Rule::EventName
+            .patterns()
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        assert_eq!(
+            got, expected,
+            "lint patterns drifted from em_obs::names::ALL_EVENT_TAGS"
+        );
+    }
+
+    #[test]
+    fn event_tag_literals_fire_outside_the_registry_only() {
+        let src = "pub fn tag() -> &'static str { \"epoch_summary\" }\n";
+        let v = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::EventName);
+        // The registry itself, test code, and comments are all exempt.
+        assert!(lint_source("crates/obs/src/names.rs", src).is_empty());
+        assert!(lint_source("crates/core/tests/t.rs", src).is_empty());
+        let comment = "// the \"epoch_summary\" event\npub fn f() {}\n";
+        assert!(lint_source("crates/core/src/x.rs", comment).is_empty());
+        // Tags as substrings of longer strings don't fire.
+        let longer = "pub fn m() -> String { \"epoch_summary_v2\".into() }\n";
+        assert!(lint_source("crates/core/src/x.rs", longer).is_empty());
     }
 
     #[test]

@@ -181,12 +181,12 @@ fn match_with_metrics_out_writes_a_structured_trace() {
     for (span, label) in [(teacher_id, "teacher"), (student_id, "student")] {
         let epochs: Vec<&Event> = events
             .iter()
-            .filter(|e| e.span == Some(span) && matches!(e.kind, EventKind::Epoch { .. }))
+            .filter(|e| e.span == Some(span) && matches!(e.kind, EventKind::EpochSummary { .. }))
             .collect();
         assert_eq!(epochs.len(), 2, "{label} must emit one event per epoch");
         for e in epochs {
             match &e.kind {
-                EventKind::Epoch {
+                EventKind::EpochSummary {
                     train_loss,
                     valid_f1,
                     ..
@@ -236,6 +236,103 @@ fn export_writes_all_files() {
     let body = std::fs::read_to_string(dir.join("left.csv")).unwrap();
     let t = em_data::ingest::table_from_csv("left", &body).unwrap();
     assert!(t.len() > 50);
+}
+
+#[test]
+fn report_and_same_seed_diff_pass_end_to_end() {
+    let _g = lock();
+    let dir = std::env::temp_dir().join("promptem_cli_test_report");
+    let (left, right, labels) = write_fixture(&dir);
+    let traces = [dir.join("a.jsonl"), dir.join("b.jsonl")];
+    for trace in &traces {
+        run_cli(vec![
+            "match".into(),
+            "--left".into(),
+            left.clone(),
+            "--right".into(),
+            right.clone(),
+            "--labels".into(),
+            labels.clone(),
+            "--metrics-out".into(),
+            trace.to_string_lossy().into_owned(),
+            "--trace".into(),
+            "off".into(),
+            "--seed".into(),
+            "99".into(),
+            "--pretrain-steps".into(),
+            "30".into(),
+            "--epochs".into(),
+            "2".into(),
+            "--no-lst".into(),
+        ])
+        .unwrap();
+    }
+
+    // The single-trace report writes a populated BENCH_report.json.
+    let bench = dir.join("BENCH_report.json");
+    run_cli(vec![
+        "report".into(),
+        traces[0].to_string_lossy().into_owned(),
+        "--bench-out".into(),
+        bench.to_string_lossy().into_owned(),
+    ])
+    .unwrap();
+    let body = std::fs::read_to_string(&bench).unwrap();
+    assert!(
+        body.contains("\"schema\": \"promptem-bench-report/v1\""),
+        "{body}"
+    );
+    assert!(body.contains("\"seed\": 99"), "{body}");
+    assert!(!body.contains("\"optimizer_steps\": 0,"), "{body}");
+    assert!(body.contains("\"name\": \"pretrain\""), "{body}");
+
+    // Two same-seed runs must diff clean under default thresholds.
+    run_cli(vec![
+        "report".into(),
+        "--diff".into(),
+        traces[0].to_string_lossy().into_owned(),
+        traces[1].to_string_lossy().into_owned(),
+    ])
+    .unwrap_or_else(|e| panic!("same-seed diff must pass: {e:?}"));
+}
+
+#[test]
+fn report_diff_fails_on_an_optimizer_step_regression() {
+    use em_obs::{Event, EventKind};
+
+    let _g = lock();
+    let dir = std::env::temp_dir().join("promptem_cli_test_report_breach");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_with_steps = |steps: u64| -> String {
+        (0..steps)
+            .map(|i| {
+                Event {
+                    seq: i + 1,
+                    seed: 5,
+                    t_us: i * 10,
+                    span: None,
+                    kind: EventKind::PretrainStep {
+                        step: i,
+                        mlm_loss: 2.0,
+                    },
+                }
+                .to_json()
+                    + "\n"
+            })
+            .collect()
+    };
+    let base = dir.join("base.jsonl");
+    let slow = dir.join("slow.jsonl");
+    std::fs::write(&base, trace_with_steps(10)).unwrap();
+    std::fs::write(&slow, trace_with_steps(12)).unwrap();
+    let err = run_cli(vec![
+        "report".into(),
+        "--diff".into(),
+        base.to_string_lossy().into_owned(),
+        slow.to_string_lossy().into_owned(),
+    ])
+    .unwrap_err();
+    assert!(err.contains("regression"), "{err:?}");
 }
 
 #[test]

@@ -29,14 +29,61 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
 
+/// Track live/peak heap so span-close events and `promptem report` carry
+/// real memory numbers instead of zeros.
+#[global_allocator]
+static ALLOC: em_obs::alloc::CountingAllocator = em_obs::alloc::CountingAllocator;
+
+/// A CLI failure: the message, plus whether the usage blurb would help.
+/// Flag mistakes want the usage text; a perf-regression verdict or a
+/// trace parse error does not.
+#[derive(Debug)]
+pub(crate) struct Failure {
+    message: String,
+    usage: bool,
+}
+
+impl Failure {
+    /// A failure where usage text is just noise.
+    fn plain(message: impl Into<String>) -> Failure {
+        Failure {
+            message: message.into(),
+            usage: false,
+        }
+    }
+
+    /// Substring check mirroring `str::contains`, for test assertions.
+    #[cfg(test)]
+    pub(crate) fn contains(&self, needle: &str) -> bool {
+        self.message.contains(needle)
+    }
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Failure {
+        Failure {
+            message,
+            usage: true,
+        }
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match run_cli(raw) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{USAGE}");
+            if e.usage {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -49,6 +96,10 @@ const USAGE: &str = "usage:
                  [--template t1|t2] [--mode hard|continuous] [--no-lst]
                  [--pretrain-steps <n>] [--epochs <n>]
   promptem export --benchmark <name> --dir <path> [--seed <u64>] [--full]
+  promptem report <trace.jsonl> [--top <n>] [--bench-out <path.json>]
+  promptem report --diff <base.jsonl> <new.jsonl>
+                 [--max-wall-frac <f>] [--max-heap-frac <f>]
+                 [--max-steps-frac <f>] [--max-f1-drop <points>]
 
 global flags:
   --trace <off|error|warn|info|debug|trace>   stderr verbosity (default info;
@@ -63,15 +114,16 @@ anything else (one textual record per line).
 benchmark names: REL-HETER SEMI-HOMO SEMI-HETER SEMI-REL SEMI-TEXT-c
 SEMI-TEXT-w REL-TEXT GEO-HETER";
 
-fn run_cli(raw: Vec<String>) -> Result<(), String> {
+fn run_cli(raw: Vec<String>) -> Result<(), Failure> {
     let args = Args::parse(raw)?;
     init_telemetry(&args)?;
     let result = match args.positional.first().map(|s| s.as_str()) {
-        Some("stats") => cmd_stats(&args),
-        Some("match") => cmd_match(&args),
-        Some("export") => cmd_export(&args),
-        Some(other) => Err(format!("unknown command '{other}'")),
-        None => Err("no command given".into()),
+        Some("stats") => cmd_stats(&args).map_err(Failure::from),
+        Some("match") => cmd_match(&args).map_err(Failure::from),
+        Some("export") => cmd_export(&args).map_err(Failure::from),
+        Some("report") => cmd_report(&args),
+        Some(other) => Err(Failure::from(format!("unknown command '{other}'"))),
+        None => Err(Failure::from("no command given".to_string())),
     };
     em_obs::shutdown();
     result
@@ -228,7 +280,7 @@ fn cmd_match(args: &Args) -> Result<(), String> {
         ds.unlabeled.len()
     ));
     let result = {
-        let _span = em_obs::span_with("match", name.clone());
+        let _span = em_obs::span_with(em_obs::names::SPAN_MATCH, name.clone());
         run(&ds, &cfg)
     };
     println!("test scores: {}", result.scores);
@@ -300,6 +352,51 @@ fn cmd_export(args: &Args) -> Result<(), String> {
         ds.valid.len(),
         ds.test.len()
     );
+    Ok(())
+}
+
+/// Analyze a `--metrics-out` trace: print the run report (optionally
+/// writing `BENCH_report.json`), or with `--diff` compare two traces
+/// under regression thresholds and fail when any metric breaches.
+fn cmd_report(args: &Args) -> Result<(), Failure> {
+    let thresholds = em_prof::Thresholds {
+        wall_frac: args.get_parse("max-wall-frac", 0.75)?,
+        heap_frac: args.get_parse("max-heap-frac", 0.50)?,
+        steps_frac: args.get_parse("max-steps-frac", 0.0)?,
+        f1_points: args.get_parse("max-f1-drop", 1.0)?,
+    };
+    let load = |path: &str| -> Result<em_prof::RunManifest, Failure> {
+        let events = em_prof::load_trace(std::path::Path::new(path)).map_err(Failure::plain)?;
+        Ok(em_prof::manifest::manifest(&events))
+    };
+
+    if let Some(base_path) = args.get("diff") {
+        let new_path = args.positional.get(1).ok_or_else(|| {
+            Failure::from("report --diff needs two traces: --diff <base> <new>".to_string())
+        })?;
+        let report = em_prof::diff(&load(base_path)?, &load(new_path)?, &thresholds);
+        print!("{}", report.render());
+        let breaches = report.regressions();
+        if breaches > 0 {
+            return Err(Failure::plain(format!(
+                "{breaches} performance regression(s) in {new_path} against {base_path}"
+            )));
+        }
+        return Ok(());
+    }
+
+    let trace_path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| Failure::from("report needs a trace file".to_string()))?;
+    let manifest = load(trace_path)?;
+    let top: usize = args.get_parse("top", 12)?;
+    print!("{}", em_prof::report::render_report(&manifest, top));
+    if let Some(out_path) = args.get("bench-out") {
+        std::fs::write(out_path, em_prof::report::bench_report_json(&manifest))
+            .map_err(|e| Failure::plain(format!("{out_path}: {e}")))?;
+        println!("wrote {out_path}");
+    }
     Ok(())
 }
 

@@ -197,6 +197,7 @@ pub fn run_training<M: TunableMatcher>(
     let valid_gold: Vec<bool> = valid.iter().map(|e| e.label).collect();
 
     for epoch in 0..cfg.epochs {
+        let epoch_watch = em_obs::Stopwatch::if_enabled();
         working.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0;
@@ -239,11 +240,14 @@ pub fn run_training<M: TunableMatcher>(
                 best_store = Some((snapshot(model), t));
             }
         }
-        em_obs::epoch(
+        em_obs::epoch_summary(
             epoch as u64,
             report.final_train_loss as f64,
             epoch_valid.map(|(f1, _)| f1),
             epoch_valid.map(|(_, t)| t as f64),
+            refs.len() as u64,
+            batches as u64,
+            epoch_watch.map_or(0, |w| w.micros()),
         );
 
         // Dynamic data pruning (§4.3): "We prune the train set for every

@@ -127,7 +127,7 @@ pub struct RunResult {
 /// pre-trained LM" shares a clone of this artifact, mirroring how all the
 /// paper's LM baselines share RoBERTa-base.
 pub fn pretrain_backbone(ds: &GemDataset, cfg: &PromptEmConfig) -> Arc<PretrainedLm> {
-    let _span = em_obs::span_with("pretrain", ds.name.clone());
+    let _span = em_obs::span_with(em_obs::names::SPAN_PRETRAIN, ds.name.clone());
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC0FFEE);
     let corpus = build_pretrain_corpus(ds, &RelationWords::default(), &cfg.corpus, &mut rng);
     let size = cfg.lm_size;
@@ -145,7 +145,7 @@ pub fn encode_with(
     backbone: &PretrainedLm,
     cfg: &PromptEmConfig,
 ) -> EncodedDataset {
-    let _span = em_obs::span_with("encode", ds.name.clone());
+    let _span = em_obs::span_with(em_obs::names::SPAN_ENCODE, ds.name.clone());
     encode_dataset(ds, &backbone.tokenizer, &cfg.encode)
 }
 
@@ -198,13 +198,13 @@ pub fn run_encoded(
     encoded: &EncodedDataset,
     cfg: &PromptEmConfig,
 ) -> RunResult {
-    let _span = em_obs::span_with("tune", encoded.name.clone());
+    let _span = em_obs::span_with(em_obs::names::SPAN_TUNE, encoded.name.clone());
     let (scores, test_predictions, lst, train_secs) = if cfg.use_prompt {
         let mut opts = cfg.prompt.clone();
         let mut probe_secs = 0.0;
         if cfg.grid_template {
             let t0 = em_obs::Stopwatch::new();
-            let _span = em_obs::span("grid_template");
+            let _span = em_obs::span(em_obs::names::SPAN_GRID_TEMPLATE);
             opts.template = select_template(&backbone, encoded, cfg);
             probe_secs = t0.secs();
         }
@@ -216,6 +216,9 @@ pub fn run_encoded(
         let proto = FineTuneModel::new(backbone, cfg.seed);
         tune_and_eval(proto, encoded, cfg)
     };
+    // Record the final test score as a gauge so a shutdown metrics flush
+    // makes the trace self-contained for `promptem report`.
+    em_obs::metrics::gauge("core_test_f1", &[("dataset", &encoded.name)]).set(scores.f1);
     RunResult {
         dataset: encoded.name.clone(),
         scores,

@@ -26,6 +26,10 @@ pub fn mc_el2n<M: TunableMatcher>(model: &mut M, examples: &[Example], passes: u
     for s in &mut scores {
         *s /= per_pass.len() as f32;
     }
+    if em_obs::enabled() {
+        let as_f64: Vec<f64> = scores.iter().map(|&v| v as f64).collect();
+        em_obs::unc_hist("mc_el2n", &as_f64, 16);
+    }
     scores
 }
 

@@ -71,6 +71,10 @@ pub fn select_pseudo_labels<M: TunableMatcher>(
         SelectionStrategy::Uncertainty => {
             let per_pass = teacher.stochastic_proba(unlabeled, cfg.passes);
             let (mean, std) = mean_std(&per_pass);
+            if em_obs::enabled() {
+                let scores: Vec<f64> = std.iter().map(|&v| v as f64).collect();
+                em_obs::unc_hist("pseudo_uncertainty", &scores, 16);
+            }
             // Top-N_P by (negative) uncertainty — Eq. 2.
             let order = argsort(&std);
             order

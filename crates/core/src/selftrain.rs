@@ -135,19 +135,19 @@ pub fn lightweight_self_train<M: TunableMatcher>(
     let mut report = LstReport::default();
     let mut best: Option<(M, f64)> = None;
 
-    let _lst_span = em_obs::span("lst");
+    let _lst_span = em_obs::span(em_obs::names::SPAN_LST);
     for iter in 0..cfg.iterations.max(1) {
-        let _iter_span = em_obs::span_with("lst_iter", format!("iter {iter}"));
+        let _iter_span = em_obs::span_with(em_obs::names::SPAN_LST_ITER, format!("iter {iter}"));
         // Lines 2-4: fresh teacher trained on D_L.
         let mut teacher = proto.fresh(cfg.seed.wrapping_add(iter as u64 * 2));
         {
-            let _span = em_obs::span("teacher");
+            let _span = em_obs::span(em_obs::names::SPAN_TEACHER);
             report.teacher = teacher.train(&d_l, valid, &cfg.teacher, None);
         }
 
         // Lines 5-8: uncertainty-aware pseudo-label selection.
         let selected = {
-            let _span = em_obs::span("pseudo_select");
+            let _span = em_obs::span(em_obs::names::SPAN_PSEUDO_SELECT);
             select_pseudo_labels(&mut teacher, &d_u, &cfg.pseudo)
         };
         report.pseudo_selected.push(selected.len());
@@ -173,7 +173,7 @@ pub fn lightweight_self_train<M: TunableMatcher>(
         // dynamic data pruning.
         let mut student = proto.fresh(cfg.seed.wrapping_add(iter as u64 * 2 + 1));
         {
-            let _span = em_obs::span("student");
+            let _span = em_obs::span(em_obs::names::SPAN_STUDENT);
             report.student = student.train(&d_l, valid, &cfg.student, cfg.prune.as_ref());
         }
         report.pruned += report.student.pruned;

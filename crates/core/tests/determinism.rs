@@ -81,6 +81,23 @@ fn canonical_jsonl(events: &[Event]) -> String {
                 heap_delta: 0,
                 heap_peak: 0,
             },
+            EventKind::EpochSummary {
+                epoch,
+                train_loss,
+                valid_f1,
+                threshold,
+                examples,
+                batches,
+                ..
+            } => EventKind::EpochSummary {
+                epoch,
+                train_loss,
+                valid_f1,
+                threshold,
+                examples,
+                batches,
+                wall_us: 0,
+            },
             other => other,
         };
         out.push_str(&e.to_json());

@@ -173,7 +173,7 @@ fn quick_lst_run_emits_expected_span_tree() {
     let epochs_in = |span: u64| -> Vec<&Event> {
         events
             .iter()
-            .filter(|e| e.span == Some(span) && matches!(e.kind, EventKind::Epoch { .. }))
+            .filter(|e| e.span == Some(span) && matches!(e.kind, EventKind::EpochSummary { .. }))
             .collect()
     };
     assert_eq!(epochs_in(teacher).len(), 2, "teacher epoch events");
@@ -181,19 +181,26 @@ fn quick_lst_run_emits_expected_span_tree() {
     assert_eq!(student_epochs.len(), 3, "student epoch events");
     for e in &student_epochs {
         match &e.kind {
-            EventKind::Epoch {
+            EventKind::EpochSummary {
                 train_loss,
                 valid_f1,
                 threshold,
+                examples,
+                batches,
                 ..
             } => {
                 assert!(train_loss.is_finite());
                 assert!(valid_f1.is_some(), "student epoch missing valid F1");
                 assert!(threshold.is_some(), "student epoch missing threshold");
+                assert!(*examples > 0, "student epoch missing example count");
+                assert!(*batches > 0, "student epoch missing batch count");
             }
             _ => unreachable!(),
         }
     }
+    // MLM pretraining reports its epochs too (no validation F1 there).
+    let pretrain_epochs = epochs_in(pretrain);
+    assert!(!pretrain_epochs.is_empty(), "no pretrain epoch summaries");
 
     // Pseudo-label selection happened inside the LST iteration, with audit
     // quality attached (the pipeline passes gold labels).
@@ -219,4 +226,26 @@ fn quick_lst_run_emits_expected_span_tree() {
     assert_eq!(prunes.len(), 1, "expected one prune event");
     assert_eq!(prunes[0].span, Some(student));
     assert!(matches!(prunes[0].kind, EventKind::Prune { dropped, passes: 2 } if dropped > 0));
+
+    // MC-Dropout uncertainty histograms: one from pseudo-label selection
+    // (inside its span) and one from MC-EL2N scoring before the prune.
+    let unc_sources: Vec<(&str, Option<u64>)> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::UncHist { source, counts, .. } => {
+                assert!(counts.iter().sum::<u64>() > 0, "empty uncertainty hist");
+                Some((source.as_str(), e.span))
+            }
+            _ => None,
+        })
+        .collect();
+    let select_span = open_id(&events, "pseudo_select");
+    assert!(
+        unc_sources.contains(&("pseudo_uncertainty", Some(select_span))),
+        "no pseudo_uncertainty histogram in the pseudo_select span: {unc_sources:?}"
+    );
+    assert!(
+        unc_sources.contains(&("mc_el2n", Some(student))),
+        "no mc_el2n histogram in the student span: {unc_sources:?}"
+    );
 }

@@ -117,7 +117,7 @@ pub fn evaluate_blocking(
     k: usize,
     min_overlap: usize,
 ) -> BlockingReport {
-    let _span = em_obs::span_with("block", ds.name.clone());
+    let _span = em_obs::span_with(em_obs::names::SPAN_BLOCK, ds.name.clone());
     let index = TokenIndex::build(&ds.right.records, ds.right.format);
     let mut survivors: HashSet<(usize, usize)> = HashSet::new();
     let mut candidates = 0usize;

@@ -154,7 +154,8 @@ pub fn pretrain_mlm(
     let mut order: Vec<usize> = (0..encoded.len()).collect();
     let mut last_epoch_loss = f32::NAN;
     let mut steps = 0usize;
-    'outer: for _epoch in 0..cfg.epochs {
+    'outer: for epoch in 0..cfg.epochs {
+        let epoch_watch = em_obs::Stopwatch::if_enabled();
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f32;
         let mut epoch_batches = 0usize;
@@ -201,6 +202,15 @@ pub fn pretrain_mlm(
         if epoch_batches > 0 {
             last_epoch_loss = epoch_loss / epoch_batches as f32;
         }
+        em_obs::epoch_summary(
+            epoch as u64,
+            last_epoch_loss as f64,
+            None,
+            None,
+            encoded.len() as u64,
+            epoch_batches as u64,
+            epoch_watch.map_or(0, |w| w.micros()),
+        );
     }
     last_epoch_loss
 }

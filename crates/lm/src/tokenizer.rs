@@ -8,6 +8,28 @@
 //! open-vocabulary property, much simpler.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Counters explaining encoder cost: how often words resolve directly in
+/// the vocabulary vs. decompose into digit-trigram or per-character pieces
+/// (each decomposition multiplies sequence length, and attention cost is
+/// quadratic in it).
+struct PieceCounters {
+    vocab: em_obs::metrics::Counter,
+    digit: em_obs::metrics::Counter,
+    chars: em_obs::metrics::Counter,
+    unk: em_obs::metrics::Counter,
+}
+
+fn piece_counters() -> &'static PieceCounters {
+    static COUNTERS: OnceLock<PieceCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| PieceCounters {
+        vocab: em_obs::metrics::counter("lm_tokenizer_pieces", &[("path", "vocab")]),
+        digit: em_obs::metrics::counter("lm_tokenizer_pieces", &[("path", "digit")]),
+        chars: em_obs::metrics::counter("lm_tokenizer_pieces", &[("path", "char")]),
+        unk: em_obs::metrics::counter("lm_tokenizer_pieces", &[("path", "unk")]),
+    })
+}
 
 /// Reserved token ids (stable across any corpus).
 /// Padding token id.
@@ -140,6 +162,7 @@ impl Tokenizer {
     fn encode_word(&self, tok: &str, out: &mut Vec<usize>) {
         // Structural tags keep their case; everything else is normalized.
         if let Some(&id) = self.token_to_id.get(tok) {
+            piece_counters().vocab.inc();
             out.push(id);
             return;
         }
@@ -151,11 +174,13 @@ impl Tokenizer {
 
     fn encode_piece(&self, piece: &str, out: &mut Vec<usize>) {
         if let Some(&id) = self.token_to_id.get(piece) {
+            piece_counters().vocab.inc();
             out.push(id);
             return;
         }
         // Numeric fallback: aligned 3-digit groups.
         if piece.len() > 1 && piece.bytes().all(|b| b.is_ascii_digit()) {
+            piece_counters().digit.inc();
             for chunk in piece.as_bytes().chunks(3) {
                 let key = if chunk.len() == 3 {
                     format!("#{}", String::from_utf8_lossy(chunk))
@@ -183,7 +208,10 @@ impl Tokenizer {
                 emitted = true;
             }
         }
-        if !emitted {
+        if emitted {
+            piece_counters().chars.inc();
+        } else {
+            piece_counters().unk.inc();
             out.push(UNK);
         }
     }
@@ -361,6 +389,23 @@ mod tests {
                 assert_eq!(ka + kb, budget, "({la},{lb},{budget}) -> ({ka},{kb})");
             }
         }
+    }
+
+    #[test]
+    fn piece_counters_move_per_encode_path() {
+        let t = toy();
+        let c = piece_counters();
+        // Deltas, not absolutes: the registry is process-global and other
+        // tests encode in parallel.
+        let (v0, d0, ch0, u0) = (c.vocab.get(), c.digit.get(), c.chars.get(), c.unk.get());
+        t.encode("the cat"); // two vocabulary hits
+        t.encode("9780672336072"); // digit-trigram fallback
+        t.encode("zebra"); // character fallback
+        t.encode("日本語"); // no char pieces at all -> UNK
+        assert!(c.vocab.get() >= v0 + 2, "vocab-hit counter did not move");
+        assert!(c.digit.get() > d0, "digit-fallback counter did not move");
+        assert!(c.chars.get() > ch0, "char-fallback counter did not move");
+        assert!(c.unk.get() > u0, "unk counter did not move");
     }
 
     #[test]

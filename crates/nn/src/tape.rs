@@ -923,6 +923,19 @@ impl Tape {
                 .get_or_init(|| em_obs::metrics::histogram("nn_tape_backward_secs", &[]))
                 .record(sw.secs());
         }
+        // Graph-size counters (reports divide these by optimizer steps to
+        // explain per-step cost). Kept outside the telemetry gate: two
+        // relaxed atomic adds, and counters must agree with step counts.
+        static TAPE_NODES: std::sync::OnceLock<em_obs::metrics::Counter> =
+            std::sync::OnceLock::new();
+        static TAPE_PARAM_LEAVES: std::sync::OnceLock<em_obs::metrics::Counter> =
+            std::sync::OnceLock::new();
+        TAPE_NODES
+            .get_or_init(|| em_obs::metrics::counter("nn_tape_nodes", &[]))
+            .add(self.nodes.len() as u64);
+        TAPE_PARAM_LEAVES
+            .get_or_init(|| em_obs::metrics::counter("nn_tape_param_leaves", &[]))
+            .add(self.param_cache.len() as u64);
         Ok(())
     }
 
@@ -1249,6 +1262,26 @@ mod tests {
 
     fn test_input() -> Matrix {
         Matrix::from_vec(2, 3, vec![0.5, -1.2, 0.3, 0.9, -0.4, 1.7])
+    }
+
+    #[test]
+    fn backward_moves_graph_size_counters() {
+        let nodes = em_obs::metrics::counter("nn_tape_nodes", &[]);
+        let leaves = em_obs::metrics::counter("nn_tape_param_leaves", &[]);
+        let (n0, l0) = (nodes.get(), leaves.get());
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_vec(1, 2, vec![0.5, -0.25]));
+        let mut tape = Tape::new();
+        let wv = tape.param(&store, w);
+        let loss = tape.mean_all(wv);
+        tape.backward(loss);
+        // Deltas, not absolutes: the registry is process-global and other
+        // tests run backward passes in parallel.
+        assert!(
+            nodes.get() >= n0 + tape.len() as u64,
+            "nn_tape_nodes did not move"
+        );
+        assert!(leaves.get() > l0, "nn_tape_param_leaves did not move");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! round-trips through [`Event::parse`], which the sink tests assert.
 
 use crate::level::Level;
+use crate::names;
 use std::fmt::Write as _;
 
 /// One telemetry event, ready for a sink.
@@ -63,8 +64,10 @@ pub enum EventKind {
         heap_peak: u64,
     },
     /// One training epoch finished. Fields: `epoch`, `train_loss`,
-    /// `valid_f1` (nullable, percent), `threshold` (nullable).
-    Epoch {
+    /// `valid_f1` (nullable, percent), `threshold` (nullable), `examples`
+    /// (training examples seen this epoch, after balancing/pruning),
+    /// `batches` (optimizer steps this epoch), `wall_us` (epoch duration).
+    EpochSummary {
         /// 0-based epoch index.
         epoch: u64,
         /// Mean batch loss of the epoch.
@@ -74,6 +77,12 @@ pub enum EventKind {
         valid_f1: Option<f64>,
         /// The calibrated decision threshold, when validation ran.
         threshold: Option<f64>,
+        /// Training examples seen this epoch (post balancing/pruning).
+        examples: u64,
+        /// Optimizer steps (batches) taken this epoch.
+        batches: u64,
+        /// Wall-clock duration of the epoch in microseconds.
+        wall_us: u64,
     },
     /// Pseudo-labels were selected (paper §4.2). Fields: `count`, `tpr`
     /// (nullable), `tnr` (nullable) — quality is only known when gold
@@ -143,22 +152,62 @@ pub enum EventKind {
         /// The message.
         text: String,
     },
+    /// A histogram of MC-Dropout uncertainty scores (paper §4.2/§4.3).
+    /// Fields: `source` (which scorer, e.g. `"pseudo_uncertainty"`),
+    /// `lo`/`hi` (value range covered), `mean`, `counts` (linear bins
+    /// over `[lo, hi]`; total observations is their sum).
+    UncHist {
+        /// Which uncertainty scorer produced the values.
+        source: String,
+        /// Smallest observed value (left edge of bin 0).
+        lo: f64,
+        /// Largest observed value (right edge of the last bin).
+        hi: f64,
+        /// Mean of the observed values.
+        mean: f64,
+        /// Observation counts per linear bin across `[lo, hi]`.
+        counts: Vec<u64>,
+    },
+    /// One registry metric sampled into the trace (emitted at shutdown so
+    /// traces are self-contained). Fields: `name` (label-folded, e.g.
+    /// `nn_optimizer_steps{opt="adamw"}`), `kind` (`counter`/`gauge`/
+    /// `histogram`), `value` (counter total, gauge value, or histogram
+    /// mean), `count` (histogram observations; null otherwise), and
+    /// `p50`/`p95`/`p99` (histogram percentiles; null otherwise).
+    Metric {
+        /// Metric name with labels folded in.
+        name: String,
+        /// `"counter"`, `"gauge"`, or `"histogram"`.
+        kind: String,
+        /// Counter total, gauge value, or histogram mean.
+        value: f64,
+        /// Histogram observation count.
+        count: Option<u64>,
+        /// Estimated 50th percentile (histograms only).
+        p50: Option<f64>,
+        /// Estimated 95th percentile (histograms only).
+        p95: Option<f64>,
+        /// Estimated 99th percentile (histograms only).
+        p99: Option<f64>,
+    },
 }
 
 impl EventKind {
     /// The `type` tag used in the JSONL encoding.
     pub fn type_tag(&self) -> &'static str {
         match self {
-            EventKind::SpanOpen { .. } => "span_open",
-            EventKind::SpanClose { .. } => "span_close",
-            EventKind::Epoch { .. } => "epoch",
-            EventKind::PseudoSelect { .. } => "pseudo_select",
-            EventKind::Prune { .. } => "prune",
-            EventKind::PretrainStep { .. } => "pretrain_step",
-            EventKind::Block { .. } => "block",
-            EventKind::NonFinite { .. } => "non_finite",
-            EventKind::Audit { .. } => "audit",
-            EventKind::Message { .. } => "message",
+            EventKind::SpanOpen { .. } => names::EV_SPAN_OPEN,
+            EventKind::SpanClose { .. } => names::EV_SPAN_CLOSE,
+            EventKind::EpochSummary { .. } => names::EV_EPOCH_SUMMARY,
+            EventKind::PseudoSelect { .. } => names::EV_PSEUDO_SELECT,
+            EventKind::Prune { .. } => names::EV_PRUNE,
+            EventKind::PretrainStep { .. } => names::EV_PRETRAIN_STEP,
+            EventKind::Block { .. } => names::EV_BLOCK,
+            EventKind::NonFinite { .. } => names::EV_NON_FINITE,
+            EventKind::Audit { .. } => names::EV_AUDIT,
+            EventKind::Message { .. } => names::EV_MESSAGE,
+            EventKind::UncHist { .. } => names::EV_UNC_HIST,
+            EventKind::Metric { .. } => names::EV_METRIC,
         }
     }
 
@@ -176,13 +225,15 @@ impl EventKind {
                     Level::Debug
                 }
             }
-            EventKind::Epoch { .. } | EventKind::PseudoSelect { .. } | EventKind::Prune { .. } => {
-                Level::Info
-            }
+            EventKind::EpochSummary { .. }
+            | EventKind::PseudoSelect { .. }
+            | EventKind::Prune { .. } => Level::Info,
             EventKind::SpanOpen { .. }
             | EventKind::SpanClose { .. }
             | EventKind::PretrainStep { .. }
-            | EventKind::Block { .. } => Level::Debug,
+            | EventKind::Block { .. }
+            | EventKind::UncHist { .. }
+            | EventKind::Metric { .. } => Level::Debug,
         }
     }
 }
@@ -225,6 +276,17 @@ fn push_opt_f64(out: &mut String, key: &str, v: Option<f64>) {
             let _ = write!(out, ",\"{key}\":null");
         }
     }
+}
+
+fn push_u64_array(out: &mut String, key: &str, vs: &[u64]) {
+    let _ = write!(out, ",\"{key}\":[");
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
 }
 
 impl Event {
@@ -270,15 +332,22 @@ impl Event {
                     ",\"wall_us\":{wall_us},\"heap_delta\":{heap_delta},\"heap_peak\":{heap_peak}"
                 );
             }
-            EventKind::Epoch {
+            EventKind::EpochSummary {
                 epoch,
                 train_loss,
                 valid_f1,
                 threshold,
+                examples,
+                batches,
+                wall_us,
             } => {
                 let _ = write!(s, ",\"epoch\":{epoch},\"train_loss\":{train_loss}");
                 push_opt_f64(&mut s, "valid_f1", *valid_f1);
                 push_opt_f64(&mut s, "threshold", *threshold);
+                let _ = write!(
+                    s,
+                    ",\"examples\":{examples},\"batches\":{batches},\"wall_us\":{wall_us}"
+                );
             }
             EventKind::PseudoSelect { count, tpr, tnr } => {
                 let _ = write!(s, ",\"count\":{count}");
@@ -324,6 +393,37 @@ impl Event {
                 s.push_str(",\"text\":");
                 push_json_str(&mut s, text);
             }
+            EventKind::UncHist {
+                source,
+                lo,
+                hi,
+                mean,
+                counts,
+            } => {
+                s.push_str(",\"source\":");
+                push_json_str(&mut s, source);
+                let _ = write!(s, ",\"lo\":{lo},\"hi\":{hi},\"mean\":{mean}");
+                push_u64_array(&mut s, "counts", counts);
+            }
+            EventKind::Metric {
+                name,
+                kind,
+                value,
+                count,
+                p50,
+                p95,
+                p99,
+            } => {
+                s.push_str(",\"name\":");
+                push_json_str(&mut s, name);
+                s.push_str(",\"kind\":");
+                push_json_str(&mut s, kind);
+                let _ = write!(s, ",\"value\":{value}");
+                push_opt_u64(&mut s, "count", *count);
+                push_opt_f64(&mut s, "p50", *p50);
+                push_opt_f64(&mut s, "p95", *p95);
+                push_opt_f64(&mut s, "p99", *p99);
+            }
         }
         s.push('}');
         s
@@ -365,60 +465,85 @@ impl Event {
                 other => Err(format!("field '{key}' is not a string or null: {other:?}")),
             }
         };
+        let u64_array = |key: &str| -> Result<Vec<u64>, String> {
+            match get(key)? {
+                JsonVal::Arr(vs) => Ok(vs.iter().map(|v| *v as u64).collect()),
+                other => Err(format!("field '{key}' is not an array: {other:?}")),
+            }
+        };
         let tag = text("type")?;
         let kind = match tag.as_str() {
-            "span_open" => EventKind::SpanOpen {
+            names::EV_SPAN_OPEN => EventKind::SpanOpen {
                 id: num("id")? as u64,
                 parent: opt_num("parent")?.map(|v| v as u64),
                 name: text("name")?,
                 detail: opt_text("detail")?,
             },
-            "span_close" => EventKind::SpanClose {
+            names::EV_SPAN_CLOSE => EventKind::SpanClose {
                 id: num("id")? as u64,
                 name: text("name")?,
                 wall_us: num("wall_us")? as u64,
                 heap_delta: num("heap_delta")? as i64,
                 heap_peak: num("heap_peak")? as u64,
             },
-            "epoch" => EventKind::Epoch {
+            names::EV_EPOCH_SUMMARY => EventKind::EpochSummary {
                 epoch: num("epoch")? as u64,
                 train_loss: num("train_loss")?,
                 valid_f1: opt_num("valid_f1")?,
                 threshold: opt_num("threshold")?,
+                examples: num("examples")? as u64,
+                batches: num("batches")? as u64,
+                wall_us: num("wall_us")? as u64,
             },
-            "pseudo_select" => EventKind::PseudoSelect {
+            names::EV_PSEUDO_SELECT => EventKind::PseudoSelect {
                 count: num("count")? as u64,
                 tpr: opt_num("tpr")?,
                 tnr: opt_num("tnr")?,
             },
-            "prune" => EventKind::Prune {
+            names::EV_PRUNE => EventKind::Prune {
                 dropped: num("dropped")? as u64,
                 passes: num("passes")? as u64,
             },
-            "pretrain_step" => EventKind::PretrainStep {
+            names::EV_PRETRAIN_STEP => EventKind::PretrainStep {
                 step: num("step")? as u64,
                 mlm_loss: num("mlm_loss")?,
             },
-            "block" => EventKind::Block {
+            names::EV_BLOCK => EventKind::Block {
                 candidates: num("candidates")? as u64,
             },
-            "non_finite" => EventKind::NonFinite {
+            names::EV_NON_FINITE => EventKind::NonFinite {
                 op: text("op")?,
                 node: num("node")? as u64,
                 stage: text("stage")?,
                 bad: num("bad")? as u64,
                 total: num("total")? as u64,
             },
-            "audit" => EventKind::Audit {
+            names::EV_AUDIT => EventKind::Audit {
                 nodes: num("nodes")? as u64,
                 dead: num("dead")? as u64,
                 detached: num("detached")? as u64,
                 unused: num("unused")? as u64,
             },
-            "message" => EventKind::Message {
+            names::EV_MESSAGE => EventKind::Message {
                 level: Level::from_name(&text("level")?)
                     .ok_or_else(|| format!("bad level in {line}"))?,
                 text: text("text")?,
+            },
+            names::EV_UNC_HIST => EventKind::UncHist {
+                source: text("source")?,
+                lo: num("lo")?,
+                hi: num("hi")?,
+                mean: num("mean")?,
+                counts: u64_array("counts")?,
+            },
+            names::EV_METRIC => EventKind::Metric {
+                name: text("name")?,
+                kind: text("kind")?,
+                value: num("value")?,
+                count: opt_num("count")?.map(|v| v as u64),
+                p50: opt_num("p50")?,
+                p95: opt_num("p95")?,
+                p99: opt_num("p99")?,
             },
             other => return Err(format!("unknown event type '{other}'")),
         };
@@ -465,11 +590,14 @@ impl Event {
                 *wall_us as f64 / 1e3,
                 heap_delta
             ),
-            EventKind::Epoch {
+            EventKind::EpochSummary {
                 epoch,
                 train_loss,
                 valid_f1,
                 threshold,
+                examples,
+                batches,
+                wall_us,
             } => {
                 let mut s = format!("epoch {epoch}: loss {train_loss:.4}");
                 if let Some(f1) = valid_f1 {
@@ -478,6 +606,11 @@ impl Event {
                 if let Some(t) = threshold {
                     let _ = write!(s, ", threshold {t:.3}");
                 }
+                let _ = write!(
+                    s,
+                    " ({examples} ex / {batches} steps, {:.1}ms)",
+                    *wall_us as f64 / 1e3
+                );
                 s
             }
             EventKind::PseudoSelect { count, tpr, tnr } => match (tpr, tnr) {
@@ -509,12 +642,41 @@ impl Event {
                 "graph audit: {nodes} nodes, {dead} dead, {detached} detached params, {unused} unused params"
             ),
             EventKind::Message { text, .. } => text.clone(),
+            EventKind::UncHist {
+                source,
+                lo,
+                hi,
+                mean,
+                counts,
+            } => {
+                let n: u64 = counts.iter().sum();
+                format!("uncertainty[{source}]: {n} scores in [{lo:.4}, {hi:.4}], mean {mean:.4}")
+            }
+            EventKind::Metric {
+                name,
+                kind,
+                value,
+                count,
+                p50,
+                p95,
+                p99,
+            } => {
+                let mut s = format!("metric {name} ({kind}) = {value}");
+                if let Some(n) = count {
+                    let _ = write!(s, ", count {n}");
+                }
+                if let (Some(p50), Some(p95), Some(p99)) = (p50, p95, p99) {
+                    let _ = write!(s, ", p50 {p50:.6} p95 {p95:.6} p99 {p99:.6}");
+                }
+                s
+            }
         };
         format!("{prefix} {body}")
     }
 }
 
-/// A parsed JSON scalar (the schema is flat, so objects/arrays never nest).
+/// A parsed JSON value (the schema is flat: scalars, plus arrays of
+/// numbers for histogram bins — objects never nest).
 #[derive(Debug, Clone, PartialEq)]
 enum JsonVal {
     /// A number (integers included; the schema stays under 2^53).
@@ -525,9 +687,11 @@ enum JsonVal {
     Bool(bool),
     /// `null`.
     Null,
+    /// An array of numbers (histogram bucket counts).
+    Arr(Vec<f64>),
 }
 
-/// Parse a flat JSON object (string/number/bool/null values only).
+/// Parse a flat JSON object (string/number/bool/null/number-array values).
 fn parse_json_object(s: &str) -> Result<Vec<(String, JsonVal)>, String> {
     let mut chars = s.trim().chars().peekable();
     let mut out = Vec::new();
@@ -572,19 +736,28 @@ fn parse_json_object(s: &str) -> Result<Vec<(String, JsonVal)>, String> {
                 JsonVal::Null
             }
             Some(c) if c.is_ascii_digit() || *c == '-' => {
-                let mut num = String::new();
-                while let Some(&c) = chars.peek() {
-                    if c.is_ascii_digit() || "+-.eE".contains(c) {
-                        num.push(c);
-                        chars.next();
-                    } else {
-                        break;
+                JsonVal::Num(parse_number(&mut chars, s)?)
+            }
+            Some('[') => {
+                chars.next();
+                let mut vals = Vec::new();
+                loop {
+                    skip_ws(&mut chars);
+                    match chars.peek() {
+                        Some(']') => {
+                            chars.next();
+                            break;
+                        }
+                        Some(',') => {
+                            chars.next();
+                        }
+                        Some(c) if c.is_ascii_digit() || *c == '-' => {
+                            vals.push(parse_number(&mut chars, s)?);
+                        }
+                        other => return Err(format!("unexpected array element {other:?} in {s}")),
                     }
                 }
-                JsonVal::Num(
-                    num.parse()
-                        .map_err(|_| format!("bad number '{num}' in {s}"))?,
-                )
+                JsonVal::Arr(vals)
             }
             other => return Err(format!("unexpected value start {other:?} in {s}")),
         };
@@ -592,6 +765,23 @@ fn parse_json_object(s: &str) -> Result<Vec<(String, JsonVal)>, String> {
         skip_ws(&mut chars);
     }
     Ok(out)
+}
+
+fn parse_number(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    context: &str,
+) -> Result<f64, String> {
+    let mut num = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() || "+-.eE".contains(c) {
+            num.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    num.parse()
+        .map_err(|_| format!("bad number '{num}' in {context}"))
 }
 
 fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
@@ -679,17 +869,23 @@ mod tests {
             heap_delta: -4096,
             heap_peak: 1 << 30,
         });
-        round_trip(EventKind::Epoch {
+        round_trip(EventKind::EpochSummary {
             epoch: 7,
             train_loss: 0.6931471824645996,
             valid_f1: Some(81.25),
             threshold: Some(0.4375),
+            examples: 128,
+            batches: 8,
+            wall_us: 2_500_000,
         });
-        round_trip(EventKind::Epoch {
+        round_trip(EventKind::EpochSummary {
             epoch: 0,
             train_loss: 1.5,
             valid_f1: None,
             threshold: None,
+            examples: 0,
+            batches: 0,
+            wall_us: 0,
         });
         round_trip(EventKind::PseudoSelect {
             count: 6,
@@ -726,6 +922,38 @@ mod tests {
         round_trip(EventKind::Message {
             level: Level::Warn,
             text: "tab\there \\ \"q\"".into(),
+        });
+        round_trip(EventKind::UncHist {
+            source: "pseudo_uncertainty".into(),
+            lo: 0.0,
+            hi: 0.25,
+            mean: 0.0625,
+            counts: vec![4, 0, 9, 1],
+        });
+        round_trip(EventKind::UncHist {
+            source: "mc_el2n".into(),
+            lo: 0.0,
+            hi: 0.0,
+            mean: 0.0,
+            counts: vec![],
+        });
+        round_trip(EventKind::Metric {
+            name: "nn_optimizer_steps{opt=\"adamw\"}".into(),
+            kind: "counter".into(),
+            value: 412.0,
+            count: None,
+            p50: None,
+            p95: None,
+            p99: None,
+        });
+        round_trip(EventKind::Metric {
+            name: "nn_tape_backward_secs".into(),
+            kind: "histogram".into(),
+            value: 0.125,
+            count: Some(37),
+            p50: Some(0.09375),
+            p95: Some(0.375),
+            p99: Some(0.75),
         });
     }
 

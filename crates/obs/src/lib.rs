@@ -32,6 +32,7 @@ pub mod alloc;
 pub mod event;
 pub mod level;
 pub mod metrics;
+pub mod names;
 pub mod sink;
 pub mod span;
 
@@ -96,10 +97,35 @@ pub fn init_jsonl(path: &Path) -> std::io::Result<()> {
     sink::open_jsonl(path)
 }
 
-/// Flush and close the JSONL sink. Safe to call multiple times; the stderr
-/// sink (if any) stays active.
+/// Flush and close the JSONL sink, first sampling every registered metric
+/// into the trace as `metric` events so the file is self-contained. Safe
+/// to call multiple times; the stderr sink (if any) stays active.
 pub fn shutdown() {
+    flush_metrics();
     sink::close_jsonl();
+}
+
+/// Emit one `metric` event per registered metric (sorted by name). Called
+/// by [`shutdown`]; also usable mid-run for periodic snapshots.
+pub fn flush_metrics() {
+    if !enabled() {
+        return;
+    }
+    for s in metrics::samples() {
+        let (p50, p95, p99) = match s.percentiles {
+            Some((a, b, c)) => (Some(a), Some(b), Some(c)),
+            None => (None, None, None),
+        };
+        emit(EventKind::Metric {
+            name: s.name,
+            kind: s.kind.to_string(),
+            value: s.value,
+            count: s.count,
+            p50,
+            p95,
+            p99,
+        });
+    }
 }
 
 /// Emit one event to every active sink. Cheap no-op when nothing listens.
@@ -128,13 +154,67 @@ pub fn span_with(name: &'static str, detail: impl Into<String>) -> SpanGuard {
     SpanGuard::open(name, Some(detail.into()))
 }
 
-/// Emit an `epoch` event (one finished training epoch).
-pub fn epoch(epoch: u64, train_loss: f64, valid_f1: Option<f64>, threshold: Option<f64>) {
-    emit(EventKind::Epoch {
+/// Emit an `epoch_summary` event (one finished training epoch).
+#[allow(clippy::too_many_arguments)]
+pub fn epoch_summary(
+    epoch: u64,
+    train_loss: f64,
+    valid_f1: Option<f64>,
+    threshold: Option<f64>,
+    examples: u64,
+    batches: u64,
+    wall_us: u64,
+) {
+    emit(EventKind::EpochSummary {
         epoch,
         train_loss,
         valid_f1,
         threshold,
+        examples,
+        batches,
+        wall_us,
+    });
+}
+
+/// Emit an `unc_hist` event: a histogram of MC-Dropout uncertainty scores
+/// binned linearly into `bins` buckets over the observed `[min, max]`.
+pub fn unc_hist(source: &'static str, values: &[f64], bins: usize) {
+    if !enabled() || bins == 0 {
+        return;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+        sum += v;
+    }
+    if values.is_empty() {
+        lo = 0.0;
+        hi = 0.0;
+    }
+    let mean = if values.is_empty() {
+        0.0
+    } else {
+        sum / values.len() as f64
+    };
+    let width = hi - lo;
+    let mut counts = vec![0u64; bins];
+    for &v in values {
+        let idx = if width > 0.0 {
+            (((v - lo) / width) * bins as f64) as usize
+        } else {
+            0
+        };
+        counts[idx.min(bins - 1)] += 1;
+    }
+    emit(EventKind::UncHist {
+        source: source.into(),
+        lo,
+        hi,
+        mean,
+        counts,
     });
 }
 
@@ -262,25 +342,79 @@ mod tests {
     #[test]
     fn typed_helpers_produce_the_right_kinds() {
         let ((), events) = capture(|| {
-            epoch(3, 0.5, None, None);
+            epoch_summary(3, 0.5, None, None, 64, 4, 1000);
             pseudo_select(4, Some(1.0), None);
             prune(2, 10);
             pretrain_step(9, 2.5);
             block(100);
+            unc_hist("pseudo_uncertainty", &[0.1, 0.2, 0.3], 4);
             info("msg");
         });
         let tags: Vec<&str> = events.iter().map(|e| e.kind.type_tag()).collect();
         assert_eq!(
             tags,
             [
-                "epoch",
-                "pseudo_select",
-                "prune",
-                "pretrain_step",
-                "block",
-                "message"
+                names::EV_EPOCH_SUMMARY,
+                names::EV_PSEUDO_SELECT,
+                names::EV_PRUNE,
+                names::EV_PRETRAIN_STEP,
+                names::EV_BLOCK,
+                names::EV_UNC_HIST,
+                names::EV_MESSAGE,
             ]
         );
+    }
+
+    #[test]
+    fn unc_hist_bins_cover_the_value_range() {
+        let ((), events) = capture(|| {
+            unc_hist("pseudo_uncertainty", &[0.0, 0.05, 0.1, 0.1, 0.4], 4);
+            unc_hist("mc_el2n", &[], 4);
+            unc_hist("constant", &[0.5, 0.5], 4);
+        });
+        match &events[0].kind {
+            EventKind::UncHist {
+                lo,
+                hi,
+                mean,
+                counts,
+                ..
+            } => {
+                assert_eq!(*lo, 0.0);
+                assert_eq!(*hi, 0.4);
+                assert!((mean - 0.13).abs() < 1e-12);
+                assert_eq!(counts.iter().sum::<u64>(), 5);
+                assert_eq!(counts[3], 1, "max value lands in the last bin");
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+        match &events[1].kind {
+            EventKind::UncHist { counts, .. } => {
+                assert_eq!(counts.iter().sum::<u64>(), 0);
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+        match &events[2].kind {
+            EventKind::UncHist { lo, hi, counts, .. } => {
+                assert_eq!((*lo, *hi), (0.5, 0.5));
+                assert_eq!(counts[0], 2, "zero-width range collapses to bin 0");
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flush_metrics_emits_metric_events() {
+        metrics::counter("test_flush_metrics_counter", &[]).add(2);
+        let ((), events) = capture(flush_metrics);
+        let found = events.iter().any(|e| {
+            matches!(
+                &e.kind,
+                EventKind::Metric { name, kind, value, .. }
+                    if name == "test_flush_metrics_counter" && kind == "counter" && *value >= 2.0
+            )
+        });
+        assert!(found, "metric event for the seeded counter is missing");
     }
 
     #[test]

@@ -68,12 +68,12 @@ fn get_or_insert<T>(
     let key = key(name, labels);
     let mut map = registry().lock().expect("metrics registry poisoned"); // lint:allow(unwrap)
     let metric = map.entry(key).or_insert_with(make);
-    extract(metric).unwrap_or_else(|| {
-        panic!(
-            "metric '{name}' already registered as a {}",
-            metric.type_name()
-        )
-    })
+    let extracted = extract(metric);
+    let type_name = metric.type_name();
+    // Release the lock before panicking so a type-mismatch doesn't poison
+    // the whole registry for unrelated threads.
+    drop(map);
+    extracted.unwrap_or_else(|| panic!("metric '{name}' already registered as a {type_name}"))
 }
 
 /// Monotonic counter handle.
@@ -194,6 +194,21 @@ pub struct HistogramSnapshot {
     pub sum: f64,
 }
 
+/// The representative value reported for bucket `i`: the midpoint of its
+/// bounds, except the underflow bucket (whose lower bound is -inf) reports
+/// half its upper bound and the overflow bucket (upper bound +inf) reports
+/// its lower bound.
+fn bucket_midpoint(i: usize) -> f64 {
+    let (lo, hi) = bucket_bounds(i);
+    if i == 0 {
+        hi / 2.0
+    } else if i == BUCKETS - 1 {
+        lo
+    } else {
+        (lo + hi) / 2.0
+    }
+}
+
 impl HistogramSnapshot {
     /// Total observations.
     pub fn count(&self) -> u64 {
@@ -208,6 +223,35 @@ impl HistogramSnapshot {
         } else {
             self.sum / n as f64
         }
+    }
+
+    /// The estimated `q`-quantile (`q` in `[0, 1]`), read from bucket
+    /// midpoints: the rank-`ceil(q·n)` observation's bucket reports its
+    /// midpoint. Log buckets bound the relative error at ~±33% within a
+    /// bucket, which is enough for regression gating. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_midpoint(i);
+            }
+        }
+        bucket_midpoint(BUCKETS - 1)
+    }
+
+    /// The (p50, p95, p99) triple reports quote.
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.percentile(0.50),
+            self.percentile(0.95),
+            self.percentile(0.99),
+        )
     }
 }
 
@@ -258,35 +302,96 @@ pub fn histogram(name: &str, labels: &[(&str, &str)]) -> Histogram {
     )
 }
 
+/// One registered metric, sampled: the payload of a `metric` trace event.
+pub struct MetricSample {
+    /// Metric name with the sorted label set folded in
+    /// (`name{k="v",...}`), matching [`render_text`] line prefixes.
+    pub name: String,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: &'static str,
+    /// Counter total, gauge value, or histogram mean.
+    pub value: f64,
+    /// Histogram observation count (`None` for counters/gauges).
+    pub count: Option<u64>,
+    /// Histogram (p50, p95, p99) estimate (`None` for counters/gauges).
+    pub percentiles: Option<(f64, f64, f64)>,
+}
+
+fn fold_name(key: &Key) -> String {
+    if key.labels.is_empty() {
+        key.name.clone()
+    } else {
+        let inner: Vec<String> = key
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v:?}"))
+            .collect();
+        format!("{}{{{}}}", key.name, inner.join(","))
+    }
+}
+
+/// Sample every registered metric, sorted by folded name.
+pub fn samples() -> Vec<MetricSample> {
+    let map = registry().lock().expect("metrics registry poisoned"); // lint:allow(unwrap)
+    let mut out: Vec<MetricSample> = map
+        .iter()
+        .map(|(key, metric)| {
+            let name = fold_name(key);
+            match metric {
+                Metric::Counter(c) => MetricSample {
+                    name,
+                    kind: "counter",
+                    value: c.load(Ordering::Relaxed) as f64,
+                    count: None,
+                    percentiles: None,
+                },
+                Metric::Gauge(g) => MetricSample {
+                    name,
+                    kind: "gauge",
+                    value: f64::from_bits(g.load(Ordering::Relaxed)),
+                    count: None,
+                    percentiles: None,
+                },
+                Metric::Histogram(h) => {
+                    let snap = Histogram(h.clone()).snapshot();
+                    MetricSample {
+                        name,
+                        kind: "histogram",
+                        value: snap.mean(),
+                        count: Some(snap.count()),
+                        percentiles: Some(snap.percentiles()),
+                    }
+                }
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
 /// Render every registered metric as sorted human-readable lines (for a
 /// shutdown dump or debugging).
 pub fn render_text() -> String {
-    let map = registry().lock().expect("metrics registry poisoned"); // lint:allow(unwrap)
-    let mut lines: Vec<String> = map
+    let lines: Vec<String> = samples()
         .iter()
-        .map(|(key, metric)| {
-            let labels = if key.labels.is_empty() {
-                String::new()
-            } else {
-                let inner: Vec<String> = key
-                    .labels
-                    .iter()
-                    .map(|(k, v)| format!("{k}={v:?}"))
-                    .collect();
-                format!("{{{}}}", inner.join(","))
-            };
-            let value = match metric {
-                Metric::Counter(c) => c.load(Ordering::Relaxed).to_string(),
-                Metric::Gauge(g) => f64::from_bits(g.load(Ordering::Relaxed)).to_string(),
-                Metric::Histogram(h) => {
-                    let snap = Histogram(h.clone()).snapshot();
-                    format!("count {} mean {:.6}", snap.count(), snap.mean())
+        .map(|s| {
+            let value = match s.kind {
+                "histogram" => {
+                    let (p50, p95, p99) = s.percentiles.unwrap_or((0.0, 0.0, 0.0));
+                    format!(
+                        "count {} mean {:.6} p50 {:.6} p95 {:.6} p99 {:.6}",
+                        s.count.unwrap_or(0),
+                        s.value,
+                        p50,
+                        p95,
+                        p99
+                    )
                 }
+                _ => s.value.to_string(),
             };
-            format!("{}{} {}", key.name, labels, value)
+            format!("{} {}", s.name, value)
         })
         .collect();
-    lines.sort();
     lines.join("\n")
 }
 
@@ -366,6 +471,71 @@ mod tests {
     fn type_mismatch_panics() {
         counter("test_type_mismatch", &[]);
         gauge("test_type_mismatch", &[]);
+    }
+
+    #[test]
+    fn percentiles_pin_a_known_distribution() {
+        // 50 obs in [1,2), 45 in [2,4), 5 in [64,128): with rank = ceil(q·n),
+        // p50 lands on the last observation of the first bucket, p95 on the
+        // last of the second, p99 in the tail bucket. Midpoints: 1.5, 3, 96.
+        let h = histogram("test_hist_percentiles", &[]);
+        for _ in 0..50 {
+            h.record(1.0);
+        }
+        for _ in 0..45 {
+            h.record(3.0);
+        }
+        for _ in 0..5 {
+            h.record(100.0);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.percentile(0.50), 1.5);
+        assert_eq!(snap.percentile(0.95), 3.0);
+        assert_eq!(snap.percentile(0.99), 96.0);
+        assert_eq!(snap.percentiles(), (1.5, 3.0, 96.0));
+        // q=0 clamps to the first observation, q=1 to the last.
+        assert_eq!(snap.percentile(0.0), 1.5);
+        assert_eq!(snap.percentile(1.0), 96.0);
+    }
+
+    #[test]
+    fn percentile_edge_buckets_and_empty() {
+        let empty = HistogramSnapshot {
+            counts: vec![0; BUCKETS],
+            sum: 0.0,
+        };
+        assert_eq!(empty.percentile(0.5), 0.0);
+
+        // Underflow observations report half the smallest finite bound;
+        // overflow observations report the overflow lower bound.
+        let h = histogram("test_hist_percentile_edges", &[]);
+        h.record(0.0); // underflow
+        h.record(1e12); // overflow (>= 2^32)
+        let snap = h.snapshot();
+        assert_eq!(snap.percentile(0.25), f64::powi(2.0, MIN_EXP) / 2.0);
+        assert_eq!(snap.percentile(1.0), f64::powi(2.0, MAX_EXP + 1));
+    }
+
+    #[test]
+    fn samples_fold_labels_and_quote_percentiles() {
+        counter("test_samples_counter", &[("b", "2"), ("a", "1")]).add(3);
+        let h = histogram("test_samples_hist", &[]);
+        h.record(1.0);
+        let all = samples();
+        let c = all
+            .iter()
+            .find(|s| s.name == "test_samples_counter{a=\"1\",b=\"2\"}")
+            .expect("counter sample missing");
+        assert_eq!(c.kind, "counter");
+        assert!(c.value >= 3.0);
+        assert!(c.percentiles.is_none());
+        let hs = all
+            .iter()
+            .find(|s| s.name == "test_samples_hist")
+            .expect("histogram sample missing");
+        assert_eq!(hs.kind, "histogram");
+        assert!(hs.count.unwrap_or(0) >= 1);
+        assert!(hs.percentiles.is_some());
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! The registry of JSONL event type tags and span names.
+//!
+//! Every `"type"` tag written into a trace and every span name opened by
+//! the workspace lives here as a `const`, so the schema is greppable in one
+//! place and `em-prof` / `em-lint` can enumerate it. The `em-lint`
+//! `event_name` rule rejects ad-hoc event-tag string literals anywhere
+//! else in library code; span names are not string-matched (several are
+//! ordinary words), but call sites are expected to use these consts.
+
+/// `span_open` — a span began.
+pub const EV_SPAN_OPEN: &str = "span_open";
+/// `span_close` — a span ended (wall/heap deltas).
+pub const EV_SPAN_CLOSE: &str = "span_close";
+/// `epoch_summary` — one finished training epoch (loss, dev F1, size).
+pub const EV_EPOCH_SUMMARY: &str = "epoch_summary";
+/// `pseudo_select` — pseudo-labels moved into the train set (paper §4.2).
+pub const EV_PSEUDO_SELECT: &str = "pseudo_select";
+/// `prune` — dynamic data pruning dropped examples (paper §4.3).
+pub const EV_PRUNE: &str = "prune";
+/// `pretrain_step` — one MLM pretraining optimizer step.
+pub const EV_PRETRAIN_STEP: &str = "pretrain_step";
+/// `block` — a blocking query batch completed.
+pub const EV_BLOCK: &str = "block";
+/// `non_finite` — the tape sanitizer caught a NaN/Inf buffer.
+pub const EV_NON_FINITE: &str = "non_finite";
+/// `audit` — graph-audit summary at loss construction.
+pub const EV_AUDIT: &str = "audit";
+/// `message` — free-form log line.
+pub const EV_MESSAGE: &str = "message";
+/// `unc_hist` — a histogram of MC-Dropout uncertainty scores.
+pub const EV_UNC_HIST: &str = "unc_hist";
+/// `metric` — one registry metric sampled into the trace (at shutdown).
+pub const EV_METRIC: &str = "metric";
+
+/// Every event type tag, in schema order.
+pub const ALL_EVENT_TAGS: [&str; 12] = [
+    EV_SPAN_OPEN,
+    EV_SPAN_CLOSE,
+    EV_EPOCH_SUMMARY,
+    EV_PSEUDO_SELECT,
+    EV_PRUNE,
+    EV_PRETRAIN_STEP,
+    EV_BLOCK,
+    EV_NON_FINITE,
+    EV_AUDIT,
+    EV_MESSAGE,
+    EV_UNC_HIST,
+    EV_METRIC,
+];
+
+/// One CLI `match` invocation (detail: dataset name).
+pub const SPAN_MATCH: &str = "match";
+/// MLM pretraining over the serialized corpus.
+pub const SPAN_PRETRAIN: &str = "pretrain";
+/// Dataset encoding (tokenize + serialize).
+pub const SPAN_ENCODE: &str = "encode";
+/// Prompt-model tuning (teacher/student epochs live inside).
+pub const SPAN_TUNE: &str = "tune";
+/// Template grid search inside tuning.
+pub const SPAN_GRID_TEMPLATE: &str = "grid_template";
+/// Lightweight Self-Training (paper Algorithm 1) outer span.
+pub const SPAN_LST: &str = "lst";
+/// One LST iteration.
+pub const SPAN_LST_ITER: &str = "lst_iter";
+/// Teacher training inside LST.
+pub const SPAN_TEACHER: &str = "teacher";
+/// Pseudo-label selection inside LST.
+pub const SPAN_PSEUDO_SELECT: &str = "pseudo_select";
+/// Student training inside LST.
+pub const SPAN_STUDENT: &str = "student";
+/// Candidate blocking over a dataset.
+pub const SPAN_BLOCK: &str = "block";
+/// One baseline matcher run (detail: matcher name).
+pub const SPAN_BASELINE: &str = "baseline";
+/// Baseline fit phase.
+pub const SPAN_FIT: &str = "fit";
+/// Baseline predict phase.
+pub const SPAN_PREDICT: &str = "predict";
+/// One bench-harness method run (detail: method/dataset).
+pub const SPAN_METHOD: &str = "method";
+
+/// Every span name the workspace opens, in rough pipeline order.
+pub const ALL_SPAN_NAMES: [&str; 15] = [
+    SPAN_MATCH,
+    SPAN_PRETRAIN,
+    SPAN_ENCODE,
+    SPAN_TUNE,
+    SPAN_GRID_TEMPLATE,
+    SPAN_LST,
+    SPAN_LST_ITER,
+    SPAN_TEACHER,
+    SPAN_PSEUDO_SELECT,
+    SPAN_STUDENT,
+    SPAN_BLOCK,
+    SPAN_BASELINE,
+    SPAN_FIT,
+    SPAN_PREDICT,
+    SPAN_METHOD,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_unique_and_snake_case() {
+        for (i, a) in ALL_EVENT_TAGS.iter().enumerate() {
+            assert!(
+                a.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "tag {a} not snake_case"
+            );
+            for b in &ALL_EVENT_TAGS[i + 1..] {
+                assert_ne!(a, b, "duplicate event tag");
+            }
+        }
+    }
+
+    #[test]
+    fn span_names_are_unique() {
+        for (i, a) in ALL_SPAN_NAMES.iter().enumerate() {
+            for b in &ALL_SPAN_NAMES[i + 1..] {
+                assert_ne!(a, b, "duplicate span name");
+            }
+        }
+    }
+}

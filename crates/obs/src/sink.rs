@@ -173,11 +173,14 @@ mod tests {
         let path = dir.join("trace.jsonl");
         open_jsonl(&path).unwrap();
         crate::set_run_seed(7);
-        crate::emit(EventKind::Epoch {
+        crate::emit(EventKind::EpochSummary {
             epoch: 0,
             train_loss: 0.25,
             valid_f1: Some(90.0),
             threshold: Some(0.5),
+            examples: 16,
+            batches: 2,
+            wall_us: 1234,
         });
         crate::emit(EventKind::Message {
             level: Level::Info,
@@ -194,11 +197,11 @@ mod tests {
         // into the global sink, so look ours up rather than indexing.
         let epoch = events
             .iter()
-            .find(|e| matches!(e.kind, EventKind::Epoch { .. }))
+            .find(|e| matches!(e.kind, EventKind::EpochSummary { .. }))
             .expect("epoch event missing");
         assert!(matches!(
             epoch.kind,
-            EventKind::Epoch { epoch: 0, valid_f1: Some(f1), .. } if f1 == 90.0
+            EventKind::EpochSummary { epoch: 0, valid_f1: Some(f1), .. } if f1 == 90.0
         ));
         assert_eq!(epoch.seed, 7);
         let msg = events

@@ -1,0 +1,285 @@
+//! Compare two run manifests under explicit regression thresholds.
+//!
+//! The gate's philosophy: quantities that are *deterministic* given the
+//! seed (optimizer steps) get zero slack by default — any drift means
+//! behavior changed, not the machine. Quantities the OS perturbs (wall
+//! time, peak heap) get generous slack so the gate catches real
+//! regressions without flaking on a busy CI box. F1 thresholds are in
+//! absolute points, matching how the paper reports quality.
+
+use crate::manifest::RunManifest;
+use std::fmt::Write as _;
+
+/// Allowed movement per metric before the diff counts a regression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Allowed relative wall-time increase (0.75 = +75%).
+    pub wall_frac: f64,
+    /// Allowed relative peak-heap increase.
+    pub heap_frac: f64,
+    /// Allowed relative optimizer-step drift, in *either* direction —
+    /// steps are seed-deterministic, so a change either way means the
+    /// training loop itself changed.
+    pub steps_frac: f64,
+    /// Allowed F1 drop in absolute points (percent scale).
+    pub f1_points: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            wall_frac: 0.75,
+            heap_frac: 0.50,
+            steps_frac: 0.0,
+            f1_points: 1.0,
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// Metric name (`total_wall_us`, `peak_heap`, ...).
+    pub name: &'static str,
+    /// Baseline value, when the baseline trace carried it.
+    pub base: Option<f64>,
+    /// New value, when the new trace carried it.
+    pub new: Option<f64>,
+    /// Whether the movement breached the threshold.
+    pub regressed: bool,
+    /// Human note: the movement and the limit applied.
+    pub note: String,
+}
+
+/// The full comparison.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Every compared metric, in fixed order.
+    pub rows: Vec<DiffRow>,
+}
+
+impl DiffReport {
+    /// How many metrics regressed.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count()
+    }
+
+    /// Render an aligned TTY table plus a verdict line.
+    pub fn render(&self) -> String {
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(v) if v == v.trunc() && v.abs() < 1e15 => format!("{v}"),
+            Some(v) => format!("{v:.3}"),
+            None => "-".to_string(),
+        };
+        let mut lines = vec![vec![
+            "measure".to_string(),
+            "base".to_string(),
+            "new".to_string(),
+            "verdict".to_string(),
+        ]];
+        for row in &self.rows {
+            lines.push(vec![
+                row.name.to_string(),
+                fmt_opt(row.base),
+                fmt_opt(row.new),
+                format!(
+                    "{} ({})",
+                    if row.regressed { "REGRESSED" } else { "ok" },
+                    row.note
+                ),
+            ]);
+        }
+        let mut widths = vec![0usize; 4];
+        for line in &lines {
+            for (w, cell) in widths.iter_mut().zip(line) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        for line in &lines {
+            for (col, (cell, w)) in line.iter().zip(&widths).enumerate() {
+                if col == 3 {
+                    // Last column left-aligned, no padding needed.
+                    let _ = write!(out, "  {cell}");
+                } else if col == 0 {
+                    let _ = write!(out, "{cell:<w$}");
+                } else {
+                    let _ = write!(out, "  {cell:>w$}");
+                }
+            }
+            out.push('\n');
+        }
+        let n = self.regressions();
+        if n == 0 {
+            out.push_str("no regressions\n");
+        } else {
+            let _ = writeln!(out, "{n} regression(s)");
+        }
+        out
+    }
+}
+
+/// Relative increase check: regress when `new > base * (1 + frac)`.
+/// A zero baseline can't anchor a ratio, so those rows never regress
+/// (the absolute values still print for eyeballing).
+fn increase_row(name: &'static str, base: u64, new: u64, frac: f64) -> DiffRow {
+    let regressed = base > 0 && (new as f64) > (base as f64) * (1.0 + frac);
+    let note = if base == 0 {
+        "no baseline".to_string()
+    } else {
+        format!(
+            "{:+.1}% vs +{:.0}% allowed",
+            (new as f64 / base as f64 - 1.0) * 100.0,
+            frac * 100.0
+        )
+    };
+    DiffRow {
+        name,
+        base: Some(base as f64),
+        new: Some(new as f64),
+        regressed,
+        note,
+    }
+}
+
+/// Symmetric drift check: regress when `|new - base| > base * frac`.
+fn drift_row(name: &'static str, base: u64, new: u64, frac: f64) -> DiffRow {
+    let allowed = base as f64 * frac;
+    let drift = (new as f64 - base as f64).abs();
+    DiffRow {
+        name,
+        base: Some(base as f64),
+        new: Some(new as f64),
+        regressed: drift > allowed,
+        note: format!("drift {drift:.0} vs {allowed:.0} allowed"),
+    }
+}
+
+/// Quality check: regress when F1 dropped more than `points`. Missing on
+/// either side is reported but never gates (a run without validation
+/// can't be scored).
+fn f1_row(name: &'static str, base: Option<f64>, new: Option<f64>, points: f64) -> DiffRow {
+    let (regressed, note) = match (base, new) {
+        (Some(b), Some(n)) => (
+            b - n > points,
+            format!("{:+.2} pts vs -{points:.2} allowed", n - b),
+        ),
+        _ => (false, "not comparable".to_string()),
+    };
+    DiffRow {
+        name,
+        base,
+        new,
+        regressed,
+        note,
+    }
+}
+
+/// Compare `new` against `base` under `t`.
+pub fn diff(base: &RunManifest, new: &RunManifest, t: &Thresholds) -> DiffReport {
+    DiffReport {
+        rows: vec![
+            increase_row(
+                "total_wall_us",
+                base.total_wall_us,
+                new.total_wall_us,
+                t.wall_frac,
+            ),
+            increase_row("peak_heap", base.peak_heap, new.peak_heap, t.heap_frac),
+            drift_row(
+                "optimizer_steps",
+                base.optimizer_steps,
+                new.optimizer_steps,
+                t.steps_frac,
+            ),
+            f1_row(
+                "best_valid_f1",
+                base.best_valid_f1,
+                new.best_valid_f1,
+                t.f1_points,
+            ),
+            f1_row("test_f1", base.test_f1, new.test_f1, t.f1_points),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> RunManifest {
+        RunManifest {
+            total_wall_us: 1_000_000,
+            peak_heap: 1_000_000,
+            optimizer_steps: 100,
+            best_valid_f1: Some(80.0),
+            test_f1: Some(75.0),
+            ..RunManifest::default()
+        }
+    }
+
+    #[test]
+    fn identical_runs_report_zero_regressions() {
+        let report = diff(&base(), &base(), &Thresholds::default());
+        assert_eq!(report.regressions(), 0, "{}", report.render());
+        assert!(report.render().contains("no regressions"));
+    }
+
+    #[test]
+    fn wall_time_within_slack_passes_and_beyond_fails() {
+        let mut new = base();
+        new.total_wall_us = 1_700_000; // +70% < +75%
+        assert_eq!(diff(&base(), &new, &Thresholds::default()).regressions(), 0);
+        new.total_wall_us = 1_800_000; // +80% > +75%
+        let report = diff(&base(), &new, &Thresholds::default());
+        assert_eq!(report.regressions(), 1);
+        assert!(report.rows[0].regressed);
+        assert!(report.render().contains("REGRESSED"), "{}", report.render());
+    }
+
+    #[test]
+    fn step_drift_is_symmetric_and_exact_by_default() {
+        for steps in [99, 101] {
+            let mut new = base();
+            new.optimizer_steps = steps;
+            let report = diff(&base(), &new, &Thresholds::default());
+            assert_eq!(report.regressions(), 1, "steps {steps} must regress");
+        }
+        // With slack, small drift passes.
+        let mut new = base();
+        new.optimizer_steps = 104;
+        let loose = Thresholds {
+            steps_frac: 0.05,
+            ..Thresholds::default()
+        };
+        assert_eq!(diff(&base(), &new, &loose).regressions(), 0);
+    }
+
+    #[test]
+    fn f1_drop_gates_in_points_and_gains_never_do() {
+        let mut new = base();
+        new.test_f1 = Some(73.5); // -1.5 pts > 1.0 allowed
+        assert_eq!(diff(&base(), &new, &Thresholds::default()).regressions(), 1);
+        new.test_f1 = Some(99.0);
+        new.best_valid_f1 = Some(99.0);
+        assert_eq!(diff(&base(), &new, &Thresholds::default()).regressions(), 0);
+    }
+
+    #[test]
+    fn missing_f1_never_gates() {
+        let mut new = base();
+        new.test_f1 = None;
+        let report = diff(&base(), &new, &Thresholds::default());
+        assert_eq!(report.regressions(), 0);
+        assert!(report.render().contains("not comparable"));
+    }
+
+    #[test]
+    fn zero_baseline_heap_never_gates() {
+        let mut b = base();
+        b.peak_heap = 0; // traced without the counting allocator
+        let mut new = base();
+        new.peak_heap = 123_456;
+        assert_eq!(diff(&b, &new, &Thresholds::default()).regressions(), 0);
+    }
+}

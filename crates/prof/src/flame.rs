@@ -1,0 +1,192 @@
+//! Flamegraph-style aggregation of the span tree.
+//!
+//! Spans are grouped by name (the pipeline opens e.g. one `teacher` span
+//! per LST iteration; the aggregate row sums them). `total` is inclusive
+//! wall time, `self` excludes child spans, so the `self` column across
+//! all rows partitions the run's measured time. Span names never
+//! self-nest in this codebase, so summing inclusive time per name does
+//! not double-count.
+
+use crate::tree::SpanTree;
+use std::collections::HashMap;
+
+/// One aggregate row: every span with the same name, folded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlameRow {
+    /// Span name.
+    pub name: String,
+    /// How many spans carried this name.
+    pub calls: u64,
+    /// Inclusive wall time across all calls, microseconds.
+    pub total_us: u64,
+    /// Wall time excluding child spans, microseconds.
+    pub self_us: u64,
+    /// Net live-heap delta across all calls, bytes.
+    pub heap_delta: i64,
+    /// Largest process peak heap observed at any close, bytes.
+    pub heap_peak: u64,
+}
+
+/// Fold a span tree into per-name rows, sorted by total time descending
+/// (ties broken by name so output is deterministic).
+pub fn aggregate(tree: &SpanTree) -> Vec<FlameRow> {
+    let mut by_name: HashMap<&str, FlameRow> = HashMap::new();
+    for node in tree.nodes() {
+        let row = by_name.entry(&node.name).or_insert_with(|| FlameRow {
+            name: node.name.clone(),
+            calls: 0,
+            total_us: 0,
+            self_us: 0,
+            heap_delta: 0,
+            heap_peak: 0,
+        });
+        row.calls += 1;
+        row.total_us += node.wall_us;
+        row.self_us += tree.self_wall_us(node.id);
+        row.heap_delta += node.heap_delta;
+        row.heap_peak = row.heap_peak.max(node.heap_peak);
+    }
+    let mut rows: Vec<FlameRow> = by_name.into_values().collect();
+    rows.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+    rows
+}
+
+fn fmt_ms(us: u64) -> String {
+    format!("{:.1}", us as f64 / 1e3)
+}
+
+fn fmt_heap_delta(bytes: i64) -> String {
+    let formatted = em_obs::alloc::format_bytes(bytes.unsigned_abs() as usize);
+    if bytes < 0 {
+        format!("-{formatted}")
+    } else {
+        format!("+{formatted}")
+    }
+}
+
+/// Render the top-`top` rows as an aligned TTY table.
+pub fn render_table(rows: &[FlameRow], top: usize) -> String {
+    let mut lines = vec![vec![
+        "phase".to_string(),
+        "calls".to_string(),
+        "total ms".to_string(),
+        "self ms".to_string(),
+        "heap".to_string(),
+        "peak".to_string(),
+    ]];
+    for row in rows.iter().take(top) {
+        lines.push(vec![
+            row.name.clone(),
+            row.calls.to_string(),
+            fmt_ms(row.total_us),
+            fmt_ms(row.self_us),
+            fmt_heap_delta(row.heap_delta),
+            em_obs::alloc::format_bytes(row.heap_peak as usize),
+        ]);
+    }
+    let mut widths = vec![0usize; 6];
+    for line in &lines {
+        for (w, cell) in widths.iter_mut().zip(line) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for line in &lines {
+        for (col, (cell, w)) in line.iter().zip(&widths).enumerate() {
+            if col == 0 {
+                // Left-align the name column, right-align the numbers.
+                out.push_str(&format!("{cell:<w$}"));
+            } else {
+                out.push_str(&format!("  {cell:>w$}"));
+            }
+        }
+        // Trailing spaces from the left-aligned column would be invisible
+        // noise in diffs; trim per line.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    if rows.len() > top {
+        out.push_str(&format!("... and {} more phases\n", rows.len() - top));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_obs::{Event, EventKind};
+
+    fn span_events(spec: &[(u64, Option<u64>, &str, u64)]) -> Vec<Event> {
+        // (id, parent, name, wall) — opens in order, closes in reverse.
+        let mut events = Vec::new();
+        let mut seq = 0;
+        for &(id, parent, name, _) in spec {
+            seq += 1;
+            events.push(Event {
+                seq,
+                seed: 0,
+                t_us: 0,
+                span: parent,
+                kind: EventKind::SpanOpen {
+                    id,
+                    parent,
+                    name: name.into(),
+                    detail: None,
+                },
+            });
+        }
+        for &(id, _, name, wall) in spec.iter().rev() {
+            seq += 1;
+            events.push(Event {
+                seq,
+                seed: 0,
+                t_us: 0,
+                span: None,
+                kind: EventKind::SpanClose {
+                    id,
+                    name: name.into(),
+                    wall_us: wall,
+                    heap_delta: 100,
+                    heap_peak: id * 1000,
+                },
+            });
+        }
+        events
+    }
+
+    #[test]
+    fn same_name_spans_fold_into_one_row() {
+        let events = span_events(&[
+            (1, None, "lst", 100),
+            (2, Some(1), "teacher", 30),
+            (3, Some(1), "teacher", 50),
+        ]);
+        let rows = aggregate(&SpanTree::build(&events));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "lst");
+        assert_eq!(rows[0].total_us, 100);
+        assert_eq!(rows[0].self_us, 20, "100 - 30 - 50");
+        let teacher = &rows[1];
+        assert_eq!((teacher.calls, teacher.total_us), (2, 80));
+        assert_eq!(teacher.self_us, 80, "leaves keep all their time");
+        assert_eq!(teacher.heap_delta, 200);
+        assert_eq!(teacher.heap_peak, 3000, "max across calls");
+    }
+
+    #[test]
+    fn table_renders_aligned_and_truncates() {
+        let events = span_events(&[
+            (1, None, "pretrain", 500),
+            (2, None, "tune", 300),
+            (3, None, "encode", 100),
+        ]);
+        let table = render_table(&aggregate(&SpanTree::build(&events)), 2);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].starts_with("phase"), "{table}");
+        assert!(lines[1].starts_with("pretrain"), "sorted by total: {table}");
+        assert!(lines[2].starts_with("tune"), "{table}");
+        assert_eq!(lines[3], "... and 1 more phases");
+    }
+}

@@ -1,0 +1,34 @@
+//! `em-prof`: offline analysis of `em-obs` JSONL traces.
+//!
+//! Where `em-obs` records what a run did, this crate answers what that
+//! recording *means*: where the time and memory went, what the training
+//! loop converged to, and whether a new run regressed against a baseline.
+//! Four layers, each usable on its own:
+//!
+//! * [`reader`] — parse a `--metrics-out` JSONL file back into typed
+//!   [`em_obs::Event`]s, with line-numbered errors.
+//! * [`tree`] / [`flame`] — rebuild the span tree and aggregate it into
+//!   flamegraph-style rows (calls, total/self wall time, heap deltas).
+//! * [`manifest`] — boil a whole trace down to one [`manifest::RunManifest`]:
+//!   seed, wall time, peak heap, optimizer steps, per-epoch training
+//!   telemetry, pseudo-label quality, and final/best F1.
+//! * [`diff`] / [`report`] — compare two manifests under configurable
+//!   [`diff::Thresholds`] (the perf-regression gate `scripts/ci.sh` runs),
+//!   and render TTY reports plus the machine-readable `BENCH_report.json`.
+//!
+//! The CLI front end is `promptem report` (see `crates/cli`).
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod flame;
+pub mod manifest;
+pub mod reader;
+pub mod report;
+pub mod tree;
+
+pub use diff::{diff, DiffReport, Thresholds};
+pub use flame::FlameRow;
+pub use manifest::RunManifest;
+pub use reader::{load_trace, parse_trace};
+pub use tree::SpanTree;

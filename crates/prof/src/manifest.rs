@@ -1,0 +1,244 @@
+//! Boil a whole trace down to one comparable record.
+//!
+//! The manifest is the unit the diff engine and `BENCH_report.json`
+//! operate on: everything a perf/quality gate needs, nothing that varies
+//! between identical runs except wall-clock and heap fields (which the
+//! gate compares under explicit tolerances).
+
+use crate::flame::{self, FlameRow};
+use crate::tree::SpanTree;
+use em_obs::{Event, EventKind};
+
+/// The distilled record of one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunManifest {
+    /// The run seed (from the trace events; 0 when never set).
+    pub seed: u64,
+    /// Total events in the trace.
+    pub events: u64,
+    /// Wall time covered by the trace: last event minus first, µs.
+    pub total_wall_us: u64,
+    /// Largest process peak heap seen at any span close, bytes. Stays 0
+    /// when the counting allocator was not installed in the traced binary.
+    pub peak_heap: u64,
+    /// MLM pretraining optimizer steps (`pretrain_step` events).
+    pub pretrain_steps: u64,
+    /// Fine-tuning optimizer steps (summed `batches` of epoch summaries).
+    pub epoch_batches: u64,
+    /// Total optimizer steps: pretraining plus fine-tuning.
+    pub optimizer_steps: u64,
+    /// Finished training epochs across all phases.
+    pub epochs: u64,
+    /// Best validation F1 (percent) any epoch reported.
+    pub best_valid_f1: Option<f64>,
+    /// Training loss of the last reported epoch.
+    pub final_train_loss: Option<f64>,
+    /// Test F1 (percent), from the `core_test_f1` gauge sampled into the
+    /// trace at shutdown.
+    pub test_f1: Option<f64>,
+    /// Pseudo-labels selected across all LST iterations.
+    pub pseudo_selected: u64,
+    /// Pseudo-label true-positive rate (last audited selection).
+    pub pseudo_tpr: Option<f64>,
+    /// Pseudo-label true-negative rate (last audited selection).
+    pub pseudo_tnr: Option<f64>,
+    /// Training examples dropped by dynamic pruning.
+    pub pruned: u64,
+    /// NaN/Inf sanitizer findings (should be 0 on a healthy run).
+    pub non_finite_events: u64,
+    /// Per-span-name profile rows, sorted by total time descending.
+    pub phases: Vec<FlameRow>,
+}
+
+/// The metric-event name carrying the pipeline's test F1 gauge (label
+/// part excluded; the emitter attaches `{dataset="..."}`).
+pub const TEST_F1_METRIC: &str = "core_test_f1";
+
+/// Distill a trace into its manifest.
+pub fn manifest(events: &[Event]) -> RunManifest {
+    let tree = SpanTree::build(events);
+    let mut m = RunManifest {
+        events: events.len() as u64,
+        phases: flame::aggregate(&tree),
+        ..RunManifest::default()
+    };
+    let mut t_range: Option<(u64, u64)> = None;
+    for e in events {
+        m.seed = m.seed.max(e.seed);
+        t_range = Some(match t_range {
+            None => (e.t_us, e.t_us),
+            Some((lo, hi)) => (lo.min(e.t_us), hi.max(e.t_us)),
+        });
+        match &e.kind {
+            EventKind::SpanClose { heap_peak, .. } => {
+                m.peak_heap = m.peak_heap.max(*heap_peak);
+            }
+            EventKind::PretrainStep { .. } => m.pretrain_steps += 1,
+            EventKind::EpochSummary {
+                train_loss,
+                valid_f1,
+                batches,
+                ..
+            } => {
+                m.epochs += 1;
+                m.epoch_batches += batches;
+                m.final_train_loss = Some(*train_loss);
+                if let Some(f1) = valid_f1 {
+                    m.best_valid_f1 = Some(m.best_valid_f1.map_or(*f1, |best: f64| best.max(*f1)));
+                }
+            }
+            EventKind::PseudoSelect { count, tpr, tnr } => {
+                m.pseudo_selected += count;
+                if tpr.is_some() {
+                    m.pseudo_tpr = *tpr;
+                }
+                if tnr.is_some() {
+                    m.pseudo_tnr = *tnr;
+                }
+            }
+            EventKind::Prune { dropped, .. } => m.pruned += dropped,
+            EventKind::NonFinite { .. } => m.non_finite_events += 1,
+            // Gauge names carry folded labels: `core_test_f1{dataset="x"}`.
+            EventKind::Metric { name, value, .. }
+                if name == TEST_F1_METRIC || name.starts_with(&format!("{TEST_F1_METRIC}{{")) =>
+            {
+                m.test_f1 = Some(*value);
+            }
+            _ => {}
+        }
+    }
+    m.optimizer_steps = m.pretrain_steps + m.epoch_batches;
+    if let Some((lo, hi)) = t_range {
+        m.total_wall_us = hi - lo;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, t_us: u64, kind: EventKind) -> Event {
+        Event {
+            seq,
+            seed: 13,
+            t_us,
+            span: None,
+            kind,
+        }
+    }
+
+    #[test]
+    fn manifest_distills_the_training_story() {
+        let events = vec![
+            ev(
+                1,
+                100,
+                EventKind::SpanOpen {
+                    id: 1,
+                    parent: None,
+                    name: "tune".into(),
+                    detail: None,
+                },
+            ),
+            ev(
+                2,
+                150,
+                EventKind::PretrainStep {
+                    step: 0,
+                    mlm_loss: 3.0,
+                },
+            ),
+            ev(
+                3,
+                200,
+                EventKind::EpochSummary {
+                    epoch: 0,
+                    train_loss: 0.9,
+                    valid_f1: Some(70.0),
+                    threshold: Some(0.5),
+                    examples: 32,
+                    batches: 4,
+                    wall_us: 90,
+                },
+            ),
+            ev(
+                4,
+                300,
+                EventKind::EpochSummary {
+                    epoch: 1,
+                    train_loss: 0.4,
+                    valid_f1: Some(85.0),
+                    threshold: Some(0.45),
+                    examples: 32,
+                    batches: 4,
+                    wall_us: 80,
+                },
+            ),
+            ev(
+                5,
+                350,
+                EventKind::PseudoSelect {
+                    count: 6,
+                    tpr: Some(1.0),
+                    tnr: Some(0.9),
+                },
+            ),
+            ev(
+                6,
+                380,
+                EventKind::Prune {
+                    dropped: 3,
+                    passes: 2,
+                },
+            ),
+            ev(
+                7,
+                400,
+                EventKind::SpanClose {
+                    id: 1,
+                    name: "tune".into(),
+                    wall_us: 300,
+                    heap_delta: -10,
+                    heap_peak: 5000,
+                },
+            ),
+            ev(
+                8,
+                420,
+                EventKind::Metric {
+                    name: "core_test_f1{dataset=\"rel-heter\"}".into(),
+                    kind: "gauge".into(),
+                    value: 88.5,
+                    count: None,
+                    p50: None,
+                    p95: None,
+                    p99: None,
+                },
+            ),
+        ];
+        let m = manifest(&events);
+        assert_eq!(m.seed, 13);
+        assert_eq!(m.events, 8);
+        assert_eq!(m.total_wall_us, 320, "420 - 100");
+        assert_eq!(m.peak_heap, 5000);
+        assert_eq!(m.pretrain_steps, 1);
+        assert_eq!(m.epoch_batches, 8);
+        assert_eq!(m.optimizer_steps, 9);
+        assert_eq!(m.epochs, 2);
+        assert_eq!(m.best_valid_f1, Some(85.0));
+        assert_eq!(m.final_train_loss, Some(0.4));
+        assert_eq!(m.test_f1, Some(88.5));
+        assert_eq!((m.pseudo_selected, m.pruned), (6, 3));
+        assert_eq!((m.pseudo_tpr, m.pseudo_tnr), (Some(1.0), Some(0.9)));
+        assert_eq!(m.non_finite_events, 0);
+        assert_eq!(m.phases.len(), 1);
+        assert_eq!(m.phases[0].name, "tune");
+    }
+
+    #[test]
+    fn empty_trace_yields_a_zero_manifest() {
+        let m = manifest(&[]);
+        assert_eq!(m, RunManifest::default());
+    }
+}

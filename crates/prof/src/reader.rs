@@ -1,0 +1,82 @@
+//! Read a JSONL trace file back into typed events.
+//!
+//! The writer side (`em_obs::sink`) emits one [`Event`] per line via
+//! [`Event::to_json`]; this is the matching consumer. Blank lines are
+//! skipped (a crash mid-write can truncate the final line — that still
+//! fails, but with the line number attached so the cut is findable).
+
+use em_obs::Event;
+use std::path::Path;
+
+/// Parse a whole trace body. Returns every event in file order, or the
+/// first parse failure as `"line N: <why>"`.
+pub fn parse_trace(body: &str) -> Result<Vec<Event>, String> {
+    let mut out = Vec::new();
+    for (idx, raw) in body.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match Event::parse(line) {
+            Ok(e) => out.push(e),
+            Err(err) => return Err(format!("line {}: {err}", idx + 1)),
+        }
+    }
+    Ok(out)
+}
+
+/// Read and parse a trace file; errors carry the path.
+pub fn load_trace(path: &Path) -> Result<Vec<Event>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_trace(&body).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_obs::EventKind;
+
+    #[test]
+    fn parses_events_in_order_and_skips_blanks() {
+        let a = Event {
+            seq: 1,
+            seed: 7,
+            t_us: 10,
+            span: None,
+            kind: EventKind::Block { candidates: 4 },
+        };
+        let b = Event {
+            seq: 2,
+            seed: 7,
+            t_us: 20,
+            span: Some(1),
+            kind: EventKind::PretrainStep {
+                step: 0,
+                mlm_loss: 2.5,
+            },
+        };
+        let body = format!("{}\n\n{}\n", a.to_json(), b.to_json());
+        let events = parse_trace(&body).unwrap();
+        assert_eq!(events, vec![a, b]);
+    }
+
+    #[test]
+    fn errors_carry_the_line_number() {
+        let good = Event {
+            seq: 1,
+            seed: 0,
+            t_us: 0,
+            span: None,
+            kind: EventKind::Block { candidates: 1 },
+        };
+        let body = format!("{}\nnot json\n", good.to_json());
+        let err = parse_trace(&body).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn load_trace_names_the_file_on_failure() {
+        let err = load_trace(Path::new("/nonexistent/trace.jsonl")).unwrap_err();
+        assert!(err.contains("/nonexistent/trace.jsonl"), "{err}");
+    }
+}

@@ -1,0 +1,214 @@
+//! Render a run manifest for humans (TTY) and machines
+//! (`BENCH_report.json`).
+//!
+//! The JSON schema is versioned via the `schema` field so downstream
+//! tooling can reject files it doesn't understand:
+//!
+//! ```json
+//! {
+//!   "schema": "promptem-bench-report/v1",
+//!   "seed": 42, "events": 1234,
+//!   "total_wall_us": 0, "peak_heap_bytes": 0,
+//!   "optimizer_steps": 0, "pretrain_steps": 0, "epochs": 0,
+//!   "best_valid_f1": null, "test_f1": null, "final_train_loss": null,
+//!   "pseudo_selected": 0, "pseudo_tpr": null, "pseudo_tnr": null,
+//!   "pruned": 0, "non_finite_events": 0,
+//!   "phases": [
+//!     {"name": "pretrain", "calls": 1, "total_us": 0, "self_us": 0,
+//!      "heap_delta": 0, "heap_peak": 0}
+//!   ]
+//! }
+//! ```
+
+use crate::manifest::RunManifest;
+use std::fmt::Write as _;
+
+/// The `schema` field value this module emits.
+pub const BENCH_REPORT_SCHEMA: &str = "promptem-bench-report/v1";
+
+fn push_opt(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+/// Serialize the manifest as a `BENCH_report.json` body (pretty-printed,
+/// trailing newline, key order fixed so reports diff cleanly).
+pub fn bench_report_json(m: &RunManifest) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"{BENCH_REPORT_SCHEMA}\",");
+    let _ = writeln!(s, "  \"seed\": {},", m.seed);
+    let _ = writeln!(s, "  \"events\": {},", m.events);
+    let _ = writeln!(s, "  \"total_wall_us\": {},", m.total_wall_us);
+    let _ = writeln!(s, "  \"peak_heap_bytes\": {},", m.peak_heap);
+    let _ = writeln!(s, "  \"optimizer_steps\": {},", m.optimizer_steps);
+    let _ = writeln!(s, "  \"pretrain_steps\": {},", m.pretrain_steps);
+    let _ = writeln!(s, "  \"epochs\": {},", m.epochs);
+    s.push_str("  \"best_valid_f1\": ");
+    push_opt(&mut s, m.best_valid_f1);
+    s.push_str(",\n  \"test_f1\": ");
+    push_opt(&mut s, m.test_f1);
+    s.push_str(",\n  \"final_train_loss\": ");
+    push_opt(&mut s, m.final_train_loss);
+    let _ = writeln!(s, ",\n  \"pseudo_selected\": {},", m.pseudo_selected);
+    s.push_str("  \"pseudo_tpr\": ");
+    push_opt(&mut s, m.pseudo_tpr);
+    s.push_str(",\n  \"pseudo_tnr\": ");
+    push_opt(&mut s, m.pseudo_tnr);
+    let _ = writeln!(s, ",\n  \"pruned\": {},", m.pruned);
+    let _ = writeln!(s, "  \"non_finite_events\": {},", m.non_finite_events);
+    s.push_str("  \"phases\": [");
+    for (i, p) in m.phases.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"name\": \"{}\", \"calls\": {}, \"total_us\": {}, \"self_us\": {}, \"heap_delta\": {}, \"heap_peak\": {}}}",
+            p.name, p.calls, p.total_us, p.self_us, p.heap_delta, p.heap_peak
+        );
+    }
+    if !m.phases.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Render the TTY report `promptem report` prints: a run summary
+/// followed by the top-`top` profile rows.
+pub fn render_report(m: &RunManifest, top: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "run seed {} · {} events · {:.1}ms wall · peak heap {}",
+        m.seed,
+        m.events,
+        m.total_wall_us as f64 / 1e3,
+        em_obs::alloc::format_bytes(m.peak_heap as usize),
+    );
+    let _ = writeln!(
+        s,
+        "training: {} optimizer steps ({} pretrain + {} fine-tune) over {} epochs",
+        m.optimizer_steps, m.pretrain_steps, m.epoch_batches, m.epochs
+    );
+    let fmt_f1 = |v: Option<f64>| match v {
+        Some(v) => format!("{v:.2}"),
+        None => "-".to_string(),
+    };
+    let _ = writeln!(
+        s,
+        "quality: best valid F1 {} · test F1 {} · final loss {}",
+        fmt_f1(m.best_valid_f1),
+        fmt_f1(m.test_f1),
+        match m.final_train_loss {
+            Some(l) => format!("{l:.4}"),
+            None => "-".to_string(),
+        },
+    );
+    let _ = writeln!(
+        s,
+        "self-training: {} pseudo-labels (TPR {} / TNR {}) · {} pruned",
+        m.pseudo_selected,
+        fmt_f1(m.pseudo_tpr),
+        fmt_f1(m.pseudo_tnr),
+        m.pruned
+    );
+    if m.non_finite_events > 0 {
+        let _ = writeln!(
+            s,
+            "WARNING: {} non-finite sanitizer events",
+            m.non_finite_events
+        );
+    }
+    s.push('\n');
+    s.push_str(&crate::flame::render_table(&m.phases, top));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flame::FlameRow;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            seed: 42,
+            events: 10,
+            total_wall_us: 2_000,
+            peak_heap: 4096,
+            pretrain_steps: 5,
+            epoch_batches: 8,
+            optimizer_steps: 13,
+            epochs: 2,
+            best_valid_f1: Some(81.25),
+            final_train_loss: Some(0.5),
+            test_f1: None,
+            pseudo_selected: 6,
+            pseudo_tpr: Some(1.0),
+            pseudo_tnr: None,
+            pruned: 3,
+            non_finite_events: 0,
+            phases: vec![FlameRow {
+                name: "tune".into(),
+                calls: 1,
+                total_us: 1500,
+                self_us: 900,
+                heap_delta: 256,
+                heap_peak: 4096,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_carries_schema_and_all_fields() {
+        let json = bench_report_json(&sample());
+        for needle in [
+            "\"schema\": \"promptem-bench-report/v1\"",
+            "\"seed\": 42",
+            "\"total_wall_us\": 2000",
+            "\"peak_heap_bytes\": 4096",
+            "\"optimizer_steps\": 13",
+            "\"best_valid_f1\": 81.25",
+            "\"test_f1\": null",
+            "\"pseudo_selected\": 6",
+            "\"name\": \"tune\"",
+            "\"self_us\": 900",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_obs_parser_style_check() {
+        // Not a full JSON parser here — just the structural invariants a
+        // consumer relies on: balanced braces/brackets, one object.
+        let json = bench_report_json(&sample());
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+        let empty = bench_report_json(&RunManifest::default());
+        assert!(empty.contains("\"phases\": []"), "{empty}");
+    }
+
+    #[test]
+    fn tty_report_summarizes_and_tabulates() {
+        let text = render_report(&sample(), 10);
+        assert!(text.contains("run seed 42"), "{text}");
+        assert!(text.contains("13 optimizer steps"), "{text}");
+        assert!(text.contains("best valid F1 81.25"), "{text}");
+        assert!(text.contains("tune"), "{text}");
+        assert!(!text.contains("WARNING"), "{text}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Rebuild the span tree a run emitted.
+//!
+//! Span open/close events carry process-global ids and parent links, so
+//! the tree is reconstructible from the trace alone. The builder is
+//! tolerant of truncated traces: a span that never closed keeps
+//! `closed = false` with zeroed timing rather than poisoning the tree.
+
+use em_obs::{Event, EventKind};
+use std::collections::HashMap;
+
+/// One reconstructed span.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// The span id from the trace (process-global, not densified).
+    pub id: u64,
+    /// Static span name (`"pretrain"`, `"teacher"`, ...).
+    pub name: String,
+    /// Optional free-form label (dataset name, method id).
+    pub detail: Option<String>,
+    /// Parent span id, when nested.
+    pub parent: Option<u64>,
+    /// Child span ids in open order.
+    pub children: Vec<u64>,
+    /// Sequence number of the open event (orders siblings).
+    pub open_seq: u64,
+    /// Wall-clock duration in microseconds (0 until closed).
+    pub wall_us: u64,
+    /// Live-heap delta across the span in bytes (0 until closed).
+    pub heap_delta: i64,
+    /// Process peak heap at close in bytes (0 until closed).
+    pub heap_peak: u64,
+    /// Whether the close event was seen.
+    pub closed: bool,
+}
+
+/// The reconstructed span forest of one trace (usually a single root).
+#[derive(Debug, Default)]
+pub struct SpanTree {
+    nodes: Vec<SpanNode>,
+    index: HashMap<u64, usize>,
+    roots: Vec<u64>,
+}
+
+impl SpanTree {
+    /// Build the tree from a trace's events.
+    pub fn build(events: &[Event]) -> SpanTree {
+        let mut tree = SpanTree::default();
+        for e in events {
+            match &e.kind {
+                EventKind::SpanOpen {
+                    id,
+                    parent,
+                    name,
+                    detail,
+                } => {
+                    let node = SpanNode {
+                        id: *id,
+                        name: name.clone(),
+                        detail: detail.clone(),
+                        parent: *parent,
+                        children: Vec::new(),
+                        open_seq: e.seq,
+                        wall_us: 0,
+                        heap_delta: 0,
+                        heap_peak: 0,
+                        closed: false,
+                    };
+                    let idx = tree.nodes.len();
+                    tree.nodes.push(node);
+                    tree.index.insert(*id, idx);
+                    match parent.and_then(|p| tree.index.get(&p).copied()) {
+                        Some(pidx) => tree.nodes[pidx].children.push(*id),
+                        None => tree.roots.push(*id),
+                    }
+                }
+                EventKind::SpanClose {
+                    id,
+                    wall_us,
+                    heap_delta,
+                    heap_peak,
+                    ..
+                } => {
+                    if let Some(&idx) = tree.index.get(id) {
+                        let node = &mut tree.nodes[idx];
+                        node.wall_us = *wall_us;
+                        node.heap_delta = *heap_delta;
+                        node.heap_peak = *heap_peak;
+                        node.closed = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        tree
+    }
+
+    /// Look up a span by id.
+    pub fn get(&self, id: u64) -> Option<&SpanNode> {
+        self.index.get(&id).map(|&i| &self.nodes[i])
+    }
+
+    /// All spans in open order.
+    pub fn nodes(&self) -> &[SpanNode] {
+        &self.nodes
+    }
+
+    /// Root span ids in open order (spans with no parent in the trace).
+    pub fn roots(&self) -> &[u64] {
+        &self.roots
+    }
+
+    /// Wall time spent in a span *excluding* its children — the "self"
+    /// column of the flame table. Saturates at zero when child clocks
+    /// overlap the parent close (possible on truncated traces).
+    pub fn self_wall_us(&self, id: u64) -> u64 {
+        let Some(node) = self.get(id) else { return 0 };
+        let child_total: u64 = node
+            .children
+            .iter()
+            .filter_map(|c| self.get(*c))
+            .map(|c| c.wall_us)
+            .sum();
+        node.wall_us.saturating_sub(child_total)
+    }
+
+    /// Nesting depth of a span (roots are depth 0).
+    pub fn depth(&self, id: u64) -> usize {
+        let mut depth = 0;
+        let mut cur = self.get(id).and_then(|n| n.parent);
+        while let Some(p) = cur {
+            depth += 1;
+            cur = self.get(p).and_then(|n| n.parent);
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open(seq: u64, id: u64, parent: Option<u64>, name: &str) -> Event {
+        Event {
+            seq,
+            seed: 0,
+            t_us: seq * 10,
+            span: parent,
+            kind: EventKind::SpanOpen {
+                id,
+                parent,
+                name: name.into(),
+                detail: None,
+            },
+        }
+    }
+
+    fn close(seq: u64, id: u64, name: &str, wall_us: u64) -> Event {
+        Event {
+            seq,
+            seed: 0,
+            t_us: seq * 10,
+            span: None,
+            kind: EventKind::SpanClose {
+                id,
+                name: name.into(),
+                wall_us,
+                heap_delta: 64,
+                heap_peak: 1024,
+            },
+        }
+    }
+
+    #[test]
+    fn rebuilds_nesting_and_self_time() {
+        let events = vec![
+            open(1, 1, None, "outer"),
+            open(2, 2, Some(1), "inner_a"),
+            close(3, 2, "inner_a", 30),
+            open(4, 3, Some(1), "inner_b"),
+            close(5, 3, "inner_b", 50),
+            close(6, 1, "outer", 100),
+        ];
+        let tree = SpanTree::build(&events);
+        assert_eq!(tree.roots(), &[1]);
+        let outer = tree.get(1).unwrap();
+        assert_eq!(outer.children, vec![2, 3]);
+        assert_eq!(outer.wall_us, 100);
+        assert!(outer.closed);
+        assert_eq!(tree.self_wall_us(1), 20, "100 - 30 - 50");
+        assert_eq!(tree.self_wall_us(2), 30, "leaf self == total");
+        assert_eq!(tree.depth(1), 0);
+        assert_eq!(tree.depth(3), 1);
+    }
+
+    #[test]
+    fn unclosed_spans_survive_truncation() {
+        let events = vec![open(1, 1, None, "outer"), open(2, 2, Some(1), "inner")];
+        let tree = SpanTree::build(&events);
+        assert!(!tree.get(1).unwrap().closed);
+        assert_eq!(tree.self_wall_us(1), 0);
+    }
+
+    #[test]
+    fn orphan_parents_become_roots() {
+        // A trace sliced mid-run can reference a parent it never opened.
+        let events = vec![open(5, 9, Some(4), "late")];
+        let tree = SpanTree::build(&events);
+        assert_eq!(tree.roots(), &[9]);
+    }
+}

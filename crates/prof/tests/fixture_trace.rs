@@ -1,0 +1,77 @@
+//! End-to-end over checked-in traces: two same-seed `promptem match`
+//! runs (seed 7, REL-HETER export, 40 pretrain steps, 2 epochs) captured
+//! with `--metrics-out`. They differ only in wall-clock/heap noise, so
+//! the manifest must distill both to the same training story and the
+//! diff gate must pass clean under default thresholds.
+
+use std::path::Path;
+
+fn fixture(name: &str) -> Vec<em_obs::Event> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    em_prof::load_trace(&path).unwrap_or_else(|e| panic!("{e}"))
+}
+
+#[test]
+fn fixture_manifest_tells_the_training_story() {
+    let m = em_prof::manifest::manifest(&fixture("run_a.jsonl"));
+    assert_eq!(m.seed, 7);
+    assert!(
+        m.events > 50,
+        "suspiciously small trace: {} events",
+        m.events
+    );
+    assert!(m.total_wall_us > 0);
+    assert!(m.peak_heap > 0, "CLI installs the counting allocator");
+    assert_eq!(m.pretrain_steps, 40);
+    assert!(m.epoch_batches > 0);
+    assert_eq!(m.optimizer_steps, m.pretrain_steps + m.epoch_batches);
+    assert!(m.epochs >= 4, "pretrain + teacher + student epochs");
+    assert!(m.best_valid_f1.is_some(), "teacher/student report valid F1");
+    assert!(m.final_train_loss.is_some());
+    assert!(
+        m.test_f1.is_some(),
+        "core_test_f1 gauge sampled at shutdown"
+    );
+    assert!(m.pseudo_selected > 0, "LST selected pseudo-labels");
+    assert_eq!(m.non_finite_events, 0);
+
+    let names: Vec<&str> = m.phases.iter().map(|p| p.name.as_str()).collect();
+    for phase in ["match", "pretrain", "tune", "lst", "teacher", "student"] {
+        assert!(names.contains(&phase), "phase {phase} missing: {names:?}");
+    }
+    // `match` wraps the whole pipeline, so it must top the table.
+    assert_eq!(m.phases[0].name, "match");
+    assert!(m.phases[0].self_us < m.phases[0].total_us);
+}
+
+#[test]
+fn same_seed_fixtures_diff_clean() {
+    let a = em_prof::manifest::manifest(&fixture("run_a.jsonl"));
+    let b = em_prof::manifest::manifest(&fixture("run_b.jsonl"));
+    // Everything deterministic matches exactly...
+    assert_eq!(a.optimizer_steps, b.optimizer_steps);
+    assert_eq!(a.epochs, b.epochs);
+    assert_eq!(a.pseudo_selected, b.pseudo_selected);
+    assert_eq!(a.best_valid_f1, b.best_valid_f1);
+    assert_eq!(a.test_f1, b.test_f1);
+    // ...and the gate agrees, in both directions.
+    let t = em_prof::Thresholds::default();
+    let forward = em_prof::diff(&a, &b, &t);
+    assert_eq!(forward.regressions(), 0, "{}", forward.render());
+    let backward = em_prof::diff(&b, &a, &t);
+    assert_eq!(backward.regressions(), 0, "{}", backward.render());
+}
+
+#[test]
+fn fixture_bench_report_is_populated() {
+    let m = em_prof::manifest::manifest(&fixture("run_a.jsonl"));
+    let json = em_prof::report::bench_report_json(&m);
+    assert!(json.contains("\"schema\": \"promptem-bench-report/v1\""));
+    assert!(json.contains("\"seed\": 7"));
+    assert!(json.contains("\"name\": \"pretrain\""));
+    assert!(!json.contains("\"total_wall_us\": 0,"), "{json}");
+    assert!(!json.contains("\"peak_heap_bytes\": 0,"), "{json}");
+    assert!(!json.contains("\"test_f1\": null"), "{json}");
+}

@@ -29,4 +29,17 @@ PROMPTEM_SANITIZE=1 cargo run --release -q -p promptem-cli --bin promptem -- \
     --labels "$smoke_dir/train.csv" --seed 7 --trace warn \
     --pretrain-steps 20 --epochs 1 >/dev/null
 
+echo "==> smoke profile (traced runs + perf-regression gate)"
+for run in base new; do
+    cargo run --release -q -p promptem-cli --bin promptem -- \
+        match --left "$smoke_dir/left.csv" --right "$smoke_dir/right.csv" \
+        --labels "$smoke_dir/train.csv" --seed 7 --trace warn \
+        --pretrain-steps 20 --epochs 1 \
+        --metrics-out "$smoke_dir/$run.jsonl" >/dev/null
+done
+cargo run --release -q -p promptem-cli --bin promptem -- \
+    report "$smoke_dir/new.jsonl" --bench-out BENCH_report.json
+cargo run --release -q -p promptem-cli --bin promptem -- \
+    report --diff "$smoke_dir/base.jsonl" "$smoke_dir/new.jsonl"
+
 echo "ci: all checks passed"
