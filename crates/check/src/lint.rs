@@ -26,16 +26,21 @@ pub enum Rule {
     /// No ad-hoc JSONL event-tag string literals outside the em-obs
     /// registry (`crates/obs/src/names.rs`).
     EventName,
+    /// No raw `File::create` / `fs::write` in library code outside
+    /// `crates/resilience`: a crash mid-write must never leave a torn
+    /// file behind.
+    AtomicIo,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::Unwrap,
         Rule::Clock,
         Rule::Rng,
         Rule::Exit,
         Rule::EventName,
+        Rule::AtomicIo,
     ];
 
     /// The rule's name — the token accepted by `lint:allow(...)`.
@@ -46,6 +51,7 @@ impl Rule {
             Rule::Rng => "rng",
             Rule::Exit => "exit",
             Rule::EventName => "event-name",
+            Rule::AtomicIo => "atomic-io",
         }
     }
 
@@ -66,6 +72,10 @@ impl Rule {
             Rule::EventName => {
                 "JSONL event tags live in em_obs::names so producers, parsers, and \
                  analysis tools can never drift; use the EV_* consts"
+            }
+            Rule::AtomicIo => {
+                "file writes must go through em_resilience::atomic_write (temp + fsync + \
+                 rename) so a crash mid-write can never leave a torn file"
             }
         }
     }
@@ -96,7 +106,12 @@ impl Rule {
                 "\"message\"",
                 "\"unc_hist\"",
                 "\"metric\"",
+                "\"ckpt_save\"",
+                "\"ckpt_restore\"",
+                "\"recovered_batch\"",
+                "\"io_retry\"",
             ],
+            Rule::AtomicIo => &["File::create", "fs::write"],
         }
     }
 
@@ -128,6 +143,9 @@ impl Rule {
             // Tag literals are legitimate in exactly one place: the
             // registry that defines them.
             Rule::EventName => &["crates/obs/src/names.rs"],
+            // The atomic writer itself, plus the test-only cli_e2e module
+            // (same region-tracking blind spot as Unwrap above).
+            Rule::AtomicIo => &["crates/resilience/", "crates/cli/src/cli_e2e.rs"],
         };
         allowed.iter().any(|prefix| unix_rel.starts_with(prefix))
     }
@@ -476,6 +494,22 @@ fn f() {
         // Tags as substrings of longer strings don't fire.
         let longer = "pub fn m() -> String { \"epoch_summary_v2\".into() }\n";
         assert!(lint_source("crates/core/src/x.rs", longer).is_empty());
+    }
+
+    #[test]
+    fn raw_writes_fire_outside_the_resilience_crate() {
+        let src = "fn save() { std::fs::write(\"out\", b\"x\").ok(); }\n";
+        let v = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::AtomicIo);
+        // The atomic writer's own crate, test code, and escapes are exempt.
+        assert!(lint_source("crates/resilience/src/atomic_io.rs", src).is_empty());
+        assert!(lint_source("crates/core/tests/t.rs", src).is_empty());
+        let escaped =
+            "fn save() { std::fs::write(\"out\", b\"x\").ok(); } // lint:allow(atomic-io)\n";
+        assert!(lint_source("crates/core/src/x.rs", escaped).is_empty());
+        let create = "fn open() { let _ = std::fs::File::create(\"out\"); }\n";
+        assert_eq!(lint_source("crates/core/src/x.rs", create).len(), 1);
     }
 
     #[test]

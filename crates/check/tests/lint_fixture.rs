@@ -12,7 +12,8 @@ pub fn lib_code(v: Option<u32>) -> u32 {
     let mut rng = rand::thread_rng();
     if v.is_none() { std::process::exit(1); }
     let tag = "epoch_summary";
-    let _ = (t, tag, rng.gen::<u8>());
+    let _ = std::fs::write("out.txt", tag);
+    let _ = (t, rng.gen::<u8>());
     v.unwrap()
 }
 "#;

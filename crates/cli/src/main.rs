@@ -95,6 +95,8 @@ const USAGE: &str = "usage:
                  [--output <csv>] [--seed <u64>] [--rate <0..1>]
                  [--template t1|t2] [--mode hard|continuous] [--no-lst]
                  [--pretrain-steps <n>] [--epochs <n>]
+                 [--checkpoint-dir <dir>] [--checkpoint-every <n>] [--resume]
+  promptem ckpt inspect <checkpoint-or-dir>
   promptem export --benchmark <name> --dir <path> [--seed <u64>] [--full]
   promptem report <trace.jsonl> [--top <n>] [--bench-out <path.json>]
   promptem report --diff <base.jsonl> <new.jsonl>
@@ -122,6 +124,7 @@ fn run_cli(raw: Vec<String>) -> Result<(), Failure> {
         Some("match") => cmd_match(&args).map_err(Failure::from),
         Some("export") => cmd_export(&args).map_err(Failure::from),
         Some("report") => cmd_report(&args),
+        Some("ckpt") => cmd_ckpt(&args),
         Some(other) => Err(Failure::from(format!("unknown command '{other}'"))),
         None => Err(Failure::from("no command given".to_string())),
     };
@@ -270,6 +273,15 @@ fn cmd_match(args: &Args) -> Result<(), String> {
     cfg.pretrain.max_steps = args.get_parse("pretrain-steps", cfg.pretrain.max_steps)?;
     cfg.lst.teacher.epochs = args.get_parse("epochs", cfg.lst.teacher.epochs)?;
     cfg.lst.student.epochs = args.get_parse("epochs", cfg.lst.student.epochs)?;
+    if let Some(dir) = args.get("checkpoint-dir") {
+        cfg.resilience = Some(em_resilience::ResilienceCfg {
+            dir: dir.into(),
+            every: args.get_parse("checkpoint-every", 25u64)?,
+            resume: args.switch("resume"),
+        });
+    } else if args.switch("resume") || args.get("checkpoint-every").is_some() {
+        return Err("--resume/--checkpoint-every need --checkpoint-dir".to_string());
+    }
 
     em_obs::set_run_seed(seed);
     em_obs::info(format!(
@@ -300,7 +312,8 @@ fn cmd_match(args: &Args) -> Result<(), String> {
                 u8::from(pred)
             ));
         }
-        std::fs::write(out_path, out).map_err(|e| format!("{out_path}: {e}"))?;
+        em_resilience::atomic_write(std::path::Path::new(out_path), out.as_bytes())
+            .map_err(|e| format!("{out_path}: {e}"))?;
         em_obs::info(format!("wrote {out_path}"));
     }
     Ok(())
@@ -328,7 +341,8 @@ fn cmd_export(args: &Args) -> Result<(), String> {
 
     let write = |file: String, body: String| -> Result<(), String> {
         let path = dir.join(file);
-        std::fs::write(&path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+        em_resilience::atomic_write(&path, body.as_bytes())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
         em_obs::info(format!("wrote {}", path.display()));
         Ok(())
     };
@@ -352,6 +366,36 @@ fn cmd_export(args: &Args) -> Result<(), String> {
         ds.valid.len(),
         ds.test.len()
     );
+    Ok(())
+}
+
+/// Inspect a checkpoint: magic, sections, sizes, and per-section CRCs.
+/// Given a directory, the newest checkpoint in it is inspected.
+fn cmd_ckpt(args: &Args) -> Result<(), Failure> {
+    match args.positional.get(1).map(|s| s.as_str()) {
+        Some("inspect") => {}
+        Some(other) => return Err(Failure::from(format!("unknown ckpt action '{other}'"))),
+        None => return Err(Failure::from("ckpt needs an action (inspect)".to_string())),
+    }
+    let target = args
+        .positional
+        .get(2)
+        .ok_or_else(|| Failure::from("ckpt inspect needs a checkpoint file or dir".to_string()))?;
+    let mut path = std::path::PathBuf::from(target);
+    if path.is_dir() {
+        let dir = em_resilience::CheckpointDir::new(&path, em_resilience::DEFAULT_KEEP)
+            .map_err(|e| Failure::plain(format!("{target}: {e}")))?;
+        let (tag, newest) = dir
+            .list()
+            .into_iter()
+            .next_back()
+            .ok_or_else(|| Failure::plain(format!("{target}: no checkpoints found")))?;
+        println!("newest checkpoint: tag {tag}");
+        path = newest;
+    }
+    let summary =
+        em_resilience::CheckpointDir::inspect(&path).map_err(|e| Failure::plain(e.to_string()))?;
+    print!("{summary}");
     Ok(())
 }
 
@@ -393,8 +437,11 @@ fn cmd_report(args: &Args) -> Result<(), Failure> {
     let top: usize = args.get_parse("top", 12)?;
     print!("{}", em_prof::report::render_report(&manifest, top));
     if let Some(out_path) = args.get("bench-out") {
-        std::fs::write(out_path, em_prof::report::bench_report_json(&manifest))
-            .map_err(|e| Failure::plain(format!("{out_path}: {e}")))?;
+        em_resilience::atomic_write(
+            std::path::Path::new(out_path),
+            em_prof::report::bench_report_json(&manifest).as_bytes(),
+        )
+        .map_err(|e| Failure::plain(format!("{out_path}: {e}")))?;
         println!("wrote {out_path}");
     }
     Ok(())

@@ -1,0 +1,262 @@
+//! Kill-and-resume chaos test, out of process.
+//!
+//! Three runs of the real `promptem` binary over the same tiny dataset:
+//!
+//! 1. **base** — uninterrupted, traced;
+//! 2. **killed** — same seed, checkpointing on, with a `batch:panic@12`
+//!    failpoint crashing the process mid-pretrain (must exit nonzero);
+//! 3. **resumed** — `--resume` from the killed run's checkpoint directory,
+//!    with a `ckpt_write:io_err@1` failpoint so the first checkpoint write
+//!    also exercises the bounded-retry path.
+//!
+//! The resumed run must print the *same test scores* as the base run, and
+//! its trace must pass `promptem report --diff` against the base trace —
+//! that diff gates wall/heap under tolerances and optimizer steps and F1
+//! exactly, which is the paper-fidelity claim: a crash costs you wall
+//! time, never reproducibility.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(dir: &Path) -> (PathBuf, PathBuf, PathBuf) {
+    std::fs::create_dir_all(dir).expect("fixture dir");
+    let mut csv = String::from("name,city,year\n");
+    let mut jsonl = String::new();
+    let names = ["blue cafe", "red diner", "green grill", "gold bistro"];
+    let cities = ["boston", "austin", "denver", "madison"];
+    for i in 0..24 {
+        let name = names[i % 4];
+        let city = cities[(i / 4) % 4];
+        let year = 1990 + i;
+        csv.push_str(&format!("{name} number {i},{city},{year}\n"));
+        jsonl.push_str(&format!(
+            "{{\"title\": \"{name} number {i}\", \"place\": \"{city}\", \"opened\": {year}}}\n"
+        ));
+    }
+    let mut labels = String::from("left,right,label\n");
+    for i in 0..24 {
+        labels.push_str(&format!("{i},{i},1\n"));
+        labels.push_str(&format!("{i},{},0\n", (i + 4) % 24));
+    }
+    let left = dir.join("left.csv");
+    let right = dir.join("right.jsonl");
+    let lab = dir.join("labels.csv");
+    std::fs::write(&left, csv).expect("left");
+    std::fs::write(&right, jsonl).expect("right");
+    std::fs::write(&lab, labels).expect("labels");
+    (left, right, lab)
+}
+
+/// The shared `match` invocation; every run uses the same seed and budget.
+fn match_cmd(left: &Path, right: &Path, labels: &Path, trace: &Path) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_promptem"));
+    cmd.args(["match", "--left"])
+        .arg(left)
+        .arg("--right")
+        .arg(right)
+        .arg("--labels")
+        .arg(labels)
+        .args(["--seed", "7", "--pretrain-steps", "20", "--epochs", "2"])
+        .args(["--trace", "off", "--metrics-out"])
+        .arg(trace)
+        .env_remove("PROMPTEM_FAILPOINTS");
+    cmd
+}
+
+fn scores_line(stdout: &[u8]) -> String {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .find(|l| l.starts_with("test scores:"))
+        .unwrap_or_else(|| panic!("no scores in output: {}", String::from_utf8_lossy(stdout)))
+        .to_string()
+}
+
+#[test]
+fn killed_run_resumes_to_the_same_result() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("crash-resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (left, right, labels) = fixture(&dir);
+    let ckpt_dir = dir.join("ckpt");
+    let base_trace = dir.join("base.jsonl");
+    let resumed_trace = dir.join("resumed.jsonl");
+
+    // Run 1: uninterrupted reference.
+    let base = match_cmd(&left, &right, &labels, &base_trace)
+        .output()
+        .expect("spawn base run");
+    assert!(
+        base.status.success(),
+        "base run failed:\n{}",
+        String::from_utf8_lossy(&base.stderr)
+    );
+    let base_scores = scores_line(&base.stdout);
+
+    // Run 2: same seed, checkpointing every 5 steps, crashed by a
+    // failpoint on the 12th batch (mid-pretrain, past the tag-10 save).
+    let killed = match_cmd(&left, &right, &labels, &dir.join("killed.jsonl"))
+        .arg("--checkpoint-dir")
+        .arg(&ckpt_dir)
+        .args(["--checkpoint-every", "5"])
+        .env("PROMPTEM_FAILPOINTS", "batch:panic@12")
+        .output()
+        .expect("spawn killed run");
+    assert!(
+        !killed.status.success(),
+        "the batch:panic@12 failpoint did not kill the run"
+    );
+    assert!(
+        String::from_utf8_lossy(&killed.stderr).contains("injected crash"),
+        "crash was not the injected one:\n{}",
+        String::from_utf8_lossy(&killed.stderr)
+    );
+    assert!(
+        std::fs::read_dir(ckpt_dir.join("pretrain"))
+            .map(|d| d.count() > 0)
+            .unwrap_or(false),
+        "killed run left no pretrain checkpoints behind"
+    );
+
+    // Run 3: resume. The io_err failpoint makes the first checkpoint
+    // write fail once; the bounded retry must absorb it.
+    let resumed = match_cmd(&left, &right, &labels, &resumed_trace)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt_dir)
+        .args(["--checkpoint-every", "5", "--resume"])
+        .env("PROMPTEM_FAILPOINTS", "ckpt_write:io_err@1")
+        .output()
+        .expect("spawn resumed run");
+    assert!(
+        resumed.status.success(),
+        "resumed run failed:\n{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        scores_line(&resumed.stdout),
+        base_scores,
+        "resume did not reproduce the uninterrupted run's test scores"
+    );
+
+    // The perf/quality gate: optimizer steps and F1 must match exactly
+    // (the restore event banks the pre-crash work), wall/heap within
+    // tolerance. A generous wall tolerance keeps slow CI machines out of
+    // the assertion; step/F1 equality is the invariant under test.
+    let diff = Command::new(env!("CARGO_BIN_EXE_promptem"))
+        .args(["report", "--diff"])
+        .arg(&base_trace)
+        .arg(&resumed_trace)
+        .args(["--max-wall-frac", "3.0", "--max-heap-frac", "3.0"])
+        .output()
+        .expect("spawn report --diff");
+    assert!(
+        diff.status.success(),
+        "report --diff flagged the resumed run:\n{}\n{}",
+        String::from_utf8_lossy(&diff.stdout),
+        String::from_utf8_lossy(&diff.stderr)
+    );
+
+    // The resumed trace must record both the restore and the absorbed
+    // I/O retry.
+    let trace = std::fs::read_to_string(&resumed_trace).expect("resumed trace");
+    assert!(
+        trace.contains("\"type\":\"ckpt_restore\"") || trace.contains("\"type\": \"ckpt_restore\""),
+        "resumed trace has no ckpt_restore event"
+    );
+    assert!(
+        trace.contains("ckpt_write"),
+        "resumed trace has no io_retry event for the injected write failure"
+    );
+
+    // Second cycle: crash *inside the self-train loop* (batch 35 lands in
+    // the student's training, after the teacher-done and selection-done
+    // stage checkpoints), then resume. The resumed run restores the
+    // teacher's result and the recorded pseudo-label decisions from the
+    // checkpoint instead of retraining, and must still land on the same
+    // scores and pass the same gate.
+    let ckpt2 = dir.join("ckpt-lst");
+    let killed2 = match_cmd(&left, &right, &labels, &dir.join("killed2.jsonl"))
+        .arg("--checkpoint-dir")
+        .arg(&ckpt2)
+        .args(["--checkpoint-every", "5"])
+        .env("PROMPTEM_FAILPOINTS", "batch:panic@35")
+        .output()
+        .expect("spawn mid-LST killed run");
+    assert!(
+        !killed2.status.success(),
+        "the batch:panic@35 failpoint did not kill the run"
+    );
+    assert!(
+        std::fs::read_dir(ckpt2.join("selftrain"))
+            .map(|d| d.count() > 0)
+            .unwrap_or(false),
+        "mid-LST crash left no selftrain stage checkpoints behind"
+    );
+
+    let resumed2_trace = dir.join("resumed2.jsonl");
+    let resumed2 = match_cmd(&left, &right, &labels, &resumed2_trace)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt2)
+        .args(["--checkpoint-every", "5", "--resume"])
+        .output()
+        .expect("spawn mid-LST resumed run");
+    assert!(
+        resumed2.status.success(),
+        "mid-LST resumed run failed:\n{}",
+        String::from_utf8_lossy(&resumed2.stderr)
+    );
+    assert_eq!(
+        scores_line(&resumed2.stdout),
+        base_scores,
+        "mid-LST resume did not reproduce the uninterrupted run's test scores"
+    );
+    let diff2 = Command::new(env!("CARGO_BIN_EXE_promptem"))
+        .args(["report", "--diff"])
+        .arg(&base_trace)
+        .arg(&resumed2_trace)
+        .args(["--max-wall-frac", "3.0", "--max-heap-frac", "3.0"])
+        .output()
+        .expect("spawn second report --diff");
+    assert!(
+        diff2.status.success(),
+        "report --diff flagged the mid-LST resumed run:\n{}\n{}",
+        String::from_utf8_lossy(&diff2.stdout),
+        String::from_utf8_lossy(&diff2.stderr)
+    );
+}
+
+#[test]
+fn ckpt_inspect_reads_what_training_wrote() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("ckpt-inspect");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (left, right, labels) = fixture(&dir);
+    let ckpt_dir = dir.join("ckpt");
+
+    let run = match_cmd(&left, &right, &labels, &dir.join("t.jsonl"))
+        .arg("--checkpoint-dir")
+        .arg(&ckpt_dir)
+        .args(["--checkpoint-every", "5", "--no-lst"])
+        .output()
+        .expect("spawn run");
+    assert!(
+        run.status.success(),
+        "run failed:\n{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+
+    let inspect = Command::new(env!("CARGO_BIN_EXE_promptem"))
+        .args(["ckpt", "inspect"])
+        .arg(ckpt_dir.join("pretrain"))
+        .output()
+        .expect("spawn ckpt inspect");
+    assert!(
+        inspect.status.success(),
+        "ckpt inspect failed:\n{}",
+        String::from_utf8_lossy(&inspect.stderr)
+    );
+    let out = String::from_utf8_lossy(&inspect.stdout);
+    for needle in ["sections", "params", "adam", "cursor"] {
+        assert!(
+            needle.is_empty() || out.contains(needle),
+            "missing {needle} in:\n{out}"
+        );
+    }
+}

@@ -100,6 +100,11 @@ impl FineTuneModel {
             em_check::audit_and_report(&tape, loss, &self.lm.store);
         }
         let value = tape.value(loss).item();
+        if !value.is_finite() {
+            // A poisoned batch must not propagate NaNs into the weights;
+            // the epoch loop records it and skips the update.
+            return value;
+        }
         tape.backward(loss);
         tape.accumulate_param_grads(&mut self.lm.store);
         self.lm.store.clip_grad_norm(1.0);
@@ -174,6 +179,25 @@ impl TunableMatcher for FineTuneModel {
             out.push(tape.value(h).row(0).to_vec());
         }
         out
+    }
+
+    fn export_state(&self) -> Option<crate::resume::MatcherState> {
+        let mut params = Vec::new();
+        em_nn::io::write_params(&self.lm.store, &mut params).ok()?;
+        Some(crate::resume::MatcherState {
+            params,
+            threshold: self.threshold,
+            rng: self.rng.state(),
+        })
+    }
+
+    fn import_state(&mut self, state: &crate::resume::MatcherState) -> bool {
+        if em_nn::io::read_params(&mut self.lm.store, &mut &state.params[..]).is_err() {
+            return false;
+        }
+        self.threshold = state.threshold;
+        self.rng = StdRng::from_state(state.rng);
+        true
     }
 }
 

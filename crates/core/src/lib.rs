@@ -34,6 +34,7 @@ pub mod model;
 pub mod pipeline;
 pub mod pruning;
 pub mod pseudo;
+pub mod resume;
 pub mod selftrain;
 pub mod testutil;
 pub mod trainer;
@@ -46,5 +47,6 @@ pub use finetune::FineTuneModel;
 pub use model::{run_training, PromptEmModel, PromptOpts};
 pub use pipeline::{run, run_with_backbone, PromptEmConfig, RunResult};
 pub use pseudo::{PseudoCfg, SelectionStrategy};
-pub use selftrain::{lightweight_self_train, LstCfg, LstReport};
+pub use resume::MatcherState;
+pub use selftrain::{lightweight_self_train, lightweight_self_train_with, LstCfg, LstReport};
 pub use trainer::{PruneCfg, TrainCfg, TrainReport, TunableMatcher};

@@ -157,6 +157,11 @@ impl PromptEmModel {
             em_check::audit_and_report(&tape, loss, &self.lm.store);
         }
         let value = tape.value(loss).item();
+        if !value.is_finite() {
+            // A poisoned batch must not propagate NaNs into the weights;
+            // the epoch loop records it and skips the update.
+            return value;
+        }
         tape.backward(loss);
         tape.accumulate_param_grads(&mut self.lm.store);
         self.lm.store.clip_grad_norm(1.0);
@@ -186,17 +191,21 @@ pub fn run_training<M: TunableMatcher>(
     cfg: &TrainCfg,
     prune: Option<&PruneCfg>,
 ) -> TrainReport {
+    use em_resilience::{MAX_BAD_BATCH_RESTORES, MAX_CONSECUTIVE_BAD_BATCHES};
+
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5);
     let mut working: Vec<Example> = train.to_vec();
     let mut opt = AdamW::new(cfg.lr);
     let mut best_f1 = -1.0f64;
     let mut best_store: Option<(ParamStore, f32)> = None;
     let mut report = TrainReport::default();
+    let mut consecutive_bad = 0u32;
+    let mut restores_used = 0u32;
     let valid_pairs: Vec<crate::encode::EncodedPair> =
         valid.iter().map(|e| e.pair.clone()).collect();
     let valid_gold: Vec<bool> = valid.iter().map(|e| e.label).collect();
 
-    for epoch in 0..cfg.epochs {
+    'epochs: for epoch in 0..cfg.epochs {
         let epoch_watch = em_obs::Stopwatch::if_enabled();
         working.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
@@ -216,8 +225,47 @@ pub fn run_training<M: TunableMatcher>(
             }
         }
         for batch in refs.chunks(cfg.batch_size) {
-            epoch_loss += batch_step(model, batch, &mut opt);
+            let inject_nan = matches!(
+                em_resilience::failpoint::trigger_in_batch("batch"),
+                Some(em_resilience::failpoint::Action::Nan)
+            );
+            let mut loss = batch_step(model, batch, &mut opt);
+            if inject_nan {
+                loss = f32::NAN;
+            }
+            if !loss.is_finite() {
+                // The models skip backward/step on a non-finite loss, so
+                // the weights are still the last healthy ones; record the
+                // recovery and move on without counting the batch.
+                consecutive_bad += 1;
+                em_obs::recovered_batch("tune", report.batches_run as u64, consecutive_bad as u64);
+                if consecutive_bad >= MAX_CONSECUTIVE_BAD_BATCHES {
+                    match &best_store {
+                        Some((store, t)) if restores_used < MAX_BAD_BATCH_RESTORES => {
+                            restore(model, store.clone());
+                            model.set_threshold(*t);
+                            restores_used += 1;
+                            consecutive_bad = 0;
+                            em_obs::warn(format!(
+                                "{MAX_CONSECUTIVE_BAD_BATCHES} consecutive non-finite \
+                                 losses; restored best-on-valid weights (epoch {epoch})"
+                            ));
+                        }
+                        _ => {
+                            em_obs::warn(format!(
+                                "persistent non-finite losses (epoch {epoch}); \
+                                 stopping this training early"
+                            ));
+                            break 'epochs;
+                        }
+                    }
+                }
+                continue;
+            }
+            consecutive_bad = 0;
+            epoch_loss += loss;
             batches += 1;
+            report.batches_run += 1;
         }
         report.final_train_loss = if batches > 0 {
             epoch_loss / batches as f32
@@ -342,6 +390,25 @@ impl TunableMatcher for PromptEmModel {
             out.push(tape.value(h).row(mask_row).to_vec());
         }
         out
+    }
+
+    fn export_state(&self) -> Option<crate::resume::MatcherState> {
+        let mut params = Vec::new();
+        em_nn::io::write_params(&self.lm.store, &mut params).ok()?;
+        Some(crate::resume::MatcherState {
+            params,
+            threshold: self.threshold,
+            rng: self.rng.state(),
+        })
+    }
+
+    fn import_state(&mut self, state: &crate::resume::MatcherState) -> bool {
+        if em_nn::io::read_params(&mut self.lm.store, &mut &state.params[..]).is_err() {
+            return false;
+        }
+        self.threshold = state.threshold;
+        self.rng = StdRng::from_state(state.rng);
+        true
     }
 }
 

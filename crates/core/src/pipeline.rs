@@ -6,12 +6,13 @@
 use crate::encode::{encode_dataset, EncodeCfg, EncodedDataset};
 use crate::finetune::FineTuneModel;
 use crate::model::{PromptEmModel, PromptOpts};
-use crate::selftrain::{lightweight_self_train, LstCfg, LstReport};
+use crate::selftrain::{lightweight_self_train_with, LstCfg, LstReport};
 use crate::trainer::{evaluate, TunableMatcher};
 use em_data::corpus::{build_pretrain_corpus, CorpusCfg, RelationWords};
 use em_data::pair::GemDataset;
 use em_data::PrfScores;
 use em_lm::{LmConfig, PretrainCfg, PretrainedLm};
+use em_resilience::{ResilienceCfg, ResilienceCtx};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -62,6 +63,9 @@ pub struct PromptEmConfig {
     pub grid_template: bool,
     /// Master seed for model initialization and shuffling.
     pub seed: u64,
+    /// Crash safety: checkpoint directory, cadence, and resume flag.
+    /// `None` (the default) disables checkpointing entirely.
+    pub resilience: Option<ResilienceCfg>,
 }
 
 impl Default for PromptEmConfig {
@@ -77,6 +81,21 @@ impl Default for PromptEmConfig {
             use_lst: true,
             grid_template: true,
             seed: 0xE11,
+            resilience: None,
+        }
+    }
+}
+
+/// Open the checkpoint stream for one pipeline phase, or `None` when
+/// resilience is off (or the directory cannot be created — a checkpointing
+/// failure must never take down training).
+fn phase_ctx(cfg: &PromptEmConfig, phase: &str) -> Option<ResilienceCtx> {
+    let rc = cfg.resilience.as_ref()?;
+    match ResilienceCtx::new(rc, phase) {
+        Ok(ctx) => Some(ctx),
+        Err(e) => {
+            em_obs::warn(format!("cannot open checkpoint dir for {phase}: {e}"));
+            None
         }
     }
 }
@@ -131,11 +150,13 @@ pub fn pretrain_backbone(ds: &GemDataset, cfg: &PromptEmConfig) -> Arc<Pretraine
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC0FFEE);
     let corpus = build_pretrain_corpus(ds, &RelationWords::default(), &cfg.corpus, &mut rng);
     let size = cfg.lm_size;
-    Arc::new(PretrainedLm::pretrain(
+    let ctx = phase_ctx(cfg, "pretrain");
+    Arc::new(PretrainedLm::pretrain_resilient(
         &corpus,
         |v| size.config(v),
         &cfg.pretrain,
         cfg.seed ^ 0xBACB,
+        ctx.as_ref(),
     ))
 }
 
@@ -156,13 +177,15 @@ fn tune_and_eval<M: TunableMatcher>(
 ) -> (PrfScores, Vec<bool>, LstReport, f64) {
     let start = em_obs::Stopwatch::new();
     let (mut model, report) = if cfg.use_lst {
-        lightweight_self_train(
+        let ctx = phase_ctx(cfg, "selftrain");
+        lightweight_self_train_with(
             &proto,
             &encoded.train,
             &encoded.valid,
             &encoded.unlabeled,
             Some(&encoded.unlabeled_gold),
             &cfg.lst,
+            ctx.as_ref(),
         )
     } else {
         // "PromptEM w/o LST": teacher training only.

@@ -1,0 +1,349 @@
+//! Crash-safe state capture for the self-training loop.
+//!
+//! The LST loop checkpoints at stage boundaries (teacher trained,
+//! pseudo-labels selected, round finished). A checkpoint stores the
+//! *decisions* of completed stages — which pool indices were pseudo-labeled
+//! with which label — rather than the pools themselves, so a resumed
+//! process replays them over its own freshly encoded dataset and arrives
+//! at bit-identical `D_L`/`D_U` contents. Matcher weights travel as
+//! [`MatcherState`] blobs produced by the models' own serializers.
+
+use crate::pseudo::PseudoLabel;
+use crate::trainer::TrainReport;
+use em_resilience::wire;
+use std::io;
+
+/// A tuned matcher frozen for checkpointing: serialized parameters, the
+/// calibrated decision threshold, and the RNG stream position (so
+/// MC-Dropout replays identically after a resume).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatcherState {
+    /// `em_nn::io::write_params` output for the model's parameter store.
+    pub params: Vec<u8>,
+    /// Calibrated decision threshold.
+    pub threshold: f32,
+    /// xoshiro256++ state of the model's RNG.
+    pub rng: [u64; 4],
+}
+
+impl MatcherState {
+    /// Serialize for a checkpoint section.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        wire::put_bytes(&mut out, &self.params);
+        wire::put_f32(&mut out, self.threshold);
+        for w in self.rng {
+            wire::put_u64(&mut out, w);
+        }
+        out
+    }
+
+    /// Parse a checkpoint section.
+    pub fn decode(payload: &[u8]) -> io::Result<MatcherState> {
+        let mut r = wire::Reader::new(payload);
+        let params = r.bytes()?.to_vec();
+        let threshold = r.f32()?;
+        let mut rng = [0u64; 4];
+        for w in &mut rng {
+            *w = r.u64()?;
+        }
+        r.finish()?;
+        Ok(MatcherState {
+            params,
+            threshold,
+            rng,
+        })
+    }
+}
+
+/// How far a checkpointed LST round had progressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Teacher trained; selection not yet run.
+    TeacherDone,
+    /// Pseudo-labels selected and applied; student not yet trained.
+    SelectDone,
+    /// Student trained and the best-so-far updated.
+    RoundDone,
+}
+
+impl Stage {
+    /// Stable wire tag (also the checkpoint-tag offset within a round).
+    pub fn tag(self) -> u64 {
+        match self {
+            Stage::TeacherDone => 1,
+            Stage::SelectDone => 2,
+            Stage::RoundDone => 3,
+        }
+    }
+
+    fn from_tag(t: u64) -> io::Result<Stage> {
+        match t {
+            1 => Ok(Stage::TeacherDone),
+            2 => Ok(Stage::SelectDone),
+            3 => Ok(Stage::RoundDone),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad LST stage tag {other}"),
+            )),
+        }
+    }
+}
+
+/// One training run a resumed process skips; enough to re-emit a
+/// summarizing `epoch_summary` event so run manifests stay comparable
+/// with an uninterrupted run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedTraining {
+    /// Epochs the skipped training ran.
+    pub epochs_run: u64,
+    /// Optimizer steps (batches) it took.
+    pub batches: u64,
+    /// Best validation F1 it reported (percent), NaN when it had none.
+    pub best_valid_f1: f64,
+    /// Mean loss of its final epoch.
+    pub final_train_loss: f32,
+}
+
+/// The loop position + accounting part of an LST checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstCursor {
+    /// Round the checkpoint belongs to.
+    pub iter: u64,
+    /// Progress within that round.
+    pub stage: Stage,
+    /// Pseudo-label decisions of every recorded selection, oldest first
+    /// (rounds `0..iter`, plus round `iter` itself once past
+    /// [`Stage::TeacherDone`]).
+    pub history: Vec<Vec<PseudoLabel>>,
+    /// Trainings the resumed process will skip, in emission order.
+    pub skipped: Vec<SkippedTraining>,
+    /// Examples dropped by pruning inside skipped trainings.
+    pub pruned_skipped: u64,
+    /// `LstReport::pseudo_selected` so far.
+    pub pseudo_selected: Vec<u64>,
+    /// `LstReport::pseudo_quality` so far.
+    pub pseudo_quality: Vec<(f64, f64)>,
+    /// `LstReport::pruned` so far.
+    pub pruned: u64,
+    /// Last teacher training report.
+    pub teacher: TrainReport,
+    /// Last student training report.
+    pub student: TrainReport,
+    /// Validation F1 of the best student so far (meaningful only when the
+    /// checkpoint carries a `best` section).
+    pub best_f1: f64,
+}
+
+fn put_report(out: &mut Vec<u8>, r: &TrainReport) {
+    wire::put_u64(out, r.epochs_run as u64);
+    wire::put_u64(out, r.batches_run as u64);
+    wire::put_f64(out, r.best_valid_f1);
+    wire::put_f32(out, r.final_train_loss);
+    wire::put_u64(out, r.pruned as u64);
+}
+
+fn read_report(r: &mut wire::Reader<'_>) -> io::Result<TrainReport> {
+    Ok(TrainReport {
+        epochs_run: r.u64()? as usize,
+        batches_run: r.u64()? as usize,
+        best_valid_f1: r.f64()?,
+        final_train_loss: r.f32()?,
+        pruned: r.u64()? as usize,
+    })
+}
+
+impl LstCursor {
+    /// Serialize for a checkpoint section.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        wire::put_u64(&mut out, self.iter);
+        wire::put_u64(&mut out, self.stage.tag());
+        wire::put_u64(&mut out, self.history.len() as u64);
+        for round in &self.history {
+            wire::put_u64(&mut out, round.len() as u64);
+            for pl in round {
+                wire::put_u64(&mut out, pl.index as u64);
+                wire::put_u64(&mut out, pl.label as u64);
+            }
+        }
+        wire::put_u64(&mut out, self.skipped.len() as u64);
+        for s in &self.skipped {
+            wire::put_u64(&mut out, s.epochs_run);
+            wire::put_u64(&mut out, s.batches);
+            wire::put_f64(&mut out, s.best_valid_f1);
+            wire::put_f32(&mut out, s.final_train_loss);
+        }
+        wire::put_u64(&mut out, self.pruned_skipped);
+        wire::put_u64(&mut out, self.pseudo_selected.len() as u64);
+        for &n in &self.pseudo_selected {
+            wire::put_u64(&mut out, n);
+        }
+        wire::put_u64(&mut out, self.pseudo_quality.len() as u64);
+        for &(tpr, tnr) in &self.pseudo_quality {
+            wire::put_f64(&mut out, tpr);
+            wire::put_f64(&mut out, tnr);
+        }
+        wire::put_u64(&mut out, self.pruned);
+        put_report(&mut out, &self.teacher);
+        put_report(&mut out, &self.student);
+        wire::put_f64(&mut out, self.best_f1);
+        out
+    }
+
+    /// Parse a checkpoint section.
+    pub fn decode(payload: &[u8]) -> io::Result<LstCursor> {
+        let mut r = wire::Reader::new(payload);
+        let iter = r.u64()?;
+        let stage = Stage::from_tag(r.u64()?)?;
+        let n_rounds = r.u64()? as usize;
+        let mut history = Vec::with_capacity(n_rounds.min(1024));
+        for _ in 0..n_rounds {
+            let n = r.u64()? as usize;
+            if n * 16 > r.remaining() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "pseudo-label history overruns the payload",
+                ));
+            }
+            let mut round = Vec::with_capacity(n);
+            for _ in 0..n {
+                let index = r.u64()? as usize;
+                let label = r.u64()? != 0;
+                round.push(PseudoLabel { index, label });
+            }
+            history.push(round);
+        }
+        let n_skipped = r.u64()? as usize;
+        if n_skipped * 28 > r.remaining() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "skipped-training list overruns the payload",
+            ));
+        }
+        let mut skipped = Vec::with_capacity(n_skipped);
+        for _ in 0..n_skipped {
+            skipped.push(SkippedTraining {
+                epochs_run: r.u64()?,
+                batches: r.u64()?,
+                best_valid_f1: r.f64()?,
+                final_train_loss: r.f32()?,
+            });
+        }
+        let pruned_skipped = r.u64()?;
+        let n_sel = r.u64()? as usize;
+        let mut pseudo_selected = Vec::with_capacity(n_sel.min(1024));
+        for _ in 0..n_sel {
+            pseudo_selected.push(r.u64()?);
+        }
+        let n_q = r.u64()? as usize;
+        let mut pseudo_quality = Vec::with_capacity(n_q.min(1024));
+        for _ in 0..n_q {
+            pseudo_quality.push((r.f64()?, r.f64()?));
+        }
+        let pruned = r.u64()?;
+        let teacher = read_report(&mut r)?;
+        let student = read_report(&mut r)?;
+        let best_f1 = r.f64()?;
+        r.finish()?;
+        Ok(LstCursor {
+            iter,
+            stage,
+            history,
+            skipped,
+            pruned_skipped,
+            pseudo_selected,
+            pseudo_quality,
+            pruned,
+            teacher,
+            student,
+            best_f1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cursor() -> LstCursor {
+        LstCursor {
+            iter: 1,
+            stage: Stage::SelectDone,
+            history: vec![
+                vec![
+                    PseudoLabel {
+                        index: 3,
+                        label: true,
+                    },
+                    PseudoLabel {
+                        index: 7,
+                        label: false,
+                    },
+                ],
+                vec![PseudoLabel {
+                    index: 0,
+                    label: true,
+                }],
+            ],
+            skipped: vec![SkippedTraining {
+                epochs_run: 10,
+                batches: 40,
+                best_valid_f1: 82.5,
+                final_train_loss: 0.31,
+            }],
+            pruned_skipped: 5,
+            pseudo_selected: vec![2, 1],
+            pseudo_quality: vec![(1.0, 0.9)],
+            pruned: 5,
+            teacher: TrainReport {
+                epochs_run: 10,
+                batches_run: 40,
+                best_valid_f1: 82.5,
+                final_train_loss: 0.31,
+                pruned: 0,
+            },
+            student: TrainReport::default(),
+            best_f1: 82.5,
+        }
+    }
+
+    #[test]
+    fn cursor_round_trips() {
+        let c = sample_cursor();
+        let bytes = c.encode();
+        let back = LstCursor::decode(&bytes).expect("decode");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn matcher_state_round_trips() {
+        let s = MatcherState {
+            params: vec![1, 2, 3, 4, 5],
+            threshold: 0.42,
+            rng: [9, 8, 7, 6],
+        };
+        let back = MatcherState::decode(&s.encode()).expect("decode");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn truncated_cursor_is_rejected() {
+        let bytes = sample_cursor().encode();
+        for cut in [0, 8, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                LstCursor::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_stage_tag_is_rejected() {
+        let mut c = sample_cursor();
+        c.history.clear();
+        let mut bytes = c.encode();
+        bytes[8] = 9; // stage tag field
+        assert!(LstCursor::decode(&bytes).is_err());
+    }
+}

@@ -9,7 +9,9 @@
 
 use crate::encode::{EncodedPair, Example};
 use crate::pseudo::{apply_pseudo_labels, pseudo_label_quality, select_pseudo_labels, PseudoCfg};
+use crate::resume::{LstCursor, MatcherState, SkippedTraining, Stage};
 use crate::trainer::{PruneCfg, TrainCfg, TrainReport, TunableMatcher};
+use em_resilience::{wire, Checkpoint, ResilienceCtx};
 
 /// Configuration of the self-training loop.
 #[derive(Debug, Clone)]
@@ -129,64 +131,365 @@ pub fn lightweight_self_train<M: TunableMatcher>(
     gold: Option<&[bool]>,
     cfg: &LstCfg,
 ) -> (M, LstReport) {
-    let mut d_l: Vec<Example> = train.to_vec();
-    let mut d_u: Vec<EncodedPair> = unlabeled.to_vec();
-    let mut d_u_gold: Option<Vec<bool>> = gold.map(|g| g.to_vec());
-    let mut report = LstReport::default();
-    let mut best: Option<(M, f64)> = None;
+    lightweight_self_train_with(proto, train, valid, unlabeled, gold, cfg, None)
+}
 
-    let _lst_span = em_obs::span(em_obs::names::SPAN_LST);
-    for iter in 0..cfg.iterations.max(1) {
-        let _iter_span = em_obs::span_with(em_obs::names::SPAN_LST_ITER, format!("iter {iter}"));
-        // Lines 2-4: fresh teacher trained on D_L.
-        let mut teacher = proto.fresh(cfg.seed.wrapping_add(iter as u64 * 2));
-        {
-            let _span = em_obs::span(em_obs::names::SPAN_TEACHER);
-            report.teacher = teacher.train(&d_l, valid, &cfg.teacher, None);
-        }
+/// Running accumulators the LST loop checkpoints and restores.
+struct LstState<M> {
+    d_l: Vec<Example>,
+    d_u: Vec<EncodedPair>,
+    d_u_gold: Option<Vec<bool>>,
+    report: LstReport,
+    best: Option<(M, f64)>,
+    /// Decisions of every selection so far (mirrors what checkpoints carry).
+    history: Vec<Vec<crate::pseudo::PseudoLabel>>,
+    /// Manifest accounting for trainings a resumed process would skip.
+    skipped: Vec<SkippedTraining>,
+    pruned_skipped: u64,
+}
 
-        // Lines 5-8: uncertainty-aware pseudo-label selection.
-        let selected = {
-            let _span = em_obs::span(em_obs::names::SPAN_PSEUDO_SELECT);
-            select_pseudo_labels(&mut teacher, &d_u, &cfg.pseudo)
-        };
-        report.pseudo_selected.push(selected.len());
-        let mut quality = None;
-        if let Some(g) = &d_u_gold {
-            let q = pseudo_label_quality(&selected, g);
-            report.pseudo_quality.push(q);
-            quality = Some(q);
+impl<M: TunableMatcher> LstState<M> {
+    fn record_training(&mut self, r: &TrainReport) {
+        self.skipped.push(SkippedTraining {
+            epochs_run: r.epochs_run as u64,
+            batches: r.batches_run as u64,
+            best_valid_f1: r.best_valid_f1,
+            final_train_loss: r.final_train_loss,
+        });
+        self.pruned_skipped += r.pruned as u64;
+    }
+
+    fn cursor(&self, iter: u64, stage: Stage) -> LstCursor {
+        LstCursor {
+            iter,
+            stage,
+            history: self.history.clone(),
+            skipped: self.skipped.clone(),
+            pruned_skipped: self.pruned_skipped,
+            pseudo_selected: self
+                .report
+                .pseudo_selected
+                .iter()
+                .map(|&n| n as u64)
+                .collect(),
+            pseudo_quality: self.report.pseudo_quality.clone(),
+            pruned: self.report.pruned as u64,
+            teacher: self.report.teacher.clone(),
+            student: self.report.student.clone(),
+            best_f1: self.best.as_ref().map_or(f64::NAN, |(_, f1)| *f1),
         }
-        em_obs::pseudo_select(
-            selected.len() as u64,
-            quality.map(|(tpr, _)| tpr),
-            quality.map(|(_, tnr)| tnr),
-        );
-        let (pseudo_examples, consumed) = apply_pseudo_labels(&d_u, &selected);
-        d_l.extend(pseudo_examples);
-        remove_indices(&mut d_u, &consumed);
-        if let Some(g) = &mut d_u_gold {
+    }
+
+    fn save(
+        &self,
+        res: &ResilienceCtx,
+        iter: u64,
+        stage: Stage,
+        teacher: Option<&M>,
+        best_state: Option<&MatcherState>,
+    ) {
+        let mut ckpt = Checkpoint::new();
+        let mut meta = Vec::new();
+        wire::put_str(&mut meta, "selftrain");
+        ckpt.insert("meta", meta);
+        ckpt.insert("cursor", self.cursor(iter, stage).encode());
+        if let Some(t) = teacher {
+            match t.export_state() {
+                Some(state) => ckpt.insert("teacher", state.encode()),
+                // Without the teacher a teacher-done checkpoint cannot be
+                // resumed; skip saving rather than write a broken one.
+                None => return,
+            }
+        }
+        if let Some(b) = best_state {
+            ckpt.insert("best", b.encode());
+        }
+        let tag = iter * 4 + stage.tag();
+        if let Err(e) = res.save(tag, &ckpt) {
+            em_obs::warn(format!("self-train checkpoint failed at stage {tag}: {e}"));
+        }
+    }
+}
+
+/// Rebuild the labeled/unlabeled pools by replaying recorded selection
+/// decisions, re-emitting the `pseudo_select` events a fresh trace needs.
+fn replay_history<M: TunableMatcher>(
+    state: &mut LstState<M>,
+    cursor: &LstCursor,
+) -> Result<(), String> {
+    let mut emits = Vec::with_capacity(cursor.history.len());
+    for (r, round) in cursor.history.iter().enumerate() {
+        if round.iter().any(|pl| pl.index >= state.d_u.len()) {
+            return Err(format!(
+                "round {r} decisions index beyond the unlabeled pool \
+                 ({} entries)",
+                state.d_u.len()
+            ));
+        }
+        emits.push((
+            round.len() as u64,
+            cursor.pseudo_quality.get(r).map(|&(tpr, _)| tpr),
+            cursor.pseudo_quality.get(r).map(|&(_, tnr)| tnr),
+        ));
+        let (pseudo_examples, consumed) = apply_pseudo_labels(&state.d_u, round);
+        state.d_l.extend(pseudo_examples);
+        remove_indices(&mut state.d_u, &consumed);
+        if let Some(g) = &mut state.d_u_gold {
             remove_indices(g, &consumed);
         }
+    }
+    // Only a fully consistent replay emits events; a mismatch above makes
+    // the caller fall back to a fresh start with a clean trace.
+    for (count, tpr, tnr) in emits {
+        em_obs::pseudo_select(count, tpr, tnr);
+    }
+    Ok(())
+}
 
-        // Lines 9-15: fresh student trained on the augmented D_L with
-        // dynamic data pruning.
-        let mut student = proto.fresh(cfg.seed.wrapping_add(iter as u64 * 2 + 1));
-        {
-            let _span = em_obs::span(em_obs::names::SPAN_STUDENT);
-            report.student = student.train(&d_l, valid, &cfg.student, cfg.prune.as_ref());
+/// What [`decode_lst_checkpoint`] reconstructs: the stage cursor, the
+/// carried teacher (when the stage needs one), and the best student so
+/// far with its validation F1.
+type DecodedLst<M> = (LstCursor, Option<M>, Option<(M, f64)>);
+
+/// Parse a self-train checkpoint and reconstruct the carried models.
+fn decode_lst_checkpoint<M: TunableMatcher>(
+    ckpt: &Checkpoint,
+    proto: &M,
+    cfg: &LstCfg,
+) -> Result<DecodedLst<M>, String> {
+    match ckpt.get("meta").map(|m| wire::Reader::new(m).str()) {
+        Some(Ok(kind)) if kind == "selftrain" => {}
+        _ => return Err("not a self-train checkpoint".to_string()),
+    }
+    let cursor = LstCursor::decode(ckpt.require("cursor").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let teacher = match ckpt.get("teacher") {
+        Some(bytes) => {
+            let s = MatcherState::decode(bytes).map_err(|e| e.to_string())?;
+            let mut t = proto.fresh(cfg.seed.wrapping_add(cursor.iter * 2));
+            if !t.import_state(&s) {
+                return Err("teacher state does not fit this model".to_string());
+            }
+            Some(t)
         }
-        report.pruned += report.student.pruned;
+        None => None,
+    };
+    if cursor.stage == Stage::TeacherDone && teacher.is_none() {
+        return Err("teacher-done checkpoint lacks a teacher section".to_string());
+    }
+    let best = match ckpt.get("best") {
+        Some(bytes) => {
+            let s = MatcherState::decode(bytes).map_err(|e| e.to_string())?;
+            let mut b = proto.fresh(cfg.seed);
+            if !b.import_state(&s) {
+                return Err("best-student state does not fit this model".to_string());
+            }
+            Some((b, cursor.best_f1))
+        }
+        None => None,
+    };
+    if cursor.stage == Stage::RoundDone && best.is_none() {
+        return Err("round-done checkpoint lacks a best-student section".to_string());
+    }
+    Ok((cursor, teacher, best))
+}
 
-        // Line 16: keep the best student on the validation set.
-        let f1 = crate::trainer::evaluate(&mut student, valid).f1;
-        match &best {
-            Some((_, best_f1)) if *best_f1 >= f1 => {}
-            _ => best = Some((student, f1)),
+/// Re-emit the trace events that stand in for the work a resumed run
+/// skips, so `promptem report --diff` against an uninterrupted run stays
+/// clean (see DESIGN.md §9).
+fn emit_restore_accounting(tag: u64, cursor: &LstCursor, prune_passes: u64) {
+    let restored_epochs: u64 = cursor
+        .skipped
+        .iter()
+        .map(|s| s.epochs_run.saturating_sub(1))
+        .sum();
+    em_obs::ckpt_restore(tag, 0, restored_epochs, 0);
+    for s in &cursor.skipped {
+        if s.epochs_run == 0 {
+            continue;
+        }
+        // One summarizing epoch event per skipped training: carries the
+        // training's full batch count and best validation F1 so the
+        // manifest's epoch/step/F1 totals match an uninterrupted run.
+        em_obs::epoch_summary(
+            s.epochs_run - 1,
+            s.final_train_loss as f64,
+            s.best_valid_f1.is_finite().then_some(s.best_valid_f1),
+            None,
+            0,
+            s.batches,
+            0,
+        );
+    }
+    if cursor.pruned_skipped > 0 {
+        em_obs::prune(cursor.pruned_skipped, prune_passes);
+    }
+    if em_obs::enabled() {
+        let skipped_steps: u64 = cursor.skipped.iter().map(|s| s.batches).sum();
+        if skipped_steps > 0 {
+            em_obs::metrics::counter("nn_optimizer_steps", &[("opt", "adamw")]).add(skipped_steps);
+        }
+    }
+}
+
+/// [`lightweight_self_train`] with crash safety: when `res` is given, the
+/// loop checkpoints at stage boundaries (teacher trained → pseudo-labels
+/// selected → round finished) and, with `res.resume`, continues a prior
+/// interrupted run from the last completed stage. Pool contents are
+/// reconstructed by replaying the recorded pseudo-label decisions, so the
+/// resumed run is deterministic given the same inputs.
+pub fn lightweight_self_train_with<M: TunableMatcher>(
+    proto: &M,
+    train: &[Example],
+    valid: &[Example],
+    unlabeled: &[EncodedPair],
+    gold: Option<&[bool]>,
+    cfg: &LstCfg,
+    res: Option<&ResilienceCtx>,
+) -> (M, LstReport) {
+    let mut state: LstState<M> = LstState {
+        d_l: train.to_vec(),
+        d_u: unlabeled.to_vec(),
+        d_u_gold: gold.map(|g| g.to_vec()),
+        report: LstReport::default(),
+        best: None,
+        history: Vec::new(),
+        skipped: Vec::new(),
+        pruned_skipped: 0,
+    };
+    let mut start_iter = 0u64;
+    let mut resume_stage: Option<Stage> = None;
+    let mut teacher_restored: Option<M> = None;
+
+    if let Some(res) = res.filter(|r| r.resume) {
+        if let Some((tag, ckpt)) = res.load_latest() {
+            match decode_lst_checkpoint(&ckpt, proto, cfg) {
+                Ok((cursor, teacher, best)) => match replay_history(&mut state, &cursor) {
+                    Ok(()) => {
+                        emit_restore_accounting(
+                            tag,
+                            &cursor,
+                            cfg.prune.as_ref().map_or(0, |p| p.passes as u64),
+                        );
+                        state.report.pseudo_selected =
+                            cursor.pseudo_selected.iter().map(|&n| n as usize).collect();
+                        state.report.pseudo_quality = cursor.pseudo_quality.clone();
+                        state.report.pruned = cursor.pruned as usize;
+                        state.report.teacher = cursor.teacher.clone();
+                        state.report.student = cursor.student.clone();
+                        state.skipped = cursor.skipped.clone();
+                        state.pruned_skipped = cursor.pruned_skipped;
+                        state.history = cursor.history.clone();
+                        state.best = best;
+                        start_iter = cursor.iter;
+                        resume_stage = Some(cursor.stage);
+                        teacher_restored = teacher;
+                    }
+                    Err(e) => {
+                        em_obs::warn(format!(
+                            "self-train checkpoint does not match this dataset, \
+                             starting fresh: {e}"
+                        ));
+                        state.d_l = train.to_vec();
+                        state.d_u = unlabeled.to_vec();
+                        state.d_u_gold = gold.map(|g| g.to_vec());
+                    }
+                },
+                Err(e) => {
+                    em_obs::warn(format!(
+                        "unusable self-train checkpoint, starting fresh: {e}"
+                    ));
+                }
+            }
+        }
+    }
+
+    let _lst_span = em_obs::span(em_obs::names::SPAN_LST);
+    for iter in start_iter..cfg.iterations.max(1) as u64 {
+        let _iter_span = em_obs::span_with(em_obs::names::SPAN_LST_ITER, format!("iter {iter}"));
+        let stage_done = if iter == start_iter {
+            resume_stage
+        } else {
+            None
+        };
+        let skip_select = matches!(stage_done, Some(Stage::SelectDone | Stage::RoundDone));
+        let skip_student = matches!(stage_done, Some(Stage::RoundDone));
+
+        // Lines 2-4: fresh teacher trained on D_L (or restored from the
+        // last checkpoint; not needed at all past the selection stage).
+        let mut teacher = teacher_restored.take();
+        if teacher.is_none() && !skip_select {
+            let mut t = proto.fresh(cfg.seed.wrapping_add(iter * 2));
+            {
+                let _span = em_obs::span(em_obs::names::SPAN_TEACHER);
+                state.report.teacher = t.train(&state.d_l, valid, &cfg.teacher, None);
+            }
+            state.record_training(&state.report.teacher.clone());
+            if let Some(res) = res {
+                state.save(res, iter, Stage::TeacherDone, Some(&t), None);
+            }
+            teacher = Some(t);
+        }
+
+        if !skip_select {
+            // Lines 5-8: uncertainty-aware pseudo-label selection.
+            // lint:allow(unwrap) — teacher was trained or restored above
+            let mut t = teacher.take().expect("teacher available before selection");
+            let selected = {
+                let _span = em_obs::span(em_obs::names::SPAN_PSEUDO_SELECT);
+                select_pseudo_labels(&mut t, &state.d_u, &cfg.pseudo)
+            };
+            state.report.pseudo_selected.push(selected.len());
+            let mut quality = None;
+            if let Some(g) = &state.d_u_gold {
+                let q = pseudo_label_quality(&selected, g);
+                state.report.pseudo_quality.push(q);
+                quality = Some(q);
+            }
+            em_obs::pseudo_select(
+                selected.len() as u64,
+                quality.map(|(tpr, _)| tpr),
+                quality.map(|(_, tnr)| tnr),
+            );
+            let (pseudo_examples, consumed) = apply_pseudo_labels(&state.d_u, &selected);
+            state.d_l.extend(pseudo_examples);
+            remove_indices(&mut state.d_u, &consumed);
+            if let Some(g) = &mut state.d_u_gold {
+                remove_indices(g, &consumed);
+            }
+            state.history.push(selected);
+            if let Some(res) = res {
+                state.save(res, iter, Stage::SelectDone, None, None);
+            }
+        }
+
+        if !skip_student {
+            // Lines 9-15: fresh student trained on the augmented D_L with
+            // dynamic data pruning.
+            let mut student = proto.fresh(cfg.seed.wrapping_add(iter * 2 + 1));
+            {
+                let _span = em_obs::span(em_obs::names::SPAN_STUDENT);
+                state.report.student =
+                    student.train(&state.d_l, valid, &cfg.student, cfg.prune.as_ref());
+            }
+            state.report.pruned += state.report.student.pruned;
+            state.record_training(&state.report.student.clone());
+
+            // Line 16: keep the best student on the validation set.
+            let f1 = crate::trainer::evaluate(&mut student, valid).f1;
+            match &state.best {
+                Some((_, best_f1)) if *best_f1 >= f1 => {}
+                _ => state.best = Some((student, f1)),
+            }
+            if let Some(res) = res {
+                let best_state = state.best.as_ref().and_then(|(m, _)| m.export_state());
+                state.save(res, iter, Stage::RoundDone, None, best_state.as_ref());
+            }
         }
     }
     // lint:allow(unwrap) — the loop body runs at least once
-    (best.expect("at least one iteration").0, report)
+    let (model, _) = state.best.expect("at least one iteration");
+    (model, state.report)
 }
 
 /// Remove elements at `indices` (any order) from `v`, preserving the order

@@ -63,10 +63,12 @@ impl Default for PruneCfg {
 }
 
 /// Outcome of a training run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrainReport {
     /// Epochs actually executed.
     pub epochs_run: usize,
+    /// Optimizer steps taken across the run (skipped batches excluded).
+    pub batches_run: usize,
     /// Best validation F1 observed (with calibrated threshold).
     pub best_valid_f1: f64,
     /// Mean loss of the final epoch.
@@ -118,6 +120,21 @@ pub trait TunableMatcher {
     fn predict(&mut self, pairs: &[EncodedPair]) -> Vec<bool> {
         let t = self.threshold();
         self.predict_proba(pairs).iter().map(|&p| p > t).collect()
+    }
+
+    /// Freeze the tuned state (weights, threshold, RNG position) for a
+    /// crash-safe checkpoint. `None` (the default) means the matcher does
+    /// not support checkpointing and the self-train loop skips its stage
+    /// checkpoints.
+    fn export_state(&self) -> Option<crate::resume::MatcherState> {
+        None
+    }
+
+    /// Install state captured by [`TunableMatcher::export_state`] on a
+    /// freshly built model. Returns `false` when unsupported or when the
+    /// state does not fit this model (wrong shapes).
+    fn import_state(&mut self, _state: &crate::resume::MatcherState) -> bool {
+        false
     }
 }
 

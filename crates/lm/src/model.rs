@@ -6,7 +6,7 @@
 use crate::config::LmConfig;
 use crate::encoder::Encoder;
 use crate::heads::MlmHead;
-use crate::pretrain::{pretrain_mlm, PretrainCfg};
+use crate::pretrain::{pretrain_mlm_resilient, PretrainCfg};
 use crate::tokenizer::Tokenizer;
 use em_nn::ParamStore;
 use rand::rngs::StdRng;
@@ -37,14 +37,34 @@ impl PretrainedLm {
         pretrain_cfg: &PretrainCfg,
         seed: u64,
     ) -> Self {
+        Self::pretrain_resilient(corpus, cfg_for, pretrain_cfg, seed, None)
+    }
+
+    /// [`PretrainedLm::pretrain`] with crash safety: when `res` is given,
+    /// checkpoints periodically and (if `res.resume`) continues a prior
+    /// interrupted run deterministically.
+    pub fn pretrain_resilient(
+        corpus: &[String],
+        cfg_for: impl FnOnce(usize) -> LmConfig,
+        pretrain_cfg: &PretrainCfg,
+        seed: u64,
+        res: Option<&em_resilience::ResilienceCtx>,
+    ) -> Self {
         let tokenizer = Tokenizer::fit(corpus.iter().map(|s| s.as_str()), 2);
         let cfg = cfg_for(tokenizer.vocab_size());
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
         let encoder = Encoder::new(&mut store, cfg, &mut rng);
         let mlm = MlmHead::new(&mut store, &encoder, &mut rng);
-        let final_mlm_loss =
-            pretrain_mlm(&mut store, &encoder, &mlm, &tokenizer, corpus, pretrain_cfg);
+        let final_mlm_loss = pretrain_mlm_resilient(
+            &mut store,
+            &encoder,
+            &mlm,
+            &tokenizer,
+            corpus,
+            pretrain_cfg,
+            res,
+        );
         PretrainedLm {
             store,
             encoder,

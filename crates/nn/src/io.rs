@@ -6,9 +6,15 @@
 //! registration order); names and shapes are verified to catch mismatches.
 
 use crate::optim::ParamStore;
+use crate::tensor::Matrix;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"EMNNPAR1";
+const OPT_MAGIC: &[u8; 8] = b"EMNNOPT1";
+
+/// Cap on a single length-prefixed field; a claimed length beyond this on
+/// a stream reader is corruption, not data, and must not drive allocation.
+const MAX_FIELD: usize = 1 << 20;
 
 /// Write every parameter's value to `w`.
 pub fn write_params(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
@@ -29,6 +35,11 @@ pub fn write_params(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
 }
 
 /// Read parameter values from `r` into an already-constructed store.
+///
+/// Loading is all-or-nothing: every section is parsed into a staging
+/// buffer and validated (magic, count, each name and shape) before a
+/// single value is written back. A truncated or mismatched file leaves
+/// `store` exactly as it was.
 pub fn read_params(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
@@ -45,13 +56,10 @@ pub fn read_params(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> 
             ),
         ));
     }
-    let ids: Vec<_> = store.ids().collect();
-    for id in ids {
-        let name_len = read_u64(r)? as usize;
-        let mut name = vec![0u8; name_len];
-        r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 name"))?;
+    // Stage: parse and validate everything without touching the store.
+    let mut staged: Vec<Vec<f32>> = Vec::with_capacity(count);
+    for id in store.ids() {
+        let name = read_string(r)?;
         if name != store.name(id) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -69,11 +77,96 @@ pub fn read_params(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> 
                 format!("shape mismatch for '{name}'"),
             ));
         }
-        let buf = store.value_mut(id).data_mut();
-        let mut bytes = vec![0u8; rows * cols * 4];
-        r.read_exact(&mut bytes)?;
-        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
-            buf[i] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        staged.push(read_f32s(r, rows * cols)?);
+    }
+    // Commit: only now does the destination change.
+    for (id, values) in store.ids().collect::<Vec<_>>().into_iter().zip(staged) {
+        store.value_mut(id).data_mut().copy_from_slice(&values);
+    }
+    Ok(())
+}
+
+fn read_f32s(r: &mut impl Read, n: usize) -> io::Result<Vec<f32>> {
+    let mut bytes = vec![0u8; n * 4];
+    r.read_exact(&mut bytes)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Write the Adam moment buffers held in `store` (presence flag + both
+/// moment matrices per parameter). The optimizer's step counter lives
+/// outside the store and is serialized by the caller's cursor.
+pub fn write_opt_state(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(OPT_MAGIC)?;
+    w.write_all(&(store.len() as u64).to_le_bytes())?;
+    for id in store.ids() {
+        let (m, v) = store.moments(id);
+        match (m, v) {
+            (Some(m), Some(v)) => {
+                w.write_all(&[1u8])?;
+                for mat in [m, v] {
+                    for &x in mat.data() {
+                        w.write_all(&x.to_le_bytes())?;
+                    }
+                }
+            }
+            _ => w.write_all(&[0u8])?,
+        }
+    }
+    Ok(())
+}
+
+/// Restore Adam moment buffers written by [`write_opt_state`]. Like
+/// [`read_params`], this is all-or-nothing: the store's moments change
+/// only after the whole stream validates. Shapes are taken from the
+/// store's current values (the format stores none of its own).
+pub fn read_opt_state(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != OPT_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad opt magic"));
+    }
+    let count = read_u64(r)? as usize;
+    if count != store.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "optimizer state count mismatch: file {count}, store {}",
+                store.len()
+            ),
+        ));
+    }
+    let mut staged: Vec<Option<(Vec<f32>, Vec<f32>)>> = Vec::with_capacity(count);
+    for id in store.ids() {
+        let mut flag = [0u8; 1];
+        r.read_exact(&mut flag)?;
+        match flag[0] {
+            0 => staged.push(None),
+            1 => {
+                let n = store.value(id).len();
+                let m = read_f32s(r, n)?;
+                let v = read_f32s(r, n)?;
+                staged.push(Some((m, v)));
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad moment presence flag {other}"),
+                ));
+            }
+        }
+    }
+    for (id, entry) in store.ids().collect::<Vec<_>>().into_iter().zip(staged) {
+        let (rows, cols) = store.value(id).shape();
+        match entry {
+            Some((m, v)) => store.set_moments(
+                id,
+                Some(Matrix::from_vec(rows, cols, m)),
+                Some(Matrix::from_vec(rows, cols, v)),
+            ),
+            None => store.set_moments(id, None, None),
         }
     }
     Ok(())
@@ -89,6 +182,12 @@ pub fn read_u64(r: &mut impl Read) -> io::Result<u64> {
 /// Read a length-prefixed UTF-8 string.
 pub fn read_string(r: &mut impl Read) -> io::Result<String> {
     let len = read_u64(r)? as usize;
+    if len > MAX_FIELD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("string length {len} exceeds limit (corrupt input?)"),
+        ));
+    }
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)?;
     String::from_utf8(buf).map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8"))
@@ -143,6 +242,64 @@ mod tests {
         wrong_shape.register("a", Matrix::zeros(2, 2));
         wrong_shape.register("b", Matrix::zeros(2, 1));
         assert!(read_params(&mut wrong_shape, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn failed_read_leaves_store_untouched() {
+        let src = store_with(&[1.0, 2.0, 3.0, 4.0]);
+        let mut buf = Vec::new();
+        write_params(&src, &mut buf).unwrap();
+
+        let original = [9.0, 8.0, 7.0, 6.0];
+        // Truncation at every prefix length must leave all values intact.
+        for cut in 0..buf.len() {
+            let mut dst = store_with(&original);
+            assert!(
+                read_params(&mut dst, &mut buf[..cut].as_ref()).is_err(),
+                "prefix of {cut} bytes parsed successfully"
+            );
+            let got: Vec<f32> = dst
+                .ids()
+                .flat_map(|id| dst.value(id).data().to_vec())
+                .collect();
+            assert_eq!(got, original, "store mutated by truncation at {cut}");
+        }
+
+        // A late mismatch (second parameter's shape) must also be atomic.
+        let mut wrong_shape = ParamStore::new();
+        wrong_shape.register("a", Matrix::full(1, 2, 5.0));
+        wrong_shape.register("b", Matrix::full(1, 1, 5.0));
+        assert!(read_params(&mut wrong_shape, &mut buf.as_slice()).is_err());
+        for id in wrong_shape.ids() {
+            assert!(wrong_shape.value(id).data().iter().all(|&v| v == 5.0));
+        }
+    }
+
+    #[test]
+    fn opt_state_round_trips() {
+        use crate::optim::AdamW;
+        let mut src = store_with(&[1.0, 2.0, 3.0, 4.0]);
+        for id in src.ids().collect::<Vec<_>>() {
+            src.grad_mut(id).data_mut().fill(0.25);
+        }
+        let mut opt = AdamW::new(0.01);
+        opt.step(&mut src);
+        let mut buf = Vec::new();
+        write_opt_state(&src, &mut buf).unwrap();
+
+        let mut dst = src.clone(); // clone drops moments
+        read_opt_state(&mut dst, &mut buf.as_slice()).unwrap();
+        for id in src.ids() {
+            assert_eq!(src.moments(id).0, dst.moments(id).0);
+            assert_eq!(src.moments(id).1, dst.moments(id).1);
+        }
+
+        // Truncated optimizer state must not install partial moments.
+        let mut partial = src.clone();
+        assert!(read_opt_state(&mut partial, &mut buf[..buf.len() - 3].as_ref()).is_err());
+        for id in partial.ids() {
+            assert!(partial.moments(id).0.is_none());
+        }
     }
 
     #[test]

@@ -135,6 +135,30 @@ impl ParamStore {
         (0..self.params.len()).map(ParamId)
     }
 
+    /// Adam moment buffers of a parameter (`None` before the first AdamW
+    /// step). Exposed for checkpointing.
+    pub fn moments(&self, id: ParamId) -> (Option<&Matrix>, Option<&Matrix>) {
+        let p = &self.params[id.0];
+        (p.m.as_ref(), p.v.as_ref())
+    }
+
+    /// Install Adam moment buffers (checkpoint restore). Shapes must match
+    /// the parameter value; both moments must be present or both absent.
+    pub fn set_moments(&mut self, id: ParamId, m: Option<Matrix>, v: Option<Matrix>) {
+        let p = &mut self.params[id.0];
+        assert_eq!(
+            m.is_some(),
+            v.is_some(),
+            "moments must be set or cleared together"
+        );
+        if let (Some(m), Some(v)) = (&m, &v) {
+            assert_eq!(m.shape(), p.value.shape(), "first-moment shape mismatch");
+            assert_eq!(v.shape(), p.value.shape(), "second-moment shape mismatch");
+        }
+        p.m = m;
+        p.v = v;
+    }
+
     /// Global gradient clipping by L2 norm; returns the pre-clip norm.
     pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
         let total: f32 = self
@@ -193,6 +217,13 @@ impl AdamW {
     /// Number of optimizer steps taken so far.
     pub fn steps(&self) -> u64 {
         self.step
+    }
+
+    /// Restore the step counter from a checkpoint. Bias correction (and any
+    /// schedule derived from [`AdamW::steps`]) depends on it, so a resumed
+    /// optimizer must get the saved value back before its next step.
+    pub fn set_steps(&mut self, steps: u64) {
+        self.step = steps;
     }
 
     /// Apply one update using the gradients accumulated in `store`.
@@ -348,6 +379,25 @@ mod tests {
             .sum::<f32>()
             .sqrt();
         assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn moment_accessors_round_trip() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::full(1, 2, 1.0));
+        store.grad_mut(w).data_mut().fill(0.5);
+        let mut opt = AdamW::new(0.1);
+        opt.step(&mut store);
+        let (m, v) = store.moments(w);
+        let (m, v) = (m.cloned(), v.cloned());
+        assert!(m.is_some() && v.is_some());
+        let mut restored = store.clone(); // clone drops optimizer state
+        assert!(restored.moments(w).0.is_none());
+        restored.set_moments(w, m.clone(), v);
+        assert_eq!(restored.moments(w).0, m.as_ref());
+        let mut resumed = AdamW::new(0.1);
+        resumed.set_steps(opt.steps());
+        assert_eq!(resumed.steps(), 1);
     }
 
     #[test]

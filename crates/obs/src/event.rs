@@ -190,6 +190,55 @@ pub enum EventKind {
         /// Estimated 99th percentile (histograms only).
         p99: Option<f64>,
     },
+    /// A training checkpoint was durably written (atomic temp → fsync →
+    /// rename). Fields: `step` (optimizer-step or round tag), `bytes`
+    /// (encoded size), `kept` (files remaining after rotation).
+    CkptSave {
+        /// Monotone tag: optimizer step (pretrain) or round (self-train).
+        step: u64,
+        /// Encoded checkpoint size in bytes.
+        bytes: u64,
+        /// Checkpoint files kept on disk after rotation.
+        kept: u64,
+    },
+    /// A run resumed from a checkpoint. The counters record the work the
+    /// resumed process *skips*, so a manifest built from its trace matches
+    /// an uninterrupted same-seed run (`em-prof` adds them back in).
+    /// Fields: `step`, `pretrain_steps`, `epochs`, `batches`.
+    CkptRestore {
+        /// The checkpoint tag resumed from.
+        step: u64,
+        /// Pretrain optimizer steps already taken before the checkpoint.
+        pretrain_steps: u64,
+        /// Epoch summaries the dead process had already emitted.
+        epochs: u64,
+        /// Batches accounted in those epoch summaries.
+        batches: u64,
+    },
+    /// A non-finite batch loss was detected and the batch skipped instead
+    /// of aborting the run. Fields: `phase` (e.g. `"pretrain"`,
+    /// `"finetune"`), `step` (batch counter in that phase), `consecutive`
+    /// (run length of bad batches so far).
+    RecoveredBatch {
+        /// Which training phase recovered.
+        phase: String,
+        /// The phase's batch/step counter at the failure.
+        step: u64,
+        /// Consecutive bad batches including this one.
+        consecutive: u64,
+    },
+    /// A transient I/O failure triggered a bounded retry with deterministic
+    /// backoff. Fields: `op` (operation name, e.g. `"ckpt_write"`),
+    /// `attempt` (1-based failed attempt), `delay_ms` (backoff before the
+    /// next attempt).
+    IoRetry {
+        /// The retried operation.
+        op: String,
+        /// The attempt that just failed (1-based).
+        attempt: u64,
+        /// Backoff applied before the next attempt, in milliseconds.
+        delay_ms: u64,
+    },
 }
 
 impl EventKind {
@@ -208,6 +257,10 @@ impl EventKind {
             EventKind::Message { .. } => names::EV_MESSAGE,
             EventKind::UncHist { .. } => names::EV_UNC_HIST,
             EventKind::Metric { .. } => names::EV_METRIC,
+            EventKind::CkptSave { .. } => names::EV_CKPT_SAVE,
+            EventKind::CkptRestore { .. } => names::EV_CKPT_RESTORE,
+            EventKind::RecoveredBatch { .. } => names::EV_RECOVERED_BATCH,
+            EventKind::IoRetry { .. } => names::EV_IO_RETRY,
         }
     }
 
@@ -225,9 +278,14 @@ impl EventKind {
                     Level::Debug
                 }
             }
+            // Skipping a batch or retrying I/O is a recovery, not business
+            // as usual — surface it.
+            EventKind::RecoveredBatch { .. } | EventKind::IoRetry { .. } => Level::Warn,
             EventKind::EpochSummary { .. }
             | EventKind::PseudoSelect { .. }
-            | EventKind::Prune { .. } => Level::Info,
+            | EventKind::Prune { .. }
+            | EventKind::CkptRestore { .. } => Level::Info,
+            EventKind::CkptSave { .. } => Level::Debug,
             EventKind::SpanOpen { .. }
             | EventKind::SpanClose { .. }
             | EventKind::PretrainStep { .. }
@@ -424,6 +482,38 @@ impl Event {
                 push_opt_f64(&mut s, "p95", *p95);
                 push_opt_f64(&mut s, "p99", *p99);
             }
+            EventKind::CkptSave { step, bytes, kept } => {
+                let _ = write!(s, ",\"step\":{step},\"bytes\":{bytes},\"kept\":{kept}");
+            }
+            EventKind::CkptRestore {
+                step,
+                pretrain_steps,
+                epochs,
+                batches,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"step\":{step},\"pretrain_steps\":{pretrain_steps},\"epochs\":{epochs},\"batches\":{batches}"
+                );
+            }
+            EventKind::RecoveredBatch {
+                phase,
+                step,
+                consecutive,
+            } => {
+                s.push_str(",\"phase\":");
+                push_json_str(&mut s, phase);
+                let _ = write!(s, ",\"step\":{step},\"consecutive\":{consecutive}");
+            }
+            EventKind::IoRetry {
+                op,
+                attempt,
+                delay_ms,
+            } => {
+                s.push_str(",\"op\":");
+                push_json_str(&mut s, op);
+                let _ = write!(s, ",\"attempt\":{attempt},\"delay_ms\":{delay_ms}");
+            }
         }
         s.push('}');
         s
@@ -544,6 +634,27 @@ impl Event {
                 p50: opt_num("p50")?,
                 p95: opt_num("p95")?,
                 p99: opt_num("p99")?,
+            },
+            names::EV_CKPT_SAVE => EventKind::CkptSave {
+                step: num("step")? as u64,
+                bytes: num("bytes")? as u64,
+                kept: num("kept")? as u64,
+            },
+            names::EV_CKPT_RESTORE => EventKind::CkptRestore {
+                step: num("step")? as u64,
+                pretrain_steps: num("pretrain_steps")? as u64,
+                epochs: num("epochs")? as u64,
+                batches: num("batches")? as u64,
+            },
+            names::EV_RECOVERED_BATCH => EventKind::RecoveredBatch {
+                phase: text("phase")?,
+                step: num("step")? as u64,
+                consecutive: num("consecutive")? as u64,
+            },
+            names::EV_IO_RETRY => EventKind::IoRetry {
+                op: text("op")?,
+                attempt: num("attempt")? as u64,
+                delay_ms: num("delay_ms")? as u64,
             },
             other => return Err(format!("unknown event type '{other}'")),
         };
@@ -670,6 +781,29 @@ impl Event {
                 }
                 s
             }
+            EventKind::CkptSave { step, bytes, kept } => {
+                format!("checkpoint saved at step {step} ({bytes} bytes, {kept} kept)")
+            }
+            EventKind::CkptRestore {
+                step,
+                pretrain_steps,
+                epochs,
+                batches,
+            } => format!(
+                "resumed from checkpoint {step} (skipping {pretrain_steps} pretrain steps, {epochs} epochs / {batches} batches)"
+            ),
+            EventKind::RecoveredBatch {
+                phase,
+                step,
+                consecutive,
+            } => format!(
+                "recovered batch: non-finite loss in {phase} at step {step} ({consecutive} consecutive), batch skipped"
+            ),
+            EventKind::IoRetry {
+                op,
+                attempt,
+                delay_ms,
+            } => format!("I/O retry: {op} attempt {attempt} failed, backing off {delay_ms}ms"),
         };
         format!("{prefix} {body}")
     }
@@ -954,6 +1088,27 @@ mod tests {
             p50: Some(0.09375),
             p95: Some(0.375),
             p99: Some(0.75),
+        });
+        round_trip(EventKind::CkptSave {
+            step: 250,
+            bytes: 1_048_576,
+            kept: 3,
+        });
+        round_trip(EventKind::CkptRestore {
+            step: 250,
+            pretrain_steps: 250,
+            epochs: 12,
+            batches: 96,
+        });
+        round_trip(EventKind::RecoveredBatch {
+            phase: "pretrain".into(),
+            step: 117,
+            consecutive: 2,
+        });
+        round_trip(EventKind::IoRetry {
+            op: "ckpt_write".into(),
+            attempt: 1,
+            delay_ms: 25,
         });
     }
 

@@ -238,6 +238,42 @@ pub fn block(candidates: u64) {
     emit(EventKind::Block { candidates });
 }
 
+/// Emit a `ckpt_save` event (a checkpoint was durably written).
+pub fn ckpt_save(step: u64, bytes: u64, kept: u64) {
+    emit(EventKind::CkptSave { step, bytes, kept });
+}
+
+/// Emit a `ckpt_restore` event (a run resumed from a checkpoint). The
+/// counters record the already-done work this process skips; `em-prof`
+/// adds them to its manifest so resumed and uninterrupted runs compare
+/// equal.
+pub fn ckpt_restore(step: u64, pretrain_steps: u64, epochs: u64, batches: u64) {
+    emit(EventKind::CkptRestore {
+        step,
+        pretrain_steps,
+        epochs,
+        batches,
+    });
+}
+
+/// Emit a `recovered_batch` event (a non-finite batch loss was skipped).
+pub fn recovered_batch(phase: &'static str, step: u64, consecutive: u64) {
+    emit(EventKind::RecoveredBatch {
+        phase: phase.into(),
+        step,
+        consecutive,
+    });
+}
+
+/// Emit an `io_retry` event (transient I/O failure, bounded retry).
+pub fn io_retry(op: impl Into<String>, attempt: u64, delay_ms: u64) {
+    emit(EventKind::IoRetry {
+        op: op.into(),
+        attempt,
+        delay_ms,
+    });
+}
+
 /// Emit a `non_finite` event (the tape sanitizer caught a NaN/Inf buffer).
 pub fn non_finite(op: impl Into<String>, node: u64, stage: &'static str, bad: u64, total: u64) {
     emit(EventKind::NonFinite {

@@ -31,9 +31,19 @@ pub const EV_MESSAGE: &str = "message";
 pub const EV_UNC_HIST: &str = "unc_hist";
 /// `metric` — one registry metric sampled into the trace (at shutdown).
 pub const EV_METRIC: &str = "metric";
+/// `ckpt_save` — a training checkpoint was durably written.
+pub const EV_CKPT_SAVE: &str = "ckpt_save";
+/// `ckpt_restore` — a run resumed from a checkpoint; carries the work
+/// counters the resumed process skips so manifests stay comparable.
+pub const EV_CKPT_RESTORE: &str = "ckpt_restore";
+/// `recovered_batch` — a non-finite batch loss was skipped (graceful
+/// degradation instead of an abort).
+pub const EV_RECOVERED_BATCH: &str = "recovered_batch";
+/// `io_retry` — a transient I/O failure triggered a bounded retry.
+pub const EV_IO_RETRY: &str = "io_retry";
 
 /// Every event type tag, in schema order.
-pub const ALL_EVENT_TAGS: [&str; 12] = [
+pub const ALL_EVENT_TAGS: [&str; 16] = [
     EV_SPAN_OPEN,
     EV_SPAN_CLOSE,
     EV_EPOCH_SUMMARY,
@@ -46,6 +56,10 @@ pub const ALL_EVENT_TAGS: [&str; 12] = [
     EV_MESSAGE,
     EV_UNC_HIST,
     EV_METRIC,
+    EV_CKPT_SAVE,
+    EV_CKPT_RESTORE,
+    EV_RECOVERED_BATCH,
+    EV_IO_RETRY,
 ];
 
 /// One CLI `match` invocation (detail: dataset name).

@@ -58,7 +58,9 @@ pub fn stderr_level() -> Option<Level> {
 /// Open (truncating) a JSONL trace file; every event is appended as one
 /// JSON object per line in the schema documented in [`crate::event`].
 pub fn open_jsonl(path: &Path) -> std::io::Result<()> {
-    let file = File::create(path)?;
+    // A trace is an append-only stream, not a document: there is nothing
+    // atomic to rename into place, and a truncated tail is recoverable.
+    let file = File::create(path)?; // lint:allow(atomic-io)
     *JSONL.lock().expect("jsonl sink poisoned") = Some(BufWriter::new(file)); // lint:allow(unwrap)
     JSONL_ACTIVE.store(1, Ordering::Relaxed);
     Ok(())

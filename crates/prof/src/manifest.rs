@@ -46,6 +46,14 @@ pub struct RunManifest {
     pub pruned: u64,
     /// NaN/Inf sanitizer findings (should be 0 on a healthy run).
     pub non_finite_events: u64,
+    /// Checkpoints written during the run.
+    pub ckpt_saves: u64,
+    /// Checkpoint restores (0 on an uninterrupted run).
+    pub ckpt_restores: u64,
+    /// Batches skipped by the non-finite-loss guard.
+    pub recovered_batches: u64,
+    /// I/O retries taken by the atomic writer.
+    pub io_retries: u64,
     /// Per-span-name profile rows, sorted by total time descending.
     pub phases: Vec<FlameRow>,
 }
@@ -98,6 +106,23 @@ pub fn manifest(events: &[Event]) -> RunManifest {
             }
             EventKind::Prune { dropped, .. } => m.pruned += dropped,
             EventKind::NonFinite { .. } => m.non_finite_events += 1,
+            EventKind::CkptSave { .. } => m.ckpt_saves += 1,
+            // A restore carries the work the interrupted run had already
+            // banked: fold it back in so a resumed trace accounts for the
+            // same optimizer steps as an uninterrupted one.
+            EventKind::CkptRestore {
+                pretrain_steps,
+                epochs,
+                batches,
+                ..
+            } => {
+                m.ckpt_restores += 1;
+                m.pretrain_steps += pretrain_steps;
+                m.epochs += epochs;
+                m.epoch_batches += batches;
+            }
+            EventKind::RecoveredBatch { .. } => m.recovered_batches += 1,
+            EventKind::IoRetry { .. } => m.io_retries += 1,
             // Gauge names carry folded labels: `core_test_f1{dataset="x"}`.
             EventKind::Metric { name, value, .. }
                 if name == TEST_F1_METRIC || name.starts_with(&format!("{TEST_F1_METRIC}{{")) =>
@@ -205,6 +230,16 @@ mod tests {
             ),
             ev(
                 8,
+                410,
+                EventKind::CkptRestore {
+                    step: 5,
+                    pretrain_steps: 5,
+                    epochs: 1,
+                    batches: 4,
+                },
+            ),
+            ev(
+                9,
                 420,
                 EventKind::Metric {
                     name: "core_test_f1{dataset=\"rel-heter\"}".into(),
@@ -219,13 +254,14 @@ mod tests {
         ];
         let m = manifest(&events);
         assert_eq!(m.seed, 13);
-        assert_eq!(m.events, 8);
+        assert_eq!(m.events, 9);
         assert_eq!(m.total_wall_us, 320, "420 - 100");
         assert_eq!(m.peak_heap, 5000);
-        assert_eq!(m.pretrain_steps, 1);
-        assert_eq!(m.epoch_batches, 8);
-        assert_eq!(m.optimizer_steps, 9);
-        assert_eq!(m.epochs, 2);
+        assert_eq!(m.pretrain_steps, 6, "1 live + 5 banked in the restore");
+        assert_eq!(m.epoch_batches, 12, "8 live + 4 banked");
+        assert_eq!(m.optimizer_steps, 18);
+        assert_eq!(m.epochs, 3, "2 live + 1 banked");
+        assert_eq!(m.ckpt_restores, 1);
         assert_eq!(m.best_valid_f1, Some(85.0));
         assert_eq!(m.final_train_loss, Some(0.4));
         assert_eq!(m.test_f1, Some(88.5));

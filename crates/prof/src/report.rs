@@ -13,6 +13,8 @@
 //!   "best_valid_f1": null, "test_f1": null, "final_train_loss": null,
 //!   "pseudo_selected": 0, "pseudo_tpr": null, "pseudo_tnr": null,
 //!   "pruned": 0, "non_finite_events": 0,
+//!   "ckpt_saves": 0, "ckpt_restores": 0,
+//!   "recovered_batches": 0, "io_retries": 0,
 //!   "phases": [
 //!     {"name": "pretrain", "calls": 1, "total_us": 0, "self_us": 0,
 //!      "heap_delta": 0, "heap_peak": 0}
@@ -61,6 +63,10 @@ pub fn bench_report_json(m: &RunManifest) -> String {
     push_opt(&mut s, m.pseudo_tnr);
     let _ = writeln!(s, ",\n  \"pruned\": {},", m.pruned);
     let _ = writeln!(s, "  \"non_finite_events\": {},", m.non_finite_events);
+    let _ = writeln!(s, "  \"ckpt_saves\": {},", m.ckpt_saves);
+    let _ = writeln!(s, "  \"ckpt_restores\": {},", m.ckpt_restores);
+    let _ = writeln!(s, "  \"recovered_batches\": {},", m.recovered_batches);
+    let _ = writeln!(s, "  \"io_retries\": {},", m.io_retries);
     s.push_str("  \"phases\": [");
     for (i, p) in m.phases.iter().enumerate() {
         if i > 0 {
@@ -118,6 +124,13 @@ pub fn render_report(m: &RunManifest, top: usize) -> String {
         fmt_f1(m.pseudo_tnr),
         m.pruned
     );
+    if m.ckpt_saves + m.ckpt_restores + m.recovered_batches + m.io_retries > 0 {
+        let _ = writeln!(
+            s,
+            "resilience: {} checkpoints saved · {} restores · {} batches recovered · {} io retries",
+            m.ckpt_saves, m.ckpt_restores, m.recovered_batches, m.io_retries
+        );
+    }
     if m.non_finite_events > 0 {
         let _ = writeln!(
             s,
@@ -153,6 +166,10 @@ mod tests {
             pseudo_tnr: None,
             pruned: 3,
             non_finite_events: 0,
+            ckpt_saves: 2,
+            ckpt_restores: 0,
+            recovered_batches: 0,
+            io_retries: 0,
             phases: vec![FlameRow {
                 name: "tune".into(),
                 calls: 1,
@@ -178,6 +195,7 @@ mod tests {
             "\"pseudo_selected\": 6",
             "\"name\": \"tune\"",
             "\"self_us\": 900",
+            "\"ckpt_saves\": 2",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

@@ -90,6 +90,27 @@ fn make_kind(
             mean: (x + y) / 2.0,
             counts,
         },
+        12 => EventKind::CkptSave {
+            step: a,
+            bytes: b,
+            kept: a % 7,
+        },
+        13 => EventKind::CkptRestore {
+            step: a,
+            pretrain_steps: b,
+            epochs: a % 11,
+            batches: b % 19,
+        },
+        14 => EventKind::RecoveredBatch {
+            phase: text,
+            step: a,
+            consecutive: b % 5,
+        },
+        15 => EventKind::IoRetry {
+            op: text,
+            attempt: a % 4,
+            delay_ms: b % 1000,
+        },
         _ => EventKind::Metric {
             name: text,
             kind: ["counter", "gauge", "histogram"][(a % 3) as usize].into(),
@@ -107,7 +128,7 @@ proptest! {
 
     #[test]
     fn every_event_kind_round_trips_through_the_reader(
-        kind_idx in 0usize..12,
+        kind_idx in 0usize..17,
         ints in (0u64..1_000_000_000, 0u64..1_000_000, 0u64..1 << 40, 0u8..16),
         floats in (-1e9f64..1e9, 0.0f64..100.0),
         text in "[a-zA-Z0-9_ .\"\\\\/-]{0,16}",

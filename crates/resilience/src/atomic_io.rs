@@ -1,0 +1,161 @@
+//! Atomic durable writes plus bounded retry.
+//!
+//! The write protocol is the classic temp → fsync → rename → fsync(dir)
+//! sequence: readers either see the old file or the complete new one, never
+//! a prefix. This module is the only sanctioned home of raw `File::create`
+//! in lib code (enforced by the em-lint `atomic-io` rule).
+
+use crate::failpoint::{self, Action};
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Attempts made by [`write_with_retry`] before giving up.
+pub const RETRY_ATTEMPTS: u32 = 3;
+
+/// Write `bytes` to `path` atomically: the data lands in `<path>.tmp`
+/// first, is fsynced, then renamed over the destination. On any error the
+/// destination is untouched and the temp file is removed best-effort.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    atomic_write_named("", path, bytes)
+}
+
+/// [`atomic_write`] guarded by the failpoint `fp_name` (empty = unguarded):
+/// `io_err` fails the write, `truncate` completes it with half the payload
+/// (a torn write the *reader* must catch — rename still happens).
+pub fn atomic_write_named(fp_name: &str, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut effective = bytes;
+    if !fp_name.is_empty() {
+        match failpoint::check(fp_name) {
+            Some(Action::IoErr) => {
+                return Err(io::Error::other(format!(
+                    "failpoint '{fp_name}': injected I/O error"
+                )));
+            }
+            Some(Action::Truncate) => effective = &bytes[..bytes.len() / 2],
+            Some(Action::Delay) => std::thread::sleep(std::time::Duration::from_millis(100)),
+            Some(Action::Panic) => panic!("failpoint '{fp_name}': injected crash"),
+            Some(Action::Nan) | None => {}
+        }
+    }
+
+    let tmp = tmp_path(path);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(effective)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path);
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Durability of the rename itself requires fsyncing the parent directory;
+/// best-effort because not every filesystem supports opening directories.
+fn sync_parent_dir(path: &Path) {
+    #[cfg(unix)]
+    if let Some(parent) = path.parent() {
+        if let Ok(d) = File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+}
+
+/// Run a fallible I/O operation with bounded retry and deterministic
+/// backoff (25ms, 50ms between attempts). Each retry emits an `io_retry`
+/// em-obs event so transient storage trouble is visible in traces.
+pub fn write_with_retry<F>(op_name: &str, mut op: F) -> io::Result<()>
+where
+    F: FnMut() -> io::Result<()>,
+{
+    let mut last_err = None;
+    for attempt in 1..=RETRY_ATTEMPTS {
+        match op() {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                if attempt < RETRY_ATTEMPTS {
+                    em_obs::io_retry(op_name, attempt as u64, 25 * attempt as u64);
+                    std::thread::sleep(std::time::Duration::from_millis(25 * attempt as u64));
+                }
+                last_err = Some(e);
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("retry loop without attempts")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("em-resilience-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).expect("create temp dir");
+        d
+    }
+
+    #[test]
+    fn atomic_write_round_trips() {
+        let dir = tmp_dir("aw");
+        let p = dir.join("out.bin");
+        atomic_write(&p, b"hello").expect("write");
+        assert_eq!(std::fs::read(&p).expect("read"), b"hello");
+        // Overwrite is atomic too.
+        atomic_write(&p, b"world!").expect("rewrite");
+        assert_eq!(std::fs::read(&p).expect("read"), b"world!");
+        // No temp litter.
+        assert!(!dir.join("out.bin.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_leaves_destination_untouched() {
+        let dir = tmp_dir("fw");
+        let p = dir.join("missing-parent").join("out.bin");
+        assert!(atomic_write(&p, b"x").is_err());
+        assert!(!p.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_failures() {
+        let mut failures_left = 2;
+        let result = write_with_retry("test_op", || {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(io::Error::other("transient"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(result.is_ok());
+        assert_eq!(failures_left, 0);
+    }
+
+    #[test]
+    fn retry_gives_up_after_bounded_attempts() {
+        let mut calls = 0;
+        let result = write_with_retry("test_op", || {
+            calls += 1;
+            Err(io::Error::other("persistent"))
+        });
+        assert!(result.is_err());
+        assert_eq!(calls, RETRY_ATTEMPTS);
+    }
+}

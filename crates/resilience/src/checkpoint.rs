@@ -1,0 +1,429 @@
+//! The checkpoint container: named sections, each CRC32-checksummed.
+//!
+//! On-disk layout (all integers little-endian):
+//!
+//! ```text
+//! magic    8 bytes   "EMCKPT01"
+//! version  u32       currently 1
+//! count    u64       number of sections
+//! section  repeated: name_len u64, name bytes,
+//!                    payload_len u64, payload bytes,
+//!                    crc u32 over (name bytes ++ payload bytes)
+//! ```
+//!
+//! Decoding validates the magic, version, every CRC, and exact
+//! consumption of the input — any single-byte corruption or truncation
+//! yields a typed [`CkptError`], never a silently different checkpoint
+//! (covered exhaustively by the flip-every-byte test below).
+
+use crate::atomic_io;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"EMCKPT01";
+const VERSION: u32 = 1;
+
+/// Checkpoint files kept per stream after rotation.
+pub const DEFAULT_KEEP: usize = 3;
+
+/// Why a checkpoint failed to read or write.
+#[derive(Debug)]
+pub enum CkptError {
+    Io(io::Error),
+    BadMagic,
+    BadVersion(u32),
+    Truncated,
+    /// CRC mismatch in the named section.
+    ChecksumMismatch(String),
+    Malformed(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CkptError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CkptError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CkptError::Truncated => write!(f, "checkpoint file truncated"),
+            CkptError::ChecksumMismatch(s) => write!(f, "checksum mismatch in section '{s}'"),
+            CkptError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<io::Error> for CkptError {
+    fn from(e: io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+/// CRC32 (IEEE 802.3, reflected), the same polynomial gzip/PNG use.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// An in-memory checkpoint: ordered named sections of opaque bytes.
+/// Trainers serialize their state (params, optimizer moments, RNG, cursor)
+/// into sections with [`crate::wire`] and hand the container to a
+/// [`CheckpointDir`] for durable storage.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Checkpoint {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl Checkpoint {
+    pub fn new() -> Self {
+        Checkpoint::default()
+    }
+
+    /// Add a section (replacing any previous one with the same name).
+    pub fn insert(&mut self, name: &str, payload: Vec<u8>) {
+        if let Some(s) = self.sections.iter_mut().find(|(n, _)| n == name) {
+            s.1 = payload;
+        } else {
+            self.sections.push((name.to_string(), payload));
+        }
+    }
+
+    /// Payload of the named section, if present.
+    pub fn get(&self, name: &str) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.as_slice())
+    }
+
+    /// Payload of a section that must exist.
+    pub fn require(&self, name: &str) -> Result<&[u8], CkptError> {
+        self.get(name)
+            .ok_or_else(|| CkptError::Malformed(format!("missing section '{name}'")))
+    }
+
+    /// `(name, payload length)` pairs in file order.
+    pub fn sections(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.sections.iter().map(|(n, p)| (n.as_str(), p.len()))
+    }
+
+    /// Serialize to the on-disk representation.
+    pub fn encode(&self) -> Vec<u8> {
+        let total: usize = self
+            .sections
+            .iter()
+            .map(|(n, p)| 8 + n.len() + 8 + p.len() + 4)
+            .sum();
+        let mut out = Vec::with_capacity(8 + 4 + 8 + total);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u64).to_le_bytes());
+        for (name, payload) in &self.sections {
+            out.extend_from_slice(&(name.len() as u64).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(payload);
+            let mut crc_input = Vec::with_capacity(name.len() + payload.len());
+            crc_input.extend_from_slice(name.as_bytes());
+            crc_input.extend_from_slice(payload);
+            out.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse and fully validate the on-disk representation.
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CkptError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], CkptError> {
+            if n > bytes.len() - *pos {
+                return Err(CkptError::Truncated);
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let take_u64 = |pos: &mut usize| -> Result<u64, CkptError> {
+            let b = take(pos, 8)?;
+            Ok(u64::from_le_bytes([
+                b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+            ]))
+        };
+
+        if take(&mut pos, 8)? != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let vb = take(&mut pos, 4)?;
+        let version = u32::from_le_bytes([vb[0], vb[1], vb[2], vb[3]]);
+        if version != VERSION {
+            return Err(CkptError::BadVersion(version));
+        }
+        let count = take_u64(&mut pos)?;
+        let mut sections = Vec::new();
+        for _ in 0..count {
+            let name_len = take_u64(&mut pos)? as usize;
+            let name_bytes = take(&mut pos, name_len)?;
+            let name = std::str::from_utf8(name_bytes)
+                .map_err(|_| CkptError::Malformed("non-utf8 section name".to_string()))?
+                .to_string();
+            let payload_len = take_u64(&mut pos)? as usize;
+            let payload = take(&mut pos, payload_len)?.to_vec();
+            let cb = take(&mut pos, 4)?;
+            let stored = u32::from_le_bytes([cb[0], cb[1], cb[2], cb[3]]);
+            let mut crc_input = Vec::with_capacity(name.len() + payload.len());
+            crc_input.extend_from_slice(name.as_bytes());
+            crc_input.extend_from_slice(&payload);
+            if crc32(&crc_input) != stored {
+                return Err(CkptError::ChecksumMismatch(name));
+            }
+            sections.push((name, payload));
+        }
+        if pos != bytes.len() {
+            return Err(CkptError::Malformed(
+                "trailing bytes after sections".to_string(),
+            ));
+        }
+        Ok(Checkpoint { sections })
+    }
+}
+
+/// One checkpoint stream on disk: `ckpt-<tag>.bin` files with atomic
+/// writes, bounded retry, keep-last-k rotation, and newest-valid loading.
+pub struct CheckpointDir {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointDir {
+    /// Open the stream, creating the directory if needed.
+    pub fn new(dir: impl Into<PathBuf>, keep: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CheckpointDir {
+            dir,
+            keep: keep.max(1),
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_for(&self, tag: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{tag:010}.bin"))
+    }
+
+    /// Tagged checkpoint files present, sorted oldest → newest.
+    pub fn list(&self) -> Vec<(u64, PathBuf)> {
+        let mut out = Vec::new();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return out;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(tag) = name
+                .strip_prefix("ckpt-")
+                .and_then(|s| s.strip_suffix(".bin"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                out.push((tag, entry.path()));
+            }
+        }
+        out.sort_by_key(|(tag, _)| *tag);
+        out
+    }
+
+    /// Durably save a checkpoint under `tag`, then rotate old files so at
+    /// most `keep` remain. The write is atomic and retried (bounded, with
+    /// deterministic backoff) on transient I/O errors; a `ckpt_save` em-obs
+    /// event records the outcome.
+    pub fn save(&self, tag: u64, ckpt: &Checkpoint) -> Result<PathBuf, CkptError> {
+        let bytes = ckpt.encode();
+        let path = self.file_for(tag);
+        atomic_io::write_with_retry("ckpt_write", || {
+            atomic_io::atomic_write_named("ckpt_write", &path, &bytes)
+        })?;
+        let files = self.list();
+        if files.len() > self.keep {
+            for (_, old) in &files[..files.len() - self.keep] {
+                let _ = std::fs::remove_file(old);
+            }
+        }
+        em_obs::ckpt_save(
+            tag,
+            bytes.len() as u64,
+            self.keep.min(self.list().len()) as u64,
+        );
+        Ok(path)
+    }
+
+    /// Newest checkpoint that decodes cleanly. Corrupt or truncated files
+    /// (e.g. from an injected torn write) are skipped with a warning and
+    /// the next-oldest is tried — the documented recovery policy.
+    pub fn load_latest(&self) -> Option<(u64, Checkpoint)> {
+        for (tag, path) in self.list().into_iter().rev() {
+            match std::fs::read(&path)
+                .map_err(CkptError::from)
+                .and_then(|b| Checkpoint::decode(&b))
+            {
+                Ok(ckpt) => return Some((tag, ckpt)),
+                Err(e) => {
+                    em_obs::warn(format!(
+                        "skipping unreadable checkpoint {}: {e}",
+                        path.display()
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Human-readable summary of the newest (or given) checkpoint file —
+    /// backs `promptem ckpt inspect`.
+    pub fn inspect(path: &Path) -> Result<String, CkptError> {
+        let bytes = std::fs::read(path)?;
+        let ckpt = Checkpoint::decode(&bytes)?;
+        let mut out = format!(
+            "{}: {} bytes, version {}, {} sections (all checksums OK)\n",
+            path.display(),
+            bytes.len(),
+            VERSION,
+            ckpt.sections.len()
+        );
+        for (name, len) in ckpt.sections() {
+            out.push_str(&format!("  {name:<12} {len:>10} bytes\n"));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut c = Checkpoint::new();
+        c.insert("params", vec![1, 2, 3, 4, 5]);
+        c.insert("rng", vec![9; 32]);
+        c.insert("cursor", b"epoch=3".to_vec());
+        c
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let c = sample();
+        let bytes = c.encode();
+        let back = Checkpoint::decode(&bytes).expect("decode");
+        assert_eq!(back, c);
+        assert_eq!(back.get("rng").map(<[u8]>::len), Some(32));
+        assert!(back.require("missing").is_err());
+    }
+
+    #[test]
+    fn insert_replaces_existing_section() {
+        let mut c = sample();
+        c.insert("rng", vec![7; 8]);
+        assert_eq!(c.get("rng"), Some(&[7u8; 8][..]));
+        assert_eq!(c.sections().count(), 3);
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Checkpoint::decode(&bytes[..cut]).is_err(),
+                "truncation at byte {cut} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let c = sample();
+        let bytes = c.encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            match Checkpoint::decode(&bad) {
+                Err(_) => {}
+                Ok(got) => panic!("flip at byte {i} decoded; equal to original: {}", got == c),
+            }
+        }
+    }
+
+    #[test]
+    fn dir_saves_rotates_and_loads_latest() {
+        let dir = std::env::temp_dir().join(format!("em-ckpt-rot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cd = CheckpointDir::new(&dir, 2).expect("open dir");
+        for tag in 1..=5u64 {
+            let mut c = Checkpoint::new();
+            c.insert("cursor", vec![tag as u8]);
+            cd.save(tag, &c).expect("save");
+        }
+        let files = cd.list();
+        assert_eq!(files.len(), 2, "rotation keeps last k");
+        assert_eq!(files[0].0, 4);
+        assert_eq!(files[1].0, 5);
+        let (tag, ckpt) = cd.load_latest().expect("latest");
+        assert_eq!(tag, 5);
+        assert_eq!(ckpt.get("cursor"), Some(&[5u8][..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_older() {
+        let dir = std::env::temp_dir().join(format!("em-ckpt-fb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cd = CheckpointDir::new(&dir, 3).expect("open dir");
+        for tag in [1u64, 2] {
+            let mut c = Checkpoint::new();
+            c.insert("cursor", vec![tag as u8]);
+            cd.save(tag, &c).expect("save");
+        }
+        // Corrupt the newest file in place (torn write survivor).
+        let newest = cd.file_for(2);
+        let mut bytes = std::fs::read(&newest).expect("read");
+        let cut = bytes.len() / 2;
+        bytes.truncate(cut);
+        std::fs::write(&newest, &bytes).expect("corrupt");
+        let (tag, ckpt) = cd.load_latest().expect("fallback");
+        assert_eq!(tag, 1);
+        assert_eq!(ckpt.get("cursor"), Some(&[1u8][..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inspect_summarizes_sections() {
+        let dir = std::env::temp_dir().join(format!("em-ckpt-ins-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cd = CheckpointDir::new(&dir, 3).expect("open dir");
+        let path = cd.save(7, &sample()).expect("save");
+        let text = CheckpointDir::inspect(&path).expect("inspect");
+        assert!(text.contains("3 sections"));
+        assert!(text.contains("params"));
+        assert!(text.contains("cursor"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,176 @@
+//! Env-driven fault injection for chaos tests.
+//!
+//! Grammar (comma-separated entries in `PROMPTEM_FAILPOINTS`):
+//!
+//! ```text
+//! <name>:<mode>@<hit>
+//! ```
+//!
+//! e.g. `ckpt_write:io_err@2,batch:panic@117` — the 2nd checkpoint write
+//! fails with an I/O error, and the 117th batch panics (crash-at-step).
+//! Modes: `io_err`, `truncate`, `delay`, `panic`, `nan`. An entry fires
+//! exactly once, on its Nth evaluation of that name (1-based); the same
+//! name may appear in several entries to fire at several points.
+//!
+//! With the variable unset, [`check`] is a single relaxed atomic load —
+//! release hot paths stay effectively free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// What an armed failpoint injects at its trigger site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Return a synthetic `io::Error` from the guarded operation.
+    IoErr,
+    /// Complete the guarded write with only a prefix of the payload.
+    Truncate,
+    /// Sleep briefly before proceeding (stalled-disk simulation).
+    Delay,
+    /// Panic — the crash-at-step primitive for kill-and-resume tests.
+    Panic,
+    /// Poison the guarded value (trainers treat the batch loss as NaN).
+    Nan,
+}
+
+struct Point {
+    name: String,
+    action: Action,
+    at: u64,
+    hits: AtomicU64,
+}
+
+static REGISTRY: OnceLock<Vec<Point>> = OnceLock::new();
+
+fn parse_entry(entry: &str) -> Option<Point> {
+    let entry = entry.trim();
+    if entry.is_empty() {
+        return None;
+    }
+    let (name, rest) = entry.split_once(':')?;
+    let (mode, at) = rest.split_once('@')?;
+    let action = match mode {
+        "io_err" => Action::IoErr,
+        "truncate" => Action::Truncate,
+        "delay" => Action::Delay,
+        "panic" => Action::Panic,
+        "nan" => Action::Nan,
+        _ => return None,
+    };
+    let at: u64 = at.parse().ok().filter(|&n| n > 0)?;
+    Some(Point {
+        name: name.trim().to_string(),
+        action,
+        at,
+        hits: AtomicU64::new(0),
+    })
+}
+
+fn registry() -> &'static [Point] {
+    REGISTRY.get_or_init(|| {
+        let spec = match std::env::var("PROMPTEM_FAILPOINTS") {
+            Ok(s) => s,
+            Err(_) => return Vec::new(),
+        };
+        let mut points = Vec::new();
+        for entry in spec.split(',') {
+            match parse_entry(entry) {
+                Some(p) => points.push(p),
+                None if !entry.trim().is_empty() => {
+                    eprintln!(
+                        "warning: ignoring malformed failpoint entry '{entry}' (want name:mode@N)"
+                    );
+                }
+                None => {}
+            }
+        }
+        points
+    })
+}
+
+/// Evaluate the failpoint `name`. Each call counts as one hit for every
+/// entry with that name; an entry whose hit count reaches its `@N` fires
+/// once and returns its action. Callers evaluate exactly once per guarded
+/// unit (one batch, one write attempt).
+#[inline]
+pub fn check(name: &str) -> Option<Action> {
+    let reg = registry();
+    if reg.is_empty() {
+        return None;
+    }
+    check_slow(reg, name)
+}
+
+#[cold]
+fn check_slow(reg: &[Point], name: &str) -> Option<Action> {
+    let mut fired = None;
+    for p in reg {
+        if p.name == name {
+            let hit = p.hits.fetch_add(1, Ordering::Relaxed) + 1;
+            if hit == p.at && fired.is_none() {
+                fired = Some(p.action);
+            }
+        }
+    }
+    fired
+}
+
+/// Apply the scheduling-only actions a trainer loop supports inline:
+/// `Delay` sleeps here, `Panic` panics here; `Nan` is returned for the
+/// caller to poison its loss; I/O actions are ignored (wrong context).
+pub fn trigger_in_batch(name: &str) -> Option<Action> {
+    match check(name) {
+        Some(Action::Panic) => panic!("failpoint '{name}': injected crash"),
+        Some(Action::Delay) => {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            None
+        }
+        Some(Action::Nan) => Some(Action::Nan),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Registry parsing is driven by env at first use, which is awkward in
+    // unit tests sharing a process; parse_entry is tested directly and the
+    // env-driven path is exercised by the subprocess chaos tests in the CLI.
+
+    #[test]
+    fn parses_well_formed_entries() {
+        let p = parse_entry("ckpt_write:io_err@2").expect("valid entry");
+        assert_eq!(p.name, "ckpt_write");
+        assert_eq!(p.action, Action::IoErr);
+        assert_eq!(p.at, 2);
+        let p = parse_entry(" batch : panic@117 ");
+        // Inner spaces around the mode are not trimmed — entry is rejected.
+        assert!(p.is_none());
+        let p = parse_entry("batch:panic@117").expect("valid entry");
+        assert_eq!(p.action, Action::Panic);
+        assert_eq!(p.at, 117);
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        for bad in [
+            "",
+            "noatsign:io_err",
+            "name@3",
+            "x:unknown@1",
+            "x:delay@0",
+            "x:delay@-1",
+        ] {
+            assert!(parse_entry(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unset_registry_is_inert() {
+        // REGISTRY initializes from the test process env, which does not set
+        // PROMPTEM_FAILPOINTS; every check must be None.
+        assert_eq!(check("anything"), None);
+        assert_eq!(trigger_in_batch("batch"), None);
+    }
+}

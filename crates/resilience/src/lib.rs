@@ -1,0 +1,88 @@
+//! Crash safety for long training runs.
+//!
+//! Pretraining plus the self-train loop is the dominant cost of a PromptEM
+//! run; this crate makes that path survivable. It provides:
+//!
+//! - [`checkpoint`]: a versioned, CRC32-checksummed container format plus a
+//!   [`checkpoint::CheckpointDir`] that writes atomically (temp → fsync →
+//!   rename) with keep-last-k rotation and corruption-tolerant loading.
+//! - [`atomic_io`]: the atomic durable-write primitive and a bounded
+//!   deterministic-backoff retry wrapper, both observable through em-obs.
+//! - [`failpoint`]: an env-driven fault-injection registry
+//!   (`PROMPTEM_FAILPOINTS=ckpt_write:io_err@2,batch:panic@117`) used by the
+//!   chaos tests; it costs one relaxed atomic load when unset.
+//! - [`wire`]: tiny little-endian encode/decode helpers shared by the
+//!   checkpoint payload writers in `em-lm` and `promptem`.
+//!
+//! The trainers in `em-lm` / `promptem` consume these through a
+//! [`ResilienceCtx`] built from the CLI's `--checkpoint-dir D
+//! --checkpoint-every N --resume` flags.
+
+pub mod atomic_io;
+pub mod checkpoint;
+pub mod failpoint;
+pub mod wire;
+
+use std::io;
+use std::path::PathBuf;
+
+pub use atomic_io::{atomic_write, atomic_write_named};
+pub use checkpoint::{Checkpoint, CheckpointDir, CkptError, DEFAULT_KEEP};
+pub use failpoint::Action;
+
+/// After this many consecutive non-finite batches the trainer restores the
+/// last checkpoint (or best snapshot) instead of continuing to skip.
+pub const MAX_CONSECUTIVE_BAD_BATCHES: u32 = 3;
+
+/// Bound on checkpoint restores triggered by bad batches before a phase
+/// early-stops; keeps a persistently-diverging run from looping forever.
+pub const MAX_BAD_BATCH_RESTORES: u32 = 2;
+
+/// User-facing checkpoint configuration, carried inside `PromptEmConfig`.
+#[derive(Debug, Clone)]
+pub struct ResilienceCfg {
+    /// Root checkpoint directory; phases use subdirectories of it.
+    pub dir: PathBuf,
+    /// Checkpoint every N optimizer steps (0 = only at phase boundaries).
+    pub every: u64,
+    /// Resume from the newest valid checkpoint instead of starting fresh.
+    pub resume: bool,
+}
+
+/// A phase-scoped handle: one checkpoint stream (e.g. `<dir>/pretrain`)
+/// plus the shared cadence/resume policy.
+pub struct ResilienceCtx {
+    dir: CheckpointDir,
+    /// Checkpoint every N optimizer steps (0 = phase boundaries only).
+    pub every: u64,
+    /// Whether this run was asked to resume.
+    pub resume: bool,
+}
+
+impl ResilienceCtx {
+    /// Open (creating if needed) the checkpoint stream for one phase.
+    pub fn new(cfg: &ResilienceCfg, phase: &str) -> io::Result<Self> {
+        let dir = CheckpointDir::new(cfg.dir.join(phase), checkpoint::DEFAULT_KEEP)?;
+        Ok(ResilienceCtx {
+            dir,
+            every: cfg.every,
+            resume: cfg.resume,
+        })
+    }
+
+    /// True when a periodic checkpoint is due after `steps` optimizer steps.
+    pub fn due(&self, steps: u64) -> bool {
+        self.every > 0 && steps > 0 && steps.is_multiple_of(self.every)
+    }
+
+    /// Save a checkpoint tagged with a monotone step/round counter.
+    pub fn save(&self, tag: u64, ckpt: &Checkpoint) -> Result<PathBuf, CkptError> {
+        self.dir.save(tag, ckpt)
+    }
+
+    /// Newest checkpoint that decodes cleanly, if any (corrupt files are
+    /// skipped with a warning — the documented recovery for torn writes).
+    pub fn load_latest(&self) -> Option<(u64, Checkpoint)> {
+        self.dir.load_latest()
+    }
+}

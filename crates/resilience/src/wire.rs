@@ -1,0 +1,149 @@
+//! Little-endian encode/decode helpers for checkpoint section payloads.
+//!
+//! Section payloads are self-describing byte blobs built by the trainers
+//! (`em-lm`, `promptem`); these helpers keep their hand-rolled formats
+//! consistent and bounds-checked. Decoding never allocates more than the
+//! bytes remaining in the input, so truncated garbage fails fast instead
+//! of attempting a huge allocation.
+
+use std::io;
+
+/// Append a `u64` (little-endian).
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f32` (little-endian bits).
+pub fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` (little-endian bits).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed byte blob.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// A bounds-checked cursor over a payload slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn eof() -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, "payload truncated")
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if n > self.remaining() {
+            return Err(eof());
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u64(&mut self) -> io::Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub fn f32(&mut self) -> io::Result<f32> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn f64(&mut self) -> io::Result<f64> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Length-prefixed byte blob; the length must fit in what remains.
+    pub fn bytes(&mut self) -> io::Result<&'a [u8]> {
+        let n = self.u64()? as usize;
+        self.take(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> io::Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 string"))
+    }
+
+    /// Require the payload to be fully consumed.
+    pub fn finish(&self) -> io::Result<()> {
+        if self.remaining() != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes in payload",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_primitives() {
+        let mut out = Vec::new();
+        put_u64(&mut out, 42);
+        put_f32(&mut out, -1.5);
+        put_f64(&mut out, 2.25);
+        put_str(&mut out, "hello");
+        put_bytes(&mut out, &[1, 2, 3]);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u64().expect("u64"), 42);
+        assert_eq!(r.f32().expect("f32"), -1.5);
+        assert_eq!(r.f64().expect("f64"), 2.25);
+        assert_eq!(r.str().expect("str"), "hello");
+        assert_eq!(r.bytes().expect("bytes"), &[1, 2, 3]);
+        r.finish().expect("fully consumed");
+    }
+
+    #[test]
+    fn truncated_input_fails_without_allocating() {
+        // Claimed length far exceeds remaining bytes; must error, not OOM.
+        let mut out = Vec::new();
+        put_u64(&mut out, u64::MAX);
+        let mut r = Reader::new(&out);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut out = Vec::new();
+        put_u64(&mut out, 1);
+        out.push(0);
+        let mut r = Reader::new(&out);
+        r.u64().expect("u64");
+        assert!(r.finish().is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the checkpoint container: any set of sections must
+//! survive the encode → decode round trip bitwise, and any truncation or
+//! single-byte corruption of the encoded form must be *detected* (CRC32
+//! catches every single-byte error by construction), never silently
+//! accepted.
+
+use em_resilience::Checkpoint;
+use proptest::prelude::*;
+
+/// Arbitrary section lists: short printable names, arbitrary payloads
+/// (empty payloads included — an empty section is legal).
+fn sections() -> impl Strategy<Value = Vec<(String, Vec<u8>)>> {
+    proptest::collection::vec(
+        (
+            "[a-z][a-z0-9_]{0,11}",
+            proptest::collection::vec(any::<u8>(), 0..200),
+        ),
+        1..6,
+    )
+}
+
+fn build(sections: &[(String, Vec<u8>)]) -> Checkpoint {
+    let mut ckpt = Checkpoint::new();
+    for (name, payload) in sections {
+        ckpt.insert(name, payload.clone());
+    }
+    ckpt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_section_set_round_trips(sections in sections()) {
+        let ckpt = build(&sections);
+        let bytes = ckpt.encode();
+        let back = Checkpoint::decode(&bytes).expect("decode");
+        // Later inserts replace earlier ones, so compare against the last
+        // payload recorded under each name.
+        for (name, payload) in &sections {
+            let last = sections
+                .iter()
+                .rev()
+                .find(|(n, _)| n == name)
+                .map(|(_, p)| p.as_slice())
+                .expect("name came from this list");
+            prop_assert_eq!(back.get(name), Some(last));
+            let _ = payload;
+        }
+    }
+
+    #[test]
+    fn any_truncation_is_rejected(sections in sections(), cut in 0usize..1 << 20) {
+        let bytes = build(&sections).encode();
+        let keep = cut % bytes.len(); // 0..len, always a strict prefix
+        prop_assert!(
+            Checkpoint::decode(&bytes[..keep]).is_err(),
+            "decode accepted a {}-byte prefix of {} bytes",
+            keep,
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_rejected(
+        sections in sections(),
+        at in 0usize..1 << 20,
+        xor in 0u8..255,
+    ) {
+        let mut bytes = build(&sections).encode();
+        let i = at % bytes.len();
+        bytes[i] ^= xor + 1; // never zero: the flip always changes the byte
+        prop_assert!(
+            Checkpoint::decode(&bytes).is_err(),
+            "decode accepted a flip of byte {} (xor {:#04x})",
+            i,
+            xor
+        );
+    }
+}

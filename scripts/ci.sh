@@ -42,4 +42,25 @@ cargo run --release -q -p promptem-cli --bin promptem -- \
 cargo run --release -q -p promptem-cli --bin promptem -- \
     report --diff "$smoke_dir/base.jsonl" "$smoke_dir/new.jsonl"
 
+echo "==> chaos (failpoint kill mid-run, resume, diff against uninterrupted base)"
+if PROMPTEM_FAILPOINTS=batch:panic@28 \
+    cargo run --release -q -p promptem-cli --bin promptem -- \
+    match --left "$smoke_dir/left.csv" --right "$smoke_dir/right.csv" \
+    --labels "$smoke_dir/train.csv" --seed 7 --trace warn \
+    --pretrain-steps 20 --epochs 1 \
+    --checkpoint-dir "$smoke_dir/ckpt" --checkpoint-every 5 >/dev/null 2>&1; then
+    echo "chaos: run survived an injected crash-at-batch failpoint" >&2
+    exit 1
+fi
+cargo run --release -q -p promptem-cli --bin promptem -- \
+    ckpt inspect "$smoke_dir/ckpt/pretrain"
+cargo run --release -q -p promptem-cli --bin promptem -- \
+    match --left "$smoke_dir/left.csv" --right "$smoke_dir/right.csv" \
+    --labels "$smoke_dir/train.csv" --seed 7 --trace warn \
+    --pretrain-steps 20 --epochs 1 \
+    --checkpoint-dir "$smoke_dir/ckpt" --checkpoint-every 5 --resume \
+    --metrics-out "$smoke_dir/resumed.jsonl" >/dev/null
+cargo run --release -q -p promptem-cli --bin promptem -- \
+    report --diff "$smoke_dir/base.jsonl" "$smoke_dir/resumed.jsonl"
+
 echo "ci: all checks passed"
