@@ -30,17 +30,22 @@ pub enum Rule {
     /// `crates/resilience`: a crash mid-write must never leave a torn
     /// file behind.
     AtomicIo,
+    /// No ad-hoc string literals as `op_stats` op names: ops must be the
+    /// `&'static str`s of `em_obs::names::ALL_OP_NAMES` so the profiler,
+    /// the trace, and `promptem report` agree on op identity.
+    OpName,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::Unwrap,
         Rule::Clock,
         Rule::Rng,
         Rule::Exit,
         Rule::EventName,
         Rule::AtomicIo,
+        Rule::OpName,
     ];
 
     /// The rule's name — the token accepted by `lint:allow(...)`.
@@ -52,6 +57,7 @@ impl Rule {
             Rule::Exit => "exit",
             Rule::EventName => "event-name",
             Rule::AtomicIo => "atomic-io",
+            Rule::OpName => "op-name",
         }
     }
 
@@ -76,6 +82,10 @@ impl Rule {
             Rule::AtomicIo => {
                 "file writes must go through em_resilience::atomic_write (temp + fsync + \
                  rename) so a crash mid-write can never leave a torn file"
+            }
+            Rule::OpName => {
+                "op_stats op names must be the em_obs::names::ALL_OP_NAMES consts, not ad-hoc \
+                 literals, so trace attribution can never name an op the registry doesn't know"
             }
         }
     }
@@ -110,15 +120,19 @@ impl Rule {
                 "\"ckpt_restore\"",
                 "\"recovered_batch\"",
                 "\"io_retry\"",
+                "\"op_stats\"",
             ],
             Rule::AtomicIo => &["File::create", "fs::write"],
+            // A string literal flowing into the op_stats emission path,
+            // whether through the typed helper or the raw event variant.
+            Rule::OpName => &["op_stats(\"", "OpStats { op: \""],
         }
     }
 
     /// Whether this rule's patterns target string-literal *contents* and
     /// therefore match on the strings-kept sanitized form.
     fn matches_in_strings(self) -> bool {
-        matches!(self, Rule::EventName)
+        matches!(self, Rule::EventName | Rule::OpName)
     }
 
     /// Whether the rule still applies inside test code (`#[cfg(test)]`
@@ -146,6 +160,9 @@ impl Rule {
             // The atomic writer itself, plus the test-only cli_e2e module
             // (same region-tracking blind spot as Unwrap above).
             Rule::AtomicIo => &["crates/resilience/", "crates/cli/src/cli_e2e.rs"],
+            // Op names are defined in the registry; the tape profiler is
+            // the one sanctioned emitter.
+            Rule::OpName => &["crates/obs/src/names.rs", "crates/nn/src/tape.rs"],
         };
         allowed.iter().any(|prefix| unix_rel.starts_with(prefix))
     }
@@ -510,6 +527,24 @@ fn f() {
         assert!(lint_source("crates/core/src/x.rs", escaped).is_empty());
         let create = "fn open() { let _ = std::fs::File::create(\"out\"); }\n";
         assert_eq!(lint_source("crates/core/src/x.rs", create).len(), 1);
+    }
+
+    #[test]
+    fn ad_hoc_op_stats_names_fire_outside_the_tape() {
+        let src = "fn leak() { em_obs::op_stats(\"my_op\", 1, 2, 3, 4, 5, 6); }\n";
+        let v = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::OpName);
+        // The raw event variant is covered too.
+        let raw = "fn leak() { emit(EventKind::OpStats { op: \"my_op\".into(), fwd_calls: 0, fwd_us: 0, bwd_calls: 0, bwd_us: 0, elems: 0, bytes: 0 }); }\n";
+        assert_eq!(lint_source("crates/core/src/x.rs", raw).len(), 1);
+        // The registry, the tape profiler, and test code are exempt.
+        assert!(lint_source("crates/obs/src/names.rs", src).is_empty());
+        assert!(lint_source("crates/nn/src/tape.rs", src).is_empty());
+        assert!(lint_source("crates/core/tests/t.rs", src).is_empty());
+        // Registry-const call sites never carry a quoted name.
+        let ok = "fn flush(name: &'static str) { em_obs::op_stats(name, 1, 2, 3, 4, 5, 6); }\n";
+        assert!(lint_source("crates/core/src/x.rs", ok).is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub fn lib_code(v: Option<u32>) -> u32 {
     if v.is_none() { std::process::exit(1); }
     let tag = "epoch_summary";
     let _ = std::fs::write("out.txt", tag);
+    em_obs::op_stats("my_op", 1, 2, 3, 4, 5, 6);
     let _ = (t, rng.gen::<u8>());
     v.unwrap()
 }

@@ -279,7 +279,7 @@ fn report_and_same_seed_diff_pass_end_to_end() {
     .unwrap();
     let body = std::fs::read_to_string(&bench).unwrap();
     assert!(
-        body.contains("\"schema\": \"promptem-bench-report/v1\""),
+        body.contains("\"schema\": \"promptem-bench-report/v2\""),
         "{body}"
     );
     assert!(body.contains("\"seed\": 99"), "{body}");

@@ -102,6 +102,7 @@ const USAGE: &str = "usage:
   promptem report --diff <base.jsonl> <new.jsonl>
                  [--max-wall-frac <f>] [--max-heap-frac <f>]
                  [--max-steps-frac <f>] [--max-f1-drop <points>]
+                 [--max-op-wall-frac <f>] [--max-op-bytes-frac <f>]
 
 global flags:
   --trace <off|error|warn|info|debug|trace>   stderr verbosity (default info;
@@ -110,6 +111,9 @@ global flags:
   --sanitize                                  audit the autograd graph and check
                                               every value/gradient for NaN/Inf
                                               each step (PROMPTEM_SANITIZE=1)
+  --op-profile                                accumulate per-op tape counters and
+                                              flush op_stats events at stage
+                                              boundaries (PROMPTEM_OP_PROFILE=1)
 
 file formats by extension: .csv (relational), .jsonl/.ndjson (semi-structured),
 anything else (one textual record per line).
@@ -152,6 +156,9 @@ fn init_telemetry(args: &Args) -> Result<(), String> {
     }
     if args.switch("sanitize") {
         em_nn::tape::set_sanitize(true);
+    }
+    if args.switch("op-profile") {
+        em_nn::tape::set_op_profile(true);
     }
     Ok(())
 }
@@ -293,7 +300,10 @@ fn cmd_match(args: &Args) -> Result<(), String> {
     ));
     let result = {
         let _span = em_obs::span_with(em_obs::names::SPAN_MATCH, name.clone());
-        run(&ds, &cfg)
+        let result = run(&ds, &cfg);
+        // Catch any tape ops not flushed at an inner stage boundary.
+        em_nn::tape::flush_op_stats();
+        result
     };
     println!("test scores: {}", result.scores);
     println!(
@@ -408,6 +418,8 @@ fn cmd_report(args: &Args) -> Result<(), Failure> {
         heap_frac: args.get_parse("max-heap-frac", 0.50)?,
         steps_frac: args.get_parse("max-steps-frac", 0.0)?,
         f1_points: args.get_parse("max-f1-drop", 1.0)?,
+        op_wall_frac: args.get_parse("max-op-wall-frac", 1.0)?,
+        op_bytes_frac: args.get_parse("max-op-bytes-frac", 1.0)?,
     };
     let load = |path: &str| -> Result<em_prof::RunManifest, Failure> {
         let events = em_prof::load_trace(std::path::Path::new(path)).map_err(Failure::plain)?;

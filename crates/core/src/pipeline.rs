@@ -229,6 +229,7 @@ pub fn run_encoded(
             let t0 = em_obs::Stopwatch::new();
             let _span = em_obs::span(em_obs::names::SPAN_GRID_TEMPLATE);
             opts.template = select_template(&backbone, encoded, cfg);
+            em_nn::tape::flush_op_stats();
             probe_secs = t0.secs();
         }
         let proto = PromptEmModel::new(backbone, opts, cfg.seed);
@@ -239,6 +240,9 @@ pub fn run_encoded(
         let proto = FineTuneModel::new(backbone, cfg.seed);
         tune_and_eval(proto, encoded, cfg)
     };
+    // Residual tape ops (non-LST training, evaluation, prediction) land on
+    // the tune span itself rather than vanishing unattributed.
+    em_nn::tape::flush_op_stats();
     // Record the final test score as a gauge so a shutdown metrics flush
     // makes the trace self-contained for `promptem report`.
     em_obs::metrics::gauge("core_test_f1", &[("dataset", &encoded.name)]).set(scores.f1);

@@ -69,13 +69,26 @@ pub fn select_pseudo_labels<M: TunableMatcher>(
     let n_p = n_p.min(unlabeled.len());
     match cfg.strategy {
         SelectionStrategy::Uncertainty => {
-            let per_pass = teacher.stochastic_proba(unlabeled, cfg.passes);
-            let (mean, std) = mean_std(&per_pass);
-            if em_obs::enabled() {
-                let scores: Vec<f64> = std.iter().map(|&v| v as f64).collect();
-                em_obs::unc_hist("pseudo_uncertainty", &scores, 16);
-            }
+            // Child spans split the former single-blob phase: MC-Dropout
+            // scoring dominates, so the op-profiler flushes inside the
+            // scoring span to pin its tape ops to that child.
+            let per_pass = {
+                let _span = em_obs::span(em_obs::names::SPAN_PSEUDO_SCORE);
+                let per_pass = teacher.stochastic_proba(unlabeled, cfg.passes);
+                em_nn::tape::flush_op_stats();
+                per_pass
+            };
+            let (mean, std) = {
+                let _span = em_obs::span(em_obs::names::SPAN_PSEUDO_UNCERTAINTY);
+                let (mean, std) = mean_std(&per_pass);
+                if em_obs::enabled() {
+                    let scores: Vec<f64> = std.iter().map(|&v| v as f64).collect();
+                    em_obs::unc_hist("pseudo_uncertainty", &scores, 16);
+                }
+                (mean, std)
+            };
             // Top-N_P by (negative) uncertainty — Eq. 2.
+            let _span = em_obs::span(em_obs::names::SPAN_PSEUDO_RANK);
             let order = argsort(&std);
             order
                 .into_iter()

@@ -423,6 +423,7 @@ pub fn lightweight_self_train_with<M: TunableMatcher>(
             {
                 let _span = em_obs::span(em_obs::names::SPAN_TEACHER);
                 state.report.teacher = t.train(&state.d_l, valid, &cfg.teacher, None);
+                em_nn::tape::flush_op_stats();
             }
             state.record_training(&state.report.teacher.clone());
             if let Some(res) = res {
@@ -437,7 +438,9 @@ pub fn lightweight_self_train_with<M: TunableMatcher>(
             let mut t = teacher.take().expect("teacher available before selection");
             let selected = {
                 let _span = em_obs::span(em_obs::names::SPAN_PSEUDO_SELECT);
-                select_pseudo_labels(&mut t, &state.d_u, &cfg.pseudo)
+                let selected = select_pseudo_labels(&mut t, &state.d_u, &cfg.pseudo);
+                em_nn::tape::flush_op_stats();
+                selected
             };
             state.report.pseudo_selected.push(selected.len());
             let mut quality = None;
@@ -471,6 +474,7 @@ pub fn lightweight_self_train_with<M: TunableMatcher>(
                 let _span = em_obs::span(em_obs::names::SPAN_STUDENT);
                 state.report.student =
                     student.train(&state.d_l, valid, &cfg.student, cfg.prune.as_ref());
+                em_nn::tape::flush_op_stats();
             }
             state.report.pruned += state.report.student.pruned;
             state.record_training(&state.report.student.clone());

@@ -132,15 +132,20 @@ fn quick_lst_run_emits_expected_span_tree() {
         assert!(pair[0] < pair[1], "pipeline spans out of order: {order:?}");
     }
 
-    // Span nesting: lst under tune, teacher/student under their iteration.
+    // Span nesting: lst under tune, teacher/student under their iteration,
+    // and the three selection stages under pseudo_select.
     let tune = open_id(&events, "tune");
     let lst = open_id(&events, "lst");
     let iter = open_id(&events, "lst_iter");
+    let select_span = open_id(&events, "pseudo_select");
     for (child, parent) in [
         ("lst", tune),
         ("lst_iter", lst),
         ("teacher", iter),
         ("student", iter),
+        ("pseudo_score", select_span),
+        ("pseudo_uncertainty", select_span),
+        ("pseudo_rank", select_span),
     ] {
         let child_id = open_id(&events, child);
         let got = events.iter().find_map(|e| match &e.kind {
@@ -239,10 +244,10 @@ fn quick_lst_run_emits_expected_span_tree() {
             _ => None,
         })
         .collect();
-    let select_span = open_id(&events, "pseudo_select");
+    let unc_span = open_id(&events, "pseudo_uncertainty");
     assert!(
-        unc_sources.contains(&("pseudo_uncertainty", Some(select_span))),
-        "no pseudo_uncertainty histogram in the pseudo_select span: {unc_sources:?}"
+        unc_sources.contains(&("pseudo_uncertainty", Some(unc_span))),
+        "no pseudo_uncertainty histogram in the pseudo_uncertainty span: {unc_sources:?}"
     );
     assert!(
         unc_sources.contains(&("mc_el2n", Some(student))),

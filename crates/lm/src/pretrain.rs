@@ -518,6 +518,8 @@ pub fn pretrain_mlm_resilient(
         emitted_epochs += 1;
         summary_batches += epoch_batches;
     }
+    // Attribute this stage's tape ops to the live pretrain span.
+    em_nn::tape::flush_op_stats();
     if let Some(res) = res {
         let cursor = PretrainCursor {
             steps,

@@ -12,7 +12,7 @@
 use crate::optim::{ParamId, ParamStore};
 use crate::tensor::Matrix;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Handle to a node on a [`Tape`].
@@ -127,6 +127,125 @@ pub fn set_sanitize(on: bool) {
     SANITIZE_FORCE.store(on, Ordering::Relaxed);
 }
 
+/// Runtime switch for the op profiler (see [`op_profile_enabled`]).
+static OP_PROFILE_FORCE: AtomicBool = AtomicBool::new(false);
+
+fn op_profile_env() -> bool {
+    static FROM_ENV: OnceLock<bool> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        std::env::var("PROMPTEM_OP_PROFILE").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+/// True when the op-level profiler is on: either `PROMPTEM_OP_PROFILE=1`
+/// was set in the environment or [`set_op_profile`] was called (the CLI
+/// `--op-profile` flag does the latter). While on, every op recording and
+/// every backward visit adds into a process-global table of relaxed
+/// atomics; [`flush_op_stats`] drains that table into `op_stats` events.
+/// The disabled path is a single relaxed load per op — no clock reads, no
+/// extra tape nodes, no RNG perturbation, so profiled and unprofiled runs
+/// take identical optimizer steps.
+pub fn op_profile_enabled() -> bool {
+    OP_PROFILE_FORCE.load(Ordering::Relaxed) || op_profile_env()
+}
+
+/// Programmatically enable the op profiler (cannot un-set the environment
+/// variable; `set_op_profile(false)` only clears a previous programmatic
+/// enable).
+pub fn set_op_profile(on: bool) {
+    OP_PROFILE_FORCE.store(on, Ordering::Relaxed);
+}
+
+/// One op's accumulation slot. Time is kept in nanoseconds so the many
+/// sub-microsecond ops (add, scale, slices) don't truncate to zero; the
+/// flush converts to microseconds.
+struct OpSlot {
+    fwd_calls: AtomicU64,
+    fwd_ns: AtomicU64,
+    bwd_calls: AtomicU64,
+    bwd_ns: AtomicU64,
+    elems: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// The profiler's accumulation table, one slot per op in
+/// [`em_obs::names::ALL_OP_NAMES`] order (`Op::index` pins the
+/// correspondence; a test asserts it against `Op::name`).
+static OP_TABLE: [OpSlot; em_obs::names::ALL_OP_NAMES.len()] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: OpSlot = OpSlot {
+        fwd_calls: AtomicU64::new(0),
+        fwd_ns: AtomicU64::new(0),
+        bwd_calls: AtomicU64::new(0),
+        bwd_ns: AtomicU64::new(0),
+        elems: AtomicU64::new(0),
+        bytes: AtomicU64::new(0),
+    };
+    [ZERO; em_obs::names::ALL_OP_NAMES.len()]
+};
+
+/// Forward-timing handle opened at recording-method entry when the
+/// profiler is on; [`Tape::push_timed`] closes it once the result exists.
+struct OpTimer {
+    sw: em_obs::Stopwatch,
+    bytes0: usize,
+}
+
+impl OpTimer {
+    #[inline]
+    fn start() -> Option<OpTimer> {
+        if !op_profile_enabled() {
+            return None;
+        }
+        Some(OpTimer {
+            sw: em_obs::Stopwatch::new(),
+            bytes0: em_obs::alloc::current_bytes(),
+        })
+    }
+
+    fn finish(self, op_idx: usize, elems: usize) {
+        let slot = &OP_TABLE[op_idx];
+        slot.fwd_calls.fetch_add(1, Ordering::Relaxed);
+        slot.fwd_ns
+            .fetch_add((self.sw.secs() * 1e9) as u64, Ordering::Relaxed);
+        slot.elems.fetch_add(elems as u64, Ordering::Relaxed);
+        let grown = em_obs::alloc::current_bytes().saturating_sub(self.bytes0);
+        slot.bytes.fetch_add(grown as u64, Ordering::Relaxed);
+    }
+}
+
+/// Drain the op-profiler table: emit one `op_stats` event per op with
+/// nonzero activity since the previous flush, then reset the counters.
+/// Call at a stage boundary while the owning span is still open so the
+/// totals nest under that phase in the trace. No-op when the profiler is
+/// off.
+pub fn flush_op_stats() {
+    if !op_profile_enabled() {
+        return;
+    }
+    for (i, name) in em_obs::names::ALL_OP_NAMES.iter().enumerate() {
+        let slot = &OP_TABLE[i];
+        let fwd_calls = slot.fwd_calls.swap(0, Ordering::Relaxed);
+        let fwd_ns = slot.fwd_ns.swap(0, Ordering::Relaxed);
+        let bwd_calls = slot.bwd_calls.swap(0, Ordering::Relaxed);
+        let bwd_ns = slot.bwd_ns.swap(0, Ordering::Relaxed);
+        let elems = slot.elems.swap(0, Ordering::Relaxed);
+        let bytes = slot.bytes.swap(0, Ordering::Relaxed);
+        if fwd_calls == 0 && bwd_calls == 0 {
+            continue;
+        }
+        em_obs::op_stats(
+            name,
+            fwd_calls,
+            fwd_ns / 1000,
+            bwd_calls,
+            bwd_ns / 1000,
+            elems,
+            bytes,
+        );
+    }
+}
+
 enum Op {
     /// Constant or parameter leaf. `param` is set when the leaf mirrors a
     /// [`ParamStore`] entry and should receive gradient at the end.
@@ -238,6 +357,40 @@ impl Op {
         }
     }
 
+    /// The op's slot in the profiler table — its position in
+    /// [`em_obs::names::ALL_OP_NAMES`] (a test pins the correspondence).
+    fn index(&self) -> usize {
+        match self {
+            Op::Leaf => 0,
+            Op::Matmul(..) => 1,
+            Op::Add(..) => 2,
+            Op::AddRowBroadcast(..) => 3,
+            Op::Sub(..) => 4,
+            Op::Mul(..) => 5,
+            Op::Scale(..) => 6,
+            Op::AddConst(..) => 7,
+            Op::GradReverse(..) => 8,
+            Op::Transpose(..) => 9,
+            Op::Tanh(..) => 10,
+            Op::Sigmoid(..) => 11,
+            Op::Gelu(..) => 12,
+            Op::Relu(..) => 13,
+            Op::SoftmaxRows(..) => 14,
+            Op::LayerNorm { .. } => 15,
+            Op::GatherRows { .. } => 16,
+            Op::Dropout { .. } => 17,
+            Op::ConcatRows(..) => 18,
+            Op::ConcatCols(..) => 19,
+            Op::SliceRows { .. } => 20,
+            Op::SliceCols { .. } => 21,
+            Op::MeanRows(..) => 22,
+            Op::MeanAll(..) => 23,
+            Op::CrossEntropy { .. } => 24,
+            Op::MseLoss { .. } => 25,
+            Op::NllProbs { .. } => 26,
+        }
+    }
+
     /// The vars this op reads (its graph predecessors).
     fn inputs(&self) -> Vec<Var> {
         match self {
@@ -316,6 +469,16 @@ impl Tape {
         Var(self.nodes.len() - 1)
     }
 
+    /// [`Tape::push`] plus op-profiler accounting. `timer` was started at
+    /// the recording method's entry (before the forward compute); `None`
+    /// when the profiler is off, in which case this is exactly `push`.
+    fn push_timed(&mut self, timer: Option<OpTimer>, value: Matrix, op: Op) -> Var {
+        if let Some(t) = timer {
+            t.finish(op.index(), value.len());
+        }
+        self.push(value, op)
+    }
+
     /// Number of nodes recorded so far.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -381,7 +544,8 @@ impl Tape {
 
     /// Insert a constant leaf (no gradient flows out of the tape).
     pub fn constant(&mut self, value: Matrix) -> Var {
-        self.push(value, Op::Leaf)
+        let prof = OpTimer::start();
+        self.push_timed(prof, value, Op::Leaf)
     }
 
     /// Insert (or reuse) a leaf mirroring parameter `id` from `store`.
@@ -389,8 +553,9 @@ impl Tape {
         if let Some(&v) = self.param_cache.get(&id) {
             return v;
         }
+        let prof = OpTimer::start();
         let value = store.value(id).clone();
-        let v = self.push(value, Op::Leaf);
+        let v = self.push_timed(prof, value, Op::Leaf);
         self.param_cache.insert(id, v);
         v
     }
@@ -433,6 +598,7 @@ impl Tape {
 
     /// Shape-checked [`Tape::matmul`].
     pub fn try_matmul(&mut self, a: Var, b: Var) -> Result<Var, TapeError> {
+        let prof = OpTimer::start();
         let (la, lb) = (self.nodes[a.0].value.shape(), self.nodes[b.0].value.shape());
         if la.1 != lb.0 {
             return Err(TapeError::ShapeMismatch {
@@ -442,7 +608,7 @@ impl Tape {
             });
         }
         let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
-        Ok(self.push(value, Op::Matmul(a, b)))
+        Ok(self.push_timed(prof, value, Op::Matmul(a, b)))
     }
 
     /// Elementwise sum (same shapes).
@@ -452,9 +618,10 @@ impl Tape {
 
     /// Shape-checked [`Tape::add`].
     pub fn try_add(&mut self, a: Var, b: Var) -> Result<Var, TapeError> {
+        let prof = OpTimer::start();
         self.same_shape("add", a, b)?;
         let value = self.nodes[a.0].value.add(&self.nodes[b.0].value);
-        Ok(self.push(value, Op::Add(a, b)))
+        Ok(self.push_timed(prof, value, Op::Add(a, b)))
     }
 
     /// `a + b` where `b` is a (1,C) row broadcast over the rows of `a`.
@@ -464,6 +631,7 @@ impl Tape {
 
     /// Shape-checked [`Tape::add_row_broadcast`].
     pub fn try_add_row_broadcast(&mut self, a: Var, b: Var) -> Result<Var, TapeError> {
+        let prof = OpTimer::start();
         let (la, lb) = (self.nodes[a.0].value.shape(), self.nodes[b.0].value.shape());
         if lb.0 != 1 {
             return Err(TapeError::BadShape {
@@ -487,7 +655,7 @@ impl Tape {
                 *v += x;
             }
         }
-        Ok(self.push(value, Op::AddRowBroadcast(a, b)))
+        Ok(self.push_timed(prof, value, Op::AddRowBroadcast(a, b)))
     }
 
     /// Elementwise difference.
@@ -497,9 +665,10 @@ impl Tape {
 
     /// Shape-checked [`Tape::sub`].
     pub fn try_sub(&mut self, a: Var, b: Var) -> Result<Var, TapeError> {
+        let prof = OpTimer::start();
         self.same_shape("sub", a, b)?;
         let value = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
-        Ok(self.push(value, Op::Sub(a, b)))
+        Ok(self.push_timed(prof, value, Op::Sub(a, b)))
     }
 
     /// Elementwise (Hadamard) product.
@@ -509,15 +678,17 @@ impl Tape {
 
     /// Shape-checked [`Tape::mul`].
     pub fn try_mul(&mut self, a: Var, b: Var) -> Result<Var, TapeError> {
+        let prof = OpTimer::start();
         self.same_shape("mul", a, b)?;
         let value = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
-        Ok(self.push(value, Op::Mul(a, b)))
+        Ok(self.push_timed(prof, value, Op::Mul(a, b)))
     }
 
     /// Multiply every element by the constant `c`.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let prof = OpTimer::start();
         let value = self.nodes[a.0].value.scale(c);
-        self.push(value, Op::Scale(a, c))
+        self.push_timed(prof, value, Op::Scale(a, c))
     }
 
     /// Add a constant matrix elementwise (no gradient to the constant).
@@ -527,6 +698,7 @@ impl Tape {
 
     /// Shape-checked [`Tape::add_const`].
     pub fn try_add_const(&mut self, a: Var, k: &Matrix) -> Result<Var, TapeError> {
+        let prof = OpTimer::start();
         let la = self.nodes[a.0].value.shape();
         if la != k.shape() {
             return Err(TapeError::ShapeMismatch {
@@ -536,49 +708,56 @@ impl Tape {
             });
         }
         let value = self.nodes[a.0].value.add(k);
-        Ok(self.push(value, Op::AddConst(a)))
+        Ok(self.push_timed(prof, value, Op::AddConst(a)))
     }
 
     /// Gradient-reversal layer: forward identity, backward `-lambda * g`.
     pub fn grad_reverse(&mut self, a: Var, lambda: f32) -> Var {
+        let prof = OpTimer::start();
         let value = self.nodes[a.0].value.clone();
-        self.push(value, Op::GradReverse(a, lambda))
+        self.push_timed(prof, value, Op::GradReverse(a, lambda))
     }
 
     /// Matrix transpose.
     pub fn transpose(&mut self, a: Var) -> Var {
+        let prof = OpTimer::start();
         let value = self.nodes[a.0].value.transpose();
-        self.push(value, Op::Transpose(a))
+        self.push_timed(prof, value, Op::Transpose(a))
     }
 
     /// Elementwise `tanh`.
     pub fn tanh(&mut self, a: Var) -> Var {
+        let prof = OpTimer::start();
         let value = self.nodes[a.0].value.map(f32::tanh);
-        self.push(value, Op::Tanh(a))
+        self.push_timed(prof, value, Op::Tanh(a))
     }
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
+        let prof = OpTimer::start();
         let value = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.push(value, Op::Sigmoid(a))
+        self.push_timed(prof, value, Op::Sigmoid(a))
     }
 
     /// Elementwise GELU (tanh approximation, as in BERT).
     pub fn gelu(&mut self, a: Var) -> Var {
+        let prof = OpTimer::start();
         let value = self.nodes[a.0].value.map(gelu);
-        self.push(value, Op::Gelu(a))
+        self.push_timed(prof, value, Op::Gelu(a))
     }
 
     /// Elementwise ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
+        let prof = OpTimer::start();
         let value = self.nodes[a.0].value.map(|x| x.max(0.0));
-        self.push(value, Op::Relu(a))
+        self.push_timed(prof, value, Op::Relu(a))
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let prof = OpTimer::start();
         let value = self.nodes[a.0].value.softmax_rows();
-        self.push(value, Op::SoftmaxRows(a))
+        self.push_timed(prof, value, Op::SoftmaxRows(a))
     }
 
     /// Row-wise layer normalization. `gamma` and `beta` must be (1,C).
@@ -594,6 +773,7 @@ impl Tape {
         beta: Var,
         eps: f32,
     ) -> Result<Var, TapeError> {
+        let prof = OpTimer::start();
         let xm = self.nodes[x.0].value.clone();
         let (rows, cols) = xm.shape();
         for v in [gamma, beta] {
@@ -623,7 +803,8 @@ impl Tape {
                 value.set(r, c, n * gm.get(0, c) + bm.get(0, c));
             }
         }
-        Ok(self.push(
+        Ok(self.push_timed(
+            prof,
             value,
             Op::LayerNorm {
                 x,
@@ -642,6 +823,7 @@ impl Tape {
 
     /// Shape-checked [`Tape::gather_rows`].
     pub fn try_gather_rows(&mut self, src: Var, idx: &[usize]) -> Result<Var, TapeError> {
+        let prof = OpTimer::start();
         let rows = self.nodes[src.0].value.rows();
         if let Some(&bad) = idx.iter().find(|&&i| i >= rows) {
             return Err(TapeError::IndexOutOfRange {
@@ -651,7 +833,8 @@ impl Tape {
             });
         }
         let value = self.nodes[src.0].value.gather_rows(idx);
-        Ok(self.push(
+        Ok(self.push_timed(
+            prof,
             value,
             Op::GatherRows {
                 src,
@@ -666,6 +849,7 @@ impl Tape {
         if !self.train || p <= 0.0 {
             return x;
         }
+        let prof = OpTimer::start();
         assert!(p < 1.0, "dropout probability must be < 1");
         let (rows, cols) = self.nodes[x.0].value.shape();
         let keep = 1.0 - p;
@@ -678,7 +862,7 @@ impl Tape {
             }
         });
         let value = self.nodes[x.0].value.hadamard(&mask);
-        self.push(value, Op::Dropout { x, mask })
+        self.push_timed(prof, value, Op::Dropout { x, mask })
     }
 
     /// Stack vars vertically (equal column counts).
@@ -688,6 +872,7 @@ impl Tape {
 
     /// Shape-checked [`Tape::concat_rows`].
     pub fn try_concat_rows(&mut self, parts: &[Var]) -> Result<Var, TapeError> {
+        let prof = OpTimer::start();
         if let [first, rest @ ..] = parts {
             let want = self.nodes[first.0].value.cols();
             for p in rest {
@@ -703,7 +888,7 @@ impl Tape {
         }
         let mats: Vec<&Matrix> = parts.iter().map(|v| &self.nodes[v.0].value).collect();
         let value = Matrix::vstack(&mats);
-        Ok(self.push(value, Op::ConcatRows(parts.to_vec())))
+        Ok(self.push_timed(prof, value, Op::ConcatRows(parts.to_vec())))
     }
 
     /// Stack vars horizontally (equal row counts).
@@ -713,6 +898,7 @@ impl Tape {
 
     /// Shape-checked [`Tape::concat_cols`].
     pub fn try_concat_cols(&mut self, parts: &[Var]) -> Result<Var, TapeError> {
+        let prof = OpTimer::start();
         if let [first, rest @ ..] = parts {
             let want = self.nodes[first.0].value.rows();
             for p in rest {
@@ -728,7 +914,7 @@ impl Tape {
         }
         let mats: Vec<&Matrix> = parts.iter().map(|v| &self.nodes[v.0].value).collect();
         let value = Matrix::hstack(&mats);
-        Ok(self.push(value, Op::ConcatCols(parts.to_vec())))
+        Ok(self.push_timed(prof, value, Op::ConcatCols(parts.to_vec())))
     }
 
     /// Copy of rows `[start, start+len)`.
@@ -738,6 +924,7 @@ impl Tape {
 
     /// Shape-checked [`Tape::slice_rows`].
     pub fn try_slice_rows(&mut self, x: Var, start: usize, len: usize) -> Result<Var, TapeError> {
+        let prof = OpTimer::start();
         let rows = self.nodes[x.0].value.rows();
         if start + len > rows {
             return Err(TapeError::IndexOutOfRange {
@@ -747,7 +934,7 @@ impl Tape {
             });
         }
         let value = self.nodes[x.0].value.slice_rows(start, len);
-        Ok(self.push(value, Op::SliceRows { x, start }))
+        Ok(self.push_timed(prof, value, Op::SliceRows { x, start }))
     }
 
     /// Copy of columns `[start, start+len)`.
@@ -757,6 +944,7 @@ impl Tape {
 
     /// Shape-checked [`Tape::slice_cols`].
     pub fn try_slice_cols(&mut self, x: Var, start: usize, len: usize) -> Result<Var, TapeError> {
+        let prof = OpTimer::start();
         let cols = self.nodes[x.0].value.cols();
         if start + len > cols {
             return Err(TapeError::IndexOutOfRange {
@@ -766,20 +954,22 @@ impl Tape {
             });
         }
         let value = self.nodes[x.0].value.slice_cols(start, len);
-        Ok(self.push(value, Op::SliceCols { x, start }))
+        Ok(self.push_timed(prof, value, Op::SliceCols { x, start }))
     }
 
     /// Mean over rows, producing a `(1, C)` row.
     pub fn mean_rows(&mut self, x: Var) -> Var {
+        let prof = OpTimer::start();
         let value = self.nodes[x.0].value.mean_rows();
-        self.push(value, Op::MeanRows(x))
+        self.push_timed(prof, value, Op::MeanRows(x))
     }
 
     /// Mean of every element, producing a scalar var.
     pub fn mean_all(&mut self, x: Var) -> Var {
+        let prof = OpTimer::start();
         let m = &self.nodes[x.0].value;
         let value = Matrix::scalar(m.sum() / m.len() as f32);
-        self.push(value, Op::MeanAll(x))
+        self.push_timed(prof, value, Op::MeanAll(x))
     }
 
     /// Validate a (matrix, class-target list) pairing for a loss op.
@@ -810,6 +1000,7 @@ impl Tape {
 
     /// Shape-checked [`Tape::cross_entropy`].
     pub fn try_cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Result<Var, TapeError> {
+        let prof = OpTimer::start();
         self.check_targets("cross_entropy", logits, targets)?;
         let lm = &self.nodes[logits.0].value;
         let probs = lm.softmax_rows();
@@ -818,7 +1009,8 @@ impl Tape {
             loss -= probs.get(r, t).max(1e-12).ln();
         }
         loss /= targets.len() as f32;
-        Ok(self.push(
+        Ok(self.push_timed(
+            prof,
             Matrix::scalar(loss),
             Op::CrossEntropy {
                 logits,
@@ -836,6 +1028,7 @@ impl Tape {
 
     /// Shape-checked [`Tape::nll_probs`].
     pub fn try_nll_probs(&mut self, probs: Var, targets: &[usize]) -> Result<Var, TapeError> {
+        let prof = OpTimer::start();
         self.check_targets("nll_probs", probs, targets)?;
         let pm = &self.nodes[probs.0].value;
         let mut loss = 0.0f32;
@@ -843,7 +1036,8 @@ impl Tape {
             loss -= pm.get(r, t).max(1e-12).ln();
         }
         loss /= targets.len() as f32;
-        Ok(self.push(
+        Ok(self.push_timed(
+            prof,
             Matrix::scalar(loss),
             Op::NllProbs {
                 probs,
@@ -859,6 +1053,7 @@ impl Tape {
 
     /// Shape-checked [`Tape::mse_loss`].
     pub fn try_mse_loss(&mut self, pred: Var, target: &Matrix) -> Result<Var, TapeError> {
+        let prof = OpTimer::start();
         let pm = &self.nodes[pred.0].value;
         if pm.shape() != target.shape() {
             return Err(TapeError::ShapeMismatch {
@@ -869,7 +1064,8 @@ impl Tape {
         }
         let diff = pm.sub(target);
         let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / pm.len() as f32;
-        Ok(self.push(
+        Ok(self.push_timed(
+            prof,
             Matrix::scalar(loss),
             Op::MseLoss {
                 pred,
@@ -904,6 +1100,7 @@ impl Tape {
             });
         }
         let sanitize = sanitize_enabled();
+        let profiling = op_profile_enabled();
         self.nodes[loss.0].grad = Some(Matrix::scalar(1.0));
         for i in (0..=loss.0).rev() {
             let g = match self.nodes[i].grad.take() {
@@ -913,7 +1110,17 @@ impl Tape {
             if sanitize {
                 self.sanitize_node(i, Some(&g));
             }
-            self.backprop_node(i, &g);
+            if profiling {
+                let sw = em_obs::Stopwatch::new();
+                let idx = self.nodes[i].op.index();
+                self.backprop_node(i, &g);
+                let slot = &OP_TABLE[idx];
+                slot.bwd_calls.fetch_add(1, Ordering::Relaxed);
+                slot.bwd_ns
+                    .fetch_add((sw.secs() * 1e9) as u64, Ordering::Relaxed);
+            } else {
+                self.backprop_node(i, &g);
+            }
             self.nodes[i].grad = Some(g);
         }
         if let Some(sw) = timed {
@@ -1492,6 +1699,143 @@ mod tests {
         let x = tape.constant(test_input());
         let y = tape.dropout(x, 0.5, &mut rng);
         assert_eq!(x, y);
+    }
+
+    #[test]
+    fn op_indices_match_the_obs_registry() {
+        // One of each variant; index() must be its position in
+        // em_obs::names::ALL_OP_NAMES and name() the string stored there.
+        let v = Var(0);
+        let m = Matrix::zeros(1, 1);
+        let ops = vec![
+            Op::Leaf,
+            Op::Matmul(v, v),
+            Op::Add(v, v),
+            Op::AddRowBroadcast(v, v),
+            Op::Sub(v, v),
+            Op::Mul(v, v),
+            Op::Scale(v, 1.0),
+            Op::AddConst(v),
+            Op::GradReverse(v, 1.0),
+            Op::Transpose(v),
+            Op::Tanh(v),
+            Op::Sigmoid(v),
+            Op::Gelu(v),
+            Op::Relu(v),
+            Op::SoftmaxRows(v),
+            Op::LayerNorm {
+                x: v,
+                gamma: v,
+                beta: v,
+                normed: m.clone(),
+                inv_std: Vec::new(),
+            },
+            Op::GatherRows {
+                src: v,
+                idx: Vec::new(),
+            },
+            Op::Dropout {
+                x: v,
+                mask: m.clone(),
+            },
+            Op::ConcatRows(Vec::new()),
+            Op::ConcatCols(Vec::new()),
+            Op::SliceRows { x: v, start: 0 },
+            Op::SliceCols { x: v, start: 0 },
+            Op::MeanRows(v),
+            Op::MeanAll(v),
+            Op::CrossEntropy {
+                logits: v,
+                targets: Vec::new(),
+                probs: m.clone(),
+            },
+            Op::MseLoss { pred: v, target: m },
+            Op::NllProbs {
+                probs: v,
+                targets: Vec::new(),
+            },
+        ];
+        assert_eq!(ops.len(), em_obs::names::ALL_OP_NAMES.len());
+        let mut seen = vec![false; ops.len()];
+        for op in &ops {
+            assert_eq!(
+                em_obs::names::ALL_OP_NAMES[op.index()],
+                op.name(),
+                "slot/name mismatch for {}",
+                op.name()
+            );
+            assert!(!seen[op.index()], "duplicate slot {}", op.index());
+            seen[op.index()] = true;
+        }
+    }
+
+    #[test]
+    fn op_profiler_off_is_silent_and_on_flushes_named_totals() {
+        // Counter-based on purpose (wall-clock assertions are flaky): the
+        // off phase asserts zero op_stats events and that flushing emits
+        // nothing; the on phase asserts per-op call counts, and both
+        // phases must record the identical graph.
+        fn build_and_backward() -> usize {
+            let mut tape = Tape::new();
+            let x = tape.constant(Matrix::from_vec(2, 3, vec![0.5, -1.2, 0.3, 0.9, -0.4, 1.7]));
+            let w = tape.constant(Matrix::from_vec(3, 2, vec![0.1, -0.2, 0.4, 0.3, -0.5, 0.2]));
+            let y = tape.matmul(x, w);
+            let a = tape.tanh(y);
+            let loss = tape.mean_all(a);
+            tape.backward(loss);
+            tape.len()
+        }
+        let is_op_stats = |e: &em_obs::Event| matches!(e.kind, em_obs::EventKind::OpStats { .. });
+
+        // Off (the default — the env override is never set under test).
+        let (nodes_off, events_off) = em_obs::capture(build_and_backward);
+        let ((), flush_off) = em_obs::capture(flush_op_stats);
+        assert!(
+            !events_off.iter().any(is_op_stats),
+            "disabled profiler emitted op_stats"
+        );
+        assert!(
+            !flush_off.iter().any(is_op_stats),
+            "disabled flush emitted op_stats"
+        );
+
+        // On. Parallel tests in this process may add their own ops to the
+        // global table while the switch is up, so assert lower bounds on
+        // the ops this graph certainly recorded, never exact totals.
+        set_op_profile(true);
+        let (nodes_on, _) = em_obs::capture(build_and_backward);
+        let ((), flushed) = em_obs::capture(flush_op_stats);
+        set_op_profile(false);
+
+        assert_eq!(nodes_off, nodes_on, "profiling changed the recorded graph");
+        let stats = |name: &str| {
+            flushed.iter().find_map(|e| match &e.kind {
+                em_obs::EventKind::OpStats {
+                    op,
+                    fwd_calls,
+                    bwd_calls,
+                    elems,
+                    ..
+                } if op == name => Some((*fwd_calls, *bwd_calls, *elems)),
+                _ => None,
+            })
+        };
+        for (name, min_elems) in [("leaf", 12), ("matmul", 4), ("tanh", 4), ("mean_all", 1)] {
+            let (fwd, bwd, elems) = stats(name).unwrap_or_else(|| panic!("{name} not flushed"));
+            assert!(fwd >= 1, "{name}: no forward calls");
+            assert!(elems >= min_elems, "{name}: {elems} elems");
+            if name != "leaf" {
+                assert!(bwd >= 1, "{name}: no backward visits");
+            }
+        }
+        for e in &flushed {
+            if let em_obs::EventKind::OpStats { op, .. } = &e.kind {
+                assert!(
+                    em_obs::names::ALL_OP_NAMES.contains(&op.as_str()),
+                    "op name {op} not in the registry"
+                );
+            }
+        }
     }
 
     #[test]

@@ -239,6 +239,31 @@ pub enum EventKind {
         /// Backoff applied before the next attempt, in milliseconds.
         delay_ms: u64,
     },
+    /// Aggregated tape-op counters flushed at a stage boundary, one event
+    /// per op name with nonzero activity since the previous flush. The
+    /// enclosing `span` field attributes the totals to their phase.
+    /// Fields: `op` (tape op name from [`names::ALL_OP_NAMES`]),
+    /// `fwd_calls`/`fwd_us` (forward recordings and their wall time),
+    /// `bwd_calls`/`bwd_us` (backward visits and their wall time),
+    /// `elems` (output elements produced forward), `bytes` (net heap
+    /// allocated across forward recordings; 0 without the counting
+    /// allocator).
+    OpStats {
+        /// Tape op name (`"matmul"`, `"softmax_rows"`, ...).
+        op: String,
+        /// Forward recordings of this op since the last flush.
+        fwd_calls: u64,
+        /// Wall time of those forward recordings, in microseconds.
+        fwd_us: u64,
+        /// Backward visits of this op since the last flush.
+        bwd_calls: u64,
+        /// Wall time of those backward visits, in microseconds.
+        bwd_us: u64,
+        /// Output elements produced by the forward recordings.
+        elems: u64,
+        /// Net heap bytes allocated across the forward recordings.
+        bytes: u64,
+    },
 }
 
 impl EventKind {
@@ -261,6 +286,7 @@ impl EventKind {
             EventKind::CkptRestore { .. } => names::EV_CKPT_RESTORE,
             EventKind::RecoveredBatch { .. } => names::EV_RECOVERED_BATCH,
             EventKind::IoRetry { .. } => names::EV_IO_RETRY,
+            EventKind::OpStats { .. } => names::EV_OP_STATS,
         }
     }
 
@@ -291,7 +317,8 @@ impl EventKind {
             | EventKind::PretrainStep { .. }
             | EventKind::Block { .. }
             | EventKind::UncHist { .. }
-            | EventKind::Metric { .. } => Level::Debug,
+            | EventKind::Metric { .. }
+            | EventKind::OpStats { .. } => Level::Debug,
         }
     }
 }
@@ -514,6 +541,22 @@ impl Event {
                 push_json_str(&mut s, op);
                 let _ = write!(s, ",\"attempt\":{attempt},\"delay_ms\":{delay_ms}");
             }
+            EventKind::OpStats {
+                op,
+                fwd_calls,
+                fwd_us,
+                bwd_calls,
+                bwd_us,
+                elems,
+                bytes,
+            } => {
+                s.push_str(",\"op\":");
+                push_json_str(&mut s, op);
+                let _ = write!(
+                    s,
+                    ",\"fwd_calls\":{fwd_calls},\"fwd_us\":{fwd_us},\"bwd_calls\":{bwd_calls},\"bwd_us\":{bwd_us},\"elems\":{elems},\"bytes\":{bytes}"
+                );
+            }
         }
         s.push('}');
         s
@@ -655,6 +698,15 @@ impl Event {
                 op: text("op")?,
                 attempt: num("attempt")? as u64,
                 delay_ms: num("delay_ms")? as u64,
+            },
+            names::EV_OP_STATS => EventKind::OpStats {
+                op: text("op")?,
+                fwd_calls: num("fwd_calls")? as u64,
+                fwd_us: num("fwd_us")? as u64,
+                bwd_calls: num("bwd_calls")? as u64,
+                bwd_us: num("bwd_us")? as u64,
+                elems: num("elems")? as u64,
+                bytes: num("bytes")? as u64,
             },
             other => return Err(format!("unknown event type '{other}'")),
         };
@@ -804,6 +856,19 @@ impl Event {
                 attempt,
                 delay_ms,
             } => format!("I/O retry: {op} attempt {attempt} failed, backing off {delay_ms}ms"),
+            EventKind::OpStats {
+                op,
+                fwd_calls,
+                fwd_us,
+                bwd_calls,
+                bwd_us,
+                elems,
+                bytes,
+            } => format!(
+                "op {op}: fwd {fwd_calls}x {:.1}ms, bwd {bwd_calls}x {:.1}ms, {elems} elems, {bytes}B",
+                *fwd_us as f64 / 1e3,
+                *bwd_us as f64 / 1e3
+            ),
         };
         format!("{prefix} {body}")
     }
@@ -1109,6 +1174,15 @@ mod tests {
             op: "ckpt_write".into(),
             attempt: 1,
             delay_ms: 25,
+        });
+        round_trip(EventKind::OpStats {
+            op: "matmul".into(),
+            fwd_calls: 1200,
+            fwd_us: 845_000,
+            bwd_calls: 600,
+            bwd_us: 512_000,
+            elems: 9_830_400,
+            bytes: 39_321_600,
         });
     }
 

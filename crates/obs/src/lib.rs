@@ -274,6 +274,30 @@ pub fn io_retry(op: impl Into<String>, attempt: u64, delay_ms: u64) {
     });
 }
 
+/// Emit an `op_stats` event (aggregated tape-op counters for one op,
+/// flushed at a stage boundary). Emit inside the owning span so the
+/// totals nest under their phase.
+#[allow(clippy::too_many_arguments)]
+pub fn op_stats(
+    op: &'static str,
+    fwd_calls: u64,
+    fwd_us: u64,
+    bwd_calls: u64,
+    bwd_us: u64,
+    elems: u64,
+    bytes: u64,
+) {
+    emit(EventKind::OpStats {
+        op: op.into(),
+        fwd_calls,
+        fwd_us,
+        bwd_calls,
+        bwd_us,
+        elems,
+        bytes,
+    });
+}
+
 /// Emit a `non_finite` event (the tape sanitizer caught a NaN/Inf buffer).
 pub fn non_finite(op: impl Into<String>, node: u64, stage: &'static str, bad: u64, total: u64) {
     emit(EventKind::NonFinite {

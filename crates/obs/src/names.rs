@@ -41,9 +41,12 @@ pub const EV_CKPT_RESTORE: &str = "ckpt_restore";
 pub const EV_RECOVERED_BATCH: &str = "recovered_batch";
 /// `io_retry` — a transient I/O failure triggered a bounded retry.
 pub const EV_IO_RETRY: &str = "io_retry";
+/// `op_stats` — aggregated tape-op counters flushed at a stage boundary
+/// (one event per op name with nonzero activity since the last flush).
+pub const EV_OP_STATS: &str = "op_stats";
 
 /// Every event type tag, in schema order.
-pub const ALL_EVENT_TAGS: [&str; 16] = [
+pub const ALL_EVENT_TAGS: [&str; 17] = [
     EV_SPAN_OPEN,
     EV_SPAN_CLOSE,
     EV_EPOCH_SUMMARY,
@@ -60,6 +63,7 @@ pub const ALL_EVENT_TAGS: [&str; 16] = [
     EV_CKPT_RESTORE,
     EV_RECOVERED_BATCH,
     EV_IO_RETRY,
+    EV_OP_STATS,
 ];
 
 /// One CLI `match` invocation (detail: dataset name).
@@ -80,6 +84,12 @@ pub const SPAN_LST_ITER: &str = "lst_iter";
 pub const SPAN_TEACHER: &str = "teacher";
 /// Pseudo-label selection inside LST.
 pub const SPAN_PSEUDO_SELECT: &str = "pseudo_select";
+/// MC-Dropout scoring passes inside pseudo-label selection.
+pub const SPAN_PSEUDO_SCORE: &str = "pseudo_score";
+/// Uncertainty estimation over the scoring passes.
+pub const SPAN_PSEUDO_UNCERTAINTY: &str = "pseudo_uncertainty";
+/// Threshold + sort that turns scores into selected pseudo-labels.
+pub const SPAN_PSEUDO_RANK: &str = "pseudo_rank";
 /// Student training inside LST.
 pub const SPAN_STUDENT: &str = "student";
 /// Candidate blocking over a dataset.
@@ -94,7 +104,7 @@ pub const SPAN_PREDICT: &str = "predict";
 pub const SPAN_METHOD: &str = "method";
 
 /// Every span name the workspace opens, in rough pipeline order.
-pub const ALL_SPAN_NAMES: [&str; 15] = [
+pub const ALL_SPAN_NAMES: [&str; 18] = [
     SPAN_MATCH,
     SPAN_PRETRAIN,
     SPAN_ENCODE,
@@ -104,12 +114,49 @@ pub const ALL_SPAN_NAMES: [&str; 15] = [
     SPAN_LST_ITER,
     SPAN_TEACHER,
     SPAN_PSEUDO_SELECT,
+    SPAN_PSEUDO_SCORE,
+    SPAN_PSEUDO_UNCERTAINTY,
+    SPAN_PSEUDO_RANK,
     SPAN_STUDENT,
     SPAN_BLOCK,
     SPAN_BASELINE,
     SPAN_FIT,
     SPAN_PREDICT,
     SPAN_METHOD,
+];
+
+/// Every autodiff tape op name, in tape recording order. The index of an
+/// op in this array is its slot in the op-profiler's accumulation table
+/// (`em-nn` pins the correspondence with a test), and the `em-lint`
+/// `op_name` rule requires `op_stats` op strings to come from here.
+pub const ALL_OP_NAMES: [&str; 27] = [
+    "leaf",
+    "matmul",
+    "add",
+    "add_row_broadcast",
+    "sub",
+    "mul",
+    "scale",
+    "add_const",
+    "grad_reverse",
+    "transpose",
+    "tanh",
+    "sigmoid",
+    "gelu",
+    "relu",
+    "softmax_rows",
+    "layer_norm",
+    "gather_rows",
+    "dropout",
+    "concat_rows",
+    "concat_cols",
+    "slice_rows",
+    "slice_cols",
+    "mean_rows",
+    "mean_all",
+    "cross_entropy",
+    "mse_loss",
+    "nll_probs",
 ];
 
 #[cfg(test)]
@@ -134,6 +181,19 @@ mod tests {
         for (i, a) in ALL_SPAN_NAMES.iter().enumerate() {
             for b in &ALL_SPAN_NAMES[i + 1..] {
                 assert_ne!(a, b, "duplicate span name");
+            }
+        }
+    }
+
+    #[test]
+    fn op_names_are_unique_and_snake_case() {
+        for (i, a) in ALL_OP_NAMES.iter().enumerate() {
+            assert!(
+                a.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "op name {a} not snake_case"
+            );
+            for b in &ALL_OP_NAMES[i + 1..] {
+                assert_ne!(a, b, "duplicate op name");
             }
         }
     }

@@ -23,6 +23,11 @@ pub struct Thresholds {
     pub steps_frac: f64,
     /// Allowed F1 drop in absolute points (percent scale).
     pub f1_points: f64,
+    /// Allowed relative per-op wall-time increase (op timings are
+    /// noisier than phase wall, so the default slack is wider).
+    pub op_wall_frac: f64,
+    /// Allowed relative per-op allocated-bytes increase.
+    pub op_bytes_frac: f64,
 }
 
 impl Default for Thresholds {
@@ -32,6 +37,8 @@ impl Default for Thresholds {
             heap_frac: 0.50,
             steps_frac: 0.0,
             f1_points: 1.0,
+            op_wall_frac: 1.0,
+            op_bytes_frac: 1.0,
         }
     }
 }
@@ -39,8 +46,8 @@ impl Default for Thresholds {
 /// One compared metric.
 #[derive(Debug, Clone)]
 pub struct DiffRow {
-    /// Metric name (`total_wall_us`, `peak_heap`, ...).
-    pub name: &'static str,
+    /// Metric name (`total_wall_us`, `peak_heap`, `op matmul wall_us`, ...).
+    pub name: String,
     /// Baseline value, when the baseline trace carried it.
     pub base: Option<f64>,
     /// New value, when the new trace carried it.
@@ -79,7 +86,7 @@ impl DiffReport {
         ]];
         for row in &self.rows {
             lines.push(vec![
-                row.name.to_string(),
+                row.name.clone(),
                 fmt_opt(row.base),
                 fmt_opt(row.new),
                 format!(
@@ -122,7 +129,7 @@ impl DiffReport {
 /// Relative increase check: regress when `new > base * (1 + frac)`.
 /// A zero baseline can't anchor a ratio, so those rows never regress
 /// (the absolute values still print for eyeballing).
-fn increase_row(name: &'static str, base: u64, new: u64, frac: f64) -> DiffRow {
+fn increase_row(name: impl Into<String>, base: u64, new: u64, frac: f64) -> DiffRow {
     let regressed = base > 0 && (new as f64) > (base as f64) * (1.0 + frac);
     let note = if base == 0 {
         "no baseline".to_string()
@@ -134,7 +141,7 @@ fn increase_row(name: &'static str, base: u64, new: u64, frac: f64) -> DiffRow {
         )
     };
     DiffRow {
-        name,
+        name: name.into(),
         base: Some(base as f64),
         new: Some(new as f64),
         regressed,
@@ -143,11 +150,11 @@ fn increase_row(name: &'static str, base: u64, new: u64, frac: f64) -> DiffRow {
 }
 
 /// Symmetric drift check: regress when `|new - base| > base * frac`.
-fn drift_row(name: &'static str, base: u64, new: u64, frac: f64) -> DiffRow {
+fn drift_row(name: impl Into<String>, base: u64, new: u64, frac: f64) -> DiffRow {
     let allowed = base as f64 * frac;
     let drift = (new as f64 - base as f64).abs();
     DiffRow {
-        name,
+        name: name.into(),
         base: Some(base as f64),
         new: Some(new as f64),
         regressed: drift > allowed,
@@ -158,7 +165,7 @@ fn drift_row(name: &'static str, base: u64, new: u64, frac: f64) -> DiffRow {
 /// Quality check: regress when F1 dropped more than `points`. Missing on
 /// either side is reported but never gates (a run without validation
 /// can't be scored).
-fn f1_row(name: &'static str, base: Option<f64>, new: Option<f64>, points: f64) -> DiffRow {
+fn f1_row(name: impl Into<String>, base: Option<f64>, new: Option<f64>, points: f64) -> DiffRow {
     let (regressed, note) = match (base, new) {
         (Some(b), Some(n)) => (
             b - n > points,
@@ -167,7 +174,7 @@ fn f1_row(name: &'static str, base: Option<f64>, new: Option<f64>, points: f64) 
         _ => (false, "not comparable".to_string()),
     };
     DiffRow {
-        name,
+        name: name.into(),
         base,
         new,
         regressed,
@@ -175,32 +182,82 @@ fn f1_row(name: &'static str, base: Option<f64>, new: Option<f64>, points: f64) 
     }
 }
 
-/// Compare `new` against `base` under `t`.
+/// Compare `new` against `base` under `t`. When both manifests carry
+/// op-profiler rows, each op's cross-phase wall/byte totals are gated
+/// too, so an op-level regression names the op rather than drowning in
+/// the phase totals.
 pub fn diff(base: &RunManifest, new: &RunManifest, t: &Thresholds) -> DiffReport {
-    DiffReport {
-        rows: vec![
-            increase_row(
-                "total_wall_us",
-                base.total_wall_us,
-                new.total_wall_us,
-                t.wall_frac,
-            ),
-            increase_row("peak_heap", base.peak_heap, new.peak_heap, t.heap_frac),
-            drift_row(
-                "optimizer_steps",
-                base.optimizer_steps,
-                new.optimizer_steps,
-                t.steps_frac,
-            ),
-            f1_row(
-                "best_valid_f1",
-                base.best_valid_f1,
-                new.best_valid_f1,
-                t.f1_points,
-            ),
-            f1_row("test_f1", base.test_f1, new.test_f1, t.f1_points),
-        ],
+    let mut rows = vec![
+        increase_row(
+            "total_wall_us",
+            base.total_wall_us,
+            new.total_wall_us,
+            t.wall_frac,
+        ),
+        increase_row("peak_heap", base.peak_heap, new.peak_heap, t.heap_frac),
+        drift_row(
+            "optimizer_steps",
+            base.optimizer_steps,
+            new.optimizer_steps,
+            t.steps_frac,
+        ),
+        f1_row(
+            "best_valid_f1",
+            base.best_valid_f1,
+            new.best_valid_f1,
+            t.f1_points,
+        ),
+        f1_row("test_f1", base.test_f1, new.test_f1, t.f1_points),
+    ];
+    if !base.ops.is_empty() && !new.ops.is_empty() {
+        let base_ops = crate::ops::totals_by_op(&base.ops);
+        let new_ops = crate::ops::totals_by_op(&new.ops);
+        let mut names: Vec<&String> = base_ops.keys().chain(new_ops.keys()).collect();
+        names.sort();
+        names.dedup();
+        for op in names {
+            let (bw, bb) = base_ops.get(op).copied().unwrap_or((0, 0));
+            let (nw, nb) = new_ops.get(op).copied().unwrap_or((0, 0));
+            rows.push(op_gate_row(
+                format!("op {op} wall_us"),
+                bw,
+                nw,
+                t.op_wall_frac,
+                OP_WALL_GATE_FLOOR_US,
+            ));
+            rows.push(op_gate_row(
+                format!("op {op} bytes"),
+                bb,
+                nb,
+                t.op_bytes_frac,
+                OP_BYTES_GATE_FLOOR,
+            ));
+        }
     }
+    DiffReport { rows }
+}
+
+/// Op wall baselines below this (µs) never gate: a ratio anchored on a
+/// few microseconds is scheduler noise, not a regression signal.
+pub const OP_WALL_GATE_FLOOR_US: u64 = 1_000;
+
+/// Op byte baselines below this (bytes, 1 MiB) never gate, for the same
+/// reason: tiny allocations wobble with allocator bookkeeping.
+pub const OP_BYTES_GATE_FLOOR: u64 = 1 << 20;
+
+/// Per-op variant of [`increase_row`]: baselines under `floor` print but
+/// never regress.
+fn op_gate_row(name: String, base: u64, new: u64, frac: f64, floor: u64) -> DiffRow {
+    if base < floor {
+        return DiffRow {
+            name,
+            base: Some(base as f64),
+            new: Some(new as f64),
+            regressed: false,
+            note: "below gate floor".to_string(),
+        };
+    }
+    increase_row(name, base, new, frac)
 }
 
 #[cfg(test)]
@@ -281,5 +338,72 @@ mod tests {
         let mut new = base();
         new.peak_heap = 123_456;
         assert_eq!(diff(&b, &new, &Thresholds::default()).regressions(), 0);
+    }
+
+    fn op_row(op: &str, fwd_us: u64, bytes: u64) -> crate::ops::OpRow {
+        crate::ops::OpRow {
+            phase: "tune".into(),
+            op: op.into(),
+            fwd_calls: 1,
+            fwd_us,
+            bwd_calls: 0,
+            bwd_us: 0,
+            elems: 0,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn op_rows_gate_per_op_wall_and_bytes() {
+        let mut b = base();
+        b.ops = vec![op_row("matmul", 1_000, 1_000), op_row("tanh", 100, 0)];
+        // Same totals: clean.
+        let mut new = base();
+        new.ops = b.ops.clone();
+        let report = diff(&b, &new, &Thresholds::default());
+        assert_eq!(report.regressions(), 0, "{}", report.render());
+        assert!(report.render().contains("op matmul wall_us"));
+        // matmul wall beyond +100% default slack: exactly one regression,
+        // named after the op.
+        new.ops = vec![op_row("matmul", 2_500, 1_000), op_row("tanh", 100, 0)];
+        let report = diff(&b, &new, &Thresholds::default());
+        assert_eq!(report.regressions(), 1, "{}", report.render());
+        let bad: Vec<&str> = report
+            .rows
+            .iter()
+            .filter(|r| r.regressed)
+            .map(|r| r.name.as_str())
+            .collect();
+        assert_eq!(bad, ["op matmul wall_us"]);
+        // A brand-new op has no baseline to anchor a ratio: reported, not
+        // gated.
+        new.ops = vec![op_row("matmul", 1_000, 1_000), op_row("gelu", 900, 900)];
+        assert_eq!(diff(&b, &new, &Thresholds::default()).regressions(), 0);
+    }
+
+    #[test]
+    fn tiny_op_baselines_sit_below_the_gate_floor() {
+        // tanh base wall 100µs < 1ms floor: even a 50x blowup only
+        // prints; µs-scale ratios are scheduler noise.
+        let mut b = base();
+        b.ops = vec![op_row("tanh", 100, 0)];
+        let mut new = base();
+        new.ops = vec![op_row("tanh", 5_000, 0)];
+        let report = diff(&b, &new, &Thresholds::default());
+        assert_eq!(report.regressions(), 0, "{}", report.render());
+        assert!(report.render().contains("below gate floor"));
+    }
+
+    #[test]
+    fn op_rows_absent_on_either_side_skip_the_op_gate() {
+        let mut new = base();
+        new.ops = vec![op_row("matmul", 9_999_999, 9_999_999)];
+        let report = diff(&base(), &new, &Thresholds::default());
+        assert_eq!(report.regressions(), 0);
+        assert!(
+            !report.render().contains("op matmul"),
+            "{}",
+            report.render()
+        );
     }
 }

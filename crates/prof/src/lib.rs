@@ -12,6 +12,9 @@
 //! * [`manifest`] — boil a whole trace down to one [`manifest::RunManifest`]:
 //!   seed, wall time, peak heap, optimizer steps, per-epoch training
 //!   telemetry, pseudo-label quality, and final/best F1.
+//! * [`ops`] — attribute tape-profiler `op_stats` events to their owning
+//!   phase: per-(phase, op) call counts, forward/backward wall time,
+//!   element counts, and allocated bytes.
 //! * [`diff`] / [`report`] — compare two manifests under configurable
 //!   [`diff::Thresholds`] (the perf-regression gate `scripts/ci.sh` runs),
 //!   and render TTY reports plus the machine-readable `BENCH_report.json`.
@@ -23,6 +26,7 @@
 pub mod diff;
 pub mod flame;
 pub mod manifest;
+pub mod ops;
 pub mod reader;
 pub mod report;
 pub mod tree;
@@ -30,5 +34,6 @@ pub mod tree;
 pub use diff::{diff, DiffReport, Thresholds};
 pub use flame::FlameRow;
 pub use manifest::RunManifest;
+pub use ops::OpRow;
 pub use reader::{load_trace, parse_trace};
 pub use tree::SpanTree;

@@ -6,6 +6,7 @@
 //! gate compares under explicit tolerances).
 
 use crate::flame::{self, FlameRow};
+use crate::ops::{self, OpRow};
 use crate::tree::SpanTree;
 use em_obs::{Event, EventKind};
 
@@ -56,6 +57,9 @@ pub struct RunManifest {
     pub io_retries: u64,
     /// Per-span-name profile rows, sorted by total time descending.
     pub phases: Vec<FlameRow>,
+    /// Per-(phase, op) tape profiler rows, sorted by total time
+    /// descending. Empty unless the run was traced with `--op-profile`.
+    pub ops: Vec<OpRow>,
 }
 
 /// The metric-event name carrying the pipeline's test F1 gauge (label
@@ -68,6 +72,7 @@ pub fn manifest(events: &[Event]) -> RunManifest {
     let mut m = RunManifest {
         events: events.len() as u64,
         phases: flame::aggregate(&tree),
+        ops: ops::aggregate(events, &tree),
         ..RunManifest::default()
     };
     let mut t_range: Option<(u64, u64)> = None;
@@ -251,10 +256,26 @@ mod tests {
                     p99: None,
                 },
             ),
+            // An op-profiler flush inside the tune span (span id 1).
+            Event {
+                seq: 10,
+                seed: 13,
+                t_us: 390,
+                span: Some(1),
+                kind: EventKind::OpStats {
+                    op: "matmul".into(),
+                    fwd_calls: 8,
+                    fwd_us: 120,
+                    bwd_calls: 4,
+                    bwd_us: 60,
+                    elems: 512,
+                    bytes: 4096,
+                },
+            },
         ];
         let m = manifest(&events);
         assert_eq!(m.seed, 13);
-        assert_eq!(m.events, 9);
+        assert_eq!(m.events, 10);
         assert_eq!(m.total_wall_us, 320, "420 - 100");
         assert_eq!(m.peak_heap, 5000);
         assert_eq!(m.pretrain_steps, 6, "1 live + 5 banked in the restore");
@@ -270,6 +291,10 @@ mod tests {
         assert_eq!(m.non_finite_events, 0);
         assert_eq!(m.phases.len(), 1);
         assert_eq!(m.phases[0].name, "tune");
+        assert_eq!(m.ops.len(), 1);
+        assert_eq!(m.ops[0].phase, "tune");
+        assert_eq!(m.ops[0].op, "matmul");
+        assert_eq!((m.ops[0].fwd_us, m.ops[0].bwd_us), (120, 60));
     }
 
     #[test]

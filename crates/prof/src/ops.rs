@@ -1,0 +1,270 @@
+//! Op-level attribution: fold `op_stats` events into per-phase, per-op
+//! rows.
+//!
+//! The tape profiler (`em_nn::tape`) accumulates per-op counters in a
+//! process-global table and flushes one `op_stats` event per op at stage
+//! boundaries, while the owning phase span is still live. `emit` stamps
+//! the current span id on every event, so attribution here is a lookup:
+//! `event.span` → span node → phase name. Events flushed outside any
+//! span land in an `(unattributed)` bucket rather than vanishing.
+
+use crate::tree::SpanTree;
+use em_obs::{Event, EventKind};
+use std::collections::HashMap;
+
+/// Totals for one tape op within one phase.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpRow {
+    /// Owning span name, or `(unattributed)` when the flush happened
+    /// outside any live span.
+    pub phase: String,
+    /// Tape op name (from `em_obs::names::ALL_OP_NAMES`).
+    pub op: String,
+    /// Forward executions recorded.
+    pub fwd_calls: u64,
+    /// Forward wall time, microseconds.
+    pub fwd_us: u64,
+    /// Backward executions recorded.
+    pub bwd_calls: u64,
+    /// Backward wall time, microseconds.
+    pub bwd_us: u64,
+    /// Output elements produced across all forward calls.
+    pub elems: u64,
+    /// Bytes allocated during forward calls (0 without the counting
+    /// allocator).
+    pub bytes: u64,
+}
+
+/// Phase name used for op stats flushed outside any live span.
+pub const UNATTRIBUTED: &str = "(unattributed)";
+
+impl OpRow {
+    /// Forward plus backward wall time, microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.fwd_us + self.bwd_us
+    }
+}
+
+/// Fold every `op_stats` event into per-(phase, op) rows, sorted by
+/// total time descending (ties broken by phase then op name so output
+/// is deterministic).
+pub fn aggregate(events: &[Event], tree: &SpanTree) -> Vec<OpRow> {
+    let mut by_key: HashMap<(String, String), OpRow> = HashMap::new();
+    for e in events {
+        let EventKind::OpStats {
+            op,
+            fwd_calls,
+            fwd_us,
+            bwd_calls,
+            bwd_us,
+            elems,
+            bytes,
+        } = &e.kind
+        else {
+            continue;
+        };
+        let phase = e
+            .span
+            .and_then(|id| tree.get(id))
+            .map(|n| n.name.clone())
+            .unwrap_or_else(|| UNATTRIBUTED.to_string());
+        let row = by_key
+            .entry((phase.clone(), op.clone()))
+            .or_insert_with(|| OpRow {
+                phase,
+                op: op.clone(),
+                ..OpRow::default()
+            });
+        row.fwd_calls += fwd_calls;
+        row.fwd_us += fwd_us;
+        row.bwd_calls += bwd_calls;
+        row.bwd_us += bwd_us;
+        row.elems += elems;
+        row.bytes += bytes;
+    }
+    let mut rows: Vec<OpRow> = by_key.into_values().collect();
+    rows.sort_by(|a, b| {
+        b.total_us()
+            .cmp(&a.total_us())
+            .then_with(|| a.phase.cmp(&b.phase))
+            .then_with(|| a.op.cmp(&b.op))
+    });
+    rows
+}
+
+/// Per-op totals across all phases: `op → (wall_us, bytes)`. The diff
+/// gate compares these, since phase membership can shift when spans are
+/// added without the op-level cost changing.
+pub fn totals_by_op(rows: &[OpRow]) -> HashMap<String, (u64, u64)> {
+    let mut totals: HashMap<String, (u64, u64)> = HashMap::new();
+    for r in rows {
+        let t = totals.entry(r.op.clone()).or_insert((0, 0));
+        t.0 += r.total_us();
+        t.1 += r.bytes;
+    }
+    totals
+}
+
+fn fmt_ms(us: u64) -> String {
+    format!("{:.1}", us as f64 / 1e3)
+}
+
+/// Render per-phase top-`top` op tables. Phases are ordered by their
+/// total op time descending; within a phase, rows keep the aggregate's
+/// total-time ordering.
+pub fn render_tables(rows: &[OpRow], top: usize) -> String {
+    // Phase ordering: total op time descending, name as tiebreak.
+    let mut phase_totals: HashMap<&str, u64> = HashMap::new();
+    for r in rows {
+        *phase_totals.entry(&r.phase).or_insert(0) += r.total_us();
+    }
+    let mut phases: Vec<(&str, u64)> = phase_totals.into_iter().collect();
+    phases.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+
+    let mut out = String::new();
+    for (phase, total) in phases {
+        let phase_rows: Vec<&OpRow> = rows.iter().filter(|r| r.phase == phase).collect();
+        out.push_str(&format!("ops — {phase} ({} total)\n", fmt_ms(total)));
+        let mut lines = vec![vec![
+            "op".to_string(),
+            "fwd".to_string(),
+            "fwd ms".to_string(),
+            "bwd".to_string(),
+            "bwd ms".to_string(),
+            "elems".to_string(),
+            "alloc".to_string(),
+        ]];
+        for row in phase_rows.iter().take(top) {
+            lines.push(vec![
+                row.op.clone(),
+                row.fwd_calls.to_string(),
+                fmt_ms(row.fwd_us),
+                row.bwd_calls.to_string(),
+                fmt_ms(row.bwd_us),
+                row.elems.to_string(),
+                em_obs::alloc::format_bytes(row.bytes as usize),
+            ]);
+        }
+        let mut widths = vec![0usize; 7];
+        for line in &lines {
+            for (w, cell) in widths.iter_mut().zip(line) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        for line in &lines {
+            for (col, (cell, w)) in line.iter().zip(&widths).enumerate() {
+                if col == 0 {
+                    out.push_str(&format!("{cell:<w$}"));
+                } else {
+                    out.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        }
+        if phase_rows.len() > top {
+            out.push_str(&format!("... and {} more ops\n", phase_rows.len() - top));
+        }
+        out.push('\n');
+    }
+    while out.ends_with('\n') && out.len() >= 2 && out[..out.len() - 1].ends_with('\n') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op_event(seq: u64, span: Option<u64>, op: &str, fwd_us: u64, bytes: u64) -> Event {
+        Event {
+            seq,
+            seed: 0,
+            t_us: seq,
+            span,
+            kind: EventKind::OpStats {
+                op: op.into(),
+                fwd_calls: 2,
+                fwd_us,
+                bwd_calls: 1,
+                bwd_us: fwd_us / 2,
+                elems: 64,
+                bytes,
+            },
+        }
+    }
+
+    fn span_open(seq: u64, id: u64, name: &str) -> Event {
+        Event {
+            seq,
+            seed: 0,
+            t_us: seq,
+            span: None,
+            kind: EventKind::SpanOpen {
+                id,
+                parent: None,
+                name: name.into(),
+                detail: None,
+            },
+        }
+    }
+
+    #[test]
+    fn ops_attribute_to_their_span_and_fold_across_flushes() {
+        let events = vec![
+            span_open(1, 1, "teacher"),
+            span_open(2, 2, "pseudo_score"),
+            op_event(3, Some(2), "matmul", 800, 4096),
+            op_event(4, Some(2), "matmul", 200, 1024),
+            op_event(5, Some(2), "tanh", 100, 0),
+            op_event(6, Some(1), "matmul", 50, 0),
+            op_event(7, None, "add", 10, 0),
+        ];
+        let rows = aggregate(&events, &SpanTree::build(&events));
+        assert_eq!(rows.len(), 4);
+        // Two pseudo_score matmul flushes fold into one row, and it sorts
+        // first on total time.
+        assert_eq!(
+            (rows[0].phase.as_str(), rows[0].op.as_str()),
+            ("pseudo_score", "matmul")
+        );
+        assert_eq!(rows[0].fwd_calls, 4);
+        assert_eq!(rows[0].fwd_us, 1000);
+        assert_eq!(rows[0].bwd_us, 500);
+        assert_eq!(rows[0].bytes, 5120);
+        // Span-less flushes get the fallback bucket.
+        assert!(rows
+            .iter()
+            .any(|r| r.phase == UNATTRIBUTED && r.op == "add"));
+        let totals = totals_by_op(&rows);
+        assert_eq!(totals["matmul"], (1575, 5120), "1000+500 + 50+25");
+    }
+
+    #[test]
+    fn tables_group_by_phase_and_truncate() {
+        let events = vec![
+            span_open(1, 1, "pseudo_score"),
+            op_event(2, Some(1), "matmul", 900, 0),
+            op_event(3, Some(1), "tanh", 300, 0),
+            op_event(4, Some(1), "add", 100, 0),
+        ];
+        let rows = aggregate(&events, &SpanTree::build(&events));
+        let text = render_tables(&rows, 2);
+        assert!(text.starts_with("ops — pseudo_score"), "{text}");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].starts_with("op"), "{text}");
+        assert!(lines[2].starts_with("matmul"), "sorted by total: {text}");
+        assert!(lines[3].starts_with("tanh"), "{text}");
+        assert!(text.contains("... and 1 more ops"), "{text}");
+    }
+
+    #[test]
+    fn no_op_events_render_nothing() {
+        let rows = aggregate(&[], &SpanTree::build(&[]));
+        assert!(rows.is_empty());
+        assert_eq!(render_tables(&rows, 5), "");
+    }
+}

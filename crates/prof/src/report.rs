@@ -6,7 +6,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "promptem-bench-report/v1",
+//!   "schema": "promptem-bench-report/v2",
 //!   "seed": 42, "events": 1234,
 //!   "total_wall_us": 0, "peak_heap_bytes": 0,
 //!   "optimizer_steps": 0, "pretrain_steps": 0, "epochs": 0,
@@ -18,15 +18,22 @@
 //!   "phases": [
 //!     {"name": "pretrain", "calls": 1, "total_us": 0, "self_us": 0,
 //!      "heap_delta": 0, "heap_peak": 0}
+//!   ],
+//!   "ops": [
+//!     {"phase": "pretrain", "op": "matmul", "fwd_calls": 0, "fwd_us": 0,
+//!      "bwd_calls": 0, "bwd_us": 0, "elems": 0, "bytes": 0}
 //!   ]
 //! }
 //! ```
+//!
+//! v2 added the `ops` array (tape-profiler attribution; empty when the
+//! run was traced without `--op-profile`).
 
 use crate::manifest::RunManifest;
 use std::fmt::Write as _;
 
 /// The `schema` field value this module emits.
-pub const BENCH_REPORT_SCHEMA: &str = "promptem-bench-report/v1";
+pub const BENCH_REPORT_SCHEMA: &str = "promptem-bench-report/v2";
 
 fn push_opt(out: &mut String, v: Option<f64>) {
     match v {
@@ -79,6 +86,20 @@ pub fn bench_report_json(m: &RunManifest) -> String {
         );
     }
     if !m.phases.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"ops\": [");
+    for (i, o) in m.ops.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"phase\": \"{}\", \"op\": \"{}\", \"fwd_calls\": {}, \"fwd_us\": {}, \"bwd_calls\": {}, \"bwd_us\": {}, \"elems\": {}, \"bytes\": {}}}",
+            o.phase, o.op, o.fwd_calls, o.fwd_us, o.bwd_calls, o.bwd_us, o.elems, o.bytes
+        );
+    }
+    if !m.ops.is_empty() {
         s.push_str("\n  ");
     }
     s.push_str("]\n}\n");
@@ -140,6 +161,10 @@ pub fn render_report(m: &RunManifest, top: usize) -> String {
     }
     s.push('\n');
     s.push_str(&crate::flame::render_table(&m.phases, top));
+    if !m.ops.is_empty() {
+        s.push('\n');
+        s.push_str(&crate::ops::render_tables(&m.ops, top));
+    }
     s
 }
 
@@ -178,6 +203,16 @@ mod tests {
                 heap_delta: 256,
                 heap_peak: 4096,
             }],
+            ops: vec![crate::ops::OpRow {
+                phase: "tune".into(),
+                op: "matmul".into(),
+                fwd_calls: 40,
+                fwd_us: 700,
+                bwd_calls: 20,
+                bwd_us: 300,
+                elems: 65536,
+                bytes: 262144,
+            }],
         }
     }
 
@@ -185,7 +220,7 @@ mod tests {
     fn json_carries_schema_and_all_fields() {
         let json = bench_report_json(&sample());
         for needle in [
-            "\"schema\": \"promptem-bench-report/v1\"",
+            "\"schema\": \"promptem-bench-report/v2\"",
             "\"seed\": 42",
             "\"total_wall_us\": 2000",
             "\"peak_heap_bytes\": 4096",
@@ -196,6 +231,9 @@ mod tests {
             "\"name\": \"tune\"",
             "\"self_us\": 900",
             "\"ckpt_saves\": 2",
+            "\"op\": \"matmul\"",
+            "\"fwd_us\": 700",
+            "\"bwd_calls\": 20",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
@@ -218,6 +256,7 @@ mod tests {
         );
         let empty = bench_report_json(&RunManifest::default());
         assert!(empty.contains("\"phases\": []"), "{empty}");
+        assert!(empty.contains("\"ops\": []"), "{empty}");
     }
 
     #[test]
@@ -227,6 +266,16 @@ mod tests {
         assert!(text.contains("13 optimizer steps"), "{text}");
         assert!(text.contains("best valid F1 81.25"), "{text}");
         assert!(text.contains("tune"), "{text}");
+        assert!(text.contains("ops — tune"), "{text}");
+        assert!(text.contains("matmul"), "{text}");
         assert!(!text.contains("WARNING"), "{text}");
+    }
+
+    #[test]
+    fn tty_report_omits_op_tables_without_profiling() {
+        let mut m = sample();
+        m.ops.clear();
+        let text = render_report(&m, 10);
+        assert!(!text.contains("ops —"), "{text}");
     }
 }

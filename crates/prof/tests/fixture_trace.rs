@@ -1,8 +1,9 @@
 //! End-to-end over checked-in traces: two same-seed `promptem match`
 //! runs (seed 7, REL-HETER export, 40 pretrain steps, 2 epochs) captured
-//! with `--metrics-out`. They differ only in wall-clock/heap noise, so
-//! the manifest must distill both to the same training story and the
-//! diff gate must pass clean under default thresholds.
+//! with `--metrics-out --op-profile`. They differ only in
+//! wall-clock/heap noise, so the manifest must distill both to the same
+//! training story and the diff gate must pass clean under default
+//! thresholds — including the per-op wall/byte gates.
 
 use std::path::Path;
 
@@ -65,10 +66,55 @@ fn same_seed_fixtures_diff_clean() {
 }
 
 #[test]
+fn fixture_ops_explain_the_pseudo_select_blob() {
+    let m = em_prof::manifest::manifest(&fixture("run_a.jsonl"));
+    assert!(!m.ops.is_empty(), "op-profiled run must carry op rows");
+    for r in &m.ops {
+        assert!(
+            em_obs::names::ALL_OP_NAMES.contains(&r.op.as_str()),
+            "op {} not in the registry",
+            r.op
+        );
+        assert!(r.phase != "(unattributed)", "flush outside a span: {r:?}");
+    }
+    // The MC-Dropout scoring child span owns the bulk of pseudo_select,
+    // and its named tape ops account for ≥90% of its wall time — the
+    // blob is explained, not just renamed.
+    let score = m
+        .phases
+        .iter()
+        .find(|p| p.name == "pseudo_score")
+        .expect("scoring child span present");
+    let attributed: u64 = m
+        .ops
+        .iter()
+        .filter(|r| r.phase == "pseudo_score")
+        .map(|r| r.total_us())
+        .sum();
+    assert!(
+        attributed * 10 >= score.total_us * 9,
+        "ops explain {attributed}µs of the {}µs scoring phase (<90%)",
+        score.total_us
+    );
+    // And pseudo_select itself is no longer a single self-time leaf.
+    let select = m
+        .phases
+        .iter()
+        .find(|p| p.name == "pseudo_select")
+        .expect("pseudo_select span present");
+    assert!(
+        select.self_us * 10 <= select.total_us,
+        "pseudo_select still holds {}µs of {}µs as self time",
+        select.self_us,
+        select.total_us
+    );
+}
+
+#[test]
 fn fixture_bench_report_is_populated() {
     let m = em_prof::manifest::manifest(&fixture("run_a.jsonl"));
     let json = em_prof::report::bench_report_json(&m);
-    assert!(json.contains("\"schema\": \"promptem-bench-report/v1\""));
+    assert!(json.contains("\"schema\": \"promptem-bench-report/v2\""));
     assert!(json.contains("\"seed\": 7"));
     assert!(json.contains("\"name\": \"pretrain\""));
     assert!(!json.contains("\"total_wall_us\": 0,"), "{json}");

@@ -111,6 +111,15 @@ fn make_kind(
             attempt: a % 4,
             delay_ms: b % 1000,
         },
+        16 => EventKind::OpStats {
+            op: text,
+            fwd_calls: a,
+            fwd_us: b,
+            bwd_calls: a % 23,
+            bwd_us: b % 29,
+            elems: a.wrapping_mul(5),
+            bytes: b.wrapping_mul(11),
+        },
         _ => EventKind::Metric {
             name: text,
             kind: ["counter", "gauge", "histogram"][(a % 3) as usize].into(),
@@ -128,7 +137,7 @@ proptest! {
 
     #[test]
     fn every_event_kind_round_trips_through_the_reader(
-        kind_idx in 0usize..17,
+        kind_idx in 0usize..18,
         ints in (0u64..1_000_000_000, 0u64..1_000_000, 0u64..1 << 40, 0u8..16),
         floats in (-1e9f64..1e9, 0.0f64..100.0),
         text in "[a-zA-Z0-9_ .\"\\\\/-]{0,16}",

@@ -29,18 +29,31 @@ PROMPTEM_SANITIZE=1 cargo run --release -q -p promptem-cli --bin promptem -- \
     --labels "$smoke_dir/train.csv" --seed 7 --trace warn \
     --pretrain-steps 20 --epochs 1 >/dev/null
 
-echo "==> smoke profile (traced runs + perf-regression gate)"
+echo "==> smoke profile (op-profiled traced runs + perf-regression gate)"
 for run in base new; do
     cargo run --release -q -p promptem-cli --bin promptem -- \
         match --left "$smoke_dir/left.csv" --right "$smoke_dir/right.csv" \
         --labels "$smoke_dir/train.csv" --seed 7 --trace warn \
-        --pretrain-steps 20 --epochs 1 \
+        --pretrain-steps 20 --epochs 1 --op-profile \
         --metrics-out "$smoke_dir/$run.jsonl" >/dev/null
 done
 cargo run --release -q -p promptem-cli --bin promptem -- \
-    report "$smoke_dir/new.jsonl" --bench-out BENCH_report.json
+    report "$smoke_dir/new.jsonl" --bench-out BENCH_report.json \
+    | tee "$smoke_dir/report.txt"
 cargo run --release -q -p promptem-cli --bin promptem -- \
     report --diff "$smoke_dir/base.jsonl" "$smoke_dir/new.jsonl"
+
+echo "==> op profile (non-empty op attribution + clean self-diff)"
+grep -q "ops — " "$smoke_dir/report.txt" || {
+    echo "op-profile: report printed no per-phase op tables" >&2
+    exit 1
+}
+grep -q '"op": "matmul"' BENCH_report.json || {
+    echo "op-profile: BENCH_report.json carries no op rows" >&2
+    exit 1
+}
+cargo run --release -q -p promptem-cli --bin promptem -- \
+    report --diff "$smoke_dir/new.jsonl" "$smoke_dir/new.jsonl" >/dev/null
 
 echo "==> chaos (failpoint kill mid-run, resume, diff against uninterrupted base)"
 if PROMPTEM_FAILPOINTS=batch:panic@28 \
