@@ -1,0 +1,422 @@
+//! A minimal Rust lexer for the repo lint.
+//!
+//! Produces a flat token stream with line-number spans — no grammar, no
+//! AST, just enough lexical structure that the lint rules can reason
+//! about *tokens* instead of line substrings. The properties the old
+//! per-line sanitizer could not provide and this lexer guarantees:
+//!
+//! * comments, string/char literals, and raw strings are single tokens
+//!   even when they span lines, so rule patterns can never half-match
+//!   inside one;
+//! * a method chain split across lines (`foo.\n    unwrap()`) is the
+//!   same token sequence as the one-line form;
+//! * string-literal *contents* are available verbatim (for the rules
+//!   whose target is a literal, like `event-name`), while every other
+//!   rule sees only code tokens.
+//!
+//! The lexer is total: any byte sequence lexes without panicking.
+//! Malformed input (unterminated strings or comments) produces a final
+//! token that runs to end-of-file, which is the right behaviour for a
+//! linter — `rustc` will reject the file anyway.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// A lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Numeric literal (integer or float, any radix).
+    Num,
+    /// String literal (`"..."` or `b"..."`), escapes untouched.
+    Str,
+    /// Raw string literal (`r"..."`, `r#"..."#`, `br#"..."#`).
+    RawStr,
+    /// Char or byte literal (`'x'`, `'\n'`, `b'x'`).
+    Char,
+    /// `// ...` comment (text excludes the trailing newline).
+    LineComment,
+    /// `/* ... */` comment; Rust block comments nest.
+    BlockComment,
+    /// Any single other character (operators, braces, `#`, …).
+    Punct,
+}
+
+/// One lexeme: its kind, the exact source slice, and where it starts.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'s> {
+    /// The token's class.
+    pub kind: TokenKind,
+    /// The exact source text of the token, delimiters included.
+    pub text: &'s str,
+    /// Byte offset of the token's first byte in the source.
+    pub offset: usize,
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+}
+
+impl Token<'_> {
+    /// 1-based line of the token's last byte (tokens can span lines).
+    pub fn last_line(&self) -> usize {
+        self.line + self.text.matches('\n').count()
+    }
+
+    /// True for line and block comments.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// The inner text of a string or raw-string literal (between the
+    /// quotes, escapes untouched). `None` for other kinds and for
+    /// unterminated literals.
+    pub fn str_content(&self) -> Option<&str> {
+        if !matches!(self.kind, TokenKind::Str | TokenKind::RawStr) {
+            return None;
+        }
+        let open = self.text.find('"')?;
+        let close = match self.kind {
+            TokenKind::Str => self.text.rfind('"')?,
+            // Strip the closing hashes before looking for the close quote.
+            TokenKind::RawStr => {
+                self.text[..self.text.len() - trailing_hashes(self.text)].rfind('"')?
+            }
+            _ => return None,
+        };
+        if close > open {
+            Some(&self.text[open + 1..close])
+        } else {
+            None
+        }
+    }
+}
+
+fn trailing_hashes(s: &str) -> usize {
+    s.bytes().rev().take_while(|&b| b == b'#').count()
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenize `src`. Whitespace is dropped; everything else lands in
+/// exactly one token, in source order (a proptest pins the "ordered,
+/// non-overlapping, gaps are whitespace" invariant).
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        chars: src.char_indices().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    /// `(byte_offset, char)` pairs; indexing is by char position.
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: usize,
+    out: Vec<Token<'s>>,
+}
+
+impl<'s> Lexer<'s> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_at(&self, pos: usize) -> usize {
+        self.chars.get(pos).map_or(self.src.len(), |&(b, _)| b)
+    }
+
+    fn bump(&mut self) {
+        if let Some(&(_, c)) = self.chars.get(self.pos) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn emit(&mut self, kind: TokenKind, start_pos: usize, start_line: usize) {
+        let text = &self.src[self.byte_at(start_pos)..self.byte_at(self.pos)];
+        self.out.push(Token {
+            kind,
+            text,
+            offset: self.byte_at(start_pos),
+            line: start_line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token<'s>> {
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            let (start, line) = (self.pos, self.line);
+            let kind = match c {
+                '/' if self.peek(1) == Some('/') => {
+                    while self.peek(0).is_some_and(|c| c != '\n') {
+                        self.bump();
+                    }
+                    TokenKind::LineComment
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    self.bump_n(2);
+                    let mut depth = 1usize;
+                    while depth > 0 && self.peek(0).is_some() {
+                        if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                            depth -= 1;
+                            self.bump_n(2);
+                        } else if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                            depth += 1;
+                            self.bump_n(2);
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    TokenKind::BlockComment
+                }
+                '"' => {
+                    self.bump();
+                    self.scan_str_body();
+                    TokenKind::Str
+                }
+                '\'' => self.lifetime_or_char(),
+                'r' | 'b' => self.raw_or_ident(),
+                c if is_ident_start(c) => {
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    TokenKind::Ident
+                }
+                c if c.is_ascii_digit() => {
+                    self.scan_num();
+                    TokenKind::Num
+                }
+                _ => {
+                    self.bump();
+                    TokenKind::Punct
+                }
+            };
+            self.emit(kind, start, line);
+        }
+        self.out
+    }
+
+    /// Body of a `"..."` string, opening quote already consumed.
+    fn scan_str_body(&mut self) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => self.bump_n(2),
+                '"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// At a `'`: decide lifetime vs char literal.
+    fn lifetime_or_char(&mut self) -> TokenKind {
+        if self.peek(1) == Some('\\') {
+            // Escaped char literal: '\n', '\u{1F600}', '\''.
+            self.bump_n(2); // quote + backslash
+            self.bump(); // the escaped char itself (so '\'' works)
+            while self.peek(0).is_some_and(|c| c != '\'' && c != '\n') {
+                self.bump();
+            }
+            self.bump(); // closing quote (or newline on malformed input)
+            return TokenKind::Char;
+        }
+        let next_is_name = self.peek(1).is_some_and(is_ident_start);
+        if next_is_name && self.peek(2) != Some('\'') {
+            // Lifetime or loop label: 'a, 'static.
+            self.bump();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            return TokenKind::Lifetime;
+        }
+        // Char literal 'x' (or degenerate input; consume at most 3 chars).
+        self.bump();
+        if self.peek(0).is_some_and(|c| c != '\n') {
+            self.bump();
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+        TokenKind::Char
+    }
+
+    /// At `r` or `b`: raw string, byte string/char, raw ident, or ident.
+    fn raw_or_ident(&mut self) -> TokenKind {
+        let c = self.peek(0);
+        // b'x' and b"..." byte literals.
+        if c == Some('b') {
+            if self.peek(1) == Some('\'') {
+                self.bump();
+                return self.lifetime_or_char();
+            }
+            if self.peek(1) == Some('"') {
+                self.bump_n(2);
+                self.scan_str_body();
+                return TokenKind::Str;
+            }
+        }
+        // r"..."/r#"..."#/br#"..."# raw strings.
+        let after_prefix = if c == Some('b') && self.peek(1) == Some('r') {
+            2
+        } else if c == Some('r') {
+            1
+        } else {
+            0
+        };
+        if after_prefix > 0 {
+            let mut hashes = 0;
+            while self.peek(after_prefix + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(after_prefix + hashes) == Some('"') {
+                self.bump_n(after_prefix + hashes + 1);
+                self.scan_raw_body(hashes);
+                return TokenKind::RawStr;
+            }
+            if after_prefix == 1 && hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+                // Raw identifier r#match.
+                self.bump_n(2);
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                return TokenKind::Ident;
+            }
+        }
+        // Plain identifier starting with r/b.
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+
+    /// Body of a raw string, opening `"` already consumed; closes at
+    /// `"` followed by exactly `hashes` `#`s.
+    fn scan_raw_body(&mut self, hashes: usize) {
+        while self.peek(0).is_some() {
+            if self.peek(0) == Some('"') && (1..=hashes).all(|k| self.peek(k) == Some('#')) {
+                self.bump_n(1 + hashes);
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Numeric literal: digits/underscores/alnum suffixes, plus a `.`
+    /// only when a digit follows (so `0..n` and `1.max(2)` stay three
+    /// and four tokens respectively).
+    fn scan_num(&mut self) {
+        self.bump();
+        loop {
+            match self.peek(0) {
+                Some(c) if is_ident_continue(c) => self.bump(),
+                Some('.') if self.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
+                    self.bump_n(2);
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let toks = kinds("let x = a.unwrap();");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "a", ".", "unwrap", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn multiline_tokens_carry_lines() {
+        let toks = lex("a\n/* two\nlines */\nb");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].last_line(), 3);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r####"let s = r##"has "quotes" and #"# inside"##;"####);
+        let raw = toks.iter().find(|t| t.kind == TokenKind::RawStr).unwrap();
+        assert_eq!(
+            raw.str_content(),
+            Some(r###"has "quotes" and #"# inside"###)
+        );
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_raw_string() {
+        let toks = kinds("r#match r\"raw\" br#\"b\"#");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#match".into()));
+        assert_eq!(toks[1].0, TokenKind::RawStr);
+        assert_eq!(toks[2].0, TokenKind::RawStr);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokenKind::Char, "'x'".into())));
+        assert!(toks.contains(&(TokenKind::Char, "'\\n'".into())));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let texts: Vec<String> = kinds("0..n 1.5 1.max(2) 0xFF_u32")
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(
+            texts,
+            ["0", ".", ".", "n", "1.5", "1", ".", "max", "(", "2", ")", "0xFF_u32"]
+        );
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"never closed", "/* open", "r#\"open", "'", "b'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_string() {
+        let toks = kinds(r#"let s = "a \"quoted\" b"; x"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "x".into()));
+    }
+}

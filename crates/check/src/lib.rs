@@ -13,10 +13,13 @@
 //!   the tape's reverse-mode gradients against numeric derivatives for
 //!   any scalar-valued graph builder. The integration tests run it over
 //!   every tape op.
-//! * [`lint`] — a source scanner enforcing repo invariants (no
+//! * [`lint`] — a token-level source scanner (built on the [`lex`]
+//!   module's minimal Rust lexer) enforcing repo invariants: no
 //!   `unwrap`/`expect` in library code, no raw clocks outside
 //!   `em-obs`/`em-bench`, no unseeded RNG, no `process::exit` outside
-//!   the CLI), with `// lint:allow(<rule>)` escapes. `cargo run -p
+//!   the CLI, plus the concurrency family (`atomic-ordering`,
+//!   `thread-spawn`, `unsafe-safety`, `lock-unwrap`) that gates the
+//!   parallel arc. Escapes via `// lint:allow(<rule>)`. `cargo run -p
 //!   em-check --bin em-lint` runs it over the repo and is wired into
 //!   `scripts/ci.sh` as a hard gate.
 //!
@@ -29,7 +32,10 @@
 
 pub mod audit;
 pub mod gradcheck;
+pub mod lex;
 pub mod lint;
+#[doc(hidden)]
+pub mod lint_legacy;
 
 pub use audit::{audit_and_report, AuditReport, Diag};
 pub use gradcheck::gradcheck;

@@ -1,15 +1,26 @@
-//! Repo-invariant source lint.
+//! Repo-invariant source lint, token edition.
 //!
-//! A dependency-free line scanner (no rustc, no syn) that strips
-//! comments and string literals, tracks `#[cfg(test)]` regions by brace
-//! depth, and then pattern-matches each rule. Inline escapes:
-//! `// lint:allow(<rule>)` on the offending line suppresses that rule
-//! there. Whole paths are allowlisted per rule where the invariant is
-//! *about* the location (clocks belong in `em-obs`/`em-bench`,
-//! `process::exit` in the CLI binary).
+//! Rules run over the token stream of [`crate::lex`] (no rustc, no syn):
+//! comments and string/char literals are single tokens with line spans,
+//! `#[cfg(test)]` regions are tracked by brace depth across lines, and
+//! every rule matches *token sequences* instead of line substrings — so
+//! a call chain split across lines (`foo.\n    unwrap()`) is caught and
+//! a pattern inside a raw string is not. Inline escapes:
+//! `// lint:allow(<rule>)` on any line of the offending match, or on a
+//! comment line directly above, suppresses that rule for the statement
+//! that follows. Whole paths are allowlisted per rule where the
+//! invariant is *about* the location (clocks belong in
+//! `em-obs`/`em-bench`, `process::exit` in the CLI binary).
+//!
+//! The pre-token line scanner survives as [`crate::lint_legacy`] purely
+//! as a differential-testing oracle: a proptest generates adversarial
+//! source and asserts both scanners agree on the original seven rules.
 
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+use crate::lex::{lex, Token, TokenKind};
 
 /// One lint rule. Every rule is an invariant the ROADMAP's determinism
 /// and production goals depend on; see [`Rule::rationale`].
@@ -34,11 +45,24 @@ pub enum Rule {
     /// `&'static str`s of `em_obs::names::ALL_OP_NAMES` so the profiler,
     /// the trace, and `promptem report` agree on op identity.
     OpName,
+    /// Atomic read-modify-write calls must spell a literal `Ordering::`
+    /// at the call site, and anything stronger than `Relaxed` needs a
+    /// `// ordering:` justification comment.
+    AtomicOrdering,
+    /// No raw `thread::spawn` in library code: threads belong to the
+    /// vendored pool/scheduler crates under `crates/compat/`.
+    ThreadSpawn,
+    /// Every `unsafe` block (and `unsafe impl`) carries a `// safety:`
+    /// comment stating the invariant that makes it sound.
+    UnsafeSafety,
+    /// No `.lock().unwrap()` / `.lock().expect(` — poisoned-lock
+    /// handling must be explicit (e.g. `PoisonError::into_inner`).
+    LockUnwrap,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 11] = [
         Rule::Unwrap,
         Rule::Clock,
         Rule::Rng,
@@ -46,6 +70,18 @@ impl Rule {
         Rule::EventName,
         Rule::AtomicIo,
         Rule::OpName,
+        Rule::AtomicOrdering,
+        Rule::ThreadSpawn,
+        Rule::UnsafeSafety,
+        Rule::LockUnwrap,
+    ];
+
+    /// The four concurrency-correctness rules added for the parallel arc.
+    pub const CONCURRENCY: [Rule; 4] = [
+        Rule::AtomicOrdering,
+        Rule::ThreadSpawn,
+        Rule::UnsafeSafety,
+        Rule::LockUnwrap,
     ];
 
     /// The rule's name — the token accepted by `lint:allow(...)`.
@@ -58,6 +94,10 @@ impl Rule {
             Rule::EventName => "event-name",
             Rule::AtomicIo => "atomic-io",
             Rule::OpName => "op-name",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::UnsafeSafety => "unsafe-safety",
+            Rule::LockUnwrap => "lock-unwrap",
         }
     }
 
@@ -87,65 +127,44 @@ impl Rule {
                 "op_stats op names must be the em_obs::names::ALL_OP_NAMES consts, not ad-hoc \
                  literals, so trace attribution can never name an op the registry doesn't know"
             }
+            Rule::AtomicOrdering => {
+                "atomic call sites must spell their Ordering literally (no consts, no wrapper \
+                 defaults) and justify anything stronger than Relaxed with an `// ordering:` \
+                 comment — order bugs are invisible until a new platform or optimizer finds them"
+            }
+            Rule::ThreadSpawn => {
+                "raw thread::spawn in library code bypasses the vendored pool/scheduler \
+                 (crates/compat/) and makes runs unschedulable under em-sched model checking"
+            }
+            Rule::UnsafeSafety => {
+                "every unsafe block must state the invariant that makes it sound in a \
+                 `// safety:` comment, or the next refactor silently breaks it"
+            }
+            Rule::LockUnwrap => {
+                ".lock().unwrap() turns one panicked thread into a process-wide cascade; \
+                 handle PoisonError explicitly (into_inner or a typed error path)"
+            }
         }
-    }
-
-    /// Substrings that constitute a violation. Most rules match on
-    /// sanitized code (strings blanked); [`Rule::matches_in_strings`]
-    /// rules match with string contents kept, since the forbidden thing
-    /// *is* a string literal.
-    fn patterns(self) -> &'static [&'static str] {
-        match self {
-            Rule::Unwrap => &[".unwrap()", ".expect("],
-            Rule::Clock => &["Instant::now", "SystemTime"],
-            Rule::Rng => &["thread_rng", "from_entropy", "rand::random"],
-            Rule::Exit => &["process::exit"],
-            // The quoted forms of em_obs::names::ALL_EVENT_TAGS; the
-            // `event_name_patterns_track_the_registry` test pins the two
-            // lists together.
-            Rule::EventName => &[
-                "\"span_open\"",
-                "\"span_close\"",
-                "\"epoch_summary\"",
-                "\"pseudo_select\"",
-                "\"prune\"",
-                "\"pretrain_step\"",
-                "\"block\"",
-                "\"non_finite\"",
-                "\"audit\"",
-                "\"message\"",
-                "\"unc_hist\"",
-                "\"metric\"",
-                "\"ckpt_save\"",
-                "\"ckpt_restore\"",
-                "\"recovered_batch\"",
-                "\"io_retry\"",
-                "\"op_stats\"",
-            ],
-            Rule::AtomicIo => &["File::create", "fs::write"],
-            // A string literal flowing into the op_stats emission path,
-            // whether through the typed helper or the raw event variant.
-            Rule::OpName => &["op_stats(\"", "OpStats { op: \""],
-        }
-    }
-
-    /// Whether this rule's patterns target string-literal *contents* and
-    /// therefore match on the strings-kept sanitized form.
-    fn matches_in_strings(self) -> bool {
-        matches!(self, Rule::EventName | Rule::OpName)
     }
 
     /// Whether the rule still applies inside test code (`#[cfg(test)]`
     /// modules, `tests/`, `benches/`). Unwrapping in tests is idiomatic;
     /// clocks and unseeded RNG in tests are exactly how flaky tests and
-    /// irreproducible failures get written, so those rules stay on.
+    /// irreproducible failures get written, so those rules stay on — as
+    /// does `unsafe-safety`, because unsound test code is still unsound.
+    /// `atomic-ordering` is off in tests so model-checking tests can use
+    /// the `em_sched` atomic shims, which model sequential consistency
+    /// and deliberately take no `Ordering` argument.
     fn applies_to_test_code(self) -> bool {
-        matches!(self, Rule::Clock | Rule::Rng | Rule::Exit)
+        matches!(
+            self,
+            Rule::Clock | Rule::Rng | Rule::Exit | Rule::UnsafeSafety
+        )
     }
 
     /// Path-level allowlist: crates whose job is the forbidden thing,
     /// plus individual files with a documented reason.
-    fn path_allowed(self, unix_rel: &str) -> bool {
+    pub(crate) fn path_allowed(self, unix_rel: &str) -> bool {
         let allowed: &[&str] = match self {
             Rule::Clock => &["crates/obs/", "crates/bench/"],
             Rule::Exit => &["crates/cli/"],
@@ -163,6 +182,14 @@ impl Rule {
             // Op names are defined in the registry; the tape profiler is
             // the one sanctioned emitter.
             Rule::OpName => &["crates/obs/src/names.rs", "crates/nn/src/tape.rs"],
+            Rule::AtomicOrdering => &[],
+            // Vendored concurrency substrates (the em-sched scheduler
+            // today, the work-stealing pool next) own their raw threads.
+            // `lint_repo` skips crates/compat entirely; the entry exists
+            // so `lint_source` agrees when pointed at one of its files.
+            Rule::ThreadSpawn => &["crates/compat/"],
+            Rule::UnsafeSafety => &[],
+            Rule::LockUnwrap => &[],
         };
         allowed.iter().any(|prefix| unix_rel.starts_with(prefix))
     }
@@ -174,12 +201,12 @@ impl fmt::Display for Rule {
     }
 }
 
-/// One flagged line.
+/// One flagged match.
 #[derive(Debug, Clone)]
 pub struct Violation {
     /// Path relative to the linted root.
     pub file: PathBuf,
-    /// 1-based line number.
+    /// 1-based line number of the first token of the match.
     pub line: usize,
     /// The rule that fired.
     pub rule: Rule,
@@ -200,176 +227,452 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Lexer state that survives across lines.
-#[derive(Default)]
-struct ScanState {
-    /// Nesting depth of `/* */` block comments (Rust block comments nest).
-    block_comment: usize,
-    /// Inside a `"..."` string literal.
-    in_string: bool,
-    /// Inside a raw string literal; holds the number of `#`s to close it.
-    raw_string: Option<usize>,
-    /// Current brace depth.
-    depth: i64,
-    /// A `#[cfg(test)]` attribute was seen; latch onto the next `{`.
-    pending_cfg_test: bool,
-    /// Depth *outside* the active `#[cfg(test)]` region, if any.
-    test_region: Option<i64>,
+/// Atomic read-modify-write method names distinctive enough to carry the
+/// `atomic-ordering` rule without type information. `load`/`store`/`swap`
+/// are deliberately absent: they collide with ubiquitous non-atomic
+/// methods, so their discipline is enforced by the strong-ordering check
+/// and code review instead.
+const ATOMIC_RMW: [&str; 12] = [
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "compare_and_swap",
+];
+
+/// Ordering variants that demand an `// ordering:` justification.
+const STRONG_ORDERINGS: [&str; 4] = ["SeqCst", "Acquire", "Release", "AcqRel"];
+
+/// Everything the matchers need about one file, derived from its tokens
+/// in a single structural pass.
+struct FileCtx<'s> {
+    /// The full token stream, comments included.
+    tokens: Vec<Token<'s>>,
+    /// Indices into `tokens` of the non-comment tokens, in order.
+    code: Vec<usize>,
+    /// Per *token* (aligned with `tokens`): inside a `#[cfg(test)]`
+    /// region, or between the attribute and its opening brace.
+    in_test: Vec<bool>,
+    /// Line → rules allowed by a `lint:allow(...)` comment on that line.
+    line_allows: HashMap<usize, Vec<String>>,
+    /// Carried escapes from comment-only lines: `(rule, first_tok,
+    /// last_tok)` token-index windows covering the following statement.
+    carried: Vec<(String, usize, usize)>,
+    /// Lines carrying an `ordering:` justification comment.
+    ordering_just: HashSet<usize>,
+    /// Lines carrying a `safety:` justification comment.
+    safety_just: HashSet<usize>,
+    /// The raw source lines (for violation snippets).
+    lines: Vec<&'s str>,
 }
 
-/// Sanitize one line two ways, while updating brace depth and
-/// `#[cfg(test)]` region tracking. Returns `(code, code_with_strings)`:
-/// the first has comments *and* string/char-literal contents blanked
-/// (what most rules match on); the second blanks only comments, keeping
-/// string contents for rules whose target is a string literal.
-fn sanitize_line(raw: &str, st: &mut ScanState) -> (String, String) {
-    // The attribute itself arrives before any brace; detect it on the raw
-    // line (it never hides in a string in practice, and a false latch
-    // only widens the test region, never narrows it).
-    if raw.contains("#[cfg(test)]") && st.block_comment == 0 && !st.in_string {
-        st.pending_cfg_test = true;
-    }
-
-    let bytes = raw.as_bytes();
-    let mut out = vec![b' '; bytes.len()];
-    // The strings-kept form starts as the raw line; only comment regions
-    // get blanked out of it below.
-    let mut kept = bytes.to_vec();
-    let mut i = 0;
-    while i < bytes.len() {
-        if st.block_comment > 0 {
-            if bytes[i..].starts_with(b"*/") {
-                st.block_comment -= 1;
-                kept[i] = b' ';
-                kept[i + 1] = b' ';
-                i += 2;
-            } else if bytes[i..].starts_with(b"/*") {
-                st.block_comment += 1;
-                kept[i] = b' ';
-                kept[i + 1] = b' ';
-                i += 2;
-            } else {
-                kept[i] = b' ';
-                i += 1;
-            }
-            continue;
-        }
-        if let Some(hashes) = st.raw_string {
-            let mut closer = vec![b'"'];
-            closer.resize(1 + hashes, b'#');
-            if bytes[i..].starts_with(&closer) {
-                st.raw_string = None;
-                i += closer.len();
-            } else {
-                i += 1;
-            }
-            continue;
-        }
-        if st.in_string {
-            match bytes[i] {
-                b'\\' => i += 2,
-                b'"' => {
-                    st.in_string = false;
-                    i += 1;
-                }
-                _ => i += 1,
-            }
-            continue;
-        }
-        match bytes[i] {
-            b'/' if bytes.get(i + 1) == Some(&b'/') => {
-                // Line comment: blank the tail of the kept form too.
-                for k in kept.iter_mut().skip(i) {
-                    *k = b' ';
-                }
-                break;
-            }
-            b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                st.block_comment = 1;
-                kept[i] = b' ';
-                kept[i + 1] = b' ';
-                i += 2;
-            }
-            b'"' => {
-                st.in_string = true;
-                i += 1;
-            }
-            b'r' => {
-                // Possible raw string: r"..." or r#"..."#.
-                let mut j = i + 1;
-                while bytes.get(j) == Some(&b'#') {
-                    j += 1;
-                }
-                if bytes.get(j) == Some(&b'"') {
-                    st.raw_string = Some(j - i - 1);
-                    i = j + 1;
-                } else {
-                    out[i] = b'r';
-                    i += 1;
-                }
-            }
-            b'\'' => {
-                // Char literal vs lifetime: a char literal closes within a
-                // few bytes ('x' or '\n'); a lifetime has no closing quote.
-                let close = if bytes.get(i + 1) == Some(&b'\\') {
-                    bytes[i + 2..]
-                        .iter()
-                        .position(|&b| b == b'\'')
-                        .map(|p| i + 3 + p)
-                } else if bytes.get(i + 2) == Some(&b'\'') {
-                    Some(i + 2)
-                } else {
-                    None
-                };
-                match close {
-                    Some(end) => i = end + 1,
-                    None => {
-                        out[i] = b'\'';
-                        i += 1;
-                    }
-                }
-            }
-            b'{' => {
-                st.depth += 1;
-                if st.pending_cfg_test && st.test_region.is_none() {
-                    st.test_region = Some(st.depth - 1);
-                    st.pending_cfg_test = false;
-                }
-                out[i] = b'{';
-                i += 1;
-            }
-            b'}' => {
-                st.depth -= 1;
-                if let Some(outside) = st.test_region {
-                    if st.depth <= outside {
-                        st.test_region = None;
-                    }
-                }
-                out[i] = b'}';
-                i += 1;
-            }
-            b => {
-                out[i] = b;
-                i += 1;
-            }
-        }
-    }
-    (
-        String::from_utf8_lossy(&out).into_owned(),
-        String::from_utf8_lossy(&kept).into_owned(),
-    )
-}
-
-/// Extract `lint:allow(a, b)` rule names from the raw line, if any.
-fn allowed_on_line(raw: &str) -> Vec<&str> {
-    let Some(start) = raw.find("lint:allow(") else {
+/// Extract `lint:allow(a, b)` rule names from one comment's text.
+fn allows_in_comment(text: &str) -> Vec<String> {
+    let Some(start) = text.find("lint:allow(") else {
         return Vec::new();
     };
-    let rest = &raw[start + "lint:allow(".len()..];
+    let rest = &text[start + "lint:allow(".len()..];
     let Some(end) = rest.find(')') else {
         return Vec::new();
     };
-    rest[..end].split(',').map(str::trim).collect()
+    rest[..end]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect()
+}
+
+impl<'s> FileCtx<'s> {
+    fn build(source: &'s str) -> FileCtx<'s> {
+        let tokens = lex(source);
+        let lines: Vec<&str> = source.lines().collect();
+        let mut code = Vec::new();
+        let mut in_test = vec![false; tokens.len()];
+        let mut depth_at = vec![0i64; tokens.len()];
+        let mut line_allows: HashMap<usize, Vec<String>> = HashMap::new();
+        let mut ordering_just = HashSet::new();
+        let mut safety_just = HashSet::new();
+
+        // Comment pass: escapes and justification markers.
+        for t in &tokens {
+            if !t.is_comment() {
+                continue;
+            }
+            for name in allows_in_comment(t.text) {
+                line_allows.entry(t.line).or_default().push(name);
+            }
+            for l in t.line..=t.last_line() {
+                if t.text.contains("ordering:") {
+                    ordering_just.insert(l);
+                }
+                if t.text.contains("safety:") {
+                    safety_just.insert(l);
+                }
+            }
+        }
+
+        // Structural pass: brace depth and #[cfg(test)] regions. The
+        // pending attribute latches onto the next `{`; a `;` at the same
+        // depth first (e.g. `#[cfg(test)] mod cli_e2e;`) cancels it.
+        let mut depth = 0i64;
+        let mut pending: Option<i64> = None;
+        let mut region: Option<i64> = None;
+        for (i, t) in tokens.iter().enumerate() {
+            depth_at[i] = depth;
+            in_test[i] = region.is_some() || pending.is_some();
+            if t.is_comment() {
+                continue;
+            }
+            code.push(i);
+            match (t.kind, t.text) {
+                (TokenKind::Punct, "#") if is_cfg_test_attr(&tokens, i) => {
+                    pending = Some(depth);
+                }
+                (TokenKind::Punct, "{") => {
+                    if pending.is_some() && region.is_none() {
+                        region = Some(depth);
+                        pending = None;
+                        in_test[i] = true;
+                    }
+                    depth += 1;
+                }
+                (TokenKind::Punct, "}") => {
+                    depth -= 1;
+                    if region.is_some_and(|outside| depth <= outside) {
+                        region = None;
+                    }
+                }
+                (TokenKind::Punct, ";") if pending.is_some_and(|d| d == depth) => {
+                    pending = None;
+                }
+                _ => {}
+            }
+        }
+
+        // Carried-escape pass: a `lint:allow` on a comment-only line
+        // covers the whole statement that starts on the next code line
+        // (up to the first `;` at that statement's depth, or the closing
+        // brace of its block) — so multi-line statements can keep the
+        // escape above them.
+        let mut code_lines: HashSet<usize> = HashSet::new();
+        for &i in &code {
+            for l in tokens[i].line..=tokens[i].last_line() {
+                code_lines.insert(l);
+            }
+        }
+        let mut carried = Vec::new();
+        for (ci, t) in tokens.iter().enumerate() {
+            if !t.is_comment() {
+                continue;
+            }
+            let names = allows_in_comment(t.text);
+            if names.is_empty() || (t.line..=t.last_line()).any(|l| code_lines.contains(&l)) {
+                continue;
+            }
+            let Some(&first) = code.iter().find(|&&i| i > ci) else {
+                continue;
+            };
+            let d0 = depth_at[first];
+            let mut last = tokens.len() - 1;
+            for &i in code.iter().filter(|&&i| i >= first) {
+                let tk = &tokens[i];
+                let ends = (tk.kind == TokenKind::Punct && tk.text == ";" && depth_at[i] == d0)
+                    || (tk.kind == TokenKind::Punct && tk.text == "}" && depth_at[i] <= d0);
+                if ends {
+                    last = i;
+                    break;
+                }
+            }
+            for name in names {
+                carried.push((name, first, last));
+            }
+        }
+
+        FileCtx {
+            tokens,
+            code,
+            in_test,
+            line_allows,
+            carried,
+            ordering_just,
+            safety_just,
+            lines,
+        }
+    }
+
+    /// The `k`th code token, if any.
+    fn tok(&self, k: usize) -> Option<&Token<'s>> {
+        self.code.get(k).map(|&i| &self.tokens[i])
+    }
+
+    fn ident(&self, k: usize) -> Option<&str> {
+        self.tok(k)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+    }
+
+    fn is_ident(&self, k: usize, name: &str) -> bool {
+        self.ident(k) == Some(name)
+    }
+
+    fn is_punct(&self, k: usize, c: char) -> bool {
+        self.tok(k)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text.starts_with(c))
+    }
+
+    /// `::` at code positions k, k+1.
+    fn is_path_sep(&self, k: usize) -> bool {
+        self.is_punct(k, ':') && self.is_punct(k + 1, ':')
+    }
+
+    fn str_content(&self, k: usize) -> Option<&str> {
+        self.tok(k).and_then(|t| t.str_content())
+    }
+
+    fn line_text(&self, line: usize) -> String {
+        self.lines
+            .get(line.saturating_sub(1))
+            .map_or(String::new(), |l| l.trim().to_string())
+    }
+
+    /// Is the match starting at code index `k` (ending at `k_end`,
+    /// inclusive) suppressed by an escape?
+    fn suppressed(&self, rule: Rule, k: usize, k_end: usize) -> bool {
+        let (Some(first), Some(last)) = (self.tok(k), self.tok(k_end.max(k))) else {
+            return false;
+        };
+        for l in first.line..=last.last_line() {
+            if self
+                .line_allows
+                .get(&l)
+                .is_some_and(|names| names.iter().any(|n| n == rule.name()))
+            {
+                return true;
+            }
+        }
+        let tok_idx = self.code[k];
+        self.carried
+            .iter()
+            .any(|(name, s, e)| name == rule.name() && *s <= tok_idx && tok_idx <= *e)
+    }
+
+    /// Has a justification comment (`marker` ∈ {ordering, safety}) on the
+    /// same line as code token `k` or within the three lines above it.
+    fn justified(&self, just: &HashSet<usize>, k: usize) -> bool {
+        let Some(t) = self.tok(k) else { return false };
+        (t.line.saturating_sub(3)..=t.line).any(|l| just.contains(&l))
+    }
+}
+
+/// Detect `#[cfg(test)]`-style attributes starting at token index `i`
+/// (which holds `#`): scans the bracket group for `cfg` and `test`
+/// idents, so `#[cfg(test)]` and `#[cfg(all(test, feature = "x"))]`
+/// both count.
+fn is_cfg_test_attr(tokens: &[Token<'_>], i: usize) -> bool {
+    let mut j = i + 1;
+    while j < tokens.len() && tokens[j].is_comment() {
+        j += 1;
+    }
+    if !(tokens
+        .get(j)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == "["))
+    {
+        return false;
+    }
+    let mut brackets = 0i64;
+    let (mut saw_cfg, mut saw_test) = (false, false);
+    for t in &tokens[j..] {
+        match (t.kind, t.text) {
+            (TokenKind::Punct, "[") => brackets += 1,
+            (TokenKind::Punct, "]") => {
+                brackets -= 1;
+                if brackets == 0 {
+                    break;
+                }
+            }
+            (TokenKind::Ident, "cfg") => saw_cfg = true,
+            (TokenKind::Ident, "test") => saw_test = true,
+            _ => {}
+        }
+    }
+    saw_cfg && saw_test
+}
+
+/// A raw match: first and last *code* index (inclusive).
+type Match = (usize, usize);
+
+/// Find every place `rule` fires in the file, escapes not yet applied.
+fn find_matches(rule: Rule, ctx: &FileCtx<'_>) -> Vec<Match> {
+    let mut out = Vec::new();
+    let n = ctx.code.len();
+    for k in 0..n {
+        match rule {
+            Rule::Unwrap => {
+                if ctx.is_punct(k, '.') && ctx.is_ident(k + 1, "unwrap") && ctx.is_punct(k + 2, '(')
+                {
+                    if ctx.is_punct(k + 3, ')') {
+                        out.push((k, k + 3));
+                    }
+                } else if ctx.is_punct(k, '.')
+                    && ctx.is_ident(k + 1, "expect")
+                    && ctx.is_punct(k + 2, '(')
+                {
+                    out.push((k, k + 2));
+                }
+            }
+            Rule::Clock => {
+                if ctx.is_ident(k, "Instant")
+                    && ctx.is_path_sep(k + 1)
+                    && ctx.is_ident(k + 3, "now")
+                {
+                    out.push((k, k + 3));
+                } else if ctx.is_ident(k, "SystemTime") {
+                    out.push((k, k));
+                }
+            }
+            Rule::Rng => {
+                if ctx.is_ident(k, "thread_rng") || ctx.is_ident(k, "from_entropy") {
+                    out.push((k, k));
+                } else if ctx.is_ident(k, "rand")
+                    && ctx.is_path_sep(k + 1)
+                    && ctx.is_ident(k + 3, "random")
+                {
+                    out.push((k, k + 3));
+                }
+            }
+            Rule::Exit => {
+                if ctx.is_ident(k, "process")
+                    && ctx.is_path_sep(k + 1)
+                    && ctx.is_ident(k + 3, "exit")
+                {
+                    out.push((k, k + 3));
+                }
+            }
+            Rule::EventName => {
+                if let Some(content) = ctx.str_content(k) {
+                    let hit = em_obs::names::ALL_EVENT_TAGS
+                        .iter()
+                        .any(|tag| content == *tag || content.contains(&format!("\"{tag}\"")));
+                    if hit {
+                        out.push((k, k));
+                    }
+                }
+            }
+            Rule::AtomicIo => {
+                if (ctx.is_ident(k, "File")
+                    && ctx.is_path_sep(k + 1)
+                    && ctx.is_ident(k + 3, "create"))
+                    || (ctx.is_ident(k, "fs")
+                        && ctx.is_path_sep(k + 1)
+                        && ctx.is_ident(k + 3, "write"))
+                {
+                    out.push((k, k + 3));
+                }
+            }
+            Rule::OpName => {
+                // lint:allow(event-name) — names the helper fn, not a tag.
+                if ctx.is_ident(k, "op_stats")
+                    && ctx.is_punct(k + 1, '(')
+                    && ctx.str_content(k + 2).is_some()
+                {
+                    out.push((k, k + 2));
+                } else if ctx.is_ident(k, "OpStats")
+                    && ctx.is_punct(k + 1, '{')
+                    && ctx.is_ident(k + 2, "op")
+                    && ctx.is_punct(k + 3, ':')
+                    && ctx.str_content(k + 4).is_some()
+                {
+                    out.push((k, k + 4));
+                }
+            }
+            Rule::AtomicOrdering => {
+                // (a) RMW call without a literal Ordering:: in its args.
+                if k > 0
+                    && ctx.is_punct(k - 1, '.')
+                    && ctx.ident(k).is_some_and(|m| ATOMIC_RMW.contains(&m))
+                    && ctx.is_punct(k + 1, '(')
+                {
+                    let (close, has_ordering) = scan_call_args(ctx, k + 1);
+                    if !has_ordering {
+                        out.push((k - 1, close));
+                    }
+                }
+                // (b) strong ordering without an `// ordering:` comment.
+                if ctx.is_ident(k, "Ordering")
+                    && ctx.is_path_sep(k + 1)
+                    && ctx
+                        .ident(k + 3)
+                        .is_some_and(|v| STRONG_ORDERINGS.contains(&v))
+                    && !ctx.justified(&ctx.ordering_just, k)
+                {
+                    out.push((k, k + 3));
+                }
+            }
+            Rule::ThreadSpawn => {
+                if ctx.is_ident(k, "thread")
+                    && ctx.is_path_sep(k + 1)
+                    && ctx.is_ident(k + 3, "spawn")
+                {
+                    out.push((k, k + 3));
+                }
+            }
+            Rule::UnsafeSafety => {
+                if ctx.is_ident(k, "unsafe")
+                    && (ctx.is_punct(k + 1, '{') || ctx.is_ident(k + 1, "impl"))
+                    && !ctx.justified(&ctx.safety_just, k)
+                {
+                    out.push((k, k + 1));
+                }
+            }
+            Rule::LockUnwrap => {
+                if ctx.is_punct(k, '.')
+                    && ctx.is_ident(k + 1, "lock")
+                    && ctx.is_punct(k + 2, '(')
+                    && ctx.is_punct(k + 3, ')')
+                    && ctx.is_punct(k + 4, '.')
+                    && (ctx.is_ident(k + 5, "unwrap") || ctx.is_ident(k + 5, "expect"))
+                    && ctx.is_punct(k + 6, '(')
+                {
+                    out.push((k, k + 6));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scan a call's argument list from the code index of its `(`; returns
+/// the code index of the matching `)` (or the last token) and whether a
+/// literal `Ordering::<variant>` appears among the arguments.
+fn scan_call_args(ctx: &FileCtx<'_>, open: usize) -> (usize, bool) {
+    let mut parens = 0i64;
+    let mut has_ordering = false;
+    let mut k = open;
+    loop {
+        if ctx.is_punct(k, '(') {
+            parens += 1;
+        } else if ctx.is_punct(k, ')') {
+            parens -= 1;
+            if parens == 0 {
+                return (k, has_ordering);
+            }
+        } else if ctx.is_ident(k, "Ordering")
+            && ctx.is_path_sep(k + 1)
+            && ctx.ident(k + 3).is_some()
+        {
+            has_ordering = true;
+        }
+        k += 1;
+        if ctx.tok(k).is_none() {
+            return (k.saturating_sub(1), has_ordering);
+        }
+    }
 }
 
 /// Lint one file's source. `rel_path` is the path relative to the repo
@@ -380,47 +683,32 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
         .iter()
         .any(|d| unix_rel.starts_with(d) || unix_rel.contains(&format!("/{d}")));
 
-    let mut st = ScanState::default();
-    let mut out = Vec::new();
-    // Escapes on a comment-only line carry over to the next code line,
-    // so long lines can keep their `lint:allow` above them.
-    let mut carried: Vec<String> = Vec::new();
-    for (idx, raw) in source.lines().enumerate() {
-        // Read the region state *before* this line mutates it, so an
-        // attribute/opening-brace line is classified with its body.
-        let was_in_test_region = st.test_region.is_some() || st.pending_cfg_test;
-        let (code, code_with_strings) = sanitize_line(raw, &mut st);
-        let in_test = path_is_test || was_in_test_region || st.test_region.is_some();
-        let mut escapes: Vec<String> = allowed_on_line(raw).into_iter().map(String::from).collect();
-        let comment_only = code.trim().is_empty() && !raw.trim().is_empty();
-        if comment_only {
-            carried.extend(escapes.iter().cloned());
-        } else {
-            escapes.append(&mut carried);
+    let ctx = FileCtx::build(source);
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (ri, rule) in Rule::ALL.iter().enumerate() {
+        if rule.path_allowed(&unix_rel) {
+            continue;
         }
-        for rule in Rule::ALL {
+        for (k, k_end) in find_matches(*rule, &ctx) {
+            let tok_idx = ctx.code[k];
+            let in_test = path_is_test || ctx.in_test[tok_idx];
             if in_test && !rule.applies_to_test_code() {
                 continue;
             }
-            if rule.path_allowed(&unix_rel) || escapes.iter().any(|e| e == rule.name()) {
+            if ctx.suppressed(*rule, k, k_end) {
                 continue;
             }
-            let haystack = if rule.matches_in_strings() {
-                &code_with_strings
-            } else {
-                &code
-            };
-            if rule.patterns().iter().any(|p| haystack.contains(p)) {
-                out.push(Violation {
-                    file: PathBuf::from(rel_path),
-                    line: idx + 1,
-                    rule,
-                    snippet: raw.trim().to_string(),
-                });
-            }
+            seen.insert((ctx.tokens[tok_idx].line, ri));
         }
     }
-    out
+    seen.into_iter()
+        .map(|(line, ri)| Violation {
+            file: PathBuf::from(rel_path),
+            line,
+            rule: Rule::ALL[ri],
+            snippet: ctx.line_text(line),
+        })
+        .collect()
 }
 
 /// Directories never scanned: build output, VCS, vendored third-party
@@ -481,20 +769,15 @@ fn f() {
     }
 
     #[test]
-    fn event_name_patterns_track_the_registry() {
-        let expected: Vec<String> = em_obs::names::ALL_EVENT_TAGS
-            .iter()
-            .map(|tag| format!("\"{tag}\""))
-            .collect();
-        let got: Vec<String> = Rule::EventName
-            .patterns()
-            .iter()
-            .map(|p| p.to_string())
-            .collect();
-        assert_eq!(
-            got, expected,
-            "lint patterns drifted from em_obs::names::ALL_EVENT_TAGS"
-        );
+    fn every_registry_tag_fires_the_event_name_rule() {
+        // The rule reads em_obs::names::ALL_EVENT_TAGS directly, so the
+        // two can never drift; still, pin that each tag actually fires.
+        for tag in em_obs::names::ALL_EVENT_TAGS {
+            let src = format!("pub fn tag() -> &'static str {{ \"{tag}\" }}\n");
+            let v = lint_source("crates/core/src/x.rs", &src);
+            assert_eq!(v.len(), 1, "tag {tag}: {v:?}");
+            assert_eq!(v[0].rule, Rule::EventName);
+        }
     }
 
     #[test]
@@ -562,5 +845,96 @@ fn more_lib() { z.unwrap(); }
         let v = lint_source("crates/core/src/x.rs", src);
         let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
         assert_eq!(lines, [3, 9], "test-module unwrap must be exempt: {v:?}");
+    }
+
+    #[test]
+    fn cfg_test_on_a_path_module_does_not_poison_following_code() {
+        // The old line scanner latched `#[cfg(test)] mod x;` onto the
+        // next `{` anywhere in the file; the token engine cancels the
+        // pending attribute at the `;`.
+        let src = "
+#[cfg(test)]
+mod helpers;
+fn lib_code() { x.unwrap(); }
+";
+        let v = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn atomic_ordering_rule() {
+        // Literal Relaxed is fine, no comment needed.
+        let ok = "fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(lint_source("crates/core/src/x.rs", ok).is_empty());
+        // A hidden ordering (const, wrapper default) fires.
+        let hidden = "fn f(a: &AtomicU64) { a.fetch_add(1, ORD); }\n";
+        let v = lint_source("crates/core/src/x.rs", hidden);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::AtomicOrdering);
+        // Strong orderings need an `// ordering:` justification.
+        let strong = "fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::SeqCst); }\n";
+        assert_eq!(lint_source("crates/core/src/x.rs", strong).len(), 1);
+        let justified = "\
+// ordering: SeqCst pairs the publish with the reader's first load
+fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::SeqCst); }\n";
+        assert!(lint_source("crates/core/src/x.rs", justified).is_empty());
+        let same_line =
+            "fn f(a: &AtomicU64) { a.store(true, Ordering::Release); } // ordering: publishes init\n";
+        assert!(lint_source("crates/core/src/x.rs", same_line).is_empty());
+        // Non-atomic Ordering enums (cmp) never fire.
+        let cmp = "fn f() -> std::cmp::Ordering { std::cmp::Ordering::Less }\n";
+        assert!(lint_source("crates/core/src/x.rs", cmp).is_empty());
+        // fetch_update's two orderings count as literal.
+        let upd = "fn f(a: &AtomicU64) { let _ = a.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v + 1)); }\n";
+        assert!(lint_source("crates/core/src/x.rs", upd).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_rule() {
+        let src = "fn go() { std::thread::spawn(|| {}); }\n";
+        let v = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::ThreadSpawn);
+        // Tests and the vendored concurrency crates may spawn.
+        assert!(lint_source("crates/core/tests/t.rs", src).is_empty());
+        assert!(lint_source("crates/compat/pool/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_safety_rule() {
+        let bare = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let v = lint_source("crates/core/src/x.rs", bare);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UnsafeSafety);
+        let commented = "\
+fn f(p: *const u8) -> u8 {
+    // safety: caller guarantees p is valid for reads
+    unsafe { *p }
+}\n";
+        assert!(lint_source("crates/core/src/x.rs", commented).is_empty());
+        let imp = "unsafe impl Sync for Cell {}\n";
+        assert_eq!(lint_source("crates/core/src/x.rs", imp).len(), 1);
+        let imp_ok = "// safety: access is serialized by the scheduler token\nunsafe impl Sync for Cell {}\n";
+        assert!(lint_source("crates/core/src/x.rs", imp_ok).is_empty());
+        // unsafe-safety applies in test code too.
+        let in_test = "#[cfg(test)]\nmod t {\n    fn f(p: *const u8) -> u8 { unsafe { *p } }\n}\n";
+        assert_eq!(lint_source("crates/core/src/x.rs", in_test).len(), 1);
+    }
+
+    #[test]
+    fn lock_unwrap_rule() {
+        let src = "fn f(m: &Mutex<u32>) -> u32 { *m.lock().unwrap() }\n";
+        let v = lint_source("crates/core/src/x.rs", src);
+        assert!(v.iter().any(|v| v.rule == Rule::LockUnwrap), "{v:?}");
+        let expect = "fn f(m: &Mutex<u32>) -> u32 { *m.lock().expect(\"poisoned\") }\n";
+        assert!(lint_source("crates/core/src/x.rs", expect)
+            .iter()
+            .any(|v| v.rule == Rule::LockUnwrap));
+        // Explicit poison handling is the sanctioned form.
+        let ok = "fn f(m: &Mutex<u32>) -> u32 { *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner) }\n";
+        assert!(lint_source("crates/core/src/x.rs", ok).is_empty());
+        // Idiomatic in tests.
+        assert!(lint_source("crates/core/tests/t.rs", src).is_empty());
     }
 }

@@ -1,0 +1,210 @@
+//! `em-sched`: a shuttle-style randomized interleaving checker, vendored
+//! for the PromptEM reproduction (no crates.io access in the build
+//! environment).
+//!
+//! Concurrency bugs hide in the interleavings the OS rarely produces.
+//! This crate makes interleavings a *controlled input*: checked code
+//! runs its threads ([`thread::spawn`]) and shared state ([`sync`]
+//! shims) under a seeded scheduler that serializes execution and, at
+//! every shared access, randomly decides who runs next. One seed = one
+//! interleaving, deterministically replayable; [`explore`] sweeps many
+//! seeds and reports the first seed whose interleaving panics an
+//! assertion, deadlocks, or exhausts the step budget.
+//!
+//! ```
+//! use em_sched::{check, sync::AtomicU64, thread};
+//! use std::sync::Arc;
+//!
+//! let report = check(|| {
+//!     let c = Arc::new(AtomicU64::new(0));
+//!     let c2 = Arc::clone(&c);
+//!     let t = thread::spawn(move || c2.fetch_add(1));
+//!     c.fetch_add(1);
+//!     t.join();
+//!     assert_eq!(c.load(), 2); // fetch_add is atomic: holds on EVERY seed
+//! });
+//! assert!(report.failure.is_none());
+//! ```
+//!
+//! ## Model and limits (vs. loom)
+//!
+//! * **Sequential consistency only.** The scheduler serializes tasks, so
+//!   every explored execution is an SC interleaving. Weak-memory effects
+//!   (store buffering, reordering under `Relaxed`/`Acquire`/`Release`)
+//!   are *not* modeled — which is why the atomic shims take no
+//!   `Ordering` argument. loom explores the C11 model; em-sched trades
+//!   that power for zero dependencies and much faster runs.
+//! * **Randomized, not exhaustive.** loom enumerates all executions
+//!   (with DPOR pruning); em-sched samples one interleaving per seed.
+//!   No failure found ⇒ evidence, not proof. In exchange, seed sweeps
+//!   scale to state spaces loom cannot finish.
+//! * **Deterministic replay.** A failing seed is a reproducer: pass it
+//!   to [`replay`] (the scheduler's RNG is the only nondeterminism, so
+//!   deterministic task code replays exactly).
+//! * **Create checked state inside the closure.** The closure runs once
+//!   per seed and must start from fresh state each time; shim atomics
+//!   and mutexes built outside it would leak state across seeds.
+//!
+//! Failure modes reported per seed: task panic (assertion failures —
+//! the usual signal), deadlock (every live task blocked, e.g. an ABBA
+//! lock cycle), and step-budget exhaustion (livelock guard).
+
+#![warn(missing_docs)]
+
+mod runtime;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// How many seeds to try.
+    pub seeds: u64,
+    /// First seed (seeds run `first_seed..first_seed + seeds`).
+    pub first_seed: u64,
+    /// Per-execution scheduling-step budget; exceeding it is reported as
+    /// a failure (livelock guard).
+    pub max_steps: u64,
+    /// Max times the scheduler may preempt a *runnable* task (switches at
+    /// blocking points are free). `None` = unbounded. Small bounds (2–3)
+    /// concentrate the search where most real bugs live.
+    pub preemption_bound: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            seeds: 64,
+            first_seed: 0,
+            max_steps: 100_000,
+            preemption_bound: None,
+        }
+    }
+}
+
+/// Why a seed's execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A task panicked (assertion failure or explicit panic).
+    Panic {
+        /// Task id (0 is the root task).
+        task: usize,
+        /// The panic's location and message, as captured by the hook.
+        message: String,
+    },
+    /// Every unfinished task was blocked — a lock or join cycle.
+    Deadlock {
+        /// Ids of the blocked tasks.
+        blocked: Vec<usize>,
+    },
+    /// The execution exceeded its scheduling-step budget.
+    StepBudgetExhausted {
+        /// The budget that was exceeded.
+        max_steps: u64,
+    },
+}
+
+/// A failing seed and what went wrong under it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The seed that produced the failing interleaving; feed it to
+    /// [`replay`] to reproduce.
+    pub seed: u64,
+    /// What went wrong.
+    pub kind: FailureKind,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            FailureKind::Panic { task, message } => {
+                write!(f, "seed {}: task {} panicked: {}", self.seed, task, message)
+            }
+            FailureKind::Deadlock { blocked } => {
+                write!(
+                    f,
+                    "seed {}: deadlock (blocked tasks {:?})",
+                    self.seed, blocked
+                )
+            }
+            FailureKind::StepBudgetExhausted { max_steps } => {
+                write!(
+                    f,
+                    "seed {}: exceeded {} scheduling steps",
+                    self.seed, max_steps
+                )
+            }
+        }
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Seeds actually executed (stops early at the first failure).
+    pub seeds_run: u64,
+    /// The first failure found, if any.
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Panic with the failure's seed and reason, if one was found. For
+    /// tests asserting a property *holds*.
+    pub fn assert_ok(&self) {
+        if let Some(failure) = &self.failure {
+            panic!("em-sched found a failing interleaving: {failure}");
+        }
+    }
+}
+
+/// Run `f` once per seed under the scheduler; stop at the first failing
+/// interleaving.
+pub fn explore<F>(config: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    runtime::install_panic_hook();
+    let f = Arc::new(f);
+    let mut seeds_run = 0;
+    for seed in config.first_seed..config.first_seed.saturating_add(config.seeds) {
+        let exec = runtime::Execution::new(seed, &config);
+        let task = Arc::clone(&f);
+        seeds_run += 1;
+        if let Some(kind) = exec.run(Box::new(move || task())) {
+            return Report {
+                seeds_run,
+                failure: Some(Failure { seed, kind }),
+            };
+        }
+    }
+    Report {
+        seeds_run,
+        failure: None,
+    }
+}
+
+/// [`explore`] with the default [`Config`] (64 seeds).
+pub fn check<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore(Config::default(), f)
+}
+
+/// Re-run exactly one seed's interleaving (the reproducer for a failure
+/// reported by [`explore`]).
+pub fn replay<F>(seed: u64, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore(
+        Config {
+            seeds: 1,
+            first_seed: seed,
+            ..Config::default()
+        },
+        f,
+    )
+}

@@ -1,0 +1,416 @@
+//! The serialized token-passing scheduler behind `em-sched`.
+//!
+//! Checked code runs on real OS threads, but a token (the `current`
+//! field of [`ExecState`]) guarantees at most one task thread executes
+//! user code at any instant. Every shim operation is a *yield point*
+//! where the seeded RNG may hand the token to another runnable task —
+//! so an execution is exactly one interleaving, chosen deterministically
+//! by the seed, and replaying a seed replays the interleaving.
+
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crate::{Config, FailureKind};
+
+/// Panic payload used to tear a task out of a doomed execution (after a
+/// failure is recorded, every other task unwinds via this signal). Never
+/// surfaces to user code: the task wrapper swallows it.
+pub(crate) struct AbortSignal;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TaskState {
+    Runnable,
+    /// Waiting for the given task to finish.
+    BlockedJoin(usize),
+    /// Waiting for the given shim mutex to be released.
+    BlockedLock(usize),
+    Finished,
+}
+
+pub(crate) struct LockInfo {
+    held_by: Option<usize>,
+}
+
+pub(crate) struct ExecState {
+    /// xorshift64* state; never zero.
+    rng: u64,
+    steps: u64,
+    max_steps: u64,
+    preemptions: u64,
+    preemption_bound: Option<u64>,
+    /// The task holding the execution token.
+    current: usize,
+    tasks: Vec<TaskState>,
+    locks: Vec<LockInfo>,
+    failure: Option<FailureKind>,
+    /// Set once a failure is recorded; every waiting task unwinds.
+    abort: bool,
+}
+
+impl ExecState {
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*; the state is seeded via splitmix64 and never zero.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == TaskState::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn blocked(&self) -> Vec<usize> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, TaskState::BlockedJoin(_) | TaskState::BlockedLock(_)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn pick(&mut self, cands: &[usize]) -> usize {
+        cands[(self.next_rand() % cands.len() as u64) as usize]
+    }
+
+    fn fail(&mut self, kind: FailureKind) {
+        if self.failure.is_none() {
+            self.failure = Some(kind);
+        }
+        self.abort = true;
+    }
+}
+
+/// One seeded execution: the shared scheduler state plus the OS-thread
+/// handles of its tasks.
+pub(crate) struct Execution {
+    pub(crate) state: Mutex<ExecState>,
+    pub(crate) cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    /// (execution, task id) for threads running inside an execution.
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+    /// True while a task runs user code; the panic hook stays quiet then.
+    static IN_TASK: Cell<bool> = const { Cell::new(false) };
+    /// The panic hook's capture of the last in-task panic (location+msg).
+    static LAST_PANIC: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// The execution + task id of the calling thread, if it is a task.
+pub(crate) fn current_ctx() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Install (once per process) a panic hook that suppresses the default
+/// stderr backtrace for panics *inside* checked tasks — expected-failure
+/// tests would otherwise spray scary output — while recording the
+/// location+message so the [`crate::Failure`] can carry it. Panics on
+/// non-task threads go to the previous hook untouched.
+pub(crate) fn install_panic_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if IN_TASK.with(Cell::get) {
+                LAST_PANIC.with(|p| *p.borrow_mut() = Some(info.to_string()));
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl Execution {
+    pub(crate) fn new(seed: u64, cfg: &Config) -> Arc<Execution> {
+        let mut rng = splitmix64(seed);
+        if rng == 0 {
+            rng = 0x9E37_79B9_7F4A_7C15;
+        }
+        Arc::new(Execution {
+            state: Mutex::new(ExecState {
+                rng,
+                steps: 0,
+                max_steps: cfg.max_steps,
+                preemptions: 0,
+                preemption_bound: cfg.preemption_bound,
+                current: 0,
+                tasks: Vec::new(),
+                locks: Vec::new(),
+                failure: None,
+                abort: false,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        // The scheduler never leaves its own state inconsistent on panic
+        // (AbortSignal is only thrown between mutations), so poison is
+        // recoverable.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Register and start a new task running `f`. Returns its id. The
+    /// spawned thread waits for the token before touching user code.
+    pub(crate) fn spawn_task(self: &Arc<Execution>, f: Box<dyn FnOnce() + Send>) -> usize {
+        let id = {
+            let mut st = self.lock_state();
+            st.tasks.push(TaskState::Runnable);
+            st.tasks.len() - 1
+        };
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("em-sched-task-{id}"))
+            .spawn(move || {
+                CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), id)));
+                {
+                    let mut st = exec.lock_state();
+                    loop {
+                        if st.abort {
+                            exec.finish_task_locked(st, id);
+                            return;
+                        }
+                        if st.current == id && st.tasks[id] == TaskState::Runnable {
+                            break;
+                        }
+                        st = exec
+                            .cv
+                            .wait(st)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                }
+                IN_TASK.with(|c| c.set(true));
+                let result = panic::catch_unwind(AssertUnwindSafe(f));
+                IN_TASK.with(|c| c.set(false));
+                if let Err(payload) = result {
+                    if !payload.is::<AbortSignal>() {
+                        let message = LAST_PANIC
+                            .with(|p| p.borrow_mut().take())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "panic with non-string payload".to_string());
+                        let mut st = exec.lock_state();
+                        st.fail(FailureKind::Panic { task: id, message });
+                    }
+                }
+                let st = exec.lock_state();
+                exec.finish_task_locked(st, id);
+            })
+            .expect("em-sched: OS refused to spawn a task thread");
+        self.handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(handle);
+        id
+    }
+
+    /// Mark `me` finished, wake joiners, and pass the token on. Called
+    /// with the state lock held; consumes it. Detects the end of the
+    /// execution (all finished) and deadlocks among the survivors.
+    fn finish_task_locked(&self, mut st: std::sync::MutexGuard<'_, ExecState>, me: usize) {
+        st.tasks[me] = TaskState::Finished;
+        for s in st.tasks.iter_mut() {
+            if *s == TaskState::BlockedJoin(me) {
+                *s = TaskState::Runnable;
+            }
+        }
+        let cands = st.runnable();
+        if !cands.is_empty() {
+            let next = st.pick(&cands);
+            st.current = next;
+        } else {
+            let blocked = st.blocked();
+            if !blocked.is_empty() && !st.abort {
+                st.fail(FailureKind::Deadlock { blocked });
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Unwind the calling task out of the execution. The state lock must
+    /// NOT be held.
+    fn abort_current_task(&self) -> ! {
+        self.cv.notify_all();
+        panic::panic_any(AbortSignal);
+    }
+
+    /// Wait (state lock held on entry, reacquired across waits) until the
+    /// token comes back to `me`; unwinds if the execution aborted.
+    fn wait_for_token(&self, mut st: std::sync::MutexGuard<'_, ExecState>, me: usize) {
+        loop {
+            if st.abort {
+                drop(st);
+                self.abort_current_task();
+            }
+            if st.current == me && st.tasks[me] == TaskState::Runnable {
+                return;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// A scheduling point: charge one step, then maybe hand the token to
+    /// another runnable task (bounded by `preemption_bound`).
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            self.abort_current_task();
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let max_steps = st.max_steps;
+            st.fail(FailureKind::StepBudgetExhausted { max_steps });
+            drop(st);
+            self.abort_current_task();
+        }
+        let can_preempt = st.preemption_bound.is_none_or(|b| st.preemptions < b);
+        if can_preempt {
+            let cands = st.runnable();
+            let next = st.pick(&cands);
+            if next != me {
+                st.preemptions += 1;
+                st.current = next;
+                self.cv.notify_all();
+                self.wait_for_token(st, me);
+            }
+        }
+    }
+
+    /// Block `me` with `make_blocked`, hand the token to someone runnable
+    /// (deadlock if nobody is), and wait to be unblocked and rescheduled.
+    fn block_current(&self, me: usize, make_blocked: TaskState) {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            self.abort_current_task();
+        }
+        st.tasks[me] = make_blocked;
+        let cands = st.runnable();
+        if cands.is_empty() {
+            let blocked = st.blocked();
+            st.fail(FailureKind::Deadlock { blocked });
+            drop(st);
+            self.abort_current_task();
+        }
+        let next = st.pick(&cands);
+        st.current = next;
+        self.cv.notify_all();
+        self.wait_for_token(st, me);
+    }
+
+    /// Join shim: wait until `target` finishes.
+    pub(crate) fn join_task(&self, me: usize, target: usize) {
+        self.yield_point(me);
+        loop {
+            let st = self.lock_state();
+            if st.abort {
+                drop(st);
+                self.abort_current_task();
+            }
+            if st.tasks[target] == TaskState::Finished {
+                return;
+            }
+            drop(st);
+            self.block_current(me, TaskState::BlockedJoin(target));
+        }
+    }
+
+    /// Register a shim mutex; returns its lock id.
+    pub(crate) fn register_lock(&self) -> usize {
+        let mut st = self.lock_state();
+        st.locks.push(LockInfo { held_by: None });
+        st.locks.len() - 1
+    }
+
+    /// Acquire shim-mutex `lock` for `me`, blocking (in scheduler terms)
+    /// while another task holds it.
+    pub(crate) fn acquire_lock(&self, me: usize, lock: usize) {
+        self.yield_point(me);
+        loop {
+            let mut st = self.lock_state();
+            if st.abort {
+                drop(st);
+                self.abort_current_task();
+            }
+            if st.locks[lock].held_by.is_none() {
+                st.locks[lock].held_by = Some(me);
+                return;
+            }
+            drop(st);
+            self.block_current(me, TaskState::BlockedLock(lock));
+        }
+    }
+
+    /// Release shim-mutex `lock`. Runs from guard drops — including drops
+    /// during an `AbortSignal` unwind — so it must never panic.
+    pub(crate) fn release_lock(&self, me: usize, lock: usize) {
+        let mut st = self.lock_state();
+        debug_assert_eq!(st.locks[lock].held_by, Some(me));
+        st.locks[lock].held_by = None;
+        for s in st.tasks.iter_mut() {
+            if *s == TaskState::BlockedLock(lock) {
+                // Woken tasks re-contend in acquire_lock's loop.
+                *s = TaskState::Runnable;
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Drive one execution to completion: spawn the root task, then join
+    /// every task thread (tasks spawned later are joined too). Returns
+    /// the recorded failure, if any.
+    pub(crate) fn run(
+        self: &Arc<Execution>,
+        root: Box<dyn FnOnce() + Send>,
+    ) -> Option<FailureKind> {
+        self.spawn_task(root);
+        loop {
+            let handle = self
+                .handles
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        self.lock_state().failure.take()
+    }
+}
+
+/// A scheduling point for the calling thread; no-op outside an execution
+/// (shims stay usable — and real — in ordinary code).
+pub(crate) fn yield_point() {
+    if let Some((exec, me)) = current_ctx() {
+        exec.yield_point(me);
+    }
+}

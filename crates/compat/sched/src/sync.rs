@@ -1,0 +1,221 @@
+//! Instrumented shared-state shims: every operation is a scheduling
+//! point, so the checker can interleave tasks *between* any two shared
+//! accesses.
+//!
+//! The atomic shims deliberately take **no `Ordering` argument**: the
+//! scheduler serializes tasks, so an execution only ever explores
+//! sequentially-consistent interleavings and offering per-call orderings
+//! would imply modeling power em-sched does not have (see DESIGN §11 for
+//! the comparison with loom). The real operation runs with `SeqCst` on a
+//! real `std` atomic, so the shims remain correct — just unremarkable —
+//! when used outside an execution.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{self, Ordering};
+use std::sync::OnceLock;
+
+use crate::runtime::{current_ctx, yield_point};
+
+macro_rules! atomic_shim {
+    ($(#[$doc:meta])* $name:ident, $std:ty, $val:ty) => {
+        $(#[$doc])*
+        #[derive(Default)]
+        pub struct $name($std);
+
+        impl $name {
+            /// A new shim atomic holding `v`.
+            pub const fn new(v: $val) -> Self {
+                Self(<$std>::new(v))
+            }
+
+            /// Read the value (a scheduling point).
+            pub fn load(&self) -> $val {
+                yield_point();
+                // ordering: SeqCst — the shim models sequential
+                // consistency only, so every real operation uses the
+                // strongest ordering; weaker orderings are out of scope.
+                self.0.load(Ordering::SeqCst)
+            }
+
+            /// Write the value (a scheduling point).
+            pub fn store(&self, v: $val) {
+                yield_point();
+                self.0.store(v, Ordering::SeqCst)
+            }
+
+            /// Atomically replace the value (a scheduling point).
+            pub fn swap(&self, v: $val) -> $val {
+                yield_point();
+                self.0.swap(v, Ordering::SeqCst)
+            }
+
+            /// Atomically add (a scheduling point).
+            pub fn fetch_add(&self, v: $val) -> $val {
+                yield_point();
+                self.0.fetch_add(v, Ordering::SeqCst)
+            }
+
+            /// Atomically subtract (a scheduling point).
+            pub fn fetch_sub(&self, v: $val) -> $val {
+                yield_point();
+                self.0.fetch_sub(v, Ordering::SeqCst)
+            }
+
+            /// Atomically take the maximum (a scheduling point).
+            pub fn fetch_max(&self, v: $val) -> $val {
+                yield_point();
+                self.0.fetch_max(v, Ordering::SeqCst)
+            }
+
+            /// Compare-and-exchange (a scheduling point).
+            pub fn compare_exchange(&self, expected: $val, new: $val) -> Result<$val, $val> {
+                yield_point();
+                self.0
+                    .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+        }
+    };
+}
+
+atomic_shim!(
+    /// Scheduler-instrumented `AtomicU64`.
+    AtomicU64,
+    atomic::AtomicU64,
+    u64
+);
+atomic_shim!(
+    /// Scheduler-instrumented `AtomicUsize`.
+    AtomicUsize,
+    atomic::AtomicUsize,
+    usize
+);
+
+/// Scheduler-instrumented `AtomicBool`.
+#[derive(Default)]
+pub struct AtomicBool(atomic::AtomicBool);
+
+impl AtomicBool {
+    /// A new shim atomic holding `v`.
+    pub const fn new(v: bool) -> Self {
+        Self(atomic::AtomicBool::new(v))
+    }
+
+    /// Read the value (a scheduling point).
+    pub fn load(&self) -> bool {
+        yield_point();
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Write the value (a scheduling point).
+    pub fn store(&self, v: bool) {
+        yield_point();
+        self.0.store(v, Ordering::SeqCst)
+    }
+
+    /// Atomically replace the value (a scheduling point).
+    pub fn swap(&self, v: bool) -> bool {
+        yield_point();
+        self.0.swap(v, Ordering::SeqCst)
+    }
+}
+
+/// Scheduler-instrumented mutex. Inside an execution, contention is
+/// modeled by the scheduler (a blocked task hands the token on, and an
+/// ABBA cycle is reported as a deadlock failure rather than hanging the
+/// test). There is no poisoning: a panicked task fails the whole seed.
+pub struct Mutex<T> {
+    /// Lock id within the owning execution, registered on first use.
+    id: OnceLock<usize>,
+    /// Fallback exclusion for use outside any execution.
+    fallback: std::sync::Mutex<()>,
+    value: UnsafeCell<T>,
+}
+
+// safety: inside an execution the scheduler token serializes every
+// access between acquire_lock/release_lock; outside one the `fallback`
+// std mutex provides real exclusion. Either way `&mut T` handed out by
+// `lock()` is unique for the guard's lifetime.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+// safety: moving the mutex moves the T it owns, same as std's Mutex.
+unsafe impl<T: Send> Send for Mutex<T> {}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'m, T> {
+    mutex: &'m Mutex<T>,
+    /// Held only outside executions.
+    _fallback: Option<std::sync::MutexGuard<'m, ()>>,
+    /// (execution task id, lock id) when held inside an execution.
+    scheduled: Option<(usize, usize)>,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex holding `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            id: OnceLock::new(),
+            fallback: std::sync::Mutex::new(()),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire the mutex (a scheduling point; may block in scheduler
+    /// terms). Unlike `std`, this cannot return a poison error.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match current_ctx() {
+            Some((exec, me)) => {
+                let id = *self.id.get_or_init(|| exec.register_lock());
+                exec.acquire_lock(me, id);
+                MutexGuard {
+                    mutex: self,
+                    _fallback: None,
+                    scheduled: Some((me, id)),
+                }
+            }
+            None => {
+                let guard = self
+                    .fallback
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                MutexGuard {
+                    mutex: self,
+                    _fallback: Some(guard),
+                    scheduled: None,
+                }
+            }
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((me, id)) = self.scheduled {
+            if let Some((exec, _)) = current_ctx() {
+                exec.release_lock(me, id);
+            }
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // safety: the guard proves exclusion (scheduler token inside an
+        // execution, fallback std guard outside), so no aliasing &mut
+        // exists while this & borrow lives.
+        unsafe { &*self.mutex.value.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // safety: as in Deref — the guard is exclusive, and &mut self
+        // makes this the only path to the cell.
+        unsafe { &mut *self.mutex.value.get() }
+    }
+}

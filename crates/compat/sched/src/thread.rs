@@ -1,0 +1,56 @@
+//! Task spawning inside an execution — the shim for `std::thread`.
+
+use std::sync::{Arc, Mutex};
+
+use crate::runtime::{self, current_ctx};
+
+/// Handle to a task spawned with [`spawn`]; [`join`](JoinHandle::join)
+/// returns the closure's value.
+pub struct JoinHandle<T> {
+    task_id: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawn a task inside the current execution. Panics if called outside
+/// one — em-sched tasks are *model-checked* threads; code paths that
+/// spawn real threads don't belong under the checker.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (exec, me) = current_ctx()
+        .expect("em_sched::thread::spawn outside an execution; use explore/check/replay");
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let task_id = exec.spawn_task(Box::new(move || {
+        let value = f();
+        *slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
+    }));
+    // Spawn is a scheduling point: the child may run before the parent's
+    // next instruction, exactly like a real OS thread.
+    exec.yield_point(me);
+    JoinHandle { task_id, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the task to finish and take its return value. Returns
+    /// `None` when the task panicked (the execution is failing then —
+    /// the scheduler records the panic as the seed's failure).
+    pub fn join(self) -> Option<T> {
+        let (exec, me) = current_ctx().expect("em_sched::JoinHandle::join outside an execution");
+        exec.join_task(me, self.task_id);
+        self.result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+}
+
+/// A pure scheduling point: lets the scheduler preempt here without any
+/// shared access. No-op outside an execution.
+pub fn yield_now() {
+    runtime::yield_point();
+}

@@ -20,6 +20,7 @@
 pub mod init;
 pub mod io;
 pub mod layers;
+pub mod opstats;
 pub mod optim;
 pub mod schedule;
 pub mod tape;

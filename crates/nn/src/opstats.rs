@@ -1,0 +1,269 @@
+//! The op-profiler's accumulation table, factored behind a word-level
+//! shim so the *same* algorithm runs in two worlds:
+//!
+//! * production — [`RelaxedWord`] over `std::sync::atomic::AtomicU64`
+//!   with `Relaxed` ordering (the table is a pile of independent
+//!   counters; no cross-word invariant needs publication order), and
+//! * model checking — the `em-sched` test harness substitutes a
+//!   scheduler-instrumented word type, so the interleaving checker can
+//!   drive concurrent `record_*` vs `drain` schedules and prove the
+//!   swap-drain protocol never loses or double-counts an increment
+//!   (`crates/nn/tests/sched_opstats.rs`).
+//!
+//! The correctness argument the checker exercises: every mutation is a
+//! single atomic RMW (`fetch_add` to record, `swap(0)` to drain), so any
+//! interleaving of recorders and a drainer partitions each counter's
+//! increments exactly — whatever the drains return plus whatever remains
+//! in the table equals whatever was recorded. A load-then-store variant
+//! (the natural "read, add, write back" bug) breaks that partition, and
+//! the checker finds it within a bounded number of seeds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One profiler counter word. Implementations must make [`add`] and
+/// [`take`] single atomic RMW operations — the lost-update freedom of
+/// the whole table reduces to that property.
+///
+/// [`add`]: StatWord::add
+/// [`take`]: StatWord::take
+pub trait StatWord: Sync {
+    /// Atomically add `v` to the counter.
+    fn add(&self, v: u64);
+    /// Atomically read the counter and reset it to zero.
+    fn take(&self) -> u64;
+    /// Read the current value (diagnostics only; no atomicity claim
+    /// beyond the single load).
+    fn peek(&self) -> u64;
+}
+
+/// Production word: a `Relaxed` `AtomicU64`.
+#[derive(Default)]
+pub struct RelaxedWord(AtomicU64);
+
+impl RelaxedWord {
+    /// A zeroed word, usable in `const` initializers.
+    pub const fn new() -> RelaxedWord {
+        RelaxedWord(AtomicU64::new(0))
+    }
+}
+
+impl StatWord for RelaxedWord {
+    // ordering: Relaxed throughout — each word is an independent counter
+    // with no cross-word invariant, so only the per-word RMW atomicity
+    // matters, not publication order between words.
+    fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn take(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+
+    fn peek(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One op's accumulation slot. Time is kept in nanoseconds so the many
+/// sub-microsecond ops (add, scale, slices) don't truncate to zero; the
+/// tape's flush converts to microseconds.
+pub struct OpSlot<W> {
+    fwd_calls: W,
+    fwd_ns: W,
+    bwd_calls: W,
+    bwd_ns: W,
+    elems: W,
+    bytes: W,
+}
+
+/// A drained (or peeked) snapshot of one op's counters, in plain `u64`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpRow {
+    /// Forward-pass recordings.
+    pub fwd_calls: u64,
+    /// Forward-pass nanoseconds.
+    pub fwd_ns: u64,
+    /// Backward-pass visits.
+    pub bwd_calls: u64,
+    /// Backward-pass nanoseconds.
+    pub bwd_ns: u64,
+    /// Output elements produced.
+    pub elems: u64,
+    /// Heap bytes grown while recording.
+    pub bytes: u64,
+}
+
+impl OpRow {
+    /// True when the op saw no activity (the flush skips such rows).
+    pub fn is_empty(&self) -> bool {
+        self.fwd_calls == 0 && self.bwd_calls == 0
+    }
+
+    /// Field-wise sum (used by the model-check harness to total partial
+    /// drains against what was recorded).
+    pub fn merged(&self, other: &OpRow) -> OpRow {
+        OpRow {
+            fwd_calls: self.fwd_calls + other.fwd_calls,
+            fwd_ns: self.fwd_ns + other.fwd_ns,
+            bwd_calls: self.bwd_calls + other.bwd_calls,
+            bwd_ns: self.bwd_ns + other.bwd_ns,
+            elems: self.elems + other.elems,
+            bytes: self.bytes + other.bytes,
+        }
+    }
+}
+
+/// The accumulation table: `N` slots of six counter words each.
+pub struct OpStatsTable<W, const N: usize> {
+    slots: [OpSlot<W>; N],
+}
+
+impl<const N: usize> OpStatsTable<RelaxedWord, N> {
+    /// A zeroed production table, usable as a `static` initializer.
+    pub const fn new_relaxed() -> OpStatsTable<RelaxedWord, N> {
+        // A const fn can't call trait methods, so the production table
+        // gets its own concrete constructor with the repeat-const trick.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: OpSlot<RelaxedWord> = OpSlot {
+            fwd_calls: RelaxedWord::new(),
+            fwd_ns: RelaxedWord::new(),
+            bwd_calls: RelaxedWord::new(),
+            bwd_ns: RelaxedWord::new(),
+            elems: RelaxedWord::new(),
+            bytes: RelaxedWord::new(),
+        };
+        OpStatsTable { slots: [ZERO; N] }
+    }
+}
+
+impl<W: StatWord, const N: usize> OpStatsTable<W, N> {
+    /// A zeroed table over any defaultable word type (the model-check
+    /// harness builds shim-word tables this way at runtime).
+    pub fn zeroed() -> OpStatsTable<W, N>
+    where
+        W: Default,
+    {
+        OpStatsTable {
+            slots: std::array::from_fn(|_| OpSlot {
+                fwd_calls: W::default(),
+                fwd_ns: W::default(),
+                bwd_calls: W::default(),
+                bwd_ns: W::default(),
+                elems: W::default(),
+                bytes: W::default(),
+            }),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        N
+    }
+
+    /// True when the table has no slots.
+    pub fn is_empty(&self) -> bool {
+        N == 0
+    }
+
+    /// Record one forward execution of op `op`.
+    pub fn record_fwd(&self, op: usize, ns: u64, elems: u64, bytes: u64) {
+        let slot = &self.slots[op];
+        slot.fwd_calls.add(1);
+        slot.fwd_ns.add(ns);
+        slot.elems.add(elems);
+        slot.bytes.add(bytes);
+    }
+
+    /// Record one backward visit of op `op`.
+    pub fn record_bwd(&self, op: usize, ns: u64) {
+        let slot = &self.slots[op];
+        slot.bwd_calls.add(1);
+        slot.bwd_ns.add(ns);
+    }
+
+    /// Atomically drain slot `op` to zero, returning what was taken.
+    ///
+    /// Each word is taken with a single `swap(0)`, so concurrent
+    /// recorders never lose an increment: it lands either in this drain's
+    /// row or in the residual table, never both, never neither. The six
+    /// words are *not* drained as one transaction — a row can pair a
+    /// recorder's `fwd_calls` with a not-yet-added `fwd_ns` — which is
+    /// fine for profiling totals because later drains pick up the rest.
+    pub fn drain(&self, op: usize) -> OpRow {
+        let slot = &self.slots[op];
+        OpRow {
+            fwd_calls: slot.fwd_calls.take(),
+            fwd_ns: slot.fwd_ns.take(),
+            bwd_calls: slot.bwd_calls.take(),
+            bwd_ns: slot.bwd_ns.take(),
+            elems: slot.elems.take(),
+            bytes: slot.bytes.take(),
+        }
+    }
+
+    /// Non-destructive snapshot of slot `op`.
+    pub fn peek(&self, op: usize) -> OpRow {
+        let slot = &self.slots[op];
+        OpRow {
+            fwd_calls: slot.fwd_calls.peek(),
+            fwd_ns: slot.fwd_ns.peek(),
+            bwd_calls: slot.bwd_calls.peek(),
+            bwd_ns: slot.bwd_ns.peek(),
+            elems: slot.elems.peek(),
+            bytes: slot.bytes.peek(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_drain_roundtrip() {
+        let t: OpStatsTable<RelaxedWord, 3> = OpStatsTable::zeroed();
+        t.record_fwd(1, 500, 12, 96);
+        t.record_fwd(1, 250, 12, 0);
+        t.record_bwd(1, 125);
+        assert!(t.peek(0).is_empty() && t.peek(2).is_empty());
+        let row = t.drain(1);
+        assert_eq!(
+            row,
+            OpRow {
+                fwd_calls: 2,
+                fwd_ns: 750,
+                bwd_calls: 1,
+                bwd_ns: 125,
+                elems: 24,
+                bytes: 96,
+            }
+        );
+        // Drained means drained: a second drain sees nothing.
+        assert!(t.drain(1).is_empty());
+    }
+
+    #[test]
+    fn const_table_matches_zeroed() {
+        static T: OpStatsTable<RelaxedWord, 2> = OpStatsTable::new_relaxed();
+        assert_eq!(T.len(), 2);
+        assert!(T.peek(0).is_empty());
+        T.record_bwd(0, 7);
+        let row = T.drain(0);
+        assert_eq!((row.bwd_calls, row.bwd_ns), (1, 7));
+    }
+
+    #[test]
+    fn merged_totals_fieldwise() {
+        let a = OpRow {
+            fwd_calls: 1,
+            fwd_ns: 2,
+            bwd_calls: 3,
+            bwd_ns: 4,
+            elems: 5,
+            bytes: 6,
+        };
+        let b = a.merged(&a);
+        assert_eq!(b.fwd_calls, 2);
+        assert_eq!(b.bytes, 12);
+    }
+}

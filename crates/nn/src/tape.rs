@@ -12,7 +12,9 @@
 use crate::optim::{ParamId, ParamStore};
 use crate::tensor::Matrix;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::opstats::{OpStatsTable, RelaxedWord};
 use std::sync::OnceLock;
 
 /// Handle to a node on a [`Tape`].
@@ -117,6 +119,8 @@ fn sanitize_env() -> bool {
 /// auditor hooks also audit every batch instead of just the first one
 /// while this is on.
 pub fn sanitize_enabled() -> bool {
+    // ordering: Relaxed — a lone boolean flag; readers only need to see
+    // the flip eventually, and no other data is published through it.
     SANITIZE_FORCE.load(Ordering::Relaxed) || sanitize_env()
 }
 
@@ -124,6 +128,7 @@ pub fn sanitize_enabled() -> bool {
 /// variable; `set_sanitize(false)` only clears a previous programmatic
 /// enable).
 pub fn set_sanitize(on: bool) {
+    // ordering: Relaxed — see sanitize_enabled; the flag guards no data.
     SANITIZE_FORCE.store(on, Ordering::Relaxed);
 }
 
@@ -146,6 +151,9 @@ fn op_profile_env() -> bool {
 /// extra tape nodes, no RNG perturbation, so profiled and unprofiled runs
 /// take identical optimizer steps.
 pub fn op_profile_enabled() -> bool {
+    // ordering: Relaxed — a lone boolean flag; a racing reader at worst
+    // attributes one op to the wrong side of the flip, and the table's
+    // counters are themselves single atomic RMWs.
     OP_PROFILE_FORCE.load(Ordering::Relaxed) || op_profile_env()
 }
 
@@ -153,36 +161,18 @@ pub fn op_profile_enabled() -> bool {
 /// variable; `set_op_profile(false)` only clears a previous programmatic
 /// enable).
 pub fn set_op_profile(on: bool) {
+    // ordering: Relaxed — see op_profile_enabled; the flag guards no data.
     OP_PROFILE_FORCE.store(on, Ordering::Relaxed);
-}
-
-/// One op's accumulation slot. Time is kept in nanoseconds so the many
-/// sub-microsecond ops (add, scale, slices) don't truncate to zero; the
-/// flush converts to microseconds.
-struct OpSlot {
-    fwd_calls: AtomicU64,
-    fwd_ns: AtomicU64,
-    bwd_calls: AtomicU64,
-    bwd_ns: AtomicU64,
-    elems: AtomicU64,
-    bytes: AtomicU64,
 }
 
 /// The profiler's accumulation table, one slot per op in
 /// [`em_obs::names::ALL_OP_NAMES`] order (`Op::index` pins the
-/// correspondence; a test asserts it against `Op::name`).
-static OP_TABLE: [OpSlot; em_obs::names::ALL_OP_NAMES.len()] = {
-    #[allow(clippy::declare_interior_mutable_const)]
-    const ZERO: OpSlot = OpSlot {
-        fwd_calls: AtomicU64::new(0),
-        fwd_ns: AtomicU64::new(0),
-        bwd_calls: AtomicU64::new(0),
-        bwd_ns: AtomicU64::new(0),
-        elems: AtomicU64::new(0),
-        bytes: AtomicU64::new(0),
-    };
-    [ZERO; em_obs::names::ALL_OP_NAMES.len()]
-};
+/// correspondence; a test asserts it against `Op::name`). The swap-drain
+/// algorithm lives in [`crate::opstats`] behind the `StatWord` shim so
+/// the `em-sched` interleaving checker can model-check the identical
+/// code path (`crates/nn/tests/sched_opstats.rs`).
+static OP_TABLE: OpStatsTable<RelaxedWord, { em_obs::names::ALL_OP_NAMES.len() }> =
+    OpStatsTable::new_relaxed();
 
 /// Forward-timing handle opened at recording-method entry when the
 /// profiler is on; [`Tape::push_timed`] closes it once the result exists.
@@ -204,13 +194,13 @@ impl OpTimer {
     }
 
     fn finish(self, op_idx: usize, elems: usize) {
-        let slot = &OP_TABLE[op_idx];
-        slot.fwd_calls.fetch_add(1, Ordering::Relaxed);
-        slot.fwd_ns
-            .fetch_add((self.sw.secs() * 1e9) as u64, Ordering::Relaxed);
-        slot.elems.fetch_add(elems as u64, Ordering::Relaxed);
         let grown = em_obs::alloc::current_bytes().saturating_sub(self.bytes0);
-        slot.bytes.fetch_add(grown as u64, Ordering::Relaxed);
+        OP_TABLE.record_fwd(
+            op_idx,
+            (self.sw.secs() * 1e9) as u64,
+            elems as u64,
+            grown as u64,
+        );
     }
 }
 
@@ -224,24 +214,18 @@ pub fn flush_op_stats() {
         return;
     }
     for (i, name) in em_obs::names::ALL_OP_NAMES.iter().enumerate() {
-        let slot = &OP_TABLE[i];
-        let fwd_calls = slot.fwd_calls.swap(0, Ordering::Relaxed);
-        let fwd_ns = slot.fwd_ns.swap(0, Ordering::Relaxed);
-        let bwd_calls = slot.bwd_calls.swap(0, Ordering::Relaxed);
-        let bwd_ns = slot.bwd_ns.swap(0, Ordering::Relaxed);
-        let elems = slot.elems.swap(0, Ordering::Relaxed);
-        let bytes = slot.bytes.swap(0, Ordering::Relaxed);
-        if fwd_calls == 0 && bwd_calls == 0 {
+        let row = OP_TABLE.drain(i);
+        if row.is_empty() {
             continue;
         }
         em_obs::op_stats(
             name,
-            fwd_calls,
-            fwd_ns / 1000,
-            bwd_calls,
-            bwd_ns / 1000,
-            elems,
-            bytes,
+            row.fwd_calls,
+            row.fwd_ns / 1000,
+            row.bwd_calls,
+            row.bwd_ns / 1000,
+            row.elems,
+            row.bytes,
         );
     }
 }
@@ -1114,10 +1098,7 @@ impl Tape {
                 let sw = em_obs::Stopwatch::new();
                 let idx = self.nodes[i].op.index();
                 self.backprop_node(i, &g);
-                let slot = &OP_TABLE[idx];
-                slot.bwd_calls.fetch_add(1, Ordering::Relaxed);
-                slot.bwd_ns
-                    .fetch_add((sw.secs() * 1e9) as u64, Ordering::Relaxed);
+                OP_TABLE.record_bwd(idx, (sw.secs() * 1e9) as u64);
             } else {
                 self.backprop_node(i, &g);
             }

@@ -1,0 +1,162 @@
+//! Model-check the tape op-profiler's swap-drain table with `em-sched`.
+//!
+//! The table (`em_nn::opstats::OpStatsTable`) is the one piece of
+//! shared-memory concurrency the training stack ships today: recorders
+//! (`record_fwd`/`record_bwd` from op execution) race against
+//! `flush_op_stats`'s swap-drain. Its correctness claim is a counting
+//! invariant — **everything drained plus everything residual equals
+//! everything recorded** — and these tests check it under *adversarial*
+//! schedules, not just the ones the OS happens to produce:
+//!
+//! * the real algorithm (single-RMW `fetch_add`/`swap` words) must hold
+//!   the invariant on every explored seed, and
+//! * a deliberately broken word (load-then-store, the natural "read,
+//!   add, write back" refactor bug) must be *caught* within the seed
+//!   budget — proving the checker has the power to see the bug class,
+//!   so the green run on the real table means something.
+//!
+//! Seed budget: 64 by default, overridable via `PROMPTEM_SCHED_SEEDS`
+//! (CI pins it explicitly; wall time is a few milliseconds per seed).
+
+use std::sync::Arc;
+
+use em_nn::opstats::{OpRow, OpStatsTable, StatWord};
+use em_sched::{explore, Config, FailureKind, Report};
+
+/// Scheduler-instrumented word: same single-RMW protocol as the
+/// production `RelaxedWord`, but every access is a scheduling point.
+#[derive(Default)]
+struct SchedWord(em_sched::sync::AtomicU64);
+
+impl StatWord for SchedWord {
+    fn add(&self, v: u64) {
+        self.0.fetch_add(v);
+    }
+
+    fn take(&self) -> u64 {
+        self.0.swap(0)
+    }
+
+    fn peek(&self) -> u64 {
+        self.0.load()
+    }
+}
+
+/// The seeded bug: `add` is a load-then-store, so an increment (or a
+/// whole drained batch) can vanish between its two halves.
+#[derive(Default)]
+struct TornWord(em_sched::sync::AtomicU64);
+
+impl StatWord for TornWord {
+    fn add(&self, v: u64) {
+        let cur = self.0.load();
+        self.0.store(cur + v);
+    }
+
+    fn take(&self) -> u64 {
+        self.0.swap(0)
+    }
+
+    fn peek(&self) -> u64 {
+        self.0.load()
+    }
+}
+
+fn seed_budget() -> u64 {
+    std::env::var("PROMPTEM_SCHED_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Drive the table the way the trainer does: two recorder tasks bang on
+/// it while the root task drains mid-flight (twice) and once after both
+/// recorders finished, then asserts the counting invariant.
+fn check_table<W>(seeds: u64) -> Report
+where
+    W: StatWord + Default + Send + Sync + 'static,
+{
+    explore(
+        Config {
+            seeds,
+            ..Config::default()
+        },
+        || {
+            let table: Arc<OpStatsTable<W, 2>> = Arc::new(OpStatsTable::zeroed());
+            let t1 = Arc::clone(&table);
+            let t2 = Arc::clone(&table);
+            let r1 = em_sched::thread::spawn(move || {
+                for _ in 0..3 {
+                    t1.record_fwd(0, 1, 1, 1);
+                }
+                t1.record_bwd(1, 1);
+            });
+            let r2 = em_sched::thread::spawn(move || {
+                for _ in 0..3 {
+                    t2.record_fwd(0, 1, 1, 1);
+                }
+                t2.record_bwd(1, 1);
+            });
+            // Two mid-flight drains race the recorders, like flush_op_stats
+            // at an epoch boundary while ops still run.
+            let mut total = [OpRow::default(), OpRow::default()];
+            for _ in 0..2 {
+                for (op, acc) in total.iter_mut().enumerate() {
+                    *acc = acc.merged(&table.drain(op));
+                }
+            }
+            r1.join();
+            r2.join();
+            // Final drain: whatever the mid-flight drains missed.
+            for (op, acc) in total.iter_mut().enumerate() {
+                *acc = acc.merged(&table.drain(op));
+            }
+            assert_eq!(
+                total[0],
+                OpRow {
+                    fwd_calls: 6,
+                    fwd_ns: 6,
+                    bwd_calls: 0,
+                    bwd_ns: 0,
+                    elems: 6,
+                    bytes: 6,
+                },
+                "op 0: drained + residual must equal recorded"
+            );
+            assert_eq!(
+                (total[1].bwd_calls, total[1].bwd_ns),
+                (2, 2),
+                "op 1: backward counts lost or double-counted"
+            );
+        },
+    )
+}
+
+#[test]
+fn swap_drain_table_passes_the_checker() {
+    check_table::<SchedWord>(seed_budget()).assert_ok();
+}
+
+#[test]
+fn torn_table_fails_within_bounded_seeds() {
+    let budget = seed_budget();
+    let report = check_table::<TornWord>(budget);
+    let failure = report
+        .failure
+        .unwrap_or_else(|| panic!("checker missed the lost update within {budget} seeds"));
+    assert!(
+        matches!(&failure.kind, FailureKind::Panic { message, .. }
+            if message.contains("must equal recorded") || message.contains("lost or double-counted")),
+        "unexpected failure: {failure}"
+    );
+    assert!(
+        report.seeds_run <= budget,
+        "exploration ran past its budget"
+    );
+    // The failing seed is a deterministic reproducer.
+    let again = check_table::<TornWord>(1_u64.max(failure.seed + 1));
+    assert!(
+        again.failure.is_some(),
+        "replaying the seed range no longer reproduces the bug"
+    );
+}

@@ -19,8 +19,11 @@ static PEAK: AtomicUsize = AtomicUsize::new(0);
 /// Wraps the system allocator, tracking live and peak bytes.
 pub struct CountingAllocator;
 
+// safety: every method delegates the actual (de)allocation to `System`
+// and only adds Relaxed counter updates, so System's contract is upheld.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // safety: forwarded verbatim to the system allocator.
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
@@ -30,11 +33,15 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // safety: caller passes a (ptr, layout) pair from our alloc, which
+        // came from System.
         unsafe { System.dealloc(ptr, layout) };
         CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // safety: caller passes a (ptr, layout) pair from our alloc, which
+        // came from System.
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             let old = layout.size();

@@ -66,7 +66,11 @@ fn get_or_insert<T>(
     extract: impl Fn(&Metric) -> Option<T>,
 ) -> T {
     let key = key(name, labels);
-    let mut map = registry().lock().expect("metrics registry poisoned"); // lint:allow(unwrap)
+    // Poison recovery: the map is only inserted into under the lock, so a
+    // panicked registrant leaves it structurally intact.
+    let mut map = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let metric = map.entry(key).or_insert_with(make);
     let extracted = extract(metric);
     let type_name = metric.type_name();
@@ -332,7 +336,10 @@ fn fold_name(key: &Key) -> String {
 
 /// Sample every registered metric, sorted by folded name.
 pub fn samples() -> Vec<MetricSample> {
-    let map = registry().lock().expect("metrics registry poisoned"); // lint:allow(unwrap)
+    // Poison recovery: sampling reads atomics only, safe after any panic.
+    let map = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut out: Vec<MetricSample> = map
         .iter()
         .map(|(key, metric)| {
@@ -399,7 +406,7 @@ pub fn render_text() -> String {
 pub fn reset() {
     registry()
         .lock()
-        .expect("metrics registry poisoned") // lint:allow(unwrap)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .clear();
 }
 

@@ -61,7 +61,11 @@ pub fn open_jsonl(path: &Path) -> std::io::Result<()> {
     // A trace is an append-only stream, not a document: there is nothing
     // atomic to rename into place, and a truncated tail is recoverable.
     let file = File::create(path)?; // lint:allow(atomic-io)
-    *JSONL.lock().expect("jsonl sink poisoned") = Some(BufWriter::new(file)); // lint:allow(unwrap)
+                                    // A poisoned sink mutex only means a writer panicked mid-dispatch;
+                                    // the BufWriter inside is still replaceable, so recover the guard.
+    *JSONL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(BufWriter::new(file));
     JSONL_ACTIVE.store(1, Ordering::Relaxed);
     Ok(())
 }
@@ -69,8 +73,13 @@ pub fn open_jsonl(path: &Path) -> std::io::Result<()> {
 /// Flush and close the JSONL sink (idempotent; no-op when none is open).
 pub fn close_jsonl() {
     JSONL_ACTIVE.store(0, Ordering::Relaxed);
-    // lint:allow(unwrap) — a poisoned sink mutex means telemetry is already lost
-    if let Some(mut w) = JSONL.lock().expect("jsonl sink poisoned").take() {
+    // Recover from poison: flushing a writer a panicked thread abandoned
+    // is strictly better than dropping the tail of the trace.
+    if let Some(mut w) = JSONL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+    {
         let _ = w.flush();
     }
 }
@@ -86,8 +95,13 @@ pub(crate) fn dispatch(event: &Event) {
         }
     }
     if JSONL_ACTIVE.load(Ordering::Relaxed) != 0 {
-        // lint:allow(unwrap) — a poisoned sink mutex means telemetry is already lost
-        if let Some(w) = JSONL.lock().expect("jsonl sink poisoned").as_mut() {
+        // Recover from poison: each line is written and flushed whole, so
+        // the stream stays parseable even if a previous writer panicked.
+        if let Some(w) = JSONL
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_mut()
+        {
             // Write-and-flush per event keeps the trace intact on panic;
             // event volume is modest (hundreds per run), so this is cheap.
             let _ = writeln!(w, "{}", event.to_json());

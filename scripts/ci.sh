@@ -16,8 +16,15 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> em-lint (repo invariants)"
+echo "==> em-lint (repo invariants, 11 rules incl. concurrency family)"
 cargo run --release -q -p em-check --bin em-lint
+
+echo "==> lexer + lint engine suite (fixtures, proptests, tree-clean pin)"
+cargo test --release -q -p em-check --test lex_prop --test lint_fixture
+
+echo "==> em-sched model check (scheduler self-tests + op-stats table, 64 seeds)"
+cargo test --release -q -p em-check --test sched_selftest
+PROMPTEM_SCHED_SEEDS=64 cargo test --release -q -p em-nn --test sched_opstats
 
 echo "==> sanitizer smoke (PROMPTEM_SANITIZE=1 tiny pipeline)"
 smoke_dir="$(mktemp -d)"
