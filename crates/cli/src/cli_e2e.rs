@@ -336,6 +336,191 @@ fn report_diff_fails_on_an_optimizer_step_regression() {
 }
 
 #[test]
+fn progress_every_emits_run_meta_first_then_heartbeats() {
+    use em_obs::{Event, EventKind};
+
+    let _g = lock();
+    let dir = std::env::temp_dir().join("promptem_cli_test_heartbeat");
+    let (left, right, labels) = write_fixture(&dir);
+    let trace = dir.join("live.jsonl");
+    run_cli(vec![
+        "match".into(),
+        "--left".into(),
+        left,
+        "--right".into(),
+        right,
+        "--labels".into(),
+        labels,
+        "--metrics-out".into(),
+        trace.to_string_lossy().into_owned(),
+        "--trace".into(),
+        "off".into(),
+        "--seed".into(),
+        "7".into(),
+        "--pretrain-steps".into(),
+        "30".into(),
+        "--epochs".into(),
+        "2".into(),
+        "--no-lst".into(),
+        "--progress-every".into(),
+        "2".into(),
+    ])
+    .unwrap();
+
+    let body = std::fs::read_to_string(&trace).unwrap();
+    let events: Vec<Event> = body
+        .lines()
+        .map(|l| Event::parse(l).unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    // Identity leads the trace so readers can key the run immediately.
+    match &events[0].kind {
+        EventKind::RunMeta {
+            seed,
+            config,
+            build,
+            schema,
+            ..
+        } => {
+            assert_eq!(*seed, 7);
+            assert_eq!(config.len(), 16, "fingerprint is 16 hex chars: {config}");
+            assert_eq!(*schema, em_obs::RUN_META_SCHEMA);
+            assert!(build == "debug" || build == "release");
+        }
+        other => panic!("first event must be run_meta, got {other:?}"),
+    }
+    let beats: Vec<(&String, u64)> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Progress { phase, done, .. } => Some((phase, *done)),
+            _ => None,
+        })
+        .collect();
+    for phase in ["pretrain", "tune"] {
+        assert!(
+            beats.iter().any(|(p, _)| *p == phase),
+            "no heartbeat for {phase}: {beats:?}"
+        );
+    }
+    assert!(
+        beats.iter().all(|&(_, done)| done > 0 && done % 2 == 0),
+        "beats land every 2 ticks: {beats:?}"
+    );
+
+    // `top --once` renders the trace even with a torn final line
+    // (a writer mid-flush). The dashboard must not error.
+    let torn = dir.join("torn.jsonl");
+    let cut = body.len() - 20;
+    std::fs::write(&torn, &body[..cut]).unwrap();
+    run_cli(vec![
+        "top".into(),
+        torn.to_string_lossy().into_owned(),
+        "--once".into(),
+    ])
+    .unwrap_or_else(|e| panic!("top --once on a torn trace: {e:?}"));
+}
+
+#[test]
+fn history_appends_and_gates_the_trend() {
+    use em_obs::{Event, EventKind};
+
+    let _g = lock();
+    let dir = std::env::temp_dir().join("promptem_cli_test_history");
+    std::fs::create_dir_all(&dir).unwrap();
+    // A tiny but complete synthetic trace: identity, one timed span, one
+    // epoch with a validation F1.
+    let events = [
+        Event {
+            seq: 1,
+            seed: 5,
+            t_us: 0,
+            span: None,
+            kind: EventKind::RunMeta {
+                seed: 5,
+                config: "00ddba11feed0042".into(),
+                git_sha: Some("272a3fc99".into()),
+                build: "debug".into(),
+                schema: em_obs::RUN_META_SCHEMA,
+            },
+        },
+        Event {
+            seq: 2,
+            seed: 5,
+            t_us: 10,
+            span: None,
+            kind: EventKind::SpanOpen {
+                id: 1,
+                parent: None,
+                name: "match".into(),
+                detail: None,
+            },
+        },
+        Event {
+            seq: 3,
+            seed: 5,
+            t_us: 500,
+            span: Some(1),
+            kind: EventKind::EpochSummary {
+                epoch: 0,
+                train_loss: 0.5,
+                valid_f1: Some(90.0),
+                threshold: None,
+                examples: 64,
+                batches: 8,
+                wall_us: 400,
+            },
+        },
+        Event {
+            seq: 4,
+            seed: 5,
+            t_us: 1000,
+            span: None,
+            kind: EventKind::SpanClose {
+                id: 1,
+                name: "match".into(),
+                wall_us: 990,
+                heap_delta: 0,
+                heap_peak: 4096,
+            },
+        },
+    ];
+    let trace = dir.join("run.jsonl");
+    let body: String = events.iter().map(|e| e.to_json() + "\n").collect();
+    std::fs::write(&trace, body).unwrap();
+
+    let ledger = dir.join("BENCH_history.jsonl");
+    std::fs::remove_file(&ledger).ok();
+    for _ in 0..2 {
+        run_cli(vec![
+            "history".into(),
+            ledger.to_string_lossy().into_owned(),
+            "--append".into(),
+            trace.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+    }
+    // Identical runs: the trend gate passes.
+    run_cli(vec![
+        "history".into(),
+        ledger.to_string_lossy().into_owned(),
+        "--gate".into(),
+    ])
+    .unwrap_or_else(|e| panic!("self-append must gate clean: {e:?}"));
+
+    // A +200% wall entry against that flat baseline must fail the gate.
+    let entries = em_prof::history::load(&ledger).unwrap();
+    let mut spike = entries.last().unwrap().clone();
+    spike.total_wall_us *= 3;
+    em_prof::history::append(&ledger, &spike).unwrap();
+    let err = run_cli(vec![
+        "history".into(),
+        ledger.to_string_lossy().into_owned(),
+        "--gate".into(),
+    ])
+    .unwrap_err();
+    assert!(err.contains("trend regression"), "{err:?}");
+}
+
+#[test]
 fn match_rejects_too_few_labels() {
     let _g = lock();
     let dir = std::env::temp_dir().join("promptem_cli_test_few");

@@ -103,6 +103,11 @@ const USAGE: &str = "usage:
                  [--max-wall-frac <f>] [--max-heap-frac <f>]
                  [--max-steps-frac <f>] [--max-f1-drop <points>]
                  [--max-op-wall-frac <f>] [--max-op-bytes-frac <f>]
+  promptem top <trace.jsonl> [--interval-ms <n>] [--top <n>]
+                 [--once] [--max-seconds <n>]
+  promptem history <ledger.jsonl> [--append <trace.jsonl>] [--gate]
+                 [--window <k>] [--max-wall-frac <f>] [--max-heap-frac <f>]
+                 [--max-f1-drop <points>]
 
 global flags:
   --trace <off|error|warn|info|debug|trace>   stderr verbosity (default info;
@@ -114,6 +119,9 @@ global flags:
   --op-profile                                accumulate per-op tape counters and
                                               flush op_stats events at stage
                                               boundaries (PROMPTEM_OP_PROFILE=1)
+  --progress-every <n>                        emit a `progress` heartbeat every n
+                                              batches/steps/passes in each training
+                                              phase (PROMPTEM_PROGRESS_EVERY; 0 off)
 
 file formats by extension: .csv (relational), .jsonl/.ndjson (semi-structured),
 anything else (one textual record per line).
@@ -128,6 +136,8 @@ fn run_cli(raw: Vec<String>) -> Result<(), Failure> {
         Some("match") => cmd_match(&args).map_err(Failure::from),
         Some("export") => cmd_export(&args).map_err(Failure::from),
         Some("report") => cmd_report(&args),
+        Some("top") => cmd_top(&args),
+        Some("history") => cmd_history(&args),
         Some("ckpt") => cmd_ckpt(&args),
         Some(other) => Err(Failure::from(format!("unknown command '{other}'"))),
         None => Err(Failure::from("no command given".to_string())),
@@ -160,6 +170,7 @@ fn init_telemetry(args: &Args) -> Result<(), String> {
     if args.switch("op-profile") {
         em_nn::tape::set_op_profile(true);
     }
+    em_obs::set_progress_every(args.get_parse("progress-every", 0u64)?);
     Ok(())
 }
 
@@ -291,6 +302,9 @@ fn cmd_match(args: &Args) -> Result<(), String> {
     }
 
     em_obs::set_run_seed(seed);
+    // Identity first: `run_meta` must be the first line of the trace so
+    // `promptem history` can key the run before any other event lands.
+    em_obs::run_meta(seed, config_fingerprint(&cfg), em_obs::detect_git_sha());
     em_obs::info(format!(
         "training on {} labels ({} valid / {} test held out, {} unlabeled)...",
         ds.train.len(),
@@ -327,6 +341,18 @@ fn cmd_match(args: &Args) -> Result<(), String> {
         em_obs::info(format!("wrote {out_path}"));
     }
     Ok(())
+}
+
+/// Fingerprint the resolved pipeline config: FNV-1a 64 over its `Debug`
+/// form. Two runs share a fingerprint exactly when every knob matches, so
+/// history readers can tell config drift from performance drift.
+fn config_fingerprint(cfg: &PromptEmConfig) -> String {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in format!("{cfg:?}").bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    format!("{h:016x}")
 }
 
 /// Export a synthetic benchmark to files a user (or another tool) can read:
@@ -455,6 +481,101 @@ fn cmd_report(args: &Args) -> Result<(), Failure> {
         )
         .map_err(|e| Failure::plain(format!("{out_path}: {e}")))?;
         println!("wrote {out_path}");
+    }
+    Ok(())
+}
+
+/// Tail a live `--metrics-out` trace and render the `promptem top`
+/// dashboard. On a TTY each frame repaints the screen; otherwise frames
+/// print as plain text blocks (so piping to a file stays readable).
+/// `--once` renders one frame from the current file contents and exits —
+/// also the mode the snapshot tests drive.
+fn cmd_top(args: &Args) -> Result<(), Failure> {
+    use std::io::{IsTerminal as _, Write as _};
+    let trace_path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| Failure::from("top needs a trace file".to_string()))?;
+    let interval_ms: u64 = args.get_parse("interval-ms", 500)?;
+    let top: usize = args.get_parse("top", 8)?;
+    let once = args.switch("once");
+    let max_seconds: u64 = args.get_parse("max-seconds", 0)?;
+
+    let mut stream = em_prof::TraceStream::open(trace_path);
+    let mut state = em_prof::LiveState::new();
+    let tty = std::io::stdout().is_terminal();
+    let watch = em_obs::Stopwatch::new();
+    loop {
+        let fresh = stream.poll().map_err(Failure::plain)?;
+        let grew = !fresh.is_empty();
+        state.apply_all(fresh);
+        if grew || once {
+            let frame = state.render(top);
+            let mut out = std::io::stdout().lock();
+            let drawn = if tty {
+                // Clear + home, then the frame: a repainting dashboard.
+                write!(out, "\x1b[2J\x1b[H{frame}")
+            } else {
+                writeln!(out, "{frame}")
+            };
+            drawn
+                .and_then(|()| out.flush())
+                .map_err(|e| Failure::plain(format!("stdout: {e}")))?;
+        }
+        if once || (max_seconds > 0 && watch.secs() >= max_seconds as f64) {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(10)));
+    }
+}
+
+/// The cross-run ledger: `--append` distills a trace into one
+/// `BENCH_history.jsonl` line; the trajectory table always prints; and
+/// `--gate` compares the newest entry against the rolling median of the
+/// previous `--window` entries, failing the process on a trend breach.
+fn cmd_history(args: &Args) -> Result<(), Failure> {
+    let ledger = args
+        .positional
+        .get(1)
+        .ok_or_else(|| Failure::from("history needs a ledger file".to_string()))?;
+    let ledger = std::path::Path::new(ledger);
+    if let Some(trace_path) = args.get("append") {
+        let events =
+            em_prof::load_trace(std::path::Path::new(trace_path)).map_err(Failure::plain)?;
+        let entry = em_prof::history::distill(&em_prof::manifest::manifest(&events));
+        em_prof::history::append(ledger, &entry).map_err(Failure::plain)?;
+        println!(
+            "appended run (seed {}, {:.1}s wall) to {}",
+            entry.seed,
+            entry.total_wall_us as f64 / 1e6,
+            ledger.display()
+        );
+    }
+    let entries = em_prof::history::load(ledger).map_err(Failure::plain)?;
+    if entries.is_empty() {
+        println!("{}: empty ledger (append a run first)", ledger.display());
+        return Ok(());
+    }
+    print!("{}", em_prof::history::render_trend(&entries));
+    if args.switch("gate") {
+        let thresholds = em_prof::Thresholds {
+            wall_frac: args.get_parse("max-wall-frac", 0.75)?,
+            heap_frac: args.get_parse("max-heap-frac", 0.50)?,
+            f1_points: args.get_parse("max-f1-drop", 1.0)?,
+            ..em_prof::Thresholds::default()
+        };
+        let window: usize = args.get_parse("window", 5)?;
+        let report =
+            em_prof::history::gate(&entries, window, &thresholds).map_err(Failure::plain)?;
+        println!();
+        print!("{}", report.render());
+        let breaches = report.regressions();
+        if breaches > 0 {
+            return Err(Failure::plain(format!(
+                "{breaches} trend regression(s) in the newest {} entry",
+                ledger.display()
+            )));
+        }
     }
     Ok(())
 }

@@ -205,6 +205,9 @@ pub fn run_training<M: TunableMatcher>(
         valid.iter().map(|e| e.pair.clone()).collect();
     let valid_gold: Vec<bool> = valid.iter().map(|e| e.label).collect();
 
+    // Total ticks are unknown until the first epoch reveals the chunk
+    // count (balancing and pruning change it); re-estimated per epoch.
+    let mut hb = em_obs::heartbeat("tune", 0);
     'epochs: for epoch in 0..cfg.epochs {
         let epoch_watch = em_obs::Stopwatch::if_enabled();
         working.shuffle(&mut rng);
@@ -223,6 +226,10 @@ pub fn run_training<M: TunableMatcher>(
                 }
                 refs.shuffle(&mut rng);
             }
+        }
+        if let Some(hb) = hb.as_mut() {
+            let chunks = refs.len().div_ceil(cfg.batch_size) as u64;
+            hb.set_total(report.batches_run as u64 + chunks * (cfg.epochs - epoch) as u64);
         }
         for batch in refs.chunks(cfg.batch_size) {
             let inject_nan = matches!(
@@ -266,6 +273,9 @@ pub fn run_training<M: TunableMatcher>(
             epoch_loss += loss;
             batches += 1;
             report.batches_run += 1;
+            if let Some(hb) = hb.as_mut() {
+                hb.tick(batch.len() as u64, Some(loss as f64));
+            }
         }
         report.final_train_loss = if batches > 0 {
             epoch_loss / batches as f32

@@ -6,6 +6,7 @@
 /// sample, with dropout *enabled* (a training-mode tape).
 pub fn run_passes(n_passes: usize, mut pass: impl FnMut(usize) -> Vec<f32>) -> Vec<Vec<f32>> {
     assert!(n_passes > 0, "need at least one stochastic pass");
+    let mut hb = em_obs::heartbeat("mc_dropout", n_passes as u64);
     let mut out = Vec::with_capacity(n_passes);
     for i in 0..n_passes {
         let scores = pass(i);
@@ -16,6 +17,9 @@ pub fn run_passes(n_passes: usize, mut pass: impl FnMut(usize) -> Vec<f32>) -> V
                 scores.len(),
                 "pass {i} returned a different sample count"
             );
+        }
+        if let Some(hb) = hb.as_mut() {
+            hb.tick(scores.len() as u64, None);
         }
         out.push(scores);
     }

@@ -385,6 +385,7 @@ pub fn pretrain_mlm_resilient(
 
     let mut consecutive_bad = 0u32;
     let mut restores_used = 0u32;
+    let mut hb = em_obs::heartbeat("pretrain", cfg.max_steps as u64);
     'outer: for epoch in start_epoch..cfg.epochs {
         let epoch_watch = em_obs::Stopwatch::if_enabled();
         let mut epoch_loss;
@@ -483,6 +484,9 @@ pub fn pretrain_mlm_resilient(
             opt.step(store);
             em_obs::pretrain_step(steps, loss_value as f64);
             steps += 1;
+            if let Some(hb) = hb.as_mut() {
+                hb.tick(chunk.len() as u64, Some(loss_value as f64));
+            }
             if let Some(res) = res {
                 if res.due(steps) {
                     let cursor = PretrainCursor {

@@ -264,6 +264,55 @@ pub enum EventKind {
         /// Net heap bytes allocated across the forward recordings.
         bytes: u64,
     },
+    /// A periodic trainer heartbeat (emitted every `--progress-every`
+    /// ticks; see [`crate::heartbeat`]). Fields: `phase` (training phase
+    /// name, e.g. `"pretrain"`, `"tune"`, `"mc_dropout"`), `done`/`total`
+    /// (ticks completed / expected; `total` is 0 when unknown), `examples`
+    /// (examples processed so far), `ex_per_sec` (examples per second
+    /// since the heartbeat started), `loss` (mean loss over the ticks
+    /// since the previous beat; null when the phase has no loss),
+    /// `eta_us` (projected microseconds to completion; null when `total`
+    /// is unknown or the rate is zero), `tape_nodes` (cumulative autodiff
+    /// tape nodes recorded process-wide), `heap_peak` (process peak heap
+    /// bytes; 0 without the counting allocator).
+    Progress {
+        /// Training phase name.
+        phase: String,
+        /// Ticks (batches/steps/passes) completed so far.
+        done: u64,
+        /// Expected total ticks; 0 when unknown.
+        total: u64,
+        /// Examples processed so far.
+        examples: u64,
+        /// Examples per second since the heartbeat started.
+        ex_per_sec: f64,
+        /// Mean loss over the ticks since the previous beat.
+        loss: Option<f64>,
+        /// Projected microseconds to completion.
+        eta_us: Option<u64>,
+        /// Cumulative autodiff tape nodes recorded process-wide.
+        tape_nodes: u64,
+        /// Process peak heap bytes (0 without the counting allocator).
+        heap_peak: u64,
+    },
+    /// The run's identity card, emitted once as the first trace line so
+    /// every trace (and the bench-history entries distilled from it) is
+    /// self-describing. Fields: `seed`, `config` (FNV-1a fingerprint of
+    /// the resolved config, hex), `git_sha` (nullable; read from
+    /// `.git/HEAD` when the process runs inside a checkout), `build`
+    /// (`"debug"` or `"release"`), `schema` (run-meta schema version).
+    RunMeta {
+        /// The run seed (repeated from the envelope for grep-ability).
+        seed: u64,
+        /// FNV-1a 64 fingerprint of the resolved config, as hex.
+        config: String,
+        /// Git commit SHA of the working tree, when discoverable.
+        git_sha: Option<String>,
+        /// Build profile: `"debug"` or `"release"`.
+        build: String,
+        /// Schema version of this event (see [`crate::RUN_META_SCHEMA`]).
+        schema: u64,
+    },
 }
 
 impl EventKind {
@@ -287,6 +336,8 @@ impl EventKind {
             EventKind::RecoveredBatch { .. } => names::EV_RECOVERED_BATCH,
             EventKind::IoRetry { .. } => names::EV_IO_RETRY,
             EventKind::OpStats { .. } => names::EV_OP_STATS,
+            EventKind::Progress { .. } => names::EV_PROGRESS,
+            EventKind::RunMeta { .. } => names::EV_RUN_META,
         }
     }
 
@@ -310,7 +361,8 @@ impl EventKind {
             EventKind::EpochSummary { .. }
             | EventKind::PseudoSelect { .. }
             | EventKind::Prune { .. }
-            | EventKind::CkptRestore { .. } => Level::Info,
+            | EventKind::CkptRestore { .. }
+            | EventKind::RunMeta { .. } => Level::Info,
             EventKind::CkptSave { .. } => Level::Debug,
             EventKind::SpanOpen { .. }
             | EventKind::SpanClose { .. }
@@ -318,7 +370,8 @@ impl EventKind {
             | EventKind::Block { .. }
             | EventKind::UncHist { .. }
             | EventKind::Metric { .. }
-            | EventKind::OpStats { .. } => Level::Debug,
+            | EventKind::OpStats { .. }
+            | EventKind::Progress { .. } => Level::Debug,
         }
     }
 }
@@ -557,6 +610,46 @@ impl Event {
                     ",\"fwd_calls\":{fwd_calls},\"fwd_us\":{fwd_us},\"bwd_calls\":{bwd_calls},\"bwd_us\":{bwd_us},\"elems\":{elems},\"bytes\":{bytes}"
                 );
             }
+            EventKind::Progress {
+                phase,
+                done,
+                total,
+                examples,
+                ex_per_sec,
+                loss,
+                eta_us,
+                tape_nodes,
+                heap_peak,
+            } => {
+                s.push_str(",\"phase\":");
+                push_json_str(&mut s, phase);
+                let _ = write!(
+                    s,
+                    ",\"done\":{done},\"total\":{total},\"examples\":{examples},\"ex_per_sec\":{ex_per_sec}"
+                );
+                push_opt_f64(&mut s, "loss", *loss);
+                push_opt_u64(&mut s, "eta_us", *eta_us);
+                let _ = write!(s, ",\"tape_nodes\":{tape_nodes},\"heap_peak\":{heap_peak}");
+            }
+            EventKind::RunMeta {
+                seed,
+                config,
+                git_sha,
+                build,
+                schema,
+            } => {
+                let _ = write!(s, ",\"run_seed\":{seed}");
+                s.push_str(",\"config\":");
+                push_json_str(&mut s, config);
+                s.push_str(",\"git_sha\":");
+                match git_sha {
+                    Some(sha) => push_json_str(&mut s, sha),
+                    None => s.push_str("null"),
+                }
+                s.push_str(",\"build\":");
+                push_json_str(&mut s, build);
+                let _ = write!(s, ",\"schema\":{schema}");
+            }
         }
         s.push('}');
         s
@@ -707,6 +800,24 @@ impl Event {
                 bwd_us: num("bwd_us")? as u64,
                 elems: num("elems")? as u64,
                 bytes: num("bytes")? as u64,
+            },
+            names::EV_PROGRESS => EventKind::Progress {
+                phase: text("phase")?,
+                done: num("done")? as u64,
+                total: num("total")? as u64,
+                examples: num("examples")? as u64,
+                ex_per_sec: num("ex_per_sec")?,
+                loss: opt_num("loss")?,
+                eta_us: opt_num("eta_us")?.map(|v| v as u64),
+                tape_nodes: num("tape_nodes")? as u64,
+                heap_peak: num("heap_peak")? as u64,
+            },
+            names::EV_RUN_META => EventKind::RunMeta {
+                seed: num("run_seed")? as u64,
+                config: text("config")?,
+                git_sha: opt_text("git_sha")?,
+                build: text("build")?,
+                schema: num("schema")? as u64,
             },
             other => return Err(format!("unknown event type '{other}'")),
         };
@@ -869,15 +980,49 @@ impl Event {
                 *fwd_us as f64 / 1e3,
                 *bwd_us as f64 / 1e3
             ),
+            EventKind::Progress {
+                phase,
+                done,
+                total,
+                ex_per_sec,
+                loss,
+                eta_us,
+                ..
+            } => {
+                let mut s = match total {
+                    0 => format!("progress {phase}: {done} done"),
+                    t => format!("progress {phase}: {done}/{t}"),
+                };
+                let _ = write!(s, ", {ex_per_sec:.0} ex/s");
+                if let Some(l) = loss {
+                    let _ = write!(s, ", loss {l:.4}");
+                }
+                if let Some(eta) = eta_us {
+                    let _ = write!(s, ", eta {:.1}s", *eta as f64 / 1e6);
+                }
+                s
+            }
+            EventKind::RunMeta {
+                seed,
+                config,
+                git_sha,
+                build,
+                ..
+            } => format!(
+                "run: seed {seed}, config {config}, git {}, {build} build",
+                git_sha.as_deref().unwrap_or("unknown")
+            ),
         };
         format!("{prefix} {body}")
     }
 }
 
 /// A parsed JSON value (the schema is flat: scalars, plus arrays of
-/// numbers for histogram bins — objects never nest).
+/// numbers for histogram bins — objects never nest). Public so sibling
+/// flat-JSON line formats (`em-prof`'s bench history) can reuse the
+/// parser instead of growing their own.
 #[derive(Debug, Clone, PartialEq)]
-enum JsonVal {
+pub enum JsonVal {
     /// A number (integers included; the schema stays under 2^53).
     Num(f64),
     /// A string.
@@ -890,7 +1035,12 @@ enum JsonVal {
     Arr(Vec<f64>),
 }
 
-/// Parse a flat JSON object (string/number/bool/null/number-array values).
+/// Parse a flat JSON object (string/number/bool/null/number-array values)
+/// into its key/value pairs in document order.
+pub fn parse_flat_object(s: &str) -> Result<Vec<(String, JsonVal)>, String> {
+    parse_json_object(s)
+}
+
 fn parse_json_object(s: &str) -> Result<Vec<(String, JsonVal)>, String> {
     let mut chars = s.trim().chars().peekable();
     let mut out = Vec::new();
@@ -1183,6 +1333,42 @@ mod tests {
             bwd_us: 512_000,
             elems: 9_830_400,
             bytes: 39_321_600,
+        });
+        round_trip(EventKind::Progress {
+            phase: "pretrain".into(),
+            done: 35,
+            total: 40,
+            examples: 560,
+            ex_per_sec: 212.5,
+            loss: Some(2.0625),
+            eta_us: Some(420_000),
+            tape_nodes: 91_000,
+            heap_peak: 30_000_000,
+        });
+        round_trip(EventKind::Progress {
+            phase: "mc_dropout".into(),
+            done: 3,
+            total: 0,
+            examples: 0,
+            ex_per_sec: 0.0,
+            loss: None,
+            eta_us: None,
+            tape_nodes: 0,
+            heap_peak: 0,
+        });
+        round_trip(EventKind::RunMeta {
+            seed: 7,
+            config: "9e1c7a5d00bf3321".into(),
+            git_sha: Some("272a3fc0".into()),
+            build: "release".into(),
+            schema: 1,
+        });
+        round_trip(EventKind::RunMeta {
+            seed: 0,
+            config: "0".into(),
+            git_sha: None,
+            build: "debug".into(),
+            schema: 1,
         });
     }
 

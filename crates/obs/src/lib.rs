@@ -30,6 +30,7 @@
 
 pub mod alloc;
 pub mod event;
+pub mod heartbeat;
 pub mod level;
 pub mod metrics;
 pub mod names;
@@ -37,6 +38,7 @@ pub mod sink;
 pub mod span;
 
 pub use event::{Event, EventKind};
+pub use heartbeat::{heartbeat, progress_every, set_progress_every, Heartbeat};
 pub use level::{parse_filter, Level};
 pub use sink::capture;
 pub use span::SpanGuard;
@@ -317,6 +319,53 @@ pub fn audit(nodes: u64, dead: u64, detached: u64, unused: u64) {
         detached,
         unused,
     });
+}
+
+/// Schema version of the `run_meta` event (bump when its fields change).
+pub const RUN_META_SCHEMA: u64 = 1;
+
+/// Emit a `run_meta` event — the run's identity card. The CLI calls this
+/// right after resolving the config, before any other event, so it lands
+/// as the first trace line. `build` is derived from the compile profile.
+pub fn run_meta(seed: u64, config: impl Into<String>, git_sha: Option<String>) {
+    let build = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    emit(EventKind::RunMeta {
+        seed,
+        config: config.into(),
+        git_sha,
+        build: build.into(),
+        schema: RUN_META_SCHEMA,
+    });
+}
+
+/// Best-effort git commit SHA of the checkout containing the working
+/// directory: walks up to a `.git/HEAD`, dereferencing one level of
+/// `ref:` indirection. No subprocess, no dependency; `None` outside a
+/// checkout or on any read failure.
+pub fn detect_git_sha() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let head = dir.join(".git").join("HEAD");
+        if let Ok(contents) = std::fs::read_to_string(&head) {
+            let contents = contents.trim();
+            let sha = match contents.strip_prefix("ref: ") {
+                Some(refname) => {
+                    std::fs::read_to_string(dir.join(".git").join(refname.trim())).ok()?
+                }
+                None => contents.to_string(),
+            };
+            let sha = sha.trim();
+            let looks_like_sha = sha.len() >= 7 && sha.chars().all(|c| c.is_ascii_hexdigit());
+            return looks_like_sha.then(|| sha.to_string());
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
 }
 
 /// A monotonic stopwatch — the sanctioned clock for the whole workspace.

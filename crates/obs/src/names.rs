@@ -44,9 +44,15 @@ pub const EV_IO_RETRY: &str = "io_retry";
 /// `op_stats` — aggregated tape-op counters flushed at a stage boundary
 /// (one event per op name with nonzero activity since the last flush).
 pub const EV_OP_STATS: &str = "op_stats";
+/// `progress` — a periodic trainer heartbeat (throughput, ETA, running
+/// loss, tape/heap gauges) emitted every `--progress-every` ticks.
+pub const EV_PROGRESS: &str = "progress";
+/// `run_meta` — the run's identity card (seed, config fingerprint, git
+/// SHA, build profile, schema version), emitted as the first trace line.
+pub const EV_RUN_META: &str = "run_meta";
 
 /// Every event type tag, in schema order.
-pub const ALL_EVENT_TAGS: [&str; 17] = [
+pub const ALL_EVENT_TAGS: [&str; 19] = [
     EV_SPAN_OPEN,
     EV_SPAN_CLOSE,
     EV_EPOCH_SUMMARY,
@@ -64,6 +70,8 @@ pub const ALL_EVENT_TAGS: [&str; 17] = [
     EV_RECOVERED_BATCH,
     EV_IO_RETRY,
     EV_OP_STATS,
+    EV_PROGRESS,
+    EV_RUN_META,
 ];
 
 /// One CLI `match` invocation (detail: dataset name).

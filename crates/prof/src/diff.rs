@@ -63,6 +63,9 @@ pub struct DiffRow {
 pub struct DiffReport {
     /// Every compared metric, in fixed order.
     pub rows: Vec<DiffRow>,
+    /// Non-gating caveats about the inputs (e.g. a side with unclosed or
+    /// orphaned spans, whose wall/heap numbers are reconstructions).
+    pub warnings: Vec<String>,
 }
 
 impl DiffReport {
@@ -116,6 +119,9 @@ impl DiffReport {
             }
             out.push('\n');
         }
+        for w in &self.warnings {
+            let _ = writeln!(out, "warning: {w}");
+        }
         let n = self.regressions();
         if n == 0 {
             out.push_str("no regressions\n");
@@ -129,7 +135,7 @@ impl DiffReport {
 /// Relative increase check: regress when `new > base * (1 + frac)`.
 /// A zero baseline can't anchor a ratio, so those rows never regress
 /// (the absolute values still print for eyeballing).
-fn increase_row(name: impl Into<String>, base: u64, new: u64, frac: f64) -> DiffRow {
+pub(crate) fn increase_row(name: impl Into<String>, base: u64, new: u64, frac: f64) -> DiffRow {
     let regressed = base > 0 && (new as f64) > (base as f64) * (1.0 + frac);
     let note = if base == 0 {
         "no baseline".to_string()
@@ -165,7 +171,12 @@ fn drift_row(name: impl Into<String>, base: u64, new: u64, frac: f64) -> DiffRow
 /// Quality check: regress when F1 dropped more than `points`. Missing on
 /// either side is reported but never gates (a run without validation
 /// can't be scored).
-fn f1_row(name: impl Into<String>, base: Option<f64>, new: Option<f64>, points: f64) -> DiffRow {
+pub(crate) fn f1_row(
+    name: impl Into<String>,
+    base: Option<f64>,
+    new: Option<f64>,
+    points: f64,
+) -> DiffRow {
     let (regressed, note) = match (base, new) {
         (Some(b), Some(n)) => (
             b - n > points,
@@ -234,7 +245,16 @@ pub fn diff(base: &RunManifest, new: &RunManifest, t: &Thresholds) -> DiffReport
             ));
         }
     }
-    DiffReport { rows }
+    let mut warnings = Vec::new();
+    for (side, m) in [("base", base), ("new", new)] {
+        if m.unclosed_spans > 0 || m.orphan_spans > 0 {
+            warnings.push(format!(
+                "{side} trace has {} unclosed and {} orphaned span(s) — its wall/heap figures are reconstructed from a partial trace",
+                m.unclosed_spans, m.orphan_spans
+            ));
+        }
+    }
+    DiffReport { rows, warnings }
 }
 
 /// Op wall baselines below this (µs) never gate: a ratio anchored on a
@@ -392,6 +412,25 @@ mod tests {
         let report = diff(&b, &new, &Thresholds::default());
         assert_eq!(report.regressions(), 0, "{}", report.render());
         assert!(report.render().contains("below gate floor"));
+    }
+
+    #[test]
+    fn partial_traces_warn_without_gating() {
+        let mut new = base();
+        new.unclosed_spans = 2;
+        new.orphan_spans = 1;
+        let report = diff(&base(), &new, &Thresholds::default());
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.warnings.len(), 1);
+        let rendered = report.render();
+        assert!(
+            rendered.contains("warning: new trace has 2 unclosed and 1 orphaned span(s)"),
+            "{rendered}"
+        );
+        // Clean traces stay warning-free.
+        assert!(diff(&base(), &base(), &Thresholds::default())
+            .warnings
+            .is_empty());
     }
 
     #[test]

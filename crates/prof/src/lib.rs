@@ -18,22 +18,35 @@
 //! * [`diff`] / [`report`] — compare two manifests under configurable
 //!   [`diff::Thresholds`] (the perf-regression gate `scripts/ci.sh` runs),
 //!   and render TTY reports plus the machine-readable `BENCH_report.json`.
+//! * [`stream`] / [`live`] — tail a trace while it is being written
+//!   (partial-last-line tolerant) and fold it into the `promptem top`
+//!   dashboard frame.
+//! * [`history`] — the append-only `BENCH_history.jsonl` ledger of
+//!   distilled runs, with a rolling-median trend gate
+//!   (`promptem history --gate`).
 //!
-//! The CLI front end is `promptem report` (see `crates/cli`).
+//! The CLI front ends are `promptem report`, `promptem top`, and
+//! `promptem history` (see `crates/cli`).
 
 #![warn(missing_docs)]
 
 pub mod diff;
 pub mod flame;
+pub mod history;
+pub mod live;
 pub mod manifest;
 pub mod ops;
 pub mod reader;
 pub mod report;
+pub mod stream;
 pub mod tree;
 
 pub use diff::{diff, DiffReport, Thresholds};
 pub use flame::FlameRow;
+pub use history::HistoryEntry;
+pub use live::LiveState;
 pub use manifest::RunManifest;
 pub use ops::OpRow;
 pub use reader::{load_trace, parse_trace};
+pub use stream::TraceStream;
 pub use tree::SpanTree;

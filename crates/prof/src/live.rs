@@ -1,0 +1,311 @@
+//! The `promptem top` view model: fold a (possibly still-growing) trace
+//! into one renderable frame.
+//!
+//! [`LiveState`] is pure — feed it events from a [`crate::stream::TraceStream`]
+//! and ask for a frame; the CLI owns the polling loop and the terminal.
+//! Keeping the model I/O-free is what makes the dashboard snapshot-testable
+//! against a truncated fixture trace.
+
+use crate::tree::SpanTree;
+use em_obs::{Event, EventKind};
+use std::fmt::Write as _;
+
+/// Latest heartbeat numbers for one training phase, plus a bounded loss
+/// history for the sparkline.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProgress {
+    /// Ticks done at the last beat.
+    pub done: u64,
+    /// Expected ticks (0 = unknown).
+    pub total: u64,
+    /// Examples processed at the last beat.
+    pub examples: u64,
+    /// Examples/second at the last beat.
+    pub ex_per_sec: f64,
+    /// Running loss at the last beat.
+    pub loss: Option<f64>,
+    /// ETA at the last beat, µs.
+    pub eta_us: Option<u64>,
+    /// Recent running-loss values, oldest first (bounded).
+    pub loss_history: Vec<f64>,
+}
+
+/// How many loss points the sparkline keeps per phase.
+const LOSS_HISTORY: usize = 32;
+
+/// The folded view of a live trace.
+#[derive(Debug, Default)]
+pub struct LiveState {
+    events: Vec<Event>,
+    /// Phases in first-heartbeat order, with their latest numbers.
+    progress: Vec<(String, PhaseProgress)>,
+    meta: Option<(u64, String, Option<String>, String)>,
+    t_first_us: Option<u64>,
+    t_last_us: u64,
+    seed: u64,
+}
+
+impl LiveState {
+    /// An empty state (no events seen yet).
+    pub fn new() -> LiveState {
+        LiveState::default()
+    }
+
+    /// Events folded in so far.
+    pub fn events(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// Fold one event into the view.
+    pub fn apply(&mut self, e: Event) {
+        self.seed = self.seed.max(e.seed);
+        self.t_first_us = Some(self.t_first_us.map_or(e.t_us, |t| t.min(e.t_us)));
+        self.t_last_us = self.t_last_us.max(e.t_us);
+        match &e.kind {
+            EventKind::Progress {
+                phase,
+                done,
+                total,
+                examples,
+                ex_per_sec,
+                loss,
+                eta_us,
+                ..
+            } => {
+                let idx = match self.progress.iter().position(|(p, _)| p == phase) {
+                    Some(i) => i,
+                    None => {
+                        self.progress
+                            .push((phase.clone(), PhaseProgress::default()));
+                        self.progress.len() - 1
+                    }
+                };
+                let slot = &mut self.progress[idx].1;
+                slot.done = *done;
+                slot.total = *total;
+                slot.examples = *examples;
+                slot.ex_per_sec = *ex_per_sec;
+                slot.loss = *loss;
+                slot.eta_us = *eta_us;
+                if let Some(l) = loss {
+                    if slot.loss_history.len() == LOSS_HISTORY {
+                        slot.loss_history.remove(0);
+                    }
+                    slot.loss_history.push(*l);
+                }
+            }
+            EventKind::RunMeta {
+                seed,
+                config,
+                git_sha,
+                build,
+                ..
+            } => {
+                self.meta = Some((*seed, config.clone(), git_sha.clone(), build.clone()));
+            }
+            _ => {}
+        }
+        self.events.push(e);
+    }
+
+    /// Fold a batch of events (the output of one stream poll).
+    pub fn apply_all(&mut self, events: impl IntoIterator<Item = Event>) {
+        for e in events {
+            self.apply(e);
+        }
+    }
+
+    /// The chain of currently-open spans, outermost first (the "where is
+    /// the run right now" line).
+    pub fn open_chain(&self, tree: &SpanTree) -> Vec<String> {
+        // The innermost open span is the last-opened node that hasn't
+        // closed; walking its parent links gives the active stack.
+        let Some(tip) = tree.nodes().iter().rev().find(|n| !n.closed) else {
+            return Vec::new();
+        };
+        let mut chain = vec![label(tree, tip.id)];
+        let mut cur = tip.parent;
+        while let Some(p) = cur {
+            match tree.get(p) {
+                Some(node) => {
+                    chain.push(label(tree, p));
+                    cur = node.parent;
+                }
+                None => break,
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Render one dashboard frame: header, identity, active span chain,
+    /// per-phase heartbeats with loss sparklines, phase flame table, and
+    /// the top-`top_k` op rows. Deterministic for a fixed event sequence.
+    pub fn render(&self, top_k: usize) -> String {
+        let tree = SpanTree::build(&self.events);
+        let mut s = String::new();
+        let elapsed_us = self
+            .t_first_us
+            .map_or(0, |first| self.t_last_us.saturating_sub(first));
+        let _ = writeln!(
+            s,
+            "promptem top — seed {} · {} events · {:.1}s elapsed",
+            self.seed,
+            self.events.len(),
+            elapsed_us as f64 / 1e6
+        );
+        if let Some((_, config, git_sha, build)) = &self.meta {
+            let _ = writeln!(
+                s,
+                "identity: config {} · git {} · {} build",
+                config,
+                git_sha.as_deref().unwrap_or("unknown"),
+                build
+            );
+        }
+        let chain = self.open_chain(&tree);
+        if chain.is_empty() {
+            s.push_str("live: (no open span — run finished or not started)\n");
+        } else {
+            let _ = writeln!(s, "live: {}", chain.join(" > "));
+        }
+        let unclosed = tree.unclosed_count();
+        let orphans = tree.orphan_count();
+        if orphans > 0 {
+            let _ = writeln!(s, "note: {orphans} orphaned span(s) — trace starts mid-run");
+        }
+
+        if !self.progress.is_empty() {
+            s.push('\n');
+            for (phase, p) in &self.progress {
+                let frac = match p.total {
+                    0 => format!("{} done", p.done),
+                    t => format!("{}/{t}", p.done),
+                };
+                let _ = write!(s, "{phase:<12} {frac:>10}  {:>7.0} ex/s", p.ex_per_sec);
+                match p.loss {
+                    Some(l) => {
+                        let _ = write!(s, "  loss {l:>8.4}");
+                    }
+                    None => s.push_str("  loss        -"),
+                }
+                match p.eta_us {
+                    Some(eta) => {
+                        let _ = write!(s, "  eta {:>6.1}s", eta as f64 / 1e6);
+                    }
+                    None => s.push_str("  eta      -"),
+                }
+                if p.loss_history.len() > 1 {
+                    let _ = write!(s, "  {}", sparkline(&p.loss_history));
+                }
+                s.push('\n');
+            }
+        }
+
+        let phases = crate::flame::aggregate(&tree);
+        if !phases.is_empty() {
+            s.push('\n');
+            s.push_str(&crate::flame::render_table(&phases, top_k));
+            // Flag in-flight phases: the flame table only sums closed spans.
+            if unclosed > 0 {
+                let _ = writeln!(
+                    s,
+                    "({unclosed} span(s) still open; their time is not in the table yet)"
+                );
+            }
+        }
+
+        let ops = crate::ops::aggregate(&self.events, &tree);
+        if !ops.is_empty() {
+            let totals = crate::ops::totals_by_op(&ops);
+            let mut rows: Vec<(&String, u64, u64)> = totals
+                .iter()
+                .map(|(op, &(wall, bytes))| (op, wall, bytes))
+                .collect();
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+            rows.truncate(top_k);
+            s.push('\n');
+            let _ = writeln!(s, "{:<16} {:>10} {:>12}", "op", "wall ms", "bytes");
+            for (op, wall, bytes) in rows {
+                let _ = writeln!(s, "{op:<16} {:>10.1} {bytes:>12}", wall as f64 / 1e3);
+            }
+        }
+        s
+    }
+}
+
+fn label(tree: &SpanTree, id: u64) -> String {
+    match tree.get(id) {
+        Some(n) => match &n.detail {
+            Some(d) => format!("{}({d})", n.name),
+            None => n.name.clone(),
+        },
+        None => format!("#{id}"),
+    }
+}
+
+/// Render values as a unicode sparkline, scaled to the observed range
+/// (a flat series renders as a flat mid-height bar).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    values
+        .iter()
+        .map(|&v| {
+            if hi > lo {
+                let t = (v - lo) / (hi - lo);
+                BARS[((t * 7.0).round() as usize).min(7)]
+            } else {
+                BARS[3]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_range() {
+        assert_eq!(sparkline(&[0.0, 0.5, 1.0]), "▁▅█");
+        assert_eq!(sparkline(&[2.0, 2.0]), "▄▄");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn progress_tracks_latest_beat_and_history() {
+        let mut st = LiveState::new();
+        for (i, loss) in [(4u64, 3.0), (8, 2.0), (12, 1.0)] {
+            st.apply(Event {
+                seq: i,
+                seed: 7,
+                t_us: i * 1000,
+                span: None,
+                kind: EventKind::Progress {
+                    phase: "pretrain".into(),
+                    done: i,
+                    total: 40,
+                    examples: i * 16,
+                    ex_per_sec: 100.0,
+                    loss: Some(loss),
+                    eta_us: Some(1_000_000),
+                    tape_nodes: 0,
+                    heap_peak: 0,
+                },
+            });
+        }
+        assert_eq!(st.progress.len(), 1);
+        let (_, p) = &st.progress[0];
+        assert_eq!((p.done, p.total), (12, 40));
+        assert_eq!(p.loss_history, vec![3.0, 2.0, 1.0]);
+        let frame = st.render(5);
+        assert!(frame.contains("pretrain"), "{frame}");
+        assert!(frame.contains("12/40"), "{frame}");
+        assert!(frame.contains("█▅▁"), "{frame}");
+    }
+}

@@ -55,6 +55,12 @@ pub struct RunManifest {
     pub recovered_batches: u64,
     /// I/O retries taken by the atomic writer.
     pub io_retries: u64,
+    /// Spans whose close event never arrived (0 on a complete trace).
+    pub unclosed_spans: u64,
+    /// Spans whose recorded parent the trace never opened.
+    pub orphan_spans: u64,
+    /// The run's identity card, when the trace carries a `run_meta` line.
+    pub meta: Option<MetaInfo>,
     /// Per-span-name profile rows, sorted by total time descending.
     pub phases: Vec<FlameRow>,
     /// Per-(phase, op) tape profiler rows, sorted by total time
@@ -66,11 +72,26 @@ pub struct RunManifest {
 /// part excluded; the emitter attaches `{dataset="..."}`).
 pub const TEST_F1_METRIC: &str = "core_test_f1";
 
+/// The run identity distilled from a `run_meta` event.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetaInfo {
+    /// FNV-1a fingerprint of the resolved config, as hex.
+    pub config: String,
+    /// Git commit SHA of the traced checkout, when discoverable.
+    pub git_sha: Option<String>,
+    /// Build profile: `"debug"` or `"release"`.
+    pub build: String,
+    /// `run_meta` schema version.
+    pub schema: u64,
+}
+
 /// Distill a trace into its manifest.
 pub fn manifest(events: &[Event]) -> RunManifest {
     let tree = SpanTree::build(events);
     let mut m = RunManifest {
         events: events.len() as u64,
+        unclosed_spans: tree.unclosed_count(),
+        orphan_spans: tree.orphan_count(),
         phases: flame::aggregate(&tree),
         ops: ops::aggregate(events, &tree),
         ..RunManifest::default()
@@ -128,6 +149,20 @@ pub fn manifest(events: &[Event]) -> RunManifest {
             }
             EventKind::RecoveredBatch { .. } => m.recovered_batches += 1,
             EventKind::IoRetry { .. } => m.io_retries += 1,
+            EventKind::RunMeta {
+                config,
+                git_sha,
+                build,
+                schema,
+                ..
+            } => {
+                m.meta = Some(MetaInfo {
+                    config: config.clone(),
+                    git_sha: git_sha.clone(),
+                    build: build.clone(),
+                    schema: *schema,
+                });
+            }
             // Gauge names carry folded labels: `core_test_f1{dataset="x"}`.
             EventKind::Metric { name, value, .. }
                 if name == TEST_F1_METRIC || name.starts_with(&format!("{TEST_F1_METRIC}{{")) =>
@@ -161,6 +196,17 @@ mod tests {
     #[test]
     fn manifest_distills_the_training_story() {
         let events = vec![
+            ev(
+                0,
+                100,
+                EventKind::RunMeta {
+                    seed: 13,
+                    config: "abc123".into(),
+                    git_sha: Some("272a3fc0".into()),
+                    build: "release".into(),
+                    schema: 1,
+                },
+            ),
             ev(
                 1,
                 100,
@@ -275,7 +321,12 @@ mod tests {
         ];
         let m = manifest(&events);
         assert_eq!(m.seed, 13);
-        assert_eq!(m.events, 10);
+        assert_eq!(m.events, 11);
+        let meta = m.meta.as_ref().expect("run_meta distilled");
+        assert_eq!(meta.config, "abc123");
+        assert_eq!(meta.git_sha.as_deref(), Some("272a3fc0"));
+        assert_eq!(meta.build, "release");
+        assert_eq!((m.unclosed_spans, m.orphan_spans), (0, 0));
         assert_eq!(m.total_wall_us, 320, "420 - 100");
         assert_eq!(m.peak_heap, 5000);
         assert_eq!(m.pretrain_steps, 6, "1 live + 5 banked in the restore");

@@ -118,6 +118,15 @@ pub fn render_report(m: &RunManifest, top: usize) -> String {
         m.total_wall_us as f64 / 1e3,
         em_obs::alloc::format_bytes(m.peak_heap as usize),
     );
+    if let Some(meta) = &m.meta {
+        let _ = writeln!(
+            s,
+            "identity: config {} · git {} · {} build",
+            meta.config,
+            meta.git_sha.as_deref().unwrap_or("unknown"),
+            meta.build,
+        );
+    }
     let _ = writeln!(
         s,
         "training: {} optimizer steps ({} pretrain + {} fine-tune) over {} epochs",
@@ -159,6 +168,13 @@ pub fn render_report(m: &RunManifest, top: usize) -> String {
             m.non_finite_events
         );
     }
+    if m.unclosed_spans > 0 || m.orphan_spans > 0 {
+        let _ = writeln!(
+            s,
+            "WARNING: partial trace — {} unclosed span(s), {} orphaned span(s); timings are reconstructed",
+            m.unclosed_spans, m.orphan_spans
+        );
+    }
     s.push('\n');
     s.push_str(&crate::flame::render_table(&m.phases, top));
     if !m.ops.is_empty() {
@@ -195,6 +211,9 @@ mod tests {
             ckpt_restores: 0,
             recovered_batches: 0,
             io_retries: 0,
+            unclosed_spans: 0,
+            orphan_spans: 0,
+            meta: None,
             phases: vec![FlameRow {
                 name: "tune".into(),
                 calls: 1,
@@ -269,6 +288,28 @@ mod tests {
         assert!(text.contains("ops — tune"), "{text}");
         assert!(text.contains("matmul"), "{text}");
         assert!(!text.contains("WARNING"), "{text}");
+    }
+
+    #[test]
+    fn tty_report_surfaces_identity_and_trace_health() {
+        let mut m = sample();
+        m.meta = Some(crate::manifest::MetaInfo {
+            config: "abc123".into(),
+            git_sha: None,
+            build: "release".into(),
+            schema: 1,
+        });
+        m.unclosed_spans = 3;
+        m.orphan_spans = 1;
+        let text = render_report(&m, 10);
+        assert!(
+            text.contains("identity: config abc123 · git unknown · release build"),
+            "{text}"
+        );
+        assert!(
+            text.contains("WARNING: partial trace — 3 unclosed span(s), 1 orphaned span(s)"),
+            "{text}"
+        );
     }
 
     #[test]

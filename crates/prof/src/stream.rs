@@ -1,0 +1,183 @@
+//! Incrementally read a JSONL trace while it is being written.
+//!
+//! The sink writes one whole line per event and flushes, but a reader
+//! polling the file can still observe a partial final line (the OS
+//! exposes writes at byte granularity, and a crash can truncate
+//! mid-line). [`TraceStream`] therefore only parses up to the last
+//! newline it has seen and carries the unterminated tail across polls,
+//! so `promptem top` never trips over a line that is still landing.
+
+use em_obs::Event;
+use std::io::{Read as _, Seek as _, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// A tailing trace reader: call [`poll`](TraceStream::poll) repeatedly;
+/// each call returns the events that became complete since the last one.
+#[derive(Debug)]
+pub struct TraceStream {
+    path: PathBuf,
+    /// Byte offset of the next unread byte in the file.
+    offset: u64,
+    /// An unterminated final line carried until its newline arrives.
+    carry: String,
+    /// Complete lines consumed so far (for error line numbers).
+    lines: u64,
+}
+
+impl TraceStream {
+    /// Start tailing `path`. The file need not exist yet; polls simply
+    /// return nothing until it does.
+    pub fn open(path: impl Into<PathBuf>) -> TraceStream {
+        TraceStream {
+            path: path.into(),
+            offset: 0,
+            carry: String::new(),
+            lines: 0,
+        }
+    }
+
+    /// The path being tailed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Read whatever the writer has appended since the last poll and
+    /// parse every *complete* line into events. A trailing line without
+    /// its newline is buffered, not an error. A complete line that fails
+    /// to parse is a real error (`"line N: <why>"`). A file that shrank
+    /// (writer restarted with truncation) resets the stream to the top.
+    pub fn poll(&mut self) -> Result<Vec<Event>, String> {
+        let mut file = match std::fs::File::open(&self.path) {
+            Ok(f) => f,
+            // Not-yet-created is the normal "run hasn't started" state.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(format!("{}: {e}", self.path.display())),
+        };
+        let len = file
+            .metadata()
+            .map_err(|e| format!("{}: {e}", self.path.display()))?
+            .len();
+        if len < self.offset {
+            // The writer truncated and started over; follow it.
+            self.offset = 0;
+            self.carry.clear();
+            self.lines = 0;
+        }
+        if len == self.offset {
+            return Ok(Vec::new());
+        }
+        file.seek(SeekFrom::Start(self.offset))
+            .map_err(|e| format!("{}: {e}", self.path.display()))?;
+        let mut fresh = String::new();
+        file.take(len - self.offset)
+            .read_to_string(&mut fresh)
+            .map_err(|e| format!("{}: {e}", self.path.display()))?;
+        self.offset = len;
+
+        let mut buf = std::mem::take(&mut self.carry);
+        buf.push_str(&fresh);
+        // Everything before the last newline is complete; the rest waits.
+        let complete_end = match buf.rfind('\n') {
+            Some(i) => i + 1,
+            None => {
+                self.carry = buf;
+                return Ok(Vec::new());
+            }
+        };
+        self.carry = buf[complete_end..].to_string();
+        let mut out = Vec::new();
+        for raw in buf[..complete_end].lines() {
+            self.lines += 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let e = Event::parse(line).map_err(|err| format!("line {}: {err}", self.lines))?;
+            out.push(e);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_obs::EventKind;
+    use std::io::Write as _;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            seq,
+            seed: 7,
+            t_us: seq * 100,
+            span: None,
+            kind: EventKind::Block { candidates: seq },
+        }
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("em_prof_stream_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn missing_file_polls_empty_then_follows_appends() {
+        let path = scratch("appends.jsonl");
+        std::fs::remove_file(&path).ok();
+        let mut s = TraceStream::open(&path);
+        assert_eq!(s.poll().unwrap(), vec![]);
+
+        std::fs::write(&path, format!("{}\n", ev(1).to_json())).unwrap();
+        assert_eq!(s.poll().unwrap(), vec![ev(1)]);
+        assert_eq!(s.poll().unwrap(), vec![], "no growth, no events");
+
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        writeln!(f, "{}", ev(2).to_json()).unwrap();
+        writeln!(f, "{}", ev(3).to_json()).unwrap();
+        drop(f);
+        assert_eq!(s.poll().unwrap(), vec![ev(2), ev(3)]);
+    }
+
+    #[test]
+    fn partial_last_line_is_carried_not_failed() {
+        let path = scratch("partial.jsonl");
+        let full = ev(1).to_json();
+        let (head, tail) = full.split_at(full.len() / 2);
+        // First write: a complete line plus half of the next one.
+        std::fs::write(&path, format!("{}\n{head}", ev(9).to_json())).unwrap();
+        let mut s = TraceStream::open(&path);
+        assert_eq!(s.poll().unwrap(), vec![ev(9)], "the torn line must wait");
+        // The writer finishes the line: the event appears on the next poll.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        writeln!(f, "{tail}").unwrap();
+        drop(f);
+        assert_eq!(s.poll().unwrap(), vec![ev(1)]);
+    }
+
+    #[test]
+    fn corrupt_complete_line_reports_its_number() {
+        let path = scratch("corrupt.jsonl");
+        std::fs::write(&path, format!("{}\nnot json\n", ev(1).to_json())).unwrap();
+        let mut s = TraceStream::open(&path);
+        let err = s.poll().unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn truncation_restart_resets_to_the_top() {
+        let path = scratch("truncate.jsonl");
+        std::fs::write(&path, format!("{}\n{}\n", ev(1).to_json(), ev(2).to_json())).unwrap();
+        let mut s = TraceStream::open(&path);
+        assert_eq!(s.poll().unwrap().len(), 2);
+        // A fresh, shorter file means the writer restarted.
+        std::fs::write(&path, format!("{}\n", ev(5).to_json())).unwrap();
+        assert_eq!(s.poll().unwrap(), vec![ev(5)]);
+    }
+}

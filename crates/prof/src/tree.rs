@@ -39,6 +39,7 @@ pub struct SpanTree {
     nodes: Vec<SpanNode>,
     index: HashMap<u64, usize>,
     roots: Vec<u64>,
+    orphans: u64,
 }
 
 impl SpanTree {
@@ -70,7 +71,16 @@ impl SpanTree {
                     tree.index.insert(*id, idx);
                     match parent.and_then(|p| tree.index.get(&p).copied()) {
                         Some(pidx) => tree.nodes[pidx].children.push(*id),
-                        None => tree.roots.push(*id),
+                        None => {
+                            // A named parent the trace never opened means
+                            // the slice starts mid-run: count it so
+                            // reports can say so instead of silently
+                            // promoting the span to a root.
+                            if parent.is_some() {
+                                tree.orphans += 1;
+                            }
+                            tree.roots.push(*id);
+                        }
                     }
                 }
                 EventKind::SpanClose {
@@ -107,6 +117,17 @@ impl SpanTree {
     /// Root span ids in open order (spans with no parent in the trace).
     pub fn roots(&self) -> &[u64] {
         &self.roots
+    }
+
+    /// Spans whose close event never arrived (truncated or live trace).
+    pub fn unclosed_count(&self) -> u64 {
+        self.nodes.iter().filter(|n| !n.closed).count() as u64
+    }
+
+    /// Spans promoted to roots because their recorded parent was never
+    /// opened in this trace (the slice starts mid-run).
+    pub fn orphan_count(&self) -> u64 {
+        self.orphans
     }
 
     /// Wall time spent in a span *excluding* its children — the "self"
@@ -198,6 +219,8 @@ mod tests {
         let tree = SpanTree::build(&events);
         assert!(!tree.get(1).unwrap().closed);
         assert_eq!(tree.self_wall_us(1), 0);
+        assert_eq!(tree.unclosed_count(), 2);
+        assert_eq!(tree.orphan_count(), 0);
     }
 
     #[test]
@@ -206,5 +229,9 @@ mod tests {
         let events = vec![open(5, 9, Some(4), "late")];
         let tree = SpanTree::build(&events);
         assert_eq!(tree.roots(), &[9]);
+        assert_eq!(tree.orphan_count(), 1);
+        // A genuine root is not an orphan.
+        let clean = SpanTree::build(&[open(1, 1, None, "outer")]);
+        assert_eq!(clean.orphan_count(), 0);
     }
 }

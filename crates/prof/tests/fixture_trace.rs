@@ -121,3 +121,42 @@ fn fixture_bench_report_is_populated() {
     assert!(!json.contains("\"peak_heap_bytes\": 0,"), "{json}");
     assert!(!json.contains("\"test_f1\": null"), "{json}");
 }
+
+#[test]
+fn live_partial_fixture_renders_the_dashboard_mid_write() {
+    // A real traced run cut off mid-write: 133 complete lines and a torn
+    // final line (the writer was mid-flush when the reader polled). The
+    // stream must surface every complete event and the dashboard must
+    // render a coherent frame from them.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/live_partial.jsonl");
+    let mut stream = em_prof::TraceStream::open(&path);
+    let mut state = em_prof::LiveState::new();
+    state.apply_all(stream.poll().unwrap_or_else(|e| panic!("{e}")));
+    assert_eq!(state.events(), 133, "torn line must wait, not fail");
+    assert_eq!(stream.poll().unwrap(), vec![], "no growth, no events");
+
+    let frame = state.render(5);
+    assert!(
+        frame.contains("promptem top — seed 7 · 133 events"),
+        "{frame}"
+    );
+    assert!(frame.contains("identity: config "), "{frame}");
+    assert!(frame.contains("release build"), "{frame}");
+    // The active stack at the cut: the student is training inside LST.
+    assert!(
+        frame.contains("live: match(cli) > tune(cli) > lst > lst_iter(iter 0) > student"),
+        "{frame}"
+    );
+    // Heartbeat rows for every phase that beat before the cut, with the
+    // finished pretrain pinned at its full tick count.
+    for phase in ["pretrain", "mc_dropout", "tune"] {
+        assert!(frame.contains(phase), "no {phase} row in: {frame}");
+    }
+    assert!(frame.contains("20/20"), "{frame}");
+    // The flame table exists but flags the spans still in flight.
+    assert!(frame.contains("span(s) still open"), "{frame}");
+    // Op-profiled run: the op table has rows.
+    assert!(frame.contains("matmul"), "{frame}");
+    // The fold is pure: rendering is deterministic.
+    assert_eq!(frame, state.render(5));
+}

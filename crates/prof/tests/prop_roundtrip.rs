@@ -90,6 +90,13 @@ fn make_kind(
             mean: (x + y) / 2.0,
             counts,
         },
+        11 => EventKind::RunMeta {
+            seed: a,
+            config: format!("{b:016x}"),
+            git_sha: (opt & 1 != 0).then(|| format!("{a:07x}")),
+            build: if opt & 2 != 0 { "release" } else { "debug" }.into(),
+            schema: b % 5,
+        },
         12 => EventKind::CkptSave {
             step: a,
             bytes: b,
@@ -120,6 +127,17 @@ fn make_kind(
             elems: a.wrapping_mul(5),
             bytes: b.wrapping_mul(11),
         },
+        17 => EventKind::Progress {
+            phase: text,
+            done: a,
+            total: b,
+            examples: a.wrapping_mul(16),
+            ex_per_sec: x.abs(),
+            loss: opt_f(1, y),
+            eta_us: opt_u(2, b.wrapping_mul(3)),
+            tape_nodes: a % 31,
+            heap_peak: b % 37,
+        },
         _ => EventKind::Metric {
             name: text,
             kind: ["counter", "gauge", "histogram"][(a % 3) as usize].into(),
@@ -137,7 +155,7 @@ proptest! {
 
     #[test]
     fn every_event_kind_round_trips_through_the_reader(
-        kind_idx in 0usize..18,
+        kind_idx in 0usize..19,
         ints in (0u64..1_000_000_000, 0u64..1_000_000, 0u64..1 << 40, 0u8..16),
         floats in (-1e9f64..1e9, 0.0f64..100.0),
         text in "[a-zA-Z0-9_ .\"\\\\/-]{0,16}",

@@ -62,6 +62,42 @@ grep -q '"op": "matmul"' BENCH_report.json || {
 cargo run --release -q -p promptem-cli --bin promptem -- \
     report --diff "$smoke_dir/new.jsonl" "$smoke_dir/new.jsonl" >/dev/null
 
+echo "==> live telemetry (heartbeats, run_meta, top, trend-gated history)"
+cargo run --release -q -p promptem-cli --bin promptem -- \
+    match --left "$smoke_dir/left.csv" --right "$smoke_dir/right.csv" \
+    --labels "$smoke_dir/train.csv" --seed 7 --trace warn \
+    --pretrain-steps 20 --epochs 1 --progress-every 5 \
+    --metrics-out "$smoke_dir/live.jsonl" >/dev/null
+head -n1 "$smoke_dir/live.jsonl" | grep -q '"type":"run_meta"' || {
+    echo "telemetry: run_meta is not the first trace line" >&2
+    exit 1
+}
+grep -q '"type":"progress"' "$smoke_dir/live.jsonl" || {
+    echo "telemetry: traced run with --progress-every emitted no heartbeats" >&2
+    exit 1
+}
+cargo run --release -q -p promptem-cli --bin promptem -- \
+    top "$smoke_dir/live.jsonl" --once >/dev/null
+for run in base new live; do
+    cargo run --release -q -p promptem-cli --bin promptem -- \
+        history "$smoke_dir/BENCH_history.jsonl" \
+        --append "$smoke_dir/$run.jsonl" >/dev/null
+done
+cargo run --release -q -p promptem-cli --bin promptem -- \
+    history "$smoke_dir/BENCH_history.jsonl" --gate
+# An injected +200% wall entry against that baseline must trip the gate.
+tail -n1 "$smoke_dir/BENCH_history.jsonl" | awk '{
+    match($0, /"total_wall_us":[0-9]+/)
+    v = substr($0, RSTART + 16, RLENGTH - 16)
+    sub(/"total_wall_us":[0-9]+/, sprintf("\"total_wall_us\":%.0f", v * 3))
+    print
+}' >>"$smoke_dir/BENCH_history.jsonl"
+if cargo run --release -q -p promptem-cli --bin promptem -- \
+    history "$smoke_dir/BENCH_history.jsonl" --gate >/dev/null 2>&1; then
+    echo "history gate: missed an injected +200% wall regression" >&2
+    exit 1
+fi
+
 echo "==> chaos (failpoint kill mid-run, resume, diff against uninterrupted base)"
 if PROMPTEM_FAILPOINTS=batch:panic@28 \
     cargo run --release -q -p promptem-cli --bin promptem -- \
