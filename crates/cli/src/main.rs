@@ -103,6 +103,8 @@ const USAGE: &str = "usage:
                  [--max-wall-frac <f>] [--max-heap-frac <f>]
                  [--max-steps-frac <f>] [--max-f1-drop <points>]
                  [--max-op-wall-frac <f>] [--max-op-bytes-frac <f>]
+                 [--canonical]   (byte-exact equivalence after stripping
+                                  timing/heap fields, instead of thresholds)
   promptem top <trace.jsonl> [--interval-ms <n>] [--top <n>]
                  [--once] [--max-seconds <n>]
   promptem history <ledger.jsonl> [--append <trace.jsonl>] [--gate]
@@ -122,6 +124,9 @@ global flags:
   --progress-every <n>                        emit a `progress` heartbeat every n
                                               batches/steps/passes in each training
                                               phase (PROMPTEM_PROGRESS_EVERY; 0 off)
+  --threads <n>                               worker threads for pseudo-label
+                                              scoring (PROMPTEM_THREADS; default 1;
+                                              results are bit-identical for any n)
 
 file formats by extension: .csv (relational), .jsonl/.ndjson (semi-structured),
 anything else (one textual record per line).
@@ -169,6 +174,13 @@ fn init_telemetry(args: &Args) -> Result<(), String> {
     }
     if args.switch("op-profile") {
         em_nn::tape::set_op_profile(true);
+    }
+    if args.get("threads").is_some() {
+        let n: usize = args.get_parse("threads", 1)?;
+        if n == 0 {
+            return Err("--threads must be at least 1".to_string());
+        }
+        em_pool::set_threads(n);
     }
     em_obs::set_progress_every(args.get_parse("progress-every", 0u64)?);
     Ok(())
@@ -438,6 +450,8 @@ fn cmd_ckpt(args: &Args) -> Result<(), Failure> {
 /// Analyze a `--metrics-out` trace: print the run report (optionally
 /// writing `BENCH_report.json`), or with `--diff` compare two traces
 /// under regression thresholds and fail when any metric breaches.
+/// `--diff --canonical` instead demands byte-exact equivalence of the
+/// timing-stripped traces (the thread-count determinism gate).
 fn cmd_report(args: &Args) -> Result<(), Failure> {
     let thresholds = em_prof::Thresholds {
         wall_frac: args.get_parse("max-wall-frac", 0.75)?,
@@ -456,6 +470,28 @@ fn cmd_report(args: &Args) -> Result<(), Failure> {
         let new_path = args.positional.get(1).ok_or_else(|| {
             Failure::from("report --diff needs two traces: --diff <base> <new>".to_string())
         })?;
+        if args.switch("canonical") {
+            // Determinism gate: the two runs must have made byte-identical
+            // decisions once timing/heap fields are stripped — this is how
+            // CI proves `--threads N` equals `--threads 1`.
+            let raw = |path: &str| {
+                em_prof::load_trace(std::path::Path::new(path)).map_err(Failure::plain)
+            };
+            let base = raw(base_path)?;
+            let new = raw(new_path)?;
+            return match em_prof::first_divergence(&base, &new) {
+                None => {
+                    println!(
+                        "canonical traces identical: {} events, {base_path} == {new_path}",
+                        base.len()
+                    );
+                    Ok(())
+                }
+                Some(d) => Err(Failure::plain(format!(
+                    "canonical trace divergence between {base_path} and {new_path}\n{d}"
+                ))),
+            };
+        }
         let report = em_prof::diff(&load(base_path)?, &load(new_path)?, &thresholds);
         print!("{}", report.render());
         let breaches = report.regressions();

@@ -1,0 +1,251 @@
+//! A small work-stealing thread pool for sharded, deterministic scoring.
+//!
+//! The workspace's em-lint gate keeps raw `thread::spawn` (and unjustified
+//! atomic orderings) out of application crates; all thread machinery lives
+//! here, vendored under `crates/compat/` like the rand/proptest/sched
+//! subsets.
+//!
+//! Design: a run over `n` tasks pre-shards the indices contiguously across
+//! `w` workers. Each task has one claim word; a worker *claims* a task with
+//! a single atomic swap, which succeeds for exactly one caller — the
+//! exactly-once guarantee is structural, not protocol-dependent. An idle
+//! worker first drains its own shard front-to-back (cache-friendly order),
+//! then steals from other shards back-to-front so thieves and owners
+//! approach each shard from opposite ends. Results are returned to the
+//! caller in task order, so the output is deterministic regardless of which
+//! worker ran which task.
+//!
+//! The claim protocol is generic over [`ClaimWord`] (mirroring `em-nn`'s
+//! `StatWord`) so the identical queue code can be model-checked under the
+//! `em-sched` interleaving checker with its instrumented atomics — see
+//! `crates/core/tests/sched_pool.rs`, which also proves the checker would
+//! catch a torn (load-then-store) claim.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// One task's claim flag. `try_claim` must return `true` for exactly one
+/// caller per word, under any interleaving.
+pub trait ClaimWord: Sync {
+    /// A fresh, unclaimed word.
+    fn new_unclaimed() -> Self;
+    /// Attempt to claim; `true` iff this caller won the task.
+    fn try_claim(&self) -> bool;
+}
+
+/// Production claim word: one atomic swap.
+pub struct RelaxedClaim(AtomicU64);
+
+impl ClaimWord for RelaxedClaim {
+    fn new_unclaimed() -> Self {
+        RelaxedClaim(AtomicU64::new(0))
+    }
+
+    fn try_claim(&self) -> bool {
+        // ordering: Relaxed — the swap only elects which worker runs the
+        // task; no data is published through the flag (task inputs are
+        // immutable shared borrows, and results travel through each
+        // worker's own buffer, joined before the caller reads them).
+        self.0.swap(1, Ordering::Relaxed) == 0
+    }
+}
+
+/// Pre-sharded claim queue over task indices `0..tasks` for `workers`
+/// workers. Pure coordination — it holds no task data.
+pub struct ShardQueue<W: ClaimWord> {
+    claims: Vec<W>,
+    workers: usize,
+}
+
+impl<W: ClaimWord> ShardQueue<W> {
+    /// A queue of `tasks` unclaimed tasks sharded across `workers` workers.
+    pub fn new(tasks: usize, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        ShardQueue {
+            claims: (0..tasks).map(|_| W::new_unclaimed()).collect(),
+            workers,
+        }
+    }
+
+    /// Number of tasks in the queue.
+    pub fn tasks(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// The contiguous task range owned by worker `w` (near-equal split;
+    /// the first `tasks % workers` shards get one extra task).
+    pub fn shard(&self, w: usize) -> std::ops::Range<usize> {
+        let n = self.claims.len();
+        let base = n / self.workers;
+        let extra = n % self.workers;
+        let start = w * base + w.min(extra);
+        let len = base + usize::from(w < extra);
+        start..(start + len).min(n)
+    }
+
+    /// The next task worker `w` should run: its own shard front-to-back,
+    /// then other shards back-to-front (stealing). `None` when every task
+    /// is claimed.
+    pub fn next_for(&self, w: usize) -> Option<usize> {
+        for i in self.shard(w) {
+            if self.claims[i].try_claim() {
+                return Some(i);
+            }
+        }
+        for other in (0..self.workers).filter(|&o| o != w) {
+            for i in self.shard(other).rev() {
+                if self.claims[i].try_claim() {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Run `f(i)` for every `i in 0..tasks` across `threads` OS threads and
+/// return the results in task order. `threads <= 1` (or a single task)
+/// runs inline on the caller with no spawns at all, so the single-thread
+/// path is byte-identical to a plain sequential loop.
+///
+/// Workers keep `(index, result)` pairs in worker-local buffers; the caller
+/// joins every worker before assembling the output, so no result is read
+/// while a worker could still be writing it.
+///
+/// Panics in `f` propagate to the caller after all workers are joined.
+pub fn run_sharded<R, F>(threads: usize, tasks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || tasks <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+    let workers = threads.min(tasks);
+    let queue = ShardQueue::<RelaxedClaim>::new(tasks, workers);
+    let mut out: Vec<Option<R>> = (0..tasks).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queue = &queue;
+                let f = &f;
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(i) = queue.next_for(w) {
+                        got.push((i, f(i)));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("pool worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("pool lost a task"))
+        .collect()
+}
+
+/// Programmatic worker-count override (0 = not forced; fall back to the
+/// `PROMPTEM_THREADS` environment variable). Same settable-global pattern
+/// as the op profiler and heartbeat interval.
+static FORCED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PROMPTEM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(1)
+    })
+}
+
+/// The active worker count for sharded scoring (always >= 1; 1 = fully
+/// sequential). The programmatic setting wins over `PROMPTEM_THREADS`.
+pub fn threads() -> usize {
+    // ordering: Relaxed — a lone configuration word; readers only need to
+    // see the most recent set eventually, and it guards no other data.
+    match FORCED_THREADS.load(Ordering::Relaxed) {
+        0 => env_threads().max(1),
+        n => n,
+    }
+}
+
+/// Set the worker count programmatically (the CLI's `--threads`). 0 clears
+/// the override, falling back to the environment.
+pub fn set_threads(n: usize) {
+    // ordering: Relaxed — see threads(); the word guards no data.
+    FORCED_THREADS.store(n, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn shards_cover_all_tasks_exactly_once() {
+        for (tasks, workers) in [(0, 1), (1, 3), (7, 3), (12, 4), (5, 8)] {
+            let q = ShardQueue::<RelaxedClaim>::new(tasks, workers);
+            let mut seen = vec![0usize; tasks];
+            for w in 0..workers {
+                for i in q.shard(w) {
+                    seen[i] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "tasks={tasks} workers={workers}: shards {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_for_drains_every_task_exactly_once() {
+        let q = ShardQueue::<RelaxedClaim>::new(10, 3);
+        let mut runs = vec![0usize; 10];
+        // A lone worker must still reach every task via stealing.
+        while let Some(i) = q.next_for(2) {
+            runs[i] += 1;
+        }
+        assert!(runs.iter().all(|&c| c == 1), "{runs:?}");
+        for w in 0..3 {
+            assert_eq!(q.next_for(w), None, "drained queue must stay empty");
+        }
+    }
+
+    #[test]
+    fn run_sharded_returns_results_in_task_order() {
+        for threads in [1, 2, 4, 9] {
+            let out = run_sharded(threads, 23, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_sharded_runs_each_task_once_across_threads() {
+        let counts: Vec<AtomicU64> = (0..50).map(|_| AtomicU64::new(0)).collect();
+        let _ = run_sharded(4, 50, |i| {
+            // ordering: Relaxed — independent counters, read after join.
+            counts[i].fetch_add(1, Ordering::Relaxed)
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn threads_default_is_sequential() {
+        assert!(threads() >= 1);
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+}

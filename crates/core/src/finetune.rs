@@ -10,7 +10,7 @@ use crate::model::run_training;
 use crate::trainer::{PruneCfg, TrainCfg, TrainReport, TunableMatcher};
 use em_lm::tokenizer::{CLS, SEP};
 use em_lm::{ClsHead, PretrainedLm};
-use em_nn::{AdamW, ParamStore, Tape, Var};
+use em_nn::{AdamW, NoGradTape, ParamStore, Tape, TapeExec, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -68,7 +68,7 @@ impl FineTuneModel {
     }
 
     /// Class logits for a batch; one tape shared across the batch.
-    fn forward_logits(&mut self, tape: &mut Tape, pairs: &[&EncodedPair]) -> Var {
+    fn forward_logits(&mut self, tape: &mut impl TapeExec, pairs: &[&EncodedPair]) -> Var {
         let mut pooled = Vec::with_capacity(pairs.len());
         for p in pairs {
             let ids = self.pair_ids(p);
@@ -82,7 +82,7 @@ impl FineTuneModel {
         self.head.logits(tape, &self.lm.store, stacked)
     }
 
-    fn forward_probs(&mut self, tape: &mut Tape, pairs: &[&EncodedPair]) -> Vec<f32> {
+    fn forward_probs(&mut self, tape: &mut impl TapeExec, pairs: &[&EncodedPair]) -> Vec<f32> {
         let logits = self.forward_logits(tape, pairs);
         let probs = tape.softmax_rows(logits);
         let pm = tape.value(probs);
@@ -141,7 +141,7 @@ impl TunableMatcher for FineTuneModel {
         let mut out = Vec::with_capacity(pairs.len());
         for chunk in pairs.chunks(32) {
             let refs: Vec<&EncodedPair> = chunk.iter().collect();
-            let mut tape = Tape::inference();
+            let mut tape = NoGradTape::inference();
             out.extend(self.forward_probs(&mut tape, &refs));
         }
         out
@@ -152,7 +152,7 @@ impl TunableMatcher for FineTuneModel {
             let mut out = Vec::with_capacity(pairs.len());
             for chunk in pairs.chunks(32) {
                 let refs: Vec<&EncodedPair> = chunk.iter().collect();
-                let mut tape = Tape::new();
+                let mut tape = NoGradTape::new(); // dropout active, zero tape nodes
                 out.extend(self.forward_probs(&mut tape, &refs));
             }
             out
@@ -170,7 +170,7 @@ impl TunableMatcher for FineTuneModel {
     fn embed(&mut self, pairs: &[EncodedPair]) -> Vec<Vec<f32>> {
         let mut out = Vec::with_capacity(pairs.len());
         for p in pairs {
-            let mut tape = Tape::inference();
+            let mut tape = NoGradTape::inference();
             let ids = self.pair_ids(p);
             let h = self
                 .lm

@@ -8,11 +8,58 @@ use crate::encode::{EncodedPair, Example};
 use crate::trainer::{PruneCfg, TrainCfg, TrainReport, TunableMatcher};
 use em_lm::prompt::{LabelWords, PromptMode, PromptTemplate, TemplateId, Verbalizer};
 use em_lm::PretrainedLm;
-use em_nn::{AdamW, ParamStore, Tape};
+use em_nn::{AdamW, Matrix, NoGradTape, ParamStore, Tape, TapeExec};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, RngCore, SeedableRng};
 use std::sync::Arc;
+
+/// Scoring batch size: small enough to keep per-tape memory bounded, large
+/// enough to amortize the MLM head matmul. Also the sharding granularity of
+/// the parallel scorer, so it is part of the determinism contract: chunk
+/// boundaries decide where worker RNG streams are split.
+const SCORE_CHUNK: usize = 32;
+
+/// Match probabilities for a batch of pairs on any executor — the recording
+/// [`Tape`] or the tape-free [`NoGradTape`]. Free-standing (not a method)
+/// so scoring workers can run it against `&self` field borrows concurrently,
+/// each with its own tape and RNG stream. Only the `[MASK]` hidden state
+/// feeds the MLM head, so the forward takes the single-row last-layer path
+/// (`forward_mask_row`) — bit-exact with slicing the full forward,
+/// including its RNG draw count.
+fn forward_probs_on(
+    tape: &mut impl TapeExec,
+    lm: &PretrainedLm,
+    template: &PromptTemplate,
+    verbalizer: &Verbalizer,
+    cached_rows: Option<&Matrix>,
+    pairs: &[&EncodedPair],
+    rng: &mut impl Rng,
+) -> Vec<f32> {
+    let mut rows = Vec::with_capacity(pairs.len());
+    for p in pairs {
+        rows.push(template.forward_mask_row(
+            tape,
+            &lm.store,
+            &lm.encoder,
+            &p.ids_a,
+            &p.ids_b,
+            cached_rows,
+            rng,
+        ));
+    }
+    let stacked = tape.concat_rows(&rows);
+    let logits = lm.mlm.logits(tape, &lm.store, &lm.encoder, stacked);
+    let probs = verbalizer.class_probs(tape, logits);
+    let pm = tape.value(probs);
+    (0..pm.rows())
+        .map(|r| {
+            let yes = pm.get(r, 0);
+            let no = pm.get(r, 1);
+            yes / (yes + no).max(1e-12)
+        })
+        .collect()
+}
 
 /// Prompt-side options (template/mode/label words — the knobs of §5.5).
 #[derive(Debug, Clone)]
@@ -99,34 +146,22 @@ impl PromptEmModel {
         }
     }
 
-    /// Match probabilities for a batch on a given tape (train or inference).
-    fn forward_probs(&mut self, tape: &mut Tape, pairs: &[&EncodedPair]) -> Vec<f32> {
-        let mut rows = Vec::with_capacity(pairs.len());
-        for p in pairs {
-            let (h, mask_row) = self.template.forward(
-                tape,
-                &self.lm.store,
-                &self.lm.encoder,
-                &p.ids_a,
-                &p.ids_b,
-                &mut self.rng,
-            );
-            rows.push(tape.slice_rows(h, mask_row, 1));
-        }
-        let stacked = tape.concat_rows(&rows);
-        let logits = self
-            .lm
-            .mlm
-            .logits(tape, &self.lm.store, &self.lm.encoder, stacked);
-        let probs = self.verbalizer.class_probs(tape, logits);
-        let pm = tape.value(probs);
-        (0..pm.rows())
-            .map(|r| {
-                let yes = pm.get(r, 0);
-                let no = pm.get(r, 1);
-                yes / (yes + no).max(1e-12)
+    /// RNG values one train-mode scoring pass over `chunk` consumes — the
+    /// analytic mirror of what [`forward_probs_on`] draws (dropout masks
+    /// only; the prompt stack and MLM head are RNG-free). Lets the parallel
+    /// scorer fast-forward worker streams instead of replaying forwards.
+    fn chunk_draws(&self, chunk: &[EncodedPair]) -> u64 {
+        chunk
+            .iter()
+            .map(|p| {
+                let seq = self.template.seq_len(
+                    self.lm.encoder.cfg.max_len,
+                    p.ids_a.len(),
+                    p.ids_b.len(),
+                );
+                self.lm.encoder.dropout_draws(seq as u64)
             })
-            .collect()
+            .sum()
     }
 
     fn batch_step(&mut self, batch: &[&Example], opt: &mut AdamW) -> f32 {
@@ -356,23 +391,88 @@ impl TunableMatcher for PromptEmModel {
     }
 
     fn predict_proba(&mut self, pairs: &[EncodedPair]) -> Vec<f32> {
-        let mut out = Vec::with_capacity(pairs.len());
-        for chunk in pairs.chunks(32) {
-            let refs: Vec<&EncodedPair> = chunk.iter().collect();
-            let mut tape = Tape::inference();
-            out.extend(self.forward_probs(&mut tape, &refs));
-        }
-        out
+        // Inference draws nothing from the RNG (dropout is off), so chunks
+        // are fully independent: shard them across the pool with throwaway
+        // per-worker RNGs. Values are bit-identical to a sequential run —
+        // every row-wise kernel computes each output row independently, so
+        // neither chunking nor worker assignment changes a bit.
+        let cached_rows = self.template.prompt_rows_matrix(&self.lm.store);
+        let cached = cached_rows.as_ref();
+        let chunks: Vec<&[EncodedPair]> = pairs.chunks(SCORE_CHUNK).collect();
+        let (lm, template, verbalizer) = (&self.lm, &self.template, &self.verbalizer);
+        em_pool::run_sharded(em_pool::threads(), chunks.len(), |i| {
+            let refs: Vec<&EncodedPair> = chunks[i].iter().collect();
+            let mut tape = NoGradTape::inference();
+            let mut rng = StdRng::seed_from_u64(0);
+            forward_probs_on(&mut tape, lm, template, verbalizer, cached, &refs, &mut rng)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     fn stochastic_proba(&mut self, pairs: &[EncodedPair], passes: usize) -> Vec<Vec<f32>> {
+        // One logical RNG stream regardless of thread count: with a single
+        // worker the model's own RNG is used directly (byte-for-byte the
+        // historical sequential behavior); with several, the main thread
+        // computes each chunk's start state by fast-forwarding a clone with
+        // the analytic draw counts, workers resume from those states, and
+        // every worker's end state is checked against the next boundary —
+        // any drift between formula and kernels aborts instead of silently
+        // changing pseudo-label decisions. Sharding lives *inside* each
+        // pass so the per-pass spans emitted by run_passes stay honest.
+        let cached_rows = self.template.prompt_rows_matrix(&self.lm.store);
+        let cached = cached_rows.as_ref();
+        let chunks: Vec<&[EncodedPair]> = pairs.chunks(SCORE_CHUNK).collect();
+        let threads = em_pool::threads();
+        let boundaries: Vec<u64> = if threads > 1 {
+            chunks.iter().map(|c| self.chunk_draws(c)).collect()
+        } else {
+            Vec::new()
+        };
+        let (lm, template, verbalizer) = (&self.lm, &self.template, &self.verbalizer);
+        let rng = &mut self.rng;
         em_lm::mc_dropout::run_passes(passes, |_| {
-            let mut out = Vec::with_capacity(pairs.len());
-            for chunk in pairs.chunks(32) {
-                let refs: Vec<&EncodedPair> = chunk.iter().collect();
-                let mut tape = Tape::new(); // dropout active
-                out.extend(self.forward_probs(&mut tape, &refs));
+            if threads <= 1 || chunks.len() <= 1 {
+                let mut out = Vec::with_capacity(pairs.len());
+                for chunk in &chunks {
+                    let refs: Vec<&EncodedPair> = chunk.iter().collect();
+                    let mut tape = NoGradTape::new(); // dropout active
+                    out.extend(forward_probs_on(
+                        &mut tape, lm, template, verbalizer, cached, &refs, rng,
+                    ));
+                }
+                return out;
             }
+            let mut walker = rng.clone();
+            let mut states = Vec::with_capacity(chunks.len() + 1);
+            for &draws in &boundaries {
+                states.push(walker.state());
+                for _ in 0..draws {
+                    walker.next_u64();
+                }
+            }
+            states.push(walker.state());
+            let states = &states;
+            let results = em_pool::run_sharded(threads, chunks.len(), |i| {
+                let refs: Vec<&EncodedPair> = chunks[i].iter().collect();
+                let mut wrng = StdRng::from_state(states[i]);
+                let mut tape = NoGradTape::new();
+                let probs = forward_probs_on(
+                    &mut tape, lm, template, verbalizer, cached, &refs, &mut wrng,
+                );
+                (probs, wrng.state())
+            });
+            let mut out = Vec::with_capacity(pairs.len());
+            for (i, (probs, end_state)) in results.into_iter().enumerate() {
+                assert_eq!(
+                    end_state,
+                    states[i + 1],
+                    "chunk {i}: worker RNG drifted from the analytic draw count"
+                );
+                out.extend(probs);
+            }
+            *rng = StdRng::from_state(states[chunks.len()]);
             out
         })
     }
@@ -386,18 +486,21 @@ impl TunableMatcher for PromptEmModel {
     }
 
     fn embed(&mut self, pairs: &[EncodedPair]) -> Vec<Vec<f32>> {
+        let cached_rows = self.template.prompt_rows_matrix(&self.lm.store);
+        let cached = cached_rows.as_ref();
         let mut out = Vec::with_capacity(pairs.len());
         for p in pairs {
-            let mut tape = Tape::inference();
-            let (h, mask_row) = self.template.forward(
+            let mut tape = NoGradTape::inference();
+            let h = self.template.forward_mask_row(
                 &mut tape,
                 &self.lm.store,
                 &self.lm.encoder,
                 &p.ids_a,
                 &p.ids_b,
+                cached,
                 &mut self.rng,
             );
-            out.push(tape.value(h).row(mask_row).to_vec());
+            out.push(tape.value(h).row(0).to_vec());
         }
         out
     }
@@ -482,6 +585,75 @@ mod tests {
         let mut fresh = model.fresh(999);
         let reset = fresh.predict_proba(&pairs);
         assert_ne!(tuned, reset, "fresh() did not reset the weights");
+    }
+
+    #[test]
+    fn tape_free_scoring_is_bit_exact_with_the_recording_tape() {
+        let backbone = tiny_backbone();
+        let (train, _) = toy_examples(&backbone, 8, 11);
+        let model = PromptEmModel::new(backbone, PromptOpts::default(), 7);
+        let pairs: Vec<&EncodedPair> = train.iter().map(|e| &e.pair).collect();
+        let rows = model.template.prompt_rows_matrix(&model.lm.store);
+        // Train-mode tapes with twin RNG streams: the recording tape runs
+        // the prompt stack per pair, the tape-free one splices the cached
+        // rows — same values, same draws, zero nodes recorded.
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = rng_a.clone();
+        let mut taped = Tape::new();
+        let a = forward_probs_on(
+            &mut taped,
+            &model.lm,
+            &model.template,
+            &model.verbalizer,
+            None,
+            &pairs,
+            &mut rng_a,
+        );
+        let nodes_before = em_nn::tape::nodes_recorded_on_thread();
+        let mut free = NoGradTape::new();
+        let b = forward_probs_on(
+            &mut free,
+            &model.lm,
+            &model.template,
+            &model.verbalizer,
+            rows.as_ref(),
+            &pairs,
+            &mut rng_b,
+        );
+        assert_eq!(
+            em_nn::tape::nodes_recorded_on_thread(),
+            nodes_before,
+            "tape-free scoring recorded tape nodes"
+        );
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "probs diverged: {x} vs {y}");
+        }
+        assert_eq!(rng_a.state(), rng_b.state(), "RNG streams diverged");
+    }
+
+    #[test]
+    fn sharded_scoring_matches_single_thread_bit_for_bit() {
+        let backbone = tiny_backbone();
+        let (train, _) = toy_examples(&backbone, 120, 9); // 90 pairs: 3 chunks
+        let pairs: Vec<EncodedPair> = train.iter().map(|e| e.pair.clone()).collect();
+        let run = |threads: usize| {
+            em_pool::set_threads(threads);
+            let mut model = PromptEmModel::new(backbone.clone(), PromptOpts::default(), 5);
+            let det = model.predict_proba(&pairs);
+            let sto = model.stochastic_proba(&pairs, 3);
+            em_pool::set_threads(0);
+            (det, sto, model.rng.state())
+        };
+        let (det1, sto1, rng1) = run(1);
+        let (det3, sto3, rng3) = run(3);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&det1), bits(&det3), "deterministic scoring diverged");
+        assert_eq!(sto1.len(), sto3.len());
+        for (p1, p3) in sto1.iter().zip(&sto3) {
+            assert_eq!(bits(p1), bits(p3), "stochastic pass diverged");
+        }
+        assert_eq!(rng1, rng3, "model RNG ended in different states");
     }
 
     #[test]

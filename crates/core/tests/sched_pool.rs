@@ -1,0 +1,132 @@
+//! Model-check the `em-pool` work-stealing claim protocol with `em-sched`.
+//!
+//! The pool's correctness claim is conservation: **every task is claimed by
+//! exactly one worker**, no matter how owner scans and thieves interleave.
+//! The production `RelaxedClaim` gets that from a single atomic swap; these
+//! tests re-run the identical `ShardQueue` code over scheduler-instrumented
+//! atomics so the claim is checked under *adversarial* interleavings:
+//!
+//! * the swap protocol must conserve tasks on every explored seed, and
+//! * a deliberately torn claim (load-then-store — the natural "check the
+//!   flag, then set it" refactor bug) must be *caught* within the seed
+//!   budget, proving the checker can see double-claims at all.
+//!
+//! Seed budget: 64 by default, overridable via `PROMPTEM_SCHED_SEEDS`
+//! (CI pins it explicitly).
+
+use std::sync::Arc;
+
+use em_pool::{ClaimWord, ShardQueue};
+use em_sched::{explore, Config, FailureKind, Report};
+
+/// Scheduler-instrumented claim: the production single-swap protocol with
+/// every access a scheduling point.
+struct SchedClaim(em_sched::sync::AtomicU64);
+
+impl ClaimWord for SchedClaim {
+    fn new_unclaimed() -> Self {
+        SchedClaim(em_sched::sync::AtomicU64::new(0))
+    }
+
+    fn try_claim(&self) -> bool {
+        self.0.swap(1) == 0
+    }
+}
+
+/// The seeded bug: claiming via separate load and store, so two workers
+/// racing on the same task can both observe it unclaimed and both run it.
+struct TornClaim(em_sched::sync::AtomicU64);
+
+impl ClaimWord for TornClaim {
+    fn new_unclaimed() -> Self {
+        TornClaim(em_sched::sync::AtomicU64::new(0))
+    }
+
+    fn try_claim(&self) -> bool {
+        let cur = self.0.load();
+        self.0.store(1);
+        cur == 0
+    }
+}
+
+fn seed_budget() -> u64 {
+    std::env::var("PROMPTEM_SCHED_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Drive the queue the way `run_sharded` does: two workers drain their own
+/// shards and steal from each other, every claim bumping a per-task run
+/// counter; after both finish, each task must have run exactly once.
+fn check_queue<W>(seeds: u64) -> Report
+where
+    W: ClaimWord + Send + 'static,
+{
+    explore(
+        Config {
+            seeds,
+            ..Config::default()
+        },
+        || {
+            const TASKS: usize = 6;
+            const WORKERS: usize = 2;
+            let queue: Arc<ShardQueue<W>> = Arc::new(ShardQueue::new(TASKS, WORKERS));
+            let runs: Arc<Vec<em_sched::sync::AtomicU64>> = Arc::new(
+                (0..TASKS)
+                    .map(|_| em_sched::sync::AtomicU64::new(0))
+                    .collect(),
+            );
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|w| {
+                    let queue = Arc::clone(&queue);
+                    let runs = Arc::clone(&runs);
+                    em_sched::thread::spawn(move || {
+                        while let Some(i) = queue.next_for(w) {
+                            runs[i].fetch_add(1);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            for (i, c) in runs.iter().enumerate() {
+                assert_eq!(
+                    c.load(),
+                    1,
+                    "task {i}: claimed by a wrong number of workers"
+                );
+            }
+        },
+    )
+}
+
+#[test]
+fn swap_claim_conserves_tasks_across_seeds() {
+    check_queue::<SchedClaim>(seed_budget()).assert_ok();
+}
+
+#[test]
+fn torn_claim_is_caught_within_bounded_seeds() {
+    let budget = seed_budget();
+    let report = check_queue::<TornClaim>(budget);
+    let failure = report
+        .failure
+        .unwrap_or_else(|| panic!("checker missed the double-claim within {budget} seeds"));
+    assert!(
+        matches!(&failure.kind, FailureKind::Panic { message, .. }
+            if message.contains("wrong number of workers")),
+        "unexpected failure: {failure}"
+    );
+    assert!(
+        report.seeds_run <= budget,
+        "exploration ran past its budget"
+    );
+    // The failing seed range is a deterministic reproducer.
+    let again = check_queue::<TornClaim>(1_u64.max(failure.seed + 1));
+    assert!(
+        again.failure.is_some(),
+        "replaying the seed range no longer reproduces the bug"
+    );
+}

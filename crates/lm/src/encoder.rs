@@ -6,7 +6,8 @@
 use crate::config::LmConfig;
 use crate::tokenizer::PAD;
 use em_nn::layers::{Embedding, FeedForward, LayerNorm, MultiHeadSelfAttention};
-use em_nn::{Matrix, ParamStore, Tape, Var};
+use em_nn::tape::burn_draws;
+use em_nn::{Matrix, ParamStore, TapeExec, Var};
 use rand::Rng;
 
 /// One transformer block: post-LN self-attention + feed-forward.
@@ -54,7 +55,7 @@ impl EncoderLayer {
 
     fn forward(
         &self,
-        tape: &mut Tape,
+        tape: &mut impl TapeExec,
         store: &ParamStore,
         x: Var,
         mask: Option<&Matrix>,
@@ -66,6 +67,54 @@ impl EncoderLayer {
         let x = self.ln1.forward(tape, store, x);
         let f = self.ffn.forward(tape, store, x, rng);
         let f = tape.dropout(f, self.dropout, rng);
+        let x = tape.add(x, f);
+        self.ln2.forward(tape, store, x)
+    }
+
+    /// [`EncoderLayer::forward`] for one output row: attention keys and
+    /// values span the full sequence, everything downstream (residuals,
+    /// LayerNorms, the FFN) runs on row `row` alone. Dropout draws for
+    /// the skipped rows of each mask — post-attention, FFN-internal
+    /// (which needs `d_ff` before the FFN call consumes its row), and
+    /// post-FFN — are burned at their stream positions so the RNG exits
+    /// exactly as after the full forward. Bit-exactness with the full
+    /// forward's row is pinned in
+    /// `tests::single_row_forward_matches_the_full_forward_bitwise`.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_row(
+        &self,
+        tape: &mut impl TapeExec,
+        store: &ParamStore,
+        x: Var,
+        row: usize,
+        mask_row: Option<&Matrix>,
+        d_ff: usize,
+        rng: &mut impl Rng,
+    ) -> Var {
+        let (seq, d) = tape.value(x).shape();
+        let burn = tape.is_train() && self.dropout > 0.0;
+        let a = self.attn.forward_row(tape, store, x, row, mask_row, rng);
+        if burn {
+            burn_draws(rng, row * d);
+        }
+        let a = tape.dropout(a, self.dropout, rng);
+        if burn {
+            burn_draws(rng, (seq - 1 - row) * d);
+        }
+        let xr = tape.slice_rows(x, row, 1);
+        let x = tape.add(xr, a);
+        let x = self.ln1.forward(tape, store, x);
+        if burn {
+            burn_draws(rng, row * d_ff);
+        }
+        let f = self.ffn.forward(tape, store, x, rng);
+        if burn {
+            burn_draws(rng, (seq - 1 - row) * d_ff + row * d);
+        }
+        let f = tape.dropout(f, self.dropout, rng);
+        if burn {
+            burn_draws(rng, (seq - 1 - row) * d);
+        }
         let x = tape.add(x, f);
         self.ln2.forward(tape, store, x)
     }
@@ -114,7 +163,7 @@ impl Encoder {
     /// Embed token ids (token + position embeddings, LayerNorm, dropout).
     pub fn embed(
         &self,
-        tape: &mut Tape,
+        tape: &mut impl TapeExec,
         store: &ParamStore,
         ids: &[usize],
         rng: &mut impl Rng,
@@ -132,7 +181,7 @@ impl Encoder {
     /// prefix of non-padding positions (attention is masked past it).
     pub fn forward_embedded(
         &self,
-        tape: &mut Tape,
+        tape: &mut impl TapeExec,
         store: &ParamStore,
         mut x: Var,
         valid_len: usize,
@@ -150,10 +199,66 @@ impl Encoder {
         x
     }
 
+    /// [`Encoder::forward_embedded`] when only one output row is consumed
+    /// (the `[MASK]` position during scoring). Every layer but the last
+    /// runs in full — the final layer's attention still reads all of its
+    /// key/value rows — and the last layer computes just `row` via
+    /// [`EncoderLayer::forward_row`]. Returns a `(1, d_model)` hidden
+    /// state bit-identical to row `row` of the full forward, with the RNG
+    /// left in the identical state (skipped dropout draws are burned), so
+    /// [`Encoder::dropout_draws`] holds for this path too.
+    pub fn forward_embedded_row(
+        &self,
+        tape: &mut impl TapeExec,
+        store: &ParamStore,
+        mut x: Var,
+        valid_len: usize,
+        row: usize,
+        rng: &mut impl Rng,
+    ) -> Var {
+        let seq = tape.value(x).rows();
+        let mask = if valid_len < seq {
+            Some(MultiHeadSelfAttention::padding_mask(seq, valid_len))
+        } else {
+            None
+        };
+        let Some((last, full)) = self.layers.split_last() else {
+            return tape.slice_rows(x, row, 1);
+        };
+        for layer in full {
+            x = layer.forward(tape, store, x, mask.as_ref(), rng);
+        }
+        let mask_row = mask
+            .as_ref()
+            .map(|_| MultiHeadSelfAttention::padding_mask_row(seq, valid_len));
+        last.forward_row(tape, store, x, row, mask_row.as_ref(), self.cfg.d_ff, rng)
+    }
+
+    /// How many RNG values one train-mode forward over `seq` rows draws for
+    /// its dropout masks (zero when `cfg.dropout == 0`, since the dropout
+    /// kernel early-returns before touching the RNG). Per forward: one
+    /// embedding-dropout mask (`seq × d_model`), then per layer one
+    /// attention-weight mask per head (`seq × seq`), the post-attention and
+    /// post-FFN output masks (`seq × d_model` each) and the FFN-internal
+    /// mask (`seq × d_ff`). The sharded pseudo-label scorer uses this to
+    /// fast-forward worker RNG streams analytically instead of replaying
+    /// forwards; the formula is pinned against a real counted forward in
+    /// `tests::dropout_draws_matches_a_counted_forward`.
+    pub fn dropout_draws(&self, seq: u64) -> u64 {
+        if self.cfg.dropout <= 0.0 {
+            return 0;
+        }
+        let d = self.cfg.d_model as u64;
+        let heads = self.cfg.n_heads as u64;
+        let ff = self.cfg.d_ff as u64;
+        let layers = self.cfg.n_layers as u64;
+        seq * d + layers * (heads * seq * seq + 2 * seq * d + seq * ff)
+    }
+
     /// Embed and encode a token id sequence; the standard entry point.
     pub fn forward(
         &self,
-        tape: &mut Tape,
+        tape: &mut impl TapeExec,
         store: &ParamStore,
         ids: &[usize],
         rng: &mut impl Rng,
@@ -177,6 +282,7 @@ impl Encoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use em_nn::Tape;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -236,6 +342,117 @@ mod tests {
         let b = run(&[2, 9, 8, 3, PAD, PAD, PAD], &mut rng);
         for (x, y) in a.data().iter().zip(b.data()) {
             assert!((x - y).abs() < 1e-4, "padding leaked: {x} vs {y}");
+        }
+    }
+
+    /// Counts `next_u64` calls; dropout's `gen::<f32>()` makes exactly one.
+    struct CountingRng<'a> {
+        inner: &'a mut StdRng,
+        draws: u64,
+    }
+
+    impl rand::RngCore for CountingRng<'_> {
+        fn next_u64(&mut self) -> u64 {
+            self.draws += 1;
+            self.inner.next_u64()
+        }
+    }
+
+    #[test]
+    fn dropout_draws_matches_a_counted_forward() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut store = ParamStore::new();
+        let cfg = LmConfig {
+            vocab: 50,
+            d_model: 16,
+            n_layers: 2,
+            n_heads: 2,
+            d_ff: 32,
+            max_len: 12,
+            dropout: 0.1,
+        };
+        let enc = Encoder::new(&mut store, cfg, &mut rng);
+        for ids in [&[2usize, 10, 11, 3][..], &[2, 9, 8, 7, 6, 5, 4, 3][..]] {
+            let mut counter = CountingRng {
+                inner: &mut rng,
+                draws: 0,
+            };
+            let mut tape = Tape::new();
+            let _ = enc.forward(&mut tape, &store, ids, &mut counter);
+            assert_eq!(
+                counter.draws,
+                enc.dropout_draws(ids.len() as u64),
+                "seq={}",
+                ids.len()
+            );
+        }
+        // Inference (or a zero-dropout config) must not touch the RNG.
+        let mut counter = CountingRng {
+            inner: &mut rng,
+            draws: 0,
+        };
+        let mut tape = Tape::inference();
+        let _ = enc.forward(&mut tape, &store, &[2, 10, 11, 3], &mut counter);
+        assert_eq!(counter.draws, 0);
+        let (store0, enc0, mut rng0) = small_encoder();
+        let mut counter = CountingRng {
+            inner: &mut rng0,
+            draws: 0,
+        };
+        let mut tape = Tape::new();
+        let _ = enc0.forward(&mut tape, &store0, &[2, 10, 11, 3], &mut counter);
+        assert_eq!(counter.draws, 0);
+        assert_eq!(enc0.dropout_draws(4), 0);
+    }
+
+    #[test]
+    fn single_row_forward_matches_the_full_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut store = ParamStore::new();
+        let cfg = LmConfig {
+            vocab: 50,
+            d_model: 16,
+            n_layers: 2,
+            n_heads: 2,
+            d_ff: 32,
+            max_len: 12,
+            dropout: 0.1,
+        };
+        let enc = Encoder::new(&mut store, cfg, &mut rng);
+        let ids = [2usize, 9, 8, 7, 6, 3];
+        // Train-mode (dropout draws burned around the live row), a padded
+        // sequence (masked row path), and inference — each must agree with
+        // the sliced full forward to the bit, including the RNG exit state.
+        for (train, valid) in [(true, ids.len()), (true, 4), (false, ids.len())] {
+            for row in [0, 3, ids.len() - 1] {
+                let fresh = || StdRng::seed_from_u64(4242);
+                let (mut ra, mut rb) = (fresh(), fresh());
+                let mut ta = if train {
+                    Tape::new()
+                } else {
+                    Tape::inference()
+                };
+                let xa = enc.embed(&mut ta, &store, &ids, &mut ra);
+                let h = enc.forward_embedded(&mut ta, &store, xa, valid, &mut ra);
+                let hr = ta.slice_rows(h, row, 1);
+                let mut tb = if train {
+                    Tape::new()
+                } else {
+                    Tape::inference()
+                };
+                let xb = enc.embed(&mut tb, &store, &ids, &mut rb);
+                let hb = enc.forward_embedded_row(&mut tb, &store, xb, valid, row, &mut rb);
+                assert_eq!(
+                    ta.value(hr).data(),
+                    tb.value(hb).data(),
+                    "train={train} valid={valid} row={row}: values diverged"
+                );
+                assert_eq!(
+                    ra.state(),
+                    rb.state(),
+                    "train={train} valid={valid} row={row}: RNG streams diverged"
+                );
+            }
         }
     }
 

@@ -9,6 +9,13 @@ pub fn run_passes(n_passes: usize, mut pass: impl FnMut(usize) -> Vec<f32>) -> V
     let mut hb = em_obs::heartbeat("mc_dropout", n_passes as u64);
     let mut out = Vec::with_capacity(n_passes);
     for i in 0..n_passes {
+        // Each pass gets its own child span so the enclosing pseudo_score
+        // span's wall time attributes to passes instead of reading as one
+        // opaque block of self time.
+        let _pass_span = em_obs::span_with(
+            em_obs::names::SPAN_PSEUDO_PASS,
+            format!("pass {}/{}", i + 1, n_passes),
+        );
         let scores = pass(i);
         if let Some(prev) = out.first() {
             let prev: &Vec<f32> = prev;

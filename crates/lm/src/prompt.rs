@@ -6,7 +6,7 @@
 use crate::encoder::Encoder;
 use crate::tokenizer::{Tokenizer, CLS, MASK, SEP};
 use em_nn::layers::{BiLstm, Linear};
-use em_nn::{init, Matrix, ParamId, ParamStore, Tape, Var};
+use em_nn::{init, Matrix, NoGradTape, ParamId, ParamStore, TapeExec, Var};
 use rand::Rng;
 
 /// The two templates of §3.1:
@@ -98,7 +98,7 @@ impl Verbalizer {
     /// Eq. 1: class probability = mean probability of the class's label
     /// words. Input `logits` is `(n, V)`; output is `(n, 2)` with column 0 =
     /// P(yes|x), column 1 = P(no|x).
-    pub fn class_probs(&self, tape: &mut Tape, logits: Var) -> Var {
+    pub fn class_probs(&self, tape: &mut impl TapeExec, logits: Var) -> Var {
         let probs = tape.softmax_rows(logits);
         let mut m = Matrix::zeros(self.vocab, 2);
         for &w in &self.yes_ids {
@@ -168,7 +168,7 @@ impl PromptEncoder {
     }
 
     /// Compute the `(n_tokens, d)` prompt embedding rows.
-    pub fn rows(&self, tape: &mut Tape, store: &ParamStore) -> Var {
+    pub fn rows(&self, tape: &mut impl TapeExec, store: &ParamStore) -> Var {
         let raw = tape.param(store, self.table);
         let h = self.lstm.forward(tape, store, raw);
         let delta = self.proj.forward(tape, store, h);
@@ -274,18 +274,105 @@ impl PromptTemplate {
         }
     }
 
+    /// Precompute the prompt-encoder output rows as a plain matrix. The
+    /// BiLSTM/projection stack is RNG-free and depends only on the store,
+    /// so its output is identical on every forward until the next optimizer
+    /// step — scoring loops compute it once and splice the cached copy via
+    /// [`PromptTemplate::forward_with_rows`] instead of re-running the
+    /// stack per pair (it dominates matmul call counts otherwise).
+    /// `None` for hard templates.
+    pub fn prompt_rows_matrix(&self, store: &ParamStore) -> Option<Matrix> {
+        self.encoder.as_ref().map(|pe| {
+            let mut tape = NoGradTape::inference();
+            let rows = pe.rows(&mut tape, store);
+            tape.value(rows).clone()
+        })
+    }
+
+    /// The exact sequence length a [`PromptTemplate::forward`] over entity
+    /// serializations of `la` and `lb` tokens produces under the encoder's
+    /// `max_len`: the clipped entity budget plus the template overhead.
+    /// Combined with [`Encoder::dropout_draws`] this lets the sharded
+    /// scorer compute per-pair RNG consumption without running a forward.
+    pub fn seq_len(&self, max_len: usize, la: usize, lb: usize) -> usize {
+        let budget = max_len.saturating_sub(self.overhead());
+        let (ka, kb) = split_budget(la, lb, budget);
+        ka + kb + self.overhead()
+    }
+
     /// Encode a serialized pair through the template and run the LM
     /// encoder. Returns the hidden states and the row of the `[MASK]`
     /// position.
     pub fn forward(
         &self,
-        tape: &mut Tape,
+        tape: &mut impl TapeExec,
         store: &ParamStore,
         lm: &Encoder,
         ids_a: &[usize],
         ids_b: &[usize],
         rng: &mut impl Rng,
     ) -> (Var, usize) {
+        self.forward_with_rows(tape, store, lm, ids_a, ids_b, None, rng)
+    }
+
+    /// [`PromptTemplate::forward`] with an optional precomputed prompt-row
+    /// matrix (from [`PromptTemplate::prompt_rows_matrix`]). With
+    /// `cached_rows` the prompt encoder is not run — bit-exact, since its
+    /// stack consumes no RNG and the cached values are its exact outputs.
+    /// Training paths must pass `None` so gradients reach the prompt table.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_with_rows(
+        &self,
+        tape: &mut impl TapeExec,
+        store: &ParamStore,
+        lm: &Encoder,
+        ids_a: &[usize],
+        ids_b: &[usize],
+        cached_rows: Option<&Matrix>,
+        rng: &mut impl Rng,
+    ) -> (Var, usize) {
+        let (x, pos, mask_row) =
+            self.embed_template(tape, store, lm, ids_a, ids_b, cached_rows, rng);
+        let hidden = lm.forward_embedded(tape, store, x, pos, rng);
+        (hidden, mask_row)
+    }
+
+    /// [`PromptTemplate::forward_with_rows`] when only the `[MASK]` row of
+    /// the final hidden states is consumed (scoring and embedding paths):
+    /// the last encoder layer computes just that row via
+    /// [`Encoder::forward_embedded_row`]. Returns the `(1, d_model)` mask
+    /// hidden state, bit-identical to slicing the full forward's mask row —
+    /// including the RNG stream, since skipped dropout draws are burned.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_mask_row(
+        &self,
+        tape: &mut impl TapeExec,
+        store: &ParamStore,
+        lm: &Encoder,
+        ids_a: &[usize],
+        ids_b: &[usize],
+        cached_rows: Option<&Matrix>,
+        rng: &mut impl Rng,
+    ) -> Var {
+        let (x, pos, mask_row) =
+            self.embed_template(tape, store, lm, ids_a, ids_b, cached_rows, rng);
+        lm.forward_embedded_row(tape, store, x, pos, mask_row, rng)
+    }
+
+    /// Shared front half of the template forwards: lay out the segments,
+    /// splice prompt rows, and build the embedded input. Returns the
+    /// embedded rows, the sequence length, and the `[MASK]` row index.
+    #[allow(clippy::too_many_arguments)]
+    fn embed_template(
+        &self,
+        tape: &mut impl TapeExec,
+        store: &ParamStore,
+        lm: &Encoder,
+        ids_a: &[usize],
+        ids_b: &[usize],
+        cached_rows: Option<&Matrix>,
+        rng: &mut impl Rng,
+    ) -> (Var, usize, usize) {
         let budget = lm.cfg.max_len.saturating_sub(self.overhead());
         let (ka, kb) = split_budget(ids_a.len(), ids_b.len(), budget);
         let a = &ids_a[..ka];
@@ -339,7 +426,10 @@ impl PromptTemplate {
         };
 
         // Flatten segments into embedding rows.
-        let prompt_rows = self.encoder.as_ref().map(|pe| pe.rows(tape, store));
+        let prompt_rows = match cached_rows {
+            Some(m) => Some(tape.constant(m.clone())),
+            None => self.encoder.as_ref().map(|pe| pe.rows(tape, store)),
+        };
         let mut parts: Vec<Var> = Vec::new();
         let mut pos = 0usize;
         let mut mask_row = 0usize;
@@ -379,8 +469,7 @@ impl PromptTemplate {
         let x = tape.add(tok, pos_emb);
         let x = lm.emb_ln.forward(tape, store, x);
         let x = tape.dropout(x, lm.cfg.dropout, rng);
-        let hidden = lm.forward_embedded(tape, store, x, pos, rng);
-        (hidden, mask_row)
+        (x, pos, mask_row)
     }
 }
 
@@ -400,6 +489,7 @@ fn split_budget(la: usize, lb: usize, budget: usize) -> (usize, usize) {
 mod tests {
     use super::*;
     use crate::config::LmConfig;
+    use em_nn::Tape;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -524,6 +614,59 @@ mod tests {
     }
 
     #[test]
+    fn mask_row_forward_matches_the_sliced_full_forward_bitwise() {
+        // Dropout on, train-mode tapes: the row path must reproduce the
+        // full forward's mask row AND its RNG exit state for every
+        // template/mode combination (the mask sits at a different row in
+        // each), or scoring decisions would drift from the historical path.
+        let (_, _, tok, _) = setup();
+        let mut rng = StdRng::seed_from_u64(71);
+        let mut store = ParamStore::new();
+        let cfg = LmConfig {
+            vocab: tok.vocab_size(),
+            d_model: 16,
+            n_layers: 2,
+            n_heads: 2,
+            d_ff: 32,
+            max_len: 32,
+            dropout: 0.1,
+        };
+        let enc = Encoder::new(&mut store, cfg, &mut rng);
+        let a = tok.encode("blue cafe");
+        let b = tok.encode("red diner");
+        for template in [TemplateId::T1, TemplateId::T2] {
+            for mode in [PromptMode::Hard, PromptMode::Continuous] {
+                let tmpl = PromptTemplate::new(
+                    &mut store,
+                    &tok,
+                    enc.cfg.d_model,
+                    template,
+                    mode,
+                    &mut rng,
+                );
+                let fresh = || StdRng::seed_from_u64(72);
+                let (mut ra, mut rb) = (fresh(), fresh());
+                let mut ta = Tape::new();
+                let (h, mask_row) =
+                    tmpl.forward_with_rows(&mut ta, &store, &enc, &a, &b, None, &mut ra);
+                let hr = ta.slice_rows(h, mask_row, 1);
+                let mut tb = Tape::new();
+                let hb = tmpl.forward_mask_row(&mut tb, &store, &enc, &a, &b, None, &mut rb);
+                assert_eq!(
+                    ta.value(hr).data(),
+                    tb.value(hb).data(),
+                    "{template:?}/{mode:?}: mask-row values diverged"
+                );
+                assert_eq!(
+                    ra.state(),
+                    rb.state(),
+                    "{template:?}/{mode:?}: RNG streams diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn continuous_prompts_receive_gradient() {
         let (mut store, enc, tok, mut rng) = setup();
         let verb = Verbalizer::new(&tok, &LabelWords::designed());
@@ -551,6 +694,75 @@ mod tests {
             store.grad(pe.table).frobenius_norm() > 0.0,
             "prompt table got no gradient"
         );
+    }
+
+    /// Counts `next_u64` calls made through the template forward.
+    struct CountingRng<'a> {
+        inner: &'a mut StdRng,
+        draws: u64,
+    }
+
+    impl rand::RngCore for CountingRng<'_> {
+        fn next_u64(&mut self) -> u64 {
+            self.draws += 1;
+            self.inner.next_u64()
+        }
+    }
+
+    #[test]
+    fn seq_len_and_dropout_draws_pin_template_forwards() {
+        let corpus = [
+            "[COL] name [VAL] blue cafe they are matched similar relevant",
+            "[COL] name [VAL] red diner is mismatched different irrelevant to this",
+        ];
+        let tokenizer = Tokenizer::fit(corpus, 1);
+        let mut rng = StdRng::seed_from_u64(71);
+        let mut store = ParamStore::new();
+        let cfg = LmConfig {
+            vocab: tokenizer.vocab_size(),
+            d_model: 16,
+            n_layers: 1,
+            n_heads: 2,
+            d_ff: 32,
+            max_len: 32,
+            dropout: 0.1,
+        };
+        let enc = Encoder::new(&mut store, cfg, &mut rng);
+        let short = tokenizer.encode("blue cafe");
+        let long: Vec<usize> = tokenizer.encode("blue cafe name red diner").repeat(20);
+        for template in [TemplateId::T1, TemplateId::T2] {
+            for mode in [PromptMode::Hard, PromptMode::Continuous] {
+                let tmpl = PromptTemplate::new(
+                    &mut store,
+                    &tokenizer,
+                    enc.cfg.d_model,
+                    template,
+                    mode,
+                    &mut rng,
+                );
+                for (a, b) in [(&short, &short), (&long, &short), (&long, &long)] {
+                    let predicted = tmpl.seq_len(enc.cfg.max_len, a.len(), b.len());
+                    let mut counter = CountingRng {
+                        inner: &mut rng,
+                        draws: 0,
+                    };
+                    let mut tape = Tape::new();
+                    let (h, _) = tmpl.forward(&mut tape, &store, &enc, a, b, &mut counter);
+                    assert_eq!(
+                        tape.value(h).rows(),
+                        predicted,
+                        "{template:?}/{mode:?} la={} lb={}",
+                        a.len(),
+                        b.len()
+                    );
+                    assert_eq!(
+                        counter.draws,
+                        enc.dropout_draws(predicted as u64),
+                        "{template:?}/{mode:?}: the prompt stack must stay RNG-free"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use super::linear::Linear;
 use crate::optim::ParamStore;
-use crate::tape::{Tape, Var};
+use crate::tape::{TapeExec, Var};
 use crate::tensor::Matrix;
 use rand::Rng;
 
@@ -79,10 +79,70 @@ impl MultiHeadSelfAttention {
         )
     }
 
+    /// The additive mask row any single query sees under
+    /// [`MultiHeadSelfAttention::padding_mask`]: masking depends only on
+    /// the key column, so every query row of the full mask is identical.
+    pub fn padding_mask_row(seq_len: usize, valid_len: usize) -> Matrix {
+        Matrix::from_fn(1, seq_len, |_, c| if c < valid_len { 0.0 } else { -1e9 })
+    }
+
+    /// [`MultiHeadSelfAttention::forward`] restricted to one query row:
+    /// keys and values still span the full sequence, but the query
+    /// projection, scores, softmax and output projection cover row `row`
+    /// only. Bit-exact with row `row` of the full forward — every kernel
+    /// in the path accumulates each output row independently and in the
+    /// same element order — and RNG-transparent: the dropout draws for
+    /// the skipped score rows are burned at their exact stream positions
+    /// ([`crate::tape::burn_draws`]), so the generator leaves this call
+    /// in the state the full forward would have left it.
+    pub fn forward_row(
+        &self,
+        tape: &mut impl TapeExec,
+        store: &ParamStore,
+        x: Var,
+        row: usize,
+        mask_row: Option<&Matrix>,
+        rng: &mut impl Rng,
+    ) -> Var {
+        let seq = tape.value(x).rows();
+        let xr = tape.slice_rows(x, row, 1);
+        let q = self.wq.forward(tape, store, xr);
+        let k = self.wk.forward(tape, store, x);
+        let v = self.wv.forward(tape, store, x);
+        let scale = 1.0 / (self.d_head as f32).sqrt();
+        let burn = tape.is_train() && self.dropout > 0.0;
+
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let off = h * self.d_head;
+            let qh = tape.slice_cols(q, off, self.d_head);
+            let kh = tape.slice_cols(k, off, self.d_head);
+            let vh = tape.slice_cols(v, off, self.d_head);
+            let kt = tape.transpose(kh);
+            let scores = tape.matmul(qh, kt);
+            let scores = tape.scale(scores, scale);
+            let scores = match mask_row {
+                Some(m) => tape.add_const(scores, m),
+                None => scores,
+            };
+            let attn = tape.softmax_rows(scores);
+            if burn {
+                crate::tape::burn_draws(rng, row * seq);
+            }
+            let attn = tape.dropout(attn, self.dropout, rng);
+            if burn {
+                crate::tape::burn_draws(rng, (seq - 1 - row) * seq);
+            }
+            head_outputs.push(tape.matmul(attn, vh));
+        }
+        let concat = tape.concat_cols(&head_outputs);
+        self.wo.forward(tape, store, concat)
+    }
+
     /// `x` is `(seq, d_model)`; `mask` (optional) is `(seq, seq)` additive.
     pub fn forward(
         &self,
-        tape: &mut Tape,
+        tape: &mut impl TapeExec,
         store: &ParamStore,
         x: Var,
         mask: Option<&Matrix>,
@@ -118,6 +178,7 @@ impl MultiHeadSelfAttention {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tape::Tape;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

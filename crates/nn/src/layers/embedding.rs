@@ -2,7 +2,7 @@
 
 use crate::init;
 use crate::optim::{ParamId, ParamStore};
-use crate::tape::{Tape, Var};
+use crate::tape::{TapeExec, Var};
 use rand::Rng;
 
 /// A `(vocab, dim)` lookup table. The table's [`ParamId`] is public so an MLM
@@ -31,14 +31,14 @@ impl Embedding {
     }
 
     /// Look up a sequence of token ids, producing a `(len, dim)` var.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, ids: &[usize]) -> Var {
+    pub fn forward(&self, tape: &mut impl TapeExec, store: &ParamStore, ids: &[usize]) -> Var {
         debug_assert!(ids.iter().all(|&i| i < self.vocab), "token id out of vocab");
         let table = tape.param(store, self.table);
         tape.gather_rows(table, ids)
     }
 
     /// The raw table as a tape var (for tied output projections).
-    pub fn table_var(&self, tape: &mut Tape, store: &ParamStore) -> Var {
+    pub fn table_var(&self, tape: &mut impl TapeExec, store: &ParamStore) -> Var {
         tape.param(store, self.table)
     }
 }
@@ -47,6 +47,7 @@ impl Embedding {
 mod tests {
     use super::*;
     use crate::optim::Sgd;
+    use crate::tape::Tape;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -2,7 +2,7 @@
 
 use super::linear::Linear;
 use crate::optim::ParamStore;
-use crate::tape::{Tape, Var};
+use crate::tape::{TapeExec, Var};
 use rand::Rng;
 
 /// Position-wise feed-forward block: `fc2(dropout(gelu(fc1(x))))`.
@@ -34,7 +34,13 @@ impl FeedForward {
     }
 
     /// Apply the block to `(rows, d_model)` input.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var, rng: &mut impl Rng) -> Var {
+    pub fn forward(
+        &self,
+        tape: &mut impl TapeExec,
+        store: &ParamStore,
+        x: Var,
+        rng: &mut impl Rng,
+    ) -> Var {
         let h = self.fc1.forward(tape, store, x);
         let h = tape.gelu(h);
         let h = tape.dropout(h, self.dropout, rng);
@@ -45,6 +51,7 @@ impl FeedForward {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tape::Tape;
     use crate::tensor::Matrix;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -2,7 +2,7 @@
 
 use crate::init;
 use crate::optim::{ParamId, ParamStore};
-use crate::tape::{Tape, Var};
+use crate::tape::{TapeExec, Var};
 use crate::tensor::Matrix;
 use rand::Rng;
 
@@ -62,7 +62,7 @@ impl Linear {
     }
 
     /// Apply the affine map to `(rows, in_dim)` input.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+    pub fn forward(&self, tape: &mut impl TapeExec, store: &ParamStore, x: Var) -> Var {
         let w = tape.param(store, self.w);
         let y = tape.matmul(x, w);
         match self.b {
@@ -102,7 +102,7 @@ impl Mlp {
     }
 
     /// Apply `fc2(relu(fc1(x)))`.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+    pub fn forward(&self, tape: &mut impl TapeExec, store: &ParamStore, x: Var) -> Var {
         let h = self.fc1.forward(tape, store, x);
         let h = tape.relu(h);
         self.fc2.forward(tape, store, h)
@@ -113,6 +113,7 @@ impl Mlp {
 mod tests {
     use super::*;
     use crate::optim::AdamW;
+    use crate::tape::Tape;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -445,6 +445,7 @@ impl Tape {
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> Var {
+        NODES_PUSHED.with(|c| c.set(c.get() + 1));
         self.nodes.push(Node {
             value,
             grad: None,
@@ -1389,6 +1390,476 @@ impl Tape {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Tape-free inference
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Nodes this thread has ever pushed onto any recording [`Tape`].
+    /// Diagnostics only: the tape-free tests pin this counter flat across a
+    /// [`NoGradTape`] forward — the "zero tape nodes" claim is asserted, not
+    /// stated (same proof pattern as the heartbeat module's `clock_reads`).
+    static NODES_PUSHED: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Total tape nodes recorded by the current thread since it started. A
+/// [`NoGradTape`] forward must leave this unchanged.
+pub fn nodes_recorded_on_thread() -> u64 {
+    NODES_PUSHED.with(|c| c.get())
+}
+
+/// Advance `rng` past `n` dropout draws without using them. Single-row
+/// forwards (`MultiHeadSelfAttention::forward_row` and the encoder row
+/// path built on it) skip whole rows of each dropout mask but must leave
+/// the RNG in exactly the state the full forward would: the draws for the
+/// skipped rows are burned at their stream positions, so analytic draw
+/// counts (`Encoder::dropout_draws`) hold for both paths. One `next_u64`
+/// per element mirrors dropout's `gen::<f32>()`, which makes exactly one.
+pub fn burn_draws(rng: &mut impl rand::Rng, n: usize) {
+    for _ in 0..n {
+        rng.next_u64();
+    }
+}
+
+/// Profiler slots for the tape-free path: positions in
+/// [`em_obs::names::ALL_OP_NAMES`], numerically identical to `Op::index`
+/// (a test pins every constant against the registry).
+mod op_idx {
+    pub const LEAF: usize = 0;
+    pub const MATMUL: usize = 1;
+    pub const ADD: usize = 2;
+    pub const ADD_ROW_BROADCAST: usize = 3;
+    pub const SUB: usize = 4;
+    pub const MUL: usize = 5;
+    pub const SCALE: usize = 6;
+    pub const ADD_CONST: usize = 7;
+    pub const TRANSPOSE: usize = 9;
+    pub const TANH: usize = 10;
+    pub const SIGMOID: usize = 11;
+    pub const GELU: usize = 12;
+    pub const RELU: usize = 13;
+    pub const SOFTMAX_ROWS: usize = 14;
+    pub const LAYER_NORM: usize = 15;
+    pub const GATHER_ROWS: usize = 16;
+    pub const DROPOUT: usize = 17;
+    pub const CONCAT_ROWS: usize = 18;
+    pub const CONCAT_COLS: usize = 19;
+    pub const SLICE_ROWS: usize = 20;
+    pub const SLICE_COLS: usize = 21;
+    pub const MEAN_ROWS: usize = 22;
+}
+
+/// The forward-only op surface shared by the recording [`Tape`] and the
+/// tape-free [`NoGradTape`].
+///
+/// Model forwards (`em-layers`, `mini-lm`, `em-core`) are generic over this
+/// trait, so one implementation of each layer serves both modes: training
+/// instantiates it with [`Tape`] (recording, differentiable), inference with
+/// [`NoGradTape`] (value-only, zero graph bookkeeping). Loss ops,
+/// `backward`, and the graph-topology accessors are deliberately *not* part
+/// of the trait — code that differentiates must name [`Tape`] concretely.
+///
+/// Both implementations run the identical numeric kernels in identical
+/// order — including the RNG draw order and `x * m` products inside
+/// [`TapeExec::dropout`] — so outputs are bit-exact across modes; tests
+/// here and in `mini-lm`/`em-core` pin that equivalence.
+pub trait TapeExec {
+    /// True when dropout is active (a training-mode executor).
+    fn is_train(&self) -> bool;
+    /// Insert a constant leaf.
+    fn constant(&mut self, value: Matrix) -> Var;
+    /// Insert (or reuse) a leaf mirroring parameter `id` from `store`.
+    fn param(&mut self, store: &ParamStore, id: ParamId) -> Var;
+    /// The forward value of `v`.
+    fn value(&self, v: Var) -> &Matrix;
+    /// Matrix product `a @ b`.
+    fn matmul(&mut self, a: Var, b: Var) -> Var;
+    /// Elementwise sum (same shapes).
+    fn add(&mut self, a: Var, b: Var) -> Var;
+    /// `a + b` where `b` is a (1,C) row broadcast over the rows of `a`.
+    fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var;
+    /// Elementwise difference.
+    fn sub(&mut self, a: Var, b: Var) -> Var;
+    /// Elementwise (Hadamard) product.
+    fn mul(&mut self, a: Var, b: Var) -> Var;
+    /// Multiply every element by the constant `c`.
+    fn scale(&mut self, a: Var, c: f32) -> Var;
+    /// Add a constant matrix elementwise (no gradient to the constant).
+    fn add_const(&mut self, a: Var, k: &Matrix) -> Var;
+    /// Matrix transpose.
+    fn transpose(&mut self, a: Var) -> Var;
+    /// Elementwise `tanh`.
+    fn tanh(&mut self, a: Var) -> Var;
+    /// Elementwise logistic sigmoid.
+    fn sigmoid(&mut self, a: Var) -> Var;
+    /// Elementwise GELU (tanh approximation, as in BERT).
+    fn gelu(&mut self, a: Var) -> Var;
+    /// Elementwise ReLU.
+    fn relu(&mut self, a: Var) -> Var;
+    /// Row-wise softmax.
+    fn softmax_rows(&mut self, a: Var) -> Var;
+    /// Row-wise layer normalization. `gamma` and `beta` must be (1,C).
+    fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var;
+    /// Select rows of `src` by `idx` (duplicates allowed).
+    fn gather_rows(&mut self, src: Var, idx: &[usize]) -> Var;
+    /// Inverted dropout with keep-probability `1-p`. Identity when the
+    /// executor is in inference mode or `p == 0`.
+    fn dropout(&mut self, x: Var, p: f32, rng: &mut impl rand::Rng) -> Var;
+    /// Stack vars vertically (equal column counts).
+    fn concat_rows(&mut self, parts: &[Var]) -> Var;
+    /// Stack vars horizontally (equal row counts).
+    fn concat_cols(&mut self, parts: &[Var]) -> Var;
+    /// Copy of rows `[start, start+len)`.
+    fn slice_rows(&mut self, x: Var, start: usize, len: usize) -> Var;
+    /// Copy of columns `[start, start+len)`.
+    fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var;
+    /// Mean over rows, producing a `(1, C)` row.
+    fn mean_rows(&mut self, x: Var) -> Var;
+}
+
+impl TapeExec for Tape {
+    fn is_train(&self) -> bool {
+        self.train
+    }
+    fn constant(&mut self, value: Matrix) -> Var {
+        Tape::constant(self, value)
+    }
+    fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        Tape::param(self, store, id)
+    }
+    fn value(&self, v: Var) -> &Matrix {
+        Tape::value(self, v)
+    }
+    fn matmul(&mut self, a: Var, b: Var) -> Var {
+        Tape::matmul(self, a, b)
+    }
+    fn add(&mut self, a: Var, b: Var) -> Var {
+        Tape::add(self, a, b)
+    }
+    fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        Tape::add_row_broadcast(self, a, b)
+    }
+    fn sub(&mut self, a: Var, b: Var) -> Var {
+        Tape::sub(self, a, b)
+    }
+    fn mul(&mut self, a: Var, b: Var) -> Var {
+        Tape::mul(self, a, b)
+    }
+    fn scale(&mut self, a: Var, c: f32) -> Var {
+        Tape::scale(self, a, c)
+    }
+    fn add_const(&mut self, a: Var, k: &Matrix) -> Var {
+        Tape::add_const(self, a, k)
+    }
+    fn transpose(&mut self, a: Var) -> Var {
+        Tape::transpose(self, a)
+    }
+    fn tanh(&mut self, a: Var) -> Var {
+        Tape::tanh(self, a)
+    }
+    fn sigmoid(&mut self, a: Var) -> Var {
+        Tape::sigmoid(self, a)
+    }
+    fn gelu(&mut self, a: Var) -> Var {
+        Tape::gelu(self, a)
+    }
+    fn relu(&mut self, a: Var) -> Var {
+        Tape::relu(self, a)
+    }
+    fn softmax_rows(&mut self, a: Var) -> Var {
+        Tape::softmax_rows(self, a)
+    }
+    fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        Tape::layer_norm(self, x, gamma, beta, eps)
+    }
+    fn gather_rows(&mut self, src: Var, idx: &[usize]) -> Var {
+        Tape::gather_rows(self, src, idx)
+    }
+    fn dropout(&mut self, x: Var, p: f32, rng: &mut impl rand::Rng) -> Var {
+        Tape::dropout(self, x, p, rng)
+    }
+    fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        Tape::concat_rows(self, parts)
+    }
+    fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        Tape::concat_cols(self, parts)
+    }
+    fn slice_rows(&mut self, x: Var, start: usize, len: usize) -> Var {
+        Tape::slice_rows(self, x, start, len)
+    }
+    fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
+        Tape::slice_cols(self, x, start, len)
+    }
+    fn mean_rows(&mut self, x: Var) -> Var {
+        Tape::mean_rows(self, x)
+    }
+}
+
+/// Value-only executor: runs the same op kernels as [`Tape`] but records no
+/// graph — no op payloads, no grad slots, no LayerNorm/Dropout caches — so
+/// a forward pass allocates nothing beyond the value matrices themselves.
+///
+/// Every inference path uses this (teacher scoring, MC-dropout uncertainty,
+/// grid probes, CLI `match` prediction). `train` controls dropout exactly as
+/// on [`Tape`]: MC-dropout scoring runs a *training-mode* `NoGradTape`
+/// (dropout active, RNG consumed in the same order as a recording tape),
+/// deterministic prediction runs [`NoGradTape::inference`].
+pub struct NoGradTape {
+    slots: Vec<Matrix>,
+    param_cache: HashMap<ParamId, Var>,
+    /// When false, `dropout` is the identity (inference mode).
+    pub train: bool,
+}
+
+impl Default for NoGradTape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NoGradTape {
+    /// A fresh training-mode executor (dropout active; MC-dropout scoring).
+    pub fn new() -> Self {
+        NoGradTape {
+            slots: Vec::with_capacity(256),
+            param_cache: HashMap::new(),
+            train: true,
+        }
+    }
+
+    /// An executor whose dropout layers are disabled (deterministic
+    /// inference).
+    pub fn inference() -> Self {
+        let mut t = Self::new();
+        t.train = false;
+        t
+    }
+
+    /// Number of values held so far.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no value has been computed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn push(&mut self, timer: Option<OpTimer>, op_idx: usize, value: Matrix) -> Var {
+        if let Some(t) = timer {
+            t.finish(op_idx, value.len());
+        }
+        self.slots.push(value);
+        Var(self.slots.len() - 1)
+    }
+}
+
+impl TapeExec for NoGradTape {
+    fn is_train(&self) -> bool {
+        self.train
+    }
+
+    fn constant(&mut self, value: Matrix) -> Var {
+        let prof = OpTimer::start();
+        self.push(prof, op_idx::LEAF, value)
+    }
+
+    fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        if let Some(&v) = self.param_cache.get(&id) {
+            return v;
+        }
+        let prof = OpTimer::start();
+        let value = store.value(id).clone();
+        let v = self.push(prof, op_idx::LEAF, value);
+        self.param_cache.insert(id, v);
+        v
+    }
+
+    fn value(&self, v: Var) -> &Matrix {
+        &self.slots[v.0]
+    }
+
+    fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let prof = OpTimer::start();
+        let value = self.slots[a.0].matmul(&self.slots[b.0]);
+        self.push(prof, op_idx::MATMUL, value)
+    }
+
+    fn add(&mut self, a: Var, b: Var) -> Var {
+        let prof = OpTimer::start();
+        let value = self.slots[a.0].add(&self.slots[b.0]);
+        self.push(prof, op_idx::ADD, value)
+    }
+
+    fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let prof = OpTimer::start();
+        let (am, bm) = (&self.slots[a.0], &self.slots[b.0]);
+        assert_eq!(bm.rows(), 1, "add_row_broadcast needs a (1,C) row vector");
+        assert_eq!(am.cols(), bm.cols(), "add_row_broadcast column mismatch");
+        let mut value = am.clone();
+        for r in 0..value.rows() {
+            for (v, &x) in value.row_mut(r).iter_mut().zip(self.slots[b.0].row(0)) {
+                *v += x;
+            }
+        }
+        self.push(prof, op_idx::ADD_ROW_BROADCAST, value)
+    }
+
+    fn sub(&mut self, a: Var, b: Var) -> Var {
+        let prof = OpTimer::start();
+        let value = self.slots[a.0].sub(&self.slots[b.0]);
+        self.push(prof, op_idx::SUB, value)
+    }
+
+    fn mul(&mut self, a: Var, b: Var) -> Var {
+        let prof = OpTimer::start();
+        let value = self.slots[a.0].hadamard(&self.slots[b.0]);
+        self.push(prof, op_idx::MUL, value)
+    }
+
+    fn scale(&mut self, a: Var, c: f32) -> Var {
+        let prof = OpTimer::start();
+        let value = self.slots[a.0].scale(c);
+        self.push(prof, op_idx::SCALE, value)
+    }
+
+    fn add_const(&mut self, a: Var, k: &Matrix) -> Var {
+        let prof = OpTimer::start();
+        let value = self.slots[a.0].add(k);
+        self.push(prof, op_idx::ADD_CONST, value)
+    }
+
+    fn transpose(&mut self, a: Var) -> Var {
+        let prof = OpTimer::start();
+        let value = self.slots[a.0].transpose();
+        self.push(prof, op_idx::TRANSPOSE, value)
+    }
+
+    fn tanh(&mut self, a: Var) -> Var {
+        let prof = OpTimer::start();
+        let value = self.slots[a.0].map(f32::tanh);
+        self.push(prof, op_idx::TANH, value)
+    }
+
+    fn sigmoid(&mut self, a: Var) -> Var {
+        let prof = OpTimer::start();
+        let value = self.slots[a.0].map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(prof, op_idx::SIGMOID, value)
+    }
+
+    fn gelu(&mut self, a: Var) -> Var {
+        let prof = OpTimer::start();
+        let value = self.slots[a.0].map(gelu);
+        self.push(prof, op_idx::GELU, value)
+    }
+
+    fn relu(&mut self, a: Var) -> Var {
+        let prof = OpTimer::start();
+        let value = self.slots[a.0].map(|x| x.max(0.0));
+        self.push(prof, op_idx::RELU, value)
+    }
+
+    fn softmax_rows(&mut self, a: Var) -> Var {
+        let prof = OpTimer::start();
+        let value = self.slots[a.0].softmax_rows();
+        self.push(prof, op_idx::SOFTMAX_ROWS, value)
+    }
+
+    fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let prof = OpTimer::start();
+        let (rows, cols) = self.slots[x.0].shape();
+        for v in [gamma, beta] {
+            assert_eq!(
+                self.slots[v.0].shape(),
+                (1, cols),
+                "layer_norm gain/bias must be (1,C)"
+            );
+        }
+        // Same per-row arithmetic as the recording tape, minus the `normed`
+        // and `inv_std` backward caches.
+        let mut value = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let row = self.slots[x.0].row(r);
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            for (c, &xv) in row.iter().enumerate() {
+                let n = (xv - mean) * istd;
+                value.set(
+                    r,
+                    c,
+                    n * self.slots[gamma.0].get(0, c) + self.slots[beta.0].get(0, c),
+                );
+            }
+        }
+        self.push(prof, op_idx::LAYER_NORM, value)
+    }
+
+    fn gather_rows(&mut self, src: Var, idx: &[usize]) -> Var {
+        let prof = OpTimer::start();
+        let value = self.slots[src.0].gather_rows(idx);
+        self.push(prof, op_idx::GATHER_ROWS, value)
+    }
+
+    fn dropout(&mut self, x: Var, p: f32, rng: &mut impl rand::Rng) -> Var {
+        if !self.train || p <= 0.0 {
+            return x;
+        }
+        let prof = OpTimer::start();
+        assert!(p < 1.0, "dropout probability must be < 1");
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let xm = &self.slots[x.0];
+        // Fused mask-multiply: identical draws in identical (row-major)
+        // order and the same `x * m` products as the recording tape's
+        // mask + hadamard, without materializing the mask. Streaming the
+        // backing slice keeps the per-element cost at one draw + one
+        // multiply (no index arithmetic).
+        let data: Vec<f32> = xm
+            .data()
+            .iter()
+            .map(|&v| {
+                let m = if rng.gen::<f32>() < keep { scale } else { 0.0 };
+                v * m
+            })
+            .collect();
+        let value = Matrix::from_vec(xm.rows(), xm.cols(), data);
+        self.push(prof, op_idx::DROPOUT, value)
+    }
+
+    fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        let prof = OpTimer::start();
+        let mats: Vec<&Matrix> = parts.iter().map(|v| &self.slots[v.0]).collect();
+        let value = Matrix::vstack(&mats);
+        self.push(prof, op_idx::CONCAT_ROWS, value)
+    }
+
+    fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let prof = OpTimer::start();
+        let mats: Vec<&Matrix> = parts.iter().map(|v| &self.slots[v.0]).collect();
+        let value = Matrix::hstack(&mats);
+        self.push(prof, op_idx::CONCAT_COLS, value)
+    }
+
+    fn slice_rows(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let prof = OpTimer::start();
+        let value = self.slots[x.0].slice_rows(start, len);
+        self.push(prof, op_idx::SLICE_ROWS, value)
+    }
+
+    fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let prof = OpTimer::start();
+        let value = self.slots[x.0].slice_cols(start, len);
+        self.push(prof, op_idx::SLICE_COLS, value)
+    }
+
+    fn mean_rows(&mut self, x: Var) -> Var {
+        let prof = OpTimer::start();
+        let value = self.slots[x.0].mean_rows();
+        self.push(prof, op_idx::MEAN_ROWS, value)
+    }
+}
+
 /// Exact GELU via erf approximation (tanh form, as used by BERT/RoBERTa).
 #[inline]
 pub fn gelu(x: f32) -> f32 {
@@ -1829,5 +2300,156 @@ mod tests {
         for &v in tape.value(y).data() {
             assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
         }
+    }
+
+    // ---- tape-free inference ----
+
+    /// One forward through every `TapeExec` op, generic over the executor,
+    /// so the exact same call sequence can run taped and tape-free.
+    fn exercise_all_ops<T: TapeExec>(
+        exec: &mut T,
+        store: &ParamStore,
+        w: ParamId,
+        rng: &mut rand::rngs::StdRng,
+    ) -> Matrix {
+        let x = exec.constant(Matrix::from_vec(
+            3,
+            4,
+            vec![
+                0.5, -1.2, 0.3, 0.9, -0.4, 1.7, 0.05, -0.6, 1.1, -0.2, 0.8, -1.5,
+            ],
+        ));
+        let wv = exec.param(store, w);
+        let h = exec.matmul(x, wv);
+        let bias = exec.constant(Matrix::from_vec(1, 4, vec![0.1, -0.1, 0.2, -0.2]));
+        let h = exec.add_row_broadcast(h, bias);
+        let g = exec.gelu(h);
+        let gamma = exec.constant(Matrix::full(1, 4, 1.0));
+        let beta = exec.constant(Matrix::full(1, 4, 0.0));
+        let n = exec.layer_norm(g, gamma, beta, 1e-5);
+        let d = exec.dropout(n, 0.3, rng);
+        let s = exec.softmax_rows(d);
+        let t = exec.transpose(s);
+        let t = exec.transpose(t);
+        let a = exec.tanh(t);
+        let b = exec.sigmoid(t);
+        let m = exec.mul(a, b);
+        let m = exec.relu(m);
+        let m2 = exec.scale(m, 1.5);
+        let sum = exec.add(m, m2);
+        let diff = exec.sub(sum, m);
+        let k = Matrix::full(3, 4, 0.25);
+        let shifted = exec.add_const(diff, &k);
+        let picked = exec.gather_rows(shifted, &[2, 0, 1, 2]);
+        let top = exec.slice_rows(picked, 0, 2);
+        let left = exec.slice_cols(top, 0, 2);
+        let right = exec.slice_cols(top, 2, 2);
+        let wide = exec.concat_cols(&[left, right]);
+        let tall = exec.concat_rows(&[wide, top]);
+        let pooled = exec.mean_rows(tall);
+        let out = exec.concat_rows(&[tall, pooled]);
+        exec.value(out).clone()
+    }
+
+    #[test]
+    fn tape_free_forward_is_bit_exact_and_records_zero_nodes() {
+        use rand::SeedableRng;
+        let mut store = ParamStore::new();
+        let w = store.register(
+            "w",
+            Matrix::from_vec(
+                4,
+                4,
+                vec![
+                    0.2, -0.4, 0.6, 0.1, -0.3, 0.5, -0.2, 0.7, 0.4, -0.6, 0.3, -0.1, 0.8, 0.2,
+                    -0.5, 0.4,
+                ],
+            ),
+        );
+
+        let mut taped = Tape::new();
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(7);
+        let y_taped = exercise_all_ops(&mut taped, &store, w, &mut rng_a);
+
+        let pushed_before = nodes_recorded_on_thread();
+        let mut free = NoGradTape::new();
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(7);
+        let y_free = exercise_all_ops(&mut free, &store, w, &mut rng_b);
+        assert_eq!(
+            nodes_recorded_on_thread(),
+            pushed_before,
+            "a NoGradTape forward must record zero tape nodes"
+        );
+        assert!(!free.is_empty());
+
+        // Bit-exact, not approximately equal: compare f32 bit patterns so
+        // even a ±0.0 divergence in the fused dropout would be caught.
+        assert_eq!(y_taped.shape(), y_free.shape());
+        for (i, (a, b)) in y_taped.data().iter().zip(y_free.data()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "logit {i} diverged: taped {a} vs tape-free {b}"
+            );
+        }
+        // Both executors must consume the RNG identically (same number of
+        // draws in the same order), or downstream passes would diverge.
+        assert_eq!(rng_a.state(), rng_b.state(), "RNG streams diverged");
+    }
+
+    #[test]
+    fn nograd_op_indices_match_the_obs_registry() {
+        for (idx, name) in [
+            (op_idx::LEAF, "leaf"),
+            (op_idx::MATMUL, "matmul"),
+            (op_idx::ADD, "add"),
+            (op_idx::ADD_ROW_BROADCAST, "add_row_broadcast"),
+            (op_idx::SUB, "sub"),
+            (op_idx::MUL, "mul"),
+            (op_idx::SCALE, "scale"),
+            (op_idx::ADD_CONST, "add_const"),
+            (op_idx::TRANSPOSE, "transpose"),
+            (op_idx::TANH, "tanh"),
+            (op_idx::SIGMOID, "sigmoid"),
+            (op_idx::GELU, "gelu"),
+            (op_idx::RELU, "relu"),
+            (op_idx::SOFTMAX_ROWS, "softmax_rows"),
+            (op_idx::LAYER_NORM, "layer_norm"),
+            (op_idx::GATHER_ROWS, "gather_rows"),
+            (op_idx::DROPOUT, "dropout"),
+            (op_idx::CONCAT_ROWS, "concat_rows"),
+            (op_idx::CONCAT_COLS, "concat_cols"),
+            (op_idx::SLICE_ROWS, "slice_rows"),
+            (op_idx::SLICE_COLS, "slice_cols"),
+            (op_idx::MEAN_ROWS, "mean_rows"),
+        ] {
+            assert_eq!(
+                em_obs::names::ALL_OP_NAMES[idx],
+                name,
+                "tape-free profiler slot {idx} drifted from the registry"
+            );
+        }
+    }
+
+    #[test]
+    fn nograd_inference_dropout_is_identity_and_draws_nothing() {
+        let mut exec = NoGradTape::inference();
+        let x = exec.constant(Matrix::full(2, 2, 1.0));
+        // A step RNG that would visibly perturb the mask if consumed.
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let y = exec.dropout(x, 0.5, &mut rng);
+        assert_eq!(x, y, "inference-mode dropout must be the identity");
+        assert_eq!(exec.len(), 1, "identity dropout must not push a value");
+    }
+
+    #[test]
+    fn nograd_param_cache_reuses_leaves() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::full(2, 2, 0.5));
+        let mut exec = NoGradTape::inference();
+        let a = exec.param(&store, w);
+        let b = exec.param(&store, w);
+        assert_eq!(a, b);
+        assert_eq!(exec.len(), 1);
     }
 }

@@ -94,6 +94,9 @@ pub const SPAN_TEACHER: &str = "teacher";
 pub const SPAN_PSEUDO_SELECT: &str = "pseudo_select";
 /// MC-Dropout scoring passes inside pseudo-label selection.
 pub const SPAN_PSEUDO_SCORE: &str = "pseudo_score";
+/// One stochastic MC-Dropout forward pass (detail: `pass <i>/<n>`). Child
+/// of `pseudo_score`, so its wall time stops reading as pure self time.
+pub const SPAN_PSEUDO_PASS: &str = "pseudo_pass";
 /// Uncertainty estimation over the scoring passes.
 pub const SPAN_PSEUDO_UNCERTAINTY: &str = "pseudo_uncertainty";
 /// Threshold + sort that turns scores into selected pseudo-labels.
@@ -112,7 +115,7 @@ pub const SPAN_PREDICT: &str = "predict";
 pub const SPAN_METHOD: &str = "method";
 
 /// Every span name the workspace opens, in rough pipeline order.
-pub const ALL_SPAN_NAMES: [&str; 18] = [
+pub const ALL_SPAN_NAMES: [&str; 19] = [
     SPAN_MATCH,
     SPAN_PRETRAIN,
     SPAN_ENCODE,
@@ -123,6 +126,7 @@ pub const ALL_SPAN_NAMES: [&str; 18] = [
     SPAN_TEACHER,
     SPAN_PSEUDO_SELECT,
     SPAN_PSEUDO_SCORE,
+    SPAN_PSEUDO_PASS,
     SPAN_PSEUDO_UNCERTAINTY,
     SPAN_PSEUDO_RANK,
     SPAN_STUDENT,

@@ -18,6 +18,9 @@
 //! * [`diff`] / [`report`] — compare two manifests under configurable
 //!   [`diff::Thresholds`] (the perf-regression gate `scripts/ci.sh` runs),
 //!   and render TTY reports plus the machine-readable `BENCH_report.json`.
+//! * [`canonical`] — the timing-stripped canonical form of a trace, and
+//!   the byte-exact equivalence check behind the `--threads N` vs
+//!   `--threads 1` determinism gate (`promptem report --diff --canonical`).
 //! * [`stream`] / [`live`] — tail a trace while it is being written
 //!   (partial-last-line tolerant) and fold it into the `promptem top`
 //!   dashboard frame.
@@ -30,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod canonical;
 pub mod diff;
 pub mod flame;
 pub mod history;
@@ -41,6 +45,7 @@ pub mod report;
 pub mod stream;
 pub mod tree;
 
+pub use canonical::{canonical_lines, first_divergence, Divergence};
 pub use diff::{diff, DiffReport, Thresholds};
 pub use flame::FlameRow;
 pub use history::HistoryEntry;

@@ -22,9 +22,10 @@ cargo run --release -q -p em-check --bin em-lint
 echo "==> lexer + lint engine suite (fixtures, proptests, tree-clean pin)"
 cargo test --release -q -p em-check --test lex_prop --test lint_fixture
 
-echo "==> em-sched model check (scheduler self-tests + op-stats table, 64 seeds)"
+echo "==> em-sched model check (scheduler self-tests + op-stats table + pool, 64 seeds)"
 cargo test --release -q -p em-check --test sched_selftest
 PROMPTEM_SCHED_SEEDS=64 cargo test --release -q -p em-nn --test sched_opstats
+PROMPTEM_SCHED_SEEDS=64 cargo test --release -q -p promptem --test sched_pool
 
 echo "==> sanitizer smoke (PROMPTEM_SANITIZE=1 tiny pipeline)"
 smoke_dir="$(mktemp -d)"
@@ -61,6 +62,37 @@ grep -q '"op": "matmul"' BENCH_report.json || {
 }
 cargo run --release -q -p promptem-cli --bin promptem -- \
     report --diff "$smoke_dir/new.jsonl" "$smoke_dir/new.jsonl" >/dev/null
+
+echo "==> parallel scoring (tape-free smoke + 1-vs-2-thread canonical gate)"
+for t in 1 2; do
+    cargo run --release -q -p promptem-cli --bin promptem -- \
+        match --left "$smoke_dir/left.csv" --right "$smoke_dir/right.csv" \
+        --labels "$smoke_dir/train.csv" --seed 7 --trace warn \
+        --pretrain-steps 20 --epochs 1 --threads "$t" --progress-every 1 \
+        --metrics-out "$smoke_dir/threads$t.jsonl" >/dev/null
+done
+cargo run --release -q -p promptem-cli --bin promptem -- \
+    report --diff "$smoke_dir/threads1.jsonl" "$smoke_dir/threads2.jsonl" \
+    --canonical
+# Tape-free smoke: scoring must record zero autodiff nodes, so the
+# cumulative tape-node counter is flat across every consecutive run of
+# MC-dropout heartbeats (training between scoring rounds may grow it).
+awk '
+    /"type":"progress"/ {
+        if ($0 ~ /"phase":"mc_dropout"/) {
+            match($0, /"tape_nodes":[0-9]+/)
+            v = substr($0, RSTART + 13, RLENGTH - 13)
+            if (scoring && v != prev) {
+                print "tape-free smoke: tape nodes grew mid-scoring: " prev " -> " v
+                exit 1
+            }
+            prev = v; scoring = 1; seen = 1
+        } else {
+            scoring = 0
+        }
+    }
+    END { if (!seen) { print "tape-free smoke: no mc_dropout heartbeats in trace"; exit 1 } }
+' "$smoke_dir/threads2.jsonl"
 
 echo "==> live telemetry (heartbeats, run_meta, top, trend-gated history)"
 cargo run --release -q -p promptem-cli --bin promptem -- \
