@@ -58,11 +58,15 @@ pub enum Rule {
     /// No `.lock().unwrap()` / `.lock().expect(` — poisoned-lock
     /// handling must be explicit (e.g. `PoisonError::into_inner`).
     LockUnwrap,
+    /// No `std::net` sockets outside `crates/serve`: every wire byte in
+    /// the workspace flows through the one crate whose protocol, fault
+    /// injection, and drain semantics are tested.
+    NetUse,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 11] = [
+    pub const ALL: [Rule; 12] = [
         Rule::Unwrap,
         Rule::Clock,
         Rule::Rng,
@@ -74,6 +78,7 @@ impl Rule {
         Rule::ThreadSpawn,
         Rule::UnsafeSafety,
         Rule::LockUnwrap,
+        Rule::NetUse,
     ];
 
     /// The four concurrency-correctness rules added for the parallel arc.
@@ -98,6 +103,7 @@ impl Rule {
             Rule::ThreadSpawn => "thread-spawn",
             Rule::UnsafeSafety => "unsafe-safety",
             Rule::LockUnwrap => "lock-unwrap",
+            Rule::NetUse => "net-use",
         }
     }
 
@@ -144,6 +150,10 @@ impl Rule {
                 ".lock().unwrap() turns one panicked thread into a process-wide cascade; \
                  handle PoisonError explicitly (into_inner or a typed error path)"
             }
+            Rule::NetUse => {
+                "raw std::net sockets bypass em-serve's admission control, failpoints, and \
+                 drain semantics; all wire traffic goes through crates/serve"
+            }
         }
     }
 
@@ -158,7 +168,7 @@ impl Rule {
     fn applies_to_test_code(self) -> bool {
         matches!(
             self,
-            Rule::Clock | Rule::Rng | Rule::Exit | Rule::UnsafeSafety
+            Rule::Clock | Rule::Rng | Rule::Exit | Rule::UnsafeSafety | Rule::NetUse
         )
     }
 
@@ -187,9 +197,15 @@ impl Rule {
             // today, the work-stealing pool next) own their raw threads.
             // `lint_repo` skips crates/compat entirely; the entry exists
             // so `lint_source` agrees when pointed at one of its files.
-            Rule::ThreadSpawn => &["crates/compat/"],
+            // em-serve's worker actors, supervisor monitor, connection
+            // readers, and load-driver connections *are* its job: the
+            // pool shards data-parallel compute, but a service needs
+            // long-lived blocking threads it can supervise and restart.
+            Rule::ThreadSpawn => &["crates/compat/", "crates/serve/"],
             Rule::UnsafeSafety => &[],
             Rule::LockUnwrap => &[],
+            // The one crate whose job is the network.
+            Rule::NetUse => &["crates/serve/"],
         };
         allowed.iter().any(|prefix| unix_rel.starts_with(prefix))
     }
@@ -642,6 +658,22 @@ fn find_matches(rule: Rule, ctx: &FileCtx<'_>) -> Vec<Match> {
                     out.push((k, k + 6));
                 }
             }
+            Rule::NetUse => {
+                // Socket type names (used or imported) and the std::net
+                // module path itself both count.
+                if ctx
+                    .ident(k)
+                    .is_some_and(|i| matches!(i, "TcpListener" | "TcpStream" | "UdpSocket"))
+                {
+                    out.push((k, k));
+                } else if ctx.is_ident(k, "std")
+                    && ctx.is_path_sep(k + 1)
+                    && ctx.is_ident(k + 3, "net")
+                    && ctx.is_path_sep(k + 4)
+                {
+                    out.push((k, k + 3));
+                }
+            }
         }
     }
     out
@@ -896,9 +928,11 @@ fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::SeqCst); }\n";
         let v = lint_source("crates/core/src/x.rs", src);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, Rule::ThreadSpawn);
-        // Tests and the vendored concurrency crates may spawn.
+        // Tests, the vendored concurrency crates, and em-serve's actor
+        // threads may spawn.
         assert!(lint_source("crates/core/tests/t.rs", src).is_empty());
         assert!(lint_source("crates/compat/pool/src/lib.rs", src).is_empty());
+        assert!(lint_source("crates/serve/src/supervisor.rs", src).is_empty());
     }
 
     #[test]
@@ -920,6 +954,27 @@ fn f(p: *const u8) -> u8 {
         // unsafe-safety applies in test code too.
         let in_test = "#[cfg(test)]\nmod t {\n    fn f(p: *const u8) -> u8 { unsafe { *p } }\n}\n";
         assert_eq!(lint_source("crates/core/src/x.rs", in_test).len(), 1);
+    }
+
+    #[test]
+    fn net_use_rule() {
+        let src = "use std::net::TcpStream;\nfn dial() { let _ = TcpStream::connect(\"x\"); }\n";
+        let v = lint_source("crates/core/src/x.rs", src);
+        assert!(v.iter().all(|v| v.rule == Rule::NetUse), "{v:?}");
+        assert_eq!(v.len(), 2, "{v:?}");
+        // The serve crate is the sanctioned home for sockets — lib,
+        // tests, everything under it.
+        assert!(lint_source("crates/serve/src/server.rs", src).is_empty());
+        assert!(lint_source("crates/serve/tests/chaos.rs", src).is_empty());
+        // Sockets in other crates' *tests* still fire: wire traffic in a
+        // test belongs behind em_serve::Client like everywhere else.
+        assert_eq!(lint_source("crates/core/tests/t.rs", src).len(), 2);
+        // The bare module path fires even without a socket type name.
+        let path_only = "fn f() { let _ = std::net::lookup_host(\"x\"); }\n";
+        assert_eq!(lint_source("crates/core/src/x.rs", path_only).len(), 1);
+        // `net` as an ordinary identifier does not fire.
+        let benign = "fn f() { let net = 3; let _ = net + 1; }\n";
+        assert!(lint_source("crates/core/src/x.rs", benign).is_empty());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! unlabeled pool for self-training.
 
 mod args;
+mod serve_cmd;
 
 #[cfg(test)]
 mod cli_e2e;
@@ -96,6 +97,13 @@ const USAGE: &str = "usage:
                  [--template t1|t2] [--mode hard|continuous] [--no-lst]
                  [--pretrain-steps <n>] [--epochs <n>]
                  [--checkpoint-dir <dir>] [--checkpoint-every <n>] [--resume]
+  promptem serve --left <file> --right <file> --labels <csv>
+                 [--port <p>] [--port-file <path>] [--workers <n>]
+                 [--batch-max <n>] [--queue-cap <n>] [--inflight-cap <n>]
+                 [--deadline-ms <n>] [--wedge-ms <n>]
+                 (plus every training flag `match` takes)
+  promptem drive --pairs <csv> (--addr <host:port> | --port-file <path>)
+                 [--connections <n>] [--out <csv>] [--shutdown]
   promptem ckpt inspect <checkpoint-or-dir>
   promptem export --benchmark <name> --dir <path> [--seed <u64>] [--full]
   promptem report <trace.jsonl> [--top <n>] [--bench-out <path.json>]
@@ -139,6 +147,8 @@ fn run_cli(raw: Vec<String>) -> Result<(), Failure> {
     let result = match args.positional.first().map(|s| s.as_str()) {
         Some("stats") => cmd_stats(&args).map_err(Failure::from),
         Some("match") => cmd_match(&args).map_err(Failure::from),
+        Some("serve") => serve_cmd::cmd_serve(&args).map_err(Failure::from),
+        Some("drive") => serve_cmd::cmd_drive(&args).map_err(Failure::from),
         Some("export") => cmd_export(&args).map_err(Failure::from),
         Some("report") => cmd_report(&args),
         Some("top") => cmd_top(&args),
@@ -220,7 +230,10 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_match(args: &Args) -> Result<(), String> {
+/// Everything `match` and `serve` share ahead of training: load the two
+/// tables and the labels, carve the splits, augment the unlabeled pool
+/// from the token blocker, and resolve the pipeline config flags.
+fn prepare_run(args: &Args) -> Result<(GemDataset, PromptEmConfig), String> {
     let left = load_table(args.require("left")?, "left")?;
     let right = load_table(args.require("right")?, "right")?;
     let labels_path = args.require("labels")?;
@@ -312,11 +325,15 @@ fn cmd_match(args: &Args) -> Result<(), String> {
     } else if args.switch("resume") || args.get("checkpoint-every").is_some() {
         return Err("--resume/--checkpoint-every need --checkpoint-dir".to_string());
     }
+    Ok((ds, cfg))
+}
 
-    em_obs::set_run_seed(seed);
-    // Identity first: `run_meta` must be the first line of the trace so
-    // `promptem history` can key the run before any other event lands.
-    em_obs::run_meta(seed, config_fingerprint(&cfg), em_obs::detect_git_sha());
+/// Trace identity plus the training banner, shared by `match` and
+/// `serve`. `run_meta` must be the first line of the trace so
+/// `promptem history` can key the run before any other event lands.
+fn announce_run(ds: &GemDataset, cfg: &PromptEmConfig) {
+    em_obs::set_run_seed(cfg.seed);
+    em_obs::run_meta(cfg.seed, config_fingerprint(cfg), em_obs::detect_git_sha());
     em_obs::info(format!(
         "training on {} labels ({} valid / {} test held out, {} unlabeled)...",
         ds.train.len(),
@@ -324,8 +341,13 @@ fn cmd_match(args: &Args) -> Result<(), String> {
         ds.test.len(),
         ds.unlabeled.len()
     ));
+}
+
+fn cmd_match(args: &Args) -> Result<(), String> {
+    let (ds, cfg) = prepare_run(args)?;
+    announce_run(&ds, &cfg);
     let result = {
-        let _span = em_obs::span_with(em_obs::names::SPAN_MATCH, name.clone());
+        let _span = em_obs::span_with(em_obs::names::SPAN_MATCH, ds.name.clone());
         let result = run(&ds, &cfg);
         // Catch any tape ops not flushed at an inner stage boundary.
         em_nn::tape::flush_op_stats();

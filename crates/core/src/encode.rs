@@ -96,28 +96,62 @@ fn table_texts(
     }
 }
 
+/// Per-record token ids for both tables: encodes any `(left, right)`
+/// record pair exactly as [`encode_dataset`] would (which goes through
+/// this type, so the equivalence holds by construction). The serve path
+/// uses it to encode ad-hoc request pairs bit-identically to the offline
+/// dataset encoding.
+#[derive(Clone)]
+pub struct PairCodec {
+    left_ids: Vec<Vec<usize>>,
+    right_ids: Vec<Vec<usize>>,
+}
+
+impl PairCodec {
+    /// Serialize, summarize, and tokenize every record of both tables.
+    pub fn build(ds: &GemDataset, tokenizer: &Tokenizer, cfg: &EncodeCfg) -> Self {
+        let clip = |ids: Vec<usize>| -> Vec<usize> {
+            let mut ids = ids;
+            ids.truncate(cfg.side_tokens);
+            ids
+        };
+        PairCodec {
+            left_ids: table_texts(&ds.left.records, ds.left.format, cfg)
+                .iter()
+                .map(|t| clip(tokenizer.encode(t)))
+                .collect(),
+            right_ids: table_texts(&ds.right.records, ds.right.format, cfg)
+                .iter()
+                .map(|t| clip(tokenizer.encode(t)))
+                .collect(),
+        }
+    }
+
+    /// Records per table, `(left, right)`.
+    pub fn sizes(&self) -> (usize, usize) {
+        (self.left_ids.len(), self.right_ids.len())
+    }
+
+    /// Encode one record pair; `None` when either index is out of range.
+    pub fn encode(&self, left: usize, right: usize) -> Option<EncodedPair> {
+        Some(EncodedPair {
+            ids_a: self.left_ids.get(left)?.clone(),
+            ids_b: self.right_ids.get(right)?.clone(),
+        })
+    }
+}
+
 /// Encode the full dataset. Serialization/summarization/tokenization run
 /// once per record, not once per pair.
 pub fn encode_dataset(ds: &GemDataset, tokenizer: &Tokenizer, cfg: &EncodeCfg) -> EncodedDataset {
-    let left_texts = table_texts(&ds.left.records, ds.left.format, cfg);
-    let right_texts = table_texts(&ds.right.records, ds.right.format, cfg);
-    let clip = |ids: Vec<usize>| -> Vec<usize> {
-        let mut ids = ids;
-        ids.truncate(cfg.side_tokens);
-        ids
-    };
-    let left_ids: Vec<Vec<usize>> = left_texts
-        .iter()
-        .map(|t| clip(tokenizer.encode(t)))
-        .collect();
-    let right_ids: Vec<Vec<usize>> = right_texts
-        .iter()
-        .map(|t| clip(tokenizer.encode(t)))
-        .collect();
-
-    let enc_pair = |p: em_data::pair::Pair| EncodedPair {
-        ids_a: left_ids[p.left].clone(),
-        ids_b: right_ids[p.right].clone(),
+    let codec = PairCodec::build(ds, tokenizer, cfg);
+    let enc_pair = |p: em_data::pair::Pair| {
+        // lint:allow(unwrap) — GemDataset construction range-checks every
+        // pair against its tables; an out-of-range index here is a bug in
+        // the dataset builder, not a recoverable input error.
+        codec
+            .encode(p.left, p.right)
+            .expect("dataset pair indexes a missing record")
     };
     let enc_labeled = |ps: &[em_data::pair::LabeledPair]| -> Vec<Example> {
         ps.iter()

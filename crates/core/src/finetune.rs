@@ -15,7 +15,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
-/// A fine-tuned sequence-pair classifier on the shared backbone.
+/// A fine-tuned sequence-pair classifier on the shared backbone. Cloning
+/// snapshots the whole model, like [`crate::model::PromptEmModel`].
+#[derive(Clone)]
 pub struct FineTuneModel {
     backbone: Arc<PretrainedLm>,
     /// The working copy of the backbone (tuned in place).

@@ -41,11 +41,14 @@ pub mod trainer;
 
 pub use active::{active_round, select_for_labeling, AcquisitionStrategy};
 pub use calibration::{brier_score, expected_calibration_error};
-pub use encode::{EncodeCfg, EncodedDataset, EncodedPair, Example};
+pub use encode::{EncodeCfg, EncodedDataset, EncodedPair, Example, PairCodec};
 pub use explain::{attribute_importance, AttributeImportance};
 pub use finetune::FineTuneModel;
 pub use model::{run_training, PromptEmModel, PromptOpts};
-pub use pipeline::{run, run_with_backbone, PromptEmConfig, RunResult};
+pub use pipeline::{
+    run, run_trained, run_with_backbone, MatchDecision, PromptEmConfig, RunResult, TrainedMatcher,
+    TrainedRun,
+};
 pub use pseudo::{PseudoCfg, SelectionStrategy};
 pub use resume::MatcherState;
 pub use selftrain::{lightweight_self_train, lightweight_self_train_with, LstCfg, LstReport};

@@ -83,7 +83,10 @@ impl Default for PromptOpts {
     }
 }
 
-/// A prompt-tuned GEM matcher.
+/// A prompt-tuned GEM matcher. Cloning snapshots the whole model (working
+/// weights, prompt machinery, threshold, RNG) — the serve supervisor uses
+/// this to hand each replacement worker an identical-deciding copy.
+#[derive(Clone)]
 pub struct PromptEmModel {
     backbone: Arc<PretrainedLm>,
     /// The working copy of the backbone (prompt-tuned in place).

@@ -3,7 +3,7 @@
 //! public entry point a downstream user calls, and the harness behind every
 //! experiment table.
 
-use crate::encode::{encode_dataset, EncodeCfg, EncodedDataset};
+use crate::encode::{encode_dataset, EncodeCfg, EncodedDataset, EncodedPair};
 use crate::finetune::FineTuneModel;
 use crate::model::{PromptEmModel, PromptOpts};
 use crate::selftrain::{lightweight_self_train_with, LstCfg, LstReport};
@@ -174,7 +174,7 @@ fn tune_and_eval<M: TunableMatcher>(
     proto: M,
     encoded: &EncodedDataset,
     cfg: &PromptEmConfig,
-) -> (PrfScores, Vec<bool>, LstReport, f64) {
+) -> (PrfScores, Vec<bool>, LstReport, f64, M) {
     let start = em_obs::Stopwatch::new();
     let (mut model, report) = if cfg.use_lst {
         let ctx = phase_ctx(cfg, "selftrain");
@@ -201,7 +201,74 @@ fn tune_and_eval<M: TunableMatcher>(
     let pairs: Vec<crate::encode::EncodedPair> =
         encoded.test.iter().map(|e| e.pair.clone()).collect();
     let predictions = model.predict(&pairs);
-    (scores, predictions, report, secs)
+    (scores, predictions, report, secs, model)
+}
+
+/// One decision from [`TrainedMatcher::match_batch`]: the match probability
+/// and the thresholded binary call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchDecision {
+    /// `P(match)` from the tape-free forward.
+    pub proba: f32,
+    /// `proba > threshold` at the calibrated threshold.
+    pub is_match: bool,
+}
+
+/// The tuned matcher a pipeline run produced, ready for inference. The
+/// serving path keeps one of these alive across requests; cloning
+/// snapshots the whole model so supervisor restarts hand replacement
+/// workers an identical-deciding copy.
+#[derive(Clone)]
+pub enum TrainedMatcher {
+    /// The prompt-tuned model (`use_prompt = true`).
+    Prompt(Box<PromptEmModel>),
+    /// The fine-tuned ablation model (`use_prompt = false`).
+    FineTune(Box<FineTuneModel>),
+}
+
+impl TrainedMatcher {
+    /// The calibrated decision threshold.
+    pub fn threshold(&self) -> f32 {
+        match self {
+            TrainedMatcher::Prompt(m) => m.threshold(),
+            TrainedMatcher::FineTune(m) => m.threshold(),
+        }
+    }
+
+    /// Match probabilities over a batch of pairs via the tape-free path
+    /// (`NoGradTape`; values are bit-identical regardless of batch
+    /// composition or thread count — every row-wise kernel computes each
+    /// output row independently).
+    pub fn predict_proba(&mut self, pairs: &[EncodedPair]) -> Vec<f32> {
+        match self {
+            TrainedMatcher::Prompt(m) => m.predict_proba(pairs),
+            TrainedMatcher::FineTune(m) => m.predict_proba(pairs),
+        }
+    }
+
+    /// The batch-of-pairs serving entry point: one coalesced tape-free
+    /// forward over `pairs`, returning probability + thresholded decision
+    /// per pair.
+    pub fn match_batch(&mut self, pairs: &[EncodedPair]) -> Vec<MatchDecision> {
+        let t = self.threshold();
+        self.predict_proba(pairs)
+            .into_iter()
+            .map(|proba| MatchDecision {
+                proba,
+                is_match: proba > t,
+            })
+            .collect()
+    }
+}
+
+/// A [`RunResult`] bundled with the trained model that produced it — what
+/// `promptem serve` needs: train once, then answer requests from the
+/// retained matcher with decisions bit-identical to the offline run.
+pub struct TrainedRun {
+    /// The ordinary run outcome (scores, predictions, timings).
+    pub result: RunResult,
+    /// The tuned matcher, retained for inference.
+    pub matcher: TrainedMatcher,
 }
 
 /// Run the pipeline on an already-pretrained backbone.
@@ -221,8 +288,19 @@ pub fn run_encoded(
     encoded: &EncodedDataset,
     cfg: &PromptEmConfig,
 ) -> RunResult {
+    run_encoded_retained(backbone, encoded, cfg).result
+}
+
+/// [`run_encoded`] that also hands back the trained matcher instead of
+/// dropping it — the serving path's way to get bit-identical inference
+/// without re-running training.
+pub fn run_encoded_retained(
+    backbone: Arc<PretrainedLm>,
+    encoded: &EncodedDataset,
+    cfg: &PromptEmConfig,
+) -> TrainedRun {
     let _span = em_obs::span_with(em_obs::names::SPAN_TUNE, encoded.name.clone());
-    let (scores, test_predictions, lst, train_secs) = if cfg.use_prompt {
+    let (scores, test_predictions, lst, train_secs, matcher) = if cfg.use_prompt {
         let mut opts = cfg.prompt.clone();
         let mut probe_secs = 0.0;
         if cfg.grid_template {
@@ -233,12 +311,25 @@ pub fn run_encoded(
             probe_secs = t0.secs();
         }
         let proto = PromptEmModel::new(backbone, opts, cfg.seed);
-        let (scores, preds, lst, secs) = tune_and_eval(proto, encoded, cfg);
+        let (scores, preds, lst, secs, model) = tune_and_eval(proto, encoded, cfg);
         // The grid search is part of PromptEM's training budget (Table 4).
-        (scores, preds, lst, secs + probe_secs)
+        (
+            scores,
+            preds,
+            lst,
+            secs + probe_secs,
+            TrainedMatcher::Prompt(Box::new(model)),
+        )
     } else {
         let proto = FineTuneModel::new(backbone, cfg.seed);
-        tune_and_eval(proto, encoded, cfg)
+        let (scores, preds, lst, secs, model) = tune_and_eval(proto, encoded, cfg);
+        (
+            scores,
+            preds,
+            lst,
+            secs,
+            TrainedMatcher::FineTune(Box::new(model)),
+        )
     };
     // Residual tape ops (non-LST training, evaluation, prediction) land on
     // the tune span itself rather than vanishing unattributed.
@@ -246,13 +337,16 @@ pub fn run_encoded(
     // Record the final test score as a gauge so a shutdown metrics flush
     // makes the trace self-contained for `promptem report`.
     em_obs::metrics::gauge("core_test_f1", &[("dataset", &encoded.name)]).set(scores.f1);
-    RunResult {
-        dataset: encoded.name.clone(),
-        scores,
-        test_predictions,
-        lst,
-        train_secs,
-        pretrain_secs: 0.0,
+    TrainedRun {
+        result: RunResult {
+            dataset: encoded.name.clone(),
+            scores,
+            test_predictions,
+            lst,
+            train_secs,
+            pretrain_secs: 0.0,
+        },
+        matcher,
     }
 }
 
@@ -264,6 +358,20 @@ pub fn run(ds: &GemDataset, cfg: &PromptEmConfig) -> RunResult {
     let mut result = run_with_backbone(backbone, ds, cfg);
     result.pretrain_secs = pretrain_secs;
     result
+}
+
+/// [`run`] that also returns the trained matcher and the pair codec —
+/// everything `promptem serve` needs to answer requests over arbitrary
+/// record pairs with decisions bit-identical to this offline run.
+pub fn run_trained(ds: &GemDataset, cfg: &PromptEmConfig) -> (TrainedRun, crate::PairCodec) {
+    let start = em_obs::Stopwatch::new();
+    let backbone = pretrain_backbone(ds, cfg);
+    let pretrain_secs = start.secs();
+    let encoded = encode_with(ds, &backbone, cfg);
+    let codec = crate::PairCodec::build(ds, &backbone.tokenizer, &cfg.encode);
+    let mut trained = run_encoded_retained(backbone, &encoded, cfg);
+    trained.result.pretrain_secs = pretrain_secs;
+    (trained, codec)
 }
 
 #[cfg(test)]

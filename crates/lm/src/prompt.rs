@@ -185,6 +185,10 @@ pub fn continuous_token_count(template: TemplateId) -> usize {
 }
 
 /// A fully-specified prompt pipeline for one (template, mode) choice.
+/// Cloning copies the prompt machinery but not the parameters it points
+/// at — clone the owning [`crate::PretrainedLm`]'s store alongside (the
+/// [`em_nn::ParamId`]s stay valid in the cloned store).
+#[derive(Clone)]
 pub struct PromptTemplate {
     /// Which of the two GEM templates this is.
     pub template: TemplateId,

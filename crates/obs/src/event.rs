@@ -230,7 +230,9 @@ pub enum EventKind {
     /// A transient I/O failure triggered a bounded retry with deterministic
     /// backoff. Fields: `op` (operation name, e.g. `"ckpt_write"`),
     /// `attempt` (1-based failed attempt), `delay_ms` (backoff before the
-    /// next attempt).
+    /// next attempt; 0 on the terminal event), `gave_up` (true on the
+    /// terminal event emitted when the bounded retry is exhausted and the
+    /// error is returned to the caller).
     IoRetry {
         /// The retried operation.
         op: String,
@@ -238,6 +240,9 @@ pub enum EventKind {
         attempt: u64,
         /// Backoff applied before the next attempt, in milliseconds.
         delay_ms: u64,
+        /// True when the retry budget is exhausted and the caller gets the
+        /// error — the trace-visible alternative to failing silently.
+        gave_up: bool,
     },
     /// Aggregated tape-op counters flushed at a stage boundary, one event
     /// per op name with nonzero activity since the previous flush. The
@@ -313,6 +318,61 @@ pub enum EventKind {
         /// Schema version of this event (see [`crate::RUN_META_SCHEMA`]).
         schema: u64,
     },
+    /// One serve request reached a terminal outcome. Fields: `id` (the
+    /// client-chosen request id), `pairs` (match pairs in the request),
+    /// `queue` (mailbox depth at admission), `wall_us` (admission →
+    /// reply), `outcome` (`"ok"`, `"deadline_exceeded"`, `"failed"`, or
+    /// `"bad_request"`).
+    Request {
+        /// Client-chosen request id.
+        id: String,
+        /// Match pairs carried by the request.
+        pairs: u64,
+        /// Mailbox depth observed at admission.
+        queue: u64,
+        /// Microseconds from admission to the reply being written.
+        wall_us: u64,
+        /// Terminal outcome tag.
+        outcome: String,
+    },
+    /// Admission control shed a serve request instead of queuing it
+    /// unboundedly. Fields: `id`, `reason` (`"queue_full"`, `"draining"`,
+    /// `"duplicate_id"`, ...), `retry_after_ms` (client backoff hint).
+    Reject {
+        /// Client-chosen request id.
+        id: String,
+        /// Why the request was shed.
+        reason: String,
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The serve supervisor replaced a dead or wedged worker actor.
+    /// Fields: `worker` (slot index), `restarts` (consecutive restarts of
+    /// this slot, 1-based), `backoff_ms` (bounded exponential backoff slept
+    /// before the respawn), `reason` (`"panic"` or `"wedged"`).
+    WorkerRestart {
+        /// Worker slot index.
+        worker: u64,
+        /// Consecutive restarts of this slot including this one.
+        restarts: u64,
+        /// Backoff slept before respawning, in milliseconds.
+        backoff_ms: u64,
+        /// What the supervisor detected: `"panic"` or `"wedged"`.
+        reason: String,
+    },
+    /// A graceful serve drain completed: terminal request tallies at the
+    /// moment the service stopped answering. Fields: `completed`,
+    /// `rejected`, `failed`, `restarts`.
+    Drain {
+        /// Requests answered with a match decision.
+        completed: u64,
+        /// Requests shed by admission control.
+        rejected: u64,
+        /// Requests answered with a typed failure (deadline, worker loss).
+        failed: u64,
+        /// Worker restarts over the process lifetime.
+        restarts: u64,
+    },
 }
 
 impl EventKind {
@@ -338,6 +398,10 @@ impl EventKind {
             EventKind::OpStats { .. } => names::EV_OP_STATS,
             EventKind::Progress { .. } => names::EV_PROGRESS,
             EventKind::RunMeta { .. } => names::EV_RUN_META,
+            EventKind::Request { .. } => names::EV_REQUEST,
+            EventKind::Reject { .. } => names::EV_REJECT,
+            EventKind::WorkerRestart { .. } => names::EV_WORKER_RESTART,
+            EventKind::Drain { .. } => names::EV_DRAIN,
         }
     }
 
@@ -355,13 +419,17 @@ impl EventKind {
                     Level::Debug
                 }
             }
-            // Skipping a batch or retrying I/O is a recovery, not business
-            // as usual — surface it.
-            EventKind::RecoveredBatch { .. } | EventKind::IoRetry { .. } => Level::Warn,
+            // Skipping a batch, retrying I/O, shedding a request, or losing
+            // a worker is a recovery, not business as usual — surface it.
+            EventKind::RecoveredBatch { .. }
+            | EventKind::IoRetry { .. }
+            | EventKind::Reject { .. }
+            | EventKind::WorkerRestart { .. } => Level::Warn,
             EventKind::EpochSummary { .. }
             | EventKind::PseudoSelect { .. }
             | EventKind::Prune { .. }
             | EventKind::CkptRestore { .. }
+            | EventKind::Drain { .. }
             | EventKind::RunMeta { .. } => Level::Info,
             EventKind::CkptSave { .. } => Level::Debug,
             EventKind::SpanOpen { .. }
@@ -371,6 +439,7 @@ impl EventKind {
             | EventKind::UncHist { .. }
             | EventKind::Metric { .. }
             | EventKind::OpStats { .. }
+            | EventKind::Request { .. }
             | EventKind::Progress { .. } => Level::Debug,
         }
     }
@@ -589,10 +658,14 @@ impl Event {
                 op,
                 attempt,
                 delay_ms,
+                gave_up,
             } => {
                 s.push_str(",\"op\":");
                 push_json_str(&mut s, op);
-                let _ = write!(s, ",\"attempt\":{attempt},\"delay_ms\":{delay_ms}");
+                let _ = write!(
+                    s,
+                    ",\"attempt\":{attempt},\"delay_ms\":{delay_ms},\"gave_up\":{gave_up}"
+                );
             }
             EventKind::OpStats {
                 op,
@@ -650,6 +723,57 @@ impl Event {
                 push_json_str(&mut s, build);
                 let _ = write!(s, ",\"schema\":{schema}");
             }
+            EventKind::Request {
+                id,
+                pairs,
+                queue,
+                wall_us,
+                outcome,
+            } => {
+                s.push_str(",\"id\":");
+                push_json_str(&mut s, id);
+                let _ = write!(
+                    s,
+                    ",\"pairs\":{pairs},\"queue\":{queue},\"wall_us\":{wall_us}"
+                );
+                s.push_str(",\"outcome\":");
+                push_json_str(&mut s, outcome);
+            }
+            EventKind::Reject {
+                id,
+                reason,
+                retry_after_ms,
+            } => {
+                s.push_str(",\"id\":");
+                push_json_str(&mut s, id);
+                s.push_str(",\"reason\":");
+                push_json_str(&mut s, reason);
+                let _ = write!(s, ",\"retry_after_ms\":{retry_after_ms}");
+            }
+            EventKind::WorkerRestart {
+                worker,
+                restarts,
+                backoff_ms,
+                reason,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"worker\":{worker},\"restarts\":{restarts},\"backoff_ms\":{backoff_ms}"
+                );
+                s.push_str(",\"reason\":");
+                push_json_str(&mut s, reason);
+            }
+            EventKind::Drain {
+                completed,
+                rejected,
+                failed,
+                restarts,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"completed\":{completed},\"rejected\":{rejected},\"failed\":{failed},\"restarts\":{restarts}"
+                );
+            }
         }
         s.push('}');
         s
@@ -695,6 +819,12 @@ impl Event {
             match get(key)? {
                 JsonVal::Arr(vs) => Ok(vs.iter().map(|v| *v as u64).collect()),
                 other => Err(format!("field '{key}' is not an array: {other:?}")),
+            }
+        };
+        let boolean = |key: &str| -> Result<bool, String> {
+            match get(key)? {
+                JsonVal::Bool(b) => Ok(*b),
+                other => Err(format!("field '{key}' is not a bool: {other:?}")),
             }
         };
         let tag = text("type")?;
@@ -791,6 +921,7 @@ impl Event {
                 op: text("op")?,
                 attempt: num("attempt")? as u64,
                 delay_ms: num("delay_ms")? as u64,
+                gave_up: boolean("gave_up")?,
             },
             names::EV_OP_STATS => EventKind::OpStats {
                 op: text("op")?,
@@ -818,6 +949,30 @@ impl Event {
                 git_sha: opt_text("git_sha")?,
                 build: text("build")?,
                 schema: num("schema")? as u64,
+            },
+            names::EV_REQUEST => EventKind::Request {
+                id: text("id")?,
+                pairs: num("pairs")? as u64,
+                queue: num("queue")? as u64,
+                wall_us: num("wall_us")? as u64,
+                outcome: text("outcome")?,
+            },
+            names::EV_REJECT => EventKind::Reject {
+                id: text("id")?,
+                reason: text("reason")?,
+                retry_after_ms: num("retry_after_ms")? as u64,
+            },
+            names::EV_WORKER_RESTART => EventKind::WorkerRestart {
+                worker: num("worker")? as u64,
+                restarts: num("restarts")? as u64,
+                backoff_ms: num("backoff_ms")? as u64,
+                reason: text("reason")?,
+            },
+            names::EV_DRAIN => EventKind::Drain {
+                completed: num("completed")? as u64,
+                rejected: num("rejected")? as u64,
+                failed: num("failed")? as u64,
+                restarts: num("restarts")? as u64,
             },
             other => return Err(format!("unknown event type '{other}'")),
         };
@@ -966,7 +1121,14 @@ impl Event {
                 op,
                 attempt,
                 delay_ms,
-            } => format!("I/O retry: {op} attempt {attempt} failed, backing off {delay_ms}ms"),
+                gave_up,
+            } => {
+                if *gave_up {
+                    format!("I/O retry: {op} gave up after {attempt} bounded attempts")
+                } else {
+                    format!("I/O retry: {op} attempt {attempt} failed, backing off {delay_ms}ms")
+                }
+            }
             EventKind::OpStats {
                 op,
                 fwd_calls,
@@ -1011,6 +1173,37 @@ impl Event {
             } => format!(
                 "run: seed {seed}, config {config}, git {}, {build} build",
                 git_sha.as_deref().unwrap_or("unknown")
+            ),
+            EventKind::Request {
+                id,
+                pairs,
+                wall_us,
+                outcome,
+                ..
+            } => format!(
+                "request {id}: {pairs} pairs, {outcome} in {:.1}ms",
+                *wall_us as f64 / 1e3
+            ),
+            EventKind::Reject {
+                id,
+                reason,
+                retry_after_ms,
+            } => format!("shed request {id}: {reason}, retry after {retry_after_ms}ms"),
+            EventKind::WorkerRestart {
+                worker,
+                restarts,
+                backoff_ms,
+                reason,
+            } => format!(
+                "worker {worker} restarted ({reason}, restart {restarts}, backoff {backoff_ms}ms)"
+            ),
+            EventKind::Drain {
+                completed,
+                rejected,
+                failed,
+                restarts,
+            } => format!(
+                "drained: {completed} completed, {rejected} rejected, {failed} failed, {restarts} worker restarts"
             ),
         };
         format!("{prefix} {body}")
@@ -1324,6 +1517,13 @@ mod tests {
             op: "ckpt_write".into(),
             attempt: 1,
             delay_ms: 25,
+            gave_up: false,
+        });
+        round_trip(EventKind::IoRetry {
+            op: "ckpt_write".into(),
+            attempt: 3,
+            delay_ms: 0,
+            gave_up: true,
         });
         round_trip(EventKind::OpStats {
             op: "matmul".into(),
@@ -1369,6 +1569,30 @@ mod tests {
             git_sha: None,
             build: "debug".into(),
             schema: 1,
+        });
+        round_trip(EventKind::Request {
+            id: "conn3-17".into(),
+            pairs: 8,
+            queue: 2,
+            wall_us: 4_250,
+            outcome: "ok".into(),
+        });
+        round_trip(EventKind::Reject {
+            id: "conn1-4".into(),
+            reason: "queue_full".into(),
+            retry_after_ms: 25,
+        });
+        round_trip(EventKind::WorkerRestart {
+            worker: 0,
+            restarts: 2,
+            backoff_ms: 10,
+            reason: "panic".into(),
+        });
+        round_trip(EventKind::Drain {
+            completed: 96,
+            rejected: 7,
+            failed: 1,
+            restarts: 2,
         });
     }
 

@@ -273,6 +273,58 @@ pub fn io_retry(op: impl Into<String>, attempt: u64, delay_ms: u64) {
         op: op.into(),
         attempt,
         delay_ms,
+        gave_up: false,
+    });
+}
+
+/// Emit the terminal `io_retry` event: the bounded retry is exhausted and
+/// the error goes back to the caller. `attempt` is the total attempts made.
+pub fn io_retry_gave_up(op: impl Into<String>, attempt: u64) {
+    emit(EventKind::IoRetry {
+        op: op.into(),
+        attempt,
+        delay_ms: 0,
+        gave_up: true,
+    });
+}
+
+/// Emit a `request` event: one serve request reached a terminal outcome.
+pub fn request(id: impl Into<String>, pairs: u64, queue: u64, wall_us: u64, outcome: &str) {
+    emit(EventKind::Request {
+        id: id.into(),
+        pairs,
+        queue,
+        wall_us,
+        outcome: outcome.into(),
+    });
+}
+
+/// Emit a `reject` event: admission control shed a serve request.
+pub fn reject(id: impl Into<String>, reason: &str, retry_after_ms: u64) {
+    emit(EventKind::Reject {
+        id: id.into(),
+        reason: reason.into(),
+        retry_after_ms,
+    });
+}
+
+/// Emit a `worker_restart` event: the serve supervisor replaced a worker.
+pub fn worker_restart(worker: u64, restarts: u64, backoff_ms: u64, reason: &str) {
+    emit(EventKind::WorkerRestart {
+        worker,
+        restarts,
+        backoff_ms,
+        reason: reason.into(),
+    });
+}
+
+/// Emit a `drain` event: a graceful serve drain completed.
+pub fn drain(completed: u64, rejected: u64, failed: u64, restarts: u64) {
+    emit(EventKind::Drain {
+        completed,
+        rejected,
+        failed,
+        restarts,
     });
 }
 
@@ -375,6 +427,7 @@ pub fn detect_git_sha() -> Option<String> {
 /// one place (wall-clock reads sneaking into training logic are how
 /// nondeterministic behavior and flaky wall-clock tests get in).
 /// Code that needs a duration takes a `Stopwatch` instead.
+#[derive(Clone, Copy)]
 pub struct Stopwatch(Instant);
 
 impl Stopwatch {

@@ -50,9 +50,21 @@ pub const EV_PROGRESS: &str = "progress";
 /// `run_meta` — the run's identity card (seed, config fingerprint, git
 /// SHA, build profile, schema version), emitted as the first trace line.
 pub const EV_RUN_META: &str = "run_meta";
+/// `request` — one serve request reached a terminal outcome (ok,
+/// deadline_exceeded, failed, …); carries pair count and wall time.
+pub const EV_REQUEST: &str = "request";
+/// `reject` — admission control shed a serve request (queue full,
+/// draining, duplicate id) instead of queuing it unboundedly.
+pub const EV_REJECT: &str = "reject";
+/// `worker_restart` — the serve supervisor replaced a panicked or wedged
+/// worker actor (carries the consecutive-restart count and backoff).
+pub const EV_WORKER_RESTART: &str = "worker_restart";
+/// `drain` — the serve process finished a graceful drain (terminal
+/// request tallies; the service answers nothing after this).
+pub const EV_DRAIN: &str = "drain";
 
 /// Every event type tag, in schema order.
-pub const ALL_EVENT_TAGS: [&str; 19] = [
+pub const ALL_EVENT_TAGS: [&str; 23] = [
     EV_SPAN_OPEN,
     EV_SPAN_CLOSE,
     EV_EPOCH_SUMMARY,
@@ -72,6 +84,10 @@ pub const ALL_EVENT_TAGS: [&str; 19] = [
     EV_OP_STATS,
     EV_PROGRESS,
     EV_RUN_META,
+    EV_REQUEST,
+    EV_REJECT,
+    EV_WORKER_RESTART,
+    EV_DRAIN,
 ];
 
 /// One CLI `match` invocation (detail: dataset name).
@@ -113,9 +129,14 @@ pub const SPAN_FIT: &str = "fit";
 pub const SPAN_PREDICT: &str = "predict";
 /// One bench-harness method run (detail: method/dataset).
 pub const SPAN_METHOD: &str = "method";
+/// One `promptem serve` process lifetime (detail: bound address).
+pub const SPAN_SERVE: &str = "serve";
+/// One coalesced serve forward — a micro-batch of match requests pushed
+/// through the tape-free path (detail: `<requests> req / <pairs> pairs`).
+pub const SPAN_SERVE_BATCH: &str = "serve_batch";
 
 /// Every span name the workspace opens, in rough pipeline order.
-pub const ALL_SPAN_NAMES: [&str; 19] = [
+pub const ALL_SPAN_NAMES: [&str; 21] = [
     SPAN_MATCH,
     SPAN_PRETRAIN,
     SPAN_ENCODE,
@@ -135,6 +156,8 @@ pub const ALL_SPAN_NAMES: [&str; 19] = [
     SPAN_FIT,
     SPAN_PREDICT,
     SPAN_METHOD,
+    SPAN_SERVE,
+    SPAN_SERVE_BATCH,
 ];
 
 /// Every autodiff tape op name, in tape recording order. The index of an

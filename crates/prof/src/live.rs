@@ -43,6 +43,15 @@ pub struct LiveState {
     t_first_us: Option<u64>,
     t_last_us: u64,
     seed: u64,
+    /// Serve requests seen (terminal outcomes), and how many were ok.
+    serve_requests: u64,
+    serve_ok: u64,
+    /// Admission-control sheds, with the most recent reason.
+    serve_rejects: u64,
+    last_reject: Option<String>,
+    /// Supervisor worker replacements, with the most recent reason.
+    serve_restarts: u64,
+    last_restart: Option<String>,
 }
 
 impl LiveState {
@@ -102,6 +111,20 @@ impl LiveState {
                 ..
             } => {
                 self.meta = Some((*seed, config.clone(), git_sha.clone(), build.clone()));
+            }
+            EventKind::Request { outcome, .. } => {
+                self.serve_requests += 1;
+                if outcome == "ok" {
+                    self.serve_ok += 1;
+                }
+            }
+            EventKind::Reject { reason, .. } => {
+                self.serve_rejects += 1;
+                self.last_reject = Some(reason.clone());
+            }
+            EventKind::WorkerRestart { reason, .. } => {
+                self.serve_restarts += 1;
+                self.last_restart = Some(reason.clone());
             }
             _ => {}
         }
@@ -202,6 +225,31 @@ impl LiveState {
             }
         }
 
+        if self.serve_requests + self.serve_rejects + self.serve_restarts > 0 {
+            s.push('\n');
+            let _ = writeln!(
+                s,
+                "{:<16} {:>10}  ({} ok)",
+                em_obs::names::EV_REQUEST,
+                self.serve_requests,
+                self.serve_ok
+            );
+            let _ = writeln!(
+                s,
+                "{:<16} {:>10}  {}",
+                em_obs::names::EV_REJECT,
+                self.serve_rejects,
+                self.last_reject.as_deref().unwrap_or("-")
+            );
+            let _ = writeln!(
+                s,
+                "{:<16} {:>10}  {}",
+                em_obs::names::EV_WORKER_RESTART,
+                self.serve_restarts,
+                self.last_restart.as_deref().unwrap_or("-")
+            );
+        }
+
         let phases = crate::flame::aggregate(&tree);
         if !phases.is_empty() {
             s.push('\n');
@@ -275,6 +323,72 @@ mod tests {
         assert_eq!(sparkline(&[0.0, 0.5, 1.0]), "▁▅█");
         assert_eq!(sparkline(&[2.0, 2.0]), "▄▄");
         assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn serve_rows_fold_request_reject_and_restart_events() {
+        let mut st = LiveState::new();
+        let ev = |seq: u64, kind: EventKind| Event {
+            seq,
+            seed: 7,
+            t_us: seq * 1000,
+            span: None,
+            kind,
+        };
+        st.apply(ev(
+            1,
+            EventKind::Request {
+                id: "r1".into(),
+                pairs: 4,
+                queue: 0,
+                wall_us: 900,
+                outcome: "ok".into(),
+            },
+        ));
+        st.apply(ev(
+            2,
+            EventKind::Request {
+                id: "r2".into(),
+                pairs: 1,
+                queue: 3,
+                wall_us: 100,
+                outcome: "deadline".into(),
+            },
+        ));
+        st.apply(ev(
+            3,
+            EventKind::Reject {
+                id: "r3".into(),
+                reason: "queue_full".into(),
+                retry_after_ms: 25,
+            },
+        ));
+        st.apply(ev(
+            4,
+            EventKind::WorkerRestart {
+                worker: 1,
+                restarts: 1,
+                backoff_ms: 10,
+                reason: "panic".into(),
+            },
+        ));
+        let frame = st.render(5);
+        assert!(
+            frame.contains("request                   2  (1 ok)"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("reject                    1  queue_full"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("worker_restart            1  panic"),
+            "{frame}"
+        );
+
+        // A run with no serve traffic keeps the dashboard unchanged.
+        let quiet = LiveState::new().render(5);
+        assert!(!quiet.contains("worker_restart"), "{quiet}");
     }
 
     #[test]

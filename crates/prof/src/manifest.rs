@@ -55,6 +55,20 @@ pub struct RunManifest {
     pub recovered_batches: u64,
     /// I/O retries taken by the atomic writer.
     pub io_retries: u64,
+    /// Serve requests answered (any terminal outcome).
+    pub serve_requests: u64,
+    /// Serve requests answered with outcome `"ok"`.
+    pub serve_ok: u64,
+    /// Serve requests shed by admission control.
+    pub serve_rejects: u64,
+    /// Serve worker restarts performed by the supervisor.
+    pub serve_restarts: u64,
+    /// Graceful serve drains completed (0 for a non-serving run).
+    pub serve_drains: u64,
+    /// Serve request latency percentiles (p50, p95, p99) in seconds,
+    /// from the `serve_request_secs` histogram snapshot the drain
+    /// epilogue flushes into the trace.
+    pub serve_latency: Option<(f64, f64, f64)>,
     /// Spans whose close event never arrived (0 on a complete trace).
     pub unclosed_spans: u64,
     /// Spans whose recorded parent the trace never opened.
@@ -71,6 +85,11 @@ pub struct RunManifest {
 /// The metric-event name carrying the pipeline's test F1 gauge (label
 /// part excluded; the emitter attaches `{dataset="..."}`).
 pub const TEST_F1_METRIC: &str = "core_test_f1";
+
+/// The histogram name em-serve feeds once per answered request (mirrors
+/// `em_serve::REQUEST_SECS_METRIC`; duplicated so em-prof does not link
+/// the service to read its traces).
+pub const SERVE_LATENCY_METRIC: &str = "serve_request_secs";
 
 /// The run identity distilled from a `run_meta` event.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -149,6 +168,15 @@ pub fn manifest(events: &[Event]) -> RunManifest {
             }
             EventKind::RecoveredBatch { .. } => m.recovered_batches += 1,
             EventKind::IoRetry { .. } => m.io_retries += 1,
+            EventKind::Request { outcome, .. } => {
+                m.serve_requests += 1;
+                if outcome == "ok" {
+                    m.serve_ok += 1;
+                }
+            }
+            EventKind::Reject { .. } => m.serve_rejects += 1,
+            EventKind::WorkerRestart { .. } => m.serve_restarts += 1,
+            EventKind::Drain { .. } => m.serve_drains += 1,
             EventKind::RunMeta {
                 config,
                 git_sha,
@@ -168,6 +196,19 @@ pub fn manifest(events: &[Event]) -> RunManifest {
                 if name == TEST_F1_METRIC || name.starts_with(&format!("{TEST_F1_METRIC}{{")) =>
             {
                 m.test_f1 = Some(*value);
+            }
+            EventKind::Metric {
+                name,
+                p50,
+                p95,
+                p99,
+                ..
+            } if name == SERVE_LATENCY_METRIC
+                || name.starts_with(&format!("{SERVE_LATENCY_METRIC}{{")) =>
+            {
+                if let (Some(a), Some(b), Some(c)) = (p50, p95, p99) {
+                    m.serve_latency = Some((*a, *b, *c));
+                }
             }
             _ => {}
         }
@@ -352,5 +393,82 @@ mod tests {
     fn empty_trace_yields_a_zero_manifest() {
         let m = manifest(&[]);
         assert_eq!(m, RunManifest::default());
+    }
+
+    #[test]
+    fn manifest_tallies_the_serving_story() {
+        let events = vec![
+            ev(
+                0,
+                100,
+                EventKind::Request {
+                    id: "r1".into(),
+                    pairs: 4,
+                    queue: 0,
+                    wall_us: 800,
+                    outcome: "ok".into(),
+                },
+            ),
+            ev(
+                1,
+                200,
+                EventKind::Request {
+                    id: "r2".into(),
+                    pairs: 1,
+                    queue: 2,
+                    wall_us: 90,
+                    outcome: "deadline".into(),
+                },
+            ),
+            ev(
+                2,
+                300,
+                EventKind::Reject {
+                    id: "r3".into(),
+                    reason: "queue_full".into(),
+                    retry_after_ms: 25,
+                },
+            ),
+            ev(
+                3,
+                400,
+                EventKind::WorkerRestart {
+                    worker: 0,
+                    restarts: 1,
+                    backoff_ms: 10,
+                    reason: "panic".into(),
+                },
+            ),
+            // The drain epilogue flushes the latency histogram snapshot.
+            ev(
+                4,
+                500,
+                EventKind::Metric {
+                    name: "serve_request_secs".into(),
+                    kind: "histogram".into(),
+                    value: 0.0009,
+                    count: Some(2),
+                    p50: Some(0.0008),
+                    p95: Some(0.0009),
+                    p99: Some(0.0009),
+                },
+            ),
+            ev(
+                5,
+                600,
+                EventKind::Drain {
+                    completed: 2,
+                    rejected: 1,
+                    failed: 0,
+                    restarts: 1,
+                },
+            ),
+        ];
+        let m = manifest(&events);
+        assert_eq!((m.serve_requests, m.serve_ok), (2, 1));
+        assert_eq!(m.serve_rejects, 1);
+        assert_eq!(m.serve_restarts, 1);
+        assert_eq!(m.serve_drains, 1);
+        assert_eq!(m.serve_latency, Some((0.0008, 0.0009, 0.0009)));
     }
 }

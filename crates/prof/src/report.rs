@@ -15,6 +15,8 @@
 //!   "pruned": 0, "non_finite_events": 0,
 //!   "ckpt_saves": 0, "ckpt_restores": 0,
 //!   "recovered_batches": 0, "io_retries": 0,
+//!   "serve_requests": 0, "serve_ok": 0, "serve_rejects": 0,
+//!   "serve_restarts": 0, "serve_drains": 0,
 //!   "phases": [
 //!     {"name": "pretrain", "calls": 1, "total_us": 0, "self_us": 0,
 //!      "heap_delta": 0, "heap_peak": 0}
@@ -74,6 +76,11 @@ pub fn bench_report_json(m: &RunManifest) -> String {
     let _ = writeln!(s, "  \"ckpt_restores\": {},", m.ckpt_restores);
     let _ = writeln!(s, "  \"recovered_batches\": {},", m.recovered_batches);
     let _ = writeln!(s, "  \"io_retries\": {},", m.io_retries);
+    let _ = writeln!(s, "  \"serve_requests\": {},", m.serve_requests);
+    let _ = writeln!(s, "  \"serve_ok\": {},", m.serve_ok);
+    let _ = writeln!(s, "  \"serve_rejects\": {},", m.serve_rejects);
+    let _ = writeln!(s, "  \"serve_restarts\": {},", m.serve_restarts);
+    let _ = writeln!(s, "  \"serve_drains\": {},", m.serve_drains);
     s.push_str("  \"phases\": [");
     for (i, p) in m.phases.iter().enumerate() {
         if i > 0 {
@@ -161,6 +168,22 @@ pub fn render_report(m: &RunManifest, top: usize) -> String {
             m.ckpt_saves, m.ckpt_restores, m.recovered_batches, m.io_retries
         );
     }
+    if m.serve_requests + m.serve_rejects + m.serve_restarts + m.serve_drains > 0 {
+        let lat = match m.serve_latency {
+            Some((p50, p95, p99)) => format!(
+                " · p50/p95/p99 {:.1}/{:.1}/{:.1}ms",
+                p50 * 1e3,
+                p95 * 1e3,
+                p99 * 1e3
+            ),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            s,
+            "serving: {} requests ({} ok) · {} rejected · {} worker restarts · {} drains{}",
+            m.serve_requests, m.serve_ok, m.serve_rejects, m.serve_restarts, m.serve_drains, lat
+        );
+    }
     if m.non_finite_events > 0 {
         let _ = writeln!(
             s,
@@ -211,6 +234,12 @@ mod tests {
             ckpt_restores: 0,
             recovered_batches: 0,
             io_retries: 0,
+            serve_requests: 0,
+            serve_ok: 0,
+            serve_rejects: 0,
+            serve_restarts: 0,
+            serve_drains: 0,
+            serve_latency: None,
             unclosed_spans: 0,
             orphan_spans: 0,
             meta: None,
@@ -310,6 +339,41 @@ mod tests {
             text.contains("WARNING: partial trace — 3 unclosed span(s), 1 orphaned span(s)"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn serving_line_appears_only_for_serving_runs() {
+        // A pure-training manifest stays quiet...
+        let text = render_report(&sample(), 10);
+        assert!(!text.contains("serving:"), "{text}");
+
+        // ...a serving one gets the full row, latency included.
+        let mut m = sample();
+        m.serve_requests = 40;
+        m.serve_ok = 37;
+        m.serve_rejects = 3;
+        m.serve_restarts = 2;
+        m.serve_drains = 1;
+        m.serve_latency = Some((0.002, 0.010, 0.0305));
+        let text = render_report(&m, 10);
+        assert!(
+            text.contains(
+                "serving: 40 requests (37 ok) · 3 rejected · 2 worker restarts · 1 drains"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("p50/p95/p99 2.0/10.0/30.5ms"), "{text}");
+
+        let json = bench_report_json(&m);
+        for needle in [
+            "\"serve_requests\": 40",
+            "\"serve_ok\": 37",
+            "\"serve_rejects\": 3",
+            "\"serve_restarts\": 2",
+            "\"serve_drains\": 1",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
     }
 
     #[test]

@@ -117,6 +117,7 @@ fn make_kind(
             op: text,
             attempt: a % 4,
             delay_ms: b % 1000,
+            gave_up: opt & 1 != 0,
         },
         16 => EventKind::OpStats {
             op: text,
@@ -138,7 +139,7 @@ fn make_kind(
             tape_nodes: a % 31,
             heap_peak: b % 37,
         },
-        _ => EventKind::Metric {
+        18 => EventKind::Metric {
             name: text,
             kind: ["counter", "gauge", "histogram"][(a % 3) as usize].into(),
             value: x,
@@ -146,6 +147,35 @@ fn make_kind(
             p50: opt_f(2, y),
             p95: opt_f(4, y * 2.0),
             p99: opt_f(8, y * 3.0),
+        },
+        19 => EventKind::Request {
+            id: text,
+            pairs: a % 64,
+            queue: b % 128,
+            wall_us: a.wrapping_mul(13),
+            outcome: if opt & 1 != 0 { "ok" } else { "deadline" }.into(),
+        },
+        20 => EventKind::Reject {
+            id: text,
+            reason: if opt & 1 != 0 {
+                "queue_full"
+            } else {
+                "draining"
+            }
+            .into(),
+            retry_after_ms: b % 1000,
+        },
+        21 => EventKind::WorkerRestart {
+            worker: a % 8,
+            restarts: b % 32,
+            backoff_ms: a % 500,
+            reason: if opt & 1 != 0 { "panic" } else { "wedged" }.into(),
+        },
+        _ => EventKind::Drain {
+            completed: a,
+            rejected: b % 100,
+            failed: a % 9,
+            restarts: b % 7,
         },
     }
 }
@@ -155,7 +185,7 @@ proptest! {
 
     #[test]
     fn every_event_kind_round_trips_through_the_reader(
-        kind_idx in 0usize..19,
+        kind_idx in 0usize..23,
         ints in (0u64..1_000_000_000, 0u64..1_000_000, 0u64..1 << 40, 0u8..16),
         floats in (-1e9f64..1e9, 0.0f64..100.0),
         text in "[a-zA-Z0-9_ .\"\\\\/-]{0,16}",

@@ -77,10 +77,36 @@ fn sync_parent_dir(path: &Path) {
     let _ = path;
 }
 
+/// The base backoff in milliseconds between retry attempts (attempt `n`
+/// sleeps `base * n`). Defaults to 25; `PROMPTEM_RETRY_BACKOFF_MS`
+/// overrides it — chaos/CI stages set it to 0 so injected storage faults
+/// stop wall-sleeping through the suite.
+pub fn retry_backoff_ms() -> u64 {
+    static BASE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *BASE.get_or_init(|| {
+        std::env::var("PROMPTEM_RETRY_BACKOFF_MS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(25)
+    })
+}
+
 /// Run a fallible I/O operation with bounded retry and deterministic
-/// backoff (25ms, 50ms between attempts). Each retry emits an `io_retry`
-/// em-obs event so transient storage trouble is visible in traces.
-pub fn write_with_retry<F>(op_name: &str, mut op: F) -> io::Result<()>
+/// backoff (`base`, `2*base` ms between attempts; see
+/// [`retry_backoff_ms`]). Each retry emits an `io_retry` em-obs event so
+/// transient storage trouble is visible in traces, and exhausting the
+/// budget emits a terminal `io_retry` with `gave_up=true` before the
+/// error is returned — the give-up is never silent.
+pub fn write_with_retry<F>(op_name: &str, op: F) -> io::Result<()>
+where
+    F: FnMut() -> io::Result<()>,
+{
+    write_with_retry_base(op_name, retry_backoff_ms(), op)
+}
+
+/// [`write_with_retry`] with an explicit backoff base (tests pass 0 so
+/// the retry path runs without wall-sleeping).
+pub fn write_with_retry_base<F>(op_name: &str, base_ms: u64, mut op: F) -> io::Result<()>
 where
     F: FnMut() -> io::Result<()>,
 {
@@ -90,13 +116,17 @@ where
             Ok(()) => return Ok(()),
             Err(e) => {
                 if attempt < RETRY_ATTEMPTS {
-                    em_obs::io_retry(op_name, attempt as u64, 25 * attempt as u64);
-                    std::thread::sleep(std::time::Duration::from_millis(25 * attempt as u64));
+                    let delay = base_ms * attempt as u64;
+                    em_obs::io_retry(op_name, attempt as u64, delay);
+                    if delay > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(delay));
+                    }
                 }
                 last_err = Some(e);
             }
         }
     }
+    em_obs::io_retry_gave_up(op_name, RETRY_ATTEMPTS as u64);
     Err(last_err.unwrap_or_else(|| io::Error::other("retry loop without attempts")))
 }
 
@@ -136,7 +166,7 @@ mod tests {
     #[test]
     fn retry_succeeds_after_transient_failures() {
         let mut failures_left = 2;
-        let result = write_with_retry("test_op", || {
+        let result = write_with_retry_base("test_op", 0, || {
             if failures_left > 0 {
                 failures_left -= 1;
                 Err(io::Error::other("transient"))
@@ -151,11 +181,52 @@ mod tests {
     #[test]
     fn retry_gives_up_after_bounded_attempts() {
         let mut calls = 0;
-        let result = write_with_retry("test_op", || {
+        let result = write_with_retry_base("test_op", 0, || {
             calls += 1;
             Err(io::Error::other("persistent"))
         });
         assert!(result.is_err());
         assert_eq!(calls, RETRY_ATTEMPTS);
+    }
+
+    #[test]
+    fn exhausted_retry_emits_terminal_gave_up_event() {
+        let (result, events) = em_obs::capture(|| {
+            write_with_retry_base("test_op", 0, || Err(io::Error::other("persistent")))
+        });
+        assert!(result.is_err());
+        let retries: Vec<_> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                em_obs::EventKind::IoRetry {
+                    attempt, gave_up, ..
+                } => Some((*attempt, *gave_up)),
+                _ => None,
+            })
+            .collect();
+        // Two non-terminal retries, then the terminal give-up.
+        assert_eq!(
+            retries,
+            vec![(1, false), (2, false), (RETRY_ATTEMPTS as u64, true)]
+        );
+    }
+
+    #[test]
+    fn successful_retry_emits_no_gave_up() {
+        let mut failures_left = 1;
+        let ((), events) = em_obs::capture(|| {
+            write_with_retry_base("test_op", 0, || {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err(io::Error::other("transient"))
+                } else {
+                    Ok(())
+                }
+            })
+            .expect("retry should succeed");
+        });
+        assert!(events
+            .iter()
+            .all(|e| !matches!(&e.kind, em_obs::EventKind::IoRetry { gave_up: true, .. })));
     }
 }

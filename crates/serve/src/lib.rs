@@ -1,0 +1,52 @@
+//! # em-serve
+//!
+//! A thread-based matching service: per-model worker actors behind
+//! bounded mailboxes, micro-batching concurrent match requests into one
+//! forward pass, admission control that sheds load with typed
+//! rejections, per-request deadlines, and a supervisor that restarts
+//! panicked or wedged workers with bounded exponential backoff.
+//!
+//! The crate is model-agnostic: the embedding side plugs in through
+//! [`MatchScorer`] (one trained matcher per worker) and a
+//! [`ScorerFactory`] the supervisor uses to build identical replacement
+//! workers after a crash. Because every scorer is deterministic and
+//! row-independent (see `TunableMatcher::predict_proba`), a request's
+//! decision does not depend on which worker served it or which requests
+//! it was batched with — completed responses are bit-identical to an
+//! offline run over the same pairs.
+//!
+//! Delivery contract: every admitted request gets exactly one terminal
+//! response — a match result, `deadline_exceeded`, or `failed`. Requests
+//! lost to a crashed worker are replayed **at most once**; a request
+//! whose replay also dies is answered `failed`, never silently dropped.
+//! Duplicate suppression is per-request (an atomic claimed by the first
+//! responder), so a wedged worker racing its replacement cannot answer
+//! twice.
+//!
+//! Wire format: line-delimited flat JSON over TCP — see [`protocol`].
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod mailbox;
+pub mod protocol;
+pub mod server;
+pub mod supervisor;
+pub mod worker;
+
+pub use client::{drive_pairs, Client};
+pub use mailbox::{Mailbox, SendError};
+pub use protocol::{Request, Response, StatsBody};
+pub use server::{DrainSummary, ServeCfg, ServeStats, Server};
+pub use supervisor::SupervisorCfg;
+pub use worker::{Job, MatchScorer, Outcome, ReplySink, ScorerFactory};
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock a mutex, recovering the guard from a poisoned lock. Serve state
+/// (reply sinks, in-flight stashes, the mailbox) must stay usable after
+/// a worker panic: crash recovery belongs to the supervisor, not to lock
+/// poisoning.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}

@@ -1,0 +1,248 @@
+//! The supervisor: spawns the worker actors, watches each slot for
+//! death (panicked thread) or wedging (no liveness progress while work
+//! is in flight), and restarts with bounded exponential backoff.
+//!
+//! Replay contract: when a worker is lost, the jobs stashed in its
+//! in-flight buffer are re-enqueued at the mailbox front **at most
+//! once** (`Job::attempts`); a job lost twice is answered `failed`.
+//! A wedged worker cannot be killed, only superseded: its slot's
+//! generation counter moves on, its replies are suppressed per-job by
+//! the answered flag, and its thread exits on its own the next time it
+//! observes the stale generation.
+
+use crate::lock;
+use crate::mailbox::Mailbox;
+use crate::protocol::Response;
+use crate::server::ServeStats;
+use crate::worker::{worker_loop, Job, Outcome, ScorerFactory, WorkerCtx};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Supervision parameters.
+#[derive(Debug, Clone)]
+pub struct SupervisorCfg {
+    /// Worker actor count.
+    pub workers: usize,
+    /// Micro-batch size cap per mailbox drain.
+    pub batch_max: usize,
+    /// No liveness progress for this long while work is in flight marks
+    /// a worker wedged.
+    pub wedge_ms: u64,
+    /// Restart backoff base; doubles per consecutive restart.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling (the "bounded" in bounded exponential backoff).
+    pub backoff_max_ms: u64,
+}
+
+impl Default for SupervisorCfg {
+    fn default() -> Self {
+        SupervisorCfg {
+            workers: 2,
+            batch_max: 16,
+            wedge_ms: 2_000,
+            backoff_base_ms: 10,
+            backoff_max_ms: 500,
+        }
+    }
+}
+
+/// One worker slot: the stable identity that survives restarts.
+struct Slot {
+    worker_id: u64,
+    /// Monotonic spawn count; the live incarnation's generation.
+    gen: u64,
+    slot_gen: Arc<AtomicU64>,
+    liveness: Arc<AtomicU64>,
+    in_flight: Arc<Mutex<Vec<Job>>>,
+    done: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    /// Liveness value at the last poll.
+    last_live: u64,
+    /// Accumulated poll time without progress while work was pending.
+    stalled_ms: u64,
+    /// Consecutive restarts without observed progress (backoff driver).
+    consecutive: u64,
+}
+
+/// The running supervisor: worker threads plus one monitor thread.
+pub struct Supervisor {
+    stop: Arc<AtomicBool>,
+    monitor: Option<JoinHandle<()>>,
+}
+
+impl Supervisor {
+    /// Spawn `cfg.workers` workers over `mailbox` and the monitor thread
+    /// that keeps them alive.
+    pub fn start(
+        mailbox: Mailbox<Job>,
+        factory: ScorerFactory,
+        stats: Arc<ServeStats>,
+        cfg: SupervisorCfg,
+    ) -> Supervisor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut slots: Vec<Slot> = (0..cfg.workers.max(1) as u64)
+            .map(|worker_id| {
+                let mut slot = Slot {
+                    worker_id,
+                    gen: 0,
+                    slot_gen: Arc::new(AtomicU64::new(1)),
+                    liveness: Arc::new(AtomicU64::new(0)),
+                    in_flight: Arc::new(Mutex::new(Vec::new())),
+                    done: Arc::new(AtomicBool::new(false)),
+                    handle: None,
+                    last_live: 0,
+                    stalled_ms: 0,
+                    consecutive: 0,
+                };
+                slot.gen = 1;
+                spawn_worker(&mut slot, &mailbox, &factory, cfg.batch_max);
+                slot
+            })
+            .collect();
+        let monitor_stop = Arc::clone(&stop);
+        let monitor = std::thread::spawn(move || {
+            monitor_loop(&mut slots, &mailbox, &factory, &stats, &cfg, &monitor_stop);
+        });
+        Supervisor {
+            stop,
+            monitor: Some(monitor),
+        }
+    }
+
+    /// Stop supervision and join the monitor (which joins the workers).
+    /// Call only after closing the mailbox, so workers drain and exit.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(m) = self.monitor.take() {
+            let _ = m.join();
+        }
+    }
+}
+
+fn spawn_worker(
+    slot: &mut Slot,
+    mailbox: &Mailbox<Job>,
+    factory: &ScorerFactory,
+    batch_max: usize,
+) {
+    let ctx = WorkerCtx {
+        worker_id: slot.worker_id,
+        gen: slot.gen,
+        slot_gen: Arc::clone(&slot.slot_gen),
+        liveness: Arc::clone(&slot.liveness),
+        in_flight: Arc::clone(&slot.in_flight),
+        mailbox: mailbox.clone(),
+        done: Arc::clone(&slot.done),
+        batch_max,
+    };
+    let scorer = factory();
+    slot.handle = Some(std::thread::spawn(move || worker_loop(ctx, scorer)));
+}
+
+fn monitor_loop(
+    slots: &mut [Slot],
+    mailbox: &Mailbox<Job>,
+    factory: &ScorerFactory,
+    stats: &Arc<ServeStats>,
+    cfg: &SupervisorCfg,
+    stop: &AtomicBool,
+) {
+    let poll_ms = (cfg.wedge_ms / 4).clamp(1, 25);
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(poll_ms));
+        for slot in slots.iter_mut() {
+            let live = slot.liveness.load(Ordering::Relaxed);
+            if live != slot.last_live {
+                slot.last_live = live;
+                slot.stalled_ms = 0;
+                slot.consecutive = 0;
+            }
+            let finished = slot.handle.as_ref().is_none_or(|h| h.is_finished());
+            if finished {
+                if slot.done.load(Ordering::Relaxed) {
+                    // Clean exit (drain); nothing to supervise.
+                    continue;
+                }
+                restart(slot, "panic", mailbox, factory, stats, cfg);
+            } else if !lock(&slot.in_flight).is_empty() || !mailbox.is_empty() {
+                slot.stalled_ms += poll_ms;
+                if slot.stalled_ms >= cfg.wedge_ms {
+                    restart(slot, "wedged", mailbox, factory, stats, cfg);
+                }
+            } else {
+                slot.stalled_ms = 0;
+            }
+        }
+    }
+    // Shutdown: workers exit once the (closed) mailbox drains.
+    for slot in slots.iter_mut() {
+        if let Some(h) = slot.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Replace a dead or wedged worker: supersede the old incarnation,
+/// replay its in-flight jobs (at most once each), back off, respawn.
+fn restart(
+    slot: &mut Slot,
+    reason: &str,
+    mailbox: &Mailbox<Job>,
+    factory: &ScorerFactory,
+    stats: &Arc<ServeStats>,
+    cfg: &SupervisorCfg,
+) {
+    slot.gen += 1;
+    slot.slot_gen.store(slot.gen, Ordering::Relaxed);
+    match slot.handle.take() {
+        // A panicked thread joins immediately; reap it.
+        Some(h) if h.is_finished() => drop(h.join()),
+        // A wedged thread cannot be joined without hanging the monitor.
+        // Detach it: superseded, its replies are CAS-suppressed, and it
+        // exits on its own at its next generation check.
+        Some(h) => drop(h),
+        None => {}
+    }
+    slot.consecutive += 1;
+    stats.restarts.fetch_add(1, Ordering::Relaxed);
+    let backoff = cfg
+        .backoff_base_ms
+        .saturating_mul(1u64 << (slot.consecutive - 1).min(16))
+        .min(cfg.backoff_max_ms.max(cfg.backoff_base_ms));
+    em_obs::worker_restart(slot.worker_id, slot.consecutive, backoff, reason);
+
+    // Replay what the lost incarnation was holding. The buffer is
+    // swapped out (not cleared in place) so the detached thread keeps
+    // its own clone and cannot touch the replacement's stash.
+    let stranded = std::mem::take(&mut *lock(&slot.in_flight));
+    for mut job in stranded {
+        if job.is_answered() {
+            continue;
+        }
+        if job.attempts >= 1 {
+            job.reply(
+                &Response::Failed {
+                    id: job.id.clone(),
+                    reason: format!("lost to a {reason} worker twice"),
+                },
+                Outcome::Failed,
+            );
+        } else {
+            job.attempts += 1;
+            mailbox.push_front(job);
+        }
+    }
+
+    std::thread::sleep(Duration::from_millis(backoff));
+    // Fresh per-incarnation state: the detached thread holds the old
+    // Arcs, so it can neither tick the new liveness counter nor clear
+    // the new in-flight stash.
+    slot.liveness = Arc::new(AtomicU64::new(0));
+    slot.in_flight = Arc::new(Mutex::new(Vec::new()));
+    slot.done = Arc::new(AtomicBool::new(false));
+    slot.last_live = 0;
+    slot.stalled_ms = 0;
+    spawn_worker(slot, mailbox, factory, cfg.batch_max);
+}

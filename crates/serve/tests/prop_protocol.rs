@@ -1,0 +1,120 @@
+//! Protocol totality properties: every frame the encoder can produce is
+//! parsed back to the identical value, and arbitrary byte salad is a
+//! typed error — the parser must never panic, whatever a client sends.
+
+use em_serve::protocol::{Request, Response, StatsBody};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Build an id string from raw bytes (ASCII incl. controls and quotes,
+/// so the JSON escaping path is exercised), never empty.
+fn id_from(bytes: &[u8]) -> String {
+    let mut s: String = bytes.iter().map(|&b| char::from(b % 127)).collect();
+    if s.is_empty() {
+        s.push('x');
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn match_requests_round_trip(
+        id_bytes in collection::vec(1u8..127, 1..12),
+        lefts in collection::vec(0u32..1 << 30, 1..9),
+        rights in collection::vec(0u32..1 << 30, 1..9),
+        deadline in 0u64..100_000,
+        with_deadline in any::<bool>(),
+    ) {
+        let n = lefts.len().min(rights.len());
+        let req = Request::Match {
+            id: id_from(&id_bytes),
+            pairs: lefts.iter().zip(&rights).take(n).map(|(&l, &r)| (l, r)).collect(),
+            deadline_ms: with_deadline.then_some(deadline),
+        };
+        let line = req.encode();
+        prop_assert_eq!(Request::parse(&line), Ok(req));
+    }
+
+    #[test]
+    fn control_requests_round_trip(
+        id_bytes in collection::vec(1u8..127, 1..12),
+        which in 0usize..3,
+    ) {
+        let id = id_from(&id_bytes);
+        let req = match which {
+            0 => Request::Ping { id },
+            1 => Request::Stats { id },
+            _ => Request::Shutdown { id },
+        };
+        let line = req.encode();
+        prop_assert_eq!(Request::parse(&line), Ok(req));
+    }
+
+    #[test]
+    fn responses_round_trip(
+        id_bytes in collection::vec(1u8..127, 1..12),
+        reason_bytes in collection::vec(0u8..255, 0..20),
+        proba in collection::vec(0.0f32..1.0, 1..9),
+        counts in (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        restarts in 0u64..1 << 40,
+        which in 0usize..9,
+    ) {
+        let id = id_from(&id_bytes);
+        let reason = id_from(&reason_bytes);
+        let resp = match which {
+            0 => Response::Matched {
+                id,
+                decision: proba.iter().map(|&p| p > 0.5).collect(),
+                proba,
+            },
+            1 => Response::Rejected { id, reason, retry_after_ms: counts.0 },
+            2 => Response::DeadlineExceeded { id },
+            3 => Response::Duplicate { id },
+            4 => Response::Failed { id, reason },
+            5 => Response::BadRequest { id, reason },
+            6 => Response::Pong { id },
+            7 => Response::Stats {
+                id,
+                body: StatsBody {
+                    admitted: counts.0,
+                    completed: counts.1,
+                    rejected: counts.2,
+                    failed: counts.3,
+                    restarts,
+                },
+            },
+            _ => Response::Drained { id, completed: counts.1 },
+        };
+        let line = resp.encode();
+        prop_assert_eq!(Response::parse(&line), Ok(resp));
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in collection::vec(0u8..255, 0..80)) {
+        // Torn lines, binary junk, half-JSON: a typed Err (or a valid
+        // parse, if the fuzz happens to spell one) — never a panic.
+        let line: String = bytes.iter().map(|&b| char::from(b)).collect();
+        let _ = Request::parse(&line);
+        let _ = Response::parse(&line);
+        let _ = em_serve::protocol::line_id(&line);
+    }
+
+    #[test]
+    fn truncations_of_valid_frames_never_panic(
+        lefts in collection::vec(0u32..1000, 1..5),
+        cut in 0usize..200,
+    ) {
+        let req = Request::Match {
+            id: "r".into(),
+            pairs: lefts.iter().map(|&l| (l, l + 1)).collect(),
+            deadline_ms: Some(9),
+        };
+        let line = req.encode();
+        let torn = &line[..cut.min(line.len())];
+        if torn.len() < line.len() {
+            prop_assert!(Request::parse(torn).is_err(), "torn frame parsed: {torn}");
+        }
+    }
+}

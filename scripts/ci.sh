@@ -16,7 +16,7 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> em-lint (repo invariants, 11 rules incl. concurrency family)"
+echo "==> em-lint (repo invariants, 12 rules incl. concurrency family)"
 cargo run --release -q -p em-check --bin em-lint
 
 echo "==> lexer + lint engine suite (fixtures, proptests, tree-clean pin)"
@@ -150,5 +150,48 @@ cargo run --release -q -p promptem-cli --bin promptem -- \
     --metrics-out "$smoke_dir/resumed.jsonl" >/dev/null
 cargo run --release -q -p promptem-cli --bin promptem -- \
     report --diff "$smoke_dir/base.jsonl" "$smoke_dir/resumed.jsonl"
+
+echo "==> serve (chaos service: worker kill + injected sheds, byte parity vs offline)"
+cargo run --release -q -p promptem-cli --bin promptem -- \
+    match --left "$smoke_dir/left.csv" --right "$smoke_dir/right.csv" \
+    --labels "$smoke_dir/train.csv" --seed 7 --trace warn \
+    --pretrain-steps 20 --epochs 1 --output "$smoke_dir/pred.csv" >/dev/null
+PROMPTEM_RETRY_BACKOFF_MS=0 \
+PROMPTEM_FAILPOINTS=worker_forward:panic@2,mailbox_enqueue:io_err@3 \
+    cargo run --release -q -p promptem-cli --bin promptem -- \
+    serve --left "$smoke_dir/left.csv" --right "$smoke_dir/right.csv" \
+    --labels "$smoke_dir/train.csv" --seed 7 --trace warn \
+    --pretrain-steps 20 --epochs 1 --port 0 --port-file "$smoke_dir/addr" \
+    --workers 2 --queue-cap 8 --inflight-cap 16 \
+    --metrics-out "$smoke_dir/serve.jsonl" >/dev/null 2>"$smoke_dir/serve.err" &
+serve_pid=$!
+for _ in $(seq 1 600); do
+    [ -s "$smoke_dir/addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+done
+[ -s "$smoke_dir/addr" ] || {
+    echo "serve: server never published its address" >&2
+    cat "$smoke_dir/serve.err" >&2
+    exit 1
+}
+cargo run --release -q -p promptem-cli --bin promptem -- \
+    drive --port-file "$smoke_dir/addr" --pairs "$smoke_dir/pred.csv" \
+    --connections 4 --out "$smoke_dir/served.csv" --shutdown
+wait "$serve_pid" || {
+    echo "serve: graceful drain exited nonzero" >&2
+    cat "$smoke_dir/serve.err" >&2
+    exit 1
+}
+cmp "$smoke_dir/pred.csv" "$smoke_dir/served.csv" || {
+    echo "serve: served decisions differ from offline match output" >&2
+    exit 1
+}
+for ev in request reject worker_restart drain; do
+    grep -q "\"type\":\"$ev\"" "$smoke_dir/serve.jsonl" || {
+        echo "serve: trace carries no $ev event" >&2
+        exit 1
+    }
+done
 
 echo "ci: all checks passed"
